@@ -1,0 +1,60 @@
+//! Ablation bench: how the driverlet design choices affect replay cost.
+//!
+//! DESIGN.md calls out three driverlet-specific costs: per-template soft
+//! reset, uncached MMIO in the TEE, and per-event dispatch. This bench
+//! measures replay with the stock cost model and with each knob zeroed, so
+//! the contribution of each choice is visible (virtual time per invocation is
+//! printed; the Criterion numbers are the wall-clock cost of the simulation).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dlt_core::{replay_mmc, Replayer};
+use dlt_dev_mmc::MmcSubsystem;
+use dlt_hw::{CostModel, Platform};
+use dlt_recorder::campaign::{record_mmc_driverlet_subset, DEV_KEY};
+use dlt_tee::{SecureIo, TeeKernel};
+
+fn replayer_with(cost: CostModel) -> (Platform, Replayer) {
+    let platform = Platform::with_cost(cost);
+    MmcSubsystem::attach(&platform).unwrap();
+    TeeKernel::install(&platform, &["sdhost", "dma"]).unwrap();
+    let driverlet = record_mmc_driverlet_subset(&[8]).unwrap();
+    let mut replayer = Replayer::new(SecureIo::new(platform.bus.clone()));
+    replayer.load_driverlet(driverlet, DEV_KEY).unwrap();
+    (platform, replayer)
+}
+
+fn ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_mmc_rd8");
+    group.sample_size(10);
+
+    let stock = CostModel::default();
+    let mut no_reset = stock.clone();
+    no_reset.soft_reset_ns = 0;
+    let mut cached_mmio = stock.clone();
+    cached_mmio.mmio_uncached_ns = cached_mmio.mmio_access_ns;
+    let mut free_dispatch = stock.clone();
+    free_dispatch.replay_event_dispatch_ns = 0;
+
+    for (label, cost) in [
+        ("stock", stock),
+        ("no-soft-reset", no_reset),
+        ("cached-mmio", cached_mmio),
+        ("free-dispatch", free_dispatch),
+    ] {
+        let (platform, mut replayer) = replayer_with(cost);
+        // Report the virtual-time cost once per configuration.
+        let mut buf = vec![0u8; 8 * 512];
+        let t0 = platform.now_ns();
+        replay_mmc(&mut replayer, 0x1, 8, 0, 0, &mut buf).unwrap();
+        println!("ablation {label}: one 8-block read costs {} us of virtual time", (platform.now_ns() - t0) / 1_000);
+
+        group.bench_with_input(BenchmarkId::new("replay_rd8", label), &(), |b, _| {
+            let mut buf = vec![0u8; 8 * 512];
+            b.iter(|| replay_mmc(&mut replayer, 0x1, 8, 16, 0, &mut buf).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, ablation);
+criterion_main!(benches);

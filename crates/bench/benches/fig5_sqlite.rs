@@ -1,0 +1,23 @@
+//! Criterion bench for the Figure 5 workload paths (wall-clock time of the
+//! simulation; the figure itself is produced from virtual time by the
+//! `report` binary).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dlt_workloads::block::{StorageKind, StoragePath};
+use dlt_workloads::suite::{run_benchmark, SqliteBenchmark};
+
+fn fig5(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig5_sqlite_mmc");
+    group.sample_size(10);
+    for path in [StoragePath::Native, StoragePath::NativeSync, StoragePath::Driverlet] {
+        group.bench_with_input(BenchmarkId::new("insert3", format!("{path:?}")), &path, |b, path| {
+            b.iter(|| {
+                run_benchmark(SqliteBenchmark::Insert3, StorageKind::Mmc, *path, 10).unwrap().iops
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig5);
+criterion_main!(benches);

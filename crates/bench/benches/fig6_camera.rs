@@ -1,0 +1,22 @@
+//! Criterion bench for the Figure 6 capture paths.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dlt_dev_vchiq::msg::CameraResolution;
+use dlt_workloads::camera::{native_capture, DriverletCamera};
+
+fn fig6(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig6_camera_oneshot_720p");
+    group.sample_size(10);
+    group.bench_function("native", |b| {
+        b.iter(|| native_capture(1, CameraResolution::R720p).latency_ns)
+    });
+    // Record once; measure repeated replay invocations.
+    let mut rig = DriverletCamera::new(&[1]);
+    group.bench_function("driverlet", |b| {
+        b.iter(|| rig.capture(1, CameraResolution::R720p).latency_ns)
+    });
+    group.finish();
+}
+
+criterion_group!(benches, fig6);
+criterion_main!(benches);

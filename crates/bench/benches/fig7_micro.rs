@@ -1,0 +1,26 @@
+//! Criterion bench for the Figure 7 single-request latency paths.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dlt_workloads::block::{BlockDev, DriverletDev, NativeDev, StorageKind, StoragePath};
+
+fn fig7(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig7_micro_mmc_read");
+    group.sample_size(10);
+    // Build both rigs once; measure repeated requests.
+    let mut native = NativeDev::new(StorageKind::Mmc, StoragePath::NativeSync);
+    let mut driverlet = DriverletDev::new(StorageKind::Mmc);
+    for blkcnt in [8u32, 256] {
+        group.bench_with_input(BenchmarkId::new("native", blkcnt), &blkcnt, |b, &n| {
+            let mut buf = vec![0u8; n as usize * 512];
+            b.iter(|| native.read_blocks(0, n, &mut buf).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("driverlet", blkcnt), &blkcnt, |b, &n| {
+            let mut buf = vec![0u8; n as usize * 512];
+            b.iter(|| driverlet.read_blocks(0, n, &mut buf).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig7);
+criterion_main!(benches);

@@ -1,0 +1,105 @@
+//! The trustlet-facing driverlet interfaces (`driverlet.h` in Figure 8).
+
+use std::collections::HashMap;
+
+use crate::replayer::{ReplayError, ReplayOutcome, Replayer};
+
+/// MMC block size in bytes.
+pub const MMC_BLOCK_SIZE: usize = 512;
+
+fn block_args(rw: u64, blkcnt: u32, blkid: u32, flag: u64) -> HashMap<String, u64> {
+    [
+        ("rw".to_string(), rw),
+        ("blkcnt".to_string(), u64::from(blkcnt)),
+        ("blkid".to_string(), u64::from(blkid)),
+        ("flag".to_string(), flag),
+    ]
+    .into_iter()
+    .collect()
+}
+
+/// `replay_mmc(rw, blkcnt, blkid, flag, buf)` — read or write `blkcnt`
+/// 512-byte blocks starting at `blkid` on the secure SD card.
+///
+/// `rw` uses the paper's encoding: `0x1` = read, `0x10` = write.
+pub fn replay_mmc(
+    replayer: &mut Replayer,
+    rw: u64,
+    blkcnt: u32,
+    blkid: u32,
+    flag: u64,
+    buf: &mut [u8],
+) -> Result<ReplayOutcome, ReplayError> {
+    if buf.len() < blkcnt as usize * MMC_BLOCK_SIZE {
+        return Err(ReplayError::Invalid("buffer smaller than the requested blocks".into()));
+    }
+    replayer.invoke("replay_mmc", &block_args(rw, blkcnt, blkid, flag), buf)
+}
+
+/// `replay_usb(rw, blkcnt, blkid, flag, buf)` — read or write `blkcnt`
+/// 512-byte blocks on the secure USB mass-storage stick.
+pub fn replay_usb(
+    replayer: &mut Replayer,
+    rw: u64,
+    blkcnt: u32,
+    blkid: u32,
+    flag: u64,
+    buf: &mut [u8],
+) -> Result<ReplayOutcome, ReplayError> {
+    if buf.len() < blkcnt as usize * MMC_BLOCK_SIZE {
+        return Err(ReplayError::Invalid("buffer smaller than the requested blocks".into()));
+    }
+    replayer.invoke("replay_usb", &block_args(rw, blkcnt, blkid, flag), buf)
+}
+
+/// `replay_cam(frames, resolution, buf, buf_size, &size)` — capture `frames`
+/// images at `resolution` (720, 1080 or 1440); the last frame lands in `buf`.
+///
+/// Returns the image size in bytes (the paper's `size` out-parameter).
+pub fn replay_cam(
+    replayer: &mut Replayer,
+    frames: u32,
+    resolution: u32,
+    buf: &mut [u8],
+) -> Result<u32, ReplayError> {
+    let args: HashMap<String, u64> = [
+        ("frames".to_string(), u64::from(frames)),
+        ("resolution".to_string(), u64::from(resolution)),
+        ("buf_size".to_string(), buf.len() as u64),
+    ]
+    .into_iter()
+    .collect();
+    let outcome = replayer.invoke("replay_cam", &args, buf)?;
+    // The image size is the device-assigned value the template captured; the
+    // copy into the trustlet buffer is exactly that long.
+    let img = outcome
+        .captured
+        .values()
+        .copied()
+        .filter(|v| *v > 0 && *v <= buf.len() as u64)
+        .max()
+        .unwrap_or(outcome.payload_bytes);
+    Ok(img as u32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dlt_tee::SecureIo;
+
+    #[test]
+    fn buffer_size_validation_happens_before_selection() {
+        let platform = dlt_hw::Platform::new();
+        let io = SecureIo::new(platform.bus.clone());
+        let mut r = Replayer::new(io);
+        let mut tiny = [0u8; 16];
+        assert!(matches!(
+            replay_mmc(&mut r, 0x1, 8, 0, 0, &mut tiny),
+            Err(ReplayError::Invalid(_))
+        ));
+        assert!(matches!(
+            replay_usb(&mut r, 0x1, 8, 0, 0, &mut tiny),
+            Err(ReplayError::Invalid(_))
+        ));
+    }
+}

@@ -1,0 +1,38 @@
+//! # dlt-core — the driverlet runtime (replayer)
+//!
+//! This crate is the paper's primary contribution: the in-TEE replayer that
+//! turns signed interaction templates into working device access (§5).
+//!
+//! The replayer:
+//!
+//! * verifies and statically vets driverlet bundles before accepting them
+//!   ([`Replayer::load_driverlet`]) — signature check, template validation,
+//!   and a bounds check that every register event stays inside the window of
+//!   a secure-world device (the self-hardening measures of §5),
+//! * selects the unique template whose parameter constraints the trustlet's
+//!   arguments satisfy, rejecting out-of-coverage requests,
+//! * executes the template's events sequentially and transactionally: input
+//!   constraints are checked against the live device, outputs are evaluated
+//!   from the trustlet's dynamic arguments, captured device values and DMA
+//!   base addresses, polling loops run until their recorded termination
+//!   condition, and payload moves between the trustlet buffer and the TEE's
+//!   DMA pool,
+//! * soft-resets the device before every template execution and on any
+//!   divergence, re-executes a bounded number of times, and aborts with a
+//!   report of the failing event and its gold-driver recording site when the
+//!   divergence persists (§3.3, §8.2.1).
+//!
+//! The `replay_mmc` / `replay_usb` / `replay_cam` wrappers expose the
+//! paper's trustlet-facing interfaces (Figure 8).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod api;
+pub mod replayer;
+
+pub use api::{replay_cam, replay_mmc, replay_usb, MMC_BLOCK_SIZE};
+pub use replayer::{
+    DivergenceEvent, DivergenceReport, ReplayConfig, ReplayError, ReplayOutcome, ReplayStats,
+    Replayer,
+};

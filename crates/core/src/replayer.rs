@@ -1,0 +1,551 @@
+//! The transactional template replayer.
+
+use std::collections::HashMap;
+
+use dlt_hw::DmaRegion;
+use dlt_template::{Driverlet, EvalEnv, Event, Iface, ReadSink, SourceSite, Template};
+use dlt_tee::{SecureIo, TeeError};
+
+/// Replay errors surfaced to the trustlet.
+#[derive(Debug, Clone)]
+pub enum ReplayError {
+    /// The trustlet's arguments fall outside the recorded input-space
+    /// coverage (no template matches).
+    OutOfCoverage {
+        /// The replay entry invoked.
+        entry: String,
+    },
+    /// The driverlet bundle failed signature verification.
+    Signature(String),
+    /// A template failed static vetting or hardening checks at load time.
+    InvalidTemplate(String),
+    /// No driverlet is loaded for the requested entry.
+    UnknownEntry(String),
+    /// Replay kept diverging despite resets; the report pinpoints the
+    /// failing event and its gold-driver recording site.
+    Diverged(DivergenceReport),
+    /// A TEE service failed (secure memory exhausted, bus fault, ...).
+    Tee(String),
+    /// Malformed trustlet request (bad buffer size etc.).
+    Invalid(String),
+}
+
+impl std::fmt::Display for ReplayError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReplayError::OutOfCoverage { entry } => {
+                write!(f, "request to {entry} is outside the recorded input coverage")
+            }
+            ReplayError::Signature(s) => write!(f, "driverlet signature: {s}"),
+            ReplayError::InvalidTemplate(s) => write!(f, "invalid template: {s}"),
+            ReplayError::UnknownEntry(e) => write!(f, "no driverlet loaded for entry {e}"),
+            ReplayError::Diverged(r) => write!(
+                f,
+                "replay of {} diverged after {} attempts at event {} ({} @ {}:{}): {}",
+                r.template,
+                r.attempts,
+                r.failure.event_index,
+                r.failure.event,
+                r.failure.site.file,
+                r.failure.site.line,
+                r.failure.reason
+            ),
+            ReplayError::Tee(s) => write!(f, "TEE service failure: {s}"),
+            ReplayError::Invalid(s) => write!(f, "invalid request: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for ReplayError {}
+
+impl From<TeeError> for ReplayError {
+    fn from(e: TeeError) -> Self {
+        ReplayError::Tee(e.to_string())
+    }
+}
+
+/// Description of one divergence occurrence.
+#[derive(Debug, Clone)]
+pub struct DivergenceEvent {
+    /// Index of the failing event within the template.
+    pub event_index: usize,
+    /// Gold-driver recording site of the failing event.
+    pub site: SourceSite,
+    /// Rendered event.
+    pub event: String,
+    /// Observed value (if the failure was a constraint violation).
+    pub observed: Option<u64>,
+    /// Human-readable reason.
+    pub reason: String,
+}
+
+/// Report returned when replay fails persistently.
+#[derive(Debug, Clone)]
+pub struct DivergenceReport {
+    /// Template that failed.
+    pub template: String,
+    /// Number of execution attempts (including re-executions after reset).
+    pub attempts: u32,
+    /// Number of events that executed successfully in the last attempt.
+    pub executed_before_failure: usize,
+    /// The failing event of the last attempt.
+    pub failure: DivergenceEvent,
+}
+
+/// Replayer configuration.
+#[derive(Debug, Clone)]
+pub struct ReplayConfig {
+    /// Maximum template executions per invocation (first try + re-executions
+    /// after soft reset).
+    pub max_attempts: u32,
+    /// Whether to verify driverlet signatures at load time (always on in
+    /// production; switchable for the ablation benchmarks).
+    pub verify_signature: bool,
+}
+
+impl Default for ReplayConfig {
+    fn default() -> Self {
+        ReplayConfig { max_attempts: 3, verify_signature: true }
+    }
+}
+
+/// Cumulative replayer statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReplayStats {
+    /// Trustlet invocations served.
+    pub invocations: u64,
+    /// Template executions (including retries).
+    pub executions: u64,
+    /// Device soft resets issued.
+    pub resets: u64,
+    /// Divergences observed (including recovered ones).
+    pub divergences: u64,
+    /// Events executed.
+    pub events_executed: u64,
+    /// Interrupt waits performed (interrupt-context switches).
+    pub irq_waits: u64,
+    /// Payload bytes moved to/from trustlet buffers.
+    pub payload_bytes: u64,
+}
+
+/// Outcome of a successful invocation.
+#[derive(Debug, Clone, Default)]
+pub struct ReplayOutcome {
+    /// Payload bytes copied into or out of the trustlet buffer.
+    pub payload_bytes: u64,
+    /// Values captured from the device during the replay (e.g. the image
+    /// size the camera assigned).
+    pub captured: HashMap<String, u64>,
+    /// Number of events executed.
+    pub events: usize,
+    /// Whether a divergence was recovered by reset + re-execution.
+    pub recovered_divergence: bool,
+}
+
+/// The driverlet replayer.
+pub struct Replayer {
+    io: SecureIo,
+    driverlets: HashMap<String, Driverlet>,
+    config: ReplayConfig,
+    stats: ReplayStats,
+}
+
+enum ExecFailure {
+    Divergence(DivergenceEvent, usize),
+    Tee(TeeError),
+}
+
+impl Replayer {
+    /// Create a replayer over the TEE's secure services.
+    pub fn new(io: SecureIo) -> Self {
+        Self::with_config(io, ReplayConfig::default())
+    }
+
+    /// Create a replayer with an explicit configuration.
+    pub fn with_config(io: SecureIo, config: ReplayConfig) -> Self {
+        Replayer { io, driverlets: HashMap::new(), config, stats: ReplayStats::default() }
+    }
+
+    /// Cumulative statistics.
+    pub fn stats(&self) -> ReplayStats {
+        self.stats
+    }
+
+    /// Direct access to the TEE services (trustlets share them).
+    pub fn io_mut(&mut self) -> &mut SecureIo {
+        &mut self.io
+    }
+
+    /// Entries currently served.
+    pub fn entries(&self) -> Vec<String> {
+        self.driverlets.keys().cloned().collect()
+    }
+
+    /// Load a driverlet bundle: verify the developer signature, statically
+    /// vet every template, and harden against templates that reference
+    /// registers outside their device's (secure) register window.
+    pub fn load_driverlet(&mut self, bundle: Driverlet, key: &[u8]) -> Result<(), ReplayError> {
+        if self.config.verify_signature {
+            bundle.verify(key).map_err(|e| ReplayError::Signature(e.to_string()))?;
+        }
+        bundle.validate().map_err(ReplayError::InvalidTemplate)?;
+        for t in &bundle.templates {
+            let window = self
+                .io
+                .device_window(&t.device)
+                .map_err(|e| ReplayError::InvalidTemplate(format!("{}: {e}", t.name)))?;
+            if !self.io.is_device_secure(&t.device) {
+                return Err(ReplayError::InvalidTemplate(format!(
+                    "{}: device {} is not assigned to the TEE",
+                    t.name, t.device
+                )));
+            }
+            for addr in t.registers_touched() {
+                if !window.contains(addr, 4) {
+                    // The MMC templates legitimately touch the system DMA
+                    // engine as a second secure device; accept registers that
+                    // fall inside any secure device window.
+                    let in_other_secure = self
+                        .io
+                        .device_window("dma")
+                        .map(|w| w.contains(addr, 4) && self.io.is_device_secure("dma"))
+                        .unwrap_or(false);
+                    if !in_other_secure {
+                        return Err(ReplayError::InvalidTemplate(format!(
+                            "{}: register {addr:#x} is outside the secure window of {}",
+                            t.name, t.device
+                        )));
+                    }
+                }
+            }
+        }
+        self.driverlets.insert(bundle.entry.clone(), bundle);
+        Ok(())
+    }
+
+    /// Invoke a replay entry with the given arguments and payload buffer.
+    pub fn invoke(
+        &mut self,
+        entry: &str,
+        args: &HashMap<String, u64>,
+        buf: &mut [u8],
+    ) -> Result<ReplayOutcome, ReplayError> {
+        self.stats.invocations += 1;
+        let bundle = self
+            .driverlets
+            .get(entry)
+            .ok_or_else(|| ReplayError::UnknownEntry(entry.to_string()))?;
+        let template = bundle
+            .select(args)
+            .ok_or_else(|| ReplayError::OutOfCoverage { entry: entry.to_string() })?
+            .clone();
+        let device = template.device.clone();
+
+        let mut last_failure: Option<(DivergenceEvent, usize)> = None;
+        let mut attempts = 0u32;
+        while attempts < self.config.max_attempts {
+            attempts += 1;
+            self.stats.executions += 1;
+            // Soft reset before every execution and between retries (§5).
+            self.io.soft_reset_device(&device)?;
+            self.io.dma_release_all();
+            self.stats.resets += 1;
+            match self.execute_once(&template, args, buf) {
+                Ok(mut outcome) => {
+                    outcome.recovered_divergence = last_failure.is_some();
+                    self.stats.payload_bytes += outcome.payload_bytes;
+                    return Ok(outcome);
+                }
+                Err(ExecFailure::Divergence(event, executed)) => {
+                    self.stats.divergences += 1;
+                    last_failure = Some((event, executed));
+                }
+                Err(ExecFailure::Tee(e)) => return Err(ReplayError::Tee(e.to_string())),
+            }
+        }
+        let (failure, executed) = last_failure.expect("at least one attempt must have run");
+        Err(ReplayError::Diverged(DivergenceReport {
+            template: template.name.clone(),
+            attempts,
+            executed_before_failure: executed,
+            failure,
+        }))
+    }
+
+    fn execute_once(
+        &mut self,
+        template: &Template,
+        args: &HashMap<String, u64>,
+        buf: &mut [u8],
+    ) -> Result<ReplayOutcome, ExecFailure> {
+        let dispatch_ns = self.io.replay_dispatch_cost_ns();
+        let mut env = EvalEnv::with_params(args.clone());
+        let mut allocations: Vec<DmaRegion> = Vec::new();
+        let mut payload_bytes = 0u64;
+
+        let diverge = |idx: usize, re: &dlt_template::RecordedEvent, observed: Option<u64>, reason: String| {
+            ExecFailure::Divergence(
+                DivergenceEvent {
+                    event_index: idx,
+                    site: re.site.clone(),
+                    event: re.event.describe(),
+                    observed,
+                    reason,
+                },
+                idx,
+            )
+        };
+
+        for (idx, re) in template.events.iter().enumerate() {
+            self.io.charge_ns(dispatch_ns);
+            self.stats.events_executed += 1;
+            match &re.event {
+                Event::Read { iface, constraint, sink, .. } => {
+                    let value = self
+                        .read_iface(iface, &allocations)
+                        .map_err(ExecFailure::Tee)? as u64;
+                    if !constraint.check(value, &env) {
+                        return Err(diverge(
+                            idx,
+                            re,
+                            Some(value),
+                            format!("constraint \"{}\" violated", constraint.describe()),
+                        ));
+                    }
+                    match sink {
+                        ReadSink::Discard => {}
+                        ReadSink::Capture(name) => {
+                            env.captured.insert(name.clone(), value);
+                        }
+                        ReadSink::UserData { offset } => {
+                            let off = *offset as usize;
+                            if off + 4 > buf.len() {
+                                return Err(diverge(
+                                    idx,
+                                    re,
+                                    Some(value),
+                                    "user-data sink outside the trustlet buffer".into(),
+                                ));
+                            }
+                            buf[off..off + 4].copy_from_slice(&(value as u32).to_le_bytes());
+                            payload_bytes += 4;
+                        }
+                    }
+                }
+                Event::Write { iface, value } => {
+                    let v = value.eval(&env).ok_or_else(|| {
+                        diverge(idx, re, None, "output expression references an unbound symbol".into())
+                    })?;
+                    self.write_iface(iface, v as u32, &allocations).map_err(ExecFailure::Tee)?;
+                }
+                Event::DmaAlloc { len, .. } => {
+                    let n = len.eval(&env).ok_or_else(|| {
+                        diverge(idx, re, None, "allocation size references an unbound symbol".into())
+                    })? as usize;
+                    let region = self.io.dma_alloc(n).map_err(ExecFailure::Tee)?;
+                    env.dma_bases.push(region.base);
+                    allocations.push(region);
+                }
+                Event::GetRandBytes { len, .. } => {
+                    let _ = self.io.get_rand_bytes(*len as usize);
+                }
+                Event::GetTs { sink, .. } => {
+                    let v = self.io.get_ts_rpc();
+                    if let ReadSink::Capture(name) = sink {
+                        env.captured.insert(name.clone(), v);
+                    }
+                }
+                Event::WaitForIrq { line, timeout_us } => {
+                    self.stats.irq_waits += 1;
+                    // Templates wait for every individual interrupt; the gold
+                    // driver would have coalesced them (§8.3.2). Charge the
+                    // per-IRQ handling overhead the native path avoids.
+                    let irq_overhead = self.io.cost_model().irq_wait_overhead_ns;
+                    self.io.charge_ns(irq_overhead);
+                    if self.io.wait_for_irq(*line, *timeout_us).is_err() {
+                        return Err(diverge(
+                            idx,
+                            re,
+                            None,
+                            format!("interrupt {line} did not arrive within {timeout_us} us"),
+                        ));
+                    }
+                }
+                Event::Delay { us } => self.io.delay_us(*us),
+                Event::Poll { iface, cond, delay_us, max_iters, body } => {
+                    let mut iters = 0u64;
+                    loop {
+                        let value = self
+                            .read_iface(iface, &allocations)
+                            .map_err(ExecFailure::Tee)? as u64;
+                        if cond.check(value, &env) {
+                            break;
+                        }
+                        iters += 1;
+                        if iters > *max_iters {
+                            return Err(diverge(
+                                idx,
+                                re,
+                                Some(value),
+                                format!(
+                                    "poll condition \"{}\" not met after {max_iters} iterations",
+                                    cond.describe()
+                                ),
+                            ));
+                        }
+                        for inner in body {
+                            if let Event::Delay { us } = inner {
+                                self.io.delay_us(*us);
+                            }
+                        }
+                        self.io.delay_us((*delay_us).max(1));
+                    }
+                }
+                Event::CopyUserToDma { alloc, offset, user_offset, len } => {
+                    let n = len.eval(&env).ok_or_else(|| {
+                        diverge(idx, re, None, "copy length references an unbound symbol".into())
+                    })? as usize;
+                    let uo = *user_offset as usize;
+                    if uo + n > buf.len() {
+                        return Err(diverge(idx, re, None, "copy source outside the trustlet buffer".into()));
+                    }
+                    let region = *allocations.get(*alloc).ok_or_else(|| {
+                        diverge(idx, re, None, format!("dma[{alloc}] not allocated"))
+                    })?;
+                    self.io
+                        .copy_to_dma(region, *offset, &buf[uo..uo + n])
+                        .map_err(ExecFailure::Tee)?;
+                    payload_bytes += n as u64;
+                }
+                Event::CopyDmaToUser { alloc, offset, user_offset, len } => {
+                    let n = len.eval(&env).ok_or_else(|| {
+                        diverge(idx, re, None, "copy length references an unbound symbol".into())
+                    })? as usize;
+                    let uo = *user_offset as usize;
+                    if uo + n > buf.len() {
+                        return Err(diverge(idx, re, None, "copy target outside the trustlet buffer".into()));
+                    }
+                    let region = *allocations.get(*alloc).ok_or_else(|| {
+                        diverge(idx, re, None, format!("dma[{alloc}] not allocated"))
+                    })?;
+                    let mut tmp = vec![0u8; n];
+                    self.io.copy_from_dma(region, *offset, &mut tmp).map_err(ExecFailure::Tee)?;
+                    buf[uo..uo + n].copy_from_slice(&tmp);
+                    payload_bytes += n as u64;
+                }
+            }
+        }
+
+        Ok(ReplayOutcome {
+            payload_bytes,
+            captured: env.captured,
+            events: template.events.len(),
+            recovered_divergence: false,
+        })
+    }
+
+    fn read_iface(&mut self, iface: &Iface, allocations: &[DmaRegion]) -> Result<u32, TeeError> {
+        match iface {
+            Iface::Reg { addr, .. } => self.io.readl(*addr),
+            Iface::Shm { alloc, offset } => {
+                let region = allocations
+                    .get(*alloc)
+                    .copied()
+                    .ok_or_else(|| TeeError::Hw(format!("dma[{alloc}] not allocated")))?;
+                self.io.shm_read32(region, *offset)
+            }
+            Iface::Env(_) => Err(TeeError::Hw("environment interfaces are not readable".into())),
+        }
+    }
+
+    fn write_iface(
+        &mut self,
+        iface: &Iface,
+        value: u32,
+        allocations: &[DmaRegion],
+    ) -> Result<(), TeeError> {
+        match iface {
+            Iface::Reg { addr, .. } => self.io.writel(*addr, value),
+            Iface::Shm { alloc, offset } => {
+                let region = allocations
+                    .get(*alloc)
+                    .copied()
+                    .ok_or_else(|| TeeError::Hw(format!("dma[{alloc}] not allocated")))?;
+                self.io.shm_write32(region, *offset, value)
+            }
+            Iface::Env(_) => Err(TeeError::Hw("environment interfaces are not writable".into())),
+        }
+    }
+}
+
+/// Render a constraint violation in the human-readable style the paper's
+/// failure reports use.
+pub fn describe_divergence(report: &DivergenceReport) -> String {
+    format!(
+        "template {} aborted after {} attempts; {} events replayed; failing event #{} {} recorded at {}:{} ({})",
+        report.template,
+        report.attempts,
+        report.executed_before_failure,
+        report.failure.event_index,
+        report.failure.event,
+        report.failure.site.file,
+        report.failure.site.line,
+        report.failure.reason,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dlt_template::{Constraint, DataDirection, ParamSpec, RecordedEvent, SymExpr, TemplateMeta};
+
+    /// Constraint helpers for the synthetic template used below.
+    fn synthetic_driverlet() -> Driverlet {
+        // A template against a nonexistent device: only used for load-time
+        // hardening tests (it must be rejected because the device is absent).
+        let t = Template {
+            name: "ghost".into(),
+            entry: "replay_ghost".into(),
+            device: "ghost-dev".into(),
+            params: vec![ParamSpec { name: "x".into(), constraint: Constraint::Any }],
+            direction: DataDirection::None,
+            data_len: SymExpr::Const(0),
+            irq_line: None,
+            events: vec![RecordedEvent::bare(Event::Write {
+                iface: Iface::Reg { addr: 0x3f99_0000, name: "GHOST".into() },
+                value: SymExpr::Const(1),
+            })],
+            meta: TemplateMeta::default(),
+        };
+        let mut d = Driverlet::new("ghost-dev", "replay_ghost", vec![t]);
+        d.sign(b"k");
+        d
+    }
+
+    #[test]
+    fn unknown_devices_and_bad_signatures_are_rejected_at_load() {
+        let platform = dlt_hw::Platform::new();
+        let tee = dlt_tee::TeeKernel::install(&platform, &[]).unwrap();
+        let io = SecureIo::new(platform.bus.clone());
+        drop(tee);
+        let mut r = Replayer::new(io);
+        let d = synthetic_driverlet();
+        assert!(matches!(r.load_driverlet(d.clone(), b"wrong"), Err(ReplayError::Signature(_))));
+        assert!(
+            matches!(r.load_driverlet(d, b"k"), Err(ReplayError::InvalidTemplate(_))),
+            "a template for an unknown device must not load"
+        );
+        assert!(r.entries().is_empty());
+    }
+
+    #[test]
+    fn invoking_an_unknown_entry_fails_cleanly() {
+        let platform = dlt_hw::Platform::new();
+        let io = SecureIo::new(platform.bus.clone());
+        let mut r = Replayer::new(io);
+        let mut buf = [0u8; 4];
+        let err = r.invoke("replay_nothing", &HashMap::new(), &mut buf).unwrap_err();
+        assert!(matches!(err, ReplayError::UnknownEntry(_)));
+        assert_eq!(r.stats().invocations, 1);
+    }
+}

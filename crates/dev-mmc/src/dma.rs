@@ -1,0 +1,461 @@
+//! System DMA engine (one channel), control-block chained.
+//!
+//! The full MMC driver builds the Figure-4 descriptor topology in DMA memory:
+//! one control block per 4 KiB data page, chained through the `NEXTCONBK`
+//! field, with the head address written to `CONBLK_AD` and the channel kicked
+//! through `CS.ACTIVE`. The engine walks the chain, moving bytes between
+//! physical memory and the SDHOST data FIFO.
+
+use dlt_hw::device::{MmioDevice, RegBank};
+use dlt_hw::irq::lines;
+use dlt_hw::{CostModel, IrqController, PhysMem, Shared};
+
+use crate::fifo::FifoLink;
+use crate::regs::{dmacb, dmacs, dmareg, dmati};
+use crate::{DMA_BASE, DMA_LEN, SDHOST_DATA_BUS_ADDR};
+
+/// One decoded control block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ControlBlock {
+    /// Transfer information flags.
+    pub ti: u32,
+    /// Source physical address.
+    pub source: u32,
+    /// Destination physical address.
+    pub dest: u32,
+    /// Length in bytes.
+    pub len: u32,
+    /// Next control block physical address (0 terminates).
+    pub next: u32,
+}
+
+impl ControlBlock {
+    /// Decode a control block from physical memory.
+    pub fn load(mem: &PhysMem, addr: u64) -> Option<ControlBlock> {
+        Some(ControlBlock {
+            ti: mem.read32(addr + dmacb::TI).ok()?,
+            source: mem.read32(addr + dmacb::SOURCE_AD).ok()?,
+            dest: mem.read32(addr + dmacb::DEST_AD).ok()?,
+            len: mem.read32(addr + dmacb::TXFR_LEN).ok()?,
+            next: mem.read32(addr + dmacb::NEXTCONBK).ok()?,
+        })
+    }
+}
+
+/// The DMA engine device model (a single channel, which is all the MMC
+/// record campaign reserves — "the 15-th DMA channel", §7.1.2).
+pub struct DmaEngine {
+    regs: RegBank,
+    fifo: Shared<FifoLink>,
+    mem: Shared<PhysMem>,
+    irqs: Shared<IrqController>,
+    cost: CostModel,
+    /// Completion deadline of the in-flight chain walk.
+    busy_until_ns: Option<u64>,
+    /// Whether the chain still has data waiting on the FIFO (read path where
+    /// the card has not produced data yet).
+    pending_kick_ns: Option<u64>,
+    chains_executed: u64,
+    bytes_transferred: u64,
+}
+
+impl DmaEngine {
+    /// Create the engine.
+    pub fn new(
+        fifo: Shared<FifoLink>,
+        mem: Shared<PhysMem>,
+        irqs: Shared<IrqController>,
+        cost: CostModel,
+    ) -> Self {
+        let mut regs = RegBank::new();
+        for (off, _) in dmareg::DMA_REGISTERS {
+            regs.define(*off, 0);
+        }
+        DmaEngine {
+            regs,
+            fifo,
+            mem,
+            irqs,
+            cost,
+            busy_until_ns: None,
+            pending_kick_ns: None,
+            chains_executed: 0,
+            bytes_transferred: 0,
+        }
+    }
+
+    /// Number of control-block chains executed.
+    pub fn chains_executed(&self) -> u64 {
+        self.chains_executed
+    }
+
+    /// Total bytes moved by the engine.
+    pub fn bytes_transferred(&self) -> u64 {
+        self.bytes_transferred
+    }
+
+    fn is_fifo_addr(addr: u32) -> bool {
+        u64::from(addr) == SDHOST_DATA_BUS_ADDR
+    }
+
+    /// Attempt to execute the whole chain. Returns `false` if the chain needs
+    /// FIFO data that is not available yet (the card is still reading media),
+    /// in which case the walk is retried on a later tick.
+    fn try_run_chain(&mut self, now_ns: u64) -> bool {
+        let head = u64::from(self.regs.get(dmareg::CONBLK_AD));
+        if head == 0 {
+            self.regs.set_bits(dmareg::DEBUG, 1); // "read error" style flag
+            self.finish(now_ns, false);
+            return true;
+        }
+
+        // Pre-flight: if any CB pulls from the FIFO, the FIFO must be ready
+        // and contain enough bytes for the whole chain.
+        {
+            let mem = self.mem.lock();
+            let fifo = self.fifo.lock();
+            let mut addr = head;
+            let mut need_from_fifo: u64 = 0;
+            let mut hops = 0;
+            while addr != 0 && hops < 4096 {
+                let Some(cb) = ControlBlock::load(&mem, addr) else {
+                    drop(mem);
+                    drop(fifo);
+                    self.regs.set_bits(dmareg::DEBUG, 1);
+                    self.finish(now_ns, false);
+                    return true;
+                };
+                if Self::is_fifo_addr(cb.source) {
+                    need_from_fifo += u64::from(cb.len);
+                }
+                addr = u64::from(cb.next);
+                hops += 1;
+            }
+            if need_from_fifo > 0
+                && (!fifo.data_ready(now_ns) || (fifo.level() as u64) < need_from_fifo)
+            {
+                return false;
+            }
+        }
+
+        // Execute the chain.
+        let mut addr = head;
+        let mut total: u64 = 0;
+        let mut hops = 0;
+        let mut want_irq = false;
+        while addr != 0 && hops < 4096 {
+            let cb = {
+                let mem = self.mem.lock();
+                ControlBlock::load(&mem, addr)
+            };
+            let Some(cb) = cb else { break };
+            self.regs.set(dmareg::TI, cb.ti);
+            self.regs.set(dmareg::SOURCE_AD, cb.source);
+            self.regs.set(dmareg::DEST_AD, cb.dest);
+            self.regs.set(dmareg::TXFR_LEN, cb.len);
+            self.regs.set(dmareg::NEXTCONBK, cb.next);
+            want_irq |= cb.ti & dmati::INTEN != 0;
+
+            let len = cb.len as usize;
+            match (Self::is_fifo_addr(cb.source), Self::is_fifo_addr(cb.dest)) {
+                (true, false) => {
+                    // Peripheral -> memory (read path).
+                    let data = self.fifo.lock().pop_bytes(len);
+                    let _ = self.mem.lock().write_bytes(u64::from(cb.dest), &data);
+                }
+                (false, true) => {
+                    // Memory -> peripheral (write path).
+                    let mut buf = vec![0u8; len];
+                    let _ = self.mem.lock().read_bytes(u64::from(cb.source), &mut buf);
+                    self.fifo.lock().push_bytes(&buf);
+                }
+                (false, false) => {
+                    // Memory -> memory copy (unused by the MMC path but
+                    // architecturally valid).
+                    let mut buf = vec![0u8; len];
+                    let _ = self.mem.lock().read_bytes(u64::from(cb.source), &mut buf);
+                    let _ = self.mem.lock().write_bytes(u64::from(cb.dest), &buf);
+                }
+                (true, true) => {
+                    self.regs.set_bits(dmareg::DEBUG, 2);
+                }
+            }
+            total += u64::from(cb.len);
+            addr = u64::from(cb.next);
+            hops += 1;
+        }
+
+        self.bytes_transferred += total;
+        self.chains_executed += 1;
+        let pages = total.div_ceil(4096).max(1);
+        let done_ns = now_ns + self.cost.dma_transfer(pages);
+        self.busy_until_ns = Some(done_ns);
+        if want_irq {
+            self.irqs.lock().assert_at(lines::DMA, done_ns);
+        }
+        true
+    }
+
+    fn finish(&mut self, _now_ns: u64, ok: bool) {
+        let mut cs = self.regs.get(dmareg::CS);
+        cs &= !dmacs::ACTIVE;
+        cs |= dmacs::END | dmacs::INT;
+        if !ok {
+            cs |= dmacs::ERROR;
+        }
+        self.regs.set(dmareg::CS, cs);
+    }
+
+    fn progress(&mut self, now_ns: u64) {
+        if let Some(kick) = self.pending_kick_ns {
+            if now_ns >= kick && self.try_run_chain(now_ns) {
+                self.pending_kick_ns = None;
+            }
+        }
+        if let Some(done) = self.busy_until_ns {
+            if now_ns >= done {
+                self.busy_until_ns = None;
+                self.finish(now_ns, true);
+            }
+        }
+    }
+}
+
+impl MmioDevice for DmaEngine {
+    fn name(&self) -> &'static str {
+        "dma"
+    }
+
+    fn mmio_base(&self) -> u64 {
+        DMA_BASE
+    }
+
+    fn mmio_len(&self) -> u64 {
+        DMA_LEN
+    }
+
+    fn read32(&mut self, offset: u64, now_ns: u64) -> u32 {
+        self.progress(now_ns);
+        self.regs.get(offset)
+    }
+
+    fn write32(&mut self, offset: u64, val: u32, now_ns: u64) {
+        self.progress(now_ns);
+        match offset {
+            dmareg::CS => {
+                if val & dmacs::RESET != 0 {
+                    self.soft_reset(now_ns);
+                    return;
+                }
+                let mut cs = self.regs.get(dmareg::CS);
+                // Write-1-to-clear for END / INT.
+                cs &= !(val & (dmacs::END | dmacs::INT));
+                if val & dmacs::ABORT != 0 {
+                    self.busy_until_ns = None;
+                    self.pending_kick_ns = None;
+                    cs &= !dmacs::ACTIVE;
+                }
+                if val & dmacs::ACTIVE != 0 {
+                    cs |= dmacs::ACTIVE;
+                    self.regs.set(dmareg::CS, cs);
+                    self.pending_kick_ns = Some(now_ns);
+                    self.progress(now_ns);
+                    return;
+                }
+                self.regs.set(dmareg::CS, cs);
+            }
+            _ => self.regs.set(offset, val),
+        }
+        self.progress(now_ns);
+    }
+
+    fn tick(&mut self, now_ns: u64) {
+        self.progress(now_ns);
+    }
+
+    fn soft_reset(&mut self, _now_ns: u64) {
+        self.regs.reset();
+        self.busy_until_ns = None;
+        self.pending_kick_ns = None;
+    }
+
+    fn irq_line(&self) -> Option<u32> {
+        Some(lines::DMA)
+    }
+
+    fn register_map(&self) -> Vec<(u64, &'static str)> {
+        dmareg::DMA_REGISTERS.iter().map(|(o, n)| (*o, *n)).collect()
+    }
+
+    fn is_idle(&self) -> bool {
+        self.busy_until_ns.is_none() && self.pending_kick_ns.is_none()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fifo::FifoDir;
+    use dlt_hw::shared;
+
+    fn fixture() -> (DmaEngine, Shared<FifoLink>, Shared<PhysMem>, Shared<IrqController>) {
+        let fifo = shared(FifoLink::new());
+        let mem = shared(PhysMem::new(0, 1 << 20));
+        let irqs = shared(IrqController::new());
+        let dma = DmaEngine::new(fifo.clone(), mem.clone(), irqs.clone(), CostModel::default());
+        (dma, fifo, mem, irqs)
+    }
+
+    fn write_cb(mem: &Shared<PhysMem>, addr: u64, cb: &ControlBlock) {
+        let mut m = mem.lock();
+        m.write32(addr + dmacb::TI, cb.ti).unwrap();
+        m.write32(addr + dmacb::SOURCE_AD, cb.source).unwrap();
+        m.write32(addr + dmacb::DEST_AD, cb.dest).unwrap();
+        m.write32(addr + dmacb::TXFR_LEN, cb.len).unwrap();
+        m.write32(addr + dmacb::STRIDE, 0).unwrap();
+        m.write32(addr + dmacb::NEXTCONBK, cb.next).unwrap();
+    }
+
+    #[test]
+    fn memory_to_memory_copy() {
+        let (mut dma, _f, mem, _i) = fixture();
+        mem.lock().write_bytes(0x2000, &[7u8; 64]).unwrap();
+        write_cb(
+            &mem,
+            0x1000,
+            &ControlBlock { ti: dmati::INTEN, source: 0x2000, dest: 0x3000, len: 64, next: 0 },
+        );
+        dma.write32(dmareg::CONBLK_AD, 0x1000, 0);
+        dma.write32(dmareg::CS, dmacs::ACTIVE, 0);
+        dma.tick(10_000_000);
+        let mut out = [0u8; 64];
+        mem.lock().read_bytes(0x3000, &mut out).unwrap();
+        assert_eq!(out, [7u8; 64]);
+        assert!(dma.read32(dmareg::CS, 10_000_000) & dmacs::END != 0);
+        assert_eq!(dma.chains_executed(), 1);
+    }
+
+    #[test]
+    fn fifo_to_memory_waits_for_data_readiness() {
+        let (mut dma, fifo, mem, _i) = fixture();
+        // Card data appears at t=1ms.
+        fifo.lock().begin(FifoDir::CardToHost, 1_000_000);
+        fifo.lock().push_bytes(&[0xcd; 512]);
+        write_cb(
+            &mem,
+            0x1000,
+            &ControlBlock {
+                ti: dmati::INTEN | dmati::SRC_DREQ,
+                source: SDHOST_DATA_BUS_ADDR as u32,
+                dest: 0x4000,
+                len: 512,
+                next: 0,
+            },
+        );
+        dma.write32(dmareg::CONBLK_AD, 0x1000, 0);
+        dma.write32(dmareg::CS, dmacs::ACTIVE, 0);
+        // Before the data is ready nothing moves.
+        dma.tick(500_000);
+        assert_eq!(mem.lock().read8(0x4000).unwrap(), 0);
+        assert!(dma.read32(dmareg::CS, 500_000) & dmacs::END == 0);
+        // After readiness the chain runs.
+        dma.tick(1_100_000);
+        dma.tick(20_000_000);
+        assert_eq!(mem.lock().read8(0x4000).unwrap(), 0xcd);
+        assert!(dma.read32(dmareg::CS, 20_000_000) & dmacs::END != 0);
+    }
+
+    #[test]
+    fn chained_blocks_all_execute_and_raise_irq() {
+        let (mut dma, fifo, mem, irqs) = fixture();
+        fifo.lock().begin(FifoDir::HostToCard, 0);
+        mem.lock().write_bytes(0x8000, &[1u8; 4096]).unwrap();
+        mem.lock().write_bytes(0x9000, &[2u8; 4096]).unwrap();
+        write_cb(
+            &mem,
+            0x1000,
+            &ControlBlock {
+                ti: 0,
+                source: 0x8000,
+                dest: SDHOST_DATA_BUS_ADDR as u32,
+                len: 4096,
+                next: 0x1020,
+            },
+        );
+        write_cb(
+            &mem,
+            0x1020,
+            &ControlBlock {
+                ti: dmati::INTEN,
+                source: 0x9000,
+                dest: SDHOST_DATA_BUS_ADDR as u32,
+                len: 4096,
+                next: 0,
+            },
+        );
+        dma.write32(dmareg::CONBLK_AD, 0x1000, 0);
+        dma.write32(dmareg::CS, dmacs::ACTIVE, 0);
+        dma.tick(50_000_000);
+        assert_eq!(fifo.lock().level(), 8192);
+        assert_eq!(dma.bytes_transferred(), 8192);
+        assert!(irqs.lock().assert_count() > 0);
+    }
+
+    #[test]
+    fn abort_stops_a_pending_chain() {
+        let (mut dma, fifo, mem, _i) = fixture();
+        fifo.lock().begin(FifoDir::CardToHost, u64::MAX); // never ready
+        write_cb(
+            &mem,
+            0x1000,
+            &ControlBlock {
+                ti: 0,
+                source: SDHOST_DATA_BUS_ADDR as u32,
+                dest: 0x4000,
+                len: 512,
+                next: 0,
+            },
+        );
+        dma.write32(dmareg::CONBLK_AD, 0x1000, 0);
+        dma.write32(dmareg::CS, dmacs::ACTIVE, 0);
+        assert!(!dma.is_idle());
+        dma.write32(dmareg::CS, dmacs::ABORT, 10);
+        assert!(dma.is_idle());
+        assert!(dma.read32(dmareg::CS, 10) & dmacs::ACTIVE == 0);
+    }
+
+    #[test]
+    fn null_head_is_an_error() {
+        let (mut dma, _f, _m, _i) = fixture();
+        dma.write32(dmareg::CONBLK_AD, 0, 0);
+        dma.write32(dmareg::CS, dmacs::ACTIVE, 0);
+        dma.tick(1_000);
+        assert!(dma.read32(dmareg::DEBUG, 1_000) & 1 != 0);
+        assert!(dma.read32(dmareg::CS, 1_000) & dmacs::ERROR != 0);
+    }
+
+    #[test]
+    fn cs_end_and_int_are_write_one_to_clear() {
+        let (mut dma, _f, mem, _i) = fixture();
+        write_cb(
+            &mem,
+            0x1000,
+            &ControlBlock { ti: 0, source: 0x2000, dest: 0x3000, len: 16, next: 0 },
+        );
+        dma.write32(dmareg::CONBLK_AD, 0x1000, 0);
+        dma.write32(dmareg::CS, dmacs::ACTIVE, 0);
+        dma.tick(10_000_000);
+        assert!(dma.read32(dmareg::CS, 10_000_000) & (dmacs::END | dmacs::INT) != 0);
+        dma.write32(dmareg::CS, dmacs::END | dmacs::INT, 10_000_000);
+        assert_eq!(dma.read32(dmareg::CS, 10_000_000) & (dmacs::END | dmacs::INT), 0);
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let (mut dma, _f, _m, _i) = fixture();
+        dma.write32(dmareg::CONBLK_AD, 0x1234, 0);
+        dma.write32(dmareg::CS, dmacs::RESET, 0);
+        assert_eq!(dma.read32(dmareg::CONBLK_AD, 0), 0);
+        assert!(dma.is_idle());
+    }
+}

@@ -1,0 +1,305 @@
+//! Register layout and bit definitions for the SDHOST controller and the
+//! system DMA engine channel used by the MMC path.
+//!
+//! The layout follows the BCM2835 SDHOST block (`bcm2835-sdhost.c` in the
+//! Raspberry Pi kernel tree) closely enough that the recorded templates have
+//! the same register vocabulary the paper reports in §7.1 (SDCMD, SDARG,
+//! SDHBLC, SDDATA, SDEDM, ...), while remaining a simulation-only model.
+
+/// SDCMD — command register (also carries the NEW/FAIL flags).
+pub const SDCMD: u64 = 0x00;
+/// SDARG — 32-bit command argument.
+pub const SDARG: u64 = 0x04;
+/// SDTOUT — data timeout in core clocks.
+pub const SDTOUT: u64 = 0x08;
+/// SDCDIV — clock divider.
+pub const SDCDIV: u64 = 0x0c;
+/// SDRSP0 — response word 0.
+pub const SDRSP0: u64 = 0x10;
+/// SDRSP1 — response word 1.
+pub const SDRSP1: u64 = 0x14;
+/// SDRSP2 — response word 2.
+pub const SDRSP2: u64 = 0x18;
+/// SDRSP3 — response word 3.
+pub const SDRSP3: u64 = 0x1c;
+/// SDHSTS — host status (write-1-to-clear).
+pub const SDHSTS: u64 = 0x20;
+/// SDVDD — card power control.
+pub const SDVDD: u64 = 0x30;
+/// SDEDM — "emergency debug mode": FSM state and FIFO occupancy.
+pub const SDEDM: u64 = 0x34;
+/// SDHCFG — host configuration (IRQ enables, wide bus, DMA enable).
+pub const SDHCFG: u64 = 0x38;
+/// SDHBCT — block size in bytes.
+pub const SDHBCT: u64 = 0x3c;
+/// SDDATA — data FIFO port.
+pub const SDDATA: u64 = 0x40;
+/// SDHBLC — block count for the next data command.
+pub const SDHBLC: u64 = 0x50;
+
+// Additional architected registers (not normally touched by the data path;
+// they exist so the "total registers" population for the Table 7 analysis is
+// realistic and so record campaigns can show untouched registers).
+
+/// SDARG1 — alternate argument (reserved on this SoC).
+pub const SDARG1: u64 = 0x54;
+/// SDDBG0 — debug scratch 0.
+pub const SDDBG0: u64 = 0x58;
+/// SDDBG1 — debug scratch 1.
+pub const SDDBG1: u64 = 0x5c;
+/// SDFIFOCFG — FIFO thresholds.
+pub const SDFIFOCFG: u64 = 0x60;
+/// SDCRC — last CRC seen on the bus.
+pub const SDCRC: u64 = 0x64;
+/// SDPWR — power state latch.
+pub const SDPWR: u64 = 0x68;
+/// SDCLKSTP — clock-stop control.
+pub const SDCLKSTP: u64 = 0x6c;
+/// SDVER — hardware version.
+pub const SDVER: u64 = 0x70;
+/// SDBUSCFG — bus drive strength / slew.
+pub const SDBUSCFG: u64 = 0x74;
+
+/// All architected SDHOST register offsets with their names.
+pub const SDHOST_REGISTERS: &[(u64, &str)] = &[
+    (SDCMD, "SDCMD"),
+    (SDARG, "SDARG"),
+    (SDTOUT, "SDTOUT"),
+    (SDCDIV, "SDCDIV"),
+    (SDRSP0, "SDRSP0"),
+    (SDRSP1, "SDRSP1"),
+    (SDRSP2, "SDRSP2"),
+    (SDRSP3, "SDRSP3"),
+    (SDHSTS, "SDHSTS"),
+    (SDVDD, "SDVDD"),
+    (SDEDM, "SDEDM"),
+    (SDHCFG, "SDHCFG"),
+    (SDHBCT, "SDHBCT"),
+    (SDDATA, "SDDATA"),
+    (SDHBLC, "SDHBLC"),
+    (SDARG1, "SDARG1"),
+    (SDDBG0, "SDDBG0"),
+    (SDDBG1, "SDDBG1"),
+    (SDFIFOCFG, "SDFIFOCFG"),
+    (SDCRC, "SDCRC"),
+    (SDPWR, "SDPWR"),
+    (SDCLKSTP, "SDCLKSTP"),
+    (SDVER, "SDVER"),
+    (SDBUSCFG, "SDBUSCFG"),
+];
+
+/// SDCMD bits.
+pub mod sdcmd {
+    /// Start executing the command written to the index field.
+    pub const NEW_FLAG: u32 = 0x8000;
+    /// The previous command failed.
+    pub const FAIL_FLAG: u32 = 0x4000;
+    /// Wait for the card to leave the busy state after the command.
+    pub const BUSYWAIT: u32 = 0x0800;
+    /// The command carries no response.
+    pub const NO_RESPONSE: u32 = 0x0400;
+    /// The command carries a long (136-bit) response.
+    pub const LONG_RESPONSE: u32 = 0x0200;
+    /// The command writes data to the card.
+    pub const WRITE_CMD: u32 = 0x0080;
+    /// The command reads data from the card.
+    pub const READ_CMD: u32 = 0x0040;
+    /// Mask of the command index field.
+    pub const INDEX_MASK: u32 = 0x003f;
+}
+
+/// SDHSTS bits (write 1 to clear).
+pub mod sdhsts {
+    /// Data flag: the FIFO holds readable data / accepts writable data.
+    pub const DATA_FLAG: u32 = 0x01;
+    /// FIFO error (overrun/underrun).
+    pub const FIFO_ERROR: u32 = 0x08;
+    /// CRC7 error on the command line.
+    pub const CRC7_ERROR: u32 = 0x10;
+    /// CRC16 error on the data lines.
+    pub const CRC16_ERROR: u32 = 0x20;
+    /// Command timeout (no response from the card).
+    pub const CMD_TIME_OUT: u32 = 0x40;
+    /// Read/erase/write timeout.
+    pub const REW_TIME_OUT: u32 = 0x80;
+    /// SDIO interrupt from the card.
+    pub const SDIO_IRPT: u32 = 0x100;
+    /// Block transfer complete.
+    pub const BLOCK_IRPT: u32 = 0x200;
+    /// Busy de-asserted after a write/erase.
+    pub const BUSY_IRPT: u32 = 0x400;
+    /// All error bits.
+    pub const ERROR_MASK: u32 = FIFO_ERROR | CRC7_ERROR | CRC16_ERROR | CMD_TIME_OUT | REW_TIME_OUT;
+}
+
+/// SDHCFG bits.
+pub mod sdhcfg {
+    /// Release the command line between commands.
+    pub const REL_CMD_LINE: u32 = 0x01;
+    /// Generate an interrupt on BUSY_IRPT.
+    pub const BUSY_IRPT_EN: u32 = 0x02;
+    /// Generate an interrupt on BLOCK_IRPT.
+    pub const BLOCK_IRPT_EN: u32 = 0x04;
+    /// Generate an interrupt on SDIO_IRPT.
+    pub const SDIO_IRPT_EN: u32 = 0x08;
+    /// Card clock runs slow (identification mode).
+    pub const SLOW_CARD: u32 = 0x10;
+    /// Use the 4-bit bus width (external pads).
+    pub const WIDE_EXT_BUS: u32 = 0x100;
+    /// Use the 4-bit bus width (internal mux).
+    pub const WIDE_INT_BUS: u32 = 0x200;
+    /// Route data movement through the system DMA engine.
+    pub const DMA_EN: u32 = 0x400;
+}
+
+/// SDEDM fields.
+pub mod sdedm {
+    /// FSM state field mask (bits 0..3).
+    pub const FSM_MASK: u32 = 0xf;
+    /// FSM: identification mode.
+    pub const FSM_IDENTMODE: u32 = 0x0;
+    /// FSM: data mode, idle.
+    pub const FSM_DATAMODE: u32 = 0x1;
+    /// FSM: reading data.
+    pub const FSM_READDATA: u32 = 0x2;
+    /// FSM: writing data.
+    pub const FSM_WRITEDATA: u32 = 0x3;
+    /// FSM: waiting for write-busy to end.
+    pub const FSM_WRITEWAIT1: u32 = 0xa;
+    /// Shift of the FIFO word count field.
+    pub const FIFO_LEVEL_SHIFT: u32 = 4;
+    /// Width mask of the FIFO word count field.
+    pub const FIFO_LEVEL_MASK: u32 = 0x1f;
+}
+
+/// DMA engine (one channel) register offsets.
+pub mod dmareg {
+    /// CS — control and status.
+    pub const CS: u64 = 0x00;
+    /// CONBLK_AD — physical address of the first control block.
+    pub const CONBLK_AD: u64 = 0x04;
+    /// TI — transfer information of the active control block (read-only copy).
+    pub const TI: u64 = 0x08;
+    /// SOURCE_AD — source address of the active control block.
+    pub const SOURCE_AD: u64 = 0x0c;
+    /// DEST_AD — destination address of the active control block.
+    pub const DEST_AD: u64 = 0x10;
+    /// TXFR_LEN — remaining transfer length.
+    pub const TXFR_LEN: u64 = 0x14;
+    /// NEXTCONBK — next control block address.
+    pub const NEXTCONBK: u64 = 0x1c;
+    /// DEBUG — error/debug flags.
+    pub const DEBUG: u64 = 0x20;
+
+    /// All architected DMA channel registers with their names.
+    pub const DMA_REGISTERS: &[(u64, &str)] = &[
+        (CS, "DMA_CS"),
+        (CONBLK_AD, "DMA_CONBLK_AD"),
+        (TI, "DMA_TI"),
+        (SOURCE_AD, "DMA_SOURCE_AD"),
+        (DEST_AD, "DMA_DEST_AD"),
+        (TXFR_LEN, "DMA_TXFR_LEN"),
+        (NEXTCONBK, "DMA_NEXTCONBK"),
+        (DEBUG, "DMA_DEBUG"),
+    ];
+}
+
+/// DMA CS bits.
+pub mod dmacs {
+    /// Activate the channel.
+    pub const ACTIVE: u32 = 0x01;
+    /// Transfer ended (write 1 to clear).
+    pub const END: u32 = 0x02;
+    /// Interrupt status (write 1 to clear).
+    pub const INT: u32 = 0x04;
+    /// Abort the current control block.
+    pub const ABORT: u32 = 0x4000_0000;
+    /// Channel reset.
+    pub const RESET: u32 = 0x8000_0000;
+    /// Error flag mirrored from DEBUG.
+    pub const ERROR: u32 = 0x100;
+}
+
+/// DMA control-block TI (transfer information) bits.
+pub mod dmati {
+    /// Generate an interrupt when this control block completes.
+    pub const INTEN: u32 = 0x01;
+    /// Wait for DREQ signals from the peripheral.
+    pub const WAIT_RESP: u32 = 0x08;
+    /// Destination address increments.
+    pub const DEST_INC: u32 = 0x10;
+    /// Destination is a peripheral DREQ (no increment).
+    pub const DEST_DREQ: u32 = 0x40;
+    /// Source address increments.
+    pub const SRC_INC: u32 = 0x100;
+    /// Source is a peripheral DREQ (no increment).
+    pub const SRC_DREQ: u32 = 0x400;
+    /// Peripheral map: SDHOST.
+    pub const PERMAP_SDHOST: u32 = 13 << 16;
+}
+
+/// Layout of one DMA control block ("descriptor") in physical memory.
+///
+/// This is the Figure 4 descriptor the MMC driver chains: 32 bytes, with a
+/// physical pointer to the next control block at +0x14 (the paper's example
+/// shows the chaining field written at descriptor offset +0x4; the exact
+/// offset is a property of the descriptor layout the driver and device agree
+/// on — what matters for the driverlet is that it is reconstructed verbatim).
+pub mod dmacb {
+    /// Transfer information word.
+    pub const TI: u64 = 0x00;
+    /// Source physical address.
+    pub const SOURCE_AD: u64 = 0x04;
+    /// Destination physical address.
+    pub const DEST_AD: u64 = 0x08;
+    /// Transfer length in bytes.
+    pub const TXFR_LEN: u64 = 0x0c;
+    /// 2D stride (unused by the MMC path).
+    pub const STRIDE: u64 = 0x10;
+    /// Physical address of the next control block (0 terminates the chain).
+    pub const NEXTCONBK: u64 = 0x14;
+    /// Size of one control block in bytes (with the two reserved words).
+    pub const SIZE: usize = 0x20;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_population_matches_paper_scale() {
+        // §7.1: "15 different registers out of 24 total registers of MMC
+        // controller and a system-wide DMA engine".
+        assert_eq!(SDHOST_REGISTERS.len(), 24);
+        assert_eq!(dmareg::DMA_REGISTERS.len(), 8);
+    }
+
+    #[test]
+    fn offsets_are_unique_and_word_aligned() {
+        let mut seen = std::collections::HashSet::new();
+        for (off, name) in SDHOST_REGISTERS {
+            assert_eq!(off % 4, 0, "{name} must be word aligned");
+            assert!(seen.insert(*off), "duplicate offset for {name}");
+        }
+    }
+
+    #[test]
+    fn cmd_flag_bits_do_not_overlap_index() {
+        assert_eq!(sdcmd::NEW_FLAG & sdcmd::INDEX_MASK, 0);
+        assert_eq!(sdcmd::READ_CMD & sdcmd::INDEX_MASK, 0);
+        assert_eq!(sdcmd::WRITE_CMD & sdcmd::INDEX_MASK, 0);
+        assert_eq!(sdcmd::BUSYWAIT & sdcmd::INDEX_MASK, 0);
+    }
+
+    #[test]
+    fn control_block_fields_fit_in_its_size() {
+        assert!(dmacb::NEXTCONBK + 4 <= dmacb::SIZE as u64);
+    }
+
+    #[test]
+    fn error_mask_covers_all_error_bits() {
+        assert_ne!(sdhsts::ERROR_MASK & sdhsts::CMD_TIME_OUT, 0);
+        assert_ne!(sdhsts::ERROR_MASK & sdhsts::FIFO_ERROR, 0);
+        assert_eq!(sdhsts::ERROR_MASK & sdhsts::BLOCK_IRPT, 0);
+    }
+}

@@ -1,0 +1,237 @@
+//! DWC2-style register layout for the USB host controller.
+//!
+//! Offsets follow the Synopsys DWC2 OTG core that the Raspberry Pi 3 uses.
+//! Only one host channel (channel 1) is modelled in detail — the paper's
+//! record campaign reserves "the 1st transmission channel" (§7.2.2).
+
+/// OTG control and status.
+pub const GOTGCTL: u64 = 0x000;
+/// AHB configuration (global interrupt enable, DMA enable).
+pub const GAHBCFG: u64 = 0x008;
+/// USB configuration.
+pub const GUSBCFG: u64 = 0x00c;
+/// Reset control (core soft reset is self-clearing).
+pub const GRSTCTL: u64 = 0x010;
+/// Core interrupt status (write 1 to clear).
+pub const GINTSTS: u64 = 0x014;
+/// Core interrupt mask.
+pub const GINTMSK: u64 = 0x018;
+/// Receive FIFO size.
+pub const GRXFSIZ: u64 = 0x024;
+/// Non-periodic transmit FIFO size.
+pub const GNPTXFSIZ: u64 = 0x028;
+/// Hardware configuration 2 (number of channels etc.).
+pub const GHWCFG2: u64 = 0x048;
+/// Hardware configuration 3.
+pub const GHWCFG3: u64 = 0x04c;
+/// Host configuration.
+pub const HCFG: u64 = 0x400;
+/// Host frame interval.
+pub const HFIR: u64 = 0x404;
+/// Host frame number / remaining time — the time-dependent, non-state-
+/// changing input the paper calls out (§7.2.3).
+pub const HFNUM: u64 = 0x408;
+/// Host all-channels interrupt.
+pub const HAINT: u64 = 0x414;
+/// Host all-channels interrupt mask.
+pub const HAINTMSK: u64 = 0x418;
+/// Host port control and status.
+pub const HPRT: u64 = 0x440;
+
+/// Host channel register block stride.
+pub const HC_STRIDE: u64 = 0x20;
+/// Base of host channel 0's register block.
+pub const HC_BASE: u64 = 0x500;
+
+/// Characteristics register of channel `n`.
+pub const fn hcchar(n: u64) -> u64 {
+    HC_BASE + n * HC_STRIDE
+}
+/// Split control register of channel `n`.
+pub const fn hcsplt(n: u64) -> u64 {
+    HC_BASE + n * HC_STRIDE + 0x04
+}
+/// Interrupt register of channel `n` (write 1 to clear).
+pub const fn hcint(n: u64) -> u64 {
+    HC_BASE + n * HC_STRIDE + 0x08
+}
+/// Interrupt mask register of channel `n`.
+pub const fn hcintmsk(n: u64) -> u64 {
+    HC_BASE + n * HC_STRIDE + 0x0c
+}
+/// Transfer size register of channel `n`.
+pub const fn hctsiz(n: u64) -> u64 {
+    HC_BASE + n * HC_STRIDE + 0x10
+}
+/// DMA address register of channel `n`.
+pub const fn hcdma(n: u64) -> u64 {
+    HC_BASE + n * HC_STRIDE + 0x14
+}
+
+/// The channel the gold driver (and hence every template) uses.
+pub const CHANNEL: u64 = 1;
+
+/// Number of host channels the core advertises.
+pub const NUM_CHANNELS: u64 = 8;
+
+/// GAHBCFG bits.
+pub mod gahbcfg {
+    /// Global interrupt enable.
+    pub const GLBL_INTR_EN: u32 = 1 << 0;
+    /// Core operates in DMA mode.
+    pub const DMA_EN: u32 = 1 << 5;
+}
+
+/// GRSTCTL bits.
+pub mod grstctl {
+    /// Core soft reset (self-clearing).
+    pub const CSFT_RST: u32 = 1 << 0;
+    /// AHB idle (read-only, always set in the model).
+    pub const AHB_IDLE: u32 = 1 << 31;
+}
+
+/// GINTSTS bits.
+pub mod gintsts {
+    /// Start of frame.
+    pub const SOF: u32 = 1 << 3;
+    /// Host port interrupt (connect / enable change).
+    pub const PRTINT: u32 = 1 << 24;
+    /// Host channel interrupt (some HAINT bit set).
+    pub const HCHINT: u32 = 1 << 25;
+    /// Disconnect detected.
+    pub const DISCINT: u32 = 1 << 29;
+    /// Current mode: host.
+    pub const CURMOD_HOST: u32 = 1 << 0;
+}
+
+/// HPRT bits.
+pub mod hprt {
+    /// Device connected to the port.
+    pub const CONN_STS: u32 = 1 << 0;
+    /// Connect detected (write 1 to clear).
+    pub const CONN_DET: u32 = 1 << 1;
+    /// Port enabled.
+    pub const ENA: u32 = 1 << 2;
+    /// Port reset asserted by software.
+    pub const RST: u32 = 1 << 8;
+    /// Port power.
+    pub const PWR: u32 = 1 << 12;
+    /// Port speed field: high speed.
+    pub const SPD_HIGH: u32 = 0 << 17;
+}
+
+/// HCCHAR bits/fields.
+pub mod hcchar {
+    /// Maximum packet size mask (bits 0..10).
+    pub const MPS_MASK: u32 = 0x7ff;
+    /// Endpoint number shift (bits 11..14).
+    pub const EPNUM_SHIFT: u32 = 11;
+    /// Endpoint direction: IN (device to host).
+    pub const EPDIR_IN: u32 = 1 << 15;
+    /// Endpoint type shift (bits 18..19): 0 control, 2 bulk.
+    pub const EPTYPE_SHIFT: u32 = 18;
+    /// Endpoint type: control.
+    pub const EPTYPE_CONTROL: u32 = 0 << EPTYPE_SHIFT;
+    /// Endpoint type: bulk.
+    pub const EPTYPE_BULK: u32 = 2 << EPTYPE_SHIFT;
+    /// Device address shift (bits 22..28).
+    pub const DEVADDR_SHIFT: u32 = 22;
+    /// Channel disable request.
+    pub const CHDIS: u32 = 1 << 30;
+    /// Channel enable.
+    pub const CHENA: u32 = 1 << 31;
+}
+
+/// HCINT bits.
+pub mod hcint {
+    /// Transfer complete.
+    pub const XFERCOMPL: u32 = 1 << 0;
+    /// Channel halted.
+    pub const CHHLTD: u32 = 1 << 1;
+    /// STALL response received.
+    pub const STALL: u32 = 1 << 3;
+    /// NAK response received.
+    pub const NAK: u32 = 1 << 4;
+    /// Transaction error.
+    pub const XACTERR: u32 = 1 << 7;
+}
+
+/// HCTSIZ fields.
+pub mod hctsiz {
+    /// Transfer size mask (bits 0..18).
+    pub const XFERSIZE_MASK: u32 = 0x7ffff;
+    /// Packet count shift (bits 19..28).
+    pub const PKTCNT_SHIFT: u32 = 19;
+    /// Packet count mask.
+    pub const PKTCNT_MASK: u32 = 0x3ff;
+    /// PID field shift (bits 29..30).
+    pub const PID_SHIFT: u32 = 29;
+    /// PID: SETUP token.
+    pub const PID_SETUP: u32 = 3 << PID_SHIFT;
+    /// PID: DATA1.
+    pub const PID_DATA1: u32 = 2 << PID_SHIFT;
+}
+
+/// Registers the Table 7 analysis counts for the USB controller, with the
+/// three categories the paper describes (§7.2.3): peripheral state, controller
+/// management, transmission channels.
+pub const USB_REGISTERS: &[(u64, &str)] = &[
+    (GOTGCTL, "GOTGCTL"),
+    (GAHBCFG, "GAHBCFG"),
+    (GUSBCFG, "GUSBCFG"),
+    (GRSTCTL, "GRSTCTL"),
+    (GINTSTS, "GINTSTS"),
+    (GINTMSK, "GINTMSK"),
+    (GRXFSIZ, "GRXFSIZ"),
+    (GNPTXFSIZ, "GNPTXFSIZ"),
+    (GHWCFG2, "GHWCFG2"),
+    (GHWCFG3, "GHWCFG3"),
+    (HCFG, "HCFG"),
+    (HFIR, "HFIR"),
+    (HFNUM, "HFNUM"),
+    (HAINT, "HAINT"),
+    (HAINTMSK, "HAINTMSK"),
+    (HPRT, "HPRT"),
+    (hcchar(CHANNEL), "HCCHAR1"),
+    (hcsplt(CHANNEL), "HCSPLT1"),
+    (hcint(CHANNEL), "HCINT1"),
+    (hcintmsk(CHANNEL), "HCINTMSK1"),
+    (hctsiz(CHANNEL), "HCTSIZ1"),
+    (hcdma(CHANNEL), "HCDMA1"),
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn channel_register_addressing() {
+        assert_eq!(hcchar(0), 0x500);
+        assert_eq!(hcchar(1), 0x520);
+        assert_eq!(hcdma(1), 0x534);
+        assert_eq!(hcint(2), 0x548);
+    }
+
+    #[test]
+    fn register_table_is_unique_and_aligned() {
+        let mut seen = std::collections::HashSet::new();
+        for (off, name) in USB_REGISTERS {
+            assert_eq!(off % 4, 0, "{name} not aligned");
+            assert!(seen.insert(*off), "{name} duplicated");
+        }
+        assert!(USB_REGISTERS.len() >= 20);
+    }
+
+    #[test]
+    fn field_encoding_helpers_do_not_collide() {
+        let char_val = (64 & hcchar::MPS_MASK)
+            | (2 << hcchar::EPNUM_SHIFT)
+            | hcchar::EPTYPE_BULK
+            | (1 << hcchar::DEVADDR_SHIFT)
+            | hcchar::CHENA;
+        assert_eq!(char_val & hcchar::MPS_MASK, 64);
+        assert_eq!((char_val >> hcchar::EPNUM_SHIFT) & 0xf, 2);
+        assert!(char_val & hcchar::CHENA != 0);
+        assert_eq!(char_val & hcchar::EPDIR_IN, 0);
+    }
+}

@@ -1,0 +1,211 @@
+//! Shared-memory queue layout used by both the VC4 model and the gold driver.
+//!
+//! The queue lives in a DMA allocation owned by the CPU side. Slot 0 holds
+//! the metadata both sides update (the paper: "Slot 0 is special, as it
+//! contains metadata that describes the whole message queue and will be
+//! updated by both CPU and VC4"); the remaining space is split into a CPU→VC4
+//! (TX) slot area and a VC4→CPU (RX) slot area.
+
+use dlt_hw::{HwResult, PhysMem};
+
+use crate::msg::MmalMessage;
+
+/// Magic value in slot 0 ("VCHQ").
+pub const MAGIC: u32 = 0x5643_4851;
+/// Queue protocol version.
+pub const VERSION: u32 = 1;
+
+/// Total queue size in bytes (slot 0 + TX area + RX area).
+pub const QUEUE_BYTES: usize = SLOT0_BYTES + TX_AREA_BYTES + RX_AREA_BYTES;
+/// Slot 0 (metadata) size.
+pub const SLOT0_BYTES: usize = 0x1000;
+/// CPU→VC4 slot area size.
+pub const TX_AREA_BYTES: usize = 0x10000;
+/// VC4→CPU slot area size.
+pub const RX_AREA_BYTES: usize = 0x10000;
+
+/// Offset of the TX area from the queue base.
+pub const TX_AREA_OFF: u64 = SLOT0_BYTES as u64;
+/// Offset of the RX area from the queue base.
+pub const RX_AREA_OFF: u64 = (SLOT0_BYTES + TX_AREA_BYTES) as u64;
+
+/// Required alignment of the queue base address (the driver publishes
+/// `queue & !0x3fff`, so the low 14 bits must be zero — Table 6).
+pub const QUEUE_ALIGN: u64 = 0x4000;
+
+/// Slot 0 field offsets.
+pub mod slot0 {
+    /// Magic value.
+    pub const MAGIC: u64 = 0x00;
+    /// Protocol version.
+    pub const VERSION: u64 = 0x04;
+    /// Number of slots (informational).
+    pub const NUM_SLOTS: u64 = 0x08;
+    /// CPU write position in the TX area (bytes).
+    pub const TX_POS: u64 = 0x0c;
+    /// VC4 write position in the RX area (bytes).
+    pub const RX_POS: u64 = 0x10;
+    /// CPU-side slot index (informational).
+    pub const CPU_SLOT: u64 = 0x14;
+    /// VC4-side slot index (informational).
+    pub const VC4_SLOT: u64 = 0x18;
+}
+
+/// Words the CPU must write to initialise slot 0. Returned as
+/// `(offset-from-queue-base, value)` pairs so the gold driver can emit them
+/// through its traced shared-memory interface.
+pub fn slot0_init_words() -> Vec<(u64, u32)> {
+    vec![
+        (slot0::MAGIC, MAGIC),
+        (slot0::VERSION, VERSION),
+        (slot0::NUM_SLOTS, ((QUEUE_BYTES / 0x1000) as u32)),
+        (slot0::TX_POS, 0),
+        (slot0::RX_POS, 0),
+        (slot0::CPU_SLOT, 1),
+        (slot0::VC4_SLOT, (1 + TX_AREA_BYTES / 0x1000) as u32),
+    ]
+}
+
+/// Words the CPU writes to append `msg` to the TX area at byte position
+/// `pos`, plus the updated TX_POS word. Returns `(words, new_pos)`.
+pub fn tx_message_words(pos: u32, msg: &MmalMessage) -> (Vec<(u64, u32)>, u32) {
+    let mut words = Vec::new();
+    let encoded = msg.encode();
+    let base = TX_AREA_OFF + u64::from(pos);
+    for (i, w) in encoded.iter().enumerate() {
+        words.push((base + (i as u64) * 4, *w));
+    }
+    let new_pos = pos + msg.padded_len() as u32;
+    words.push((slot0::TX_POS, new_pos));
+    (words, new_pos)
+}
+
+/// Read one message from an area (`area_off` is [`TX_AREA_OFF`] or
+/// [`RX_AREA_OFF`]) at byte position `pos` directly from physical memory.
+/// Returns the message and the next position.
+pub fn read_message(
+    mem: &PhysMem,
+    queue_base: u64,
+    area_off: u64,
+    pos: u32,
+) -> HwResult<Option<(MmalMessage, u32)>> {
+    let addr = queue_base + area_off + u64::from(pos);
+    let mut header = [0u32; 3];
+    for (i, h) in header.iter_mut().enumerate() {
+        *h = mem.read32(addr + (i as u64) * 4)?;
+    }
+    let payload_words = (header[2] as usize) / 4;
+    let mut words = header.to_vec();
+    for i in 0..payload_words.min(crate::msg::MAX_PAYLOAD_WORDS) {
+        words.push(mem.read32(addr + 12 + (i as u64) * 4)?);
+    }
+    match MmalMessage::decode(&words) {
+        Some(msg) => {
+            let next = pos + msg.padded_len() as u32;
+            Ok(Some((msg, next)))
+        }
+        None => Ok(None),
+    }
+}
+
+/// Write one message into an area directly (used by the VC4 device model for
+/// its replies). Returns the next position.
+pub fn write_message(
+    mem: &mut PhysMem,
+    queue_base: u64,
+    area_off: u64,
+    pos: u32,
+    msg: &MmalMessage,
+) -> HwResult<u32> {
+    let addr = queue_base + area_off + u64::from(pos);
+    for (i, w) in msg.encode().iter().enumerate() {
+        mem.write32(addr + (i as u64) * 4, *w)?;
+    }
+    // Zero the padding so stale bytes from earlier sessions cannot be
+    // misparsed as a message header.
+    let wire = msg.wire_len();
+    let padded = msg.padded_len();
+    if padded > wire {
+        mem.fill(addr + wire as u64, padded - wire, 0)?;
+    }
+    Ok(pos + padded as u32)
+}
+
+/// Offsets inside a host page list handed to VC4 with BufferFromHost.
+pub mod pagelist {
+    /// Total usable length of the buffer in bytes.
+    pub const TOTAL_LEN: u64 = 0x00;
+    /// Number of 4 KiB pages that follow.
+    pub const NUM_PAGES: u64 = 0x04;
+    /// First page physical address (subsequent pages every 4 bytes).
+    pub const FIRST_PAGE: u64 = 0x08;
+    /// Page size the list describes.
+    pub const PAGE_BYTES: usize = 4096;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::msg::MsgType;
+
+    #[test]
+    fn layout_is_consistent() {
+        assert_eq!(QUEUE_BYTES, 0x21000);
+        assert_eq!(TX_AREA_OFF, 0x1000);
+        assert_eq!(RX_AREA_OFF, 0x11000);
+        assert_eq!(QUEUE_ALIGN & (QUEUE_ALIGN - 1), 0, "alignment must be a power of two");
+    }
+
+    #[test]
+    fn slot0_init_words_cover_all_fields() {
+        let words = slot0_init_words();
+        assert_eq!(words.len(), 7);
+        assert!(words.iter().any(|(o, v)| *o == slot0::MAGIC && *v == MAGIC));
+        assert!(words.iter().any(|(o, v)| *o == slot0::TX_POS && *v == 0));
+    }
+
+    #[test]
+    fn tx_words_then_device_read_round_trip() {
+        let mut mem = PhysMem::new(0, 0x40000);
+        let base = 0x8000u64;
+        let msg = MmalMessage::new(MsgType::PortSetFormat, 3, vec![1080]);
+        let (words, new_pos) = tx_message_words(0, &msg);
+        for (off, w) in &words {
+            mem.write32(base + off, *w).unwrap();
+        }
+        assert_eq!(new_pos, 64);
+        let (back, next) = read_message(&mem, base, TX_AREA_OFF, 0).unwrap().unwrap();
+        assert_eq!(back, msg);
+        assert_eq!(next, 64);
+        // TX_POS word was included.
+        assert_eq!(mem.read32(base + slot0::TX_POS).unwrap(), 64);
+    }
+
+    #[test]
+    fn device_write_then_read_round_trip() {
+        let mut mem = PhysMem::new(0, 0x40000);
+        let base = 0x4000u64;
+        let m1 = MmalMessage::new(MsgType::ConnectAck, 0, vec![]);
+        let m2 = MmalMessage::new(MsgType::BufferToHost, 9, vec![311_296]);
+        let p1 = write_message(&mut mem, base, RX_AREA_OFF, 0, &m1).unwrap();
+        let p2 = write_message(&mut mem, base, RX_AREA_OFF, p1, &m2).unwrap();
+        assert!(p2 > p1);
+        let (r1, n1) = read_message(&mem, base, RX_AREA_OFF, 0).unwrap().unwrap();
+        let (r2, _n2) = read_message(&mem, base, RX_AREA_OFF, n1).unwrap().unwrap();
+        assert_eq!(r1, m1);
+        assert_eq!(r2, m2);
+    }
+
+    #[test]
+    fn garbage_slot_reads_as_none() {
+        let mem = PhysMem::new(0, 0x40000);
+        // All zeros: type 0 is invalid.
+        assert!(read_message(&mem, 0, TX_AREA_OFF, 0).unwrap().is_none());
+    }
+
+    #[test]
+    fn out_of_bounds_read_is_an_error() {
+        let mem = PhysMem::new(0, 0x1000);
+        assert!(read_message(&mem, 0, RX_AREA_OFF, 0).is_err());
+    }
+}

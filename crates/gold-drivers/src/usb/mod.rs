@@ -1,0 +1,7 @@
+//! The USB gold-driver stack: host-controller driver plus mass-storage class.
+
+pub mod hcd;
+pub mod storage;
+
+pub use hcd::UsbHcd;
+pub use storage::UsbStorageDriver;

@@ -1,0 +1,205 @@
+//! Deterministic virtual clock.
+//!
+//! All devices, drivers, the TEE and the replayer share one
+//! [`VirtualClock`]. Time only advances when someone spends it: an MMIO
+//! access, a DMA transfer, a flash program, a polling delay, a world switch.
+//! This makes every experiment bit-for-bit reproducible while still producing
+//! meaningful throughput/latency numbers for the Figure 5-7 reproductions.
+
+use crate::cost::CostModel;
+
+/// A monotonically increasing virtual clock measured in nanoseconds.
+#[derive(Debug, Clone)]
+pub struct VirtualClock {
+    now_ns: u64,
+    cost: CostModel,
+    /// Number of `advance` calls, useful to sanity-check that a workload
+    /// actually exercised the clock.
+    advances: u64,
+}
+
+impl Default for VirtualClock {
+    fn default() -> Self {
+        Self::new(CostModel::default())
+    }
+}
+
+impl VirtualClock {
+    /// Create a clock starting at time zero with the given cost model.
+    pub fn new(cost: CostModel) -> Self {
+        VirtualClock { now_ns: 0, cost, advances: 0 }
+    }
+
+    /// Current virtual time in nanoseconds.
+    pub fn now_ns(&self) -> u64 {
+        self.now_ns
+    }
+
+    /// Current virtual time in microseconds (truncated).
+    pub fn now_us(&self) -> u64 {
+        self.now_ns / 1_000
+    }
+
+    /// Current virtual time in milliseconds (truncated).
+    pub fn now_ms(&self) -> u64 {
+        self.now_ns / 1_000_000
+    }
+
+    /// The shared cost model.
+    pub fn cost(&self) -> &CostModel {
+        &self.cost
+    }
+
+    /// Replace the cost model (used by ablation benchmarks).
+    pub fn set_cost(&mut self, cost: CostModel) {
+        self.cost = cost;
+    }
+
+    /// Advance time by `ns` nanoseconds.
+    pub fn advance_ns(&mut self, ns: u64) {
+        self.now_ns = self.now_ns.saturating_add(ns);
+        self.advances += 1;
+    }
+
+    /// Advance time by `us` microseconds.
+    pub fn advance_us(&mut self, us: u64) {
+        self.advance_ns(us.saturating_mul(1_000));
+    }
+
+    /// Advance the clock to `deadline_ns` if it is in the future; do nothing
+    /// if the deadline has already passed.
+    pub fn advance_to(&mut self, deadline_ns: u64) {
+        if deadline_ns > self.now_ns {
+            self.now_ns = deadline_ns;
+            self.advances += 1;
+        }
+    }
+
+    /// A deadline `us` microseconds from now.
+    pub fn deadline_after_us(&self, us: u64) -> u64 {
+        self.now_ns.saturating_add(us.saturating_mul(1_000))
+    }
+
+    /// A deadline `ns` nanoseconds from now.
+    pub fn deadline_after_ns(&self, ns: u64) -> u64 {
+        self.now_ns.saturating_add(ns)
+    }
+
+    /// Number of times the clock was advanced.
+    pub fn advance_count(&self) -> u64 {
+        self.advances
+    }
+
+    /// Charge the cost of one MMIO access (cached or uncached mapping).
+    pub fn charge_mmio(&mut self, uncached: bool) {
+        self.advance_ns(self.cost.mmio(uncached));
+    }
+
+    /// Charge one world switch (SMC entry + exit).
+    pub fn charge_world_switch(&mut self) {
+        self.advance_ns(self.cost.world_switch_ns);
+    }
+
+    /// Charge a PIO copy of `words` 32-bit words.
+    pub fn charge_pio_words(&mut self, words: u64) {
+        self.advance_ns(self.cost.dram_word_copy_ns.saturating_mul(words));
+    }
+
+    /// Charge a DMA transfer covering `pages` 4 KiB pages.
+    pub fn charge_dma(&mut self, pages: u64) {
+        let ns = self.cost.dma_transfer(pages);
+        self.advance_ns(ns);
+    }
+}
+
+/// A simple elapsed-time scope: records the start time and reports the delta.
+#[derive(Debug, Clone, Copy)]
+pub struct Stopwatch {
+    start_ns: u64,
+}
+
+impl Stopwatch {
+    /// Start a stopwatch at the clock's current time.
+    pub fn start(clock: &VirtualClock) -> Self {
+        Stopwatch { start_ns: clock.now_ns() }
+    }
+
+    /// Elapsed virtual nanoseconds since the stopwatch started.
+    pub fn elapsed_ns(&self, clock: &VirtualClock) -> u64 {
+        clock.now_ns().saturating_sub(self.start_ns)
+    }
+
+    /// Elapsed virtual microseconds since the stopwatch started.
+    pub fn elapsed_us(&self, clock: &VirtualClock) -> u64 {
+        self.elapsed_ns(clock) / 1_000
+    }
+
+    /// Elapsed virtual milliseconds since the stopwatch started.
+    pub fn elapsed_ms(&self, clock: &VirtualClock) -> u64 {
+        self.elapsed_ns(clock) / 1_000_000
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_at_zero_and_advances() {
+        let mut c = VirtualClock::default();
+        assert_eq!(c.now_ns(), 0);
+        c.advance_ns(1_500);
+        assert_eq!(c.now_ns(), 1_500);
+        assert_eq!(c.now_us(), 1);
+        c.advance_us(10);
+        assert_eq!(c.now_ns(), 11_500);
+        assert_eq!(c.advance_count(), 2);
+    }
+
+    #[test]
+    fn advance_to_is_monotonic() {
+        let mut c = VirtualClock::default();
+        c.advance_ns(100);
+        c.advance_to(50); // in the past -> no-op
+        assert_eq!(c.now_ns(), 100);
+        c.advance_to(400);
+        assert_eq!(c.now_ns(), 400);
+    }
+
+    #[test]
+    fn deadlines_are_relative_to_now() {
+        let mut c = VirtualClock::default();
+        c.advance_us(5);
+        assert_eq!(c.deadline_after_us(10), 15_000);
+        assert_eq!(c.deadline_after_ns(1), 5_001);
+    }
+
+    #[test]
+    fn charging_uses_the_cost_model() {
+        let mut c = VirtualClock::default();
+        let cached = c.cost().mmio_access_ns;
+        let uncached = c.cost().mmio_uncached_ns;
+        c.charge_mmio(false);
+        assert_eq!(c.now_ns(), cached);
+        c.charge_mmio(true);
+        assert_eq!(c.now_ns(), cached + uncached);
+    }
+
+    #[test]
+    fn stopwatch_measures_deltas() {
+        let mut c = VirtualClock::default();
+        c.advance_us(3);
+        let sw = Stopwatch::start(&c);
+        c.advance_us(7);
+        assert_eq!(sw.elapsed_us(&c), 7);
+        assert_eq!(sw.elapsed_ns(&c), 7_000);
+    }
+
+    #[test]
+    fn saturating_never_overflows() {
+        let mut c = VirtualClock::default();
+        c.advance_ns(u64::MAX);
+        c.advance_ns(u64::MAX);
+        assert_eq!(c.now_ns(), u64::MAX);
+    }
+}

@@ -1,0 +1,127 @@
+//! Error types for the hardware substrate.
+
+use std::fmt;
+
+/// Errors raised by the hardware substrate.
+///
+/// These model real bus/hardware failure modes: unmapped accesses, TZASC
+/// permission faults, timeouts while waiting for device progress, and
+/// out-of-bounds DMA.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HwError {
+    /// The physical address is not claimed by any device or memory region.
+    Unmapped {
+        /// Faulting physical address.
+        addr: u64,
+    },
+    /// The access violated the address-space controller (TZASC) policy,
+    /// e.g. the normal world touched a device assigned to the secure world.
+    PermissionDenied {
+        /// Faulting physical address.
+        addr: u64,
+        /// World that attempted the access.
+        world: crate::bus::World,
+    },
+    /// A DMA or memory access fell outside the backing region.
+    OutOfBounds {
+        /// Faulting physical address.
+        addr: u64,
+        /// Number of bytes requested.
+        len: usize,
+    },
+    /// The access was not naturally aligned for its width.
+    Misaligned {
+        /// Faulting physical address.
+        addr: u64,
+        /// Required alignment in bytes.
+        align: u64,
+    },
+    /// Waiting for an interrupt or a register condition timed out.
+    Timeout {
+        /// Human-readable description of what was being waited for.
+        what: String,
+        /// How long (virtual microseconds) we waited before giving up.
+        waited_us: u64,
+    },
+    /// A device rejected the operation (e.g. command sent while busy).
+    DeviceError {
+        /// Device name.
+        device: String,
+        /// Reason string from the device model.
+        reason: String,
+    },
+    /// No device with the requested name is attached to the bus.
+    NoSuchDevice {
+        /// Requested device name.
+        name: String,
+    },
+}
+
+impl fmt::Display for HwError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HwError::Unmapped { addr } => write!(f, "unmapped physical address {addr:#x}"),
+            HwError::PermissionDenied { addr, world } => {
+                write!(f, "TZASC permission denied at {addr:#x} from {world:?}")
+            }
+            HwError::OutOfBounds { addr, len } => {
+                write!(f, "access out of bounds at {addr:#x} (+{len} bytes)")
+            }
+            HwError::Misaligned { addr, align } => {
+                write!(f, "misaligned access at {addr:#x} (requires {align}-byte alignment)")
+            }
+            HwError::Timeout { what, waited_us } => {
+                write!(f, "timeout after {waited_us} us waiting for {what}")
+            }
+            HwError::DeviceError { device, reason } => {
+                write!(f, "device {device}: {reason}")
+            }
+            HwError::NoSuchDevice { name } => write!(f, "no such device: {name}"),
+        }
+    }
+}
+
+impl std::error::Error for HwError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bus::World;
+
+    #[test]
+    fn display_formats_are_informative() {
+        let e = HwError::Unmapped { addr: 0x3f30_0000 };
+        assert!(e.to_string().contains("0x3f300000"));
+
+        let e = HwError::PermissionDenied { addr: 0x10, world: World::NonSecure };
+        assert!(e.to_string().contains("NonSecure"));
+
+        let e = HwError::Timeout { what: "SDHSTS busy".into(), waited_us: 500 };
+        assert!(e.to_string().contains("500 us"));
+        assert!(e.to_string().contains("SDHSTS"));
+
+        let e = HwError::OutOfBounds { addr: 0x100, len: 4096 };
+        assert!(e.to_string().contains("4096"));
+
+        let e = HwError::Misaligned { addr: 0x3, align: 4 };
+        assert!(e.to_string().contains("4-byte"));
+
+        let e = HwError::DeviceError { device: "sdhost".into(), reason: "busy".into() };
+        assert!(e.to_string().contains("sdhost"));
+
+        let e = HwError::NoSuchDevice { name: "nic".into() };
+        assert!(e.to_string().contains("nic"));
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(
+            HwError::Unmapped { addr: 1 },
+            HwError::Unmapped { addr: 1 }
+        );
+        assert_ne!(
+            HwError::Unmapped { addr: 1 },
+            HwError::Unmapped { addr: 2 }
+        );
+    }
+}

@@ -1,0 +1,58 @@
+//! # dlt-hw — hardware substrate for the driverlet reproduction
+//!
+//! This crate models the SoC-level hardware that the paper's record/replay
+//! machinery sits on top of:
+//!
+//! * a [`clock::VirtualClock`] with a calibrated [`cost::CostModel`] so that
+//!   every experiment runs in deterministic virtual time,
+//! * a flat [`mem::PhysMem`] physical memory used for DMA descriptors, data
+//!   pages and shared-memory message queues,
+//! * an [`irq::IrqController`] with per-line assertion deadlines,
+//! * the [`device::MmioDevice`] trait implemented by every device simulator
+//!   (MMC controller, USB host controller, VC4/VCHIQ accelerator), and
+//! * a [`bus::SystemBus`] that maps devices into the physical address space,
+//!   charges access costs, and enforces secure-world-only assignment the way
+//!   a TZASC does on a real TrustZone SoC.
+//!
+//! Everything is single-threaded and deterministic: devices make progress when
+//! they are accessed, ticked, or when the bus advances virtual time while a
+//! driver polls or waits for an interrupt. This mirrors the paper's system
+//! model (§3.1): devices are reactive FSMs that never initiate requests on
+//! their own.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bus;
+pub mod clock;
+pub mod cost;
+pub mod device;
+pub mod error;
+pub mod irq;
+pub mod mem;
+
+use std::sync::Arc;
+
+/// Shared, mutably lockable handle used to wire devices, memory, the clock and
+/// the interrupt controller together.
+///
+/// The whole platform is single-threaded; the mutex only provides interior
+/// mutability with runtime borrow discipline (and keeps the types `Send` so
+/// Criterion benches can own them).
+pub type Shared<T> = Arc<parking_lot::Mutex<T>>;
+
+/// Wrap a value in a [`Shared`] handle.
+pub fn shared<T>(value: T) -> Shared<T> {
+    Arc::new(parking_lot::Mutex::new(value))
+}
+
+pub use bus::{Platform, SystemBus, World};
+pub use clock::VirtualClock;
+pub use cost::CostModel;
+pub use device::MmioDevice;
+pub use error::HwError;
+pub use irq::IrqController;
+pub use mem::{DmaRegion, PhysMem};
+
+/// Result alias used throughout the hardware substrate.
+pub type HwResult<T> = Result<T, HwError>;

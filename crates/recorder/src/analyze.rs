@@ -1,0 +1,852 @@
+//! Differential concolic analysis: turning aligned traces into a template.
+//!
+//! The recorder runs the same record entry several times with perturbed
+//! parameters and a skewed DMA allocator. Values that stay constant become
+//! constraints; values that track a parameter, a DMA base or an earlier
+//! device-produced value become symbolic expressions (the taint sinks of
+//! Tables 4 and 6); values that track the payload buffer become user-data
+//! sinks; and perturbations that change the trace *shape* mark the path
+//! boundaries that become parameter constraints.
+
+use std::collections::HashMap;
+
+use dlt_template::{
+    Constraint, DataDirection, DmaRole, Event, Iface, ParamSpec, ReadSink, RecordedEvent,
+    SourceSite, SymExpr, Template, TemplateMeta,
+};
+
+use crate::trace::{Trace, TraceOp};
+use crate::RecorderError;
+
+/// One executed record run: the parameters used, the payload buffer before
+/// and after, and the interaction trace.
+#[derive(Debug, Clone)]
+pub struct RecordRun {
+    /// Parameter values for this run.
+    pub params: HashMap<String, u64>,
+    /// Payload buffer contents before the run (what a write sends).
+    pub input_buf: Vec<u8>,
+    /// Payload buffer contents after the run (what a read produced).
+    pub output_buf: Vec<u8>,
+    /// The interaction trace.
+    pub trace: Trace,
+}
+
+/// Static description of the template being synthesised (provided by the
+/// record campaign).
+#[derive(Debug, Clone)]
+pub struct TemplateSpec {
+    /// Template name.
+    pub name: String,
+    /// Replay entry name.
+    pub entry: String,
+    /// Bus device name.
+    pub device: String,
+    /// Parameter constraints (from the campaign's boundary probing).
+    pub params: Vec<ParamSpec>,
+    /// Payload direction.
+    pub direction: DataDirection,
+    /// Payload length expression.
+    pub data_len: SymExpr,
+    /// Interrupt line used by the device.
+    pub irq_line: Option<u32>,
+    /// Register-name lookup for emitted events.
+    pub reg_names: HashMap<u64, String>,
+    /// Gold-driver tag used as the recording-site "file".
+    pub driver_tag: String,
+}
+
+/// Probe result used by boundary bisection.
+pub enum ProbeOutcome {
+    /// The probe run followed the recorded path.
+    SamePath,
+    /// The probe run diverged (different shape or driver error).
+    Diverged,
+}
+
+/// Bisect the largest value in `[lo, hi]` for which `probe` reports the same
+/// path; `lo` must be known-good. Used to discover range constraints such as
+/// the maximum block id (Table 4's `blkid <= 0x1df77f8`).
+pub fn bisect_upper_bound<F: FnMut(u64) -> ProbeOutcome>(lo: u64, hi: u64, mut probe: F) -> u64 {
+    let mut good = lo;
+    let mut bad = hi;
+    if matches!(probe(hi), ProbeOutcome::SamePath) {
+        return hi;
+    }
+    while bad - good > 1 {
+        let mid = good + (bad - good) / 2;
+        match probe(mid) {
+            ProbeOutcome::SamePath => good = mid,
+            ProbeOutcome::Diverged => bad = mid,
+        }
+    }
+    good
+}
+
+/// Fold ad-hoc polling loops — maximal repetitions of `[read(X), delay(d)]`
+/// pairs — into a single `PollReg` op (the static-loop-analysis substitute
+/// for loops that do not use the standard `readl_poll` helper).
+pub fn fold_adhoc_loops(trace: &Trace) -> Trace {
+    let mut out = Trace { ops: Vec::new(), allocs: trace.allocs.clone() };
+    let ops = &trace.ops;
+    let mut i = 0;
+    while i < ops.len() {
+        let is_pair = |j: usize| -> Option<(u64, u32, u64)> {
+            if j + 1 < ops.len() {
+                if let (TraceOp::ReadReg { addr, value }, TraceOp::Delay { us }) = (&ops[j], &ops[j + 1]) {
+                    return Some((*addr, *value, *us));
+                }
+            }
+            None
+        };
+        if let Some((addr, first_val, us)) = is_pair(i) {
+            // Count how many consecutive pairs poll the same register.
+            let mut k = i;
+            let mut iterations = 0u64;
+            while let Some((a, _v, u)) = is_pair(k) {
+                if a != addr || u != us {
+                    break;
+                }
+                iterations += 1;
+                k += 2;
+            }
+            // A final read of the same register terminates the loop.
+            let final_read = matches!(&ops.get(k), Some(TraceOp::ReadReg { addr: a, .. }) if *a == addr);
+            if iterations >= 2 && final_read {
+                let final_val = match &ops[k] {
+                    TraceOp::ReadReg { value, .. } => *value,
+                    _ => unreachable!(),
+                };
+                let mask = final_val ^ first_val;
+                out.ops.push(TraceOp::PollReg {
+                    addr,
+                    mask,
+                    expect: final_val & mask,
+                    delay_us: us,
+                    iterations: iterations + 1,
+                });
+                i = k + 1;
+                continue;
+            }
+        }
+        out.ops.push(ops[i].clone());
+        i += 1;
+    }
+    out
+}
+
+/// The value carried by a trace op, if any.
+fn op_value(op: &TraceOp) -> Option<u64> {
+    match op {
+        TraceOp::ReadReg { value, .. }
+        | TraceOp::WriteReg { value, .. }
+        | TraceOp::ShmRead { value, .. }
+        | TraceOp::ShmWrite { value, .. } => Some(u64::from(*value)),
+        TraceOp::GetTs { value } => Some(*value),
+        TraceOp::DmaAlloc { len, .. } => Some(*len as u64),
+        TraceOp::CopyToDma { data, .. } | TraceOp::CopyFromDma { data, .. } => Some(data.len() as u64),
+        _ => None,
+    }
+}
+
+/// Whether the op is an input whose value could be captured for later use.
+fn is_capturable_input(op: &TraceOp) -> bool {
+    matches!(op, TraceOp::ReadReg { .. } | TraceOp::ShmRead { .. } | TraceOp::GetTs { .. })
+}
+
+struct Synth<'a> {
+    runs: Vec<&'a RecordRun>,
+    /// Capture marks: position -> capture name.
+    captures: HashMap<usize, String>,
+}
+
+impl<'a> Synth<'a> {
+    fn values_at(&self, pos: usize) -> Option<Vec<u64>> {
+        self.runs.iter().map(|r| op_value(&r.trace.ops[pos])).collect()
+    }
+
+    fn alloc_base(&self, run: usize, alloc_idx: usize) -> Option<u64> {
+        self.runs[run].trace.allocs.get(alloc_idx).map(|r| r.base)
+    }
+
+    /// Try to express `vals` (one per run) as an affine function of a
+    /// parameter, a DMA base, or an earlier varying input. `pos` is the
+    /// current position (captures may only reference strictly earlier ones).
+    fn synth_expr(&mut self, vals: &[u64], pos: usize) -> SymExpr {
+        // 1. Constant.
+        if vals.windows(2).all(|w| w[0] == w[1]) {
+            return SymExpr::Const(vals[0]);
+        }
+        // 2. Affine in a parameter.
+        let param_names: Vec<String> = self.runs[0].params.keys().cloned().collect();
+        for name in &param_names {
+            let ps: Vec<u64> = self.runs.iter().map(|r| *r.params.get(name).unwrap_or(&0)).collect();
+            if let Some(expr) = affine(&ps, vals, || SymExpr::Param(name.clone())) {
+                return expr;
+            }
+        }
+        // 3. Offset from a DMA base.
+        let num_allocs = self.runs[0].trace.allocs.len();
+        for k in 0..num_allocs {
+            let bases: Vec<u64> = (0..self.runs.len())
+                .map(|r| self.alloc_base(r, k).unwrap_or(0))
+                .collect();
+            if bases.windows(2).all(|w| w[0] == w[1]) {
+                continue; // the skew did not move it; cannot attribute safely
+            }
+            if let Some(expr) = affine_unit(&bases, vals, || SymExpr::DmaBase(k)) {
+                return expr;
+            }
+        }
+        // 4. Offset from an earlier varying input (device-assigned value).
+        for j in (0..pos).rev() {
+            if !is_capturable_input(&self.runs[0].trace.ops[j]) {
+                continue;
+            }
+            let Some(ws) = self.values_at(j) else { continue };
+            if ws.windows(2).all(|w| w[0] == w[1]) {
+                continue; // constant: not a useful capture source
+            }
+            if let Some(expr) = affine_unit(&ws, vals, || {
+                SymExpr::Captured(format!("cap_{j}"))
+            }) {
+                self.captures.entry(j).or_insert_with(|| format!("cap_{j}"));
+                return expr;
+            }
+        }
+        // 5. Sound fallback: replay the concrete value of the base run.
+        SymExpr::Const(vals[0])
+    }
+
+    /// Byte-level decomposition for output values that pack parameter or
+    /// captured bytes in a non-affine way (e.g. the big-endian LBA inside a
+    /// SCSI CDB word): each byte of the value is either constant or equal to
+    /// `(source >> shift) & 0xff` for some source and byte shift.
+    fn synth_bytes(&mut self, vals: &[u64], pos: usize) -> Option<SymExpr> {
+        let nruns = self.runs.len();
+        // Candidate sources: parameters and earlier varying inputs.
+        let mut sources: Vec<(SymExpr, Vec<u64>, Option<usize>)> = Vec::new();
+        for name in self.runs[0].params.keys() {
+            let ps: Vec<u64> = self.runs.iter().map(|r| *r.params.get(name).unwrap_or(&0)).collect();
+            if ps.windows(2).any(|w| w[0] != w[1]) {
+                sources.push((SymExpr::Param(name.clone()), ps, None));
+            }
+        }
+        for j in 0..pos {
+            if !is_capturable_input(&self.runs[0].trace.ops[j]) {
+                continue;
+            }
+            if let Some(ws) = self.values_at(j) {
+                if ws.windows(2).any(|w| w[0] != w[1]) {
+                    sources.push((SymExpr::Captured(format!("cap_{j}")), ws, Some(j)));
+                }
+            }
+        }
+        if sources.is_empty() {
+            return None;
+        }
+
+        let mut const_part: u64 = 0;
+        let mut terms: Vec<SymExpr> = Vec::new();
+        let mut used_captures: Vec<usize> = Vec::new();
+        for byte_pos in 0..4u32 {
+            let bytes: Vec<u64> = vals.iter().map(|v| (v >> (8 * byte_pos)) & 0xff).collect();
+            if bytes.windows(2).all(|w| w[0] == w[1]) {
+                const_part |= bytes[0] << (8 * byte_pos);
+                continue;
+            }
+            let mut explained = false;
+            'src: for (expr, svals, cap) in &sources {
+                for shift in (0..64).step_by(8) {
+                    let ok = (0..nruns).all(|r| (svals[r] >> shift) & 0xff == bytes[r]);
+                    if ok {
+                        let byte_expr = SymExpr::And(
+                            Box::new(SymExpr::Shr(Box::new(expr.clone()), shift)),
+                            Box::new(SymExpr::Const(0xff)),
+                        );
+                        let shifted = if byte_pos == 0 {
+                            byte_expr
+                        } else {
+                            SymExpr::Shl(Box::new(byte_expr), 8 * byte_pos)
+                        };
+                        terms.push(shifted);
+                        if let Some(j) = cap {
+                            used_captures.push(*j);
+                        }
+                        explained = true;
+                        break 'src;
+                    }
+                }
+            }
+            if !explained {
+                return None;
+            }
+        }
+        for j in used_captures {
+            self.captures.entry(j).or_insert_with(|| format!("cap_{j}"));
+        }
+        let mut expr = SymExpr::Const(const_part);
+        for t in terms {
+            expr = SymExpr::Or(Box::new(expr), Box::new(t));
+        }
+        Some(expr)
+    }
+}
+
+/// Affine fit `v = a*p + c` over all runs (a >= 0 small, wrapping c).
+fn affine(ps: &[u64], vals: &[u64], mk: impl Fn() -> SymExpr) -> Option<SymExpr> {
+    // Need at least two distinct parameter values.
+    let (i, j) = distinct_pair(ps)?;
+    let dp = ps[j].wrapping_sub(ps[i]);
+    let dv = vals[j].wrapping_sub(vals[i]);
+    if dp == 0 {
+        return None;
+    }
+    if dv % dp != 0 {
+        return None;
+    }
+    let a = dv / dp;
+    if a > u32::MAX as u64 {
+        return None;
+    }
+    let c = vals[i].wrapping_sub(a.wrapping_mul(ps[i]));
+    for k in 0..ps.len() {
+        if a.wrapping_mul(ps[k]).wrapping_add(c) != vals[k] {
+            return None;
+        }
+    }
+    if a == 0 {
+        return None;
+    }
+    let base = if a == 1 {
+        mk()
+    } else if a.is_power_of_two() {
+        SymExpr::Shl(Box::new(mk()), a.trailing_zeros())
+    } else {
+        SymExpr::Mul(Box::new(mk()), Box::new(SymExpr::Const(a)))
+    };
+    Some(if c == 0 { base } else { SymExpr::Add(Box::new(base), Box::new(SymExpr::Const(c))) })
+}
+
+/// Affine fit with unit slope only (`v = p + c`), for DMA bases and captures.
+fn affine_unit(ps: &[u64], vals: &[u64], mk: impl Fn() -> SymExpr) -> Option<SymExpr> {
+    let c = vals[0].wrapping_sub(ps[0]);
+    for k in 0..ps.len() {
+        if ps[k].wrapping_add(c) != vals[k] {
+            return None;
+        }
+    }
+    Some(if c == 0 {
+        mk()
+    } else {
+        SymExpr::Add(Box::new(mk()), Box::new(SymExpr::Const(c)))
+    })
+}
+
+fn distinct_pair(vals: &[u64]) -> Option<(usize, usize)> {
+    for i in 0..vals.len() {
+        for j in i + 1..vals.len() {
+            if vals[i] != vals[j] {
+                return Some((i, j));
+            }
+        }
+    }
+    None
+}
+
+/// Find the byte offset of `needle` inside `hay`, scanning 4-byte-aligned
+/// offsets and using the first 8 bytes as a fast filter.
+fn find_payload_offset(hay: &[u8], needle: &[u8]) -> Option<u64> {
+    if needle.is_empty() || needle.len() > hay.len() {
+        return None;
+    }
+    let probe = &needle[..needle.len().min(8)];
+    let mut found = None;
+    let mut off = 0usize;
+    while off + needle.len() <= hay.len() {
+        if &hay[off..off + probe.len()] == probe && &hay[off..off + needle.len()] == needle {
+            if found.is_some() {
+                return None; // ambiguous
+            }
+            found = Some(off as u64);
+        }
+        off += 4;
+    }
+    found
+}
+
+/// Synthesise an interaction template from a base run and its variants.
+pub fn synthesize_template(
+    spec: &TemplateSpec,
+    base: &RecordRun,
+    variants: &[RecordRun],
+) -> Result<Template, RecorderError> {
+    for (i, v) in variants.iter().enumerate() {
+        if !base.trace.same_shape(&v.trace) {
+            return Err(RecorderError::Misaligned(format!(
+                "variant {i} diverged from the base run ({} vs {} ops)",
+                v.trace.ops.len(),
+                base.trace.ops.len()
+            )));
+        }
+    }
+    let mut runs = vec![base];
+    runs.extend(variants.iter());
+    let mut synth = Synth { runs, captures: HashMap::new() };
+    let n = base.trace.ops.len();
+
+    // Pass 1: synthesise output expressions, input constraints and payload
+    // sinks (this marks captures on earlier inputs).
+    let mut out_exprs: HashMap<usize, SymExpr> = HashMap::new();
+    let mut in_constraints: HashMap<usize, Constraint> = HashMap::new();
+    let mut user_data_reads: HashMap<usize, u64> = HashMap::new();
+    let mut copy_infos: HashMap<usize, (u64, SymExpr)> = HashMap::new(); // user_offset, len expr
+    let mut alloc_lens: HashMap<usize, SymExpr> = HashMap::new();
+
+    for pos in 0..n {
+        let op = &base.trace.ops[pos];
+        match op {
+            TraceOp::WriteReg { .. } | TraceOp::ShmWrite { .. } => {
+                let vals = synth.values_at(pos).unwrap();
+                let varies = vals.windows(2).any(|w| w[0] != w[1]);
+                let mut expr = synth.synth_expr(&vals, pos);
+                if varies && matches!(expr, SymExpr::Const(_)) {
+                    if let Some(e) = synth.synth_bytes(&vals, pos) {
+                        expr = e;
+                    }
+                }
+                out_exprs.insert(pos, expr);
+            }
+            TraceOp::DmaAlloc { .. } => {
+                let vals = synth.values_at(pos).unwrap();
+                let expr = synth.synth_expr(&vals, pos);
+                alloc_lens.insert(pos, expr);
+            }
+            TraceOp::ReadReg { .. } | TraceOp::ShmRead { .. } => {
+                let vals = synth.values_at(pos).unwrap();
+                if vals.windows(2).all(|w| w[0] == w[1]) {
+                    in_constraints.insert(pos, Constraint::eq_const(vals[0]));
+                } else {
+                    // Payload first: IO data must never be constrained.
+                    let mut payload = None;
+                    if spec.direction == DataDirection::DeviceToUser {
+                        let needle = (vals[0] as u32).to_le_bytes();
+                        if let Some(off) = find_payload_offset(&base.output_buf, &needle) {
+                            // Verify the offset in every variant run.
+                            let consistent = variants.iter().all(|vr| {
+                                let vv = op_value(&vr.trace.ops[pos]).unwrap_or(0) as u32;
+                                vr.output_buf.len() > (off as usize + 3)
+                                    && vr.output_buf[off as usize..off as usize + 4]
+                                        == vv.to_le_bytes()
+                            });
+                            if consistent {
+                                payload = Some(off);
+                            }
+                        }
+                    }
+                    if let Some(off) = payload {
+                        user_data_reads.insert(pos, off);
+                        in_constraints.insert(pos, Constraint::Any);
+                    } else {
+                        // Otherwise try to explain the variation; unexplained
+                        // variation is treated as non-state-changing.
+                        let expr = synth.synth_expr(&vals, pos);
+                        match expr {
+                            SymExpr::Const(_) => {
+                                in_constraints.insert(pos, Constraint::Any);
+                            }
+                            e => {
+                                in_constraints.insert(pos, Constraint::Eq(e));
+                            }
+                        }
+                    }
+                }
+            }
+            TraceOp::CopyToDma { data, .. } => {
+                let user_off = find_payload_offset(&base.input_buf, data).unwrap_or(0);
+                let vals = synth.values_at(pos).unwrap();
+                let len_expr = synth.synth_expr(&vals, pos);
+                copy_infos.insert(pos, (user_off, len_expr));
+            }
+            TraceOp::CopyFromDma { data, .. } => {
+                let user_off = find_payload_offset(&base.output_buf, data).unwrap_or(0);
+                let vals = synth.values_at(pos).unwrap();
+                let len_expr = synth.synth_expr(&vals, pos);
+                copy_infos.insert(pos, (user_off, len_expr));
+            }
+            _ => {}
+        }
+    }
+
+    // Determine DMA allocation roles from how the template uses them.
+    let num_allocs = base.trace.allocs.len();
+    let mut roles = vec![DmaRole::Other; num_allocs];
+    let mut alloc_counter = 0usize;
+    let mut alloc_at_pos: HashMap<usize, usize> = HashMap::new();
+    for (pos, op) in base.trace.ops.iter().enumerate() {
+        if let TraceOp::DmaAlloc { .. } = op {
+            alloc_at_pos.insert(pos, alloc_counter);
+            alloc_counter += 1;
+        }
+    }
+    for op in &base.trace.ops {
+        match op {
+            TraceOp::CopyToDma { alloc, .. } if *alloc < num_allocs => roles[*alloc] = DmaRole::DataOut,
+            TraceOp::CopyFromDma { alloc, .. } if *alloc < num_allocs => roles[*alloc] = DmaRole::DataIn,
+            _ => {}
+        }
+    }
+    for (k, role) in roles.iter_mut().enumerate() {
+        if *role != DmaRole::Other {
+            continue;
+        }
+        let touched_by_shm = base.trace.ops.iter().any(|o| {
+            matches!(o, TraceOp::ShmRead { alloc, .. } | TraceOp::ShmWrite { alloc, .. } if *alloc == k)
+        });
+        if touched_by_shm {
+            *role = if base.trace.allocs[k].len >= 0x1_0000 { DmaRole::Queue } else { DmaRole::Descriptor };
+        }
+    }
+
+    // Pass 2: emit events in order.
+    let mut events = Vec::with_capacity(n);
+    for (pos, op) in base.trace.ops.iter().enumerate() {
+        let site = SourceSite::new(&spec.driver_tag, pos as u32 + 1);
+        let reg_iface = |addr: &u64| Iface::Reg {
+            addr: *addr,
+            name: spec
+                .reg_names
+                .get(addr)
+                .cloned()
+                .unwrap_or_else(|| format!("REG_{addr:#x}")),
+        };
+        let sink_for_input = |pos: usize| -> ReadSink {
+            if let Some(name) = synth.captures.get(&pos) {
+                ReadSink::Capture(name.clone())
+            } else if let Some(off) = user_data_reads.get(&pos) {
+                ReadSink::UserData { offset: *off }
+            } else {
+                ReadSink::Discard
+            }
+        };
+        let event = match op {
+            TraceOp::ReadReg { addr, .. } => Event::Read {
+                iface: reg_iface(addr),
+                constraint: in_constraints.get(&pos).cloned().unwrap_or(Constraint::Any),
+                len: 4,
+                sink: sink_for_input(pos),
+            },
+            TraceOp::ShmRead { alloc, offset, .. } => Event::Read {
+                iface: Iface::Shm { alloc: *alloc, offset: *offset },
+                constraint: in_constraints.get(&pos).cloned().unwrap_or(Constraint::Any),
+                len: 4,
+                sink: sink_for_input(pos),
+            },
+            TraceOp::WriteReg { addr, .. } => Event::Write {
+                iface: reg_iface(addr),
+                value: out_exprs.get(&pos).cloned().unwrap_or(SymExpr::Const(0)),
+            },
+            TraceOp::ShmWrite { alloc, offset, .. } => Event::Write {
+                iface: Iface::Shm { alloc: *alloc, offset: *offset },
+                value: out_exprs.get(&pos).cloned().unwrap_or(SymExpr::Const(0)),
+            },
+            TraceOp::PollReg { addr, mask, expect, delay_us, iterations } => Event::Poll {
+                iface: reg_iface(addr),
+                body: vec![],
+                cond: Constraint::MaskEq { mask: u64::from(*mask), expected: u64::from(*expect) },
+                delay_us: *delay_us,
+                max_iters: iterations * 8 + 64,
+            },
+            TraceOp::WaitIrq { line, timeout_us } => {
+                Event::WaitForIrq { line: *line, timeout_us: *timeout_us }
+            }
+            TraceOp::DmaAlloc { .. } => {
+                let idx = alloc_at_pos[&pos];
+                Event::DmaAlloc {
+                    len: alloc_lens.get(&pos).cloned().unwrap_or(SymExpr::Const(0)),
+                    role: roles[idx],
+                }
+            }
+            TraceOp::GetRand { len } => Event::GetRandBytes { len: *len as u32, sink: ReadSink::Discard },
+            TraceOp::GetTs { .. } => Event::GetTs { len: 8, sink: sink_for_input(pos) },
+            TraceOp::Delay { us } => Event::Delay { us: *us },
+            TraceOp::CopyToDma { alloc, offset, .. } => {
+                let (user_offset, len) = copy_infos.get(&pos).cloned().unwrap();
+                Event::CopyUserToDma { alloc: *alloc, offset: *offset, user_offset, len }
+            }
+            TraceOp::CopyFromDma { alloc, offset, .. } => {
+                let (user_offset, len) = copy_infos.get(&pos).cloned().unwrap();
+                Event::CopyDmaToUser { alloc: *alloc, offset: *offset, user_offset, len }
+            }
+        };
+        events.push(RecordedEvent::new(event, site));
+    }
+
+    let template = Template {
+        name: spec.name.clone(),
+        entry: spec.entry.clone(),
+        device: spec.device.clone(),
+        params: spec.params.clone(),
+        direction: spec.direction,
+        data_len: spec.data_len.clone(),
+        irq_line: spec.irq_line,
+        events,
+        meta: TemplateMeta {
+            recorded_with: base.params.clone(),
+            notes: format!(
+                "synthesised from {} runs; {} captures; {} events",
+                variants.len() + 1,
+                synth.captures.len(),
+                n
+            ),
+        },
+    };
+    template.validate().map_err(RecorderError::Invalid)?;
+    Ok(template)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dlt_hw::DmaRegion;
+
+    fn run_with(
+        params: &[(&str, u64)],
+        ops: Vec<TraceOp>,
+        allocs: Vec<DmaRegion>,
+        output_buf: Vec<u8>,
+    ) -> RecordRun {
+        RecordRun {
+            params: params.iter().map(|(k, v)| (k.to_string(), *v)).collect(),
+            input_buf: vec![0u8; output_buf.len()],
+            output_buf,
+            trace: Trace { ops, allocs },
+        }
+    }
+
+    fn spec(params: Vec<ParamSpec>) -> TemplateSpec {
+        TemplateSpec {
+            name: "t".into(),
+            entry: "replay_test".into(),
+            device: "stub".into(),
+            params,
+            direction: DataDirection::DeviceToUser,
+            data_len: SymExpr::Const(0),
+            irq_line: Some(1),
+            reg_names: [(0x1000u64, "CTRL".to_string()), (0x1004u64, "ARG".to_string())]
+                .into_iter()
+                .collect(),
+            driver_tag: "stub-driver.c".into(),
+        }
+    }
+
+    #[test]
+    fn bisect_finds_the_boundary() {
+        // Path changes above 1000.
+        let bound = bisect_upper_bound(1, 1 << 20, |v| {
+            if v <= 1000 {
+                ProbeOutcome::SamePath
+            } else {
+                ProbeOutcome::Diverged
+            }
+        });
+        assert_eq!(bound, 1000);
+        assert_eq!(bisect_upper_bound(1, 50, |_| ProbeOutcome::SamePath), 50);
+    }
+
+    #[test]
+    fn constant_writes_stay_constant_and_param_writes_generalise() {
+        let mk = |blkid: u64| {
+            run_with(
+                &[("blkid", blkid)],
+                vec![
+                    TraceOp::WriteReg { addr: 0x1000, value: 0x8012 },
+                    TraceOp::WriteReg { addr: 0x1004, value: blkid as u32 },
+                ],
+                vec![],
+                vec![],
+            )
+        };
+        let base = mk(100);
+        let t = synthesize_template(
+            &spec(vec![ParamSpec { name: "blkid".into(), constraint: Constraint::Any }]),
+            &base,
+            &[mk(2000), mk(77)],
+        )
+        .unwrap();
+        match &t.events[0].event {
+            Event::Write { value, .. } => assert_eq!(*value, SymExpr::Const(0x8012)),
+            other => panic!("unexpected {other:?}"),
+        }
+        match &t.events[1].event {
+            Event::Write { value, .. } => assert_eq!(*value, SymExpr::Param("blkid".into())),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn affine_scaling_and_offsets_are_discovered() {
+        // value = blkcnt * 512 + 16
+        let mk = |blkcnt: u64| {
+            run_with(
+                &[("blkcnt", blkcnt)],
+                vec![TraceOp::WriteReg { addr: 0x1000, value: (blkcnt * 512 + 16) as u32 }],
+                vec![],
+                vec![],
+            )
+        };
+        let t = synthesize_template(
+            &spec(vec![ParamSpec { name: "blkcnt".into(), constraint: Constraint::Any }]),
+            &mk(1),
+            &[mk(4), mk(32)],
+        )
+        .unwrap();
+        match &t.events[0].event {
+            Event::Write { value, .. } => {
+                let env = dlt_template::EvalEnv::default().param("blkcnt", 8);
+                assert_eq!(value.eval(&env), Some(8 * 512 + 16));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn dma_base_offsets_and_captures_are_discovered() {
+        // The driver allocates a descriptor, reads a device-assigned size,
+        // then writes base+8 and echoes the size.
+        let mk = |skew: u64, dev_val: u32| {
+            run_with(
+                &[("x", 1)],
+                vec![
+                    TraceOp::DmaAlloc { len: 64, base: 0x1_0000 + skew },
+                    TraceOp::ShmRead { alloc: 0, offset: 4, value: dev_val },
+                    TraceOp::WriteReg { addr: 0x1000, value: (0x1_0000 + skew + 8) as u32 },
+                    TraceOp::WriteReg { addr: 0x1004, value: dev_val },
+                ],
+                vec![DmaRegion::new(0x1_0000 + skew, 64)],
+                vec![],
+            )
+        };
+        let t = synthesize_template(
+            &spec(vec![ParamSpec { name: "x".into(), constraint: Constraint::Any }]),
+            &mk(0, 300_000),
+            &[mk(0x4000, 620_000), mk(0x8000, 1_000_000)],
+        )
+        .unwrap();
+        // Write 1: dma[0] + 8.
+        match &t.events[2].event {
+            Event::Write { value, .. } => {
+                assert_eq!(
+                    *value,
+                    SymExpr::Add(Box::new(SymExpr::DmaBase(0)), Box::new(SymExpr::Const(8)))
+                );
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // Write 2 references the captured read; the read is marked as a capture.
+        match &t.events[3].event {
+            Event::Write { value, .. } => match value {
+                SymExpr::Captured(name) => assert_eq!(name, "cap_1"),
+                other => panic!("expected a capture, got {other:?}"),
+            },
+            other => panic!("unexpected {other:?}"),
+        }
+        match &t.events[1].event {
+            Event::Read { sink, .. } => assert!(matches!(sink, ReadSink::Capture(_))),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn constant_reads_become_constraints_and_payload_reads_become_user_data() {
+        let payload = |seed: u32| -> Vec<u8> {
+            (0..64u32).flat_map(|i| (i ^ seed).to_le_bytes()).collect()
+        };
+        let mk = |seed: u32| {
+            let buf = payload(seed);
+            let tail = u32::from_le_bytes([buf[60], buf[61], buf[62], buf[63]]);
+            run_with(
+                &[("x", 1)],
+                vec![
+                    TraceOp::ReadReg { addr: 0x1000, value: 0x200 },
+                    TraceOp::ReadReg { addr: 0x1004, value: tail },
+                ],
+                vec![],
+                buf,
+            )
+        };
+        let t = synthesize_template(
+            &spec(vec![ParamSpec { name: "x".into(), constraint: Constraint::Any }]),
+            &mk(0xaaaa_0001),
+            &[mk(0x5555_0002), mk(0x1234_5678)],
+        )
+        .unwrap();
+        match &t.events[0].event {
+            Event::Read { constraint, .. } => assert_eq!(*constraint, Constraint::eq_const(0x200)),
+            other => panic!("unexpected {other:?}"),
+        }
+        match &t.events[1].event {
+            Event::Read { sink, constraint, .. } => {
+                assert_eq!(*sink, ReadSink::UserData { offset: 60 });
+                assert_eq!(*constraint, Constraint::Any);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn misaligned_variants_are_rejected() {
+        let a = run_with(&[("x", 1)], vec![TraceOp::Delay { us: 1 }], vec![], vec![]);
+        let b = run_with(
+            &[("x", 2)],
+            vec![TraceOp::Delay { us: 1 }, TraceOp::Delay { us: 2 }],
+            vec![],
+            vec![],
+        );
+        assert!(matches!(
+            synthesize_template(&spec(vec![]), &a, &[b]),
+            Err(RecorderError::Misaligned(_))
+        ));
+    }
+
+    #[test]
+    fn adhoc_loops_fold_into_poll_events() {
+        let trace = Trace {
+            ops: vec![
+                TraceOp::WriteReg { addr: 0x1000, value: 1 },
+                TraceOp::ReadReg { addr: 0x1004, value: 0 },
+                TraceOp::Delay { us: 10 },
+                TraceOp::ReadReg { addr: 0x1004, value: 0 },
+                TraceOp::Delay { us: 10 },
+                TraceOp::ReadReg { addr: 0x1004, value: 0x1 },
+                TraceOp::WriteReg { addr: 0x1008, value: 2 },
+            ],
+            allocs: vec![],
+        };
+        let folded = fold_adhoc_loops(&trace);
+        assert_eq!(folded.ops.len(), 3);
+        match &folded.ops[1] {
+            TraceOp::PollReg { addr, mask, expect, iterations, .. } => {
+                assert_eq!(*addr, 0x1004);
+                assert_eq!(*mask, 1);
+                assert_eq!(*expect, 1);
+                assert_eq!(*iterations, 3);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn non_loop_read_delay_pairs_are_left_alone() {
+        let trace = Trace {
+            ops: vec![
+                TraceOp::ReadReg { addr: 0x1004, value: 0 },
+                TraceOp::Delay { us: 10 },
+                TraceOp::WriteReg { addr: 0x1008, value: 2 },
+            ],
+            allocs: vec![],
+        };
+        let folded = fold_adhoc_loops(&trace);
+        assert_eq!(folded.ops.len(), 3);
+    }
+}

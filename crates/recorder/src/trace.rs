@@ -1,0 +1,418 @@
+//! Trace interposition on the kernel-environment interface.
+
+use std::collections::HashMap;
+
+use dlt_gold_drivers::kenv::{DriverError, HwIo};
+use dlt_hw::DmaRegion;
+
+/// One logged interaction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceOp {
+    /// Register read and the value observed.
+    ReadReg {
+        /// Absolute register address.
+        addr: u64,
+        /// Observed value.
+        value: u32,
+    },
+    /// Register write.
+    WriteReg {
+        /// Absolute register address.
+        addr: u64,
+        /// Written value.
+        value: u32,
+    },
+    /// A `readl_poll`-style standard polling loop.
+    PollReg {
+        /// Polled register.
+        addr: u64,
+        /// Mask applied to the value.
+        mask: u32,
+        /// Value the masked register must reach.
+        expect: u32,
+        /// Delay between iterations (microseconds).
+        delay_us: u64,
+        /// Iterations executed in this run.
+        iterations: u64,
+    },
+    /// Interrupt wait.
+    WaitIrq {
+        /// Interrupt line.
+        line: u32,
+        /// Timeout used by the driver.
+        timeout_us: u64,
+    },
+    /// Shared-memory (DMA region) word read.
+    ShmRead {
+        /// Allocation index (in `dma_alloc` order).
+        alloc: usize,
+        /// Offset within the allocation.
+        offset: u64,
+        /// Observed value.
+        value: u32,
+    },
+    /// Shared-memory word write.
+    ShmWrite {
+        /// Allocation index.
+        alloc: usize,
+        /// Offset within the allocation.
+        offset: u64,
+        /// Written value.
+        value: u32,
+    },
+    /// DMA allocation.
+    DmaAlloc {
+        /// Requested length.
+        len: usize,
+        /// Base address returned in this run.
+        base: u64,
+    },
+    /// Random bytes obtained from the environment.
+    GetRand {
+        /// Number of bytes.
+        len: usize,
+    },
+    /// Timestamp obtained from the environment.
+    GetTs {
+        /// Value observed.
+        value: u64,
+    },
+    /// Busy delay.
+    Delay {
+        /// Microseconds.
+        us: u64,
+    },
+    /// Payload copied from the caller's buffer into DMA memory.
+    CopyToDma {
+        /// Destination allocation.
+        alloc: usize,
+        /// Destination offset.
+        offset: u64,
+        /// The copied bytes.
+        data: Vec<u8>,
+    },
+    /// Payload copied from DMA memory into the caller's buffer.
+    CopyFromDma {
+        /// Source allocation.
+        alloc: usize,
+        /// Source offset.
+        offset: u64,
+        /// The copied bytes.
+        data: Vec<u8>,
+    },
+}
+
+impl TraceOp {
+    /// A small integer identifying the operation kind, used for alignment.
+    pub fn kind_id(&self) -> u8 {
+        match self {
+            TraceOp::ReadReg { .. } => 0,
+            TraceOp::WriteReg { .. } => 1,
+            TraceOp::PollReg { .. } => 2,
+            TraceOp::WaitIrq { .. } => 3,
+            TraceOp::ShmRead { .. } => 4,
+            TraceOp::ShmWrite { .. } => 5,
+            TraceOp::DmaAlloc { .. } => 6,
+            TraceOp::GetRand { .. } => 7,
+            TraceOp::GetTs { .. } => 8,
+            TraceOp::Delay { .. } => 9,
+            TraceOp::CopyToDma { .. } => 10,
+            TraceOp::CopyFromDma { .. } => 11,
+        }
+    }
+
+    /// The interface identity of the op (register address / alloc+offset),
+    /// used for alignment: two runs are on the same path only if each
+    /// position touches the same interface.
+    pub fn iface_id(&self) -> (u8, u64, u64) {
+        match self {
+            TraceOp::ReadReg { addr, .. } | TraceOp::WriteReg { addr, .. } | TraceOp::PollReg { addr, .. } => {
+                (self.kind_id(), *addr, 0)
+            }
+            TraceOp::WaitIrq { line, .. } => (self.kind_id(), u64::from(*line), 0),
+            TraceOp::ShmRead { alloc, offset, .. }
+            | TraceOp::ShmWrite { alloc, offset, .. }
+            | TraceOp::CopyToDma { alloc, offset, .. }
+            | TraceOp::CopyFromDma { alloc, offset, .. } => (self.kind_id(), *alloc as u64, *offset),
+            TraceOp::DmaAlloc { .. }
+            | TraceOp::GetRand { .. }
+            | TraceOp::GetTs { .. }
+            | TraceOp::Delay { .. } => (self.kind_id(), 0, 0),
+        }
+    }
+}
+
+/// A complete record run's interaction log.
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    /// Logged operations in order.
+    pub ops: Vec<TraceOp>,
+    /// DMA allocations made during the run, in order.
+    pub allocs: Vec<DmaRegion>,
+}
+
+impl Trace {
+    /// Whether two traces have the same shape (same kinds and interfaces at
+    /// every position) — i.e. the runs followed the same state-transition
+    /// path.
+    pub fn same_shape(&self, other: &Trace) -> bool {
+        self.ops.len() == other.ops.len()
+            && self
+                .ops
+                .iter()
+                .zip(other.ops.iter())
+                .all(|(a, b)| a.iface_id() == b.iface_id())
+    }
+}
+
+/// The tracing wrapper around any [`HwIo`] implementation.
+pub struct TracingIo<I: HwIo> {
+    inner: I,
+    enabled: bool,
+    trace: Trace,
+    reg_names: HashMap<u64, String>,
+    /// Tag used as the "source file" of recording sites.
+    pub driver_tag: String,
+}
+
+impl<I: HwIo> TracingIo<I> {
+    /// Wrap `inner`. `reg_names` maps absolute register addresses to their
+    /// architected names (used when emitting templates); `driver_tag` names
+    /// the gold driver for recording-site reports.
+    pub fn new(inner: I, reg_names: HashMap<u64, String>, driver_tag: &str) -> Self {
+        TracingIo { inner, enabled: false, trace: Trace::default(), reg_names, driver_tag: driver_tag.to_string() }
+    }
+
+    /// Enable or disable logging (probe/initialisation phases run untraced).
+    pub fn set_enabled(&mut self, on: bool) {
+        self.enabled = on;
+    }
+
+    /// Extract the trace, consuming the wrapper.
+    pub fn into_trace(self) -> Trace {
+        self.trace
+    }
+
+    /// Register-name lookup table.
+    pub fn reg_names(&self) -> &HashMap<u64, String> {
+        &self.reg_names
+    }
+
+    /// The trace logged so far.
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    fn alloc_index(&self, region: &DmaRegion) -> usize {
+        self.trace
+            .allocs
+            .iter()
+            .position(|r| r.base == region.base)
+            .unwrap_or(usize::MAX)
+    }
+
+    fn log(&mut self, op: TraceOp) {
+        if self.enabled {
+            self.trace.ops.push(op);
+        }
+    }
+}
+
+impl<I: HwIo> HwIo for TracingIo<I> {
+    fn readl(&mut self, addr: u64) -> u32 {
+        let value = self.inner.readl(addr);
+        self.log(TraceOp::ReadReg { addr, value });
+        value
+    }
+
+    fn writel(&mut self, addr: u64, val: u32) {
+        self.inner.writel(addr, val);
+        self.log(TraceOp::WriteReg { addr, value: val });
+    }
+
+    fn readl_poll(
+        &mut self,
+        addr: u64,
+        mask: u32,
+        expect: u32,
+        delay_us: u64,
+        timeout_us: u64,
+    ) -> Result<u32, DriverError> {
+        // Count iterations ourselves so the meta event records how much
+        // nondeterministic spinning this run needed.
+        let mut iterations = 0u64;
+        let mut waited = 0u64;
+        let result = loop {
+            let v = self.inner.readl(addr);
+            iterations += 1;
+            if v & mask == expect {
+                break Ok(v);
+            }
+            if waited >= timeout_us {
+                break Err(DriverError::Timeout(format!("poll of {addr:#x}")));
+            }
+            self.inner.delay_us(delay_us.max(1));
+            waited += delay_us.max(1);
+        };
+        self.log(TraceOp::PollReg { addr, mask, expect, delay_us, iterations });
+        result
+    }
+
+    fn wait_for_irq(&mut self, line: u32, timeout_us: u64) -> Result<(), DriverError> {
+        let r = self.inner.wait_for_irq(line, timeout_us);
+        if r.is_ok() {
+            self.log(TraceOp::WaitIrq { line, timeout_us });
+        }
+        r
+    }
+
+    fn shm_read32(&mut self, region: DmaRegion, offset: u64) -> u32 {
+        let value = self.inner.shm_read32(region, offset);
+        let alloc = self.alloc_index(&region);
+        self.log(TraceOp::ShmRead { alloc, offset, value });
+        value
+    }
+
+    fn shm_write32(&mut self, region: DmaRegion, offset: u64, val: u32) {
+        self.inner.shm_write32(region, offset, val);
+        let alloc = self.alloc_index(&region);
+        self.log(TraceOp::ShmWrite { alloc, offset, value: val });
+    }
+
+    fn dma_alloc(&mut self, len: usize) -> Result<DmaRegion, DriverError> {
+        let region = self.inner.dma_alloc(len)?;
+        if self.enabled {
+            self.trace.allocs.push(region);
+            self.trace.ops.push(TraceOp::DmaAlloc { len, base: region.base });
+        }
+        Ok(region)
+    }
+
+    fn dma_release_all(&mut self) {
+        self.inner.dma_release_all();
+    }
+
+    fn get_rand_bytes(&mut self, len: usize) -> Vec<u8> {
+        let v = self.inner.get_rand_bytes(len);
+        self.log(TraceOp::GetRand { len });
+        v
+    }
+
+    fn get_ts(&mut self) -> u64 {
+        let v = self.inner.get_ts();
+        self.log(TraceOp::GetTs { value: v });
+        v
+    }
+
+    fn delay_us(&mut self, us: u64) {
+        self.inner.delay_us(us);
+        self.log(TraceOp::Delay { us });
+    }
+
+    fn copy_to_dma(&mut self, region: DmaRegion, offset: u64, data: &[u8]) {
+        self.inner.copy_to_dma(region, offset, data);
+        let alloc = self.alloc_index(&region);
+        self.log(TraceOp::CopyToDma { alloc, offset, data: data.to_vec() });
+    }
+
+    fn copy_from_dma(&mut self, region: DmaRegion, offset: u64, out: &mut [u8]) {
+        self.inner.copy_from_dma(region, offset, out);
+        let alloc = self.alloc_index(&region);
+        self.log(TraceOp::CopyFromDma { alloc, offset, data: out.to_vec() });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dlt_gold_drivers::kenv::BusIo;
+    use dlt_hw::Platform;
+
+    fn traced_io() -> TracingIo<BusIo> {
+        let p = Platform::new();
+        let io = BusIo::normal_world(p.bus.clone(), DmaRegion::new(0x100_0000, 0x10_0000));
+        TracingIo::new(io, HashMap::new(), "test-driver.c")
+    }
+
+    #[test]
+    fn disabled_tracer_logs_nothing() {
+        let mut t = traced_io();
+        t.writel(0x3f20_2000, 1);
+        let _ = t.readl(0x3f20_2000);
+        assert!(t.trace().ops.is_empty());
+    }
+
+    #[test]
+    fn enabled_tracer_logs_everything_in_order() {
+        let mut t = traced_io();
+        t.set_enabled(true);
+        let r = t.dma_alloc(256).unwrap();
+        t.shm_write32(r, 8, 0xaa55);
+        let _ = t.shm_read32(r, 8);
+        t.copy_to_dma(r, 16, &[1, 2, 3, 4]);
+        let mut out = [0u8; 4];
+        t.copy_from_dma(r, 16, &mut out);
+        t.delay_us(5);
+        let _ = t.get_rand_bytes(4);
+        let _ = t.get_ts();
+        let trace = t.into_trace();
+        assert_eq!(trace.allocs.len(), 1);
+        let kinds: Vec<u8> = trace.ops.iter().map(|o| o.kind_id()).collect();
+        assert_eq!(kinds, vec![6, 5, 4, 10, 11, 9, 7, 8]);
+        match &trace.ops[1] {
+            TraceOp::ShmWrite { alloc, offset, value } => {
+                assert_eq!(*alloc, 0);
+                assert_eq!(*offset, 8);
+                assert_eq!(*value, 0xaa55);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        match &trace.ops[4] {
+            TraceOp::CopyFromDma { data, .. } => assert_eq!(data, &vec![1, 2, 3, 4]),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn poll_records_iteration_counts() {
+        let mut t = traced_io();
+        t.set_enabled(true);
+        // Unmapped register reads 0xffffffff; poll for that value succeeds on
+        // the first iteration.
+        let v = t.readl_poll(0x3fff_0000, 0xffff_ffff, 0xffff_ffff, 10, 100).unwrap();
+        assert_eq!(v, 0xffff_ffff);
+        match &t.trace().ops[0] {
+            TraceOp::PollReg { iterations, .. } => assert_eq!(*iterations, 1),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn shape_comparison_detects_divergence() {
+        let mut a = traced_io();
+        a.set_enabled(true);
+        a.writel(0x3f20_2000, 1);
+        a.writel(0x3f20_2004, 2);
+        let ta = a.into_trace();
+
+        let mut b = traced_io();
+        b.set_enabled(true);
+        b.writel(0x3f20_2000, 9);
+        b.writel(0x3f20_2004, 9);
+        let tb = b.into_trace();
+        assert!(ta.same_shape(&tb), "same interfaces, different values: same path");
+
+        let mut c = traced_io();
+        c.set_enabled(true);
+        c.writel(0x3f20_2000, 1);
+        c.writel(0x3f20_2050, 2);
+        let tc = c.into_trace();
+        assert!(!ta.same_shape(&tc), "different register: different path");
+
+        let mut d = traced_io();
+        d.set_enabled(true);
+        d.writel(0x3f20_2000, 1);
+        let td = d.into_trace();
+        assert!(!ta.same_shape(&td), "different length: different path");
+    }
+}

@@ -1,0 +1,472 @@
+//! # dlt-tee — TrustZone / OP-TEE environment model
+//!
+//! Models the TEE half of the paper's system (§5, §6.2, §8.3.1):
+//!
+//! * **World partitioning**: devices and the TEE's reserved RAM pool are
+//!   assigned to the secure world through the platform bus's TZASC emulation,
+//!   so the untrusted normal world faults when it touches them.
+//! * **Secure services** ([`SecureIo`]): uncached MMIO, interrupt waits,
+//!   shared-memory access, a CMA-style contiguous DMA pool carved out of the
+//!   3 MB the paper reserves, a hardware RNG, timestamps obtained via an RPC
+//!   to the normal world (each RPC pays a world switch), and delays. These
+//!   are exactly the environment dependencies the replayer needs — nothing
+//!   more.
+//! * **Trustlet framework** ([`Trustlet`], [`TeeKernel`]): a minimal trusted
+//!   application model with sessions and command invocation, used by
+//!   `dlt-trustlets` for the end-to-end use cases (§8.4).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::HashMap;
+
+use dlt_hw::bus::MmioAttr;
+use dlt_hw::mem::BumpDmaAllocator;
+use dlt_hw::{DmaRegion, HwError, Platform, Shared, SystemBus, World};
+
+/// Size of the TEE's reserved DMA pool (the paper reserves 3 MB, §8.3.1).
+pub const TEE_DMA_POOL_BYTES: usize = 3 * 1024 * 1024;
+/// Physical base of the TEE's reserved RAM window.
+pub const TEE_DMA_POOL_BASE: u64 = 0x3c0_0000;
+
+/// Errors raised by the TEE layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TeeError {
+    /// A hardware access failed (fault, timeout).
+    Hw(String),
+    /// The requested device is not assigned to the secure world.
+    NotSecured(String),
+    /// The secure DMA pool is exhausted.
+    OutOfSecureMemory,
+    /// Trustlet/session errors.
+    Trustlet(String),
+}
+
+impl std::fmt::Display for TeeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TeeError::Hw(s) => write!(f, "hardware: {s}"),
+            TeeError::NotSecured(d) => write!(f, "device {d} is not assigned to the TEE"),
+            TeeError::OutOfSecureMemory => write!(f, "secure DMA pool exhausted"),
+            TeeError::Trustlet(s) => write!(f, "trustlet: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for TeeError {}
+
+impl From<HwError> for TeeError {
+    fn from(e: HwError) -> Self {
+        TeeError::Hw(e.to_string())
+    }
+}
+
+/// Secure-world IO services available to the replayer.
+///
+/// This is deliberately *not* the gold drivers' kernel-environment trait: the
+/// replayer's dependencies are the short list of primitives in §6.2 (uncached
+/// register access, poll/delay loops, contiguous DMA from the reserved pool,
+/// the platform RNG, and normal-world RPC for timestamps).
+pub struct SecureIo {
+    bus: Shared<SystemBus>,
+    pool: BumpDmaAllocator,
+    rng_state: u64,
+    world_switches: u64,
+    rpc_calls: u64,
+}
+
+impl SecureIo {
+    /// Build the secure IO services over the platform bus.
+    pub fn new(bus: Shared<SystemBus>) -> Self {
+        SecureIo {
+            bus,
+            pool: BumpDmaAllocator::new(DmaRegion::new(TEE_DMA_POOL_BASE, TEE_DMA_POOL_BYTES)),
+            rng_state: 0x9e37_79b9_7f4a_7c15,
+            world_switches: 0,
+            rpc_calls: 0,
+        }
+    }
+
+    /// Uncached 32-bit register read.
+    pub fn readl(&mut self, addr: u64) -> Result<u32, TeeError> {
+        Ok(self.bus.lock().mmio_read32(addr, World::Secure, MmioAttr::Uncached)?)
+    }
+
+    /// Uncached 32-bit register write.
+    pub fn writel(&mut self, addr: u64, val: u32) -> Result<(), TeeError> {
+        Ok(self.bus.lock().mmio_write32(addr, val, World::Secure, MmioAttr::Uncached)?)
+    }
+
+    /// Wait for an interrupt (the replayer's interrupt context trigger).
+    pub fn wait_for_irq(&mut self, line: u32, timeout_us: u64) -> Result<u64, TeeError> {
+        Ok(self.bus.lock().wait_for_irq(line, timeout_us, World::Secure)?)
+    }
+
+    /// Read a word from secure DMA memory.
+    pub fn shm_read32(&mut self, region: DmaRegion, offset: u64) -> Result<u32, TeeError> {
+        Ok(self.bus.lock().ram_read32(region.base + offset, World::Secure)?)
+    }
+
+    /// Write a word to secure DMA memory.
+    pub fn shm_write32(&mut self, region: DmaRegion, offset: u64, val: u32) -> Result<(), TeeError> {
+        Ok(self.bus.lock().ram_write32(region.base + offset, val, World::Secure)?)
+    }
+
+    /// Copy payload into secure DMA memory.
+    pub fn copy_to_dma(&mut self, region: DmaRegion, offset: u64, data: &[u8]) -> Result<(), TeeError> {
+        Ok(self.bus.lock().ram_write(region.base + offset, data, World::Secure)?)
+    }
+
+    /// Copy payload out of secure DMA memory.
+    pub fn copy_from_dma(
+        &mut self,
+        region: DmaRegion,
+        offset: u64,
+        out: &mut [u8],
+    ) -> Result<(), TeeError> {
+        Ok(self.bus.lock().ram_read(region.base + offset, out, World::Secure)?)
+    }
+
+    /// Allocate from the TEE's contiguous pool (the stock OP-TEE allocator
+    /// already hands out contiguous pages, §6.2).
+    pub fn dma_alloc(&mut self, len: usize) -> Result<DmaRegion, TeeError> {
+        self.pool.alloc(len).map_err(|_| TeeError::OutOfSecureMemory)
+    }
+
+    /// Release all pool allocations (between template executions).
+    pub fn dma_release_all(&mut self) {
+        self.pool.release_all();
+    }
+
+    /// Peak pool usage in bytes.
+    pub fn dma_high_water(&self) -> u64 {
+        self.pool.high_water()
+    }
+
+    /// The secure pool window (needed to program the TZASC RAM protection).
+    pub fn pool_region(&self) -> DmaRegion {
+        self.pool.region()
+    }
+
+    /// Hardware RNG (OP-TEE exposes the SoC RNG to the TEE, §6.2).
+    pub fn get_rand_bytes(&mut self, len: usize) -> Vec<u8> {
+        let mut out = Vec::with_capacity(len);
+        while out.len() < len {
+            self.rng_state ^= self.rng_state >> 12;
+            self.rng_state ^= self.rng_state << 25;
+            self.rng_state ^= self.rng_state >> 27;
+            out.extend_from_slice(&self.rng_state.wrapping_mul(0x2545_f491_4f6c_dd1d).to_le_bytes());
+        }
+        out.truncate(len);
+        out
+    }
+
+    /// Timestamp via RPC to the normal world (OP-TEE obtains wall-clock time
+    /// through an RPC, which costs a world switch each way).
+    pub fn get_ts_rpc(&mut self) -> u64 {
+        self.rpc_calls += 1;
+        self.world_switches += 2;
+        let clock = self.bus.lock().clock();
+        let mut c = clock.lock();
+        c.charge_world_switch();
+        c.charge_world_switch();
+        c.now_ns()
+    }
+
+    /// Busy-wait, advancing virtual time and ticking devices.
+    pub fn delay_us(&mut self, us: u64) {
+        self.bus.lock().delay_us(us);
+    }
+
+    /// Charge CPU time spent inside the TEE (e.g. the replayer's per-event
+    /// dispatch cost) without ticking devices.
+    pub fn charge_ns(&mut self, ns: u64) {
+        let clock = self.bus.lock().clock();
+        clock.lock().advance_ns(ns);
+    }
+
+    /// The per-event dispatch cost from the platform cost model.
+    pub fn replay_dispatch_cost_ns(&self) -> u64 {
+        let clock = self.bus.lock().clock();
+        let v = clock.lock().cost().replay_event_dispatch_ns;
+        v
+    }
+
+    /// A copy of the platform cost model (for replayer accounting).
+    pub fn cost_model(&self) -> dlt_hw::CostModel {
+        let clock = self.bus.lock().clock();
+        let v = clock.lock().cost().clone();
+        v
+    }
+
+    /// Acknowledge an interrupt line.
+    pub fn ack_irq(&mut self, line: u32) {
+        self.bus.lock().ack_irq(line);
+    }
+
+    /// Soft-reset a device by bus name.
+    pub fn soft_reset_device(&mut self, name: &str) -> Result<(), TeeError> {
+        Ok(self.bus.lock().soft_reset_device(name)?)
+    }
+
+    /// Register window of a device (for the replayer's bounds hardening).
+    pub fn device_window(&self, name: &str) -> Result<DmaRegion, TeeError> {
+        Ok(self.bus.lock().device_window(name)?)
+    }
+
+    /// Whether a device is assigned to the secure world.
+    pub fn is_device_secure(&self, name: &str) -> bool {
+        self.bus.lock().is_device_secure(name)
+    }
+
+    /// Number of world switches performed by RPCs.
+    pub fn world_switches(&self) -> u64 {
+        self.world_switches
+    }
+
+    /// Current virtual time.
+    pub fn now_ns(&self) -> u64 {
+        self.bus.lock().clock().lock().now_ns()
+    }
+}
+
+/// A trusted application.
+pub trait Trustlet {
+    /// Stable UUID-like name.
+    fn name(&self) -> &'static str;
+    /// Handle one command invocation. `params` are the four OP-TEE style
+    /// value parameters; `buf` is the shared memory parameter.
+    fn invoke(
+        &mut self,
+        command: u32,
+        params: &[u64; 4],
+        buf: &mut [u8],
+        tee: &mut SecureIo,
+    ) -> Result<u64, TeeError>;
+}
+
+/// The secure-world kernel: owns the secure services and the installed
+/// trustlets, and models the SMC entry path from the normal world.
+pub struct TeeKernel {
+    io: SecureIo,
+    trustlets: Vec<Box<dyn Trustlet>>,
+    sessions: HashMap<u32, usize>,
+    next_session: u32,
+    smc_calls: u64,
+}
+
+impl TeeKernel {
+    /// Create the secure kernel on a platform, assigning `secure_devices` to
+    /// the TEE (TZASC programming via Arm trusted firmware in the paper) and
+    /// protecting the TEE's DMA pool from the normal world.
+    pub fn install(platform: &Platform, secure_devices: &[&str]) -> Result<Self, TeeError> {
+        let io = SecureIo::new(platform.bus.clone());
+        {
+            let mut bus = platform.bus.lock();
+            for dev in secure_devices {
+                bus.set_device_secure(dev, true)?;
+            }
+            bus.protect_ram(io.pool_region());
+        }
+        Ok(TeeKernel { io, trustlets: Vec::new(), sessions: HashMap::new(), next_session: 1, smc_calls: 0 })
+    }
+
+    /// Install a trustlet.
+    pub fn load_trustlet(&mut self, ta: Box<dyn Trustlet>) {
+        self.trustlets.push(ta);
+    }
+
+    /// Open a session to a trustlet by name (one SMC).
+    pub fn open_session(&mut self, name: &str) -> Result<u32, TeeError> {
+        self.smc();
+        let idx = self
+            .trustlets
+            .iter()
+            .position(|t| t.name() == name)
+            .ok_or_else(|| TeeError::Trustlet(format!("no trustlet named {name}")))?;
+        let id = self.next_session;
+        self.next_session += 1;
+        self.sessions.insert(id, idx);
+        Ok(id)
+    }
+
+    /// Invoke a command in an open session (one SMC round trip).
+    pub fn invoke(
+        &mut self,
+        session: u32,
+        command: u32,
+        params: &[u64; 4],
+        buf: &mut [u8],
+    ) -> Result<u64, TeeError> {
+        self.smc();
+        let idx = *self
+            .sessions
+            .get(&session)
+            .ok_or_else(|| TeeError::Trustlet("invalid session".into()))?;
+        self.trustlets[idx].invoke(command, params, buf, &mut self.io)
+    }
+
+    /// Close a session.
+    pub fn close_session(&mut self, session: u32) {
+        self.smc();
+        self.sessions.remove(&session);
+    }
+
+    /// Direct access to the secure services (used by the replayer, which
+    /// lives inside the TEE and therefore does not cross worlds, §8.3.1).
+    pub fn io_mut(&mut self) -> &mut SecureIo {
+        &mut self.io
+    }
+
+    /// Number of SMCs (world switches into the TEE) performed.
+    pub fn smc_calls(&self) -> u64 {
+        self.smc_calls
+    }
+
+    fn smc(&mut self) {
+        self.smc_calls += 1;
+        let clock = self.io.bus.lock().clock();
+        clock.lock().charge_world_switch();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dlt_hw::device::{MmioDevice, SharedDevice};
+    use dlt_hw::{shared, IrqController, Platform};
+
+    struct StubDev {
+        irqs: Shared<IrqController>,
+        reg: u32,
+    }
+    impl MmioDevice for StubDev {
+        fn name(&self) -> &'static str {
+            "stub"
+        }
+        fn mmio_base(&self) -> u64 {
+            0x3f30_0000
+        }
+        fn mmio_len(&self) -> u64 {
+            0x100
+        }
+        fn read32(&mut self, offset: u64, _now: u64) -> u32 {
+            if offset == 0 {
+                self.reg
+            } else {
+                0
+            }
+        }
+        fn write32(&mut self, offset: u64, val: u32, now: u64) {
+            if offset == 0 {
+                self.reg = val;
+            } else if offset == 4 {
+                self.irqs.lock().assert_at(7, now + 50_000);
+            }
+        }
+        fn tick(&mut self, _now: u64) {}
+        fn soft_reset(&mut self, _now: u64) {
+            self.reg = 0;
+        }
+        fn irq_line(&self) -> Option<u32> {
+            Some(7)
+        }
+    }
+
+    fn rig() -> (Platform, TeeKernel) {
+        let p = Platform::new();
+        let dev = shared(StubDev { irqs: p.irqs.clone(), reg: 0 });
+        p.bus.lock().attach(SharedDevice::boxed(dev)).unwrap();
+        let tee = TeeKernel::install(&p, &["stub"]).unwrap();
+        (p, tee)
+    }
+
+    #[test]
+    fn tzasc_isolation_blocks_the_normal_world() {
+        let (p, mut tee) = rig();
+        // Normal world faults on the secured device and the protected pool.
+        assert!(p
+            .bus
+            .lock()
+            .mmio_read32(0x3f30_0000, World::NonSecure, MmioAttr::Cached)
+            .is_err());
+        assert!(p.bus.lock().ram_write32(TEE_DMA_POOL_BASE + 64, 1, World::NonSecure).is_err());
+        // The TEE does not.
+        tee.io_mut().writel(0x3f30_0000, 0xabcd).unwrap();
+        assert_eq!(tee.io_mut().readl(0x3f30_0000).unwrap(), 0xabcd);
+        let r = tee.io_mut().dma_alloc(128).unwrap();
+        tee.io_mut().shm_write32(r, 0, 7).unwrap();
+        assert_eq!(tee.io_mut().shm_read32(r, 0).unwrap(), 7);
+    }
+
+    #[test]
+    fn secure_pool_is_bounded_to_three_megabytes() {
+        let (_p, mut tee) = rig();
+        assert!(tee.io_mut().dma_alloc(2 << 20).is_ok());
+        assert!(matches!(tee.io_mut().dma_alloc(2 << 20), Err(TeeError::OutOfSecureMemory)));
+        tee.io_mut().dma_release_all();
+        assert!(tee.io_mut().dma_alloc(2 << 20).is_ok());
+        assert!(tee.io_mut().dma_high_water() >= (2 << 20));
+    }
+
+    #[test]
+    fn irq_wait_and_rng_and_rpc_timestamp() {
+        let (_p, mut tee) = rig();
+        tee.io_mut().writel(0x3f30_0004, 1).unwrap();
+        let waited = tee.io_mut().wait_for_irq(7, 1_000_000).unwrap();
+        assert!(waited >= 49);
+        tee.io_mut().ack_irq(7);
+        let r1 = tee.io_mut().get_rand_bytes(8);
+        let r2 = tee.io_mut().get_rand_bytes(8);
+        assert_ne!(r1, r2);
+        let t1 = tee.io_mut().get_ts_rpc();
+        let t2 = tee.io_mut().get_ts_rpc();
+        assert!(t2 > t1, "each RPC pays world switches");
+        assert_eq!(tee.io_mut().world_switches(), 4);
+    }
+
+    #[test]
+    fn trustlet_sessions_and_invocation() {
+        struct Echo;
+        impl Trustlet for Echo {
+            fn name(&self) -> &'static str {
+                "echo"
+            }
+            fn invoke(
+                &mut self,
+                command: u32,
+                params: &[u64; 4],
+                buf: &mut [u8],
+                _tee: &mut SecureIo,
+            ) -> Result<u64, TeeError> {
+                if !buf.is_empty() {
+                    buf[0] = command as u8;
+                }
+                Ok(params[0] + params[1])
+            }
+        }
+        let (_p, mut tee) = rig();
+        tee.load_trustlet(Box::new(Echo));
+        let s = tee.open_session("echo").unwrap();
+        let mut buf = [0u8; 4];
+        let r = tee.invoke(s, 9, &[2, 3, 0, 0], &mut buf).unwrap();
+        assert_eq!(r, 5);
+        assert_eq!(buf[0], 9);
+        tee.close_session(s);
+        assert!(tee.invoke(s, 9, &[0; 4], &mut buf).is_err());
+        assert!(tee.open_session("missing").is_err());
+        assert!(tee.smc_calls() >= 3);
+    }
+
+    #[test]
+    fn soft_reset_and_device_window_queries() {
+        let (_p, mut tee) = rig();
+        tee.io_mut().writel(0x3f30_0000, 5).unwrap();
+        tee.io_mut().soft_reset_device("stub").unwrap();
+        assert_eq!(tee.io_mut().readl(0x3f30_0000).unwrap(), 0);
+        let w = tee.io_mut().device_window("stub").unwrap();
+        assert_eq!(w.base, 0x3f30_0000);
+        assert!(tee.io_mut().is_device_secure("stub"));
+        assert!(tee.io_mut().device_window("nope").is_err());
+    }
+}

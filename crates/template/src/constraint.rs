@@ -1,0 +1,246 @@
+//! Input-event and parameter constraints.
+//!
+//! A constraint is the replay-time form of a path condition the recorder
+//! discovered: it tells the replayer which input values keep the device on
+//! the recorded state-transition path (§4.2). An input event whose observed
+//! value violates its constraint is a **state divergence** and triggers the
+//! reset/re-execute recovery (§3.3, §5). Parameter constraints additionally
+//! drive template selection and the coverage report.
+
+use serde::{Deserialize, Serialize};
+
+use crate::expr::{EvalEnv, SymExpr};
+
+/// A constraint on an observed input value or a replay-entry parameter.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Constraint {
+    /// No constraint: the input is not state-changing (e.g. a FIFO occupancy
+    /// field, the HFNUM frame counter, a CBW serial number).
+    Any,
+    /// The value must equal the expression.
+    Eq(SymExpr),
+    /// The value must differ from the expression.
+    Ne(SymExpr),
+    /// The value must lie in `[min, max]` (inclusive).
+    InRange {
+        /// Inclusive lower bound.
+        min: u64,
+        /// Inclusive upper bound.
+        max: u64,
+    },
+    /// The value must be one of the listed constants.
+    OneOf(Vec<u64>),
+    /// `(value & mask) == expected`.
+    MaskEq {
+        /// Bits to test.
+        mask: u64,
+        /// Required value of the masked bits.
+        expected: u64,
+    },
+    /// `(value & mask) == 0`.
+    MaskClear {
+        /// Bits that must all be clear.
+        mask: u64,
+    },
+    /// All sub-constraints must hold.
+    All(Vec<Constraint>),
+    /// At least one sub-constraint must hold.
+    AnyOf(Vec<Constraint>),
+}
+
+impl Constraint {
+    /// Check a value against the constraint.
+    pub fn check(&self, value: u64, env: &EvalEnv) -> bool {
+        match self {
+            Constraint::Any => true,
+            Constraint::Eq(e) => e.eval(env).map(|v| v == value).unwrap_or(false),
+            Constraint::Ne(e) => e.eval(env).map(|v| v != value).unwrap_or(false),
+            Constraint::InRange { min, max } => value >= *min && value <= *max,
+            Constraint::OneOf(vals) => vals.contains(&value),
+            Constraint::MaskEq { mask, expected } => value & mask == *expected,
+            Constraint::MaskClear { mask } => value & mask == 0,
+            Constraint::All(cs) => cs.iter().all(|c| c.check(value, env)),
+            Constraint::AnyOf(cs) => cs.iter().any(|c| c.check(value, env)),
+        }
+    }
+
+    /// Shorthand: equal to a constant.
+    pub fn eq_const(v: u64) -> Constraint {
+        Constraint::Eq(SymExpr::Const(v))
+    }
+
+    /// Shorthand: equal to a parameter.
+    pub fn eq_param(name: &str) -> Constraint {
+        Constraint::Eq(SymExpr::Param(name.to_string()))
+    }
+
+    /// Whether this constraint restricts anything at all.
+    pub fn is_constraining(&self) -> bool {
+        match self {
+            Constraint::Any => false,
+            Constraint::All(cs) | Constraint::AnyOf(cs) => cs.iter().any(|c| c.is_constraining()),
+            _ => true,
+        }
+    }
+
+    /// Human-readable rendering, e.g. `">=0 && <=0x8"` style strings like the
+    /// paper's Table 4.
+    pub fn describe(&self) -> String {
+        match self {
+            Constraint::Any => "*".to_string(),
+            Constraint::Eq(e) => format!("== {}", e.describe()),
+            Constraint::Ne(e) => format!("!= {}", e.describe()),
+            Constraint::InRange { min, max } => format!(">= {min:#x} && <= {max:#x}"),
+            Constraint::OneOf(vals) => {
+                let parts: Vec<String> = vals.iter().map(|v| format!("{v:#x}")).collect();
+                parts.join(" || ")
+            }
+            Constraint::MaskEq { mask, expected } => format!("(v & {mask:#x}) == {expected:#x}"),
+            Constraint::MaskClear { mask } => format!("(v & {mask:#x}) == 0"),
+            Constraint::All(cs) => {
+                let parts: Vec<String> = cs.iter().map(|c| c.describe()).collect();
+                format!("({})", parts.join(" && "))
+            }
+            Constraint::AnyOf(cs) => {
+                let parts: Vec<String> = cs.iter().map(|c| c.describe()).collect();
+                format!("({})", parts.join(" || "))
+            }
+        }
+    }
+
+    /// Merge two constraints covering the *same* parameter from different
+    /// record runs into the loosest constraint consistent with both — used by
+    /// the campaign's coverage report (e.g. runs with `blkcnt=1` and
+    /// `blkcnt=8` merge to `OneOf([1, 8])`, ranges union).
+    pub fn union(&self, other: &Constraint) -> Constraint {
+        use Constraint::*;
+        match (self, other) {
+            (Any, _) | (_, Any) => Any,
+            (OneOf(a), OneOf(b)) => {
+                let mut v = a.clone();
+                for x in b {
+                    if !v.contains(x) {
+                        v.push(*x);
+                    }
+                }
+                v.sort_unstable();
+                OneOf(v)
+            }
+            (InRange { min: a1, max: a2 }, InRange { min: b1, max: b2 }) => {
+                InRange { min: *a1.min(b1), max: *a2.max(b2) }
+            }
+            (Eq(SymExpr::Const(a)), Eq(SymExpr::Const(b))) => {
+                if a == b {
+                    Eq(SymExpr::Const(*a))
+                } else {
+                    let mut v = vec![*a, *b];
+                    v.sort_unstable();
+                    OneOf(v)
+                }
+            }
+            (OneOf(a), Eq(SymExpr::Const(b))) | (Eq(SymExpr::Const(b)), OneOf(a)) => {
+                let mut v = a.clone();
+                if !v.contains(b) {
+                    v.push(*b);
+                }
+                v.sort_unstable();
+                OneOf(v)
+            }
+            (a, b) if a == b => a.clone(),
+            (a, b) => AnyOf(vec![a.clone(), b.clone()]),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_checks() {
+        let env = EvalEnv::default();
+        assert!(Constraint::Any.check(123, &env));
+        assert!(Constraint::eq_const(5).check(5, &env));
+        assert!(!Constraint::eq_const(5).check(6, &env));
+        assert!(Constraint::InRange { min: 1, max: 8 }.check(8, &env));
+        assert!(!Constraint::InRange { min: 1, max: 8 }.check(9, &env));
+        assert!(Constraint::OneOf(vec![1, 16]).check(16, &env));
+        assert!(!Constraint::OneOf(vec![1, 16]).check(2, &env));
+        assert!(Constraint::MaskEq { mask: 0xf0, expected: 0x20 }.check(0x2a, &env));
+        assert!(Constraint::MaskClear { mask: 0x3 }.check(0x8, &env));
+        assert!(!Constraint::MaskClear { mask: 0x3 }.check(0x9, &env));
+    }
+
+    #[test]
+    fn table4_blkcnt_constraint() {
+        // blkcnt: >= 0 && <= 0x8 && <= 0x400 (the RW_1 template path).
+        let c = Constraint::All(vec![
+            Constraint::InRange { min: 0, max: 0x8 },
+            Constraint::InRange { min: 0, max: 0x400 },
+        ]);
+        let env = EvalEnv::default();
+        assert!(c.check(1, &env));
+        assert!(c.check(8, &env));
+        assert!(!c.check(9, &env));
+        assert!(c.describe().contains("&&"));
+    }
+
+    #[test]
+    fn symbolic_equality_against_captured_values() {
+        // Table 6: img_size must equal the value VC4 assigned earlier.
+        let mut env = EvalEnv::default();
+        env.captured.insert("vc4_img_size".into(), 622_592);
+        let c = Constraint::Eq(SymExpr::Captured("vc4_img_size".into()));
+        assert!(c.check(622_592, &env));
+        assert!(!c.check(622_593, &env));
+        // Unbound capture: conservatively reject (sound, not silent).
+        let c = Constraint::Eq(SymExpr::Captured("missing".into()));
+        assert!(!c.check(0, &env));
+    }
+
+    #[test]
+    fn anyof_and_all_compose() {
+        let env = EvalEnv::default();
+        let c = Constraint::AnyOf(vec![Constraint::eq_const(1), Constraint::eq_const(0x10)]);
+        assert!(c.check(1, &env));
+        assert!(c.check(0x10, &env));
+        assert!(!c.check(2, &env));
+        assert!(c.is_constraining());
+        assert!(!Constraint::Any.is_constraining());
+        assert!(!Constraint::All(vec![Constraint::Any]).is_constraining());
+    }
+
+    #[test]
+    fn union_merges_coverage() {
+        let a = Constraint::eq_const(1);
+        let b = Constraint::eq_const(8);
+        assert_eq!(a.union(&b), Constraint::OneOf(vec![1, 8]));
+        let r1 = Constraint::InRange { min: 0, max: 100 };
+        let r2 = Constraint::InRange { min: 50, max: 500 };
+        assert_eq!(r1.union(&r2), Constraint::InRange { min: 0, max: 500 });
+        let o = Constraint::OneOf(vec![1, 8]);
+        assert_eq!(o.union(&Constraint::eq_const(32)), Constraint::OneOf(vec![1, 8, 32]));
+        assert_eq!(Constraint::Any.union(&a), Constraint::Any);
+        // Identical constraints stay put.
+        assert_eq!(a.union(&Constraint::eq_const(1)), Constraint::eq_const(1));
+    }
+
+    #[test]
+    fn describe_matches_paper_style() {
+        let c = Constraint::InRange { min: 0, max: 0x1df77f8 };
+        assert_eq!(c.describe(), ">= 0x0 && <= 0x1df77f8");
+        let c = Constraint::OneOf(vec![0x1, 0x10]);
+        assert_eq!(c.describe(), "0x1 || 0x10");
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let c = Constraint::All(vec![
+            Constraint::InRange { min: 0, max: 8 },
+            Constraint::Ne(SymExpr::Const(3)),
+        ]);
+        let json = serde_json::to_string(&c).unwrap();
+        let back: Constraint = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, c);
+    }
+}

@@ -1,0 +1,420 @@
+//! Replay events (Table 1) and their metadata.
+
+use serde::{Deserialize, Serialize};
+
+use crate::constraint::Constraint;
+use crate::expr::SymExpr;
+
+/// The interface an event touches: a device register, a location inside one
+/// of the template's DMA allocations ("shared memory"), or an environment
+/// API.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Iface {
+    /// A device register at an absolute physical address.
+    Reg {
+        /// Physical address.
+        addr: u64,
+        /// Architected register name (for failure reports / debugging).
+        name: String,
+    },
+    /// A word inside the `alloc`-th DMA allocation of the template.
+    Shm {
+        /// Index of the allocation (in `dma_alloc` event order).
+        alloc: usize,
+        /// Byte offset within the allocation.
+        offset: u64,
+    },
+    /// An environment (kernel-API) interface.
+    Env(EnvApi),
+}
+
+impl Iface {
+    /// Short display form used in failure reports.
+    pub fn describe(&self) -> String {
+        match self {
+            Iface::Reg { addr, name } => format!("{name}@{addr:#x}"),
+            Iface::Shm { alloc, offset } => format!("dma[{alloc}]+{offset:#x}"),
+            Iface::Env(api) => format!("env:{api:?}"),
+        }
+    }
+}
+
+/// Environment APIs a driver may call (the Env↔Driver interface, §4.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum EnvApi {
+    /// Allocate DMA-capable contiguous memory.
+    DmaAlloc,
+    /// Obtain random bytes.
+    GetRandBytes,
+    /// Obtain a timestamp.
+    GetTs,
+}
+
+/// What the replayer does with the value produced by an input event.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ReadSink {
+    /// Value only checked against the constraint, then discarded.
+    Discard,
+    /// Value bound to a name usable by later expressions/constraints.
+    Capture(String),
+    /// Value is IO payload destined for the trustlet's buffer at this byte
+    /// offset (e.g. the last three words of an MMC read arriving via SDDATA).
+    UserData {
+        /// Byte offset into the trustlet buffer.
+        offset: u64,
+    },
+}
+
+/// Role of a DMA allocation within a template, discovered at record time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DmaRole {
+    /// Holds device descriptors (DMA control blocks, CBW/CSW, page lists).
+    Descriptor,
+    /// Holds IO payload moving device -> trustlet.
+    DataIn,
+    /// Holds IO payload moving trustlet -> device.
+    DataOut,
+    /// Holds a long-lived shared-memory structure (the VCHIQ queue).
+    Queue,
+    /// Anything else.
+    Other,
+}
+
+/// Direction of the IO payload a template moves.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DataDirection {
+    /// Device -> trustlet (a read / capture).
+    DeviceToUser,
+    /// Trustlet -> device (a write).
+    UserToDevice,
+    /// No payload (pure control).
+    None,
+}
+
+/// One replay event (Table 1).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Event {
+    /// Input: read `len` bytes from `iface`; the observed value must satisfy
+    /// `constraint`.
+    Read {
+        /// Interface to read.
+        iface: Iface,
+        /// Constraint on the observed value (state-changing reads carry a
+        /// real constraint; non-state-changing reads carry `Any`).
+        constraint: Constraint,
+        /// Access width in bytes (4 for registers and shm words).
+        len: u32,
+        /// What to do with the value.
+        sink: ReadSink,
+    },
+    /// Input: allocate DMA memory (`V = dma_alloc(A)`).
+    DmaAlloc {
+        /// Allocation size in bytes. May be symbolic (e.g. depend on a
+        /// captured image size), though the common case is a constant.
+        len: SymExpr,
+        /// Role of the allocation.
+        role: DmaRole,
+    },
+    /// Input: obtain `len` random bytes from the environment.
+    GetRandBytes {
+        /// Number of random bytes.
+        len: u32,
+        /// Capture name for the value (first 8 bytes), if referenced later.
+        sink: ReadSink,
+    },
+    /// Input: obtain a timestamp of `len` bytes from the environment.
+    GetTs {
+        /// Timestamp width in bytes (4 or 8).
+        len: u32,
+        /// Capture name, if referenced later.
+        sink: ReadSink,
+    },
+    /// Input: wait for an interrupt on `line`.
+    WaitForIrq {
+        /// Interrupt line number.
+        line: u32,
+        /// Give-up timeout in microseconds (divergence if it expires).
+        timeout_us: u64,
+    },
+    /// Output: write the evaluated `value` to `iface`.
+    Write {
+        /// Interface to write.
+        iface: Iface,
+        /// Value expression (concrete or parameterised).
+        value: SymExpr,
+    },
+    /// Output: copy the trustlet's payload into a DMA allocation before the
+    /// device consumes it (recorded when the gold driver copies user data
+    /// into DMA pages; the bytes themselves are not part of the recording).
+    CopyUserToDma {
+        /// Destination allocation index.
+        alloc: usize,
+        /// Offset within the allocation.
+        offset: u64,
+        /// Source offset within the trustlet buffer.
+        user_offset: u64,
+        /// Number of bytes; may be symbolic (e.g. `blkcnt * 512`).
+        len: SymExpr,
+    },
+    /// Input: copy device-produced payload from a DMA allocation to the
+    /// trustlet buffer after the device produced it.
+    CopyDmaToUser {
+        /// Source allocation index.
+        alloc: usize,
+        /// Offset within the allocation.
+        offset: u64,
+        /// Destination offset within the trustlet buffer.
+        user_offset: u64,
+        /// Number of bytes; may be symbolic.
+        len: SymExpr,
+    },
+    /// Meta: delay for `us` microseconds.
+    Delay {
+        /// Microseconds to wait.
+        us: u64,
+    },
+    /// Meta: poll `iface` until `cond` holds, executing `body` each
+    /// iteration, waiting `delay_us` between iterations.
+    Poll {
+        /// Interface being polled.
+        iface: Iface,
+        /// Events executed in each loop iteration (often empty).
+        body: Vec<Event>,
+        /// Termination condition on the polled value.
+        cond: Constraint,
+        /// Delay between iterations in microseconds.
+        delay_us: u64,
+        /// Upper bound on iterations before declaring divergence.
+        max_iters: u64,
+    },
+}
+
+/// Event kind, for the Table 3/5 breakdowns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum EventKind {
+    /// Input events.
+    Input,
+    /// Output events.
+    Output,
+    /// Meta events.
+    Meta,
+}
+
+impl Event {
+    /// Classify per the paper's input/output/meta taxonomy.
+    pub fn kind(&self) -> EventKind {
+        match self {
+            Event::Read { .. }
+            | Event::DmaAlloc { .. }
+            | Event::GetRandBytes { .. }
+            | Event::GetTs { .. }
+            | Event::WaitForIrq { .. }
+            | Event::CopyDmaToUser { .. } => EventKind::Input,
+            Event::Write { .. } | Event::CopyUserToDma { .. } => EventKind::Output,
+            Event::Delay { .. } | Event::Poll { .. } => EventKind::Meta,
+        }
+    }
+
+    /// Whether the event is state-changing per the §3.1 definition: all
+    /// outputs, plus inputs that are interrupts, environment responses, or
+    /// constrained/captured reads.
+    pub fn is_state_changing(&self) -> bool {
+        match self {
+            Event::Write { .. } | Event::CopyUserToDma { .. } => true,
+            Event::DmaAlloc { .. }
+            | Event::GetRandBytes { .. }
+            | Event::GetTs { .. }
+            | Event::WaitForIrq { .. } => true,
+            Event::Read { constraint, sink, .. } => {
+                constraint.is_constraining() || !matches!(sink, ReadSink::Discard)
+            }
+            Event::Poll { .. } | Event::Delay { .. } | Event::CopyDmaToUser { .. } => false,
+        }
+    }
+
+    /// Short one-line rendering for emitted documents and failure reports,
+    /// e.g. `read(SDCMD@0x3f202000, "==0x0", 4)`.
+    pub fn describe(&self) -> String {
+        match self {
+            Event::Read { iface, constraint, len, .. } => {
+                format!("read({}, \"{}\", {len})", iface.describe(), constraint.describe())
+            }
+            Event::DmaAlloc { len, role } => {
+                format!("dma_alloc({}, {:?})", len.describe(), role)
+            }
+            Event::GetRandBytes { len, .. } => format!("get_rand_bytes({len})"),
+            Event::GetTs { len, .. } => format!("get_ts({len})"),
+            Event::WaitForIrq { line, timeout_us } => {
+                format!("wait_for_irq({line}, {timeout_us}us)")
+            }
+            Event::Write { iface, value } => {
+                format!("write({}, {})", iface.describe(), value.describe())
+            }
+            Event::CopyUserToDma { alloc, offset, len, .. } => {
+                format!("copy_user_to_dma(dma[{alloc}]+{offset:#x}, {})", len.describe())
+            }
+            Event::CopyDmaToUser { alloc, offset, len, .. } => {
+                format!("copy_dma_to_user(dma[{alloc}]+{offset:#x}, {})", len.describe())
+            }
+            Event::Delay { us } => format!("delay({us})"),
+            Event::Poll { iface, cond, delay_us, .. } => {
+                format!("poll({}, \"delay {delay_us}\", \"{}\")", iface.describe(), cond.describe())
+            }
+        }
+    }
+}
+
+/// Where in the gold driver an event was recorded. The replayer dumps these
+/// sites when it aborts after persistent divergence, which is how the paper's
+/// fault-injection experiment pinpoints the failing register read (§8.2.1).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SourceSite {
+    /// Source file in the gold driver.
+    pub file: String,
+    /// Line number.
+    pub line: u32,
+}
+
+impl SourceSite {
+    /// Construct a source site.
+    pub fn new(file: &str, line: u32) -> Self {
+        SourceSite { file: file.to_string(), line }
+    }
+
+    /// Unknown provenance (synthesised events).
+    pub fn unknown() -> Self {
+        SourceSite { file: "<synthesised>".to_string(), line: 0 }
+    }
+}
+
+/// An event plus its recording provenance.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RecordedEvent {
+    /// The replay event.
+    pub event: Event,
+    /// Where the gold driver performed the original interaction.
+    pub site: SourceSite,
+}
+
+impl RecordedEvent {
+    /// Wrap an event with a recording site.
+    pub fn new(event: Event, site: SourceSite) -> Self {
+        RecordedEvent { event, site }
+    }
+
+    /// Wrap an event with unknown provenance.
+    pub fn bare(event: Event) -> Self {
+        RecordedEvent { event, site: SourceSite::unknown() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn reg(name: &str, addr: u64) -> Iface {
+        Iface::Reg { addr, name: name.to_string() }
+    }
+
+    #[test]
+    fn classification_matches_table1() {
+        let read = Event::Read {
+            iface: reg("SDHSTS", 0x3f20_2020),
+            constraint: Constraint::eq_const(0x200),
+            len: 4,
+            sink: ReadSink::Discard,
+        };
+        assert_eq!(read.kind(), EventKind::Input);
+        let write = Event::Write { iface: reg("SDARG", 0x3f20_2004), value: SymExpr::Const(0) };
+        assert_eq!(write.kind(), EventKind::Output);
+        let poll = Event::Poll {
+            iface: reg("SDCMD", 0x3f20_2000),
+            body: vec![],
+            cond: Constraint::MaskClear { mask: 0x8000 },
+            delay_us: 10,
+            max_iters: 1000,
+        };
+        assert_eq!(poll.kind(), EventKind::Meta);
+        let delay = Event::Delay { us: 5 };
+        assert_eq!(delay.kind(), EventKind::Meta);
+        let irq = Event::WaitForIrq { line: 56, timeout_us: 100_000 };
+        assert_eq!(irq.kind(), EventKind::Input);
+        let alloc = Event::DmaAlloc { len: SymExpr::Const(4096), role: DmaRole::DataIn };
+        assert_eq!(alloc.kind(), EventKind::Input);
+    }
+
+    #[test]
+    fn state_changing_follows_the_papers_definition() {
+        // All outputs are state-changing.
+        assert!(Event::Write { iface: reg("SDCMD", 0), value: SymExpr::Const(0x8011) }
+            .is_state_changing());
+        // IRQs and env responses are state-changing.
+        assert!(Event::WaitForIrq { line: 56, timeout_us: 1 }.is_state_changing());
+        assert!(Event::DmaAlloc { len: SymExpr::Const(31), role: DmaRole::Descriptor }
+            .is_state_changing());
+        // Constrained reads are state-changing; unconstrained ones are not.
+        assert!(Event::Read {
+            iface: reg("SDHSTS", 0),
+            constraint: Constraint::eq_const(1),
+            len: 4,
+            sink: ReadSink::Discard
+        }
+        .is_state_changing());
+        assert!(!Event::Read {
+            iface: reg("HFNUM", 0),
+            constraint: Constraint::Any,
+            len: 4,
+            sink: ReadSink::Discard
+        }
+        .is_state_changing());
+        // Captured reads are state-changing even without a constraint (their
+        // value feeds later outputs).
+        assert!(Event::Read {
+            iface: Iface::Shm { alloc: 0, offset: 0x10 },
+            constraint: Constraint::Any,
+            len: 4,
+            sink: ReadSink::Capture("img_size".into())
+        }
+        .is_state_changing());
+    }
+
+    #[test]
+    fn describe_renders_paper_style_lines() {
+        let e = Event::Read {
+            iface: reg("SDCMD", 0x3f20_2000),
+            constraint: Constraint::eq_const(0),
+            len: 4,
+            sink: ReadSink::Discard,
+        };
+        assert_eq!(e.describe(), "read(SDCMD@0x3f202000, \"== 0x0\", 4)");
+        let e = Event::Poll {
+            iface: reg("SDCMD", 0x3f20_2000),
+            body: vec![],
+            cond: Constraint::MaskClear { mask: 0x8000 },
+            delay_us: 10,
+            max_iters: 100,
+        };
+        assert!(e.describe().starts_with("poll(SDCMD"));
+        let e = Event::Write {
+            iface: Iface::Shm { alloc: 2, offset: 0x4 },
+            value: SymExpr::DmaBase(3),
+        };
+        assert_eq!(e.describe(), "write(dma[2]+0x4, dma[3])");
+    }
+
+    #[test]
+    fn serde_round_trip_of_a_small_event_list() {
+        let events = vec![
+            RecordedEvent::new(
+                Event::Write { iface: reg("SDARG", 4), value: SymExpr::Param("blkid".into()) },
+                SourceSite::new("bcm2835-sdhost.c", 612),
+            ),
+            RecordedEvent::bare(Event::Delay { us: 10 }),
+        ];
+        let json = serde_json::to_string(&events).unwrap();
+        let back: Vec<RecordedEvent> = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, events);
+        assert_eq!(back[0].site.line, 612);
+        assert_eq!(back[1].site.file, "<synthesised>");
+    }
+}

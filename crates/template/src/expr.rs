@@ -1,0 +1,249 @@
+//! Symbolic value expressions.
+//!
+//! The recorder's taint analysis discovers how output values derive from
+//! earlier inputs — e.g. `SDARG = blkid & !0x7` or
+//! `SDCMD = 0x8000 | (rw << 6)` (Table 4). Those derivations are stored as
+//! [`SymExpr`] trees and evaluated by the replayer against the trustlet's
+//! dynamic arguments.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+/// A symbolic expression over replay-entry parameters, captured input values
+/// and DMA allocation base addresses.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SymExpr {
+    /// A concrete constant.
+    Const(u64),
+    /// A replay-entry parameter, e.g. `blkid`.
+    Param(String),
+    /// A value captured by an earlier input event (by capture name).
+    Captured(String),
+    /// The base address returned by the n-th `dma_alloc` event of the
+    /// template (0-based, in event order).
+    DmaBase(usize),
+    /// Bitwise AND.
+    And(Box<SymExpr>, Box<SymExpr>),
+    /// Bitwise OR.
+    Or(Box<SymExpr>, Box<SymExpr>),
+    /// Bitwise XOR.
+    Xor(Box<SymExpr>, Box<SymExpr>),
+    /// Wrapping addition.
+    Add(Box<SymExpr>, Box<SymExpr>),
+    /// Wrapping subtraction.
+    Sub(Box<SymExpr>, Box<SymExpr>),
+    /// Wrapping multiplication.
+    Mul(Box<SymExpr>, Box<SymExpr>),
+    /// Logical shift left by a constant.
+    Shl(Box<SymExpr>, u32),
+    /// Logical shift right by a constant.
+    Shr(Box<SymExpr>, u32),
+    /// Bitwise NOT.
+    Not(Box<SymExpr>),
+}
+
+impl SymExpr {
+    /// Convenience constructor: `expr & mask`.
+    pub fn masked(self, mask: u64) -> SymExpr {
+        SymExpr::And(Box::new(self), Box::new(SymExpr::Const(mask)))
+    }
+
+    /// Convenience constructor: `expr | bits`.
+    pub fn or_const(self, bits: u64) -> SymExpr {
+        SymExpr::Or(Box::new(self), Box::new(SymExpr::Const(bits)))
+    }
+
+    /// Convenience constructor: `expr + c`.
+    pub fn plus(self, c: u64) -> SymExpr {
+        SymExpr::Add(Box::new(self), Box::new(SymExpr::Const(c)))
+    }
+
+    /// Convenience constructor: `expr << n`.
+    pub fn shl(self, n: u32) -> SymExpr {
+        SymExpr::Shl(Box::new(self), n)
+    }
+
+    /// Evaluate against an environment. Returns `None` if the expression
+    /// references a parameter, capture or DMA base the environment lacks —
+    /// the replayer treats that as a malformed template.
+    pub fn eval(&self, env: &EvalEnv) -> Option<u64> {
+        Some(match self {
+            SymExpr::Const(c) => *c,
+            SymExpr::Param(name) => *env.params.get(name)?,
+            SymExpr::Captured(name) => *env.captured.get(name)?,
+            SymExpr::DmaBase(idx) => *env.dma_bases.get(*idx)?,
+            SymExpr::And(a, b) => a.eval(env)? & b.eval(env)?,
+            SymExpr::Or(a, b) => a.eval(env)? | b.eval(env)?,
+            SymExpr::Xor(a, b) => a.eval(env)? ^ b.eval(env)?,
+            SymExpr::Add(a, b) => a.eval(env)?.wrapping_add(b.eval(env)?),
+            SymExpr::Sub(a, b) => a.eval(env)?.wrapping_sub(b.eval(env)?),
+            SymExpr::Mul(a, b) => a.eval(env)?.wrapping_mul(b.eval(env)?),
+            SymExpr::Shl(a, n) => a.eval(env)?.wrapping_shl(*n),
+            SymExpr::Shr(a, n) => a.eval(env)?.wrapping_shr(*n),
+            SymExpr::Not(a) => !a.eval(env)?,
+        })
+    }
+
+    /// Whether the expression depends on any non-constant symbol.
+    pub fn is_symbolic(&self) -> bool {
+        match self {
+            SymExpr::Const(_) => false,
+            SymExpr::Param(_) | SymExpr::Captured(_) | SymExpr::DmaBase(_) => true,
+            SymExpr::And(a, b)
+            | SymExpr::Or(a, b)
+            | SymExpr::Xor(a, b)
+            | SymExpr::Add(a, b)
+            | SymExpr::Sub(a, b)
+            | SymExpr::Mul(a, b) => a.is_symbolic() || b.is_symbolic(),
+            SymExpr::Shl(a, _) | SymExpr::Shr(a, _) | SymExpr::Not(a) => a.is_symbolic(),
+        }
+    }
+
+    /// Names of parameters referenced by this expression.
+    pub fn referenced_params(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        self.collect_params(&mut out);
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    fn collect_params(&self, out: &mut Vec<String>) {
+        match self {
+            SymExpr::Param(p) => out.push(p.clone()),
+            SymExpr::And(a, b)
+            | SymExpr::Or(a, b)
+            | SymExpr::Xor(a, b)
+            | SymExpr::Add(a, b)
+            | SymExpr::Sub(a, b)
+            | SymExpr::Mul(a, b) => {
+                a.collect_params(out);
+                b.collect_params(out);
+            }
+            SymExpr::Shl(a, _) | SymExpr::Shr(a, _) | SymExpr::Not(a) => a.collect_params(out),
+            _ => {}
+        }
+    }
+
+    /// A compact human-readable rendering (used in the emitted template
+    /// documents and in failure reports).
+    pub fn describe(&self) -> String {
+        match self {
+            SymExpr::Const(c) => format!("{c:#x}"),
+            SymExpr::Param(p) => p.clone(),
+            SymExpr::Captured(c) => format!("${c}"),
+            SymExpr::DmaBase(i) => format!("dma[{i}]"),
+            SymExpr::And(a, b) => format!("({} & {})", a.describe(), b.describe()),
+            SymExpr::Or(a, b) => format!("({} | {})", a.describe(), b.describe()),
+            SymExpr::Xor(a, b) => format!("({} ^ {})", a.describe(), b.describe()),
+            SymExpr::Add(a, b) => format!("({} + {})", a.describe(), b.describe()),
+            SymExpr::Sub(a, b) => format!("({} - {})", a.describe(), b.describe()),
+            SymExpr::Mul(a, b) => format!("({} * {})", a.describe(), b.describe()),
+            SymExpr::Shl(a, n) => format!("({} << {n})", a.describe()),
+            SymExpr::Shr(a, n) => format!("({} >> {n})", a.describe()),
+            SymExpr::Not(a) => format!("~{}", a.describe()),
+        }
+    }
+}
+
+/// Evaluation environment: the dynamic state a replay run builds up.
+#[derive(Debug, Clone, Default)]
+pub struct EvalEnv {
+    /// Replay-entry parameter values supplied by the trustlet.
+    pub params: HashMap<String, u64>,
+    /// Values captured by earlier input events in this replay.
+    pub captured: HashMap<String, u64>,
+    /// Base addresses returned by the template's `dma_alloc` events, in
+    /// event order.
+    pub dma_bases: Vec<u64>,
+}
+
+impl EvalEnv {
+    /// An environment with only parameters bound.
+    pub fn with_params(params: HashMap<String, u64>) -> Self {
+        EvalEnv { params, captured: HashMap::new(), dma_bases: Vec::new() }
+    }
+
+    /// Bind a single parameter (builder style, mostly for tests).
+    pub fn param(mut self, name: &str, value: u64) -> Self {
+        self.params.insert(name.to_string(), value);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn env() -> EvalEnv {
+        let mut e = EvalEnv::default();
+        e.params.insert("blkid".into(), 42);
+        e.params.insert("blkcnt".into(), 6);
+        e.params.insert("rw".into(), 1);
+        e.captured.insert("img_size".into(), 311_296);
+        e.dma_bases = vec![0x10_0000, 0x10_1000];
+        e
+    }
+
+    #[test]
+    fn table4_sdarg_expression() {
+        // SDARG = blkid & ~0x7
+        let expr = SymExpr::Param("blkid".into()).masked(!0x7u64);
+        assert_eq!(expr.eval(&env()), Some(40));
+        assert_eq!(expr.describe(), "(blkid & 0xfffffffffffffff8)");
+    }
+
+    #[test]
+    fn table4_sdcmd_expression() {
+        // SDCMD = 0x8000 | (rw << 6)
+        let expr = SymExpr::Param("rw".into()).shl(6).or_const(0x8000);
+        assert_eq!(expr.eval(&env()), Some(0x8040));
+        assert_eq!(expr.referenced_params(), vec!["rw".to_string()]);
+    }
+
+    #[test]
+    fn captured_and_dma_symbols() {
+        let expr = SymExpr::Captured("img_size".into());
+        assert_eq!(expr.eval(&env()), Some(311_296));
+        let expr = SymExpr::DmaBase(1).plus(0x8);
+        assert_eq!(expr.eval(&env()), Some(0x10_1008));
+        assert!(expr.is_symbolic());
+        assert!(!SymExpr::Const(4).is_symbolic());
+    }
+
+    #[test]
+    fn missing_symbols_yield_none() {
+        let expr = SymExpr::Param("nonexistent".into());
+        assert_eq!(expr.eval(&env()), None);
+        let expr = SymExpr::DmaBase(9);
+        assert_eq!(expr.eval(&env()), None);
+        let expr = SymExpr::Captured("nope".into());
+        assert_eq!(expr.eval(&env()), None);
+    }
+
+    #[test]
+    fn arithmetic_is_wrapping() {
+        let expr = SymExpr::Sub(Box::new(SymExpr::Const(0)), Box::new(SymExpr::Const(1)));
+        assert_eq!(expr.eval(&EvalEnv::default()), Some(u64::MAX));
+        let expr = SymExpr::Mul(Box::new(SymExpr::Const(u64::MAX)), Box::new(SymExpr::Const(2)));
+        assert!(expr.eval(&EvalEnv::default()).is_some());
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let expr = SymExpr::Param("blkcnt".into()).shl(9).plus(12);
+        let json = serde_json::to_string(&expr).unwrap();
+        let back: SymExpr = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, expr);
+    }
+
+    #[test]
+    fn describe_is_stable_for_nested_expressions() {
+        let expr = SymExpr::Xor(
+            Box::new(SymExpr::Not(Box::new(SymExpr::Param("a".into())))),
+            Box::new(SymExpr::Shr(Box::new(SymExpr::Const(0x100)), 4)),
+        );
+        assert_eq!(expr.describe(), "(~a ^ (0x100 >> 4))");
+    }
+}

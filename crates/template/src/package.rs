@@ -1,0 +1,329 @@
+//! Driverlet packaging: signed bundles of templates plus coverage reports.
+//!
+//! The recorder signs the templates at the end of a record campaign; they are
+//! "thereafter immutable" (§4). The replayer verifies the signature before
+//! accepting a bundle (§5, self security hardening). The signature here is a
+//! keyed digest over the canonical JSON encoding — a stand-in for the
+//! developer signature of the paper (which similarly only needs to bind the
+//! bundle to a key held outside the TEE's attack surface); it is not intended
+//! to be cryptographically strong and DESIGN.md documents the substitution.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::constraint::Constraint;
+use crate::template::Template;
+
+/// Per-parameter cumulative coverage across a record campaign (§4: the
+/// recorder "reports a cumulative coverage of the input space").
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct CoverageReport {
+    /// One entry per replay-entry parameter.
+    pub entries: Vec<CoverageEntry>,
+}
+
+/// Coverage of a single parameter.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CoverageEntry {
+    /// Parameter name.
+    pub param: String,
+    /// Union of the constraints covered by the bundled templates.
+    pub covered: Constraint,
+}
+
+impl CoverageReport {
+    /// Build the report by unioning the parameter constraints of `templates`.
+    pub fn from_templates(templates: &[Template]) -> Self {
+        let mut map: Vec<(String, Constraint)> = Vec::new();
+        for t in templates {
+            for p in &t.params {
+                match map.iter_mut().find(|(n, _)| *n == p.name) {
+                    Some((_, c)) => *c = c.union(&p.constraint),
+                    None => map.push((p.name.clone(), p.constraint.clone())),
+                }
+            }
+        }
+        CoverageReport {
+            entries: map
+                .into_iter()
+                .map(|(param, covered)| CoverageEntry { param, covered })
+                .collect(),
+        }
+    }
+
+    /// Whether a concrete argument set falls inside the covered input space.
+    pub fn covers(&self, args: &HashMap<String, u64>) -> bool {
+        let env = crate::expr::EvalEnv::with_params(args.clone());
+        self.entries.iter().all(|e| match args.get(&e.param) {
+            Some(v) => e.covered.check(*v, &env),
+            None => true,
+        })
+    }
+
+    /// Human-readable report, e.g. `blkcnt: 0x1 || 0x8 || 0x20 ...`.
+    pub fn describe(&self) -> String {
+        self.entries
+            .iter()
+            .map(|e| format!("{}: {}", e.param, e.covered.describe()))
+            .collect::<Vec<_>>()
+            .join("\n")
+    }
+}
+
+/// Errors from signature verification or deserialisation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SignError {
+    /// The bundle carries no signature.
+    Unsigned,
+    /// The signature does not match the contents (tampering or wrong key).
+    BadSignature,
+    /// The JSON could not be parsed.
+    Malformed(String),
+}
+
+impl std::fmt::Display for SignError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SignError::Unsigned => write!(f, "driverlet bundle is unsigned"),
+            SignError::BadSignature => write!(f, "driverlet signature verification failed"),
+            SignError::Malformed(e) => write!(f, "malformed driverlet bundle: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SignError {}
+
+/// A keyed digest over the bundle contents.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Signature {
+    /// Digest algorithm identifier.
+    pub algo: String,
+    /// The 64-bit keyed digest.
+    pub mac: u64,
+}
+
+fn fnv1a(data: &[u8], mut state: u64) -> u64 {
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    for b in data {
+        state ^= u64::from(*b);
+        state = state.wrapping_mul(PRIME);
+    }
+    state
+}
+
+fn keyed_digest(key: &[u8], payload: &[u8]) -> u64 {
+    // digest(key || payload || key), seeded with the FNV offset basis.
+    let mut state = 0xcbf2_9ce4_8422_2325u64;
+    state = fnv1a(key, state);
+    state = fnv1a(payload, state);
+    state = fnv1a(key, state);
+    state
+}
+
+/// A signed bundle of interaction templates for one device: the driverlet.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Driverlet {
+    /// Bus device name the templates drive (e.g. `sdhost`).
+    pub device: String,
+    /// Replay entry the bundle exports (e.g. `replay_mmc`).
+    pub entry: String,
+    /// The templates.
+    pub templates: Vec<Template>,
+    /// Cumulative input-space coverage.
+    pub coverage: CoverageReport,
+    /// Developer signature (present once the campaign is concluded).
+    pub signature: Option<Signature>,
+}
+
+impl Driverlet {
+    /// Bundle templates and compute the coverage report (unsigned).
+    pub fn new(device: &str, entry: &str, templates: Vec<Template>) -> Self {
+        let coverage = CoverageReport::from_templates(&templates);
+        Driverlet {
+            device: device.to_string(),
+            entry: entry.to_string(),
+            templates,
+            coverage,
+            signature: None,
+        }
+    }
+
+    fn canonical_payload(&self) -> Vec<u8> {
+        let unsigned = Driverlet {
+            device: self.device.clone(),
+            entry: self.entry.clone(),
+            templates: self.templates.clone(),
+            coverage: self.coverage.clone(),
+            signature: None,
+        };
+        serde_json::to_vec(&unsigned).expect("driverlet serialisation cannot fail")
+    }
+
+    /// Sign the bundle with the developer key. Signing freezes the contents:
+    /// any later mutation makes verification fail.
+    pub fn sign(&mut self, key: &[u8]) {
+        let mac = keyed_digest(key, &self.canonical_payload());
+        self.signature = Some(Signature { algo: "fnv1a-keyed-64".to_string(), mac });
+    }
+
+    /// Verify the bundle against the developer key.
+    pub fn verify(&self, key: &[u8]) -> Result<(), SignError> {
+        let sig = self.signature.as_ref().ok_or(SignError::Unsigned)?;
+        let expect = keyed_digest(key, &self.canonical_payload());
+        if sig.mac == expect {
+            Ok(())
+        } else {
+            Err(SignError::BadSignature)
+        }
+    }
+
+    /// Select the unique template matching `args`. By construction no two
+    /// templates can match simultaneously (the recorder merges templates that
+    /// share a state-transition path, §5); if several match, the first is
+    /// returned and the anomaly is the recorder's bug, not the trustlet's.
+    pub fn select(&self, args: &HashMap<String, u64>) -> Option<&Template> {
+        self.templates.iter().find(|t| t.matches(args))
+    }
+
+    /// Serialise to the human-readable JSON document form.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("driverlet serialisation cannot fail")
+    }
+
+    /// Parse a bundle from JSON.
+    pub fn from_json(json: &str) -> Result<Self, SignError> {
+        serde_json::from_str(json).map_err(|e| SignError::Malformed(e.to_string()))
+    }
+
+    /// Size in bytes of the serialised bundle (the §8.3.4 memory-overhead
+    /// figure).
+    pub fn serialized_size(&self) -> usize {
+        self.to_json().len()
+    }
+
+    /// Size in bytes of a compact (non-pretty) encoding — the paper notes a
+    /// binary form would shrink the templates further; the compact JSON is
+    /// our nearest equivalent.
+    pub fn compact_size(&self) -> usize {
+        serde_json::to_vec(self).map(|v| v.len()).unwrap_or(0)
+    }
+
+    /// Total number of events across all templates.
+    pub fn total_events(&self) -> usize {
+        self.templates.iter().map(|t| t.breakdown().total()).sum()
+    }
+
+    /// Run static vetting on every template.
+    pub fn validate(&self) -> Result<(), String> {
+        for t in &self.templates {
+            t.validate().map_err(|e| format!("{}: {e}", t.name))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{DataDirection, Event, Iface, RecordedEvent};
+    use crate::expr::SymExpr;
+    use crate::template::{ParamSpec, TemplateMeta};
+
+    fn tiny_template(name: &str, blkcnt_max: u64) -> Template {
+        Template {
+            name: name.to_string(),
+            entry: "replay_mmc".into(),
+            device: "sdhost".into(),
+            params: vec![
+                ParamSpec {
+                    name: "blkcnt".into(),
+                    constraint: Constraint::InRange { min: 1, max: blkcnt_max },
+                },
+                ParamSpec { name: "rw".into(), constraint: Constraint::eq_const(0) },
+            ],
+            direction: DataDirection::DeviceToUser,
+            data_len: SymExpr::Param("blkcnt".into()).shl(9),
+            irq_line: Some(56),
+            events: vec![RecordedEvent::bare(Event::Write {
+                iface: Iface::Reg { addr: 0x3f20_2004, name: "SDARG".into() },
+                value: SymExpr::Param("blkcnt".into()),
+            })],
+            meta: TemplateMeta::default(),
+        }
+    }
+
+    fn args(blkcnt: u64, rw: u64) -> HashMap<String, u64> {
+        [("blkcnt".to_string(), blkcnt), ("rw".to_string(), rw)].into_iter().collect()
+    }
+
+    #[test]
+    fn coverage_unions_across_templates() {
+        let d = Driverlet::new(
+            "sdhost",
+            "replay_mmc",
+            vec![tiny_template("rd_8", 8), tiny_template("rd_32", 32)],
+        );
+        assert!(d.coverage.covers(&args(5, 0)));
+        assert!(d.coverage.covers(&args(20, 0)));
+        assert!(!d.coverage.covers(&args(99, 0)));
+        assert!(d.coverage.describe().contains("blkcnt"));
+    }
+
+    #[test]
+    fn selection_picks_the_matching_template() {
+        let d = Driverlet::new(
+            "sdhost",
+            "replay_mmc",
+            vec![tiny_template("rd_8", 8), tiny_template("rd_32", 32)],
+        );
+        assert_eq!(d.select(&args(4, 0)).unwrap().name, "rd_8");
+        assert_eq!(d.select(&args(16, 0)).unwrap().name, "rd_32");
+        assert!(d.select(&args(64, 0)).is_none(), "out of coverage");
+        assert!(d.select(&args(4, 1)).is_none(), "write requests have no template here");
+    }
+
+    #[test]
+    fn sign_verify_and_tamper_detection() {
+        let mut d = Driverlet::new("sdhost", "replay_mmc", vec![tiny_template("rd_8", 8)]);
+        assert_eq!(d.verify(b"devkey"), Err(SignError::Unsigned));
+        d.sign(b"devkey");
+        assert!(d.verify(b"devkey").is_ok());
+        assert_eq!(d.verify(b"wrongkey"), Err(SignError::BadSignature));
+        // Any post-signing mutation is detected.
+        d.templates[0].name = "rd_8_tampered".into();
+        assert_eq!(d.verify(b"devkey"), Err(SignError::BadSignature));
+    }
+
+    #[test]
+    fn json_round_trip_preserves_the_signature() {
+        let mut d = Driverlet::new("sdhost", "replay_mmc", vec![tiny_template("rd_8", 8)]);
+        d.sign(b"devkey");
+        let json = d.to_json();
+        let back = Driverlet::from_json(&json).unwrap();
+        assert_eq!(back, d);
+        assert!(back.verify(b"devkey").is_ok());
+        assert!(Driverlet::from_json("{not json").is_err());
+    }
+
+    #[test]
+    fn sizes_are_reported() {
+        let d = Driverlet::new(
+            "sdhost",
+            "replay_mmc",
+            vec![tiny_template("rd_8", 8), tiny_template("rd_32", 32)],
+        );
+        assert!(d.serialized_size() > 0);
+        assert!(d.compact_size() > 0);
+        assert!(d.compact_size() <= d.serialized_size());
+        assert_eq!(d.total_events(), 2);
+        assert!(d.validate().is_ok());
+    }
+
+    #[test]
+    fn keyed_digest_depends_on_key_and_payload() {
+        assert_ne!(keyed_digest(b"a", b"payload"), keyed_digest(b"b", b"payload"));
+        assert_ne!(keyed_digest(b"a", b"payload"), keyed_digest(b"a", b"payloae"));
+        assert_eq!(keyed_digest(b"a", b"payload"), keyed_digest(b"a", b"payload"));
+    }
+}

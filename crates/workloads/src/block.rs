@@ -1,0 +1,406 @@
+//! Block-device abstraction and the three execution paths of §8.3.1.
+
+use std::collections::HashMap;
+
+use dlt_core::{replay_mmc, replay_usb, Replayer};
+use dlt_dev_mmc::MmcSubsystem;
+use dlt_dev_usb::UsbSubsystem;
+use dlt_gold_drivers::kenv::{BusIo, HwIo, IoFlags, Rw};
+use dlt_gold_drivers::mmc::MmcHost;
+use dlt_gold_drivers::usb::{UsbHcd, UsbStorageDriver};
+use dlt_hw::{DmaRegion, Platform};
+use dlt_recorder::campaign::{record_mmc_driverlet, record_usb_driverlet, DEV_KEY};
+use dlt_tee::{SecureIo, TeeKernel};
+
+/// Block size in bytes.
+pub const BLOCK: usize = 512;
+/// Block granularities the record campaigns cover (Table 3).
+pub const GRANULARITIES: [u32; 5] = [256, 128, 32, 8, 1];
+
+/// Which storage device a workload runs against.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StorageKind {
+    /// The MMC / SD card path.
+    Mmc,
+    /// The USB mass-storage path.
+    Usb,
+}
+
+/// Which execution path serves the IO.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StoragePath {
+    /// Full gold driver, asynchronous write-back behaviour ("native").
+    Native,
+    /// Full gold driver with O_SYNC semantics ("native-sync").
+    NativeSync,
+    /// The in-TEE driverlet replayer ("ours").
+    Driverlet,
+}
+
+/// A block device a workload can talk to.
+pub trait BlockDev {
+    /// Read `blkcnt` blocks starting at `blkid`.
+    fn read_blocks(&mut self, blkid: u32, blkcnt: u32, buf: &mut [u8]) -> Result<(), String>;
+    /// Write whole blocks starting at `blkid`.
+    fn write_blocks(&mut self, blkid: u32, data: &[u8]) -> Result<(), String>;
+    /// Flush any deferred writes.
+    fn flush(&mut self) -> Result<(), String>;
+    /// Current virtual time (for IOPS/latency measurement).
+    fn now_ns(&self) -> u64;
+    /// Device operations per recorded granularity (Table 9 breakdown); only
+    /// meaningful for the driverlet path.
+    fn invocation_breakdown(&self) -> HashMap<u32, u64> {
+        HashMap::new()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Native paths
+// ---------------------------------------------------------------------------
+
+enum NativeInner {
+    Mmc(MmcHost<BusIo>),
+    Usb(UsbStorageDriver<BusIo>),
+}
+
+/// The native / native-sync path: the gold driver behind a (modelled) kernel
+/// block layer, with an optional write-back cache.
+pub struct NativeDev {
+    platform: Platform,
+    inner: NativeInner,
+    sync: bool,
+    /// Dirty write-back extents (blkid -> data), absent in sync mode.
+    cache: Vec<(u32, Vec<u8>)>,
+    max_extents: usize,
+}
+
+impl NativeDev {
+    /// Build a native MMC or USB stack on a fresh platform.
+    pub fn new(kind: StorageKind, path: StoragePath) -> Self {
+        assert!(path != StoragePath::Driverlet, "use DriverletDev for the driverlet path");
+        let platform = Platform::new();
+        let io = BusIo::normal_world(platform.bus.clone(), DmaRegion::new(0x0200_0000, 0x0100_0000));
+        let inner = match kind {
+            StorageKind::Mmc => {
+                MmcSubsystem::attach(&platform).expect("attach mmc");
+                let mut host = MmcHost::new(io);
+                host.probe().expect("probe mmc");
+                NativeInner::Mmc(host)
+            }
+            StorageKind::Usb => {
+                UsbSubsystem::attach(&platform).expect("attach usb");
+                let mut drv = UsbStorageDriver::new(UsbHcd::new(io));
+                drv.init().expect("init usb");
+                NativeInner::Usb(drv)
+            }
+        };
+        NativeDev {
+            platform,
+            inner,
+            sync: path == StoragePath::NativeSync,
+            cache: Vec::new(),
+            max_extents: 16,
+        }
+    }
+
+    fn charge_kernel_path(&mut self, blkcnt: u32) {
+        // Kernel block layer + filesystem + per-page scheduling, which the
+        // driverlet path does not pay (§8.3.2).
+        let pages = u64::from(blkcnt.div_ceil(8));
+        let sched = match self.inner {
+            NativeInner::Mmc(_) => 18,
+            // The USB stack runs transfer scheduling for every data page
+            // (§8.3.3 explains the large-write gap with this cost).
+            NativeInner::Usb(_) => 55,
+        };
+        let us = 220 + sched * pages;
+        match &mut self.inner {
+            NativeInner::Mmc(h) => h.io_mut().delay_us(us),
+            NativeInner::Usb(d) => d.hcd_mut().io_mut().delay_us(us),
+        }
+    }
+
+    fn device_write(&mut self, blkid: u32, data: &[u8]) -> Result<(), String> {
+        let blkcnt = (data.len() / BLOCK) as u32;
+        let mut copy = data.to_vec();
+        match &mut self.inner {
+            NativeInner::Mmc(h) => h
+                .do_io(Rw::Write, blkcnt, blkid, IoFlags::none(), &mut copy)
+                .map_err(|e| e.to_string()),
+            NativeInner::Usb(d) => d
+                .do_io(Rw::Write, blkcnt, blkid, IoFlags::none(), &mut copy)
+                .map_err(|e| e.to_string()),
+        }
+    }
+
+    fn device_read(&mut self, blkid: u32, blkcnt: u32, buf: &mut [u8]) -> Result<(), String> {
+        match &mut self.inner {
+            NativeInner::Mmc(h) => {
+                h.do_io(Rw::Read, blkcnt, blkid, IoFlags::none(), buf).map_err(|e| e.to_string())
+            }
+            NativeInner::Usb(d) => {
+                d.do_io(Rw::Read, blkcnt, blkid, IoFlags::none(), buf).map_err(|e| e.to_string())
+            }
+        }
+    }
+}
+
+impl BlockDev for NativeDev {
+    fn read_blocks(&mut self, blkid: u32, blkcnt: u32, buf: &mut [u8]) -> Result<(), String> {
+        self.charge_kernel_path(blkcnt);
+        // Serve fully-covering dirty extents from the cache.
+        if let Some((_, data)) = self
+            .cache
+            .iter()
+            .find(|(id, data)| *id <= blkid && blkid + blkcnt <= id + (data.len() / BLOCK) as u32)
+        {
+            let off = ((blkid - self.cache.iter().find(|(id, d)| *id <= blkid && blkid + blkcnt <= id + (d.len() / BLOCK) as u32).unwrap().0) as usize) * BLOCK;
+            buf[..blkcnt as usize * BLOCK].copy_from_slice(&data[off..off + blkcnt as usize * BLOCK]);
+            return Ok(());
+        }
+        // Flush overlapping dirty data first.
+        let overlapping: Vec<usize> = self
+            .cache
+            .iter()
+            .enumerate()
+            .filter(|(_, (id, data))| {
+                let end = id + (data.len() / BLOCK) as u32;
+                blkid < end && *id < blkid + blkcnt
+            })
+            .map(|(i, _)| i)
+            .collect();
+        if !overlapping.is_empty() {
+            self.flush()?;
+        }
+        self.device_read(blkid, blkcnt, buf)
+    }
+
+    fn write_blocks(&mut self, blkid: u32, data: &[u8]) -> Result<(), String> {
+        let blkcnt = (data.len() / BLOCK) as u32;
+        self.charge_kernel_path(blkcnt);
+        if self.sync {
+            return self.device_write(blkid, data);
+        }
+        // Merge with an adjacent extent when possible.
+        if let Some((id, existing)) = self
+            .cache
+            .iter_mut()
+            .find(|(id, existing)| *id + (existing.len() / BLOCK) as u32 == blkid)
+        {
+            let _ = id;
+            existing.extend_from_slice(data);
+        } else {
+            self.cache.push((blkid, data.to_vec()));
+        }
+        if self.cache.len() > self.max_extents {
+            self.flush()?;
+        }
+        Ok(())
+    }
+
+    fn flush(&mut self) -> Result<(), String> {
+        let extents = std::mem::take(&mut self.cache);
+        for (blkid, data) in extents {
+            // Split big merged extents into device-sized chunks.
+            let mut off = 0usize;
+            let mut id = blkid;
+            while off < data.len() {
+                let blocks = (((data.len() - off) / BLOCK) as u32).min(256);
+                self.device_write(id, &data[off..off + blocks as usize * BLOCK])?;
+                off += blocks as usize * BLOCK;
+                id += blocks;
+            }
+        }
+        Ok(())
+    }
+
+    fn now_ns(&self) -> u64 {
+        self.platform.now_ns()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Driverlet path
+// ---------------------------------------------------------------------------
+
+/// The driverlet path: a TEE-resident replayer serving block IO by composing
+/// template invocations of the recorded granularities.
+pub struct DriverletDev {
+    platform: Platform,
+    /// Typed handle kept for fault injection in tests.
+    pub mmc: Option<dlt_hw::Shared<dlt_dev_mmc::SdHost>>,
+    /// Typed handle for the USB stick.
+    pub usb: Option<dlt_hw::Shared<dlt_dev_usb::UsbHostController>>,
+    replayer: Replayer,
+    kind: StorageKind,
+    breakdown: HashMap<u32, u64>,
+}
+
+impl DriverletDev {
+    /// Record the driverlet for `kind` and set up a TEE-owned device plus a
+    /// replayer on a fresh platform.
+    pub fn new(kind: StorageKind) -> Self {
+        let platform = Platform::new();
+        let (mmc, usb, driverlet, secure) = match kind {
+            StorageKind::Mmc => {
+                let sys = MmcSubsystem::attach(&platform).expect("attach mmc");
+                (Some(sys.sdhost), None, record_mmc_driverlet().expect("record mmc"), vec!["sdhost", "dma"])
+            }
+            StorageKind::Usb => {
+                let sys = UsbSubsystem::attach(&platform).expect("attach usb");
+                (None, Some(sys.hostctrl), record_usb_driverlet().expect("record usb"), vec!["dwc2"])
+            }
+        };
+        TeeKernel::install(&platform, &secure).expect("install tee");
+        let mut replayer = Replayer::new(SecureIo::new(platform.bus.clone()));
+        replayer.load_driverlet(driverlet, DEV_KEY).expect("load driverlet");
+        DriverletDev { platform, mmc, usb, replayer, kind, breakdown: HashMap::new() }
+    }
+
+    /// Access the replayer (stats, additional driverlets).
+    pub fn replayer_mut(&mut self) -> &mut Replayer {
+        &mut self.replayer
+    }
+
+    /// Decompose an arbitrary request into recorded granularities (the
+    /// driverlet "must access the data in ways specified by the recorded
+    /// paths", §3.3).
+    pub fn decompose(mut blkcnt: u32) -> Vec<u32> {
+        let mut parts = Vec::new();
+        while blkcnt > 0 {
+            let g = GRANULARITIES.iter().copied().find(|g| *g <= blkcnt).unwrap_or(1);
+            parts.push(g);
+            blkcnt -= g;
+        }
+        parts
+    }
+
+    fn one(&mut self, rw: u64, blkcnt: u32, blkid: u32, buf: &mut [u8]) -> Result<(), String> {
+        *self.breakdown.entry(blkcnt).or_insert(0) += 1;
+        let r = match self.kind {
+            StorageKind::Mmc => replay_mmc(&mut self.replayer, rw, blkcnt, blkid, 0, buf),
+            StorageKind::Usb => replay_usb(&mut self.replayer, rw, blkcnt, blkid, 0, buf),
+        };
+        r.map(|_| ()).map_err(|e| e.to_string())
+    }
+}
+
+impl BlockDev for DriverletDev {
+    fn read_blocks(&mut self, blkid: u32, blkcnt: u32, buf: &mut [u8]) -> Result<(), String> {
+        let mut done = 0u32;
+        for part in Self::decompose(blkcnt) {
+            let start = done as usize * BLOCK;
+            let end = (done + part) as usize * BLOCK;
+            self.one(0x1, part, blkid + done, &mut buf[start..end])?;
+            done += part;
+        }
+        Ok(())
+    }
+
+    fn write_blocks(&mut self, blkid: u32, data: &[u8]) -> Result<(), String> {
+        let blkcnt = (data.len() / BLOCK) as u32;
+        let mut done = 0u32;
+        let mut scratch = data.to_vec();
+        for part in Self::decompose(blkcnt) {
+            let start = done as usize * BLOCK;
+            let end = (done + part) as usize * BLOCK;
+            self.one(0x10, part, blkid + done, &mut scratch[start..end])?;
+            done += part;
+        }
+        Ok(())
+    }
+
+    fn flush(&mut self) -> Result<(), String> {
+        // Driverlet IO is always synchronous (§8.3.2): nothing to flush.
+        Ok(())
+    }
+
+    fn now_ns(&self) -> u64 {
+        self.platform.now_ns()
+    }
+
+    fn invocation_breakdown(&self) -> HashMap<u32, u64> {
+        self.breakdown.clone()
+    }
+}
+
+impl BlockDev for Box<dyn BlockDev> {
+    fn read_blocks(&mut self, blkid: u32, blkcnt: u32, buf: &mut [u8]) -> Result<(), String> {
+        (**self).read_blocks(blkid, blkcnt, buf)
+    }
+    fn write_blocks(&mut self, blkid: u32, data: &[u8]) -> Result<(), String> {
+        (**self).write_blocks(blkid, data)
+    }
+    fn flush(&mut self) -> Result<(), String> {
+        (**self).flush()
+    }
+    fn now_ns(&self) -> u64 {
+        (**self).now_ns()
+    }
+    fn invocation_breakdown(&self) -> HashMap<u32, u64> {
+        (**self).invocation_breakdown()
+    }
+}
+
+/// Build a block device for the given kind and path.
+pub fn make_storage(kind: StorageKind, path: StoragePath) -> Box<dyn BlockDev> {
+    match path {
+        StoragePath::Driverlet => Box::new(DriverletDev::new(kind)),
+        _ => Box::new(NativeDev::new(kind, path)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decomposition_prefers_large_recorded_granularities() {
+        assert_eq!(DriverletDev::decompose(256), vec![256]);
+        assert_eq!(DriverletDev::decompose(40), vec![32, 8]);
+        assert_eq!(DriverletDev::decompose(3), vec![1, 1, 1]);
+        assert_eq!(DriverletDev::decompose(300), vec![256, 32, 8, 1, 1, 1, 1]);
+        assert_eq!(DriverletDev::decompose(300).iter().sum::<u32>(), 300);
+    }
+
+    #[test]
+    fn native_mmc_round_trip_and_sync_is_slower() {
+        let mut native = NativeDev::new(StorageKind::Mmc, StoragePath::Native);
+        let data = vec![7u8; 8 * BLOCK];
+        let t0 = native.now_ns();
+        native.write_blocks(0, &data).unwrap();
+        let native_write = native.now_ns() - t0;
+        let mut out = vec![0u8; 8 * BLOCK];
+        native.read_blocks(0, 8, &mut out).unwrap();
+        assert_eq!(out, data);
+
+        let mut sync = NativeDev::new(StorageKind::Mmc, StoragePath::NativeSync);
+        let t0 = sync.now_ns();
+        sync.write_blocks(0, &data).unwrap();
+        let sync_write = sync.now_ns() - t0;
+        assert!(sync_write > native_write * 2, "sync {sync_write} vs native {native_write}");
+    }
+
+    #[test]
+    fn native_usb_round_trip() {
+        let mut dev = NativeDev::new(StorageKind::Usb, StoragePath::NativeSync);
+        let data: Vec<u8> = (0..8 * BLOCK).map(|i| (i % 200) as u8).collect();
+        dev.write_blocks(100, &data).unwrap();
+        let mut out = vec![0u8; 8 * BLOCK];
+        dev.read_blocks(100, 8, &mut out).unwrap();
+        assert_eq!(out, data);
+    }
+
+    #[test]
+    fn driverlet_mmc_round_trip_with_breakdown() {
+        let mut dev = DriverletDev::new(StorageKind::Mmc);
+        let data: Vec<u8> = (0..40 * BLOCK).map(|i| (i % 251) as u8).collect();
+        dev.write_blocks(64, &data).unwrap();
+        let mut out = vec![0u8; 40 * BLOCK];
+        dev.read_blocks(64, 40, &mut out).unwrap();
+        assert_eq!(out, data);
+        let bd = dev.invocation_breakdown();
+        assert_eq!(bd.get(&32), Some(&2), "one 32-block read and one 32-block write");
+        assert_eq!(bd.get(&8), Some(&2));
+    }
+}

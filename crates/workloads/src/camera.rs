@@ -1,0 +1,148 @@
+//! Camera capture-latency workloads (Figure 6).
+
+use dlt_core::{replay_cam, Replayer};
+use dlt_dev_vchiq::msg::CameraResolution;
+use dlt_dev_vchiq::VchiqSubsystem;
+use dlt_gold_drivers::kenv::BusIo;
+use dlt_gold_drivers::vchiq::VchiqDriver;
+use dlt_hw::{DmaRegion, Platform};
+use dlt_recorder::campaign::{record_camera_driverlet, DEV_KEY};
+use dlt_tee::{SecureIo, TeeKernel};
+
+/// Result of one capture workload.
+#[derive(Debug, Clone)]
+pub struct CameraResult {
+    /// Number of frames in the burst (1 = OneShot, 10 = ShortBurst, 100 =
+    /// LongBurst).
+    pub burst: u32,
+    /// Resolution code (720 / 1080 / 1440).
+    pub resolution: u32,
+    /// Whether this is the driverlet path ("ours") or the native driver.
+    pub driverlet: bool,
+    /// Total burst latency in virtual nanoseconds.
+    pub latency_ns: u64,
+    /// Image size produced.
+    pub img_size: u32,
+}
+
+impl CameraResult {
+    /// Latency per frame in seconds.
+    pub fn per_frame_s(&self) -> f64 {
+        self.latency_ns as f64 / 1e9 / f64::from(self.burst)
+    }
+
+    /// Burst name as used in the paper.
+    pub fn burst_name(&self) -> &'static str {
+        match self.burst {
+            1 => "OneShot",
+            10 => "ShortBurst",
+            100 => "LongBurst",
+            _ => "Burst",
+        }
+    }
+}
+
+/// Run one capture burst through the native gold driver.
+pub fn native_capture(burst: u32, resolution: CameraResolution) -> CameraResult {
+    let platform = Platform::new();
+    VchiqSubsystem::attach(&platform).expect("attach vchiq");
+    let io = BusIo::normal_world(platform.bus.clone(), DmaRegion::new(0x0200_0000, 0x0100_0000));
+    let mut drv = VchiqDriver::new(io);
+    let mut buf = vec![0u8; 2 << 20];
+    let start = platform.now_ns();
+    let img_size = drv.capture(burst, resolution, &mut buf).expect("native capture");
+    CameraResult {
+        burst,
+        resolution: resolution.code(),
+        driverlet: false,
+        latency_ns: platform.now_ns() - start,
+        img_size,
+    }
+}
+
+/// A reusable driverlet camera rig (recording the driverlet once is
+/// expensive; Figure 6 sweeps nine configurations over it).
+pub struct DriverletCamera {
+    platform: Platform,
+    replayer: Replayer,
+}
+
+impl DriverletCamera {
+    /// Record the camera driverlet (restricted to the given bursts) and set
+    /// up a TEE-owned VC4 with a replayer.
+    pub fn new(bursts: &[u32]) -> Self {
+        let platform = Platform::new();
+        VchiqSubsystem::attach(&platform).expect("attach vchiq");
+        TeeKernel::install(&platform, &["vchiq"]).expect("install tee");
+        let driverlet = dlt_recorder::campaign::record_camera_driverlet_subset(bursts)
+            .expect("record camera driverlet");
+        let mut replayer = Replayer::new(SecureIo::new(platform.bus.clone()));
+        replayer.load_driverlet(driverlet, DEV_KEY).expect("load driverlet");
+        DriverletCamera { platform, replayer }
+    }
+
+    /// Record the full (1/10/100) camera driverlet.
+    pub fn full() -> Self {
+        let platform = Platform::new();
+        VchiqSubsystem::attach(&platform).expect("attach vchiq");
+        TeeKernel::install(&platform, &["vchiq"]).expect("install tee");
+        let driverlet = record_camera_driverlet().expect("record camera driverlet");
+        let mut replayer = Replayer::new(SecureIo::new(platform.bus.clone()));
+        replayer.load_driverlet(driverlet, DEV_KEY).expect("load driverlet");
+        DriverletCamera { platform, replayer }
+    }
+
+    /// Capture one burst through the driverlet.
+    pub fn capture(&mut self, burst: u32, resolution: CameraResolution) -> CameraResult {
+        let mut buf = vec![0u8; 2 << 20];
+        let start = self.platform.now_ns();
+        let img_size =
+            replay_cam(&mut self.replayer, burst, resolution.code(), &mut buf).expect("replay_cam");
+        CameraResult {
+            burst,
+            resolution: resolution.code(),
+            driverlet: true,
+            latency_ns: self.platform.now_ns() - start,
+            img_size,
+        }
+    }
+}
+
+/// Run the full Figure 6 sweep: bursts × resolutions × {native, driverlet}.
+pub fn run_camera_sweep(bursts: &[u32]) -> Vec<CameraResult> {
+    let mut out = Vec::new();
+    let mut rig = DriverletCamera::new(bursts);
+    for &burst in bursts {
+        for resolution in CameraResolution::all() {
+            out.push(rig.capture(burst, resolution));
+            out.push(native_capture(burst, resolution));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure6_shape_holds_for_oneshot_and_shortburst() {
+        let mut rig = DriverletCamera::new(&[1, 10]);
+        let ours_1 = rig.capture(1, CameraResolution::R720p);
+        let native_1 = native_capture(1, CameraResolution::R720p);
+        // Single-frame latency: the driverlet is only modestly slower (the
+        // paper reports ~11%).
+        assert!(ours_1.latency_ns >= native_1.latency_ns);
+        assert!(
+            ours_1.latency_ns < native_1.latency_ns * 2,
+            "one-shot driverlet capture should be within 2x of native"
+        );
+        // Per-frame latency decreases with burst size (init cost amortises).
+        let ours_10 = rig.capture(10, CameraResolution::R720p);
+        assert!(ours_10.per_frame_s() < ours_1.per_frame_s());
+        // Higher resolutions take longer.
+        let ours_1440 = rig.capture(1, CameraResolution::R1440p);
+        assert!(ours_1440.latency_ns > ours_1.latency_ns);
+        assert_eq!(ours_1440.img_size, CameraResolution::R1440p.frame_bytes());
+    }
+}

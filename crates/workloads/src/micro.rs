@@ -1,0 +1,89 @@
+//! Single-request latency microbenchmarks (Figure 7).
+
+use crate::block::{DriverletDev, NativeDev, StorageKind, StoragePath, BLOCK};
+use crate::BlockDev;
+
+/// Result of one microbenchmark point.
+#[derive(Debug, Clone)]
+pub struct MicroResult {
+    /// Storage device.
+    pub kind: StorageKind,
+    /// True for writes, false for reads.
+    pub write: bool,
+    /// Request size in blocks.
+    pub blkcnt: u32,
+    /// Native (synchronous full driver) latency in nanoseconds.
+    pub native_ns: u64,
+    /// Driverlet latency in nanoseconds.
+    pub driverlet_ns: u64,
+}
+
+impl MicroResult {
+    /// Driverlet latency relative to native (1.0 = equal).
+    pub fn relative(&self) -> f64 {
+        self.driverlet_ns as f64 / self.native_ns.max(1) as f64
+    }
+}
+
+fn one_native(kind: StorageKind, write: bool, blkcnt: u32) -> u64 {
+    // Figure 7 measures the full synchronous request path of the native
+    // driver (block layer + driver + medium).
+    let mut dev = NativeDev::new(kind, StoragePath::NativeSync);
+    let mut buf = vec![0xa5u8; blkcnt as usize * BLOCK];
+    let start = dev.now_ns();
+    if write {
+        dev.write_blocks(1024, &buf).expect("native write");
+    } else {
+        dev.read_blocks(1024, blkcnt, &mut buf).expect("native read");
+    }
+    dev.now_ns() - start
+}
+
+/// Run the Figure 7 sweep for one device over the recorded granularities.
+/// Building the driverlet rig once keeps the (expensive) record campaign out
+/// of the measured path.
+pub fn run_micro_sweep(kind: StorageKind, granularities: &[u32]) -> Vec<MicroResult> {
+    let mut driverlet = DriverletDev::new(kind);
+    let mut out = Vec::new();
+    for &blkcnt in granularities {
+        for write in [false, true] {
+            let mut buf = vec![0x5au8; blkcnt as usize * BLOCK];
+            let start = driverlet.now_ns();
+            if write {
+                driverlet.write_blocks(2048, &buf).expect("driverlet write");
+            } else {
+                driverlet.read_blocks(2048, blkcnt, &mut buf).expect("driverlet read");
+            }
+            let driverlet_ns = driverlet.now_ns() - start;
+            let native_ns = one_native(kind, write, blkcnt);
+            out.push(MicroResult { kind, write, blkcnt, native_ns, driverlet_ns });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure7_shape_driverlet_latency_is_near_native() {
+        let results = run_micro_sweep(StorageKind::Mmc, &[1, 32]);
+        assert_eq!(results.len(), 4);
+        for r in &results {
+            assert!(
+                r.relative() < 1.6,
+                "driverlet {}-block {} latency {:.2}x native is too far off",
+                r.blkcnt,
+                if r.write { "write" } else { "read" },
+                r.relative()
+            );
+            assert!(r.driverlet_ns > 0 && r.native_ns > 0);
+        }
+        // Larger requests take longer on both paths.
+        let small = results.iter().find(|r| r.blkcnt == 1 && !r.write).unwrap();
+        let large = results.iter().find(|r| r.blkcnt == 32 && !r.write).unwrap();
+        assert!(large.native_ns > small.native_ns);
+        assert!(large.driverlet_ns > small.driverlet_ns);
+    }
+}

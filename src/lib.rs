@@ -1,0 +1,20 @@
+//! # driverlets — reproduction of "Minimum Viable Device Drivers for ARM TrustZone" (EuroSys '22)
+//!
+//! This meta-crate re-exports the whole workspace so downstream users (and
+//! the integration tests and examples in this repository) can depend on a
+//! single crate. See the README for the architecture overview and DESIGN.md
+//! for the per-experiment index.
+
+#![forbid(unsafe_code)]
+
+pub use dlt_core as core;
+pub use dlt_dev_mmc as dev_mmc;
+pub use dlt_dev_usb as dev_usb;
+pub use dlt_dev_vchiq as dev_vchiq;
+pub use dlt_gold_drivers as gold_drivers;
+pub use dlt_hw as hw;
+pub use dlt_recorder as recorder;
+pub use dlt_tee as tee;
+pub use dlt_template as template;
+pub use dlt_trustlets as trustlets;
+pub use dlt_workloads as workloads;
