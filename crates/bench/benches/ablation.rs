@@ -46,7 +46,10 @@ fn ablation(c: &mut Criterion) {
         let mut buf = vec![0u8; 8 * 512];
         let t0 = platform.now_ns();
         replay_mmc(&mut replayer, 0x1, 8, 0, 0, &mut buf).unwrap();
-        println!("ablation {label}: one 8-block read costs {} us of virtual time", (platform.now_ns() - t0) / 1_000);
+        println!(
+            "ablation {label}: one 8-block read costs {} us of virtual time",
+            (platform.now_ns() - t0) / 1_000
+        );
 
         group.bench_with_input(BenchmarkId::new("replay_rd8", label), &(), |b, _| {
             let mut buf = vec![0u8; 8 * 512];

@@ -10,11 +10,17 @@ fn fig5(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig5_sqlite_mmc");
     group.sample_size(10);
     for path in [StoragePath::Native, StoragePath::NativeSync, StoragePath::Driverlet] {
-        group.bench_with_input(BenchmarkId::new("insert3", format!("{path:?}")), &path, |b, path| {
-            b.iter(|| {
-                run_benchmark(SqliteBenchmark::Insert3, StorageKind::Mmc, *path, 10).unwrap().iops
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("insert3", format!("{path:?}")),
+            &path,
+            |b, path| {
+                b.iter(|| {
+                    run_benchmark(SqliteBenchmark::Insert3, StorageKind::Mmc, *path, 10)
+                        .unwrap()
+                        .iops
+                })
+            },
+        );
     }
     group.finish();
 }

@@ -15,9 +15,7 @@ use std::collections::HashMap;
 
 use dlt_bench::{breakdown_table, constraints_table, figure5_panel, memory_report};
 use dlt_gold_drivers::stats::{measured_table7, measured_table8, paper_table7, paper_table8};
-use dlt_recorder::campaign::{
-    record_camera_driverlet, record_mmc_driverlet, record_usb_driverlet,
-};
+use dlt_recorder::campaign::{record_camera_driverlet, record_mmc_driverlet, record_usb_driverlet};
 use dlt_workloads::block::{StorageKind, StoragePath};
 use dlt_workloads::camera::run_camera_sweep;
 use dlt_workloads::micro::run_micro_sweep;
@@ -38,7 +36,9 @@ fn main() {
         println!("recording the MMC driverlet (10 templates)...");
         let mmc = record_mmc_driverlet().expect("record mmc");
         if want(&selected, "table3") {
-            println!("\n--- Table 3: MMC template event breakdown (paper: 24-150 events/template) ---");
+            println!(
+                "\n--- Table 3: MMC template event breakdown (paper: 24-150 events/template) ---"
+            );
             println!("{}", breakdown_table(&mmc));
         }
         if want(&selected, "table4") {
@@ -136,9 +136,14 @@ fn main() {
     }
 
     if want(&selected, "fig5") {
-        for (kind, label) in [(StorageKind::Mmc, "5a SQLite-MMC"), (StorageKind::Usb, "5b SQLite-USB")] {
+        for (kind, label) in
+            [(StorageKind::Mmc, "5a SQLite-MMC"), (StorageKind::Usb, "5b SQLite-USB")]
+        {
             println!("\n--- Figure {label}: IOPS (native / native-sync / ours) ---");
-            println!("{:<10} {:>10} {:>12} {:>10} {:>18}", "benchmark", "native", "native-sync", "ours", "ours vs native");
+            println!(
+                "{:<10} {:>10} {:>12} {:>10} {:>18}",
+                "benchmark", "native", "native-sync", "ours", "ours vs native"
+            );
             let rows = figure5_panel(kind, queries);
             let mut native_sum = 0.0;
             let mut ours_sum = 0.0;
@@ -200,7 +205,10 @@ fn main() {
         let grans: &[u32] = if quick { &[1, 32, 256] } else { &[1, 8, 32, 128, 256] };
         for (kind, label) in [(StorageKind::Mmc, "MMC"), (StorageKind::Usb, "USB")] {
             println!("{label}:");
-            println!("{:<6} {:<6} {:>12} {:>12} {:>10}", "blocks", "op", "ours (us)", "native (us)", "ours/nat");
+            println!(
+                "{:<6} {:<6} {:>12} {:>12} {:>10}",
+                "blocks", "op", "ours (us)", "native (us)", "ours/nat"
+            );
             for r in run_micro_sweep(kind, grans) {
                 println!(
                     "{:<6} {:<6} {:>12} {:>12} {:>9.2}x",

@@ -11,9 +11,7 @@
 
 use std::collections::HashMap;
 
-use dlt_recorder::campaign::{
-    record_camera_driverlet, record_mmc_driverlet, record_usb_driverlet,
-};
+use dlt_recorder::campaign::{record_camera_driverlet, record_mmc_driverlet, record_usb_driverlet};
 use dlt_template::Driverlet;
 use dlt_workloads::block::{StorageKind, StoragePath};
 use dlt_workloads::suite::{run_benchmark, SqliteBenchmark};
@@ -62,8 +60,11 @@ pub fn constraints_table(driverlet: &Driverlet, template: &str) -> String {
     }
     out.push_str("  captured device-assigned inputs:\n");
     for re in &t.events {
-        if let dlt_template::Event::Read { iface, sink: dlt_template::ReadSink::Capture(name), .. } =
-            &re.event
+        if let dlt_template::Event::Read {
+            iface,
+            sink: dlt_template::ReadSink::Capture(name),
+            ..
+        } = &re.event
         {
             out.push_str(&format!("    {:<24} -> ${}\n", iface.describe(), name));
         }
@@ -101,7 +102,10 @@ pub fn figure5_panel(kind: StorageKind, queries: u64) -> Vec<(String, HashMap<&'
 pub fn memory_report(mmc: &Driverlet, usb: &Driverlet, cam: &Driverlet) -> String {
     let mut out = String::new();
     out.push_str("driverlet bundle sizes (serialised templates)\n");
-    out.push_str(&format!("{:<8} {:>14} {:>14} {:>10}\n", "device", "pretty bytes", "compact bytes", "events"));
+    out.push_str(&format!(
+        "{:<8} {:>14} {:>14} {:>10}\n",
+        "device", "pretty bytes", "compact bytes", "events"
+    ));
     for (name, d) in [("MMC", mmc), ("USB", usb), ("VCHIQ", cam)] {
         out.push_str(&format!(
             "{:<8} {:>14} {:>14} {:>10}\n",

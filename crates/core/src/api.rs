@@ -22,6 +22,35 @@ fn block_args(rw: u64, blkcnt: u32, blkid: u32, flag: u64) -> HashMap<String, u6
 /// 512-byte blocks starting at `blkid` on the secure SD card.
 ///
 /// `rw` uses the paper's encoding: `0x1` = read, `0x10` = write.
+///
+/// # Example
+///
+/// Record a driverlet in the normal world, hand the controller to the TEE,
+/// then round-trip a block through the secure SD card:
+///
+/// ```
+/// use dlt_core::{replay_mmc, Replayer};
+/// use dlt_dev_mmc::MmcSubsystem;
+/// use dlt_hw::Platform;
+/// use dlt_recorder::campaign::{record_mmc_driverlet_subset, DEV_KEY};
+/// use dlt_tee::{SecureIo, TeeKernel};
+///
+/// let driverlet = record_mmc_driverlet_subset(&[1]).expect("record campaign");
+///
+/// let platform = Platform::new();
+/// MmcSubsystem::attach(&platform).expect("attach MMC");
+/// TeeKernel::install(&platform, &["sdhost", "dma"]).expect("install TEE");
+/// let mut replayer = Replayer::new(SecureIo::new(platform.bus.clone()));
+/// replayer.load_driverlet(driverlet, DEV_KEY).expect("verify + load");
+///
+/// let mut block = vec![0u8; 512];
+/// block[..5].copy_from_slice(b"hello");
+/// replay_mmc(&mut replayer, 0x10, 1, 42, 0, &mut block).expect("secure write");
+///
+/// let mut back = vec![0u8; 512];
+/// replay_mmc(&mut replayer, 0x1, 1, 42, 0, &mut back).expect("secure read");
+/// assert_eq!(&back[..5], b"hello");
+/// ```
 pub fn replay_mmc(
     replayer: &mut Replayer,
     rw: u64,
@@ -38,6 +67,33 @@ pub fn replay_mmc(
 
 /// `replay_usb(rw, blkcnt, blkid, flag, buf)` — read or write `blkcnt`
 /// 512-byte blocks on the secure USB mass-storage stick.
+///
+/// # Example
+///
+/// Same record-then-replay flow as [`replay_mmc`], against the DWC2 host
+/// controller and its bulk-only-transport flash drive:
+///
+/// ```
+/// use dlt_core::{replay_usb, Replayer};
+/// use dlt_dev_usb::UsbSubsystem;
+/// use dlt_hw::Platform;
+/// use dlt_recorder::campaign::{record_usb_driverlet_subset, DEV_KEY};
+/// use dlt_tee::{SecureIo, TeeKernel};
+///
+/// let driverlet = record_usb_driverlet_subset(&[8]).expect("record campaign");
+///
+/// let platform = Platform::new();
+/// UsbSubsystem::attach(&platform).expect("attach USB");
+/// TeeKernel::install(&platform, &["dwc2"]).expect("install TEE");
+/// let mut replayer = Replayer::new(SecureIo::new(platform.bus.clone()));
+/// replayer.load_driverlet(driverlet, DEV_KEY).expect("verify + load");
+///
+/// let mut buf = vec![0xabu8; 8 * 512];
+/// replay_usb(&mut replayer, 0x10, 8, 2000, 0, &mut buf).expect("secure write");
+/// let mut back = vec![0u8; 8 * 512];
+/// replay_usb(&mut replayer, 0x1, 8, 2000, 0, &mut back).expect("secure read");
+/// assert_eq!(back, buf);
+/// ```
 pub fn replay_usb(
     replayer: &mut Replayer,
     rw: u64,
@@ -56,6 +112,32 @@ pub fn replay_usb(
 /// images at `resolution` (720, 1080 or 1440); the last frame lands in `buf`.
 ///
 /// Returns the image size in bytes (the paper's `size` out-parameter).
+///
+/// # Example
+///
+/// Capture one 720p frame through the VCHIQ driverlet; the returned size is
+/// the device-assigned image length the template captured at record time:
+///
+/// ```
+/// use dlt_core::{replay_cam, Replayer};
+/// use dlt_dev_vchiq::VchiqSubsystem;
+/// use dlt_hw::Platform;
+/// use dlt_recorder::campaign::{record_camera_driverlet_subset, DEV_KEY};
+/// use dlt_tee::{SecureIo, TeeKernel};
+///
+/// let driverlet = record_camera_driverlet_subset(&[1]).expect("record campaign");
+///
+/// let platform = Platform::new();
+/// VchiqSubsystem::attach(&platform).expect("attach VCHIQ");
+/// TeeKernel::install(&platform, &["vchiq"]).expect("install TEE");
+/// let mut replayer = Replayer::new(SecureIo::new(platform.bus.clone()));
+/// replayer.load_driverlet(driverlet, DEV_KEY).expect("verify + load");
+///
+/// let mut buf = vec![0u8; 2 << 20];
+/// let img = replay_cam(&mut replayer, 1, 720, &mut buf).expect("secure capture");
+/// assert!(img > 0);
+/// assert!(dlt_dev_vchiq::msg::is_valid_jpeg(&buf[..img as usize]));
+/// ```
 pub fn replay_cam(
     replayer: &mut Replayer,
     frames: u32,

@@ -3,8 +3,8 @@
 use std::collections::HashMap;
 
 use dlt_hw::DmaRegion;
-use dlt_template::{Driverlet, EvalEnv, Event, Iface, ReadSink, SourceSite, Template};
 use dlt_tee::{SecureIo, TeeError};
+use dlt_template::{Driverlet, EvalEnv, Event, Iface, ReadSink, SourceSite, Template};
 
 /// Replay errors surfaced to the trustlet.
 #[derive(Debug, Clone)]
@@ -283,7 +283,10 @@ impl Replayer {
         let mut allocations: Vec<DmaRegion> = Vec::new();
         let mut payload_bytes = 0u64;
 
-        let diverge = |idx: usize, re: &dlt_template::RecordedEvent, observed: Option<u64>, reason: String| {
+        let diverge = |idx: usize,
+                       re: &dlt_template::RecordedEvent,
+                       observed: Option<u64>,
+                       reason: String| {
             ExecFailure::Divergence(
                 DivergenceEvent {
                     event_index: idx,
@@ -301,9 +304,8 @@ impl Replayer {
             self.stats.events_executed += 1;
             match &re.event {
                 Event::Read { iface, constraint, sink, .. } => {
-                    let value = self
-                        .read_iface(iface, &allocations)
-                        .map_err(ExecFailure::Tee)? as u64;
+                    let value =
+                        self.read_iface(iface, &allocations).map_err(ExecFailure::Tee)? as u64;
                     if !constraint.check(value, &env) {
                         return Err(diverge(
                             idx,
@@ -334,13 +336,23 @@ impl Replayer {
                 }
                 Event::Write { iface, value } => {
                     let v = value.eval(&env).ok_or_else(|| {
-                        diverge(idx, re, None, "output expression references an unbound symbol".into())
+                        diverge(
+                            idx,
+                            re,
+                            None,
+                            "output expression references an unbound symbol".into(),
+                        )
                     })?;
                     self.write_iface(iface, v as u32, &allocations).map_err(ExecFailure::Tee)?;
                 }
                 Event::DmaAlloc { len, .. } => {
                     let n = len.eval(&env).ok_or_else(|| {
-                        diverge(idx, re, None, "allocation size references an unbound symbol".into())
+                        diverge(
+                            idx,
+                            re,
+                            None,
+                            "allocation size references an unbound symbol".into(),
+                        )
                     })? as usize;
                     let region = self.io.dma_alloc(n).map_err(ExecFailure::Tee)?;
                     env.dma_bases.push(region.base);
@@ -375,9 +387,8 @@ impl Replayer {
                 Event::Poll { iface, cond, delay_us, max_iters, body } => {
                     let mut iters = 0u64;
                     loop {
-                        let value = self
-                            .read_iface(iface, &allocations)
-                            .map_err(ExecFailure::Tee)? as u64;
+                        let value =
+                            self.read_iface(iface, &allocations).map_err(ExecFailure::Tee)? as u64;
                         if cond.check(value, &env) {
                             break;
                         }
@@ -407,7 +418,12 @@ impl Replayer {
                     })? as usize;
                     let uo = *user_offset as usize;
                     if uo + n > buf.len() {
-                        return Err(diverge(idx, re, None, "copy source outside the trustlet buffer".into()));
+                        return Err(diverge(
+                            idx,
+                            re,
+                            None,
+                            "copy source outside the trustlet buffer".into(),
+                        ));
                     }
                     let region = *allocations.get(*alloc).ok_or_else(|| {
                         diverge(idx, re, None, format!("dma[{alloc}] not allocated"))
@@ -423,7 +439,12 @@ impl Replayer {
                     })? as usize;
                     let uo = *user_offset as usize;
                     if uo + n > buf.len() {
-                        return Err(diverge(idx, re, None, "copy target outside the trustlet buffer".into()));
+                        return Err(diverge(
+                            idx,
+                            re,
+                            None,
+                            "copy target outside the trustlet buffer".into(),
+                        ));
                     }
                     let region = *allocations.get(*alloc).ok_or_else(|| {
                         diverge(idx, re, None, format!("dma[{alloc}] not allocated"))
@@ -497,7 +518,9 @@ pub fn describe_divergence(report: &DivergenceReport) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use dlt_template::{Constraint, DataDirection, ParamSpec, RecordedEvent, SymExpr, TemplateMeta};
+    use dlt_template::{
+        Constraint, DataDirection, ParamSpec, RecordedEvent, SymExpr, TemplateMeta,
+    };
 
     /// Constraint helpers for the synthetic template used below.
     fn synthetic_driverlet() -> Driverlet {

@@ -222,7 +222,8 @@ impl SdCard {
     }
 
     fn card_status(&self) -> u32 {
-        let mut s = status::READY_FOR_DATA | (state_code(self.state) << status::CURRENT_STATE_SHIFT);
+        let mut s =
+            status::READY_FOR_DATA | (state_code(self.state) << status::CURRENT_STATE_SHIFT);
         if self.app_cmd_armed {
             s |= status::APP_CMD;
         }
@@ -355,11 +356,7 @@ impl SdCard {
         }
         let mut out = Vec::with_capacity(count as usize * BLOCK_SIZE);
         for i in 0..u64::from(count) {
-            let blk = self
-                .blocks
-                .get(&(lba + i))
-                .cloned()
-                .unwrap_or_else(|| vec![0u8; BLOCK_SIZE]);
+            let blk = self.blocks.get(&(lba + i)).cloned().unwrap_or_else(|| vec![0u8; BLOCK_SIZE]);
             out.extend_from_slice(&blk);
         }
         self.blocks_read += u64::from(count);

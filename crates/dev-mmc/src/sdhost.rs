@@ -139,7 +139,10 @@ impl SdHost {
 
         // Responses land in SDRSP0..3.
         match &result {
-            CmdResult::R1(v) | CmdResult::R1Busy(v) | CmdResult::R3(v) | CmdResult::R6(v)
+            CmdResult::R1(v)
+            | CmdResult::R1Busy(v)
+            | CmdResult::R3(v)
+            | CmdResult::R6(v)
             | CmdResult::R7(v) => {
                 self.regs.set(regs::SDRSP0, *v);
             }
@@ -241,9 +244,12 @@ impl SdHost {
             let expected = op.blocks as usize * op.block_size;
             if !op.committed {
                 let level = self.fifo.lock().level();
-                if level >= expected && now_ns >= op.media_deadline_ns.saturating_sub(
-                    u64::from(op.blocks) * self.cost.sd_write_block_ns,
-                ) {
+                if level >= expected
+                    && now_ns
+                        >= op
+                            .media_deadline_ns
+                            .saturating_sub(u64::from(op.blocks) * self.cost.sd_write_block_ns)
+                {
                     let data = self.fifo.lock().pop_bytes(expected);
                     let ok = self.card.write_blocks(u64::from(op.lba), &data);
                     op.committed = true;

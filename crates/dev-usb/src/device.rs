@@ -177,20 +177,62 @@ impl UsbMassStorage {
 
     fn device_descriptor() -> Vec<u8> {
         vec![
-            18, desc::DEVICE, 0x00, 0x02, // USB 2.0
-            0x00, 0x00, 0x00, 64, // class/sub/proto, max packet 64
-            0x44, 0x86, 0x03, 0x80, // VID 0x8644 PID 0x8003 (the paper's stick)
-            0x00, 0x01, 1, 2, 3, 1, // bcdDevice, strings, 1 config
+            18,
+            desc::DEVICE,
+            0x00,
+            0x02, // USB 2.0
+            0x00,
+            0x00,
+            0x00,
+            64, // class/sub/proto, max packet 64
+            0x44,
+            0x86,
+            0x03,
+            0x80, // VID 0x8644 PID 0x8003 (the paper's stick)
+            0x00,
+            0x01,
+            1,
+            2,
+            3,
+            1, // bcdDevice, strings, 1 config
         ]
     }
 
     fn config_descriptor() -> Vec<u8> {
         // Configuration + interface (mass storage, SCSI, BOT) + 2 bulk EPs.
         let mut v = vec![
-            9, desc::CONFIGURATION, 32, 0, 1, 1, 0, 0x80, 50, // config
-            9, 4, 0, 0, 2, 0x08, 0x06, 0x50, 0, // interface: MSC/SCSI/BOT
-            7, 5, 0x80 | BULK_IN_EP as u8, 2, 0x00, 0x02, 0, // EP IN, bulk, 512
-            7, 5, BULK_OUT_EP as u8, 2, 0x00, 0x02, 0, // EP OUT, bulk, 512
+            9,
+            desc::CONFIGURATION,
+            32,
+            0,
+            1,
+            1,
+            0,
+            0x80,
+            50, // config
+            9,
+            4,
+            0,
+            0,
+            2,
+            0x08,
+            0x06,
+            0x50,
+            0, // interface: MSC/SCSI/BOT
+            7,
+            5,
+            0x80 | BULK_IN_EP as u8,
+            2,
+            0x00,
+            0x02,
+            0, // EP IN, bulk, 512
+            7,
+            5,
+            BULK_OUT_EP as u8,
+            2,
+            0x00,
+            0x02,
+            0, // EP OUT, bulk, 512
         ];
         v[2] = v.len() as u8;
         v
@@ -272,8 +314,7 @@ impl UsbMassStorage {
                         self.bot = BotState::CswReady { csw: make_csw(cbw.tag, 0, 0) };
                     }
                     ScsiResponse::CheckCondition { .. } => {
-                        self.bot =
-                            BotState::CswReady { csw: make_csw(cbw.tag, cbw.data_len, 1) };
+                        self.bot = BotState::CswReady { csw: make_csw(cbw.tag, cbw.data_len, 1) };
                     }
                 }
                 0
@@ -284,9 +325,7 @@ impl UsbMassStorage {
                     received.truncate(expect);
                     let ok = self.disk.write_data(lba, &received);
                     let pages = (expect.div_ceil(USB_FTL_PAGE)) as u64;
-                    self.bot = BotState::CswReady {
-                        csw: make_csw(tag, 0, if ok { 0 } else { 1 }),
-                    };
+                    self.bot = BotState::CswReady { csw: make_csw(tag, 0, if ok { 0 } else { 1 }) };
                     pages * lba_program_ns
                 } else {
                     self.bot = BotState::DataOut { lba, expect, received, tag };

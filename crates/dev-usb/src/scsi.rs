@@ -89,9 +89,8 @@ impl Cdb {
                 if raw.len() < 6 {
                     return None;
                 }
-                let lba = (u64::from(raw[1] & 0x1f) << 16)
-                    | (u64::from(raw[2]) << 8)
-                    | u64::from(raw[3]);
+                let lba =
+                    (u64::from(raw[1] & 0x1f) << 16) | (u64::from(raw[2]) << 8) | u64::from(raw[3]);
                 let blocks = if raw[4] == 0 { 256 } else { u32::from(raw[4]) };
                 Some(Cdb { opcode, lba, blocks })
             }

@@ -58,8 +58,8 @@ impl CameraResolution {
     /// data-independence prerequisite of §3.1.
     pub fn frame_bytes(self) -> u32 {
         match self {
-            CameraResolution::R720p => 311_296,   // 304 KiB
-            CameraResolution::R1080p => 622_592,  // 608 KiB
+            CameraResolution::R720p => 311_296,    // 304 KiB
+            CameraResolution::R1080p => 622_592,   // 608 KiB
             CameraResolution::R1440p => 1_048_576, // 1 MiB
         }
     }
@@ -216,7 +216,8 @@ pub fn synth_jpeg(resolution: CameraResolution, frame_no: u32) -> Vec<u8> {
     out[4..8].copy_from_slice(&frame_no.to_le_bytes());
     out[8..12].copy_from_slice(&resolution.code().to_le_bytes());
     // Deterministic pseudo-random body (xorshift seeded by frame + resolution).
-    let mut state = (u64::from(frame_no) << 32) ^ u64::from(resolution.code()) ^ 0x9e37_79b9_7f4a_7c15;
+    let mut state =
+        (u64::from(frame_no) << 32) ^ u64::from(resolution.code()) ^ 0x9e37_79b9_7f4a_7c15;
     let body = &mut out[12..len - 2];
     for chunk in body.chunks_mut(8) {
         state ^= state << 13;
@@ -235,7 +236,10 @@ pub fn synth_jpeg(resolution: CameraResolution, frame_no: u32) -> Vec<u8> {
 
 /// Check that a byte buffer looks like one of our synthetic JPEG frames.
 pub fn is_valid_jpeg(data: &[u8]) -> bool {
-    data.len() >= 4 && data[0] == 0xff && data[1] == 0xd8 && data[data.len() - 2] == 0xff
+    data.len() >= 4
+        && data[0] == 0xff
+        && data[1] == 0xd8
+        && data[data.len() - 2] == 0xff
         && data[data.len() - 1] == 0xd9
 }
 
@@ -263,7 +267,9 @@ mod tests {
     fn frame_sizes_grow_with_resolution() {
         assert!(CameraResolution::R720p.frame_bytes() < CameraResolution::R1080p.frame_bytes());
         assert!(CameraResolution::R1080p.frame_bytes() < CameraResolution::R1440p.frame_bytes());
-        assert!(CameraResolution::R720p.megapixels_x100() < CameraResolution::R1440p.megapixels_x100());
+        assert!(
+            CameraResolution::R720p.megapixels_x100() < CameraResolution::R1440p.megapixels_x100()
+        );
     }
 
     #[test]

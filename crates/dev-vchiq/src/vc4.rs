@@ -159,7 +159,11 @@ impl Vc4Vchiq {
                     self.service_open = true;
                     self.queue_reply(
                         ack_at,
-                        MmalMessage::new(MsgType::OpenServiceAck, SERVICE_HANDLE, vec![SERVICE_HANDLE]),
+                        MmalMessage::new(
+                            MsgType::OpenServiceAck,
+                            SERVICE_HANDLE,
+                            vec![SERVICE_HANDLE],
+                        ),
                         None,
                     );
                 } else {
@@ -212,7 +216,11 @@ impl Vc4Vchiq {
                     }
                     _ => self.queue_reply(
                         ack_at,
-                        MmalMessage::new(MsgType::Error, SERVICE_HANDLE, vec![error_code::BAD_MESSAGE]),
+                        MmalMessage::new(
+                            MsgType::Error,
+                            SERVICE_HANDLE,
+                            vec![error_code::BAD_MESSAGE],
+                        ),
                         None,
                     ),
                 }
@@ -228,7 +236,11 @@ impl Vc4Vchiq {
                 } else {
                     self.queue_reply(
                         ack_at,
-                        MmalMessage::new(MsgType::Error, SERVICE_HANDLE, vec![error_code::BAD_STATE]),
+                        MmalMessage::new(
+                            MsgType::Error,
+                            SERVICE_HANDLE,
+                            vec![error_code::BAD_STATE],
+                        ),
                         None,
                     );
                 }
@@ -314,7 +326,11 @@ impl Vc4Vchiq {
         if buf_size < expected || pg_list == 0 {
             self.queue_reply(
                 ack_at,
-                MmalMessage::new(MsgType::Error, SERVICE_HANDLE, vec![error_code::BUFFER_TOO_SMALL]),
+                MmalMessage::new(
+                    MsgType::Error,
+                    SERVICE_HANDLE,
+                    vec![error_code::BUFFER_TOO_SMALL],
+                ),
                 None,
             );
             return;
@@ -334,14 +350,12 @@ impl Vc4Vchiq {
         let frame = synth_jpeg(job.resolution, job.frame_no);
         let to_write = frame.len().min(job.buf_size as usize);
         let mut mem = self.mem.lock();
-        let num_pages =
-            mem.read32(job.pg_list + pagelist::NUM_PAGES).unwrap_or(0) as usize;
+        let num_pages = mem.read32(job.pg_list + pagelist::NUM_PAGES).unwrap_or(0) as usize;
         // The page list describes a physically contiguous span starting at the
         // first page entry (the host allocator hands out contiguous buffers);
         // VC4 streams the frame into it, honouring the page count as an upper
         // bound on the span it may touch.
-        let first_page =
-            mem.read32(job.pg_list + pagelist::FIRST_PAGE).unwrap_or(0);
+        let first_page = mem.read32(job.pg_list + pagelist::FIRST_PAGE).unwrap_or(0);
         let mut written = 0usize;
         if first_page != 0 && num_pages > 0 {
             let span = to_write;
@@ -379,7 +393,11 @@ impl Vc4Vchiq {
                     self.tx_read_pos = tx_pos;
                     self.queue_reply(
                         now_ns + self.cost.vchiq_msg_ns,
-                        MmalMessage::new(MsgType::Error, SERVICE_HANDLE, vec![error_code::BAD_MESSAGE]),
+                        MmalMessage::new(
+                            MsgType::Error,
+                            SERVICE_HANDLE,
+                            vec![error_code::BAD_MESSAGE],
+                        ),
                         None,
                     );
                 }
@@ -399,8 +417,13 @@ impl Vc4Vchiq {
             }
             let next = {
                 let mut mem = self.mem.lock();
-                let written =
-                    queue::write_message(&mut mem, base, RX_AREA_OFF, self.rx_write_pos, &reply.msg);
+                let written = queue::write_message(
+                    &mut mem,
+                    base,
+                    RX_AREA_OFF,
+                    self.rx_write_pos,
+                    &reply.msg,
+                );
                 match written {
                     Ok(next) => {
                         let _ = mem.write32(base + queue::slot0::RX_POS, next);
@@ -607,8 +630,11 @@ mod tests {
             let mut page = 0u64;
             while read < bytes {
                 let chunk = (bytes - read).min(pagelist::PAGE_BYTES);
-                mem.read_bytes(FRAME_PAGES + page * pagelist::PAGE_BYTES as u64, &mut out[read..read + chunk])
-                    .unwrap();
+                mem.read_bytes(
+                    FRAME_PAGES + page * pagelist::PAGE_BYTES as u64,
+                    &mut out[read..read + chunk],
+                )
+                .unwrap();
                 read += chunk;
                 page += 1;
             }
@@ -642,7 +668,11 @@ mod tests {
         let sa = a.init_camera(CameraResolution::R720p);
         a.build_page_list(2 << 20);
         let t0 = a.now;
-        a.send(MmalMessage::new(MsgType::BufferFromHost, SERVICE_HANDLE, vec![PG_LIST as u32, 2 << 20, sa]));
+        a.send(MmalMessage::new(
+            MsgType::BufferFromHost,
+            SERVICE_HANDLE,
+            vec![PG_LIST as u32, 2 << 20, sa],
+        ));
         a.recv();
         let lat_720 = a.now - t0;
 
@@ -650,7 +680,11 @@ mod tests {
         let sb = b.init_camera(CameraResolution::R1440p);
         b.build_page_list(2 << 20);
         let t0 = b.now;
-        b.send(MmalMessage::new(MsgType::BufferFromHost, SERVICE_HANDLE, vec![PG_LIST as u32, 2 << 20, sb]));
+        b.send(MmalMessage::new(
+            MsgType::BufferFromHost,
+            SERVICE_HANDLE,
+            vec![PG_LIST as u32, 2 << 20, sb],
+        ));
         b.recv();
         let lat_1440 = b.now - t0;
         assert!(lat_1440 > lat_720, "higher resolution must take longer");

@@ -72,7 +72,13 @@ pub struct MmcBlockDriver<I: HwIo> {
 impl<I: HwIo> MmcBlockDriver<I> {
     /// Wrap a probed host.
     pub fn new(host: MmcHost<I>, mode: CacheMode) -> Self {
-        MmcBlockDriver { host, mode, cache: Vec::new(), max_dirty_extents: 16, stats: BlockStats::default() }
+        MmcBlockDriver {
+            host,
+            mode,
+            cache: Vec::new(),
+            max_dirty_extents: 16,
+            stats: BlockStats::default(),
+        }
     }
 
     /// Block-layer statistics.
@@ -291,10 +297,7 @@ mod tests {
     #[test]
     fn misaligned_write_length_is_rejected() {
         let (_p, _sys, mut blk) = rig(CacheMode::WriteBack);
-        assert!(matches!(
-            blk.write(0, &[0u8; 100], IoFlags::none()),
-            Err(DriverError::Invalid(_))
-        ));
+        assert!(matches!(blk.write(0, &[0u8; 100], IoFlags::none()), Err(DriverError::Invalid(_))));
     }
 
     #[test]

@@ -63,7 +63,14 @@ impl<I: HwIo> MmcHost<I> {
     /// Wrap an IO environment. The card is not initialised until
     /// [`MmcHost::probe`] runs.
     pub fn new(io: I) -> Self {
-        MmcHost { io, initialized: false, rca: 0, record_mode: false, last_tune_ns: 0, stats: HostStats::default() }
+        MmcHost {
+            io,
+            initialized: false,
+            rca: 0,
+            record_mode: false,
+            last_tune_ns: 0,
+            stats: HostStats::default(),
+        }
     }
 
     /// Enable record mode: constrains the device state space by disabling
@@ -430,7 +437,8 @@ impl<I: HwIo> MmcHost<I> {
             self.send_command(cmd::WRITE_SINGLE, blkid, sdcmd::WRITE_CMD | sdcmd::BUSYWAIT)?;
         }
         for w in 0..buf.len() / 4 {
-            let word = u32::from_le_bytes([buf[w * 4], buf[w * 4 + 1], buf[w * 4 + 2], buf[w * 4 + 3]]);
+            let word =
+                u32::from_le_bytes([buf[w * 4], buf[w * 4 + 1], buf[w * 4 + 2], buf[w * 4 + 3]]);
             self.io.writel(reg(regs::SDDATA), word);
         }
         self.wait_transfer_irq(sdhsts::BUSY_IRPT)?;
@@ -480,7 +488,8 @@ mod tests {
         host.set_record_mode(true);
         for &blkcnt in &[1u32, 8, 32] {
             let total = blkcnt as usize * BLOCK_SIZE;
-            let payload: Vec<u8> = (0..total).map(|i| ((i * 7 + blkcnt as usize) % 251) as u8).collect();
+            let payload: Vec<u8> =
+                (0..total).map(|i| ((i * 7 + blkcnt as usize) % 251) as u8).collect();
             let mut buf = payload.clone();
             host.do_io(Rw::Write, blkcnt, 100, IoFlags::none(), &mut buf).unwrap();
             assert_eq!(card_blocks(&sys, 100, blkcnt as usize), payload, "blkcnt={blkcnt}");

@@ -81,9 +81,30 @@ pub fn paper_table7() -> Vec<ScratchEffort> {
 /// The paper's Table 8 rows.
 pub fn paper_table8() -> Vec<PortEffort> {
     vec![
-        PortEffort { name: "MMC", functions: 22, device_configs: 11, macros: 90, callbacks: 79, sloc: 1_000 },
-        PortEffort { name: "USB", functions: 58, device_configs: 14, macros: 427, callbacks: 142, sloc: 3_000 },
-        PortEffort { name: "VCHIQ", functions: 137, device_configs: 9, macros: 405, callbacks: 159, sloc: 11_000 },
+        PortEffort {
+            name: "MMC",
+            functions: 22,
+            device_configs: 11,
+            macros: 90,
+            callbacks: 79,
+            sloc: 1_000,
+        },
+        PortEffort {
+            name: "USB",
+            functions: 58,
+            device_configs: 14,
+            macros: 427,
+            callbacks: 142,
+            sloc: 3_000,
+        },
+        PortEffort {
+            name: "VCHIQ",
+            functions: 137,
+            device_configs: 9,
+            macros: 405,
+            callbacks: 159,
+            sloc: 11_000,
+        },
     ]
 }
 
@@ -134,9 +155,30 @@ pub fn measured_table7() -> Vec<ScratchEffort> {
 /// configuration writes, constants and callbacks a TEE port would drag in).
 pub fn measured_table8() -> Vec<PortEffort> {
     vec![
-        PortEffort { name: "MMC", functions: 24, device_configs: 11, macros: 84, callbacks: 61, sloc: 1_100 },
-        PortEffort { name: "USB", functions: 52, device_configs: 14, macros: 310, callbacks: 118, sloc: 2_700 },
-        PortEffort { name: "VCHIQ", functions: 96, device_configs: 9, macros: 280, callbacks: 120, sloc: 8_500 },
+        PortEffort {
+            name: "MMC",
+            functions: 24,
+            device_configs: 11,
+            macros: 84,
+            callbacks: 61,
+            sloc: 1_100,
+        },
+        PortEffort {
+            name: "USB",
+            functions: 52,
+            device_configs: 14,
+            macros: 310,
+            callbacks: 118,
+            sloc: 2_700,
+        },
+        PortEffort {
+            name: "VCHIQ",
+            functions: 96,
+            device_configs: 9,
+            macros: 280,
+            callbacks: 120,
+            sloc: 8_500,
+        },
     ]
 }
 

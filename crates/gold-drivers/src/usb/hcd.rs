@@ -73,7 +73,13 @@ impl<I: HwIo> UsbHcd<I> {
     /// Reset and configure the controller core.
     pub fn core_init(&mut self) -> Result<(), DriverError> {
         self.io.writel(reg(regs::GRSTCTL), grstctl::CSFT_RST);
-        self.io.readl_poll(reg(regs::GRSTCTL), grstctl::AHB_IDLE, grstctl::AHB_IDLE, 10, 100_000)?;
+        self.io.readl_poll(
+            reg(regs::GRSTCTL),
+            grstctl::AHB_IDLE,
+            grstctl::AHB_IDLE,
+            10,
+            100_000,
+        )?;
         self.io.writel(reg(regs::GAHBCFG), gahbcfg::GLBL_INTR_EN | gahbcfg::DMA_EN);
         self.io.writel(reg(regs::GINTMSK), gintsts::HCHINT | gintsts::DISCINT | gintsts::PRTINT);
         self.io.writel(reg(regs::HCFG), 0);
@@ -168,11 +174,7 @@ impl<I: HwIo> UsbHcd<I> {
 
     /// Perform a complete control transfer (SETUP / optional DATA-IN /
     /// STATUS). Returns the data-stage bytes.
-    pub fn control(
-        &mut self,
-        setup: [u8; 8],
-        data_in_len: usize,
-    ) -> Result<Vec<u8>, DriverError> {
+    pub fn control(&mut self, setup: [u8; 8], data_in_len: usize) -> Result<Vec<u8>, DriverError> {
         let setup_buf = self.io.dma_alloc(8)?;
         self.io.copy_to_dma(setup_buf, 0, &setup);
         self.submit(EpType::Control, 0, false, setup_buf, 8, true)?;

@@ -7,7 +7,9 @@
 //! number, and sub-FTL-page writes are turned into read-modify-write of the
 //! containing 4 KiB.
 
-use dlt_dev_usb::device::{BULK_IN_EP, BULK_OUT_EP, CBW_LEN, CBW_SIGNATURE, CSW_LEN, CSW_SIGNATURE};
+use dlt_dev_usb::device::{
+    BULK_IN_EP, BULK_OUT_EP, CBW_LEN, CBW_SIGNATURE, CSW_LEN, CSW_SIGNATURE,
+};
 use dlt_dev_usb::scsi::{opcode, Cdb};
 use dlt_dev_usb::USB_BLOCK_SIZE;
 use dlt_hw::DmaRegion;
@@ -41,7 +43,13 @@ pub struct UsbStorageDriver<I: HwIo> {
 impl<I: HwIo> UsbStorageDriver<I> {
     /// Wrap an HCD.
     pub fn new(hcd: UsbHcd<I>) -> Self {
-        UsbStorageDriver { hcd, tag: 1, capacity_blocks: 0, initialized: false, stats: StorageStats::default() }
+        UsbStorageDriver {
+            hcd,
+            tag: 1,
+            capacity_blocks: 0,
+            initialized: false,
+            stats: StorageStats::default(),
+        }
     }
 
     /// Access the HCD (tests).
@@ -282,7 +290,10 @@ mod tests {
         drv.write_subpage(19, &patch).unwrap();
         assert_eq!(drv.stats().rmw_expansions, 1);
         // The rest of the page is preserved, the patched block changed.
-        assert_eq!(sys.hostctrl.lock().device().disk().peek_block(16), base[..USB_BLOCK_SIZE].to_vec());
+        assert_eq!(
+            sys.hostctrl.lock().device().disk().peek_block(16),
+            base[..USB_BLOCK_SIZE].to_vec()
+        );
         assert_eq!(sys.hostctrl.lock().device().disk().peek_block(19), patch);
     }
 
@@ -302,6 +313,9 @@ mod tests {
         sys.hostctrl.lock().unplug(0);
         let mut buf = vec![0u8; USB_BLOCK_SIZE];
         let err = drv.do_io(Rw::Read, 1, 0, IoFlags::none(), &mut buf).unwrap_err();
-        assert!(matches!(err, DriverError::NoMedium | DriverError::Device(_) | DriverError::Timeout(_)));
+        assert!(matches!(
+            err,
+            DriverError::NoMedium | DriverError::Device(_) | DriverError::Timeout(_)
+        ));
     }
 }

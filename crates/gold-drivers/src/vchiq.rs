@@ -104,7 +104,8 @@ impl<I: HwIo> VchiqDriver<I> {
 
     /// Create the camera component (`ril.camera`).
     pub fn create_camera(&mut self) -> Result<(), DriverError> {
-        let reply = self.transact(MmalMessage::new(MsgType::ComponentCreate, self.service, vec![]))?;
+        let reply =
+            self.transact(MmalMessage::new(MsgType::ComponentCreate, self.service, vec![]))?;
         if reply.mtype != MsgType::ComponentCreateAck {
             return Err(DriverError::Device("camera component create failed".into()));
         }

@@ -65,7 +65,8 @@ impl SystemBus {
 
     /// Attach a device. Its register window must not overlap an existing one.
     pub fn attach(&mut self, dev: Box<dyn MmioDevice>) -> HwResult<()> {
-        let (name, base, len, irq_line) = (dev.name(), dev.mmio_base(), dev.mmio_len(), dev.irq_line());
+        let (name, base, len, irq_line) =
+            (dev.name(), dev.mmio_base(), dev.mmio_len(), dev.irq_line());
         for slot in &self.devices {
             let overlaps = base < slot.base + slot.len && slot.base < base + len;
             if overlaps {
@@ -182,7 +183,13 @@ impl SystemBus {
     }
 
     /// Write a 32-bit device register.
-    pub fn mmio_write32(&mut self, addr: u64, val: u32, world: World, attr: MmioAttr) -> HwResult<()> {
+    pub fn mmio_write32(
+        &mut self,
+        addr: u64,
+        val: u32,
+        world: World,
+        attr: MmioAttr,
+    ) -> HwResult<()> {
         if addr % 4 != 0 {
             return Err(HwError::Misaligned { addr, align: 4 });
         }
@@ -445,10 +452,7 @@ mod tests {
     fn uncached_access_costs_more() {
         let p = toy_platform();
         let cost = p.cost();
-        p.bus
-            .lock()
-            .mmio_read32(0x3f00_1000, World::Secure, MmioAttr::Uncached)
-            .unwrap();
+        p.bus.lock().mmio_read32(0x3f00_1000, World::Secure, MmioAttr::Uncached).unwrap();
         assert_eq!(p.now_ns(), cost.mmio_uncached_ns);
     }
 

@@ -115,13 +115,7 @@ mod tests {
 
     #[test]
     fn errors_are_comparable() {
-        assert_eq!(
-            HwError::Unmapped { addr: 1 },
-            HwError::Unmapped { addr: 1 }
-        );
-        assert_ne!(
-            HwError::Unmapped { addr: 1 },
-            HwError::Unmapped { addr: 2 }
-        );
+        assert_eq!(HwError::Unmapped { addr: 1 }, HwError::Unmapped { addr: 1 });
+        assert_ne!(HwError::Unmapped { addr: 1 }, HwError::Unmapped { addr: 2 });
     }
 }

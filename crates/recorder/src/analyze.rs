@@ -93,7 +93,9 @@ pub fn fold_adhoc_loops(trace: &Trace) -> Trace {
     while i < ops.len() {
         let is_pair = |j: usize| -> Option<(u64, u32, u64)> {
             if j + 1 < ops.len() {
-                if let (TraceOp::ReadReg { addr, value }, TraceOp::Delay { us }) = (&ops[j], &ops[j + 1]) {
+                if let (TraceOp::ReadReg { addr, value }, TraceOp::Delay { us }) =
+                    (&ops[j], &ops[j + 1])
+                {
                     return Some((*addr, *value, *us));
                 }
             }
@@ -111,7 +113,8 @@ pub fn fold_adhoc_loops(trace: &Trace) -> Trace {
                 k += 2;
             }
             // A final read of the same register terminates the loop.
-            let final_read = matches!(&ops.get(k), Some(TraceOp::ReadReg { addr: a, .. }) if *a == addr);
+            let final_read =
+                matches!(&ops.get(k), Some(TraceOp::ReadReg { addr: a, .. }) if *a == addr);
             if iterations >= 2 && final_read {
                 let final_val = match &ops[k] {
                     TraceOp::ReadReg { value, .. } => *value,
@@ -144,7 +147,9 @@ fn op_value(op: &TraceOp) -> Option<u64> {
         | TraceOp::ShmWrite { value, .. } => Some(u64::from(*value)),
         TraceOp::GetTs { value } => Some(*value),
         TraceOp::DmaAlloc { len, .. } => Some(*len as u64),
-        TraceOp::CopyToDma { data, .. } | TraceOp::CopyFromDma { data, .. } => Some(data.len() as u64),
+        TraceOp::CopyToDma { data, .. } | TraceOp::CopyFromDma { data, .. } => {
+            Some(data.len() as u64)
+        }
         _ => None,
     }
 }
@@ -180,7 +185,8 @@ impl<'a> Synth<'a> {
         // 2. Affine in a parameter.
         let param_names: Vec<String> = self.runs[0].params.keys().cloned().collect();
         for name in &param_names {
-            let ps: Vec<u64> = self.runs.iter().map(|r| *r.params.get(name).unwrap_or(&0)).collect();
+            let ps: Vec<u64> =
+                self.runs.iter().map(|r| *r.params.get(name).unwrap_or(&0)).collect();
             if let Some(expr) = affine(&ps, vals, || SymExpr::Param(name.clone())) {
                 return expr;
             }
@@ -188,9 +194,8 @@ impl<'a> Synth<'a> {
         // 3. Offset from a DMA base.
         let num_allocs = self.runs[0].trace.allocs.len();
         for k in 0..num_allocs {
-            let bases: Vec<u64> = (0..self.runs.len())
-                .map(|r| self.alloc_base(r, k).unwrap_or(0))
-                .collect();
+            let bases: Vec<u64> =
+                (0..self.runs.len()).map(|r| self.alloc_base(r, k).unwrap_or(0)).collect();
             if bases.windows(2).all(|w| w[0] == w[1]) {
                 continue; // the skew did not move it; cannot attribute safely
             }
@@ -207,9 +212,7 @@ impl<'a> Synth<'a> {
             if ws.windows(2).all(|w| w[0] == w[1]) {
                 continue; // constant: not a useful capture source
             }
-            if let Some(expr) = affine_unit(&ws, vals, || {
-                SymExpr::Captured(format!("cap_{j}"))
-            }) {
+            if let Some(expr) = affine_unit(&ws, vals, || SymExpr::Captured(format!("cap_{j}"))) {
                 self.captures.entry(j).or_insert_with(|| format!("cap_{j}"));
                 return expr;
             }
@@ -227,7 +230,8 @@ impl<'a> Synth<'a> {
         // Candidate sources: parameters and earlier varying inputs.
         let mut sources: Vec<(SymExpr, Vec<u64>, Option<usize>)> = Vec::new();
         for name in self.runs[0].params.keys() {
-            let ps: Vec<u64> = self.runs.iter().map(|r| *r.params.get(name).unwrap_or(&0)).collect();
+            let ps: Vec<u64> =
+                self.runs.iter().map(|r| *r.params.get(name).unwrap_or(&0)).collect();
             if ps.windows(2).any(|w| w[0] != w[1]) {
                 sources.push((SymExpr::Param(name.clone()), ps, None));
             }
@@ -336,11 +340,7 @@ fn affine_unit(ps: &[u64], vals: &[u64], mk: impl Fn() -> SymExpr) -> Option<Sym
             return None;
         }
     }
-    Some(if c == 0 {
-        mk()
-    } else {
-        SymExpr::Add(Box::new(mk()), Box::new(SymExpr::Const(c)))
-    })
+    Some(if c == 0 { mk() } else { SymExpr::Add(Box::new(mk()), Box::new(SymExpr::Const(c))) })
 }
 
 fn distinct_pair(vals: &[u64]) -> Option<(usize, usize)> {
@@ -491,8 +491,12 @@ pub fn synthesize_template(
     }
     for op in &base.trace.ops {
         match op {
-            TraceOp::CopyToDma { alloc, .. } if *alloc < num_allocs => roles[*alloc] = DmaRole::DataOut,
-            TraceOp::CopyFromDma { alloc, .. } if *alloc < num_allocs => roles[*alloc] = DmaRole::DataIn,
+            TraceOp::CopyToDma { alloc, .. } if *alloc < num_allocs => {
+                roles[*alloc] = DmaRole::DataOut
+            }
+            TraceOp::CopyFromDma { alloc, .. } if *alloc < num_allocs => {
+                roles[*alloc] = DmaRole::DataIn
+            }
             _ => {}
         }
     }
@@ -504,7 +508,11 @@ pub fn synthesize_template(
             matches!(o, TraceOp::ShmRead { alloc, .. } | TraceOp::ShmWrite { alloc, .. } if *alloc == k)
         });
         if touched_by_shm {
-            *role = if base.trace.allocs[k].len >= 0x1_0000 { DmaRole::Queue } else { DmaRole::Descriptor };
+            *role = if base.trace.allocs[k].len >= 0x1_0000 {
+                DmaRole::Queue
+            } else {
+                DmaRole::Descriptor
+            };
         }
     }
 
@@ -514,11 +522,7 @@ pub fn synthesize_template(
         let site = SourceSite::new(&spec.driver_tag, pos as u32 + 1);
         let reg_iface = |addr: &u64| Iface::Reg {
             addr: *addr,
-            name: spec
-                .reg_names
-                .get(addr)
-                .cloned()
-                .unwrap_or_else(|| format!("REG_{addr:#x}")),
+            name: spec.reg_names.get(addr).cloned().unwrap_or_else(|| format!("REG_{addr:#x}")),
         };
         let sink_for_input = |pos: usize| -> ReadSink {
             if let Some(name) = synth.captures.get(&pos) {
@@ -567,7 +571,9 @@ pub fn synthesize_template(
                     role: roles[idx],
                 }
             }
-            TraceOp::GetRand { len } => Event::GetRandBytes { len: *len as u32, sink: ReadSink::Discard },
+            TraceOp::GetRand { len } => {
+                Event::GetRandBytes { len: *len as u32, sink: ReadSink::Discard }
+            }
             TraceOp::GetTs { .. } => Event::GetTs { len: 8, sink: sink_for_input(pos) },
             TraceOp::Delay { us } => Event::Delay { us: *us },
             TraceOp::CopyToDma { alloc, offset, .. } => {
@@ -759,9 +765,8 @@ mod tests {
 
     #[test]
     fn constant_reads_become_constraints_and_payload_reads_become_user_data() {
-        let payload = |seed: u32| -> Vec<u8> {
-            (0..64u32).flat_map(|i| (i ^ seed).to_le_bytes()).collect()
-        };
+        let payload =
+            |seed: u32| -> Vec<u8> { (0..64u32).flat_map(|i| (i ^ seed).to_le_bytes()).collect() };
         let mk = |seed: u32| {
             let buf = payload(seed);
             let tail = u32::from_le_bytes([buf[60], buf[61], buf[62], buf[63]]);

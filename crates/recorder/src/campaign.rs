@@ -88,7 +88,8 @@ fn mmc_run(
     seed: u64,
 ) -> Result<RecordRun, RecorderError> {
     let platform = Platform::new();
-    let sys = MmcSubsystem::attach(&platform).map_err(|e| RecorderError::DriverFailed(e.to_string()))?;
+    let sys =
+        MmcSubsystem::attach(&platform).map_err(|e| RecorderError::DriverFailed(e.to_string()))?;
     let total = blkcnt as usize * dlt_dev_mmc::BLOCK_SIZE;
 
     // For reads, pre-populate the card so payload-sink discovery has unique
@@ -134,10 +135,8 @@ fn mmc_run(
 /// Record one MMC template (one read/write granularity).
 pub fn record_mmc_template(rw: Rw, blkcnt: u32) -> Result<Template, RecorderError> {
     let base = mmc_run(rw, blkcnt, 1024, 0, 1)?;
-    let variants = vec![
-        mmc_run(rw, blkcnt, 8192, 0x4000, 2)?,
-        mmc_run(rw, blkcnt, 262_144, 0x8000, 3)?,
-    ];
+    let variants =
+        vec![mmc_run(rw, blkcnt, 8192, 0x4000, 2)?, mmc_run(rw, blkcnt, 262_144, 0x8000, 3)?];
 
     // Boundary probing: the last block id that stays on the recorded path.
     let candidate = CARD_BLOCKS - u64::from(blkcnt);
@@ -149,9 +148,7 @@ pub fn record_mmc_template(rw: Rw, blkcnt: u32) -> Result<Template, RecorderErro
     };
     let upper = match probe(candidate) {
         ProbeOutcome::SamePath => candidate,
-        ProbeOutcome::Diverged => {
-            crate::analyze::bisect_upper_bound(262_144, candidate, probe)
-        }
+        ProbeOutcome::Diverged => crate::analyze::bisect_upper_bound(262_144, candidate, probe),
     };
 
     let dir = match rw {
@@ -164,8 +161,14 @@ pub fn record_mmc_template(rw: Rw, blkcnt: u32) -> Result<Template, RecorderErro
         device: "sdhost".into(),
         params: vec![
             ParamSpec { name: "rw".into(), constraint: Constraint::eq_const(rw.encode()) },
-            ParamSpec { name: "blkcnt".into(), constraint: Constraint::eq_const(u64::from(blkcnt)) },
-            ParamSpec { name: "blkid".into(), constraint: Constraint::InRange { min: 0, max: upper } },
+            ParamSpec {
+                name: "blkcnt".into(),
+                constraint: Constraint::eq_const(u64::from(blkcnt)),
+            },
+            ParamSpec {
+                name: "blkid".into(),
+                constraint: Constraint::InRange { min: 0, max: upper },
+            },
             ParamSpec { name: "flag".into(), constraint: Constraint::Any },
         ],
         direction: dir,
@@ -208,7 +211,8 @@ fn usb_run(
     seed: u64,
 ) -> Result<RecordRun, RecorderError> {
     let platform = Platform::new();
-    let sys = UsbSubsystem::attach(&platform).map_err(|e| RecorderError::DriverFailed(e.to_string()))?;
+    let sys =
+        UsbSubsystem::attach(&platform).map_err(|e| RecorderError::DriverFailed(e.to_string()))?;
     let total = blkcnt as usize * dlt_dev_usb::USB_BLOCK_SIZE;
     if matches!(rw, Rw::Read) {
         let fixture = pattern_buf(total, seed ^ 0xbeef);
@@ -240,11 +244,14 @@ fn usb_run(
     drv.hcd_mut().io_mut().set_enabled(false);
     let trace = {
         let hcd = drv.hcd_mut();
-        std::mem::replace(hcd.io_mut(), TracingIo::new(
-            BusIo::normal_world(platform.bus.clone(), DmaRegion::new(0x0700_0000, 0x1000)),
-            HashMap::new(),
-            "dwc2-hcd.c",
-        ))
+        std::mem::replace(
+            hcd.io_mut(),
+            TracingIo::new(
+                BusIo::normal_world(platform.bus.clone(), DmaRegion::new(0x0700_0000, 0x1000)),
+                HashMap::new(),
+                "dwc2-hcd.c",
+            ),
+        )
         .into_trace()
     };
     let mut params: HashMap<String, u64> = HashMap::new();
@@ -258,10 +265,8 @@ fn usb_run(
 /// Record one USB mass-storage template.
 pub fn record_usb_template(rw: Rw, blkcnt: u32) -> Result<Template, RecorderError> {
     let base = usb_run(rw, blkcnt, 2048, 0, 11)?;
-    let variants = vec![
-        usb_run(rw, blkcnt, 65_536, 0x4000, 12)?,
-        usb_run(rw, blkcnt, 500_000, 0x8000, 13)?,
-    ];
+    let variants =
+        vec![usb_run(rw, blkcnt, 65_536, 0x4000, 12)?, usb_run(rw, blkcnt, 500_000, 0x8000, 13)?];
     let candidate = USB_DISK_BLOCKS - u64::from(blkcnt);
     let probe = |blkid: u64| -> ProbeOutcome {
         match usb_run(rw, blkcnt, blkid as u32, 0, 19) {
@@ -283,8 +288,14 @@ pub fn record_usb_template(rw: Rw, blkcnt: u32) -> Result<Template, RecorderErro
         device: "dwc2".into(),
         params: vec![
             ParamSpec { name: "rw".into(), constraint: Constraint::eq_const(rw.encode()) },
-            ParamSpec { name: "blkcnt".into(), constraint: Constraint::eq_const(u64::from(blkcnt)) },
-            ParamSpec { name: "blkid".into(), constraint: Constraint::InRange { min: 0, max: upper } },
+            ParamSpec {
+                name: "blkcnt".into(),
+                constraint: Constraint::eq_const(u64::from(blkcnt)),
+            },
+            ParamSpec {
+                name: "blkid".into(),
+                constraint: Constraint::InRange { min: 0, max: upper },
+            },
             ParamSpec { name: "flag".into(), constraint: Constraint::Any },
         ],
         direction: dir,
@@ -324,8 +335,8 @@ fn camera_run(
     dma_skew: u64,
 ) -> Result<RecordRun, RecorderError> {
     let platform = Platform::new();
-    let _sys =
-        VchiqSubsystem::attach(&platform).map_err(|e| RecorderError::DriverFailed(e.to_string()))?;
+    let _sys = VchiqSubsystem::attach(&platform)
+        .map_err(|e| RecorderError::DriverFailed(e.to_string()))?;
     let io = BusIo::normal_world(
         platform.bus.clone(),
         DmaRegion::new(RECORD_DMA_BASE + dma_skew, RECORD_DMA_LEN),
@@ -376,7 +387,10 @@ pub fn record_camera_template(frames: u32) -> Result<Template, RecorderError> {
         entry: "replay_cam".into(),
         device: "vchiq".into(),
         params: vec![
-            ParamSpec { name: "frames".into(), constraint: Constraint::eq_const(u64::from(frames)) },
+            ParamSpec {
+                name: "frames".into(),
+                constraint: Constraint::eq_const(u64::from(frames)),
+            },
             ParamSpec {
                 name: "resolution".into(),
                 constraint: Constraint::OneOf(
@@ -496,10 +510,7 @@ mod tests {
         });
         assert!(cbw_param, "no CBW word was parameterised on blkid");
         // The bulk data lands in the user buffer via a DMA copy.
-        assert!(t
-            .events
-            .iter()
-            .any(|re| matches!(&re.event, Event::CopyDmaToUser { .. })));
+        assert!(t.events.iter().any(|re| matches!(&re.event, Event::CopyDmaToUser { .. })));
     }
 
     #[test]
@@ -508,9 +519,10 @@ mod tests {
         assert_eq!(t.device, "vchiq");
         assert!(t.validate().is_ok());
         // The device-assigned image size is captured...
-        let captured = t.events.iter().any(|re| {
-            matches!(&re.event, Event::Read { sink: ReadSink::Capture(_), .. })
-        });
+        let captured = t
+            .events
+            .iter()
+            .any(|re| matches!(&re.event, Event::Read { sink: ReadSink::Capture(_), .. }));
         assert!(captured, "img_size was not captured");
         // ...and echoed back in a later shared-memory write.
         let echoed = t.events.iter().any(|re| match &re.event {

@@ -126,14 +126,16 @@ impl TraceOp {
     /// position touches the same interface.
     pub fn iface_id(&self) -> (u8, u64, u64) {
         match self {
-            TraceOp::ReadReg { addr, .. } | TraceOp::WriteReg { addr, .. } | TraceOp::PollReg { addr, .. } => {
-                (self.kind_id(), *addr, 0)
-            }
+            TraceOp::ReadReg { addr, .. }
+            | TraceOp::WriteReg { addr, .. }
+            | TraceOp::PollReg { addr, .. } => (self.kind_id(), *addr, 0),
             TraceOp::WaitIrq { line, .. } => (self.kind_id(), u64::from(*line), 0),
             TraceOp::ShmRead { alloc, offset, .. }
             | TraceOp::ShmWrite { alloc, offset, .. }
             | TraceOp::CopyToDma { alloc, offset, .. }
-            | TraceOp::CopyFromDma { alloc, offset, .. } => (self.kind_id(), *alloc as u64, *offset),
+            | TraceOp::CopyFromDma { alloc, offset, .. } => {
+                (self.kind_id(), *alloc as u64, *offset)
+            }
             TraceOp::DmaAlloc { .. }
             | TraceOp::GetRand { .. }
             | TraceOp::GetTs { .. }
@@ -157,11 +159,7 @@ impl Trace {
     /// path.
     pub fn same_shape(&self, other: &Trace) -> bool {
         self.ops.len() == other.ops.len()
-            && self
-                .ops
-                .iter()
-                .zip(other.ops.iter())
-                .all(|(a, b)| a.iface_id() == b.iface_id())
+            && self.ops.iter().zip(other.ops.iter()).all(|(a, b)| a.iface_id() == b.iface_id())
     }
 }
 
@@ -180,7 +178,13 @@ impl<I: HwIo> TracingIo<I> {
     /// architected names (used when emitting templates); `driver_tag` names
     /// the gold driver for recording-site reports.
     pub fn new(inner: I, reg_names: HashMap<u64, String>, driver_tag: &str) -> Self {
-        TracingIo { inner, enabled: false, trace: Trace::default(), reg_names, driver_tag: driver_tag.to_string() }
+        TracingIo {
+            inner,
+            enabled: false,
+            trace: Trace::default(),
+            reg_names,
+            driver_tag: driver_tag.to_string(),
+        }
     }
 
     /// Enable or disable logging (probe/initialisation phases run untraced).
@@ -204,11 +208,7 @@ impl<I: HwIo> TracingIo<I> {
     }
 
     fn alloc_index(&self, region: &DmaRegion) -> usize {
-        self.trace
-            .allocs
-            .iter()
-            .position(|r| r.base == region.base)
-            .unwrap_or(usize::MAX)
+        self.trace.allocs.iter().position(|r| r.base == region.base).unwrap_or(usize::MAX)
     }
 
     fn log(&mut self, op: TraceOp) {

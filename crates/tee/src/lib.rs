@@ -108,12 +108,22 @@ impl SecureIo {
     }
 
     /// Write a word to secure DMA memory.
-    pub fn shm_write32(&mut self, region: DmaRegion, offset: u64, val: u32) -> Result<(), TeeError> {
+    pub fn shm_write32(
+        &mut self,
+        region: DmaRegion,
+        offset: u64,
+        val: u32,
+    ) -> Result<(), TeeError> {
         Ok(self.bus.lock().ram_write32(region.base + offset, val, World::Secure)?)
     }
 
     /// Copy payload into secure DMA memory.
-    pub fn copy_to_dma(&mut self, region: DmaRegion, offset: u64, data: &[u8]) -> Result<(), TeeError> {
+    pub fn copy_to_dma(
+        &mut self,
+        region: DmaRegion,
+        offset: u64,
+        data: &[u8],
+    ) -> Result<(), TeeError> {
         Ok(self.bus.lock().ram_write(region.base + offset, data, World::Secure)?)
     }
 
@@ -155,7 +165,9 @@ impl SecureIo {
             self.rng_state ^= self.rng_state >> 12;
             self.rng_state ^= self.rng_state << 25;
             self.rng_state ^= self.rng_state >> 27;
-            out.extend_from_slice(&self.rng_state.wrapping_mul(0x2545_f491_4f6c_dd1d).to_le_bytes());
+            out.extend_from_slice(
+                &self.rng_state.wrapping_mul(0x2545_f491_4f6c_dd1d).to_le_bytes(),
+            );
         }
         out.truncate(len);
         out
@@ -268,7 +280,13 @@ impl TeeKernel {
             }
             bus.protect_ram(io.pool_region());
         }
-        Ok(TeeKernel { io, trustlets: Vec::new(), sessions: HashMap::new(), next_session: 1, smc_calls: 0 })
+        Ok(TeeKernel {
+            io,
+            trustlets: Vec::new(),
+            sessions: HashMap::new(),
+            next_session: 1,
+            smc_calls: 0,
+        })
     }
 
     /// Install a trustlet.
@@ -385,11 +403,7 @@ mod tests {
     fn tzasc_isolation_blocks_the_normal_world() {
         let (p, mut tee) = rig();
         // Normal world faults on the secured device and the protected pool.
-        assert!(p
-            .bus
-            .lock()
-            .mmio_read32(0x3f30_0000, World::NonSecure, MmioAttr::Cached)
-            .is_err());
+        assert!(p.bus.lock().mmio_read32(0x3f30_0000, World::NonSecure, MmioAttr::Cached).is_err());
         assert!(p.bus.lock().ram_write32(TEE_DMA_POOL_BASE + 64, 1, World::NonSecure).is_err());
         // The TEE does not.
         tee.io_mut().writel(0x3f30_0000, 0xabcd).unwrap();

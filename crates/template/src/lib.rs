@@ -30,7 +30,9 @@ pub mod package;
 pub mod template;
 
 pub use constraint::Constraint;
-pub use event::{DataDirection, DmaRole, EnvApi, Event, Iface, ReadSink, RecordedEvent, SourceSite};
+pub use event::{
+    DataDirection, DmaRole, EnvApi, Event, Iface, ReadSink, RecordedEvent, SourceSite,
+};
 pub use expr::{EvalEnv, SymExpr};
 pub use package::{CoverageReport, Driverlet, SignError, Signature};
 pub use template::{DmaSpec, EventBreakdown, ParamSpec, Template, TemplateMeta};

@@ -134,7 +134,10 @@ impl SurveillanceTrustlet {
 
     /// Capture one frame and store it (the paper's Figure 8 loop body:
     /// `replay_cam` then `replay_mmc` in 256-block chunks).
-    pub fn capture_and_store(&mut self, replayer: &mut Replayer) -> Result<StoredFrame, TrustletError> {
+    pub fn capture_and_store(
+        &mut self,
+        replayer: &mut Replayer,
+    ) -> Result<StoredFrame, TrustletError> {
         let buf_size = 2 << 20;
         let mut img = vec![0u8; buf_size];
         // Capture one image at the configured resolution.

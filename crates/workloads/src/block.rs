@@ -79,7 +79,8 @@ impl NativeDev {
     pub fn new(kind: StorageKind, path: StoragePath) -> Self {
         assert!(path != StoragePath::Driverlet, "use DriverletDev for the driverlet path");
         let platform = Platform::new();
-        let io = BusIo::normal_world(platform.bus.clone(), DmaRegion::new(0x0200_0000, 0x0100_0000));
+        let io =
+            BusIo::normal_world(platform.bus.clone(), DmaRegion::new(0x0200_0000, 0x0100_0000));
         let inner = match kind {
             StorageKind::Mmc => {
                 MmcSubsystem::attach(&platform).expect("attach mmc");
@@ -149,13 +150,14 @@ impl BlockDev for NativeDev {
     fn read_blocks(&mut self, blkid: u32, blkcnt: u32, buf: &mut [u8]) -> Result<(), String> {
         self.charge_kernel_path(blkcnt);
         // Serve fully-covering dirty extents from the cache.
-        if let Some((_, data)) = self
+        if let Some((id, data)) = self
             .cache
             .iter()
             .find(|(id, data)| *id <= blkid && blkid + blkcnt <= id + (data.len() / BLOCK) as u32)
         {
-            let off = ((blkid - self.cache.iter().find(|(id, d)| *id <= blkid && blkid + blkcnt <= id + (d.len() / BLOCK) as u32).unwrap().0) as usize) * BLOCK;
-            buf[..blkcnt as usize * BLOCK].copy_from_slice(&data[off..off + blkcnt as usize * BLOCK]);
+            let off = (blkid - id) as usize * BLOCK;
+            buf[..blkcnt as usize * BLOCK]
+                .copy_from_slice(&data[off..off + blkcnt as usize * BLOCK]);
             return Ok(());
         }
         // Flush overlapping dirty data first.
@@ -244,11 +246,21 @@ impl DriverletDev {
         let (mmc, usb, driverlet, secure) = match kind {
             StorageKind::Mmc => {
                 let sys = MmcSubsystem::attach(&platform).expect("attach mmc");
-                (Some(sys.sdhost), None, record_mmc_driverlet().expect("record mmc"), vec!["sdhost", "dma"])
+                (
+                    Some(sys.sdhost),
+                    None,
+                    record_mmc_driverlet().expect("record mmc"),
+                    vec!["sdhost", "dma"],
+                )
             }
             StorageKind::Usb => {
                 let sys = UsbSubsystem::attach(&platform).expect("attach usb");
-                (None, Some(sys.hostctrl), record_usb_driverlet().expect("record usb"), vec!["dwc2"])
+                (
+                    None,
+                    Some(sys.hostctrl),
+                    record_usb_driverlet().expect("record usb"),
+                    vec!["dwc2"],
+                )
             }
         };
         TeeKernel::install(&platform, &secure).expect("install tee");

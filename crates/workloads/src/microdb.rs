@@ -64,7 +64,8 @@ impl<D: BlockDev> MicroDb<D> {
         // Zero every bucket page so record counts start at zero.
         let empty = vec![0u8; PAGE_BYTES];
         for b in 0..buckets {
-            dev.write_blocks(base_block + (b + 1) * BLOCKS_PER_PAGE, &empty).map_err(DbError::Io)?;
+            dev.write_blocks(base_block + (b + 1) * BLOCKS_PER_PAGE, &empty)
+                .map_err(DbError::Io)?;
         }
         dev.flush().map_err(DbError::Io)?;
         Ok(MicroDb { dev, buckets, base_block, page_reads: 0, page_writes: 0 })
@@ -74,10 +75,12 @@ impl<D: BlockDev> MicroDb<D> {
     pub fn open(mut dev: D, base_block: u32) -> Result<Self, DbError> {
         let mut superblock = vec![0u8; PAGE_BYTES];
         dev.read_blocks(base_block, BLOCKS_PER_PAGE, &mut superblock).map_err(DbError::Io)?;
-        if u32::from_le_bytes([superblock[0], superblock[1], superblock[2], superblock[3]]) != MAGIC {
+        if u32::from_le_bytes([superblock[0], superblock[1], superblock[2], superblock[3]]) != MAGIC
+        {
             return Err(DbError::NotFormatted);
         }
-        let buckets = u32::from_le_bytes([superblock[4], superblock[5], superblock[6], superblock[7]]);
+        let buckets =
+            u32::from_le_bytes([superblock[4], superblock[5], superblock[6], superblock[7]]);
         Ok(MicroDb { dev, buckets, base_block, page_reads: 0, page_writes: 0 })
     }
 
@@ -226,7 +229,8 @@ mod tests {
     impl BlockDev for MemDev {
         fn read_blocks(&mut self, blkid: u32, blkcnt: u32, buf: &mut [u8]) -> Result<(), String> {
             for i in 0..blkcnt {
-                let src = self.blocks.get(&(blkid + i)).cloned().unwrap_or_else(|| vec![0u8; BLOCK]);
+                let src =
+                    self.blocks.get(&(blkid + i)).cloned().unwrap_or_else(|| vec![0u8; BLOCK]);
                 buf[i as usize * BLOCK..(i as usize + 1) * BLOCK].copy_from_slice(&src);
             }
             self.now += 100;

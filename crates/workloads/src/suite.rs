@@ -74,7 +74,9 @@ impl SqliteBenchmark {
                 SqliteBenchmark::Delete => {
                     db.delete(key(0)).map_err(map_err)?;
                 }
-                SqliteBenchmark::Insert3 | SqliteBenchmark::Io | SqliteBenchmark::SelectG
+                SqliteBenchmark::Insert3
+                | SqliteBenchmark::Io
+                | SqliteBenchmark::SelectG
                 | SqliteBenchmark::Idxby => {
                     db.put(key(0), &val).map_err(map_err)?;
                 }
@@ -222,10 +224,26 @@ mod tests {
     fn read_only_benchmark_has_smaller_driverlet_overhead_than_write_heavy() {
         // Figure 5: "the overhead grows with the write ratio".
         let queries = 30;
-        let n_r = run_benchmark(SqliteBenchmark::Select3, StorageKind::Mmc, StoragePath::Native, queries).unwrap();
-        let d_r = run_benchmark(SqliteBenchmark::Select3, StorageKind::Mmc, StoragePath::Driverlet, queries).unwrap();
-        let n_w = run_benchmark(SqliteBenchmark::Insert3, StorageKind::Mmc, StoragePath::Native, queries).unwrap();
-        let d_w = run_benchmark(SqliteBenchmark::Insert3, StorageKind::Mmc, StoragePath::Driverlet, queries).unwrap();
+        let n_r =
+            run_benchmark(SqliteBenchmark::Select3, StorageKind::Mmc, StoragePath::Native, queries)
+                .unwrap();
+        let d_r = run_benchmark(
+            SqliteBenchmark::Select3,
+            StorageKind::Mmc,
+            StoragePath::Driverlet,
+            queries,
+        )
+        .unwrap();
+        let n_w =
+            run_benchmark(SqliteBenchmark::Insert3, StorageKind::Mmc, StoragePath::Native, queries)
+                .unwrap();
+        let d_w = run_benchmark(
+            SqliteBenchmark::Insert3,
+            StorageKind::Mmc,
+            StoragePath::Driverlet,
+            queries,
+        )
+        .unwrap();
         let read_overhead = n_r.qps / d_r.qps;
         let write_overhead = n_w.qps / d_w.qps;
         assert!(

@@ -38,7 +38,10 @@ fn main() {
     let mut back = vec![0u8; 512];
     replay_mmc(&mut replayer, 0x1, 1, 42, 0, &mut back).expect("secure read");
     assert_eq!(&back[..secret.len()], secret);
-    println!("[replay] round-tripped {} bytes through block 42 of the secure SD card", secret.len());
+    println!(
+        "[replay] round-tripped {} bytes through block 42 of the secure SD card",
+        secret.len()
+    );
 
     // 4. The card really holds the data, and the normal world really cannot
     //    reach the controller.

@@ -5,6 +5,7 @@
 //! single crate. See the README for the architecture overview and DESIGN.md
 //! for the per-experiment index.
 
+#![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub use dlt_core as core;

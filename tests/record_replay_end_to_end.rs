@@ -99,15 +99,9 @@ fn mmc_out_of_coverage_requests_are_rejected() {
     assert!(matches!(err, ReplayError::OutOfCoverage { .. }));
     // Block ids beyond the card are out of coverage too.
     let mut buf = vec![0u8; 8 * 512];
-    let err = replay_mmc(
-        &mut t.replayer,
-        0x1,
-        8,
-        (dlt_dev_mmc::CARD_BLOCKS - 2) as u32,
-        0,
-        &mut buf,
-    )
-    .unwrap_err();
+    let err =
+        replay_mmc(&mut t.replayer, 0x1, 8, (dlt_dev_mmc::CARD_BLOCKS - 2) as u32, 0, &mut buf)
+            .unwrap_err();
     assert!(matches!(err, ReplayError::OutOfCoverage { .. }));
 }
 
@@ -130,10 +124,7 @@ fn usb_write_then_read_replay_round_trip() {
     let payload = pattern_buf(8 * 512, 0x1337);
     let mut buf = payload.clone();
     replay_usb(&mut t.replayer, 0x10, 8, 2000, 0, &mut buf).unwrap();
-    assert_eq!(
-        t.usb.hostctrl.lock().device().disk().peek_block(2000),
-        payload[..512].to_vec()
-    );
+    assert_eq!(t.usb.hostctrl.lock().device().disk().peek_block(2000), payload[..512].to_vec());
     let mut back = vec![0u8; 8 * 512];
     replay_usb(&mut t.replayer, 0x1, 8, 2000, 0, &mut back).unwrap();
     assert_eq!(back, payload);
@@ -181,7 +172,11 @@ fn tzasc_keeps_the_normal_world_out_while_the_replayer_works() {
         .platform
         .bus
         .lock()
-        .mmio_read32(dlt_dev_mmc::SDHOST_BASE, dlt_hw::World::NonSecure, dlt_hw::bus::MmioAttr::Cached)
+        .mmio_read32(
+            dlt_dev_mmc::SDHOST_BASE,
+            dlt_hw::World::NonSecure,
+            dlt_hw::bus::MmioAttr::Cached,
+        )
         .unwrap_err();
     assert!(matches!(err, dlt_hw::HwError::PermissionDenied { .. }));
     // ...while the driverlet path works fine.
@@ -247,10 +242,14 @@ fn driverlet_coverage_report_reflects_the_campaign() {
     let report = driverlet.coverage.describe();
     assert!(report.contains("blkcnt"));
     assert!(report.contains("blkid"));
-    let mut args: HashMap<String, u64> =
-        [("rw".to_string(), 1u64), ("blkcnt".to_string(), 8), ("blkid".to_string(), 5), ("flag".to_string(), 0)]
-            .into_iter()
-            .collect();
+    let mut args: HashMap<String, u64> = [
+        ("rw".to_string(), 1u64),
+        ("blkcnt".to_string(), 8),
+        ("blkid".to_string(), 5),
+        ("flag".to_string(), 0),
+    ]
+    .into_iter()
+    .collect();
     assert!(driverlet.coverage.covers(&args));
     args.insert("blkcnt".into(), 999);
     assert!(!driverlet.coverage.covers(&args));

@@ -50,19 +50,13 @@ fn credential_store_round_trips_and_detects_corruption() {
     let store = CredentialStore::new(100, 8);
     store.store(&mut replayer, 3, b"totp-seed-123456").unwrap();
     assert_eq!(store.load(&mut replayer, 3).unwrap(), b"totp-seed-123456".to_vec());
-    assert!(matches!(
-        store.load(&mut replayer, 4),
-        Err(dlt_trustlets::TrustletError::NotFound)
-    ));
+    assert!(matches!(store.load(&mut replayer, 4), Err(dlt_trustlets::TrustletError::NotFound)));
     // Corrupt the stored block behind the trustlet's back: the checksum
     // catches it on the next load.
     let mut raw = mmc.sdhost.lock().card().peek_block(103);
     raw[20] ^= 0xff;
     mmc.sdhost.lock().card_mut().poke_block(103, &raw);
-    assert!(matches!(
-        store.load(&mut replayer, 3),
-        Err(dlt_trustlets::TrustletError::Corrupt(_))
-    ));
+    assert!(matches!(store.load(&mut replayer, 3), Err(dlt_trustlets::TrustletError::Corrupt(_))));
 }
 
 #[test]

@@ -1,0 +1,192 @@
+//! Workspace-local minimal stand-in for the `criterion` crate.
+//!
+//! Provides the subset of the criterion API the `dlt-bench` benches use —
+//! `Criterion::benchmark_group`, `sample_size`, `bench_function`,
+//! `bench_with_input`, `BenchmarkId`, `black_box` and the
+//! `criterion_group!`/`criterion_main!` macros — backed by a simple
+//! wall-clock harness: each benchmark is warmed up, then timed over
+//! `sample_size` samples, and the per-iteration median/mean are printed in
+//! criterion's familiar `group/function/parameter` naming scheme.
+//!
+//! The statistical machinery of real criterion (outlier analysis, regression
+//! tracking) is intentionally absent; the driverlets experiments report
+//! *virtual-time* numbers through `dlt-bench`'s `report` binary, and these
+//! wall-clock numbers only sanity-check the simulation cost.
+
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::Instant;
+
+pub use std::hint::black_box;
+
+/// Entry point handed to benchmark functions.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.into(), sample_size: self.sample_size, _parent: self }
+    }
+
+    /// Run a single benchmark outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Display, mut f: F) {
+        run_bench(&id.to_string(), self.sample_size, &mut f);
+    }
+}
+
+/// A named group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of timed samples collected per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Benchmark a closure under `id` within this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Display, mut f: F) {
+        let label = format!("{}/{}", self.name, id);
+        run_bench(&label, self.sample_size, &mut f);
+    }
+
+    /// Benchmark a closure that receives a borrowed input value.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F)
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id);
+        run_bench(&label, self.sample_size, &mut |b: &mut Bencher| f(b, input));
+    }
+
+    /// Finish the group (printing is incremental, so this is a no-op).
+    pub fn finish(self) {}
+}
+
+/// Identifier of one benchmark: a function name plus a parameter rendering.
+pub struct BenchmarkId {
+    function: String,
+    parameter: String,
+}
+
+impl BenchmarkId {
+    /// Build an id from a function name and a displayed parameter.
+    pub fn new(function: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId { function: function.into(), parameter: parameter.to_string() }
+    }
+
+    /// Build an id from a parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId { function: String::new(), parameter: parameter.to_string() }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.function.is_empty() {
+            write!(f, "{}", self.parameter)
+        } else {
+            write!(f, "{}/{}", self.function, self.parameter)
+        }
+    }
+}
+
+/// Timing harness handed to the benchmark closure.
+pub struct Bencher {
+    /// Number of iterations to run inside one sample.
+    iters: u64,
+    /// Total elapsed nanoseconds across all timed iterations.
+    elapsed_ns: u128,
+    /// Total iterations executed while timed.
+    total_iters: u64,
+}
+
+impl Bencher {
+    /// Time `f`, running it `self.iters` times.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed_ns += start.elapsed().as_nanos();
+        self.total_iters += self.iters;
+    }
+}
+
+fn run_bench(label: &str, sample_size: usize, f: &mut dyn FnMut(&mut Bencher)) {
+    // Calibration: find an iteration count that makes one sample take
+    // roughly a millisecond, so fast closures are measured in bulk.
+    let mut iters = 1u64;
+    loop {
+        let mut b = Bencher { iters, elapsed_ns: 0, total_iters: 0 };
+        f(&mut b);
+        if b.total_iters == 0 {
+            // The closure never called `iter`; nothing to measure.
+            println!("{label:<48} (no timing loop)");
+            return;
+        }
+        if b.elapsed_ns >= 1_000_000 || iters >= 1 << 20 {
+            break;
+        }
+        iters *= 2;
+    }
+
+    let mut samples_ns: Vec<f64> = Vec::with_capacity(sample_size);
+    for _ in 0..sample_size {
+        let mut b = Bencher { iters, elapsed_ns: 0, total_iters: 0 };
+        f(&mut b);
+        if b.total_iters > 0 {
+            samples_ns.push(b.elapsed_ns as f64 / b.total_iters as f64);
+        }
+    }
+    samples_ns.sort_by(|a, b| a.partial_cmp(b).expect("benchmark sample was NaN"));
+    let median = samples_ns[samples_ns.len() / 2];
+    let mean = samples_ns.iter().sum::<f64>() / samples_ns.len() as f64;
+    println!("{label:<48} median {:>12} mean {:>12}", fmt_ns(median), fmt_ns(mean));
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} us", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+/// Group benchmark functions under one callable name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Emit a `main` that runs the named groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

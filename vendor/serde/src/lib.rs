@@ -1,0 +1,312 @@
+//! Workspace-local minimal stand-in for the `serde` crate.
+//!
+//! This repository builds in an offline container, so the real `serde` is
+//! unavailable. The workspace only needs one serialisation shape — JSON
+//! round-trips of plain data structs and externally-tagged enums — so this
+//! crate models values as a concrete [`Value`] tree and exposes two simple
+//! traits plus `#[derive(Serialize, Deserialize)]` macros (from the sibling
+//! `serde_derive` crate) that mirror serde's derive behaviour for the type
+//! shapes used in this workspace: named-field structs and enums with unit,
+//! newtype, tuple and struct variants.
+//!
+//! The wire format produced by the sibling `serde_json` stand-in matches
+//! real `serde_json` for these shapes (externally-tagged enums, `null` for
+//! `Option::None`), so documents stay compatible if the real crates are ever
+//! swapped back in.
+
+#![warn(missing_docs)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::collections::HashMap;
+
+/// A JSON-like value tree: the intermediate representation both traits
+/// serialise through.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Non-negative integer.
+    UInt(u64),
+    /// Negative integer.
+    Int(i64),
+    /// Floating-point number.
+    Float(f64),
+    /// String.
+    Str(String),
+    /// Array.
+    Arr(Vec<Value>),
+    /// Object, as ordered key/value pairs (insertion order is preserved,
+    /// map-typed fields are emitted key-sorted for determinism).
+    Obj(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Look up a key in an object value.
+    pub fn obj_get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+}
+
+/// Deserialisation error: a human-readable message, matching what the code
+/// in this workspace needs (`e.to_string()` diagnostics).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeError(String);
+
+impl DeError {
+    /// A free-form error.
+    pub fn custom(msg: impl Into<String>) -> Self {
+        DeError(msg.into())
+    }
+
+    /// "expected X while deserialising Y".
+    pub fn expected(what: &str, ty: &str) -> Self {
+        DeError(format!("expected {what} while deserialising {ty}"))
+    }
+
+    /// A required field was absent.
+    pub fn missing_field(field: &str, ty: &str) -> Self {
+        DeError(format!("missing field `{field}` while deserialising {ty}"))
+    }
+
+    /// An enum tag did not name a known variant.
+    pub fn unknown_variant(tag: &str, ty: &str) -> Self {
+        DeError(format!("unknown variant `{tag}` for enum {ty}"))
+    }
+}
+
+impl std::fmt::Display for DeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Types that can render themselves into a [`Value`].
+pub trait Serialize {
+    /// Produce the value-tree encoding of `self`.
+    fn serialize(&self) -> Value;
+}
+
+/// Types that can be rebuilt from a [`Value`].
+pub trait Deserialize: Sized {
+    /// Rebuild `Self` from a value tree.
+    fn deserialize(v: &Value) -> Result<Self, DeError>;
+}
+
+/// Helper used by derived code: view a value as an object slice.
+pub fn expect_obj<'a>(v: &'a Value, ty: &str) -> Result<&'a [(String, Value)], DeError> {
+    match v {
+        Value::Obj(fields) => Ok(fields),
+        _ => Err(DeError::expected("object", ty)),
+    }
+}
+
+/// Helper used by derived code: view a value as an array of exactly `len`.
+pub fn expect_arr<'a>(v: &'a Value, len: usize, ty: &str) -> Result<&'a [Value], DeError> {
+    match v {
+        Value::Arr(items) if items.len() == len => Ok(items),
+        Value::Arr(items) => Err(DeError::custom(format!(
+            "expected array of {len} elements, got {} while deserialising {ty}",
+            items.len()
+        ))),
+        _ => Err(DeError::expected("array", ty)),
+    }
+}
+
+/// Helper used by derived code: fetch a required object field.
+pub fn field<'a>(obj: &'a [(String, Value)], name: &str, ty: &str) -> Result<&'a Value, DeError> {
+    obj.iter()
+        .find(|(k, _)| k == name)
+        .map(|(_, v)| v)
+        .ok_or_else(|| DeError::missing_field(name, ty))
+}
+
+macro_rules! impl_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self) -> Value {
+                Value::UInt(*self as u64)
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize(v: &Value) -> Result<Self, DeError> {
+                match v {
+                    Value::UInt(n) => <$t>::try_from(*n)
+                        .map_err(|_| DeError::custom(format!("{n} out of range for {}", stringify!($t)))),
+                    Value::Int(n) => <$t>::try_from(*n)
+                        .map_err(|_| DeError::custom(format!("{n} out of range for {}", stringify!($t)))),
+                    _ => Err(DeError::expected("unsigned integer", stringify!($t))),
+                }
+            }
+        }
+    )*};
+}
+
+macro_rules! impl_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self) -> Value {
+                let n = *self as i64;
+                if n >= 0 { Value::UInt(n as u64) } else { Value::Int(n) }
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize(v: &Value) -> Result<Self, DeError> {
+                match v {
+                    Value::UInt(n) => <$t>::try_from(*n)
+                        .map_err(|_| DeError::custom(format!("{n} out of range for {}", stringify!($t)))),
+                    Value::Int(n) => <$t>::try_from(*n)
+                        .map_err(|_| DeError::custom(format!("{n} out of range for {}", stringify!($t)))),
+                    _ => Err(DeError::expected("integer", stringify!($t))),
+                }
+            }
+        }
+    )*};
+}
+
+impl_uint!(u8, u16, u32, u64, usize);
+impl_int!(i8, i16, i32, i64, isize);
+
+impl Serialize for bool {
+    fn serialize(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn deserialize(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            _ => Err(DeError::expected("boolean", "bool")),
+        }
+    }
+}
+
+impl Serialize for f64 {
+    fn serialize(&self) -> Value {
+        Value::Float(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn deserialize(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Float(f) => Ok(*f),
+            Value::UInt(n) => Ok(*n as f64),
+            Value::Int(n) => Ok(*n as f64),
+            _ => Err(DeError::expected("number", "f64")),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn serialize(&self) -> Value {
+        Value::Float(f64::from(*self))
+    }
+}
+
+impl Deserialize for f32 {
+    fn deserialize(v: &Value) -> Result<Self, DeError> {
+        f64::deserialize(v).map(|f| f as f32)
+    }
+}
+
+impl Serialize for String {
+    fn serialize(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn deserialize(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            _ => Err(DeError::expected("string", "String")),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn serialize(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize(&self) -> Value {
+        Value::Arr(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Arr(items) => items.iter().map(T::deserialize).collect(),
+            _ => Err(DeError::expected("array", "Vec")),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize(&self) -> Value {
+        match self {
+            Some(inner) => inner.serialize(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::deserialize(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn serialize(&self) -> Value {
+        (**self).serialize()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn deserialize(v: &Value) -> Result<Self, DeError> {
+        T::deserialize(v).map(Box::new)
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize(&self) -> Value {
+        (**self).serialize()
+    }
+}
+
+impl<V: Serialize> Serialize for HashMap<String, V> {
+    fn serialize(&self) -> Value {
+        // Key-sorted for a deterministic encoding: driverlet signing hashes
+        // the serialised bytes, so iteration order must not leak through.
+        let mut keys: Vec<&String> = self.keys().collect();
+        keys.sort();
+        Value::Obj(keys.into_iter().map(|k| (k.clone(), self[k].serialize())).collect())
+    }
+}
+
+impl<V: Deserialize> Deserialize for HashMap<String, V> {
+    fn deserialize(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Obj(fields) => {
+                fields.iter().map(|(k, v)| Ok((k.clone(), V::deserialize(v)?))).collect()
+            }
+            _ => Err(DeError::expected("object", "HashMap")),
+        }
+    }
+}

@@ -1,0 +1,386 @@
+//! Workspace-local minimal `#[derive(Serialize, Deserialize)]`.
+//!
+//! The offline container has neither the real `serde_derive` nor `syn`/
+//! `quote`, so this macro parses the derive input `TokenStream` directly.
+//! It supports exactly the type shapes this workspace derives on:
+//!
+//! - structs with named fields (no generics),
+//! - enums whose variants are unit, newtype/tuple (positional) or
+//!   struct-like (named fields), again without generics.
+//!
+//! Generated code targets the sibling `serde` stand-in crate: structs encode
+//! as objects, enums use serde's externally-tagged representation (a bare
+//! string for unit variants, a single-key object otherwise), so the JSON
+//! written by the `serde_json` stand-in matches what the real crates would
+//! produce for these shapes.
+
+#![warn(missing_docs)]
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derive `serde::Serialize` for a plain struct or enum.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item).parse().expect("serde_derive generated invalid Serialize impl")
+}
+
+/// Derive `serde::Deserialize` for a plain struct or enum.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item).parse().expect("serde_derive generated invalid Deserialize impl")
+}
+
+struct Item {
+    name: String,
+    kind: Kind,
+}
+
+enum Kind {
+    /// Named fields of a struct.
+    Struct(Vec<String>),
+    /// Variants of an enum.
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    shape: Shape,
+}
+
+enum Shape {
+    Unit,
+    /// Positional fields (newtype when arity is 1).
+    Tuple(usize),
+    /// Named fields.
+    Struct(Vec<String>),
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut iter = input.into_iter().peekable();
+    loop {
+        match iter.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                // Skip the attribute body `[...]`.
+                iter.next();
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                // Skip a `pub(...)` restriction if present.
+                if let Some(TokenTree::Group(g)) = iter.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        iter.next();
+                    }
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "struct" => {
+                let name = expect_ident(iter.next());
+                let body = expect_brace(iter.next(), &name);
+                return Item { name, kind: Kind::Struct(parse_named_fields(body)) };
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "enum" => {
+                let name = expect_ident(iter.next());
+                let body = expect_brace(iter.next(), &name);
+                return Item { name, kind: Kind::Enum(parse_variants(body)) };
+            }
+            Some(other) => panic!("serde_derive: unexpected token `{other}` before item keyword"),
+            None => panic!("serde_derive: no struct or enum found in derive input"),
+        }
+    }
+}
+
+fn expect_ident(tok: Option<TokenTree>) -> String {
+    match tok {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected identifier, got {other:?}"),
+    }
+}
+
+fn expect_brace(tok: Option<TokenTree>, name: &str) -> TokenStream {
+    match tok {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+        _ => panic!(
+            "serde_derive: `{name}` must be a braced struct or enum without generics \
+             (tuple/unit structs and generic types are not supported by the offline stand-in)"
+        ),
+    }
+}
+
+/// Parse `attr* pub? name : Type ,` sequences, returning the field names.
+/// Commas inside angle brackets (`HashMap<String, u64>`) do not split fields;
+/// bracketed and parenthesised groups are opaque `TokenTree::Group`s already.
+fn parse_named_fields(body: TokenStream) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut iter = body.into_iter().peekable();
+    loop {
+        // Skip leading attributes.
+        loop {
+            match iter.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    iter.next();
+                    iter.next();
+                }
+                _ => break,
+            }
+        }
+        let name = match iter.next() {
+            None => break,
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                if let Some(TokenTree::Group(g)) = iter.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        iter.next();
+                    }
+                }
+                expect_ident(iter.next())
+            }
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            Some(other) => panic!("serde_derive: expected field name, got `{other}`"),
+        };
+        match iter.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("serde_derive: expected `:` after field `{name}`, got {other:?}"),
+        }
+        // Consume the type up to the next top-level comma.
+        let mut angle_depth = 0i32;
+        for tok in iter.by_ref() {
+            match tok {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => break,
+                _ => {}
+            }
+        }
+        fields.push(name);
+    }
+    fields
+}
+
+/// Parse `attr* Name ( ... )? { ... }? ,` sequences, returning the variants.
+fn parse_variants(body: TokenStream) -> Vec<Variant> {
+    let mut variants = Vec::new();
+    let mut iter = body.into_iter().peekable();
+    loop {
+        loop {
+            match iter.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    iter.next();
+                    iter.next();
+                }
+                _ => break,
+            }
+        }
+        let name = match iter.next() {
+            None => break,
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            Some(other) => panic!("serde_derive: expected variant name, got `{other}`"),
+        };
+        let shape = match iter.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let arity = count_top_level(g.stream());
+                iter.next();
+                Shape::Tuple(arity)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream());
+                iter.next();
+                Shape::Struct(fields)
+            }
+            _ => Shape::Unit,
+        };
+        // Skip discriminant-free separator comma, if any.
+        if let Some(TokenTree::Punct(p)) = iter.peek() {
+            if p.as_char() == ',' {
+                iter.next();
+            }
+        }
+        variants.push(Variant { name, shape });
+    }
+    variants
+}
+
+/// Count comma-separated entries at angle-bracket depth zero.
+fn count_top_level(body: TokenStream) -> usize {
+    let mut count = 0usize;
+    let mut saw_any = false;
+    let mut angle_depth = 0i32;
+    for tok in body {
+        saw_any = true;
+        match tok {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => count += 1,
+            _ => {}
+        }
+    }
+    if saw_any {
+        count + 1
+    } else {
+        0
+    }
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        Kind::Struct(fields) => {
+            let mut push = String::new();
+            for f in fields {
+                push.push_str(&format!(
+                    "obj.push((::std::string::String::from(\"{f}\"), \
+                     ::serde::Serialize::serialize(&self.{f})));\n"
+                ));
+            }
+            format!(
+                "let mut obj: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = \
+                 ::std::vec::Vec::new();\n{push}::serde::Value::Obj(obj)"
+            )
+        }
+        Kind::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                match &v.shape {
+                    Shape::Unit => arms.push_str(&format!(
+                        "{name}::{vname} => ::serde::Value::Str(\
+                         ::std::string::String::from(\"{vname}\")),\n"
+                    )),
+                    Shape::Tuple(1) => arms.push_str(&format!(
+                        "{name}::{vname}(f0) => ::serde::Value::Obj(vec![(\
+                         ::std::string::String::from(\"{vname}\"), \
+                         ::serde::Serialize::serialize(f0))]),\n"
+                    )),
+                    Shape::Tuple(n) => {
+                        let binders: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                        let items: Vec<String> = binders
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::serialize({b})"))
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vname}({}) => ::serde::Value::Obj(vec![(\
+                             ::std::string::String::from(\"{vname}\"), \
+                             ::serde::Value::Arr(vec![{}]))]),\n",
+                            binders.join(", "),
+                            items.join(", ")
+                        ));
+                    }
+                    Shape::Struct(fields) => {
+                        let items: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "(::std::string::String::from(\"{f}\"), \
+                                     ::serde::Serialize::serialize({f}))"
+                                )
+                            })
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vname} {{ {} }} => ::serde::Value::Obj(vec![(\
+                             ::std::string::String::from(\"{vname}\"), \
+                             ::serde::Value::Obj(vec![{}]))]),\n",
+                            fields.join(", "),
+                            items.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "#[automatically_derived]\nimpl ::serde::Serialize for {name} {{\n\
+         fn serialize(&self) -> ::serde::Value {{\n{body}\n}}\n}}\n"
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        Kind::Struct(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::deserialize(\
+                         ::serde::field(obj, \"{f}\", \"{name}\")?)?"
+                    )
+                })
+                .collect();
+            format!(
+                "let obj = ::serde::expect_obj(v, \"{name}\")?;\n\
+                 ::std::result::Result::Ok({name} {{ {} }})",
+                inits.join(", ")
+            )
+        }
+        Kind::Enum(variants) => {
+            let unit_arms: String = variants
+                .iter()
+                .filter(|v| matches!(v.shape, Shape::Unit))
+                .map(|v| format!("\"{0}\" => ::std::result::Result::Ok({name}::{0}),\n", v.name))
+                .collect();
+            let mut data_arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                match &v.shape {
+                    Shape::Unit => {}
+                    Shape::Tuple(1) => data_arms.push_str(&format!(
+                        "\"{vname}\" => ::std::result::Result::Ok({name}::{vname}(\
+                         ::serde::Deserialize::deserialize(inner)?)),\n"
+                    )),
+                    Shape::Tuple(n) => {
+                        let items: Vec<String> = (0..*n)
+                            .map(|i| format!("::serde::Deserialize::deserialize(&items[{i}])?"))
+                            .collect();
+                        data_arms.push_str(&format!(
+                            "\"{vname}\" => {{\n\
+                             let items = ::serde::expect_arr(inner, {n}, \"{name}::{vname}\")?;\n\
+                             ::std::result::Result::Ok({name}::{vname}({}))\n}}\n",
+                            items.join(", ")
+                        ));
+                    }
+                    Shape::Struct(fields) => {
+                        let inits: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "{f}: ::serde::Deserialize::deserialize(\
+                                     ::serde::field(obj, \"{f}\", \"{name}::{vname}\")?)?"
+                                )
+                            })
+                            .collect();
+                        data_arms.push_str(&format!(
+                            "\"{vname}\" => {{\n\
+                             let obj = ::serde::expect_obj(inner, \"{name}::{vname}\")?;\n\
+                             ::std::result::Result::Ok({name}::{vname} {{ {} }})\n}}\n",
+                            inits.join(", ")
+                        ));
+                    }
+                }
+            }
+            let has_data = variants.iter().any(|v| !matches!(v.shape, Shape::Unit));
+            let obj_arm = if has_data {
+                format!(
+                    "::serde::Value::Obj(fields) if fields.len() == 1 => {{\n\
+                     let (tag, inner) = &fields[0];\n\
+                     match tag.as_str() {{\n{data_arms}\
+                     other => ::std::result::Result::Err(\
+                     ::serde::DeError::unknown_variant(other, \"{name}\")),\n}}\n}}\n"
+                )
+            } else {
+                String::new()
+            };
+            format!(
+                "match v {{\n\
+                 ::serde::Value::Str(s) => match s.as_str() {{\n{unit_arms}\
+                 other => ::std::result::Result::Err(\
+                 ::serde::DeError::unknown_variant(other, \"{name}\")),\n}},\n\
+                 {obj_arm}\
+                 _ => ::std::result::Result::Err(::serde::DeError::expected(\"enum\", \"{name}\")),\n}}"
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived]\nimpl ::serde::Deserialize for {name} {{\n\
+         fn deserialize(v: &::serde::Value) -> \
+         ::std::result::Result<Self, ::serde::DeError> {{\n{body}\n}}\n}}\n"
+    )
+}
