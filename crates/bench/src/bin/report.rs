@@ -8,7 +8,8 @@
 //! ```
 //!
 //! Artifacts: table3 table4 table5 table6 table7 table8 table9 fig5 fig6 fig7
-//! memory. Numbers are virtual-time measurements of the simulated platform;
+//! memory replay. Numbers are virtual-time measurements of the simulated
+//! platform (`replay` additionally reports wall-clock engine throughput);
 //! EXPERIMENTS.md records a reference run next to the paper's numbers.
 
 use std::collections::HashMap;
@@ -223,11 +224,21 @@ fn main() {
         println!("paper: near-native latency; large USB writes up to 40% faster than native");
     }
 
+    if want(&selected, "replay") {
+        println!(
+            "\n--- Replay-engine throughput (compiled program vs interpreter, wall clock) ---"
+        );
+        let invocations = if quick { 200 } else { 1_000 };
+        let report = dlt_bench::replay_bench::run_throughput_only(8, invocations);
+        print!("{}", dlt_bench::replay_bench::describe(&report));
+        println!("(persisted trajectory numbers come from the replay_throughput bench)");
+    }
+
     // Always print a tiny summary of what was requested so log scrapers know
     // the run completed.
     let known = [
         "table3", "table4", "table5", "table6", "table7", "table8", "table9", "fig5", "fig6",
-        "fig7", "memory", "all",
+        "fig7", "memory", "replay", "all",
     ];
     if !known.contains(&selected.as_str()) {
         eprintln!("unknown artifact `{selected}`; known: {known:?}");

@@ -1,21 +1,12 @@
 //! The trustlet-facing driverlet interfaces (`driverlet.h` in Figure 8).
 
-use std::collections::HashMap;
-
 use crate::replayer::{ReplayError, ReplayOutcome, Replayer};
 
 /// MMC block size in bytes.
 pub const MMC_BLOCK_SIZE: usize = 512;
 
-fn block_args(rw: u64, blkcnt: u32, blkid: u32, flag: u64) -> HashMap<String, u64> {
-    [
-        ("rw".to_string(), rw),
-        ("blkcnt".to_string(), u64::from(blkcnt)),
-        ("blkid".to_string(), u64::from(blkid)),
-        ("flag".to_string(), flag),
-    ]
-    .into_iter()
-    .collect()
+fn block_args(rw: u64, blkcnt: u32, blkid: u32, flag: u64) -> [(&'static str, u64); 4] {
+    [("rw", rw), ("blkcnt", u64::from(blkcnt)), ("blkid", u64::from(blkid)), ("flag", flag)]
 }
 
 /// `replay_mmc(rw, blkcnt, blkid, flag, buf)` — read or write `blkcnt`
@@ -62,7 +53,7 @@ pub fn replay_mmc(
     if buf.len() < blkcnt as usize * MMC_BLOCK_SIZE {
         return Err(ReplayError::Invalid("buffer smaller than the requested blocks".into()));
     }
-    replayer.invoke("replay_mmc", &block_args(rw, blkcnt, blkid, flag), buf)
+    replayer.invoke_args("replay_mmc", &block_args(rw, blkcnt, blkid, flag), buf)
 }
 
 /// `replay_usb(rw, blkcnt, blkid, flag, buf)` — read or write `blkcnt`
@@ -105,7 +96,7 @@ pub fn replay_usb(
     if buf.len() < blkcnt as usize * MMC_BLOCK_SIZE {
         return Err(ReplayError::Invalid("buffer smaller than the requested blocks".into()));
     }
-    replayer.invoke("replay_usb", &block_args(rw, blkcnt, blkid, flag), buf)
+    replayer.invoke_args("replay_usb", &block_args(rw, blkcnt, blkid, flag), buf)
 }
 
 /// `replay_cam(frames, resolution, buf, buf_size, &size)` — capture `frames`
@@ -144,14 +135,12 @@ pub fn replay_cam(
     resolution: u32,
     buf: &mut [u8],
 ) -> Result<u32, ReplayError> {
-    let args: HashMap<String, u64> = [
-        ("frames".to_string(), u64::from(frames)),
-        ("resolution".to_string(), u64::from(resolution)),
-        ("buf_size".to_string(), buf.len() as u64),
-    ]
-    .into_iter()
-    .collect();
-    let outcome = replayer.invoke("replay_cam", &args, buf)?;
+    let args = [
+        ("frames", u64::from(frames)),
+        ("resolution", u64::from(resolution)),
+        ("buf_size", buf.len() as u64),
+    ];
+    let outcome = replayer.invoke_args("replay_cam", &args, buf)?;
     // The image size is the device-assigned value the template captured; the
     // copy into the trustlet buffer is exactly that long.
     let img = outcome

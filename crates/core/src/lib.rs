@@ -8,7 +8,9 @@
 //! * verifies and statically vets driverlet bundles before accepting them
 //!   ([`Replayer::load_driverlet`]) — signature check, template validation,
 //!   and a bounds check that every register event stays inside the window of
-//!   a secure-world device (the self-hardening measures of §5),
+//!   a secure-world device (the self-hardening measures of §5) — then lowers
+//!   each template into a flat replay program (`dlt_template::program`) so
+//!   the hot path runs a zero-allocation branch-on-opcode loop,
 //! * selects the unique template whose parameter constraints the trustlet's
 //!   arguments satisfy, rejecting out-of-coverage requests,
 //! * executes the template's events sequentially and transactionally: input
@@ -29,10 +31,11 @@
 #![warn(missing_docs)]
 
 pub mod api;
+mod interp;
 pub mod replayer;
 
 pub use api::{replay_cam, replay_mmc, replay_usb, MMC_BLOCK_SIZE};
 pub use replayer::{
-    DivergenceEvent, DivergenceReport, ReplayConfig, ReplayError, ReplayOutcome, ReplayStats,
-    Replayer,
+    DivergenceEvent, DivergenceReport, ReplayConfig, ReplayError, ReplayMode, ReplayOutcome,
+    ReplayStats, Replayer,
 };

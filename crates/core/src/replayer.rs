@@ -1,10 +1,26 @@
 //! The transactional template replayer.
+//!
+//! Loading a driverlet compiles every vetted template into a flat
+//! [`ReplayProgram`] (`dlt_template::program`): parameter/capture names are
+//! interned to register-file slots, expression and constraint trees are
+//! flattened to postfix ops, interfaces are pre-resolved and register
+//! windows are checked once. Invocation then runs a branch-on-opcode loop
+//! against a reusable scratch arena — no template clone, no argument-map
+//! clone, no per-event allocation on the divergence-free path (payload
+//! copies land directly in the trustlet buffer and random bytes fill a
+//! pre-sized scratch buffer).
+//!
+//! The pre-compilation tree-walking interpreter survives as
+//! [`ReplayMode::Interpreted`] (the private `interp` module); both paths
+//! charge identical virtual-time costs, so the `replay_throughput` bench
+//! isolates the host-CPU cost of the execution strategy.
 
 use std::collections::HashMap;
 
 use dlt_hw::DmaRegion;
 use dlt_tee::{SecureIo, TeeError};
-use dlt_template::{Driverlet, EvalEnv, Event, Iface, ReadSink, SourceSite, Template};
+use dlt_template::program::{CIface, CSink, EvalScratch, Op, ReplayProgram, NO_SLOT};
+use dlt_template::{compile, Driverlet, SourceSite};
 
 /// Replay errors surfaced to the trustlet.
 #[derive(Debug, Clone)]
@@ -17,7 +33,8 @@ pub enum ReplayError {
     },
     /// The driverlet bundle failed signature verification.
     Signature(String),
-    /// A template failed static vetting or hardening checks at load time.
+    /// A template failed static vetting, hardening checks or compilation at
+    /// load time.
     InvalidTemplate(String),
     /// No driverlet is loaded for the requested entry.
     UnknownEntry(String),
@@ -92,6 +109,17 @@ pub struct DivergenceReport {
     pub failure: DivergenceEvent,
 }
 
+/// Which execution engine serves invocations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ReplayMode {
+    /// The flat compiled replay program (production path).
+    #[default]
+    Compiled,
+    /// The reference tree-walking interpreter (baseline for the
+    /// `replay_throughput` bench and differential tests).
+    Interpreted,
+}
+
 /// Replayer configuration.
 #[derive(Debug, Clone)]
 pub struct ReplayConfig {
@@ -101,11 +129,20 @@ pub struct ReplayConfig {
     /// Whether to verify driverlet signatures at load time (always on in
     /// production; switchable for the ablation benchmarks).
     pub verify_signature: bool,
+    /// Execution engine.
+    pub mode: ReplayMode,
 }
 
 impl Default for ReplayConfig {
     fn default() -> Self {
-        ReplayConfig { max_attempts: 3, verify_signature: true }
+        ReplayConfig { max_attempts: 3, verify_signature: true, mode: ReplayMode::Compiled }
+    }
+}
+
+impl ReplayConfig {
+    /// The default configuration running the interpreted baseline.
+    pub fn interpreted() -> Self {
+        ReplayConfig { mode: ReplayMode::Interpreted, ..ReplayConfig::default() }
     }
 }
 
@@ -142,17 +179,77 @@ pub struct ReplayOutcome {
     pub recovered_divergence: bool,
 }
 
+/// A loaded bundle: the signed artefact plus its compiled programs (one per
+/// template, in template order).
+struct LoadedDriverlet {
+    bundle: Driverlet,
+    programs: Vec<ReplayProgram>,
+}
+
+/// Reusable execution scratch. Sized at load time for the largest loaded
+/// program so the hot path never grows it.
+#[derive(Default)]
+struct Scratch {
+    /// Register file: `[params.. | captures.. | dma bases..]`.
+    regs: Vec<u64>,
+    /// Bound flags, parallel to `regs`.
+    bound: Vec<bool>,
+    /// Expression/constraint evaluation stacks.
+    eval: EvalScratch,
+    /// DMA allocations of the running attempt.
+    dma: Vec<DmaRegion>,
+    /// Random-byte fill buffer.
+    rand: Vec<u8>,
+}
+
+impl Scratch {
+    fn reserve_for(&mut self, prog: &ReplayProgram) {
+        if self.regs.len() < prog.num_slots() {
+            self.regs.resize(prog.num_slots(), 0);
+            self.bound.resize(prog.num_slots(), false);
+        }
+        self.eval.reserve_for(prog);
+        // `reserve` is relative to the length and the table is cleared
+        // between attempts, so reserving the full count is exact.
+        if self.dma.capacity() < prog.num_dma as usize {
+            self.dma.reserve(prog.num_dma as usize);
+        }
+        if self.rand.len() < prog.max_rand_len {
+            self.rand.resize(prog.max_rand_len, 0);
+        }
+    }
+}
+
 /// The driverlet replayer.
 pub struct Replayer {
     io: SecureIo,
-    driverlets: HashMap<String, Driverlet>,
+    driverlets: HashMap<String, LoadedDriverlet>,
     config: ReplayConfig,
     stats: ReplayStats,
+    scratch: Scratch,
 }
 
-enum ExecFailure {
+pub(crate) enum ExecFailure {
     Divergence(DivergenceEvent, usize),
     Tee(TeeError),
+}
+
+/// Borrowed argument source for the compiled engine.
+#[derive(Clone, Copy)]
+enum ArgSource<'a> {
+    /// Name-keyed map (the general `invoke` entry point).
+    Map(&'a HashMap<String, u64>),
+    /// Borrowed pairs (the `invoke_args` trustlet fast path).
+    Slice(&'a [(&'a str, u64)]),
+}
+
+impl ArgSource<'_> {
+    fn bind(&self, prog: &ReplayProgram, regs: &mut [u64], bound: &mut [bool]) {
+        match self {
+            ArgSource::Map(m) => prog.bind_args(m, regs, bound),
+            ArgSource::Slice(s) => prog.bind_arg_slice(s, regs, bound),
+        }
+    }
 }
 
 impl Replayer {
@@ -163,7 +260,13 @@ impl Replayer {
 
     /// Create a replayer with an explicit configuration.
     pub fn with_config(io: SecureIo, config: ReplayConfig) -> Self {
-        Replayer { io, driverlets: HashMap::new(), config, stats: ReplayStats::default() }
+        Replayer {
+            io,
+            driverlets: HashMap::new(),
+            config,
+            stats: ReplayStats::default(),
+            scratch: Scratch::default(),
+        }
     }
 
     /// Cumulative statistics.
@@ -181,14 +284,25 @@ impl Replayer {
         self.driverlets.keys().cloned().collect()
     }
 
+    /// The compiled programs serving `entry` (loaded-template names), mostly
+    /// for diagnostics and tests.
+    pub fn program_names(&self, entry: &str) -> Vec<String> {
+        self.driverlets
+            .get(entry)
+            .map(|ld| ld.programs.iter().map(|p| p.name.clone()).collect())
+            .unwrap_or_default()
+    }
+
     /// Load a driverlet bundle: verify the developer signature, statically
-    /// vet every template, and harden against templates that reference
-    /// registers outside their device's (secure) register window.
+    /// vet every template, harden against templates that reference registers
+    /// outside secure device windows, and lower each template into its flat
+    /// replay program.
     pub fn load_driverlet(&mut self, bundle: Driverlet, key: &[u8]) -> Result<(), ReplayError> {
         if self.config.verify_signature {
             bundle.verify(key).map_err(|e| ReplayError::Signature(e.to_string()))?;
         }
         bundle.validate().map_err(ReplayError::InvalidTemplate)?;
+        let mut programs = Vec::with_capacity(bundle.templates.len());
         for t in &bundle.templates {
             let window = self
                 .io
@@ -202,24 +316,23 @@ impl Replayer {
             }
             for addr in t.registers_touched() {
                 if !window.contains(addr, 4) {
-                    // The MMC templates legitimately touch the system DMA
-                    // engine as a second secure device; accept registers that
-                    // fall inside any secure device window.
-                    let in_other_secure = self
-                        .io
-                        .device_window("dma")
-                        .map(|w| w.contains(addr, 4) && self.io.is_device_secure("dma"))
-                        .unwrap_or(false);
-                    if !in_other_secure {
+                    // Templates may legitimately touch a second secure device
+                    // (the MMC templates drive the system DMA engine); accept
+                    // registers that fall inside *any* secure device window.
+                    if self.io.secure_device_containing(addr, 4).is_none() {
                         return Err(ReplayError::InvalidTemplate(format!(
-                            "{}: register {addr:#x} is outside the secure window of {}",
-                            t.name, t.device
+                            "{}: register {addr:#x} is outside every secure device window",
+                            t.name
                         )));
                     }
                 }
             }
+            let prog =
+                compile(t).map_err(|e| ReplayError::InvalidTemplate(format!("{}: {e}", t.name)))?;
+            self.scratch.reserve_for(&prog);
+            programs.push(prog);
         }
-        self.driverlets.insert(bundle.entry.clone(), bundle);
+        self.driverlets.insert(bundle.entry.clone(), LoadedDriverlet { bundle, programs });
         Ok(())
     }
 
@@ -231,10 +344,113 @@ impl Replayer {
         buf: &mut [u8],
     ) -> Result<ReplayOutcome, ReplayError> {
         self.stats.invocations += 1;
-        let bundle = self
+        match self.config.mode {
+            ReplayMode::Compiled => self.invoke_compiled(entry, ArgSource::Map(args), buf),
+            ReplayMode::Interpreted => self.invoke_interpreted(entry, args, buf),
+        }
+    }
+
+    /// Invoke a replay entry with borrowed argument pairs — the
+    /// zero-allocation trustlet entry path (`replay_mmc(..)` and friends).
+    /// The compiled engine binds the pairs straight into its register file;
+    /// the interpreted baseline builds the name-keyed map it always needed.
+    pub fn invoke_args(
+        &mut self,
+        entry: &str,
+        args: &[(&str, u64)],
+        buf: &mut [u8],
+    ) -> Result<ReplayOutcome, ReplayError> {
+        self.stats.invocations += 1;
+        match self.config.mode {
+            ReplayMode::Compiled => self.invoke_compiled(entry, ArgSource::Slice(args), buf),
+            ReplayMode::Interpreted => {
+                let map: HashMap<String, u64> =
+                    args.iter().map(|(k, v)| (k.to_string(), *v)).collect();
+                self.invoke_interpreted(entry, &map, buf)
+            }
+        }
+    }
+
+    fn invoke_compiled(
+        &mut self,
+        entry: &str,
+        args: ArgSource<'_>,
+        buf: &mut [u8],
+    ) -> Result<ReplayOutcome, ReplayError> {
+        let this = &mut *self;
+        let ld = this
             .driverlets
             .get(entry)
             .ok_or_else(|| ReplayError::UnknownEntry(entry.to_string()))?;
+        // Template selection on the compiled parameter checks: bind the
+        // arguments into the scratch register file and test each program.
+        let mut selected = None;
+        for prog in &ld.programs {
+            args.bind(prog, &mut this.scratch.regs, &mut this.scratch.bound);
+            if prog.matches_regs(&this.scratch.regs, &this.scratch.bound, &mut this.scratch.eval) {
+                selected = Some(prog);
+                break;
+            }
+        }
+        let prog =
+            selected.ok_or_else(|| ReplayError::OutOfCoverage { entry: entry.to_string() })?;
+
+        let mut last_failure: Option<(DivergenceEvent, usize)> = None;
+        let mut attempts = 0u32;
+        while attempts < this.config.max_attempts {
+            attempts += 1;
+            this.stats.executions += 1;
+            // Soft reset before every execution and between retries (§5).
+            this.io.soft_reset_device(&prog.device)?;
+            this.io.dma_release_all();
+            this.stats.resets += 1;
+            // Re-bind: clears capture and DMA slots from the prior attempt.
+            args.bind(prog, &mut this.scratch.regs, &mut this.scratch.bound);
+            this.scratch.dma.clear();
+            match exec_program(&mut this.io, &mut this.stats, &mut this.scratch, prog, buf) {
+                Ok(payload_bytes) => {
+                    let mut captured = HashMap::new();
+                    for (i, name) in prog.capture_names.iter().enumerate() {
+                        let slot = prog.param_names.len() + i;
+                        if this.scratch.bound[slot] {
+                            captured.insert(name.clone(), this.scratch.regs[slot]);
+                        }
+                    }
+                    this.stats.payload_bytes += payload_bytes;
+                    return Ok(ReplayOutcome {
+                        payload_bytes,
+                        captured,
+                        events: prog.ops.len(),
+                        recovered_divergence: last_failure.is_some(),
+                    });
+                }
+                Err(ExecFailure::Divergence(event, executed)) => {
+                    this.stats.divergences += 1;
+                    last_failure = Some((event, executed));
+                }
+                Err(ExecFailure::Tee(e)) => return Err(ReplayError::Tee(e.to_string())),
+            }
+        }
+        let (failure, executed) = last_failure.expect("at least one attempt must have run");
+        Err(ReplayError::Diverged(DivergenceReport {
+            template: prog.name.clone(),
+            attempts,
+            executed_before_failure: executed,
+            failure,
+        }))
+    }
+
+    fn invoke_interpreted(
+        &mut self,
+        entry: &str,
+        args: &HashMap<String, u64>,
+        buf: &mut [u8],
+    ) -> Result<ReplayOutcome, ReplayError> {
+        let bundle = &self
+            .driverlets
+            .get(entry)
+            .ok_or_else(|| ReplayError::UnknownEntry(entry.to_string()))?
+            .bundle;
         let template = bundle
             .select(args)
             .ok_or_else(|| ReplayError::OutOfCoverage { entry: entry.to_string() })?
@@ -246,11 +462,10 @@ impl Replayer {
         while attempts < self.config.max_attempts {
             attempts += 1;
             self.stats.executions += 1;
-            // Soft reset before every execution and between retries (§5).
             self.io.soft_reset_device(&device)?;
             self.io.dma_release_all();
             self.stats.resets += 1;
-            match self.execute_once(&template, args, buf) {
+            match crate::interp::execute_once(&mut self.io, &mut self.stats, &template, args, buf) {
                 Ok(mut outcome) => {
                     outcome.recovered_divergence = last_failure.is_some();
                     self.stats.payload_bytes += outcome.payload_bytes;
@@ -271,232 +486,234 @@ impl Replayer {
             failure,
         }))
     }
+}
 
-    fn execute_once(
-        &mut self,
-        template: &Template,
-        args: &HashMap<String, u64>,
-        buf: &mut [u8],
-    ) -> Result<ReplayOutcome, ExecFailure> {
-        let dispatch_ns = self.io.replay_dispatch_cost_ns();
-        let mut env = EvalEnv::with_params(args.clone());
-        let mut allocations: Vec<DmaRegion> = Vec::new();
-        let mut payload_bytes = 0u64;
+/// Build a divergence failure from precompiled op metadata (cold path: the
+/// only formatting the compiled engine ever does).
+#[cold]
+fn diverge(
+    prog: &ReplayProgram,
+    op_idx: usize,
+    observed: Option<u64>,
+    reason: String,
+) -> ExecFailure {
+    let m = &prog.meta[op_idx];
+    ExecFailure::Divergence(
+        DivergenceEvent {
+            event_index: m.src_index as usize,
+            site: m.site.clone(),
+            event: m.desc.clone(),
+            observed,
+            reason,
+        },
+        m.src_index as usize,
+    )
+}
 
-        let diverge = |idx: usize,
-                       re: &dlt_template::RecordedEvent,
-                       observed: Option<u64>,
-                       reason: String| {
-            ExecFailure::Divergence(
-                DivergenceEvent {
-                    event_index: idx,
-                    site: re.site.clone(),
-                    event: re.event.describe(),
-                    observed,
-                    reason,
-                },
-                idx,
-            )
-        };
+#[cold]
+fn unbound(prog: &ReplayProgram, op_idx: usize, what: &str) -> ExecFailure {
+    diverge(prog, op_idx, None, format!("{what} references an unbound symbol"))
+}
 
-        for (idx, re) in template.events.iter().enumerate() {
-            self.io.charge_ns(dispatch_ns);
-            self.stats.events_executed += 1;
-            match &re.event {
-                Event::Read { iface, constraint, sink, .. } => {
-                    let value =
-                        self.read_iface(iface, &allocations).map_err(ExecFailure::Tee)? as u64;
-                    if !constraint.check(value, &env) {
-                        return Err(diverge(
-                            idx,
-                            re,
-                            Some(value),
-                            format!("constraint \"{}\" violated", constraint.describe()),
-                        ));
+#[cold]
+fn missing_dma(alloc: u32) -> ExecFailure {
+    ExecFailure::Tee(TeeError::Hw(format!("dma[{alloc}] not allocated")))
+}
+
+fn read_ciface(io: &mut SecureIo, iface: CIface, dma: &[DmaRegion]) -> Result<u32, ExecFailure> {
+    match iface {
+        CIface::Reg(addr) => io.readl(addr).map_err(ExecFailure::Tee),
+        CIface::Shm { alloc, offset } => {
+            let region = *dma.get(alloc as usize).ok_or_else(|| missing_dma(alloc))?;
+            io.shm_read32(region, offset).map_err(ExecFailure::Tee)
+        }
+    }
+}
+
+/// Execute one attempt of a compiled program. The divergence-free path
+/// performs no heap allocation: all dynamic state lives in `scratch`.
+fn exec_program(
+    io: &mut SecureIo,
+    stats: &mut ReplayStats,
+    scratch: &mut Scratch,
+    prog: &ReplayProgram,
+    buf: &mut [u8],
+) -> Result<u64, ExecFailure> {
+    let dispatch_ns = io.replay_dispatch_cost_ns();
+    let mut payload_bytes = 0u64;
+
+    for (op_idx, op) in prog.ops.iter().enumerate() {
+        stats.events_executed += 1;
+        // Polls charge per iteration below; everything else is one dispatch.
+        if !matches!(op, Op::Poll { .. }) {
+            io.charge_ns(dispatch_ns);
+        }
+        match *op {
+            Op::Read { iface, cons, sink } => {
+                let value = read_ciface(io, iface, &scratch.dma)? as u64;
+                if !prog.check_cons(cons, value, &scratch.regs, &scratch.bound, &mut scratch.eval) {
+                    return Err(diverge(
+                        prog,
+                        op_idx,
+                        Some(value),
+                        format!("constraint \"{}\" violated", prog.meta[op_idx].cons_desc),
+                    ));
+                }
+                match sink {
+                    CSink::Discard => {}
+                    CSink::Capture(slot) => {
+                        scratch.regs[slot as usize] = value;
+                        scratch.bound[slot as usize] = true;
                     }
-                    match sink {
-                        ReadSink::Discard => {}
-                        ReadSink::Capture(name) => {
-                            env.captured.insert(name.clone(), value);
-                        }
-                        ReadSink::UserData { offset } => {
-                            let off = *offset as usize;
-                            if off + 4 > buf.len() {
-                                return Err(diverge(
-                                    idx,
-                                    re,
-                                    Some(value),
-                                    "user-data sink outside the trustlet buffer".into(),
-                                ));
-                            }
-                            buf[off..off + 4].copy_from_slice(&(value as u32).to_le_bytes());
-                            payload_bytes += 4;
-                        }
-                    }
-                }
-                Event::Write { iface, value } => {
-                    let v = value.eval(&env).ok_or_else(|| {
-                        diverge(
-                            idx,
-                            re,
-                            None,
-                            "output expression references an unbound symbol".into(),
-                        )
-                    })?;
-                    self.write_iface(iface, v as u32, &allocations).map_err(ExecFailure::Tee)?;
-                }
-                Event::DmaAlloc { len, .. } => {
-                    let n = len.eval(&env).ok_or_else(|| {
-                        diverge(
-                            idx,
-                            re,
-                            None,
-                            "allocation size references an unbound symbol".into(),
-                        )
-                    })? as usize;
-                    let region = self.io.dma_alloc(n).map_err(ExecFailure::Tee)?;
-                    env.dma_bases.push(region.base);
-                    allocations.push(region);
-                }
-                Event::GetRandBytes { len, .. } => {
-                    let _ = self.io.get_rand_bytes(*len as usize);
-                }
-                Event::GetTs { sink, .. } => {
-                    let v = self.io.get_ts_rpc();
-                    if let ReadSink::Capture(name) = sink {
-                        env.captured.insert(name.clone(), v);
-                    }
-                }
-                Event::WaitForIrq { line, timeout_us } => {
-                    self.stats.irq_waits += 1;
-                    // Templates wait for every individual interrupt; the gold
-                    // driver would have coalesced them (§8.3.2). Charge the
-                    // per-IRQ handling overhead the native path avoids.
-                    let irq_overhead = self.io.cost_model().irq_wait_overhead_ns;
-                    self.io.charge_ns(irq_overhead);
-                    if self.io.wait_for_irq(*line, *timeout_us).is_err() {
-                        return Err(diverge(
-                            idx,
-                            re,
-                            None,
-                            format!("interrupt {line} did not arrive within {timeout_us} us"),
-                        ));
-                    }
-                }
-                Event::Delay { us } => self.io.delay_us(*us),
-                Event::Poll { iface, cond, delay_us, max_iters, body } => {
-                    let mut iters = 0u64;
-                    loop {
-                        let value =
-                            self.read_iface(iface, &allocations).map_err(ExecFailure::Tee)? as u64;
-                        if cond.check(value, &env) {
-                            break;
-                        }
-                        iters += 1;
-                        if iters > *max_iters {
+                    CSink::UserData(offset) => {
+                        let off = offset as usize;
+                        if off + 4 > buf.len() {
                             return Err(diverge(
-                                idx,
-                                re,
+                                prog,
+                                op_idx,
                                 Some(value),
-                                format!(
-                                    "poll condition \"{}\" not met after {max_iters} iterations",
-                                    cond.describe()
-                                ),
+                                "user-data sink outside the trustlet buffer".into(),
                             ));
                         }
-                        for inner in body {
-                            if let Event::Delay { us } = inner {
-                                self.io.delay_us(*us);
-                            }
-                        }
-                        self.io.delay_us((*delay_us).max(1));
+                        buf[off..off + 4].copy_from_slice(&(value as u32).to_le_bytes());
+                        payload_bytes += 4;
                     }
                 }
-                Event::CopyUserToDma { alloc, offset, user_offset, len } => {
-                    let n = len.eval(&env).ok_or_else(|| {
-                        diverge(idx, re, None, "copy length references an unbound symbol".into())
-                    })? as usize;
-                    let uo = *user_offset as usize;
-                    if uo + n > buf.len() {
+            }
+            Op::Write { iface, value } => {
+                let v = prog
+                    .eval_expr(value, &scratch.regs, &scratch.bound, &mut scratch.eval)
+                    .ok_or_else(|| unbound(prog, op_idx, "output expression"))?;
+                match iface {
+                    CIface::Reg(addr) => {
+                        io.writel(addr, v as u32).map_err(ExecFailure::Tee)?;
+                    }
+                    CIface::Shm { alloc, offset } => {
+                        let region =
+                            *scratch.dma.get(alloc as usize).ok_or_else(|| missing_dma(alloc))?;
+                        io.shm_write32(region, offset, v as u32).map_err(ExecFailure::Tee)?;
+                    }
+                }
+            }
+            Op::DmaAlloc { len, slot } => {
+                let n = prog
+                    .eval_expr(len, &scratch.regs, &scratch.bound, &mut scratch.eval)
+                    .ok_or_else(|| unbound(prog, op_idx, "allocation size"))?
+                    as usize;
+                let region = io.dma_alloc(n).map_err(ExecFailure::Tee)?;
+                scratch.regs[slot as usize] = region.base;
+                scratch.bound[slot as usize] = true;
+                scratch.dma.push(region);
+            }
+            Op::GetRandBytes { len } => {
+                // Propagate RNG failures instead of discarding them: an
+                // entropy shortfall is a TEE service failure, not a
+                // divergence.
+                io.fill_rand_bytes(&mut scratch.rand[..len as usize]).map_err(ExecFailure::Tee)?;
+            }
+            Op::GetTs { slot } => {
+                let v = io.get_ts_rpc();
+                if slot != NO_SLOT {
+                    scratch.regs[slot as usize] = v;
+                    scratch.bound[slot as usize] = true;
+                }
+            }
+            Op::WaitForIrq { line, timeout_us } => {
+                stats.irq_waits += 1;
+                // Templates wait for every individual interrupt; the gold
+                // driver would have coalesced them (§8.3.2). Charge the
+                // per-IRQ handling overhead the native path avoids.
+                let irq_overhead = io.irq_wait_overhead_ns();
+                io.charge_ns(irq_overhead);
+                if io.wait_for_irq(line, timeout_us).is_err() {
+                    return Err(diverge(
+                        prog,
+                        op_idx,
+                        None,
+                        format!("interrupt {line} did not arrive within {timeout_us} us"),
+                    ));
+                }
+            }
+            Op::Delay { us } => io.delay_us(us),
+            Op::Poll { iface, cons, iter_delay_us, max_iters } => {
+                // Each iteration is one register read from the TEE and pays
+                // one dispatch (constraint check + binding). The dispatch
+                // cost is accumulated and charged when the poll concludes so
+                // the reads keep the recorded delay cadence the device
+                // timing was calibrated against.
+                let mut reads = 0u64;
+                let mut iters = 0u64;
+                loop {
+                    reads += 1;
+                    let value = read_ciface(io, iface, &scratch.dma)? as u64;
+                    if prog.check_cons(
+                        cons,
+                        value,
+                        &scratch.regs,
+                        &scratch.bound,
+                        &mut scratch.eval,
+                    ) {
+                        break;
+                    }
+                    iters += 1;
+                    if iters > max_iters {
+                        io.charge_ns(dispatch_ns * reads);
                         return Err(diverge(
-                            idx,
-                            re,
-                            None,
-                            "copy source outside the trustlet buffer".into(),
+                            prog,
+                            op_idx,
+                            Some(value),
+                            format!(
+                                "poll condition \"{}\" not met after {max_iters} iterations",
+                                prog.meta[op_idx].cons_desc
+                            ),
                         ));
                     }
-                    let region = *allocations.get(*alloc).ok_or_else(|| {
-                        diverge(idx, re, None, format!("dma[{alloc}] not allocated"))
-                    })?;
-                    self.io
-                        .copy_to_dma(region, *offset, &buf[uo..uo + n])
-                        .map_err(ExecFailure::Tee)?;
-                    payload_bytes += n as u64;
+                    io.delay_us(iter_delay_us);
                 }
-                Event::CopyDmaToUser { alloc, offset, user_offset, len } => {
-                    let n = len.eval(&env).ok_or_else(|| {
-                        diverge(idx, re, None, "copy length references an unbound symbol".into())
-                    })? as usize;
-                    let uo = *user_offset as usize;
-                    if uo + n > buf.len() {
-                        return Err(diverge(
-                            idx,
-                            re,
-                            None,
-                            "copy target outside the trustlet buffer".into(),
-                        ));
-                    }
-                    let region = *allocations.get(*alloc).ok_or_else(|| {
-                        diverge(idx, re, None, format!("dma[{alloc}] not allocated"))
-                    })?;
-                    let mut tmp = vec![0u8; n];
-                    self.io.copy_from_dma(region, *offset, &mut tmp).map_err(ExecFailure::Tee)?;
-                    buf[uo..uo + n].copy_from_slice(&tmp);
-                    payload_bytes += n as u64;
+                io.charge_ns(dispatch_ns * reads);
+            }
+            Op::CopyUserToDma { alloc, offset, user_offset, len } => {
+                let n = prog
+                    .eval_expr(len, &scratch.regs, &scratch.bound, &mut scratch.eval)
+                    .ok_or_else(|| unbound(prog, op_idx, "copy length"))?
+                    as usize;
+                let uo = user_offset as usize;
+                if uo + n > buf.len() {
+                    return Err(diverge(
+                        prog,
+                        op_idx,
+                        None,
+                        "copy source outside the trustlet buffer".into(),
+                    ));
                 }
+                let region = *scratch.dma.get(alloc as usize).ok_or_else(|| missing_dma(alloc))?;
+                io.copy_to_dma(region, offset, &buf[uo..uo + n]).map_err(ExecFailure::Tee)?;
+                payload_bytes += n as u64;
+            }
+            Op::CopyDmaToUser { alloc, offset, user_offset, len } => {
+                let n = prog
+                    .eval_expr(len, &scratch.regs, &scratch.bound, &mut scratch.eval)
+                    .ok_or_else(|| unbound(prog, op_idx, "copy length"))?
+                    as usize;
+                let uo = user_offset as usize;
+                if uo + n > buf.len() {
+                    return Err(diverge(
+                        prog,
+                        op_idx,
+                        None,
+                        "copy target outside the trustlet buffer".into(),
+                    ));
+                }
+                let region = *scratch.dma.get(alloc as usize).ok_or_else(|| missing_dma(alloc))?;
+                // Zero-copy: DMA contents land directly in the trustlet
+                // buffer slice, no intermediate heap buffer.
+                io.copy_from_dma(region, offset, &mut buf[uo..uo + n]).map_err(ExecFailure::Tee)?;
+                payload_bytes += n as u64;
             }
         }
-
-        Ok(ReplayOutcome {
-            payload_bytes,
-            captured: env.captured,
-            events: template.events.len(),
-            recovered_divergence: false,
-        })
     }
 
-    fn read_iface(&mut self, iface: &Iface, allocations: &[DmaRegion]) -> Result<u32, TeeError> {
-        match iface {
-            Iface::Reg { addr, .. } => self.io.readl(*addr),
-            Iface::Shm { alloc, offset } => {
-                let region = allocations
-                    .get(*alloc)
-                    .copied()
-                    .ok_or_else(|| TeeError::Hw(format!("dma[{alloc}] not allocated")))?;
-                self.io.shm_read32(region, *offset)
-            }
-            Iface::Env(_) => Err(TeeError::Hw("environment interfaces are not readable".into())),
-        }
-    }
-
-    fn write_iface(
-        &mut self,
-        iface: &Iface,
-        value: u32,
-        allocations: &[DmaRegion],
-    ) -> Result<(), TeeError> {
-        match iface {
-            Iface::Reg { addr, .. } => self.io.writel(*addr, value),
-            Iface::Shm { alloc, offset } => {
-                let region = allocations
-                    .get(*alloc)
-                    .copied()
-                    .ok_or_else(|| TeeError::Hw(format!("dma[{alloc}] not allocated")))?;
-                self.io.shm_write32(region, *offset, value)
-            }
-            Iface::Env(_) => Err(TeeError::Hw("environment interfaces are not writable".into())),
-        }
-    }
+    Ok(payload_bytes)
 }
 
 /// Render a constraint violation in the human-readable style the paper's
@@ -518,8 +735,11 @@ pub fn describe_divergence(report: &DivergenceReport) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use dlt_hw::device::MmioDevice;
+    use dlt_hw::{shared, IrqController, Platform, Shared};
     use dlt_template::{
-        Constraint, DataDirection, ParamSpec, RecordedEvent, SymExpr, TemplateMeta,
+        Constraint, DataDirection, DmaRole, Event, Iface, ParamSpec, ReadSink, RecordedEvent,
+        SymExpr, Template, TemplateMeta,
     };
 
     /// Constraint helpers for the synthetic template used below.
@@ -570,5 +790,376 @@ mod tests {
         let err = r.invoke("replay_nothing", &HashMap::new(), &mut buf).unwrap_err();
         assert!(matches!(err, ReplayError::UnknownEntry(_)));
         assert_eq!(r.stats().invocations, 1);
+    }
+
+    // -----------------------------------------------------------------------
+    // A small synthetic rig: one secure device with a handful of registers,
+    // enough to exercise every op kind on both engines.
+    // -----------------------------------------------------------------------
+
+    const RIG_BASE: u64 = 0x3f40_0000;
+    const RIG_IRQ: u32 = 49;
+
+    struct RigDev {
+        irqs: Shared<IrqController>,
+        status: u32,
+        arg: u32,
+        busy_until: u64,
+    }
+
+    impl MmioDevice for RigDev {
+        fn name(&self) -> &'static str {
+            "rig"
+        }
+        fn mmio_base(&self) -> u64 {
+            RIG_BASE
+        }
+        fn mmio_len(&self) -> u64 {
+            0x100
+        }
+        fn read32(&mut self, offset: u64, now: u64) -> u32 {
+            match offset {
+                0x0 => self.status,
+                0x4 => self.arg,
+                0x8 => u32::from(now < self.busy_until), // BUSY flag
+                0xc => 0x2a,                             // constant ID register
+                _ => 0,
+            }
+        }
+        fn write32(&mut self, offset: u64, val: u32, now: u64) {
+            match offset {
+                0x0 => self.status = val,
+                0x4 => {
+                    self.arg = val;
+                    // Kick: busy for 30 us, then raise the IRQ.
+                    self.busy_until = now + 30_000;
+                    self.irqs.lock().assert_at(RIG_IRQ, self.busy_until);
+                }
+                _ => {}
+            }
+        }
+        fn tick(&mut self, _now: u64) {}
+        fn soft_reset(&mut self, _now: u64) {
+            self.status = 0;
+            self.arg = 0;
+            self.busy_until = 0;
+        }
+        fn irq_line(&self) -> Option<u32> {
+            Some(RIG_IRQ)
+        }
+    }
+
+    fn rig_platform() -> Platform {
+        let p = Platform::new();
+        let dev = shared(RigDev { irqs: p.irqs.clone(), status: 0, arg: 0, busy_until: 0 });
+        p.bus.lock().attach(dlt_hw::device::SharedDevice::boxed(dev)).unwrap();
+        p.bus.lock().set_device_secure("rig", true).unwrap();
+        p
+    }
+
+    fn reg(name: &str, off: u64) -> Iface {
+        Iface::Reg { addr: RIG_BASE + off, name: name.to_string() }
+    }
+
+    /// A template exercising writes, symbolic expressions, polls, IRQ waits,
+    /// constrained reads, captures, DMA and payload copies.
+    fn rig_template(rand_len: u32) -> Template {
+        Template {
+            name: "rig_io".into(),
+            entry: "replay_rig".into(),
+            device: "rig".into(),
+            params: vec![
+                ParamSpec {
+                    name: "val".into(),
+                    constraint: Constraint::InRange { min: 0, max: 0xffff },
+                },
+                ParamSpec { name: "flag".into(), constraint: Constraint::Any },
+            ],
+            direction: DataDirection::DeviceToUser,
+            data_len: SymExpr::Const(8),
+            irq_line: Some(RIG_IRQ),
+            events: vec![
+                RecordedEvent::bare(Event::DmaAlloc {
+                    len: SymExpr::Const(64),
+                    role: DmaRole::DataIn,
+                }),
+                RecordedEvent::bare(Event::GetRandBytes { len: rand_len, sink: ReadSink::Discard }),
+                // Write the parameterised argument; the device goes busy and
+                // later interrupts.
+                RecordedEvent::bare(Event::Write {
+                    iface: reg("ARG", 0x4),
+                    value: SymExpr::Param("val".into()).or_const(0x1_0000),
+                }),
+                // Poll the BUSY flag down.
+                RecordedEvent::bare(Event::Poll {
+                    iface: reg("BUSY", 0x8),
+                    body: vec![Event::Delay { us: 2 }],
+                    cond: Constraint::eq_const(0),
+                    delay_us: 5,
+                    max_iters: 100,
+                }),
+                RecordedEvent::bare(Event::WaitForIrq { line: RIG_IRQ, timeout_us: 500_000 }),
+                // Constrained read of the constant ID register, captured.
+                RecordedEvent::bare(Event::Read {
+                    iface: reg("ID", 0xc),
+                    constraint: Constraint::eq_const(0x2a),
+                    len: 4,
+                    sink: ReadSink::Capture("id".into()),
+                }),
+                // Echo the captured value (symbolic over a capture).
+                RecordedEvent::bare(Event::Write {
+                    iface: reg("STATUS", 0x0),
+                    value: SymExpr::Captured("id".into()).plus(1),
+                }),
+                // Read it back into the user buffer, constrained against the
+                // capture-derived value.
+                RecordedEvent::bare(Event::Read {
+                    iface: reg("STATUS", 0x0),
+                    constraint: Constraint::Eq(SymExpr::Captured("id".into()).plus(1)),
+                    len: 4,
+                    sink: ReadSink::UserData { offset: 0 },
+                }),
+                // Shared-memory round trip through the DMA allocation.
+                RecordedEvent::bare(Event::Write {
+                    iface: Iface::Shm { alloc: 0, offset: 0x10 },
+                    value: SymExpr::Param("val".into()),
+                }),
+                RecordedEvent::bare(Event::Read {
+                    iface: Iface::Shm { alloc: 0, offset: 0x10 },
+                    constraint: Constraint::eq_param("val"),
+                    len: 4,
+                    sink: ReadSink::Discard,
+                }),
+                RecordedEvent::bare(Event::CopyDmaToUser {
+                    alloc: 0,
+                    offset: 0x10,
+                    user_offset: 4,
+                    len: SymExpr::Const(4),
+                }),
+                RecordedEvent::bare(Event::Delay { us: 3 }),
+            ],
+            meta: TemplateMeta::default(),
+        }
+    }
+
+    fn rig_driverlet(rand_len: u32) -> Driverlet {
+        let mut d = Driverlet::new("rig", "replay_rig", vec![rig_template(rand_len)]);
+        d.sign(b"rigkey");
+        d
+    }
+
+    fn rig_args(val: u64) -> HashMap<String, u64> {
+        [("val".to_string(), val), ("flag".to_string(), 0)].into_iter().collect()
+    }
+
+    fn run_mode(mode: ReplayMode, val: u64, rand_len: u32) -> (ReplayOutcome, [u8; 8], u64, u64) {
+        let platform = rig_platform();
+        let io = SecureIo::new(platform.bus.clone());
+        let mut r = Replayer::with_config(io, ReplayConfig { mode, ..ReplayConfig::default() });
+        r.load_driverlet(rig_driverlet(rand_len), b"rigkey").unwrap();
+        let t0 = platform.now_ns();
+        let mut buf = [0u8; 8];
+        let outcome = r.invoke("replay_rig", &rig_args(val), &mut buf).unwrap();
+        let elapsed = platform.now_ns() - t0;
+        (outcome, buf, elapsed, r.stats().events_executed)
+    }
+
+    #[test]
+    fn compiled_executes_the_full_event_vocabulary() {
+        let (outcome, buf, _, _) = run_mode(ReplayMode::Compiled, 0x1234, 16);
+        assert_eq!(outcome.captured.get("id"), Some(&0x2a));
+        assert_eq!(outcome.payload_bytes, 8);
+        assert_eq!(u32::from_le_bytes(buf[0..4].try_into().unwrap()), 0x2b);
+        assert_eq!(u32::from_le_bytes(buf[4..8].try_into().unwrap()), 0x1234);
+        assert!(!outcome.recovered_divergence);
+    }
+
+    #[test]
+    fn compiled_and_interpreted_agree_exactly() {
+        let (co, cbuf, ct, cev) = run_mode(ReplayMode::Compiled, 0x0beb, 8);
+        let (io_, ibuf, it, iev) = run_mode(ReplayMode::Interpreted, 0x0beb, 8);
+        assert_eq!(co.payload_bytes, io_.payload_bytes);
+        assert_eq!(co.captured, io_.captured);
+        assert_eq!(co.events, io_.events);
+        assert_eq!(cbuf, ibuf, "payload buffers must match bit for bit");
+        assert_eq!(ct, it, "virtual-time cost must be identical across engines");
+        assert_eq!(cev, iev, "event accounting must be identical across engines");
+    }
+
+    #[test]
+    fn out_of_coverage_and_divergence_reporting() {
+        let platform = rig_platform();
+        let io = SecureIo::new(platform.bus.clone());
+        let mut r = Replayer::new(io);
+        r.load_driverlet(rig_driverlet(8), b"rigkey").unwrap();
+        let mut buf = [0u8; 8];
+        // val outside the recorded range: no template matches.
+        let err = r.invoke("replay_rig", &rig_args(0x10_0000), &mut buf).unwrap_err();
+        assert!(matches!(err, ReplayError::OutOfCoverage { .. }));
+        assert_eq!(r.program_names("replay_rig"), vec!["rig_io".to_string()]);
+    }
+
+    #[test]
+    fn rng_failures_are_propagated_not_discarded() {
+        // A template whose get_rand_bytes request exceeds the RNG FIFO must
+        // fail with a TEE service error (regression: the old interpreter
+        // silently discarded the error).
+        let platform = rig_platform();
+        let io = SecureIo::new(platform.bus.clone());
+        let mut r = Replayer::new(io);
+        let oversized = (dlt_tee::RNG_MAX_REQUEST + 1) as u32;
+        r.load_driverlet(rig_driverlet(oversized), b"rigkey").unwrap();
+        let mut buf = [0u8; 8];
+        let err = r.invoke("replay_rig", &rig_args(7), &mut buf).unwrap_err();
+        match err {
+            ReplayError::Tee(msg) => assert!(msg.contains("rng"), "unexpected tee error: {msg}"),
+            other => panic!("expected a TEE error, got {other:?}"),
+        }
+        let platform2 = rig_platform();
+        let io2 = SecureIo::new(platform2.bus.clone());
+        let mut r2 = Replayer::with_config(io2, ReplayConfig::interpreted());
+        r2.load_driverlet(rig_driverlet(oversized), b"rigkey").unwrap();
+        assert!(matches!(
+            r2.invoke("replay_rig", &rig_args(7), &mut buf),
+            Err(ReplayError::Tee(_))
+        ));
+    }
+
+    #[test]
+    fn poll_charges_dispatch_per_iteration() {
+        // Direct unit check on the accounting: a poll that performs k
+        // register reads charges k * dispatch_ns (plus its delays), not the
+        // single dispatch the old cost model charged per poll event.
+        let platform = rig_platform();
+        let io = SecureIo::new(platform.bus.clone());
+        let mut r = Replayer::new(io);
+        let t = Template {
+            name: "poll_only".into(),
+            entry: "replay_poll".into(),
+            device: "rig".into(),
+            params: vec![],
+            direction: DataDirection::None,
+            data_len: SymExpr::Const(0),
+            irq_line: None,
+            events: vec![
+                // Kick the device so BUSY rises for 30 us...
+                RecordedEvent::bare(Event::Write {
+                    iface: reg("ARG", 0x4),
+                    value: SymExpr::Const(1),
+                }),
+                // ...then poll it down with a 5 us step: ~6+ iterations.
+                RecordedEvent::bare(Event::Poll {
+                    iface: reg("BUSY", 0x8),
+                    body: vec![],
+                    cond: Constraint::eq_const(0),
+                    delay_us: 5,
+                    max_iters: 1000,
+                }),
+            ],
+            meta: TemplateMeta::default(),
+        };
+        let mut d = Driverlet::new("rig", "replay_poll", vec![t]);
+        d.sign(b"rigkey");
+        r.load_driverlet(d, b"rigkey").unwrap();
+        let dispatch = r.io_mut().replay_dispatch_cost_ns();
+        let cost = r.io_mut().cost_model();
+        let t0 = platform.now_ns();
+        let mut buf = [0u8; 4];
+        r.invoke("replay_poll", &HashMap::new(), &mut buf).unwrap();
+        let elapsed = platform.now_ns() - t0;
+        // The device stays busy for 30 us and the poll steps every 5 us:
+        // 7 reads (6 delay quanta) before BUSY clears. Per-read dispatch
+        // accounting must therefore charge at least reset + delays + 8
+        // dispatches (1 write + 7 polled reads); the old once-per-poll-event
+        // model stops 6 dispatches short of this bound.
+        let floor = cost.soft_reset_ns + 6 * 5_000 + 8 * dispatch;
+        assert!(
+            elapsed >= floor,
+            "poll reads must each be charged a dispatch (elapsed {elapsed} ns < floor {floor} ns)"
+        );
+    }
+
+    #[test]
+    fn second_secure_window_generalises_beyond_dma() {
+        // Two secure devices; the template's home device is `rig`, but it
+        // also touches `aux` registers. Under the old hardcoded rule only a
+        // device literally named "dma" qualified.
+        struct AuxDev;
+        impl MmioDevice for AuxDev {
+            fn name(&self) -> &'static str {
+                "aux-engine"
+            }
+            fn mmio_base(&self) -> u64 {
+                0x3f50_0000
+            }
+            fn mmio_len(&self) -> u64 {
+                0x100
+            }
+            fn read32(&mut self, _offset: u64, _now: u64) -> u32 {
+                0
+            }
+            fn write32(&mut self, _offset: u64, _val: u32, _now: u64) {}
+            fn tick(&mut self, _now: u64) {}
+            fn soft_reset(&mut self, _now: u64) {}
+            fn irq_line(&self) -> Option<u32> {
+                None
+            }
+        }
+        let platform = rig_platform();
+        platform.bus.lock().attach(Box::new(AuxDev)).unwrap();
+        let mut t = rig_template(8);
+        t.events.push(RecordedEvent::bare(Event::Write {
+            iface: Iface::Reg { addr: 0x3f50_0010, name: "AUXCTL".into() },
+            value: SymExpr::Const(1),
+        }));
+        let mut d = Driverlet::new("rig", "replay_rig", vec![t]);
+        d.sign(b"rigkey");
+
+        // Not secure yet: the load must fail.
+        let io = SecureIo::new(platform.bus.clone());
+        let mut r = Replayer::new(io);
+        assert!(matches!(
+            r.load_driverlet(d.clone(), b"rigkey"),
+            Err(ReplayError::InvalidTemplate(_))
+        ));
+
+        // Assign the second device to the TEE: the same bundle now loads.
+        platform.bus.lock().set_device_secure("aux-engine", true).unwrap();
+        let io = SecureIo::new(platform.bus.clone());
+        let mut r = Replayer::new(io);
+        r.load_driverlet(d, b"rigkey").unwrap();
+        assert_eq!(r.entries(), vec!["replay_rig".to_string()]);
+    }
+
+    #[test]
+    fn divergence_reports_point_at_the_failing_event() {
+        // Make the constrained ID read fail by poking a template expecting a
+        // different constant.
+        let platform = rig_platform();
+        let io = SecureIo::new(platform.bus.clone());
+        let mut r = Replayer::new(io);
+        let mut t = rig_template(8);
+        // Event 5 is the constrained ID read; expect the wrong value.
+        if let Event::Read { constraint, .. } = &mut t.events[5].event {
+            *constraint = Constraint::eq_const(0x99);
+        } else {
+            panic!("event 5 should be the ID read");
+        }
+        let mut d = Driverlet::new("rig", "replay_rig", vec![t]);
+        d.sign(b"rigkey");
+        r.load_driverlet(d, b"rigkey").unwrap();
+        let mut buf = [0u8; 8];
+        let err = r.invoke("replay_rig", &rig_args(3), &mut buf).unwrap_err();
+        match err {
+            ReplayError::Diverged(report) => {
+                assert_eq!(report.failure.event_index, 5);
+                assert_eq!(report.failure.observed, Some(0x2a));
+                assert_eq!(report.attempts, 3);
+                assert!(report.failure.event.contains("read"));
+                assert!(describe_divergence(&report).contains("rig_io"));
+            }
+            other => panic!("expected divergence, got {other:?}"),
+        }
+        assert_eq!(r.stats().divergences, 3);
     }
 }

@@ -55,6 +55,14 @@ pub struct DmaEngine {
     /// Whether the chain still has data waiting on the FIFO (read path where
     /// the card has not produced data yet).
     pending_kick_ns: Option<u64>,
+    /// Cached pre-flight FIFO demand of the pending chain. While a read
+    /// chain waits for the card to fill the FIFO, the engine is ticked every
+    /// delay quantum; re-walking the control blocks through locked memory on
+    /// each tick dominated the replay hot path. Any register write or reset
+    /// invalidates the cache.
+    preflight_need: Option<u64>,
+    /// Reusable transfer buffer (FIFO <-> memory staging).
+    xfer: Vec<u8>,
     chains_executed: u64,
     bytes_transferred: u64,
 }
@@ -79,6 +87,8 @@ impl DmaEngine {
             cost,
             busy_until_ns: None,
             pending_kick_ns: None,
+            preflight_need: None,
+            xfer: Vec::new(),
             chains_executed: 0,
             bytes_transferred: 0,
         }
@@ -110,33 +120,47 @@ impl DmaEngine {
         }
 
         // Pre-flight: if any CB pulls from the FIFO, the FIFO must be ready
-        // and contain enough bytes for the whole chain.
-        {
-            let mem = self.mem.lock();
+        // and contain enough bytes for the whole chain. The walked demand is
+        // cached as a *negative* gate across retry ticks (any register write
+        // or reset invalidates it): while the FIFO is still short of the
+        // cached demand the engine skips the locked memory walk entirely —
+        // that walk per tick dominated the replay hot path. Once the gate
+        // passes, the demand is re-walked fresh so software that rewrote the
+        // control blocks in place is still honoured before any side effect.
+        if let Some(cached) = self.preflight_need {
             let fifo = self.fifo.lock();
+            if cached > 0 && (!fifo.data_ready(now_ns) || (fifo.level() as u64) < cached) {
+                return false;
+            }
+        }
+        let need_from_fifo = {
+            let mem = self.mem.lock();
             let mut addr = head;
-            let mut need_from_fifo: u64 = 0;
+            let mut need: u64 = 0;
             let mut hops = 0;
             while addr != 0 && hops < 4096 {
                 let Some(cb) = ControlBlock::load(&mem, addr) else {
                     drop(mem);
-                    drop(fifo);
                     self.regs.set_bits(dmareg::DEBUG, 1);
                     self.finish(now_ns, false);
                     return true;
                 };
                 if Self::is_fifo_addr(cb.source) {
-                    need_from_fifo += u64::from(cb.len);
+                    need += u64::from(cb.len);
                 }
                 addr = u64::from(cb.next);
                 hops += 1;
             }
-            if need_from_fifo > 0
-                && (!fifo.data_ready(now_ns) || (fifo.level() as u64) < need_from_fifo)
-            {
+            need
+        };
+        if need_from_fifo > 0 {
+            let fifo = self.fifo.lock();
+            if !fifo.data_ready(now_ns) || (fifo.level() as u64) < need_from_fifo {
+                self.preflight_need = Some(need_from_fifo);
                 return false;
             }
         }
+        self.preflight_need = None;
 
         // Execute the chain.
         let mut addr = head;
@@ -157,24 +181,41 @@ impl DmaEngine {
             want_irq |= cb.ti & dmati::INTEN != 0;
 
             let len = cb.len as usize;
+            if self.xfer.len() < len {
+                self.xfer.resize(len, 0);
+            }
             match (Self::is_fifo_addr(cb.source), Self::is_fifo_addr(cb.dest)) {
                 (true, false) => {
-                    // Peripheral -> memory (read path).
-                    let data = self.fifo.lock().pop_bytes(len);
-                    let _ = self.mem.lock().write_bytes(u64::from(cb.dest), &data);
+                    // Peripheral -> memory (read path), staged through the
+                    // reusable transfer buffer.
+                    let taken = self.fifo.lock().pop_into(&mut self.xfer[..len]);
+                    let _ = self.mem.lock().write_bytes(u64::from(cb.dest), &self.xfer[..taken]);
                 }
                 (false, true) => {
-                    // Memory -> peripheral (write path).
-                    let mut buf = vec![0u8; len];
-                    let _ = self.mem.lock().read_bytes(u64::from(cb.source), &mut buf);
-                    self.fifo.lock().push_bytes(&buf);
+                    // Memory -> peripheral (write path). A failed source
+                    // read yields zeros, like the fresh buffer it replaced.
+                    if self
+                        .mem
+                        .lock()
+                        .read_bytes(u64::from(cb.source), &mut self.xfer[..len])
+                        .is_err()
+                    {
+                        self.xfer[..len].fill(0);
+                    }
+                    self.fifo.lock().push_bytes(&self.xfer[..len]);
                 }
                 (false, false) => {
                     // Memory -> memory copy (unused by the MMC path but
                     // architecturally valid).
-                    let mut buf = vec![0u8; len];
-                    let _ = self.mem.lock().read_bytes(u64::from(cb.source), &mut buf);
-                    let _ = self.mem.lock().write_bytes(u64::from(cb.dest), &buf);
+                    if self
+                        .mem
+                        .lock()
+                        .read_bytes(u64::from(cb.source), &mut self.xfer[..len])
+                        .is_err()
+                    {
+                        self.xfer[..len].fill(0);
+                    }
+                    let _ = self.mem.lock().write_bytes(u64::from(cb.dest), &self.xfer[..len]);
                 }
                 (true, true) => {
                     self.regs.set_bits(dmareg::DEBUG, 2);
@@ -241,6 +282,8 @@ impl MmioDevice for DmaEngine {
 
     fn write32(&mut self, offset: u64, val: u32, now_ns: u64) {
         self.progress(now_ns);
+        // Software may be rewriting the chain: drop the pre-flight cache.
+        self.preflight_need = None;
         match offset {
             dmareg::CS => {
                 if val & dmacs::RESET != 0 {
@@ -277,6 +320,7 @@ impl MmioDevice for DmaEngine {
         self.regs.reset();
         self.busy_until_ns = None;
         self.pending_kick_ns = None;
+        self.preflight_need = None;
     }
 
     fn irq_line(&self) -> Option<u32> {
@@ -289,6 +333,16 @@ impl MmioDevice for DmaEngine {
 
     fn is_idle(&self) -> bool {
         self.busy_until_ns.is_none() && self.pending_kick_ns.is_none()
+    }
+
+    fn next_deadline_ns(&self) -> Option<u64> {
+        // A pending read chain becomes runnable once the card's FIFO data is
+        // valid; a running chain completes at its transfer deadline.
+        let kick = self.pending_kick_ns.map(|_| self.fifo.lock().ready_at());
+        match (self.busy_until_ns, kick) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        }
     }
 }
 

@@ -98,18 +98,33 @@ impl FifoLink {
         self.push_bytes(&word.to_le_bytes());
     }
 
+    /// Dequeue up to `out.len()` bytes into `out` without allocating (the
+    /// DMA engine's hot path). Returns the number of bytes dequeued.
+    pub fn pop_into(&mut self, out: &mut [u8]) -> usize {
+        let take = out.len().min(self.buf.len());
+        let (a, b) = self.buf.as_slices();
+        let na = take.min(a.len());
+        out[..na].copy_from_slice(&a[..na]);
+        if take > na {
+            out[na..take].copy_from_slice(&b[..take - na]);
+        }
+        self.buf.drain(..take);
+        take
+    }
+
     /// Dequeue up to `n` bytes.
     pub fn pop_bytes(&mut self, n: usize) -> Vec<u8> {
         let take = n.min(self.buf.len());
-        self.buf.drain(..take).collect()
+        let mut out = vec![0u8; take];
+        self.pop_into(&mut out);
+        out
     }
 
     /// Dequeue one little-endian word (missing bytes read as zero, which is
     /// what an underrun looks like to software on the real part).
     pub fn pop_word(&mut self) -> u32 {
-        let b = self.pop_bytes(4);
         let mut w = [0u8; 4];
-        w[..b.len()].copy_from_slice(&b);
+        self.pop_into(&mut w);
         u32::from_le_bytes(w)
     }
 

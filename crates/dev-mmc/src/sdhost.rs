@@ -374,6 +374,17 @@ impl MmioDevice for SdHost {
     fn is_idle(&self) -> bool {
         self.op.is_none() && self.cmd_done_ns.is_none()
     }
+
+    fn next_deadline_ns(&self) -> Option<u64> {
+        // Command completion and media latency are the host's only
+        // time-driven transitions; FIFO drain is event-driven (the DMA
+        // engine reports its own deadline).
+        let media = self.op.as_ref().filter(|op| !op.completed).map(|op| op.media_deadline_ns);
+        match (self.cmd_done_ns, media) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        }
+    }
 }
 
 #[cfg(test)]

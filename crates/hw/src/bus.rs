@@ -111,6 +111,17 @@ impl SystemBus {
         self.devices.iter().map(|s| s.name).collect()
     }
 
+    /// The secure-world device whose register window fully contains
+    /// `addr..addr+len`, if any. Used by the replayer's load-time hardening:
+    /// a template may touch a second secure device (e.g. the system DMA
+    /// engine next to the MMC host) and any secure window qualifies.
+    pub fn secure_device_containing(&self, addr: u64, len: u64) -> Option<&'static str> {
+        self.devices
+            .iter()
+            .find(|s| s.secure_only && addr >= s.base && addr.saturating_add(len) <= s.base + s.len)
+            .map(|s| s.name)
+    }
+
     /// MMIO register window of an attached device.
     pub fn device_window(&self, name: &str) -> HwResult<DmaRegion> {
         self.devices
@@ -273,9 +284,15 @@ impl SystemBus {
                     waited_us: (now - start) / 1_000,
                 });
             }
-            // Jump straight to the next scheduled assertion when one exists,
+            // Jump straight to the next scheduled event — an IRQ assertion
+            // or a device-internal completion deadline — when one exists,
             // otherwise advance by the polling quantum.
-            let next = self.irqs.lock().earliest_deadline();
+            let next_irq = self.irqs.lock().earliest_deadline();
+            let next_dev = self.devices.iter().filter_map(|s| s.dev.next_deadline_ns()).min();
+            let next = match (next_irq, next_dev) {
+                (Some(a), Some(b)) => Some(a.min(b)),
+                (a, b) => a.or(b),
+            };
             let mut clock = self.clock.lock();
             match next {
                 Some(d) if d > now && d <= deadline => clock.advance_to(d),

@@ -106,7 +106,7 @@ impl Default for CostModel {
             native_sched_per_page_ns: 18_000,
             soft_reset_ns: 30_000,
             poll_delay_ns: 10_000,
-            replay_event_dispatch_ns: 650,
+            replay_event_dispatch_ns: 1_200,
         }
     }
 }

@@ -6,8 +6,6 @@
 //! trait captures exactly that interface; the MMC, USB and VC4/VCHIQ
 //! simulators in `dlt-dev-*` implement it.
 
-use std::collections::BTreeMap;
-
 /// A memory-mapped device on the simulated SoC.
 ///
 /// All methods take the current virtual time so device models can schedule
@@ -52,6 +50,16 @@ pub trait MmioDevice: Send {
     /// tests and by the divergence analysis to detect residual state.
     fn is_idle(&self) -> bool {
         true
+    }
+
+    /// The next virtual time at which this device will make progress on its
+    /// own (an internal completion deadline such as media latency), if one
+    /// is known. The bus uses it to jump idle waits straight to the next
+    /// event instead of quantum-stepping, which keeps simulated waits off
+    /// the replay hot path. Returning `None` (the default) falls back to
+    /// quantum stepping and is always correct.
+    fn next_deadline_ns(&self) -> Option<u64> {
+        None
     }
 }
 
@@ -110,16 +118,34 @@ impl<T: MmioDevice> MmioDevice for SharedDevice<T> {
     fn is_idle(&self) -> bool {
         self.0.lock().is_idle()
     }
+    fn next_deadline_ns(&self) -> Option<u64> {
+        self.0.lock().next_deadline_ns()
+    }
 }
 
 /// A tiny sparse register bank helper for device models.
 ///
 /// Most simulated devices keep their architectural registers here and overlay
 /// side effects in their `read32`/`write32` implementations.
+///
+/// Register access sits on the replay hot path (every simulated MMIO access
+/// and most device state machines go through it), so the bank is a sorted
+/// vector with binary search rather than a tree map — a few dozen registers
+/// fit in one or two cache lines — and [`RegBank::reset`] restores in place
+/// without reallocating.
 #[derive(Debug, Clone, Default)]
 pub struct RegBank {
-    regs: BTreeMap<u64, u32>,
-    reset_values: BTreeMap<u64, u32>,
+    /// `(offset, value)` sorted by offset.
+    regs: Vec<(u64, u32)>,
+    /// `(offset, reset value)` sorted by offset; only defined registers.
+    reset_values: Vec<(u64, u32)>,
+}
+
+fn sorted_set(v: &mut Vec<(u64, u32)>, offset: u64, val: u32) {
+    match v.binary_search_by_key(&offset, |e| e.0) {
+        Ok(i) => v[i].1 = val,
+        Err(i) => v.insert(i, (offset, val)),
+    }
 }
 
 impl RegBank {
@@ -130,19 +156,22 @@ impl RegBank {
 
     /// Define a register with a reset value.
     pub fn define(&mut self, offset: u64, reset_value: u32) {
-        self.reset_values.insert(offset, reset_value);
-        self.regs.insert(offset, reset_value);
+        sorted_set(&mut self.reset_values, offset, reset_value);
+        sorted_set(&mut self.regs, offset, reset_value);
     }
 
     /// Read a register (undefined registers read as zero, like reserved
     /// addresses on most SoCs).
     pub fn get(&self, offset: u64) -> u32 {
-        self.regs.get(&offset).copied().unwrap_or(0)
+        match self.regs.binary_search_by_key(&offset, |e| e.0) {
+            Ok(i) => self.regs[i].1,
+            Err(_) => 0,
+        }
     }
 
     /// Write a register.
     pub fn set(&mut self, offset: u64, val: u32) {
-        self.regs.insert(offset, val);
+        sorted_set(&mut self.regs, offset, val);
     }
 
     /// Set bits in a register.
@@ -163,8 +192,10 @@ impl RegBank {
     }
 
     /// Restore every defined register to its reset value and drop the rest.
+    /// Reuses the existing allocation (soft resets happen before every
+    /// template execution).
     pub fn reset(&mut self) {
-        self.regs = self.reset_values.clone();
+        self.regs.clone_from(&self.reset_values);
     }
 
     /// Number of defined (architected) registers.
@@ -174,7 +205,7 @@ impl RegBank {
 
     /// Offsets of all registers that have ever been written or defined.
     pub fn offsets(&self) -> Vec<u64> {
-        self.regs.keys().copied().collect()
+        self.regs.iter().map(|e| e.0).collect()
     }
 }
 

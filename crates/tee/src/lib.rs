@@ -28,6 +28,9 @@ use dlt_hw::{DmaRegion, HwError, Platform, Shared, SystemBus, World};
 pub const TEE_DMA_POOL_BYTES: usize = 3 * 1024 * 1024;
 /// Physical base of the TEE's reserved RAM window.
 pub const TEE_DMA_POOL_BASE: u64 = 0x3c0_0000;
+/// Largest single hardware-RNG request the TEE services (the SoC RNG FIFO;
+/// see [`SecureIo::fill_rand_bytes`]).
+pub const RNG_MAX_REQUEST: usize = 4096;
 
 /// Errors raised by the TEE layer.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -69,6 +72,10 @@ impl From<HwError> for TeeError {
 /// the platform RNG, and normal-world RPC for timestamps).
 pub struct SecureIo {
     bus: Shared<SystemBus>,
+    /// Direct clock handle: time accounting (`charge_ns`, cost lookups,
+    /// timestamp RPCs) is on the replay hot path and must not take the bus
+    /// lock or clone the shared handle per event.
+    clock: Shared<dlt_hw::VirtualClock>,
     pool: BumpDmaAllocator,
     rng_state: u64,
     world_switches: u64,
@@ -78,8 +85,10 @@ pub struct SecureIo {
 impl SecureIo {
     /// Build the secure IO services over the platform bus.
     pub fn new(bus: Shared<SystemBus>) -> Self {
+        let clock = bus.lock().clock();
         SecureIo {
             bus,
+            clock,
             pool: BumpDmaAllocator::new(DmaRegion::new(TEE_DMA_POOL_BASE, TEE_DMA_POOL_BYTES)),
             rng_state: 0x9e37_79b9_7f4a_7c15,
             world_switches: 0,
@@ -128,6 +137,10 @@ impl SecureIo {
     }
 
     /// Copy payload out of secure DMA memory.
+    ///
+    /// This is the zero-copy path for device→trustlet payload: the replayer
+    /// hands a sub-slice of the trustlet buffer directly, so DMA contents
+    /// land in place without an intermediate heap buffer.
     pub fn copy_from_dma(
         &mut self,
         region: DmaRegion,
@@ -159,18 +172,40 @@ impl SecureIo {
     }
 
     /// Hardware RNG (OP-TEE exposes the SoC RNG to the TEE, §6.2).
+    ///
+    /// Allocates and transparently splits oversized requests into FIFO-sized
+    /// reads; replay hot paths use [`SecureIo::fill_rand_bytes`] (one FIFO
+    /// request, fallible, no allocation) with a reusable scratch buffer.
     pub fn get_rand_bytes(&mut self, len: usize) -> Vec<u8> {
-        let mut out = Vec::with_capacity(len);
-        while out.len() < len {
+        let mut out = vec![0u8; len];
+        for chunk in out.chunks_mut(RNG_MAX_REQUEST) {
+            self.fill_rand_bytes(chunk).expect("chunks are FIFO-sized");
+        }
+        out
+    }
+
+    /// Fill `out` from the hardware RNG without allocating.
+    ///
+    /// Fails when the request exceeds [`RNG_MAX_REQUEST`]: the SoC RNG FIFO
+    /// is small and OP-TEE's RNG PTA rejects oversized reads rather than
+    /// blocking the TEE for the refill time. Replay consumers must propagate
+    /// this instead of discarding it.
+    pub fn fill_rand_bytes(&mut self, out: &mut [u8]) -> Result<(), TeeError> {
+        if out.len() > RNG_MAX_REQUEST {
+            return Err(TeeError::Hw(format!(
+                "rng request of {} bytes exceeds the {RNG_MAX_REQUEST}-byte FIFO",
+                out.len()
+            )));
+        }
+        for chunk in out.chunks_mut(8) {
             self.rng_state ^= self.rng_state >> 12;
             self.rng_state ^= self.rng_state << 25;
             self.rng_state ^= self.rng_state >> 27;
-            out.extend_from_slice(
-                &self.rng_state.wrapping_mul(0x2545_f491_4f6c_dd1d).to_le_bytes(),
-            );
+            let word = self.rng_state.wrapping_mul(0x2545_f491_4f6c_dd1d).to_le_bytes();
+            let n = chunk.len();
+            chunk.copy_from_slice(&word[..n]);
         }
-        out.truncate(len);
-        out
+        Ok(())
     }
 
     /// Timestamp via RPC to the normal world (OP-TEE obtains wall-clock time
@@ -178,8 +213,7 @@ impl SecureIo {
     pub fn get_ts_rpc(&mut self) -> u64 {
         self.rpc_calls += 1;
         self.world_switches += 2;
-        let clock = self.bus.lock().clock();
-        let mut c = clock.lock();
+        let mut c = self.clock.lock();
         c.charge_world_switch();
         c.charge_world_switch();
         c.now_ns()
@@ -193,22 +227,23 @@ impl SecureIo {
     /// Charge CPU time spent inside the TEE (e.g. the replayer's per-event
     /// dispatch cost) without ticking devices.
     pub fn charge_ns(&mut self, ns: u64) {
-        let clock = self.bus.lock().clock();
-        clock.lock().advance_ns(ns);
+        self.clock.lock().advance_ns(ns);
     }
 
     /// The per-event dispatch cost from the platform cost model.
     pub fn replay_dispatch_cost_ns(&self) -> u64 {
-        let clock = self.bus.lock().clock();
-        let v = clock.lock().cost().replay_event_dispatch_ns;
-        v
+        self.clock.lock().cost().replay_event_dispatch_ns
+    }
+
+    /// The per-IRQ wait overhead from the platform cost model (read without
+    /// cloning the whole model — it sits on the replay hot path).
+    pub fn irq_wait_overhead_ns(&self) -> u64 {
+        self.clock.lock().cost().irq_wait_overhead_ns
     }
 
     /// A copy of the platform cost model (for replayer accounting).
     pub fn cost_model(&self) -> dlt_hw::CostModel {
-        let clock = self.bus.lock().clock();
-        let v = clock.lock().cost().clone();
-        v
+        self.clock.lock().cost().clone()
     }
 
     /// Acknowledge an interrupt line.
@@ -231,6 +266,12 @@ impl SecureIo {
         self.bus.lock().is_device_secure(name)
     }
 
+    /// The secure device whose register window contains `addr..addr+len`,
+    /// if any (the replayer's generalised second-window hardening check).
+    pub fn secure_device_containing(&self, addr: u64, len: u64) -> Option<&'static str> {
+        self.bus.lock().secure_device_containing(addr, len)
+    }
+
     /// Number of world switches performed by RPCs.
     pub fn world_switches(&self) -> u64 {
         self.world_switches
@@ -238,7 +279,7 @@ impl SecureIo {
 
     /// Current virtual time.
     pub fn now_ns(&self) -> u64 {
-        self.bus.lock().clock().lock().now_ns()
+        self.clock.lock().now_ns()
     }
 }
 
@@ -343,8 +384,7 @@ impl TeeKernel {
 
     fn smc(&mut self) {
         self.smc_calls += 1;
-        let clock = self.io.bus.lock().clock();
-        clock.lock().charge_world_switch();
+        self.io.clock.lock().charge_world_switch();
     }
 }
 

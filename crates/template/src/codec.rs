@@ -1,0 +1,881 @@
+//! Compact binary bundle codec (the paper's §8.3.4 open item).
+//!
+//! JSON driverlet documents are the *interchange* format — human-readable,
+//! diffable, exactly what the recorder emits for review. They are also
+//! 10–30x larger than the paper's binary driverlet executables, which
+//! matters for boot-time bundle loading and the TCB-size story. This module
+//! provides the deployment encoding:
+//!
+//! * **varint scalars** — all integers are LEB128; small values (register
+//!   offsets, event counts, line numbers) take one byte,
+//! * **string-table deduplication** — every string (register names, source
+//!   files, parameter names) is emitted once in a front table and referenced
+//!   by varint index; templates repeat the same few dozen strings hundreds
+//!   of times,
+//! * **tagged unions** — enums are a one-byte tag plus their payload,
+//! * **signed over the binary payload** — the developer signature is a keyed
+//!   digest over `magic ‖ version ‖ body`; the signature itself trails the
+//!   body so the signed bytes are exactly the decoder's input prefix.
+//!
+//! The decoder is **total**: truncated, corrupted or adversarial inputs
+//! return [`SignError::Malformed`] and never panic. Collection sizes are
+//! bounded by the remaining input length before any allocation, and the
+//! recursive `SymExpr`/`Constraint` grammars carry an explicit depth limit.
+
+use std::collections::HashMap;
+
+use crate::constraint::Constraint;
+use crate::event::{
+    DataDirection, DmaRole, EnvApi, Event, Iface, ReadSink, RecordedEvent, SourceSite,
+};
+use crate::expr::SymExpr;
+use crate::package::{CoverageEntry, CoverageReport, Driverlet, SignError, Signature};
+use crate::template::{ParamSpec, Template, TemplateMeta};
+
+/// Magic prefix of a binary driverlet bundle.
+pub const MAGIC: &[u8; 4] = b"DLTB";
+/// Current format version.
+pub const VERSION: u8 = 1;
+/// Maximum nesting depth accepted for `SymExpr`/`Constraint` trees.
+const MAX_DEPTH: usize = 64;
+
+// ---------------------------------------------------------------------------
+// Encoding
+// ---------------------------------------------------------------------------
+
+fn put_varint(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// String interner: first occurrence assigns the index.
+#[derive(Default)]
+struct StringTable {
+    strings: Vec<String>,
+    index: HashMap<String, u32>,
+}
+
+impl StringTable {
+    fn intern(&mut self, s: &str) -> u32 {
+        if let Some(i) = self.index.get(s) {
+            return *i;
+        }
+        let i = self.strings.len() as u32;
+        self.strings.push(s.to_string());
+        self.index.insert(s.to_string(), i);
+        i
+    }
+}
+
+struct Encoder {
+    strings: StringTable,
+    body: Vec<u8>,
+}
+
+impl Encoder {
+    fn new() -> Self {
+        Encoder { strings: StringTable::default(), body: Vec::new() }
+    }
+
+    fn varint(&mut self, v: u64) {
+        put_varint(&mut self.body, v);
+    }
+
+    fn string(&mut self, s: &str) {
+        let i = self.strings.intern(s);
+        self.varint(u64::from(i));
+    }
+
+    fn tag(&mut self, t: u8) {
+        self.body.push(t);
+    }
+
+    fn expr(&mut self, e: &SymExpr) {
+        match e {
+            SymExpr::Const(c) => {
+                self.tag(0);
+                self.varint(*c);
+            }
+            SymExpr::Param(p) => {
+                self.tag(1);
+                self.string(p);
+            }
+            SymExpr::Captured(c) => {
+                self.tag(2);
+                self.string(c);
+            }
+            SymExpr::DmaBase(i) => {
+                self.tag(3);
+                self.varint(*i as u64);
+            }
+            SymExpr::And(a, b) => self.expr2(4, a, b),
+            SymExpr::Or(a, b) => self.expr2(5, a, b),
+            SymExpr::Xor(a, b) => self.expr2(6, a, b),
+            SymExpr::Add(a, b) => self.expr2(7, a, b),
+            SymExpr::Sub(a, b) => self.expr2(8, a, b),
+            SymExpr::Mul(a, b) => self.expr2(9, a, b),
+            SymExpr::Shl(a, n) => {
+                self.tag(10);
+                self.expr(a);
+                self.varint(u64::from(*n));
+            }
+            SymExpr::Shr(a, n) => {
+                self.tag(11);
+                self.expr(a);
+                self.varint(u64::from(*n));
+            }
+            SymExpr::Not(a) => {
+                self.tag(12);
+                self.expr(a);
+            }
+        }
+    }
+
+    fn expr2(&mut self, t: u8, a: &SymExpr, b: &SymExpr) {
+        self.tag(t);
+        self.expr(a);
+        self.expr(b);
+    }
+
+    fn constraint(&mut self, c: &Constraint) {
+        match c {
+            Constraint::Any => self.tag(0),
+            Constraint::Eq(e) => {
+                self.tag(1);
+                self.expr(e);
+            }
+            Constraint::Ne(e) => {
+                self.tag(2);
+                self.expr(e);
+            }
+            Constraint::InRange { min, max } => {
+                self.tag(3);
+                self.varint(*min);
+                self.varint(*max);
+            }
+            Constraint::OneOf(vals) => {
+                self.tag(4);
+                self.varint(vals.len() as u64);
+                for v in vals {
+                    self.varint(*v);
+                }
+            }
+            Constraint::MaskEq { mask, expected } => {
+                self.tag(5);
+                self.varint(*mask);
+                self.varint(*expected);
+            }
+            Constraint::MaskClear { mask } => {
+                self.tag(6);
+                self.varint(*mask);
+            }
+            Constraint::All(cs) => {
+                self.tag(7);
+                self.varint(cs.len() as u64);
+                for c in cs {
+                    self.constraint(c);
+                }
+            }
+            Constraint::AnyOf(cs) => {
+                self.tag(8);
+                self.varint(cs.len() as u64);
+                for c in cs {
+                    self.constraint(c);
+                }
+            }
+        }
+    }
+
+    fn iface(&mut self, i: &Iface) {
+        match i {
+            Iface::Reg { addr, name } => {
+                self.tag(0);
+                self.varint(*addr);
+                self.string(name);
+            }
+            Iface::Shm { alloc, offset } => {
+                self.tag(1);
+                self.varint(*alloc as u64);
+                self.varint(*offset);
+            }
+            Iface::Env(api) => {
+                self.tag(2);
+                self.tag(match api {
+                    EnvApi::DmaAlloc => 0,
+                    EnvApi::GetRandBytes => 1,
+                    EnvApi::GetTs => 2,
+                });
+            }
+        }
+    }
+
+    fn sink(&mut self, s: &ReadSink) {
+        match s {
+            ReadSink::Discard => self.tag(0),
+            ReadSink::Capture(name) => {
+                self.tag(1);
+                self.string(name);
+            }
+            ReadSink::UserData { offset } => {
+                self.tag(2);
+                self.varint(*offset);
+            }
+        }
+    }
+
+    fn event(&mut self, e: &Event) {
+        match e {
+            Event::Read { iface, constraint, len, sink } => {
+                self.tag(0);
+                self.iface(iface);
+                self.constraint(constraint);
+                self.varint(u64::from(*len));
+                self.sink(sink);
+            }
+            Event::DmaAlloc { len, role } => {
+                self.tag(1);
+                self.expr(len);
+                self.tag(match role {
+                    DmaRole::Descriptor => 0,
+                    DmaRole::DataIn => 1,
+                    DmaRole::DataOut => 2,
+                    DmaRole::Queue => 3,
+                    DmaRole::Other => 4,
+                });
+            }
+            Event::GetRandBytes { len, sink } => {
+                self.tag(2);
+                self.varint(u64::from(*len));
+                self.sink(sink);
+            }
+            Event::GetTs { len, sink } => {
+                self.tag(3);
+                self.varint(u64::from(*len));
+                self.sink(sink);
+            }
+            Event::WaitForIrq { line, timeout_us } => {
+                self.tag(4);
+                self.varint(u64::from(*line));
+                self.varint(*timeout_us);
+            }
+            Event::Write { iface, value } => {
+                self.tag(5);
+                self.iface(iface);
+                self.expr(value);
+            }
+            Event::CopyUserToDma { alloc, offset, user_offset, len } => {
+                self.tag(6);
+                self.varint(*alloc as u64);
+                self.varint(*offset);
+                self.varint(*user_offset);
+                self.expr(len);
+            }
+            Event::CopyDmaToUser { alloc, offset, user_offset, len } => {
+                self.tag(7);
+                self.varint(*alloc as u64);
+                self.varint(*offset);
+                self.varint(*user_offset);
+                self.expr(len);
+            }
+            Event::Delay { us } => {
+                self.tag(8);
+                self.varint(*us);
+            }
+            Event::Poll { iface, body, cond, delay_us, max_iters } => {
+                self.tag(9);
+                self.iface(iface);
+                self.varint(body.len() as u64);
+                for b in body {
+                    self.event(b);
+                }
+                self.constraint(cond);
+                self.varint(*delay_us);
+                self.varint(*max_iters);
+            }
+        }
+    }
+
+    fn template(&mut self, t: &Template) {
+        self.string(&t.name);
+        self.string(&t.entry);
+        self.string(&t.device);
+        self.varint(t.params.len() as u64);
+        for p in &t.params {
+            self.string(&p.name);
+            self.constraint(&p.constraint);
+        }
+        self.tag(match t.direction {
+            DataDirection::DeviceToUser => 0,
+            DataDirection::UserToDevice => 1,
+            DataDirection::None => 2,
+        });
+        self.expr(&t.data_len);
+        match t.irq_line {
+            None => self.tag(0),
+            Some(l) => {
+                self.tag(1);
+                self.varint(u64::from(l));
+            }
+        }
+        self.varint(t.events.len() as u64);
+        for re in &t.events {
+            self.event(&re.event);
+            self.string(&re.site.file);
+            self.varint(u64::from(re.site.line));
+        }
+        // TemplateMeta: recorded_with sorted by key so the encoding (and the
+        // signature over it) is canonical.
+        let mut rec: Vec<(&String, &u64)> = t.meta.recorded_with.iter().collect();
+        rec.sort_by(|a, b| a.0.cmp(b.0));
+        self.varint(rec.len() as u64);
+        for (k, v) in rec {
+            self.string(k);
+            self.varint(*v);
+        }
+        self.string(&t.meta.notes);
+    }
+
+    fn coverage(&mut self, c: &CoverageReport) {
+        self.varint(c.entries.len() as u64);
+        for e in &c.entries {
+            self.string(&e.param);
+            self.constraint(&e.covered);
+        }
+    }
+
+    fn finish(self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.body.len() + 256);
+        out.extend_from_slice(MAGIC);
+        out.push(VERSION);
+        put_varint(&mut out, self.strings.strings.len() as u64);
+        for s in &self.strings.strings {
+            put_varint(&mut out, s.len() as u64);
+            out.extend_from_slice(s.as_bytes());
+        }
+        out.extend_from_slice(&self.body);
+        out
+    }
+}
+
+/// Encode a bundle's signed portion: `magic ‖ version ‖ string table ‖ body`
+/// with the signature field omitted. [`Driverlet::sign`]/[`Driverlet::verify`]
+/// digest exactly these bytes.
+pub fn signing_payload(d: &Driverlet) -> Vec<u8> {
+    let mut enc = Encoder::new();
+    enc.string(&d.device);
+    enc.string(&d.entry);
+    enc.varint(d.templates.len() as u64);
+    for t in &d.templates {
+        enc.template(t);
+    }
+    enc.coverage(&d.coverage);
+    enc.finish()
+}
+
+/// Encode a bundle to the compact binary form (signed payload plus the
+/// trailing signature record).
+pub fn encode(d: &Driverlet) -> Vec<u8> {
+    let mut out = signing_payload(d);
+    match &d.signature {
+        None => out.push(0),
+        Some(sig) => {
+            out.push(1);
+            put_varint(&mut out, sig.algo.len() as u64);
+            out.extend_from_slice(sig.algo.as_bytes());
+            out.extend_from_slice(&sig.mac.to_le_bytes());
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Decoding
+// ---------------------------------------------------------------------------
+
+struct Decoder<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    strings: Vec<String>,
+}
+
+fn malformed(what: &str) -> SignError {
+    SignError::Malformed(what.to_string())
+}
+
+impl<'a> Decoder<'a> {
+    fn remaining(&self) -> usize {
+        self.bytes.len() - self.pos
+    }
+
+    fn byte(&mut self) -> Result<u8, SignError> {
+        let b = *self.bytes.get(self.pos).ok_or_else(|| malformed("unexpected end of input"))?;
+        self.pos += 1;
+        Ok(b)
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], SignError> {
+        if self.remaining() < n {
+            return Err(malformed("unexpected end of input"));
+        }
+        let s = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn varint(&mut self) -> Result<u64, SignError> {
+        let mut v = 0u64;
+        let mut shift = 0u32;
+        loop {
+            let b = self.byte()?;
+            if shift >= 64 || (shift == 63 && b > 1) {
+                return Err(malformed("varint overflows u64"));
+            }
+            v |= u64::from(b & 0x7f) << shift;
+            if b & 0x80 == 0 {
+                return Ok(v);
+            }
+            shift += 7;
+        }
+    }
+
+    /// A claimed collection length, sanity-bounded by the bytes that are
+    /// actually left (each element needs at least one byte).
+    fn len(&mut self) -> Result<usize, SignError> {
+        let n = self.varint()?;
+        if n > self.remaining() as u64 {
+            return Err(malformed("collection length exceeds input"));
+        }
+        Ok(n as usize)
+    }
+
+    fn usize_val(&mut self) -> Result<usize, SignError> {
+        let v = self.varint()?;
+        usize::try_from(v).map_err(|_| malformed("value exceeds usize"))
+    }
+
+    fn u32_val(&mut self) -> Result<u32, SignError> {
+        let v = self.varint()?;
+        u32::try_from(v).map_err(|_| malformed("value exceeds u32"))
+    }
+
+    fn string(&mut self) -> Result<String, SignError> {
+        let i = self.varint()?;
+        self.strings
+            .get(usize::try_from(i).map_err(|_| malformed("string index"))?)
+            .cloned()
+            .ok_or_else(|| malformed("string index out of table"))
+    }
+
+    fn expr(&mut self, depth: usize) -> Result<SymExpr, SignError> {
+        if depth > MAX_DEPTH {
+            return Err(malformed("expression nesting too deep"));
+        }
+        Ok(match self.byte()? {
+            0 => SymExpr::Const(self.varint()?),
+            1 => SymExpr::Param(self.string()?),
+            2 => SymExpr::Captured(self.string()?),
+            3 => SymExpr::DmaBase(self.usize_val()?),
+            t @ 4..=9 => {
+                let a = Box::new(self.expr(depth + 1)?);
+                let b = Box::new(self.expr(depth + 1)?);
+                match t {
+                    4 => SymExpr::And(a, b),
+                    5 => SymExpr::Or(a, b),
+                    6 => SymExpr::Xor(a, b),
+                    7 => SymExpr::Add(a, b),
+                    8 => SymExpr::Sub(a, b),
+                    _ => SymExpr::Mul(a, b),
+                }
+            }
+            10 => {
+                let a = Box::new(self.expr(depth + 1)?);
+                SymExpr::Shl(a, self.u32_val()?)
+            }
+            11 => {
+                let a = Box::new(self.expr(depth + 1)?);
+                SymExpr::Shr(a, self.u32_val()?)
+            }
+            12 => SymExpr::Not(Box::new(self.expr(depth + 1)?)),
+            _ => return Err(malformed("unknown expression tag")),
+        })
+    }
+
+    fn constraint(&mut self, depth: usize) -> Result<Constraint, SignError> {
+        if depth > MAX_DEPTH {
+            return Err(malformed("constraint nesting too deep"));
+        }
+        Ok(match self.byte()? {
+            0 => Constraint::Any,
+            1 => Constraint::Eq(self.expr(0)?),
+            2 => Constraint::Ne(self.expr(0)?),
+            3 => Constraint::InRange { min: self.varint()?, max: self.varint()? },
+            4 => {
+                let n = self.len()?;
+                let mut vals = Vec::with_capacity(n);
+                for _ in 0..n {
+                    vals.push(self.varint()?);
+                }
+                Constraint::OneOf(vals)
+            }
+            5 => Constraint::MaskEq { mask: self.varint()?, expected: self.varint()? },
+            6 => Constraint::MaskClear { mask: self.varint()? },
+            t @ (7 | 8) => {
+                let n = self.len()?;
+                let mut cs = Vec::with_capacity(n);
+                for _ in 0..n {
+                    cs.push(self.constraint(depth + 1)?);
+                }
+                if t == 7 {
+                    Constraint::All(cs)
+                } else {
+                    Constraint::AnyOf(cs)
+                }
+            }
+            _ => return Err(malformed("unknown constraint tag")),
+        })
+    }
+
+    fn iface(&mut self) -> Result<Iface, SignError> {
+        Ok(match self.byte()? {
+            0 => Iface::Reg { addr: self.varint()?, name: self.string()? },
+            1 => Iface::Shm { alloc: self.usize_val()?, offset: self.varint()? },
+            2 => Iface::Env(match self.byte()? {
+                0 => EnvApi::DmaAlloc,
+                1 => EnvApi::GetRandBytes,
+                2 => EnvApi::GetTs,
+                _ => return Err(malformed("unknown env api tag")),
+            }),
+            _ => return Err(malformed("unknown iface tag")),
+        })
+    }
+
+    fn sink(&mut self) -> Result<ReadSink, SignError> {
+        Ok(match self.byte()? {
+            0 => ReadSink::Discard,
+            1 => ReadSink::Capture(self.string()?),
+            2 => ReadSink::UserData { offset: self.varint()? },
+            _ => return Err(malformed("unknown sink tag")),
+        })
+    }
+
+    fn event(&mut self, depth: usize) -> Result<Event, SignError> {
+        if depth > MAX_DEPTH {
+            return Err(malformed("event nesting too deep"));
+        }
+        Ok(match self.byte()? {
+            0 => Event::Read {
+                iface: self.iface()?,
+                constraint: self.constraint(0)?,
+                len: self.u32_val()?,
+                sink: self.sink()?,
+            },
+            1 => Event::DmaAlloc {
+                len: self.expr(0)?,
+                role: match self.byte()? {
+                    0 => DmaRole::Descriptor,
+                    1 => DmaRole::DataIn,
+                    2 => DmaRole::DataOut,
+                    3 => DmaRole::Queue,
+                    4 => DmaRole::Other,
+                    _ => return Err(malformed("unknown dma role tag")),
+                },
+            },
+            2 => Event::GetRandBytes { len: self.u32_val()?, sink: self.sink()? },
+            3 => Event::GetTs { len: self.u32_val()?, sink: self.sink()? },
+            4 => Event::WaitForIrq { line: self.u32_val()?, timeout_us: self.varint()? },
+            5 => Event::Write { iface: self.iface()?, value: self.expr(0)? },
+            6 => Event::CopyUserToDma {
+                alloc: self.usize_val()?,
+                offset: self.varint()?,
+                user_offset: self.varint()?,
+                len: self.expr(0)?,
+            },
+            7 => Event::CopyDmaToUser {
+                alloc: self.usize_val()?,
+                offset: self.varint()?,
+                user_offset: self.varint()?,
+                len: self.expr(0)?,
+            },
+            8 => Event::Delay { us: self.varint()? },
+            9 => {
+                let iface = self.iface()?;
+                let n = self.len()?;
+                let mut body = Vec::with_capacity(n);
+                for _ in 0..n {
+                    body.push(self.event(depth + 1)?);
+                }
+                Event::Poll {
+                    iface,
+                    body,
+                    cond: self.constraint(0)?,
+                    delay_us: self.varint()?,
+                    max_iters: self.varint()?,
+                }
+            }
+            _ => return Err(malformed("unknown event tag")),
+        })
+    }
+
+    fn template(&mut self) -> Result<Template, SignError> {
+        let name = self.string()?;
+        let entry = self.string()?;
+        let device = self.string()?;
+        let n_params = self.len()?;
+        let mut params = Vec::with_capacity(n_params);
+        for _ in 0..n_params {
+            params.push(ParamSpec { name: self.string()?, constraint: self.constraint(0)? });
+        }
+        let direction = match self.byte()? {
+            0 => DataDirection::DeviceToUser,
+            1 => DataDirection::UserToDevice,
+            2 => DataDirection::None,
+            _ => return Err(malformed("unknown direction tag")),
+        };
+        let data_len = self.expr(0)?;
+        let irq_line = match self.byte()? {
+            0 => None,
+            1 => Some(self.u32_val()?),
+            _ => return Err(malformed("unknown irq option tag")),
+        };
+        let n_events = self.len()?;
+        let mut events = Vec::with_capacity(n_events);
+        for _ in 0..n_events {
+            let event = self.event(0)?;
+            let file = self.string()?;
+            let line = self.u32_val()?;
+            events.push(RecordedEvent { event, site: SourceSite { file, line } });
+        }
+        let n_rec = self.len()?;
+        let mut recorded_with = HashMap::with_capacity(n_rec);
+        for _ in 0..n_rec {
+            let k = self.string()?;
+            let v = self.varint()?;
+            recorded_with.insert(k, v);
+        }
+        let notes = self.string()?;
+        Ok(Template {
+            name,
+            entry,
+            device,
+            params,
+            direction,
+            data_len,
+            irq_line,
+            events,
+            meta: TemplateMeta { recorded_with, notes },
+        })
+    }
+}
+
+/// Decode a compact binary bundle. Any structural problem — truncation, bad
+/// tags, out-of-table string references, absurd lengths — yields
+/// [`SignError::Malformed`]; the decoder never panics.
+pub fn decode(bytes: &[u8]) -> Result<Driverlet, SignError> {
+    let mut d = Decoder { bytes, pos: 0, strings: Vec::new() };
+    if d.take(4)? != MAGIC {
+        return Err(malformed("bad magic"));
+    }
+    if d.byte()? != VERSION {
+        return Err(malformed("unsupported version"));
+    }
+    let n_strings = d.len()?;
+    d.strings.reserve(n_strings);
+    for _ in 0..n_strings {
+        let n = d.len()?;
+        let raw = d.take(n)?;
+        let s = std::str::from_utf8(raw).map_err(|_| malformed("invalid utf-8 string"))?;
+        d.strings.push(s.to_string());
+    }
+    let device = d.string()?;
+    let entry = d.string()?;
+    let n_templates = d.len()?;
+    let mut templates = Vec::with_capacity(n_templates);
+    for _ in 0..n_templates {
+        templates.push(d.template()?);
+    }
+    let n_cov = d.len()?;
+    let mut entries = Vec::with_capacity(n_cov);
+    for _ in 0..n_cov {
+        entries.push(CoverageEntry { param: d.string()?, covered: d.constraint(0)? });
+    }
+    let signature = match d.byte()? {
+        0 => None,
+        1 => {
+            let n = d.len()?;
+            let algo = std::str::from_utf8(d.take(n)?)
+                .map_err(|_| malformed("invalid utf-8 algo"))?
+                .to_string();
+            let mac =
+                u64::from_le_bytes(d.take(8)?.try_into().map_err(|_| malformed("short mac"))?);
+            Some(Signature { algo, mac })
+        }
+        _ => return Err(malformed("unknown signature option tag")),
+    };
+    if d.remaining() != 0 {
+        return Err(malformed("trailing bytes after bundle"));
+    }
+    Ok(Driverlet { device, entry, templates, coverage: CoverageReport { entries }, signature })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{DataDirection, DmaRole};
+    use crate::expr::SymExpr;
+    use crate::template::ParamSpec;
+
+    fn sample_driverlet() -> Driverlet {
+        let t = Template {
+            name: "mmc_rd_8".into(),
+            entry: "replay_mmc".into(),
+            device: "sdhost".into(),
+            params: vec![
+                ParamSpec { name: "rw".into(), constraint: Constraint::eq_const(1) },
+                ParamSpec {
+                    name: "blkid".into(),
+                    constraint: Constraint::InRange { min: 0, max: 0x1df_77f8 },
+                },
+            ],
+            direction: DataDirection::DeviceToUser,
+            data_len: SymExpr::Param("blkcnt".into()).shl(9),
+            irq_line: Some(56),
+            events: vec![
+                RecordedEvent::new(
+                    Event::DmaAlloc { len: SymExpr::Const(4096), role: DmaRole::DataIn },
+                    SourceSite::new("bcm2835-sdhost.c", 500),
+                ),
+                RecordedEvent::bare(Event::Write {
+                    iface: Iface::Reg { addr: 0x3f20_2004, name: "SDARG".into() },
+                    value: SymExpr::Param("blkid".into()).masked(!0x7u64),
+                }),
+                RecordedEvent::bare(Event::Poll {
+                    iface: Iface::Reg { addr: 0x3f20_2000, name: "SDCMD".into() },
+                    body: vec![Event::Delay { us: 10 }],
+                    cond: Constraint::MaskClear { mask: 0x8000 },
+                    delay_us: 10,
+                    max_iters: 1000,
+                }),
+                RecordedEvent::bare(Event::Read {
+                    iface: Iface::Shm { alloc: 0, offset: 0x10 },
+                    constraint: Constraint::OneOf(vec![1, 2, 3]),
+                    len: 4,
+                    sink: ReadSink::Capture("sts".into()),
+                }),
+                RecordedEvent::bare(Event::CopyDmaToUser {
+                    alloc: 0,
+                    offset: 0,
+                    user_offset: 0,
+                    len: SymExpr::Param("blkcnt".into()).shl(9),
+                }),
+            ],
+            meta: TemplateMeta {
+                recorded_with: [("blkid".to_string(), 1024u64), ("rw".to_string(), 1)]
+                    .into_iter()
+                    .collect(),
+                notes: "merged from 3 runs".into(),
+            },
+        };
+        let mut t = t;
+        t.params.push(ParamSpec { name: "blkcnt".into(), constraint: Constraint::eq_const(8) });
+        Driverlet::new("sdhost", "replay_mmc", vec![t])
+    }
+
+    #[test]
+    fn round_trip_preserves_everything() {
+        let mut d = sample_driverlet();
+        d.sign(b"devkey");
+        let bytes = encode(&d);
+        let back = decode(&bytes).unwrap();
+        assert_eq!(back, d);
+        assert!(back.verify(b"devkey").is_ok(), "signature survives the binary round trip");
+    }
+
+    #[test]
+    fn unsigned_round_trip() {
+        let d = sample_driverlet();
+        let bytes = encode(&d);
+        let back = decode(&bytes).unwrap();
+        assert_eq!(back.signature, None);
+        assert_eq!(back, d);
+    }
+
+    #[test]
+    fn binary_is_much_smaller_than_json() {
+        let mut d = sample_driverlet();
+        d.sign(b"devkey");
+        let bin = encode(&d).len();
+        let compact = d.compact_size();
+        assert!(
+            compact >= 5 * bin,
+            "binary ({bin} B) should be at least 5x smaller than compact JSON ({compact} B)"
+        );
+    }
+
+    #[test]
+    fn truncations_are_malformed_not_panics() {
+        let mut d = sample_driverlet();
+        d.sign(b"devkey");
+        let bytes = encode(&d);
+        for n in 0..bytes.len() {
+            assert!(
+                matches!(decode(&bytes[..n]), Err(SignError::Malformed(_))),
+                "truncation to {n} bytes must be malformed"
+            );
+        }
+    }
+
+    #[test]
+    fn bit_flips_never_panic() {
+        let mut d = sample_driverlet();
+        d.sign(b"devkey");
+        let bytes = encode(&d);
+        for i in 0..bytes.len() {
+            for bit in [0x01u8, 0x80] {
+                let mut corrupt = bytes.clone();
+                corrupt[i] ^= bit;
+                // Either it fails to parse, or it parses to a *different*
+                // bundle whose signature no longer verifies (flips inside the
+                // 8-byte MAC itself change the signature instead).
+                if let Ok(back) = decode(&corrupt) {
+                    assert!(
+                        back != d || back.verify(b"devkey").is_err() || corrupt == bytes,
+                        "corrupted byte {i} produced an identical, verifying bundle"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn adversarial_lengths_are_rejected_before_allocation() {
+        // A header claiming 2^60 strings must fail on the length sanity
+        // check, not attempt the allocation.
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(MAGIC);
+        bytes.push(VERSION);
+        put_varint(&mut bytes, 1 << 60);
+        assert!(matches!(decode(&bytes), Err(SignError::Malformed(_))));
+    }
+
+    #[test]
+    fn varint_edge_cases() {
+        let mut out = Vec::new();
+        for v in [0u64, 1, 127, 128, 300, u64::MAX] {
+            out.clear();
+            put_varint(&mut out, v);
+            let mut dec = Decoder { bytes: &out, pos: 0, strings: Vec::new() };
+            assert_eq!(dec.varint().unwrap(), v);
+        }
+        // Overlong varint overflows.
+        let bad = [0xffu8; 11];
+        let mut dec = Decoder { bytes: &bad, pos: 0, strings: Vec::new() };
+        assert!(dec.varint().is_err());
+    }
+}

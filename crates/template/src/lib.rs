@@ -15,18 +15,25 @@
 //! Inputs carry [`constraint::Constraint`]s (the path conditions the recorder
 //! discovered); output values are [`expr::SymExpr`]s over the replay-entry
 //! parameters, earlier captured inputs and DMA base addresses (the taint
-//! sinks of Tables 4 and 6). The whole bundle serialises to human-readable
-//! JSON — the paper's recorder likewise "emits templates as human-readable
-//! documents" (§8.3.4) — and is integrity-protected by a developer signature
-//! the replayer verifies before use (§5).
+//! sinks of Tables 4 and 6). The bundle serialises two ways: to the
+//! human-readable JSON document the paper's recorder emits for review
+//! (§8.3.4), and to the compact varint/string-table [`codec`] binary used
+//! for deployment, which the developer signature binds (§5).
+//!
+//! For execution, [`program`] lowers a vetted template into a flat
+//! [`program::ReplayProgram`] — interned slots, postfix expression ops, and
+//! pre-resolved interfaces — which the replayer runs with zero heap
+//! allocation on the divergence-free path.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod codec;
 pub mod constraint;
 pub mod event;
 pub mod expr;
 pub mod package;
+pub mod program;
 pub mod template;
 
 pub use constraint::Constraint;
@@ -35,4 +42,5 @@ pub use event::{
 };
 pub use expr::{EvalEnv, SymExpr};
 pub use package::{CoverageReport, Driverlet, SignError, Signature};
+pub use program::{compile, CompileError, EvalScratch, Op, OpMeta, ReplayProgram};
 pub use template::{DmaSpec, EventBreakdown, ParamSpec, Template, TemplateMeta};

@@ -3,10 +3,12 @@
 //! The recorder signs the templates at the end of a record campaign; they are
 //! "thereafter immutable" (§4). The replayer verifies the signature before
 //! accepting a bundle (§5, self security hardening). The signature here is a
-//! keyed digest over the canonical JSON encoding — a stand-in for the
-//! developer signature of the paper (which similarly only needs to bind the
-//! bundle to a key held outside the TEE's attack surface); it is not intended
-//! to be cryptographically strong and DESIGN.md documents the substitution.
+//! keyed digest over the canonical *binary* encoding ([`crate::codec`]) — a
+//! stand-in for the developer signature of the paper (which similarly only
+//! needs to bind the bundle to a key held outside the TEE's attack surface);
+//! it is not intended to be cryptographically strong and DESIGN.md documents
+//! the substitution. Both the JSON document form and the binary form carry
+//! the same signature, since both decode to the same canonical payload.
 
 use std::collections::HashMap;
 
@@ -149,15 +151,12 @@ impl Driverlet {
         }
     }
 
+    /// The signed bytes: the compact binary encoding of the bundle with the
+    /// signature record omitted. Binding the signature to the deployment
+    /// (binary) encoding means verification digests exactly the bytes the
+    /// TEE loaded; the JSON document form round-trips the same signature.
     fn canonical_payload(&self) -> Vec<u8> {
-        let unsigned = Driverlet {
-            device: self.device.clone(),
-            entry: self.entry.clone(),
-            templates: self.templates.clone(),
-            coverage: self.coverage.clone(),
-            signature: None,
-        };
-        serde_json::to_vec(&unsigned).expect("driverlet serialisation cannot fail")
+        crate::codec::signing_payload(self)
     }
 
     /// Sign the bundle with the developer key. Signing freezes the contents:
@@ -194,6 +193,22 @@ impl Driverlet {
     /// Parse a bundle from JSON.
     pub fn from_json(json: &str) -> Result<Self, SignError> {
         serde_json::from_str(json).map_err(|e| SignError::Malformed(e.to_string()))
+    }
+
+    /// Serialise to the compact binary bundle form (§8.3.4).
+    pub fn to_binary(&self) -> Vec<u8> {
+        crate::codec::encode(self)
+    }
+
+    /// Parse a bundle from the compact binary form. Truncated or corrupted
+    /// inputs yield [`SignError::Malformed`]; the decoder never panics.
+    pub fn from_binary(bytes: &[u8]) -> Result<Self, SignError> {
+        crate::codec::decode(bytes)
+    }
+
+    /// Size in bytes of the compact binary encoding.
+    pub fn binary_size(&self) -> usize {
+        self.to_binary().len()
     }
 
     /// Size in bytes of the serialised bundle (the §8.3.4 memory-overhead

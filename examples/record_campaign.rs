@@ -36,11 +36,19 @@ fn main() {
 
     println!("\ncumulative input-space coverage:\n{}", driverlet.coverage.describe());
     println!("\nsignature verifies: {}", driverlet.verify(DEV_KEY).is_ok());
+    let binary = dlt_recorder::campaign::emit_binary_bundle(&driverlet);
     println!(
-        "bundle size: {} bytes pretty JSON / {} bytes compact ({} events total)",
+        "bundle size: {} bytes pretty JSON / {} bytes compact / {} bytes binary ({} events total)",
         driverlet.serialized_size(),
         driverlet.compact_size(),
+        binary.len(),
         driverlet.total_events()
+    );
+    let back = dlt_template::Driverlet::from_binary(&binary).expect("binary round trip");
+    println!(
+        "binary bundle round-trips: {} (signature verifies: {})",
+        back == driverlet,
+        back.verify(DEV_KEY).is_ok()
     );
 
     // Emit the human-readable document the paper describes (§6.2).

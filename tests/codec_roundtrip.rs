@@ -1,0 +1,235 @@
+//! Property tests of the compact binary bundle codec (§8.3.4).
+//!
+//! Randomised driverlets — random parameter constraints, expression trees,
+//! event sequences and metadata — must round-trip `Driverlet` → binary →
+//! `Driverlet` with full structural equality and a surviving signature; and
+//! the decoder must be total: truncations and bit flips of valid bundles
+//! yield `SignError::Malformed` (or a bundle that no longer verifies),
+//! never a panic.
+
+use proptest::prelude::*;
+use proptest::TestRng;
+
+use driverlets::template::{
+    Constraint, DataDirection, DmaRole, Driverlet, Event, Iface, ParamSpec, ReadSink,
+    RecordedEvent, SignError, SourceSite, SymExpr, Template, TemplateMeta,
+};
+
+/// Build a pseudo-random expression tree over the given parameter names.
+fn gen_expr(rng: &mut TestRng, params: &[String], captures: &[String], depth: u32) -> SymExpr {
+    if depth == 0 || rng.below(3) == 0 {
+        return match rng.below(4) {
+            0 => SymExpr::Const(rng.next_u64()),
+            1 if !params.is_empty() => {
+                SymExpr::Param(params[rng.below(params.len() as u64) as usize].clone())
+            }
+            2 if !captures.is_empty() => {
+                SymExpr::Captured(captures[rng.below(captures.len() as u64) as usize].clone())
+            }
+            _ => SymExpr::DmaBase(rng.below(2) as usize),
+        };
+    }
+    let a = Box::new(gen_expr(rng, params, captures, depth - 1));
+    let b = Box::new(gen_expr(rng, params, captures, depth - 1));
+    match rng.below(9) {
+        0 => SymExpr::And(a, b),
+        1 => SymExpr::Or(a, b),
+        2 => SymExpr::Xor(a, b),
+        3 => SymExpr::Add(a, b),
+        4 => SymExpr::Sub(a, b),
+        5 => SymExpr::Mul(a, b),
+        6 => SymExpr::Shl(a, rng.below(64) as u32),
+        7 => SymExpr::Shr(a, rng.below(64) as u32),
+        _ => SymExpr::Not(a),
+    }
+}
+
+fn gen_constraint(rng: &mut TestRng, params: &[String], depth: u32) -> Constraint {
+    match rng.below(if depth == 0 { 7 } else { 9 }) {
+        0 => Constraint::Any,
+        1 => Constraint::Eq(gen_expr(rng, params, &[], 2)),
+        2 => Constraint::Ne(gen_expr(rng, params, &[], 1)),
+        3 => {
+            let min = rng.below(1 << 32);
+            Constraint::InRange { min, max: min + rng.below(1 << 20) }
+        }
+        4 => Constraint::OneOf((0..1 + rng.below(6)).map(|_| rng.next_u64()).collect()),
+        5 => Constraint::MaskEq { mask: rng.next_u64(), expected: rng.next_u64() },
+        6 => Constraint::MaskClear { mask: rng.next_u64() },
+        7 => Constraint::All(
+            (0..1 + rng.below(3)).map(|_| gen_constraint(rng, params, depth - 1)).collect(),
+        ),
+        _ => Constraint::AnyOf(
+            (0..1 + rng.below(3)).map(|_| gen_constraint(rng, params, depth - 1)).collect(),
+        ),
+    }
+}
+
+fn gen_event(rng: &mut TestRng, params: &[String], captures: &[String], depth: u32) -> Event {
+    let iface = |rng: &mut TestRng| match rng.below(3) {
+        0 => Iface::Reg {
+            addr: 0x3f20_0000 + rng.below(0x1000) * 4,
+            name: format!("R{}", rng.below(40)),
+        },
+        1 => Iface::Shm { alloc: rng.below(2) as usize, offset: rng.below(4096) },
+        _ => Iface::Env(dlt_template::EnvApi::GetTs),
+    };
+    let sink = |rng: &mut TestRng| match rng.below(3) {
+        0 => ReadSink::Discard,
+        1 if !captures.is_empty() => {
+            ReadSink::Capture(captures[rng.below(captures.len() as u64) as usize].clone())
+        }
+        _ => ReadSink::UserData { offset: rng.below(1 << 16) },
+    };
+    match rng.below(if depth == 0 { 9 } else { 10 }) {
+        0 => Event::Read {
+            iface: iface(rng),
+            constraint: gen_constraint(rng, params, 2),
+            len: 4,
+            sink: sink(rng),
+        },
+        1 => Event::DmaAlloc {
+            len: gen_expr(rng, params, captures, 2),
+            role: [
+                DmaRole::Descriptor,
+                DmaRole::DataIn,
+                DmaRole::DataOut,
+                DmaRole::Queue,
+                DmaRole::Other,
+            ][rng.below(5) as usize],
+        },
+        2 => Event::GetRandBytes { len: rng.below(64) as u32, sink: sink(rng) },
+        3 => Event::GetTs { len: 8, sink: sink(rng) },
+        4 => Event::WaitForIrq { line: rng.below(64) as u32, timeout_us: rng.below(1 << 30) },
+        5 => Event::Write { iface: iface(rng), value: gen_expr(rng, params, captures, 3) },
+        6 => Event::CopyUserToDma {
+            alloc: rng.below(2) as usize,
+            offset: rng.below(4096),
+            user_offset: rng.below(1 << 16),
+            len: gen_expr(rng, params, captures, 1),
+        },
+        7 => Event::CopyDmaToUser {
+            alloc: rng.below(2) as usize,
+            offset: rng.below(4096),
+            user_offset: rng.below(1 << 16),
+            len: gen_expr(rng, params, captures, 1),
+        },
+        8 => Event::Delay { us: rng.below(10_000) },
+        _ => Event::Poll {
+            iface: iface(rng),
+            body: (0..rng.below(3)).map(|_| gen_event(rng, params, captures, 0)).collect(),
+            cond: gen_constraint(rng, params, 1),
+            delay_us: rng.below(1000),
+            max_iters: rng.below(1 << 20),
+        },
+    }
+}
+
+fn gen_driverlet(seed: u64) -> Driverlet {
+    let mut rng = TestRng::deterministic(&format!("driverlet-{seed}"));
+    let params: Vec<String> = (0..1 + rng.below(4)).map(|i| format!("p{i}")).collect();
+    let captures: Vec<String> = (0..rng.below(3)).map(|i| format!("c{i}")).collect();
+    let n_templates = 1 + rng.below(3);
+    let templates: Vec<Template> = (0..n_templates)
+        .map(|t| {
+            let n_events = 1 + rng.below(20);
+            Template {
+                name: format!("t{t}"),
+                entry: "replay_fuzz".into(),
+                device: "fuzzdev".into(),
+                params: params
+                    .iter()
+                    .map(|p| ParamSpec {
+                        name: p.clone(),
+                        constraint: gen_constraint(&mut rng, &params, 2),
+                    })
+                    .collect(),
+                direction: [
+                    DataDirection::DeviceToUser,
+                    DataDirection::UserToDevice,
+                    DataDirection::None,
+                ][rng.below(3) as usize],
+                data_len: gen_expr(&mut rng, &params, &captures, 2),
+                irq_line: if rng.below(2) == 0 { Some(rng.below(64) as u32) } else { None },
+                events: (0..n_events)
+                    .map(|_| {
+                        let e = gen_event(&mut rng, &params, &captures, 1);
+                        if rng.below(2) == 0 {
+                            RecordedEvent::new(
+                                e,
+                                SourceSite::new("gold-driver.c", rng.below(9000) as u32),
+                            )
+                        } else {
+                            RecordedEvent::bare(e)
+                        }
+                    })
+                    .collect(),
+                meta: TemplateMeta {
+                    recorded_with: params.iter().map(|p| (p.clone(), rng.next_u64())).collect(),
+                    notes: format!("fuzz bundle seed {seed}"),
+                },
+            }
+        })
+        .collect();
+    Driverlet::new("fuzzdev", "replay_fuzz", templates)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Driverlet -> binary -> Driverlet preserves structural equality and the
+    /// developer signature (which is computed over the binary payload).
+    #[test]
+    fn binary_round_trip_preserves_bundle_and_signature(seed in 0u64..1u64 << 48) {
+        let mut d = gen_driverlet(seed);
+        d.sign(b"fuzz-key");
+        let bytes = d.to_binary();
+        let back = Driverlet::from_binary(&bytes).unwrap();
+        prop_assert_eq!(&back, &d);
+        prop_assert!(back.verify(b"fuzz-key").is_ok());
+        // The two serialisations agree on the same signature.
+        let via_json = Driverlet::from_json(&d.to_json()).unwrap();
+        prop_assert!(via_json.verify(b"fuzz-key").is_ok());
+    }
+
+    /// Truncating a valid bundle at any random point is Malformed, never a
+    /// panic.
+    #[test]
+    fn truncated_bundles_are_malformed(seed in 0u64..1u64 << 48, cut in 0u64..1000) {
+        let mut d = gen_driverlet(seed);
+        d.sign(b"fuzz-key");
+        let bytes = d.to_binary();
+        let n = (bytes.len() - 1) * cut as usize / 1000;
+        prop_assert!(matches!(
+            Driverlet::from_binary(&bytes[..n]),
+            Err(SignError::Malformed(_))
+        ));
+    }
+
+    /// Corrupting bytes of a valid bundle never panics; when the result still
+    /// parses, either the content visibly changed or the signature breaks.
+    #[test]
+    fn corrupted_bundles_never_panic(seed in 0u64..1u64 << 48, at in 0u64..1000, flip in 1u8..=255) {
+        let mut d = gen_driverlet(seed);
+        d.sign(b"fuzz-key");
+        let mut bytes = d.to_binary();
+        let i = (bytes.len() - 1) * at as usize / 1000;
+        bytes[i] ^= flip;
+        match Driverlet::from_binary(&bytes) {
+            Err(SignError::Malformed(_)) => {}
+            Err(_) => {}
+            Ok(back) => {
+                prop_assert!(
+                    back != d || back.verify(b"fuzz-key").is_err(),
+                    "corruption at byte {} produced an identical verifying bundle", i
+                );
+            }
+        }
+    }
+
+    /// Random garbage never panics the decoder.
+    #[test]
+    fn garbage_never_panics(data in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let _ = Driverlet::from_binary(&data);
+    }
+}

@@ -1,44 +1,125 @@
 //! Workspace-local minimal stand-in for the `parking_lot` crate.
 //!
-//! Wraps `std::sync::Mutex`/`RwLock` behind parking_lot's panic-free lock
-//! signatures (`lock()` returns the guard directly). Poisoning is translated
-//! into a panic, which matches parking_lot's behaviour of not poisoning at
-//! all: a lock held across a panic is a bug either way in this workspace.
+//! Provides parking_lot's panic-free lock signatures (`lock()` returns the
+//! guard directly, no poisoning). The mutex is a spinlock with an inline
+//! uncontended fast path: real parking_lot's selling point is exactly that
+//! its fast path is a single compare-and-swap, and the driverlets simulation
+//! takes these locks on every simulated register access, so the stand-in
+//! mirrors that design instead of routing through `std::sync::Mutex`. The
+//! simulation is effectively uncontended (one platform per thread);
+//! contended acquisition spins with `spin_loop` hints, which stays correct —
+//! merely less polite — when a test shares a platform across threads.
 
 #![warn(missing_docs)]
 
-use std::sync::{MutexGuard, RwLockReadGuard, RwLockWriteGuard};
+use std::cell::UnsafeCell;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{RwLockReadGuard, RwLockWriteGuard};
 
-/// Mutual exclusion primitive, `std::sync::Mutex` with parking_lot's API.
-#[derive(Debug, Default)]
-pub struct Mutex<T: ?Sized>(std::sync::Mutex<T>);
+/// Mutual exclusion primitive with parking_lot's API.
+#[derive(Default)]
+pub struct Mutex<T: ?Sized> {
+    locked: AtomicBool,
+    value: UnsafeCell<T>,
+}
+
+// Safety: the lock provides exclusive access to the inner value, so the
+// usual Mutex bounds apply.
+unsafe impl<T: ?Sized + Send> Send for Mutex<T> {}
+unsafe impl<T: ?Sized + Send> Sync for Mutex<T> {}
+
+/// Guard returned by [`Mutex::lock`]; unlocks on drop.
+pub struct MutexGuard<'a, T: ?Sized> {
+    lock: &'a Mutex<T>,
+}
 
 impl<T> Mutex<T> {
     /// Wrap a value.
     pub fn new(value: T) -> Self {
-        Mutex(std::sync::Mutex::new(value))
+        Mutex { locked: AtomicBool::new(false), value: UnsafeCell::new(value) }
     }
 
     /// Consume the mutex, returning the inner value.
     pub fn into_inner(self) -> T {
-        self.0.into_inner().unwrap_or_else(|e| e.into_inner())
+        self.value.into_inner()
     }
 }
 
 impl<T: ?Sized> Mutex<T> {
-    /// Acquire the lock, blocking until available.
+    /// Acquire the lock, blocking (spinning) until available.
+    #[inline]
     pub fn lock(&self) -> MutexGuard<'_, T> {
-        self.0.lock().unwrap_or_else(|_| panic!("mutex poisoned by a panicking holder"))
+        if self
+            .locked
+            .compare_exchange_weak(false, true, Ordering::Acquire, Ordering::Relaxed)
+            .is_ok()
+        {
+            return MutexGuard { lock: self };
+        }
+        self.lock_slow()
+    }
+
+    #[cold]
+    fn lock_slow(&self) -> MutexGuard<'_, T> {
+        loop {
+            while self.locked.load(Ordering::Relaxed) {
+                std::hint::spin_loop();
+            }
+            if self
+                .locked
+                .compare_exchange_weak(false, true, Ordering::Acquire, Ordering::Relaxed)
+                .is_ok()
+            {
+                return MutexGuard { lock: self };
+            }
+        }
     }
 
     /// Try to acquire the lock without blocking.
     pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
-        self.0.try_lock().ok()
+        if self.locked.compare_exchange(false, true, Ordering::Acquire, Ordering::Relaxed).is_ok() {
+            Some(MutexGuard { lock: self })
+        } else {
+            None
+        }
     }
 
     /// Mutable access without locking (requires exclusive ownership).
     pub fn get_mut(&mut self) -> &mut T {
-        self.0.get_mut().unwrap_or_else(|_| panic!("mutex poisoned by a panicking holder"))
+        self.value.get_mut()
+    }
+}
+
+impl<T: ?Sized + std::fmt::Debug> std::fmt::Debug for Mutex<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.try_lock() {
+            Some(guard) => f.debug_struct("Mutex").field("data", &&*guard).finish(),
+            None => f.debug_struct("Mutex").field("data", &"<locked>").finish(),
+        }
+    }
+}
+
+impl<T: ?Sized> std::ops::Deref for MutexGuard<'_, T> {
+    type Target = T;
+    #[inline]
+    fn deref(&self) -> &T {
+        // Safety: the guard holds the lock, so access is exclusive.
+        unsafe { &*self.lock.value.get() }
+    }
+}
+
+impl<T: ?Sized> std::ops::DerefMut for MutexGuard<'_, T> {
+    #[inline]
+    fn deref_mut(&mut self) -> &mut T {
+        // Safety: the guard holds the lock, so access is exclusive.
+        unsafe { &mut *self.lock.value.get() }
+    }
+}
+
+impl<T: ?Sized> Drop for MutexGuard<'_, T> {
+    #[inline]
+    fn drop(&mut self) {
+        self.lock.locked.store(false, Ordering::Release);
     }
 }
 
@@ -62,5 +143,48 @@ impl<T: ?Sized> RwLock<T> {
     /// Acquire an exclusive write guard.
     pub fn write(&self) -> RwLockWriteGuard<'_, T> {
         self.0.write().unwrap_or_else(|_| panic!("rwlock poisoned by a panicking holder"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn mutex_round_trip() {
+        let m = Mutex::new(5u32);
+        *m.lock() += 1;
+        assert_eq!(*m.lock(), 6);
+        assert!(m.try_lock().is_some());
+        let g = m.lock();
+        assert!(m.try_lock().is_none());
+        drop(g);
+        assert_eq!(m.into_inner(), 6);
+    }
+
+    #[test]
+    fn mutex_excludes_across_threads() {
+        let m = Arc::new(Mutex::new(0u64));
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let m = m.clone();
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..10_000 {
+                    *m.lock() += 1;
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(*m.lock(), 40_000);
+    }
+
+    #[test]
+    fn get_mut_and_debug() {
+        let mut m = Mutex::new(7u32);
+        *m.get_mut() = 9;
+        assert!(format!("{m:?}").contains('9'));
     }
 }
