@@ -1,0 +1,36 @@
+//! Service-layer throughput: coalesced scheduler vs serial uncoalesced
+//! issue, plus a mixed MMC+USB+VCHIQ traffic run; persisted to
+//! `BENCH_serve.json`.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo bench -p dlt-bench --bench serve_throughput            # full
+//! cargo bench -p dlt-bench --bench serve_throughput -- --quick # CI smoke
+//! ```
+//!
+//! The artifact path defaults to `BENCH_serve.json` in the working
+//! directory and can be overridden with the `BENCH_SERVE_OUT` environment
+//! variable. All reported numbers are deterministic virtual time.
+
+use dlt_bench::serve_bench::{describe, emit_report, run_serve_bench, summary_line};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick") || std::env::var_os("QUICK").is_some();
+    println!("== serve_throughput: multi-session service layer ==");
+    println!(
+        "recording driverlets and serving traffic ({} mode)...",
+        if quick { "quick" } else { "full" }
+    );
+    let report = run_serve_bench(quick);
+    print!("{}", describe(&report));
+    println!("{}", summary_line(&report));
+    assert!(
+        report.coalescing.speedup >= 2.0,
+        "acceptance: 8 coalesced sessions must reach >= 2x the serial request rate"
+    );
+
+    let out = std::env::var("BENCH_SERVE_OUT").unwrap_or_else(|_| "BENCH_serve.json".into());
+    emit_report(&report, &out).expect("write BENCH_serve.json");
+    println!("wrote {out}");
+}

@@ -8,7 +8,7 @@
 //! ```
 //!
 //! Artifacts: table3 table4 table5 table6 table7 table8 table9 fig5 fig6 fig7
-//! memory replay. Numbers are virtual-time measurements of the simulated
+//! memory replay serve. Numbers are virtual-time measurements of the simulated
 //! platform (`replay` additionally reports wall-clock engine throughput);
 //! EXPERIMENTS.md records a reference run next to the paper's numbers.
 
@@ -234,11 +234,18 @@ fn main() {
         println!("(persisted trajectory numbers come from the replay_throughput bench)");
     }
 
+    if want(&selected, "serve") {
+        println!("\n--- Service-layer throughput (sessions, scheduling, coalescing) ---");
+        let report = dlt_bench::serve_bench::run_serve_bench(quick);
+        print!("{}", dlt_bench::serve_bench::describe(&report));
+        println!("(persisted trajectory numbers come from the serve_throughput bench)");
+    }
+
     // Always print a tiny summary of what was requested so log scrapers know
     // the run completed.
     let known = [
         "table3", "table4", "table5", "table6", "table7", "table8", "table9", "fig5", "fig6",
-        "fig7", "memory", "replay", "all",
+        "fig7", "memory", "replay", "serve", "all",
     ];
     if !known.contains(&selected.as_str()) {
         eprintln!("unknown artifact `{selected}`; known: {known:?}");

@@ -10,6 +10,7 @@
 #![warn(missing_docs)]
 
 pub mod replay_bench;
+pub mod serve_bench;
 
 use std::collections::HashMap;
 

@@ -1,0 +1,344 @@
+//! Service-layer throughput measurement and the `BENCH_serve.json` emitter.
+//!
+//! Two experiments over `dlt-serve` (all numbers are **virtual time**, so
+//! reruns reproduce them exactly):
+//!
+//! 1. **Coalescing speedup** — 8 concurrent sessions issue striped
+//!    single-block reads over one MMC device. The coalesced arm drains
+//!    them through the scheduler (adjacent reads merge into 8-block
+//!    replays); the serial arm issues the same requests one at a time with
+//!    coalescing disabled. The acceptance bar is coalesced ≥ 2x the serial
+//!    requests/s.
+//! 2. **Mixed traffic** — many sessions drive MMC + USB + VCHIQ
+//!    concurrently with a deterministic read/write/capture mix; reports
+//!    requests/s, p50/p99 completion latency and the coalescing ratio.
+
+use std::collections::HashMap;
+
+use dlt_serve::{Completion, Device, DriverletService, Policy, Request, ServeConfig, BLOCK};
+use serde::Serialize;
+
+/// Result of the 8-session coalescing experiment (the acceptance metric).
+#[derive(Debug, Clone, Serialize)]
+pub struct CoalescingSample {
+    /// Concurrent sessions.
+    pub sessions: usize,
+    /// Requests issued per arm.
+    pub requests: u64,
+    /// Requests per second of virtual time, serial uncoalesced arm.
+    pub serial_rps: f64,
+    /// Requests per second of virtual time, coalesced scheduler arm.
+    pub coalesced_rps: f64,
+    /// `coalesced_rps / serial_rps` — must be ≥ 2.0.
+    pub speedup: f64,
+    /// Mean requests folded into one replay on the coalesced arm.
+    pub coalescing_ratio: f64,
+}
+
+/// Latency percentiles of one mixed-traffic run (virtual microseconds).
+#[derive(Debug, Clone, Serialize)]
+pub struct LatencySample {
+    /// Median completion latency.
+    pub p50_us: u64,
+    /// 99th-percentile completion latency.
+    pub p99_us: u64,
+    /// Worst completion latency.
+    pub max_us: u64,
+}
+
+/// Result of the mixed-traffic experiment.
+#[derive(Debug, Clone, Serialize)]
+pub struct MixedTrafficSample {
+    /// Concurrent sessions.
+    pub sessions: usize,
+    /// Total requests completed.
+    pub requests: u64,
+    /// Requests per second of virtual time.
+    pub rps: f64,
+    /// Completion-latency percentiles.
+    pub latency: LatencySample,
+    /// Mean requests folded into one replay.
+    pub coalescing_ratio: f64,
+    /// Completions per device.
+    pub per_device: HashMap<String, u64>,
+    /// Submits rejected by queue-full backpressure (retried).
+    pub backpressure_rejections: u64,
+}
+
+/// The persisted `BENCH_serve.json` document.
+#[derive(Debug, Clone, Serialize)]
+pub struct ServeBenchReport {
+    /// Workload description.
+    pub workload: String,
+    /// The 8-session coalescing acceptance experiment.
+    pub coalescing: CoalescingSample,
+    /// The mixed-traffic experiment.
+    pub mixed: MixedTrafficSample,
+}
+
+fn mmc_config(coalesce: bool) -> ServeConfig {
+    ServeConfig {
+        coalesce,
+        policy: Policy::Fifo,
+        block_granularities: vec![1, 8, 32],
+        ..ServeConfig::default()
+    }
+}
+
+/// The coalescing experiment: `sessions` clients read a striped sequential
+/// range (session i reads block `base + round*sessions + i`), `rounds`
+/// times.
+pub fn run_coalescing_bench(sessions: usize, rounds: u32) -> CoalescingSample {
+    // Coalesced arm: all sessions submit, then one drain per round merges
+    // the stripe into a single multi-block replay.
+    let mut service =
+        DriverletService::new(&[Device::Mmc], mmc_config(true)).expect("build coalesced service");
+    let ids: Vec<u32> = (0..sessions).map(|_| service.open_session().unwrap()).collect();
+    let t0 = service.now_ns();
+    let mut completed = 0u64;
+    for round in 0..rounds {
+        for (i, session) in ids.iter().enumerate() {
+            let blkid = 1024 + round * sessions as u32 + i as u32;
+            service
+                .submit(*session, Request::Read { device: Device::Mmc, blkid, blkcnt: 1 })
+                .expect("submit");
+        }
+        completed += service.drain().len() as u64;
+    }
+    let coalesced_elapsed = service.now_ns() - t0;
+    let coalescing_ratio = service.stats().coalescing_ratio();
+
+    // Serial arm: the same requests, one submit + drain at a time, no
+    // coalescing — each read pays its own replay.
+    let mut service =
+        DriverletService::new(&[Device::Mmc], mmc_config(false)).expect("build serial service");
+    let ids: Vec<u32> = (0..sessions).map(|_| service.open_session().unwrap()).collect();
+    let t0 = service.now_ns();
+    let mut serial_completed = 0u64;
+    for round in 0..rounds {
+        for (i, session) in ids.iter().enumerate() {
+            let blkid = 1024 + round * sessions as u32 + i as u32;
+            service
+                .submit(*session, Request::Read { device: Device::Mmc, blkid, blkcnt: 1 })
+                .expect("submit");
+            serial_completed += service.drain().len() as u64;
+        }
+    }
+    let serial_elapsed = service.now_ns() - t0;
+
+    assert_eq!(completed, serial_completed, "both arms must serve every request");
+    let secs = |ns: u64| (ns as f64 / 1e9).max(1e-12);
+    let coalesced_rps = completed as f64 / secs(coalesced_elapsed);
+    let serial_rps = serial_completed as f64 / secs(serial_elapsed);
+    CoalescingSample {
+        sessions,
+        requests: completed,
+        serial_rps,
+        coalesced_rps,
+        speedup: coalesced_rps / serial_rps.max(1e-12),
+        coalescing_ratio,
+    }
+}
+
+fn percentile(sorted_us: &[u64], p: f64) -> u64 {
+    if sorted_us.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted_us.len() - 1) as f64 * p).round() as usize;
+    sorted_us[idx]
+}
+
+/// The mixed-traffic experiment: block sessions on MMC and USB plus camera
+/// sessions on VCHIQ, all multiplexed through one service under deficit
+/// round-robin.
+pub fn run_mixed_bench(rounds: u32, captures: u32) -> MixedTrafficSample {
+    let config = ServeConfig {
+        policy: Policy::DeficitRoundRobin { quantum_blocks: 64 },
+        block_granularities: vec![1, 8, 32],
+        camera_bursts: vec![1],
+        queue_capacity: 64,
+        ..ServeConfig::default()
+    };
+    let mut service = DriverletService::new(&[Device::Mmc, Device::Usb, Device::Vchiq], config)
+        .expect("build mixed service");
+
+    // 4 MMC + 4 USB block sessions and 2 camera sessions.
+    let mmc: Vec<u32> = (0..4).map(|_| service.open_session().unwrap()).collect();
+    let usb: Vec<u32> = (0..4).map(|_| service.open_session().unwrap()).collect();
+    let cam: Vec<u32> = (0..2).map(|_| service.open_session().unwrap()).collect();
+
+    let mut latencies_us: Vec<u64> = Vec::new();
+    let mut per_device: HashMap<String, u64> = HashMap::new();
+    let mut completed = 0u64;
+    let record = |completions: &[Completion],
+                  latencies_us: &mut Vec<u64>,
+                  per_device: &mut HashMap<String, u64>| {
+        for c in completions {
+            c.result.as_ref().expect("mixed traffic stays in coverage");
+            latencies_us.push(c.latency_ns() / 1_000);
+            *per_device.entry(c.device.to_string()).or_insert(0) += 1;
+        }
+    };
+
+    let t0 = service.now_ns();
+    // A deterministic xorshift stream decides each session's next request.
+    let mut state = 0x243f_6a88_85a3_08d3u64;
+    let mut next = move || {
+        state ^= state >> 12;
+        state ^= state << 25;
+        state ^= state >> 27;
+        state.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    };
+    for round in 0..rounds {
+        for (lane, sessions) in [(Device::Mmc, &mmc), (Device::Usb, &usb)] {
+            for (i, session) in sessions.iter().enumerate() {
+                let r = next();
+                // Hot range per session with frequent adjacency.
+                let blkid = 2048 + (i as u32) * 64 + (r % 48) as u32;
+                let blkcnt = [1u32, 1, 8, 8, 32][(r >> 8) as usize % 5];
+                let req = if r % 4 == 0 {
+                    Request::Write {
+                        device: lane,
+                        blkid,
+                        data: vec![(r >> 16) as u8; blkcnt as usize * BLOCK],
+                    }
+                } else {
+                    Request::Read { device: lane, blkid, blkcnt }
+                };
+                // Backpressure: drain and retry once if the lane is full.
+                if let Err(dlt_serve::ServeError::QueueFull { .. }) =
+                    service.submit(*session, req.clone())
+                {
+                    let done = service.drain();
+                    record(&done, &mut latencies_us, &mut per_device);
+                    completed += done.len() as u64;
+                    service.submit(*session, req).expect("submit after drain");
+                }
+            }
+        }
+        if round < captures {
+            for session in &cam {
+                service
+                    .submit(*session, Request::Capture { frames: 1, resolution: 720 })
+                    .expect("submit capture");
+            }
+        }
+        let done = service.drain();
+        record(&done, &mut latencies_us, &mut per_device);
+        completed += done.len() as u64;
+    }
+    let elapsed = service.now_ns() - t0;
+
+    latencies_us.sort_unstable();
+    MixedTrafficSample {
+        sessions: mmc.len() + usb.len() + cam.len(),
+        requests: completed,
+        rps: completed as f64 / (elapsed as f64 / 1e9).max(1e-12),
+        latency: LatencySample {
+            p50_us: percentile(&latencies_us, 0.50),
+            p99_us: percentile(&latencies_us, 0.99),
+            max_us: latencies_us.last().copied().unwrap_or(0),
+        },
+        coalescing_ratio: service.stats().coalescing_ratio(),
+        per_device,
+        backpressure_rejections: service.stats().rejected,
+    }
+}
+
+/// Run both experiments.
+pub fn run_serve_bench(quick: bool) -> ServeBenchReport {
+    let (rounds, mixed_rounds, captures) = if quick { (6, 4, 1) } else { (24, 12, 3) };
+    let coalescing = run_coalescing_bench(8, rounds);
+    let mixed = run_mixed_bench(mixed_rounds, captures);
+    ServeBenchReport {
+        workload: format!(
+            "serve layer: 8-session striped reads x {rounds} rounds (MMC); \
+             10-session mixed MMC+USB+VCHIQ x {mixed_rounds} rounds"
+        ),
+        coalescing,
+        mixed,
+    }
+}
+
+/// Serialise the report as pretty JSON.
+pub fn report_json(report: &ServeBenchReport) -> String {
+    serde_json::to_string_pretty(report).expect("report serialisation cannot fail")
+}
+
+/// Write the report to `path` (default artifact name: `BENCH_serve.json`).
+pub fn emit_report(report: &ServeBenchReport, path: &str) -> std::io::Result<()> {
+    std::fs::write(path, report_json(report))
+}
+
+/// Render the human-readable summary the bench prints.
+pub fn describe(report: &ServeBenchReport) -> String {
+    let c = &report.coalescing;
+    let m = &report.mixed;
+    let mut out = String::new();
+    out.push_str(&format!("workload: {}\n", report.workload));
+    out.push_str(&format!(
+        "coalescing: {} sessions, {} requests: {:.0} req/s serial -> {:.0} req/s coalesced \
+         ({:.2}x, {:.2} requests/replay)\n",
+        c.sessions, c.requests, c.serial_rps, c.coalesced_rps, c.speedup, c.coalescing_ratio
+    ));
+    out.push_str(&format!(
+        "mixed: {} sessions, {} requests, {:.0} req/s, p50 {} us, p99 {} us (max {} us), \
+         {:.2} requests/replay, {} backpressure rejections\n",
+        m.sessions,
+        m.requests,
+        m.rps,
+        m.latency.p50_us,
+        m.latency.p99_us,
+        m.latency.max_us,
+        m.coalescing_ratio,
+        m.backpressure_rejections
+    ));
+    out
+}
+
+/// One-line record for log scraping.
+pub fn summary_line(report: &ServeBenchReport) -> String {
+    format!(
+        "serve_throughput coalesced={:.0} serial={:.0} speedup={:.2} mixed_rps={:.0} p99_us={}",
+        report.coalescing.coalesced_rps,
+        report.coalescing.serial_rps,
+        report.coalescing.speedup,
+        report.mixed.rps,
+        report.mixed.latency.p99_us
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eight_coalesced_sessions_double_the_serial_request_rate() {
+        // The tentpole acceptance bar: 8 concurrent sessions over one MMC
+        // device reach ≥ 2x the requests/s of the same sessions issuing
+        // serially without coalescing.
+        let sample = run_coalescing_bench(8, 4);
+        assert_eq!(sample.requests, 32);
+        assert!(
+            sample.speedup >= 2.0,
+            "coalesced {:.0} req/s vs serial {:.0} req/s is only {:.2}x",
+            sample.coalesced_rps,
+            sample.serial_rps,
+            sample.speedup
+        );
+        assert!(sample.coalescing_ratio > 4.0, "stripes of 8 should fold into few replays");
+    }
+
+    #[test]
+    fn mixed_traffic_reports_latency_and_ratio() {
+        let m = run_mixed_bench(2, 1);
+        assert!(m.requests > 0);
+        assert!(m.latency.p99_us >= m.latency.p50_us);
+        assert!(m.per_device.contains_key("mmc"));
+        assert!(m.per_device.contains_key("usb"));
+        assert!(m.per_device.contains_key("vchiq"));
+        let json = report_json(&run_serve_bench(true));
+        assert!(json.contains("coalescing"));
+        assert!(json.contains("p99_us"));
+    }
+}

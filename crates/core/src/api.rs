@@ -99,6 +99,49 @@ pub fn replay_usb(
     replayer.invoke_args("replay_usb", &block_args(rw, blkcnt, blkid, flag), buf)
 }
 
+/// Block-granular secure IO, independent of who executes the replay.
+///
+/// Trustlets written against this trait hold *a handle* rather than a
+/// [`Replayer`]: a bare replayer implements it directly (exclusive
+/// ownership, as in the paper's single-trustlet deployments), and
+/// `dlt-serve`'s session handles implement it by submitting into the
+/// shared per-device scheduler — so the same trustlet code runs standalone
+/// or multiplexed without changes.
+pub trait SecureBlockIo {
+    /// Read `blkcnt` 512-byte blocks starting at `blkid` into `buf`.
+    fn read_blocks(&mut self, blkid: u32, blkcnt: u32, buf: &mut [u8]) -> Result<(), ReplayError>;
+    /// Write whole 512-byte blocks from `data` starting at `blkid`.
+    fn write_blocks(&mut self, blkid: u32, data: &[u8]) -> Result<(), ReplayError>;
+}
+
+/// A bare replayer serves block IO through whichever block entry it has
+/// loaded (`replay_mmc` or `replay_usb`) — the paper's exclusive-ownership
+/// model.
+impl SecureBlockIo for Replayer {
+    fn read_blocks(&mut self, blkid: u32, blkcnt: u32, buf: &mut [u8]) -> Result<(), ReplayError> {
+        let entry = self
+            .entries()
+            .into_iter()
+            .find(|e| e == "replay_mmc" || e == "replay_usb")
+            .ok_or_else(|| ReplayError::UnknownEntry("no block driverlet loaded".into()))?;
+        if buf.len() < blkcnt as usize * MMC_BLOCK_SIZE {
+            return Err(ReplayError::Invalid("buffer smaller than the requested blocks".into()));
+        }
+        self.invoke_args(&entry, &block_args(0x1, blkcnt, blkid, 0), buf).map(|_| ())
+    }
+
+    fn write_blocks(&mut self, blkid: u32, data: &[u8]) -> Result<(), ReplayError> {
+        let entry = self
+            .entries()
+            .into_iter()
+            .find(|e| e == "replay_mmc" || e == "replay_usb")
+            .ok_or_else(|| ReplayError::UnknownEntry("no block driverlet loaded".into()))?;
+        let blkcnt = (data.len() / MMC_BLOCK_SIZE) as u32;
+        let mut scratch = data.to_vec();
+        self.invoke_args(&entry, &block_args(0x10, blkcnt, blkid, 0), &mut scratch).map(|_| ())
+    }
+}
+
 /// `replay_cam(frames, resolution, buf, buf_size, &size)` — capture `frames`
 /// images at `resolution` (720, 1080 or 1440); the last frame lands in `buf`.
 ///

@@ -15,11 +15,22 @@
 
 use std::collections::HashMap;
 
-use dlt_hw::DmaRegion;
+use dlt_hw::{DmaRegion, HwError};
 use dlt_tee::{SecureIo, TeeError};
 use dlt_template::{EvalEnv, Event, Iface, ReadSink, Template};
 
 use crate::replayer::{DivergenceEvent, ExecFailure, ReplayOutcome, ReplayStats};
+
+fn env_fault(reason: &str) -> TeeError {
+    TeeError::Hw(HwError::DeviceError { device: "env".into(), reason: reason.into() })
+}
+
+fn missing_dma(alloc: usize) -> TeeError {
+    TeeError::Hw(HwError::DeviceError {
+        device: "dma".into(),
+        reason: format!("dma[{alloc}] not allocated"),
+    })
+}
 
 fn read_iface(
     io: &mut SecureIo,
@@ -29,13 +40,10 @@ fn read_iface(
     match iface {
         Iface::Reg { addr, .. } => io.readl(*addr),
         Iface::Shm { alloc, offset } => {
-            let region = allocations
-                .get(*alloc)
-                .copied()
-                .ok_or_else(|| TeeError::Hw(format!("dma[{alloc}] not allocated")))?;
+            let region = allocations.get(*alloc).copied().ok_or_else(|| missing_dma(*alloc))?;
             io.shm_read32(region, *offset)
         }
-        Iface::Env(_) => Err(TeeError::Hw("environment interfaces are not readable".into())),
+        Iface::Env(_) => Err(env_fault("environment interfaces are not readable")),
     }
 }
 
@@ -48,13 +56,10 @@ fn write_iface(
     match iface {
         Iface::Reg { addr, .. } => io.writel(*addr, value),
         Iface::Shm { alloc, offset } => {
-            let region = allocations
-                .get(*alloc)
-                .copied()
-                .ok_or_else(|| TeeError::Hw(format!("dma[{alloc}] not allocated")))?;
+            let region = allocations.get(*alloc).copied().ok_or_else(|| missing_dma(*alloc))?;
             io.shm_write32(region, *offset, value)
         }
-        Iface::Env(_) => Err(TeeError::Hw("environment interfaces are not writable".into())),
+        Iface::Env(_) => Err(env_fault("environment interfaces are not writable")),
     }
 }
 

@@ -34,7 +34,7 @@ pub mod api;
 mod interp;
 pub mod replayer;
 
-pub use api::{replay_cam, replay_mmc, replay_usb, MMC_BLOCK_SIZE};
+pub use api::{replay_cam, replay_mmc, replay_usb, SecureBlockIo, MMC_BLOCK_SIZE};
 pub use replayer::{
     DivergenceEvent, DivergenceReport, ReplayConfig, ReplayError, ReplayMode, ReplayOutcome,
     ReplayStats, Replayer,

@@ -20,7 +20,7 @@ use std::collections::HashMap;
 use dlt_hw::DmaRegion;
 use dlt_tee::{SecureIo, TeeError};
 use dlt_template::program::{CIface, CSink, EvalScratch, Op, ReplayProgram, NO_SLOT};
-use dlt_template::{compile, Driverlet, SourceSite};
+use dlt_template::{compile, Driverlet, SignError, SourceSite};
 
 /// Replay errors surfaced to the trustlet.
 #[derive(Debug, Clone)]
@@ -31,8 +31,9 @@ pub enum ReplayError {
         /// The replay entry invoked.
         entry: String,
     },
-    /// The driverlet bundle failed signature verification.
-    Signature(String),
+    /// The driverlet bundle failed signature verification; the wrapped
+    /// [`SignError`] is preserved as the [`std::error::Error::source`].
+    Signature(SignError),
     /// A template failed static vetting, hardening checks or compilation at
     /// load time.
     InvalidTemplate(String),
@@ -40,9 +41,11 @@ pub enum ReplayError {
     UnknownEntry(String),
     /// Replay kept diverging despite resets; the report pinpoints the
     /// failing event and its gold-driver recording site.
-    Diverged(DivergenceReport),
-    /// A TEE service failed (secure memory exhausted, bus fault, ...).
-    Tee(String),
+    Diverged(Box<DivergenceReport>),
+    /// A TEE service failed (secure memory exhausted, bus fault, ...); the
+    /// wrapped [`TeeError`] is preserved as the
+    /// [`std::error::Error::source`].
+    Tee(TeeError),
     /// Malformed trustlet request (bad buffer size etc.).
     Invalid(String),
 }
@@ -67,17 +70,25 @@ impl std::fmt::Display for ReplayError {
                 r.failure.site.line,
                 r.failure.reason
             ),
-            ReplayError::Tee(s) => write!(f, "TEE service failure: {s}"),
+            ReplayError::Tee(e) => write!(f, "TEE service failure: {e}"),
             ReplayError::Invalid(s) => write!(f, "invalid request: {s}"),
         }
     }
 }
 
-impl std::error::Error for ReplayError {}
+impl std::error::Error for ReplayError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ReplayError::Tee(e) => Some(e),
+            ReplayError::Signature(e) => Some(e),
+            _ => None,
+        }
+    }
+}
 
 impl From<TeeError> for ReplayError {
     fn from(e: TeeError) -> Self {
-        ReplayError::Tee(e.to_string())
+        ReplayError::Tee(e)
     }
 }
 
@@ -299,7 +310,7 @@ impl Replayer {
     /// replay program.
     pub fn load_driverlet(&mut self, bundle: Driverlet, key: &[u8]) -> Result<(), ReplayError> {
         if self.config.verify_signature {
-            bundle.verify(key).map_err(|e| ReplayError::Signature(e.to_string()))?;
+            bundle.verify(key).map_err(ReplayError::Signature)?;
         }
         bundle.validate().map_err(ReplayError::InvalidTemplate)?;
         let mut programs = Vec::with_capacity(bundle.templates.len());
@@ -428,16 +439,16 @@ impl Replayer {
                     this.stats.divergences += 1;
                     last_failure = Some((event, executed));
                 }
-                Err(ExecFailure::Tee(e)) => return Err(ReplayError::Tee(e.to_string())),
+                Err(ExecFailure::Tee(e)) => return Err(ReplayError::Tee(e)),
             }
         }
         let (failure, executed) = last_failure.expect("at least one attempt must have run");
-        Err(ReplayError::Diverged(DivergenceReport {
+        Err(ReplayError::Diverged(Box::new(DivergenceReport {
             template: prog.name.clone(),
             attempts,
             executed_before_failure: executed,
             failure,
-        }))
+        })))
     }
 
     fn invoke_interpreted(
@@ -475,16 +486,16 @@ impl Replayer {
                     self.stats.divergences += 1;
                     last_failure = Some((event, executed));
                 }
-                Err(ExecFailure::Tee(e)) => return Err(ReplayError::Tee(e.to_string())),
+                Err(ExecFailure::Tee(e)) => return Err(ReplayError::Tee(e)),
             }
         }
         let (failure, executed) = last_failure.expect("at least one attempt must have run");
-        Err(ReplayError::Diverged(DivergenceReport {
+        Err(ReplayError::Diverged(Box::new(DivergenceReport {
             template: template.name.clone(),
             attempts,
             executed_before_failure: executed,
             failure,
-        }))
+        })))
     }
 }
 
@@ -517,7 +528,10 @@ fn unbound(prog: &ReplayProgram, op_idx: usize, what: &str) -> ExecFailure {
 
 #[cold]
 fn missing_dma(alloc: u32) -> ExecFailure {
-    ExecFailure::Tee(TeeError::Hw(format!("dma[{alloc}] not allocated")))
+    ExecFailure::Tee(TeeError::Hw(dlt_hw::HwError::DeviceError {
+        device: "dma".into(),
+        reason: format!("dma[{alloc}] not allocated"),
+    }))
 }
 
 fn read_ciface(io: &mut SecureIo, iface: CIface, dma: &[DmaRegion]) -> Result<u32, ExecFailure> {
@@ -1011,10 +1025,16 @@ mod tests {
         r.load_driverlet(rig_driverlet(oversized), b"rigkey").unwrap();
         let mut buf = [0u8; 8];
         let err = r.invoke("replay_rig", &rig_args(7), &mut buf).unwrap_err();
-        match err {
-            ReplayError::Tee(msg) => assert!(msg.contains("rng"), "unexpected tee error: {msg}"),
+        match &err {
+            ReplayError::Tee(e) => {
+                assert!(e.to_string().contains("rng"), "unexpected tee error: {e}");
+            }
             other => panic!("expected a TEE error, got {other:?}"),
         }
+        // The full chain is preserved: ReplayError -> TeeError -> HwError.
+        use std::error::Error;
+        let tee = err.source().expect("TEE source");
+        assert!(tee.source().is_some(), "TeeError::Hw must expose the HwError source");
         let platform2 = rig_platform();
         let io2 = SecureIo::new(platform2.bus.clone());
         let mut r2 = Replayer::with_config(io2, ReplayConfig::interpreted());

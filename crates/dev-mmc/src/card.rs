@@ -370,7 +370,7 @@ impl SdCard {
         if self.removed || self.state != CardState::ReceiveData {
             return false;
         }
-        if data.is_empty() || data.len() % BLOCK_SIZE != 0 {
+        if data.is_empty() || !data.len().is_multiple_of(BLOCK_SIZE) {
             return false;
         }
         let count = (data.len() / BLOCK_SIZE) as u64;

@@ -246,7 +246,7 @@ impl ScsiDisk {
                 data[8..16].copy_from_slice(b"Intenso ");
                 data[16..32].copy_from_slice(b"Micro Line 8GB  ");
                 data[32..36].copy_from_slice(b"1.00");
-                data.truncate((cdb.blocks as usize).max(5).min(36));
+                data.truncate((cdb.blocks as usize).clamp(5, 36));
                 ScsiResponse::DataIn(data)
             }
             opcode::REQUEST_SENSE => {
@@ -298,7 +298,7 @@ impl ScsiDisk {
 
     /// Commit the data-out payload of a WRITE command.
     pub fn write_data(&mut self, lba: u64, data: &[u8]) -> bool {
-        if self.removed || data.len() % USB_BLOCK_SIZE != 0 {
+        if self.removed || !data.len().is_multiple_of(USB_BLOCK_SIZE) {
             return false;
         }
         let count = (data.len() / USB_BLOCK_SIZE) as u64;

@@ -177,8 +177,12 @@ impl Vc4Vchiq {
             MsgType::ComponentCreate => {
                 if self.service_open && self.sensor_present {
                     self.component_created = true;
+                    // Component creation powers the sensor and loads the
+                    // firmware tuner: the ack only arrives after the full
+                    // initialisation latency (the dominant share of the
+                    // paper's 3.7 s single-frame capture, §8.3.2).
                     self.queue_reply(
-                        ack_at,
+                        ack_at + self.cost.cam_init_ns,
                         MmalMessage::new(
                             MsgType::ComponentCreateAck,
                             SERVICE_HANDLE,
@@ -228,8 +232,13 @@ impl Vc4Vchiq {
             MsgType::PortEnable => {
                 if self.resolution.is_some() {
                     self.port_enabled = true;
+                    // Arming the capture port switches the sensor mode and
+                    // waits for AGC/AWB re-convergence before the first
+                    // frame is usable; the ack arrives after that settle
+                    // time. Recorded burst templates that re-arm the port
+                    // per frame therefore pay this per frame (§8.3.2).
                     self.queue_reply(
-                        ack_at,
+                        ack_at + self.cost.cam_port_setup_ns,
                         MmalMessage::new(MsgType::PortEnableAck, SERVICE_HANDLE, vec![]),
                         None,
                     );

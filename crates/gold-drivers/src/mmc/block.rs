@@ -129,7 +129,7 @@ impl<I: HwIo> MmcBlockDriver<I> {
     /// Write whole blocks starting at `blkid`. `data` must be a multiple of
     /// the block size.
     pub fn write(&mut self, blkid: u32, data: &[u8], flags: IoFlags) -> Result<(), DriverError> {
-        if data.is_empty() || data.len() % BLOCK_SIZE != 0 {
+        if data.is_empty() || !data.len().is_multiple_of(BLOCK_SIZE) {
             return Err(DriverError::Invalid("write must be whole blocks".into()));
         }
         let blkcnt = (data.len() / BLOCK_SIZE) as u32;

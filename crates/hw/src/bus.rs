@@ -177,7 +177,7 @@ impl SystemBus {
 
     /// Read a 32-bit device register.
     pub fn mmio_read32(&mut self, addr: u64, world: World, attr: MmioAttr) -> HwResult<u32> {
-        if addr % 4 != 0 {
+        if !addr.is_multiple_of(4) {
             return Err(HwError::Misaligned { addr, align: 4 });
         }
         let idx = self.slot_for(addr).ok_or(HwError::Unmapped { addr })?;
@@ -201,7 +201,7 @@ impl SystemBus {
         world: World,
         attr: MmioAttr,
     ) -> HwResult<()> {
-        if addr % 4 != 0 {
+        if !addr.is_multiple_of(4) {
             return Err(HwError::Misaligned { addr, align: 4 });
         }
         let idx = self.slot_for(addr).ok_or(HwError::Unmapped { addr })?;
@@ -220,14 +220,14 @@ impl SystemBus {
     /// Read bytes from RAM (charged as word copies).
     pub fn ram_read(&mut self, addr: u64, out: &mut [u8], world: World) -> HwResult<()> {
         self.check_ram_access(addr, out.len(), world)?;
-        self.clock.lock().charge_pio_words((out.len() as u64 + 3) / 4);
+        self.clock.lock().charge_pio_words((out.len() as u64).div_ceil(4));
         self.mem.lock().read_bytes(addr, out)
     }
 
     /// Write bytes to RAM (charged as word copies).
     pub fn ram_write(&mut self, addr: u64, src: &[u8], world: World) -> HwResult<()> {
         self.check_ram_access(addr, src.len(), world)?;
-        self.clock.lock().charge_pio_words((src.len() as u64 + 3) / 4);
+        self.clock.lock().charge_pio_words((src.len() as u64).div_ceil(4));
         self.mem.lock().write_bytes(addr, src)
     }
 

@@ -52,8 +52,13 @@ pub struct CostModel {
     pub usb_bot_overhead_ns: u64,
     /// Flash translation layer program cost per 4 KiB LBA on the USB stick.
     pub usb_lba_program_ns: u64,
-    /// Camera pipeline: one-time component/port initialisation.
+    /// Camera pipeline: one-time component/port initialisation (sensor
+    /// power-up, firmware tuner load). Charged by VC4 on component creation.
     pub cam_init_ns: u64,
+    /// Camera pipeline: capture-port (re-)arming — sensor mode switch plus
+    /// AGC/AWB re-convergence. Charged by VC4 on every port enable; burst
+    /// templates that re-arm the port per frame pay it per frame (§8.3.2).
+    pub cam_port_setup_ns: u64,
     /// Camera pipeline: sensor exposure + readout per frame.
     pub cam_exposure_ns: u64,
     /// Camera pipeline: ISP/encode cost per megapixel.
@@ -71,6 +76,9 @@ pub struct CostModel {
     /// Native driver request scheduling/merging work per 4 KiB page
     /// (absent in the driverlet path; explains the Fig. 7 large-write win).
     pub native_sched_per_page_ns: u64,
+    /// USB-stack transfer scheduling per 4 KiB page on the native path
+    /// (§8.3.3 explains the large-write gap with this cost).
+    pub usb_sched_per_page_ns: u64,
     /// Cost of a device soft reset (driverlets reset between templates, §5).
     pub soft_reset_ns: u64,
     /// Polling loop delay quantum used by `udelay`-style busy waits.
@@ -97,13 +105,15 @@ impl Default for CostModel {
             usb_bot_overhead_ns: 180_000,
             usb_lba_program_ns: 220_000,
             cam_init_ns: 1_750_000_000,
-            cam_exposure_ns: 120_000_000,
-            cam_isp_per_mp_ns: 60_000_000,
+            cam_port_setup_ns: 230_000_000,
+            cam_exposure_ns: 70_000_000,
+            cam_isp_per_mp_ns: 50_000_000,
             vchiq_msg_ns: 350_000,
             irq_delivery_ns: 8_000,
             irq_wait_overhead_ns: 55_000,
-            kernel_block_layer_ns: 95_000,
+            kernel_block_layer_ns: 220_000,
             native_sched_per_page_ns: 18_000,
+            usb_sched_per_page_ns: 55_000,
             soft_reset_ns: 30_000,
             poll_delay_ns: 10_000,
             replay_event_dispatch_ns: 1_200,
@@ -151,6 +161,7 @@ impl CostModel {
             usb_bot_overhead_ns: s(self.usb_bot_overhead_ns),
             usb_lba_program_ns: s(self.usb_lba_program_ns),
             cam_init_ns: s(self.cam_init_ns),
+            cam_port_setup_ns: s(self.cam_port_setup_ns),
             cam_exposure_ns: s(self.cam_exposure_ns),
             cam_isp_per_mp_ns: s(self.cam_isp_per_mp_ns),
             vchiq_msg_ns: s(self.vchiq_msg_ns),
@@ -158,6 +169,7 @@ impl CostModel {
             irq_wait_overhead_ns: s(self.irq_wait_overhead_ns),
             kernel_block_layer_ns: s(self.kernel_block_layer_ns),
             native_sched_per_page_ns: s(self.native_sched_per_page_ns),
+            usb_sched_per_page_ns: s(self.usb_sched_per_page_ns),
             soft_reset_ns: s(self.soft_reset_ns),
             poll_delay_ns: s(self.poll_delay_ns),
             replay_event_dispatch_ns: s(self.replay_event_dispatch_ns),
@@ -178,8 +190,11 @@ mod tests {
         // SD writes are slower than reads on real flash.
         assert!(c.sd_write_block_ns > c.sd_read_block_ns);
         // Camera init dominates single-frame capture (paper §8.3.2: most of
-        // the 3.7 s per frame is camera initialisation).
+        // the 3.7 s per frame is camera initialisation), and the full
+        // component bring-up dwarfs a port re-arm.
         assert!(c.cam_init_ns > c.cam_frame(207));
+        assert!(c.cam_init_ns > c.cam_port_setup_ns);
+        assert!(c.cam_port_setup_ns > c.cam_exposure_ns);
     }
 
     #[test]

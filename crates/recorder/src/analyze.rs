@@ -306,7 +306,7 @@ fn affine(ps: &[u64], vals: &[u64], mk: impl Fn() -> SymExpr) -> Option<SymExpr>
     if dp == 0 {
         return None;
     }
-    if dv % dp != 0 {
+    if !dv.is_multiple_of(dp) {
         return None;
     }
     let a = dv / dp;

@@ -352,6 +352,10 @@ fn camera_run(
     );
     let tio = TracingIo::new(io, vchiq_reg_names(), "vchiq-mmal.c");
     let mut drv = VchiqDriver::new(tio);
+    // Record with per-frame port re-arming so every frame of a burst starts
+    // from an identical device state (and the replayed template pays the
+    // paper's per-frame re-initialisation, §8.3.2).
+    drv.set_record_mode(true);
 
     let mut buf = vec![0u8; buf_size];
     let input_buf = buf.clone();

@@ -1,0 +1,251 @@
+//! Request coalescing: plan a drained batch into merged replays.
+//!
+//! The planner walks the batch **in queue order** and groups maximal runs
+//! of same-direction block requests:
+//!
+//! * within a read run, adjacent or overlapping extents merge into maximal
+//!   contiguous spans (reads commute with reads, so reordering inside one
+//!   run cannot change any result);
+//! * within a write run, only strictly adjacent, non-overlapping writes
+//!   chain into one larger write (overlapping writes must keep their
+//!   submission order, so an overlap breaks the chain);
+//! * a direction change (or a camera request) closes the current group, so
+//!   a read never moves across a write it raced with.
+//!
+//! Executing the resulting plans in order is therefore equivalent to
+//! executing the batch serially in queue order — the invariant the
+//! differential property test in `tests/serial_equivalence.rs` checks.
+
+use crate::{Request, BLOCK};
+
+/// One executable unit of a planned batch. Member indices point into the
+/// batch the plan was computed from.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExecPlan {
+    /// Execute the request at this batch index as-is.
+    Single(usize),
+    /// One read replay covering `blkid..blkid+blkcnt`, fanned out to every
+    /// member afterwards.
+    MergedRead {
+        /// First block of the merged span.
+        blkid: u32,
+        /// Length of the merged span in blocks.
+        blkcnt: u32,
+        /// Batch indices served by this span.
+        members: Vec<usize>,
+    },
+    /// One write replay of the concatenated member payloads (strictly
+    /// adjacent extents, in order).
+    BatchedWrite {
+        /// First block of the batched write.
+        blkid: u32,
+        /// Batch indices folded into this write, in submission order.
+        members: Vec<usize>,
+    },
+}
+
+impl ExecPlan {
+    /// Whether this plan actually merged more than one request.
+    pub fn is_coalesced(&self) -> bool {
+        match self {
+            ExecPlan::Single(_) => false,
+            ExecPlan::MergedRead { members, .. } | ExecPlan::BatchedWrite { members, .. } => {
+                members.len() > 1
+            }
+        }
+    }
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Kind {
+    Read,
+    Write,
+    Other,
+}
+
+fn kind(req: &Request) -> Kind {
+    match req {
+        Request::Read { .. } => Kind::Read,
+        Request::Write { .. } => Kind::Write,
+        Request::Capture { .. } => Kind::Other,
+    }
+}
+
+/// Merge a run of read requests (batch indices) into maximal contiguous
+/// spans.
+fn plan_read_run(batch: &[Request], run: &[usize], out: &mut Vec<ExecPlan>) {
+    // Sort members by start block; sweep to build spans over the union.
+    let mut members: Vec<usize> = run.to_vec();
+    members.sort_by_key(|&i| match &batch[i] {
+        Request::Read { blkid, .. } => *blkid,
+        _ => unreachable!("read run holds only reads"),
+    });
+    let extent = |i: usize| match &batch[i] {
+        Request::Read { blkid, blkcnt, .. } => (*blkid, *blkid + *blkcnt),
+        _ => unreachable!("read run holds only reads"),
+    };
+    let mut span_members = vec![members[0]];
+    let (mut lo, mut hi) = extent(members[0]);
+    for &i in &members[1..] {
+        let (s, e) = extent(i);
+        if s <= hi && hi.max(e) - lo <= crate::MAX_REQUEST_BLOCKS {
+            // Adjacent or overlapping (and still within the span bound):
+            // extend the span.
+            hi = hi.max(e);
+            span_members.push(i);
+        } else {
+            out.push(ExecPlan::MergedRead {
+                blkid: lo,
+                blkcnt: hi - lo,
+                members: std::mem::take(&mut span_members),
+            });
+            lo = s;
+            hi = e;
+            span_members.push(i);
+        }
+    }
+    out.push(ExecPlan::MergedRead { blkid: lo, blkcnt: hi - lo, members: span_members });
+}
+
+/// Chain strictly adjacent writes of a run; overlaps break the chain.
+fn plan_write_run(batch: &[Request], run: &[usize], out: &mut Vec<ExecPlan>) {
+    let extent = |i: usize| match &batch[i] {
+        Request::Write { blkid, data, .. } => (*blkid, *blkid + (data.len() / BLOCK) as u32),
+        _ => unreachable!("write run holds only writes"),
+    };
+    let mut chain: Vec<usize> = vec![run[0]];
+    let (mut lo, mut end) = extent(run[0]);
+    for &i in &run[1..] {
+        let (s, e) = extent(i);
+        if s == end && e - lo <= crate::MAX_REQUEST_BLOCKS {
+            end = e;
+            chain.push(i);
+        } else {
+            out.push(ExecPlan::BatchedWrite { blkid: lo, members: std::mem::take(&mut chain) });
+            lo = s;
+            end = e;
+            chain.push(i);
+        }
+    }
+    out.push(ExecPlan::BatchedWrite { blkid: lo, members: chain });
+}
+
+/// Plan a drained batch. With `coalesce` off, every request is a
+/// [`ExecPlan::Single`] in queue order (the uncoalesced baseline).
+pub fn plan(batch: &[Request], coalesce: bool) -> Vec<ExecPlan> {
+    if !coalesce {
+        return (0..batch.len()).map(ExecPlan::Single).collect();
+    }
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < batch.len() {
+        let k = kind(&batch[i]);
+        let mut run = vec![i];
+        let mut j = i + 1;
+        while j < batch.len() && kind(&batch[j]) == k {
+            run.push(j);
+            j += 1;
+        }
+        match k {
+            Kind::Read => plan_read_run(batch, &run, &mut out),
+            Kind::Write => plan_write_run(batch, &run, &mut out),
+            Kind::Other => out.extend(run.into_iter().map(ExecPlan::Single)),
+        }
+        i = j;
+    }
+    out
+}
+
+/// Decompose an arbitrary block count into the recorded granularities
+/// (largest first) — the replayer "must access the data in ways specified
+/// by the recorded paths" (§3.3). `granularities` must contain 1.
+pub fn decompose(mut blkcnt: u32, granularities: &[u32]) -> Vec<u32> {
+    let mut sorted = granularities.to_vec();
+    sorted.sort_unstable_by(|a, b| b.cmp(a));
+    let mut parts = Vec::new();
+    while blkcnt > 0 {
+        let g = sorted.iter().copied().find(|g| *g <= blkcnt).unwrap_or(1);
+        parts.push(g);
+        blkcnt -= g;
+    }
+    parts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Device;
+
+    fn rd(blkid: u32, blkcnt: u32) -> Request {
+        Request::Read { device: Device::Mmc, blkid, blkcnt }
+    }
+
+    fn wr(blkid: u32, blocks: u32) -> Request {
+        Request::Write { device: Device::Mmc, blkid, data: vec![0u8; blocks as usize * BLOCK] }
+    }
+
+    #[test]
+    fn adjacent_reads_from_many_sessions_merge_into_one_span() {
+        let batch: Vec<Request> = (0..8).map(|i| rd(100 + i, 1)).collect();
+        let plans = plan(&batch, true);
+        assert_eq!(
+            plans,
+            vec![ExecPlan::MergedRead {
+                blkid: 100,
+                blkcnt: 8,
+                members: (0..8).collect::<Vec<_>>()
+            }]
+        );
+        assert!(plans[0].is_coalesced());
+    }
+
+    #[test]
+    fn overlapping_reads_merge_and_holes_split_spans() {
+        let batch = vec![rd(10, 4), rd(12, 4), rd(30, 2)];
+        let plans = plan(&batch, true);
+        assert_eq!(plans.len(), 2);
+        assert_eq!(plans[0], ExecPlan::MergedRead { blkid: 10, blkcnt: 6, members: vec![0, 1] });
+        assert_eq!(plans[1], ExecPlan::MergedRead { blkid: 30, blkcnt: 2, members: vec![2] });
+        assert!(!plans[1].is_coalesced());
+    }
+
+    #[test]
+    fn writes_chain_only_when_strictly_adjacent() {
+        let batch = vec![wr(0, 8), wr(8, 8), wr(8, 8), wr(24, 8)];
+        let plans = plan(&batch, true);
+        // 0 and 1 chain; 2 overlaps 1 (same extent) so it breaks the chain;
+        // 3 is not adjacent to 2's end (16) so it stands alone.
+        assert_eq!(
+            plans,
+            vec![
+                ExecPlan::BatchedWrite { blkid: 0, members: vec![0, 1] },
+                ExecPlan::BatchedWrite { blkid: 8, members: vec![2] },
+                ExecPlan::BatchedWrite { blkid: 24, members: vec![3] },
+            ]
+        );
+    }
+
+    #[test]
+    fn direction_changes_fence_the_runs() {
+        // The read of block 8 must not merge across the write to block 8.
+        let batch = vec![rd(8, 1), wr(8, 1), rd(8, 1)];
+        let plans = plan(&batch, true);
+        assert_eq!(plans.len(), 3);
+        assert!(plans.iter().all(|p| !p.is_coalesced()));
+    }
+
+    #[test]
+    fn disabled_coalescing_is_all_singles() {
+        let batch: Vec<Request> = (0..4).map(|i| rd(i, 1)).collect();
+        let plans = plan(&batch, false);
+        assert_eq!(plans, (0..4).map(ExecPlan::Single).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn decompose_prefers_large_recorded_granularities() {
+        let g = [1, 8, 32, 128, 256];
+        assert_eq!(decompose(300, &g), vec![256, 32, 8, 1, 1, 1, 1]);
+        assert_eq!(decompose(300, &g).iter().sum::<u32>(), 300);
+        assert_eq!(decompose(40, &[1, 8]), vec![8, 8, 8, 8, 8]);
+    }
+}

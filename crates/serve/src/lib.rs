@@ -1,0 +1,270 @@
+//! # dlt-serve — a multi-tenant service layer over the driverlet replayer
+//!
+//! The paper's replayer serves one trustlet invocation at a time: every
+//! caller owns a [`dlt_core::Replayer`] exclusively. Production TrustZone
+//! deployments instead multiplex many trusted applications over few secure
+//! devices (OP-TEE's session/command model), which needs admission,
+//! fairness, batching and backpressure. This crate adds that layer:
+//!
+//! * **Sessions** ([`DriverletService::open_session`]): N concurrent
+//!   clients admitted through the `dlt-tee` trustlet/session framework.
+//!   Each client holds a session id — a *handle* — rather than a replayer;
+//!   every submit crosses the world boundary once (one SMC), exactly like
+//!   an OP-TEE command invocation.
+//! * **Per-device scheduling** ([`sched`]): one compiled-program replayer
+//!   per secure device (MMC, USB, VCHIQ) drains a bounded submission queue
+//!   under a configurable policy — FIFO or deficit round-robin across
+//!   sessions. A full queue rejects the submit with
+//!   [`ServeError::QueueFull`] instead of growing without bound.
+//! * **Request coalescing** ([`coalesce`]): adjacent or overlapping block
+//!   reads merge into one multi-block replay, and runs of strictly
+//!   adjacent same-direction writes batch into a single larger replay —
+//!   both decomposed over the *recorded* granularities, because the
+//!   replayer can only execute recorded paths (§3.3). Completions fan back
+//!   out per request with byte-identical payloads.
+//!
+//! The scheduler executes batches in queue order (reads within one merge
+//! group commute), so any concurrent interleaving is equivalent to *some*
+//! serial order of the submitted requests — property-tested differentially
+//! against the tree-walking interpreter in `tests/serial_equivalence.rs`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod adapter;
+pub mod coalesce;
+pub mod sched;
+pub mod service;
+
+pub use adapter::ServedBlockDev;
+pub use sched::Policy;
+pub use service::{DriverletService, ServeConfig, ServeStats, SessionBlockIo};
+
+use dlt_core::ReplayError;
+use dlt_tee::TeeError;
+
+/// A secure device the service can serve.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Device {
+    /// The secure SD card behind the SDHOST controller.
+    Mmc,
+    /// The secure USB mass-storage stick behind the DWC2 controller.
+    Usb,
+    /// The VC4 camera behind the VCHIQ transport.
+    Vchiq,
+}
+
+impl std::fmt::Display for Device {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Device::Mmc => write!(f, "mmc"),
+            Device::Usb => write!(f, "usb"),
+            Device::Vchiq => write!(f, "vchiq"),
+        }
+    }
+}
+
+/// A client session handle (the id handed out by the TEE session layer).
+pub type SessionId = u32;
+
+/// A per-service unique request id.
+pub type RequestId = u64;
+
+/// One request submitted into a session.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// Read `blkcnt` 512-byte blocks starting at `blkid`.
+    Read {
+        /// Target block device.
+        device: Device,
+        /// First block.
+        blkid: u32,
+        /// Number of blocks.
+        blkcnt: u32,
+    },
+    /// Write whole blocks starting at `blkid`.
+    Write {
+        /// Target block device.
+        device: Device,
+        /// First block.
+        blkid: u32,
+        /// Data, a whole number of 512-byte blocks.
+        data: Vec<u8>,
+    },
+    /// Capture `frames` camera frames at `resolution` (720/1080/1440).
+    Capture {
+        /// Burst length.
+        frames: u32,
+        /// Resolution code.
+        resolution: u32,
+    },
+}
+
+impl Request {
+    /// The device this request targets.
+    pub fn device(&self) -> Device {
+        match self {
+            Request::Read { device, .. } | Request::Write { device, .. } => *device,
+            Request::Capture { .. } => Device::Vchiq,
+        }
+    }
+
+    /// Scheduling cost in block-equivalents (the DRR quantum currency).
+    pub fn cost_blocks(&self) -> u64 {
+        match self {
+            Request::Read { blkcnt, .. } => u64::from(*blkcnt).max(1),
+            Request::Write { data, .. } => ((data.len() / BLOCK) as u64).max(1),
+            // A frame is far heavier than a block; weigh it like a 32 KiB
+            // transfer so camera sessions cannot starve block sessions.
+            Request::Capture { frames, .. } => 64 * u64::from(*frames).max(1),
+        }
+    }
+}
+
+/// Block size in bytes (the service speaks the paper's 512-byte blocks).
+pub const BLOCK: usize = dlt_core::MMC_BLOCK_SIZE;
+
+/// Largest single block request (and largest coalesced span) the service
+/// accepts, in blocks (2 MiB). Bounds the span buffer one tenant can
+/// demand; the recorded-coverage check still applies at replay time.
+pub const MAX_REQUEST_BLOCKS: u32 = 4096;
+
+/// Successful result data of one request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Payload {
+    /// Bytes read from the device.
+    Read(Vec<u8>),
+    /// Blocks written to the device.
+    Written {
+        /// Number of blocks written.
+        blocks: u32,
+    },
+    /// A captured camera frame.
+    Image {
+        /// JPEG bytes (trimmed to the device-assigned size).
+        data: Vec<u8>,
+    },
+}
+
+/// Completion of one submitted request, fanned out of whatever (possibly
+/// merged) replay served it.
+#[derive(Debug, Clone)]
+pub struct Completion {
+    /// The request this completes.
+    pub id: RequestId,
+    /// Session the request belonged to.
+    pub session: SessionId,
+    /// Device that served it.
+    pub device: Device,
+    /// Result payload or error.
+    pub result: Result<Payload, ServeError>,
+    /// Virtual time at submission.
+    pub submitted_ns: u64,
+    /// Virtual time at completion.
+    pub completed_ns: u64,
+    /// Whether the request was served by a merged/batched replay.
+    pub coalesced: bool,
+}
+
+impl Completion {
+    /// Queueing + service latency in virtual nanoseconds.
+    pub fn latency_ns(&self) -> u64 {
+        self.completed_ns.saturating_sub(self.submitted_ns)
+    }
+}
+
+/// Errors raised by the service layer.
+#[derive(Debug, Clone)]
+pub enum ServeError {
+    /// The device's submission queue is full — backpressure; retry after a
+    /// drain instead of growing the queue without bound.
+    QueueFull {
+        /// Device whose queue rejected the submit.
+        device: Device,
+        /// The configured queue capacity.
+        capacity: usize,
+    },
+    /// The session-admission limit was reached.
+    SessionLimit {
+        /// The configured maximum number of sessions.
+        max: usize,
+    },
+    /// No such session (never opened, or already closed).
+    InvalidSession(SessionId),
+    /// The service was not configured to serve this device.
+    DeviceNotServed(Device),
+    /// The replay itself failed; the wrapped [`ReplayError`] is the
+    /// [`std::error::Error::source`].
+    Replay(ReplayError),
+    /// A TEE service failed; the wrapped [`TeeError`] is the
+    /// [`std::error::Error::source`].
+    Tee(TeeError),
+    /// Malformed request (zero-length, ragged write buffer, ...).
+    Invalid(String),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::QueueFull { device, capacity } => {
+                write!(f, "submission queue for {device} is full ({capacity} entries)")
+            }
+            ServeError::SessionLimit { max } => {
+                write!(f, "session limit reached ({max} concurrent sessions)")
+            }
+            ServeError::InvalidSession(s) => write!(f, "invalid session {s}"),
+            ServeError::DeviceNotServed(d) => write!(f, "device {d} is not served"),
+            ServeError::Replay(e) => write!(f, "replay failed: {e}"),
+            ServeError::Tee(e) => write!(f, "TEE failure: {e}"),
+            ServeError::Invalid(s) => write!(f, "invalid request: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Replay(e) => Some(e),
+            ServeError::Tee(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ReplayError> for ServeError {
+    fn from(e: ReplayError) -> Self {
+        ServeError::Replay(e)
+    }
+}
+
+impl From<TeeError> for ServeError {
+    fn from(e: TeeError) -> Self {
+        ServeError::Tee(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn costs_and_devices_are_sane() {
+        let r = Request::Read { device: Device::Mmc, blkid: 0, blkcnt: 8 };
+        assert_eq!(r.device(), Device::Mmc);
+        assert_eq!(r.cost_blocks(), 8);
+        let c = Request::Capture { frames: 2, resolution: 720 };
+        assert_eq!(c.device(), Device::Vchiq);
+        assert!(c.cost_blocks() > r.cost_blocks());
+    }
+
+    #[test]
+    fn error_sources_chain_across_crates() {
+        use std::error::Error;
+        let e = ServeError::Replay(ReplayError::UnknownEntry("replay_mmc".into()));
+        assert!(e.source().is_some(), "ServeError must expose the ReplayError source");
+        assert!(e.to_string().contains("replay_mmc"));
+        let q = ServeError::QueueFull { device: Device::Usb, capacity: 4 };
+        assert!(q.source().is_none());
+        assert!(q.to_string().contains("usb"));
+    }
+}

@@ -1,0 +1,892 @@
+//! The multi-tenant driverlet service.
+//!
+//! One [`DriverletService`] owns a single simulated platform (one TEE
+//! core), a [`dlt_tee::TeeKernel`] for session admission, and one
+//! compiled-program [`Replayer`] per served secure device. Clients open
+//! sessions, submit requests (one SMC each, like an OP-TEE command
+//! invocation), and collect completions after a drain.
+
+use std::collections::HashMap;
+
+use dlt_core::{replay_cam, ReplayConfig, ReplayMode, Replayer, SecureBlockIo};
+use dlt_dev_mmc::MmcSubsystem;
+use dlt_dev_usb::UsbSubsystem;
+use dlt_dev_vchiq::VchiqSubsystem;
+use dlt_hw::Platform;
+use dlt_recorder::campaign::{
+    record_camera_driverlet_subset, record_mmc_driverlet_subset, record_usb_driverlet_subset,
+    DEV_KEY,
+};
+use dlt_tee::{SecureIo, TeeError, TeeKernel, Trustlet};
+
+use crate::coalesce::{self, ExecPlan};
+use crate::sched::{Lane, Pending, Policy};
+use crate::{
+    Completion, Device, Payload, Request, RequestId, ServeError, SessionId, BLOCK,
+    MAX_REQUEST_BLOCKS,
+};
+
+/// Service configuration.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Maximum concurrent sessions admitted.
+    pub max_sessions: usize,
+    /// Per-device submission-queue capacity (backpressure bound).
+    pub queue_capacity: usize,
+    /// Scheduling policy for every device lane.
+    pub policy: Policy,
+    /// Whether to coalesce adjacent/overlapping requests.
+    pub coalesce: bool,
+    /// Largest batch drained per scheduling round.
+    pub coalesce_window: usize,
+    /// Block granularities to record for MMC/USB (Table 3's campaign).
+    pub block_granularities: Vec<u32>,
+    /// Camera burst lengths to record.
+    pub camera_bursts: Vec<u32>,
+    /// Replay engine the per-device replayers run.
+    pub mode: ReplayMode,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            max_sessions: 64,
+            queue_capacity: 128,
+            policy: Policy::Fifo,
+            coalesce: true,
+            coalesce_window: 32,
+            block_granularities: vec![1, 8, 32, 128, 256],
+            camera_bursts: vec![1],
+            mode: ReplayMode::Compiled,
+        }
+    }
+}
+
+impl ServeConfig {
+    /// A reduced configuration recording only small block granularities —
+    /// fast to set up, used by tests.
+    pub fn quick() -> Self {
+        ServeConfig { block_granularities: vec![1, 8, 32], ..ServeConfig::default() }
+    }
+}
+
+/// Cumulative service statistics.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ServeStats {
+    /// Requests accepted into a queue.
+    pub submitted: u64,
+    /// Completions produced (success or error).
+    pub completed: u64,
+    /// Submits rejected with queue-full backpressure.
+    pub rejected: u64,
+    /// Replay invocations issued to devices.
+    pub replays: u64,
+    /// Requests served by a merged or batched replay.
+    pub coalesced_requests: u64,
+    /// Blocks moved by block replays.
+    pub blocks_moved: u64,
+}
+
+impl ServeStats {
+    /// Mean requests folded into one replay — the coalescing ratio the
+    /// bench reports (1.0 = no coalescing benefit).
+    pub fn coalescing_ratio(&self) -> f64 {
+        if self.replays == 0 {
+            return 1.0;
+        }
+        self.completed as f64 / self.replays as f64
+    }
+}
+
+/// The session-admission gate: a minimal trusted application registered
+/// with the TEE kernel. Opening a service session opens a TEE session to
+/// this gate, and every submit invokes it — so admission and per-request
+/// world switches are accounted by the same `dlt-tee` machinery every
+/// other trustlet uses.
+struct ServeGate;
+
+impl Trustlet for ServeGate {
+    fn name(&self) -> &'static str {
+        "dlt-serve"
+    }
+    fn invoke(
+        &mut self,
+        _command: u32,
+        _params: &[u64; 4],
+        _buf: &mut [u8],
+        _tee: &mut SecureIo,
+    ) -> Result<u64, TeeError> {
+        // Admission only: the scheduler does the device work.
+        Ok(0)
+    }
+}
+
+struct DeviceLane {
+    device: Device,
+    lane: Lane,
+    replayer: Replayer,
+    entry: &'static str,
+}
+
+/// The multi-tenant driverlet service (see the crate docs).
+///
+/// # Example
+///
+/// Two clients share the secure SD card through one scheduler — their
+/// requests queue, coalesce where adjacent, and complete independently:
+///
+/// ```
+/// use dlt_serve::{Device, DriverletService, Payload, Request, ServeConfig};
+///
+/// let mut service = DriverletService::new(&[Device::Mmc], ServeConfig::quick())?;
+/// let alice = service.open_session()?; // one SMC each, via the TEE session layer
+/// let bob = service.open_session()?;
+///
+/// service.submit(
+///     alice,
+///     Request::Write { device: Device::Mmc, blkid: 64, data: vec![7u8; 512] },
+/// )?;
+/// service.submit(bob, Request::Read { device: Device::Mmc, blkid: 64, blkcnt: 1 })?;
+/// service.drain(); // scheduler: batches, coalesces, replays, fans out
+///
+/// let read = service.take_completions(bob).pop().unwrap();
+/// assert!(matches!(read.result?, Payload::Read(bytes) if bytes[0] == 7));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub struct DriverletService {
+    platform: Platform,
+    tee: TeeKernel,
+    lanes: Vec<DeviceLane>,
+    config: ServeConfig,
+    sessions: HashMap<SessionId, Vec<Completion>>,
+    next_request: RequestId,
+    stats: ServeStats,
+    /// Ids in the order their replays executed (the serial-order witness
+    /// for the differential property test).
+    exec_log: Vec<RequestId>,
+}
+
+impl DriverletService {
+    /// Record the driverlets for `devices`, then stand the service up via
+    /// [`DriverletService::with_driverlets`].
+    pub fn new(devices: &[Device], config: ServeConfig) -> Result<Self, ServeError> {
+        let mut bundles = Vec::new();
+        for device in devices {
+            let bundle = match device {
+                Device::Mmc => record_mmc_driverlet_subset(&config.block_granularities)
+                    .map_err(|e| ServeError::Invalid(e.to_string()))?,
+                Device::Usb => record_usb_driverlet_subset(&config.block_granularities)
+                    .map_err(|e| ServeError::Invalid(e.to_string()))?,
+                Device::Vchiq => record_camera_driverlet_subset(&config.camera_bursts)
+                    .map_err(|e| ServeError::Invalid(e.to_string()))?,
+            };
+            bundles.push((*device, bundle));
+        }
+        Self::with_driverlets(&bundles, config)
+    }
+
+    /// Build one platform hosting every device in `bundles`, hand the
+    /// devices to the TEE and stand up one replayer per device loaded with
+    /// its (already recorded, signed) bundle. A production deployment
+    /// records once and serves many service restarts from the same signed
+    /// bundles.
+    pub fn with_driverlets(
+        bundles: &[(Device, dlt_template::Driverlet)],
+        config: ServeConfig,
+    ) -> Result<Self, ServeError> {
+        let platform = Platform::new();
+        let mut secure: Vec<&'static str> = Vec::new();
+        for (device, _) in bundles {
+            match device {
+                Device::Mmc => {
+                    MmcSubsystem::attach(&platform).map_err(TeeError::from)?;
+                    secure.extend(["sdhost", "dma"]);
+                }
+                Device::Usb => {
+                    UsbSubsystem::attach(&platform).map_err(TeeError::from)?;
+                    secure.push("dwc2");
+                }
+                Device::Vchiq => {
+                    VchiqSubsystem::attach(&platform).map_err(TeeError::from)?;
+                    secure.push("vchiq");
+                }
+            }
+        }
+        let mut tee = TeeKernel::install(&platform, &secure)?;
+        tee.load_trustlet(Box::new(ServeGate));
+
+        let mut lanes = Vec::new();
+        for (device, bundle) in bundles {
+            let entry = match device {
+                Device::Mmc => "replay_mmc",
+                Device::Usb => "replay_usb",
+                Device::Vchiq => "replay_cam",
+            };
+            let mut replayer = Replayer::with_config(
+                SecureIo::new(platform.bus.clone()),
+                ReplayConfig { mode: config.mode, ..ReplayConfig::default() },
+            );
+            replayer.load_driverlet(bundle.clone(), DEV_KEY)?;
+            lanes.push(DeviceLane {
+                device: *device,
+                lane: Lane::new(config.queue_capacity),
+                replayer,
+                entry,
+            });
+        }
+        Ok(DriverletService {
+            platform,
+            tee,
+            lanes,
+            config,
+            sessions: HashMap::new(),
+            next_request: 1,
+            stats: ServeStats::default(),
+            exec_log: Vec::new(),
+        })
+    }
+
+    /// Current virtual time.
+    pub fn now_ns(&self) -> u64 {
+        self.platform.now_ns()
+    }
+
+    /// Cumulative statistics.
+    pub fn stats(&self) -> ServeStats {
+        self.stats
+    }
+
+    /// Number of open sessions.
+    pub fn session_count(&self) -> usize {
+        self.sessions.len()
+    }
+
+    /// World switches (SMCs) the session layer has performed.
+    pub fn smc_calls(&self) -> u64 {
+        self.tee.smc_calls()
+    }
+
+    /// Admit a new client (one SMC through the TEE session layer).
+    pub fn open_session(&mut self) -> Result<SessionId, ServeError> {
+        if self.sessions.len() >= self.config.max_sessions {
+            return Err(ServeError::SessionLimit { max: self.config.max_sessions });
+        }
+        let id = self.tee.open_session("dlt-serve")?;
+        self.sessions.insert(id, Vec::new());
+        Ok(id)
+    }
+
+    /// Close a session. Queued requests still execute, but their
+    /// completions are dropped.
+    pub fn close_session(&mut self, session: SessionId) {
+        self.tee.close_session(session);
+        self.sessions.remove(&session);
+        for lane in &mut self.lanes {
+            lane.lane.forget_session(session);
+        }
+    }
+
+    fn validate(&self, req: &Request) -> Result<(), ServeError> {
+        // Shape checks only — one bad request must never take down the
+        // service (the bound keeps a single tenant from demanding an
+        // unbounded span buffer, and the end check keeps block arithmetic
+        // in range). Whether the extent is *recorded* is the replayer's
+        // coverage check at execution time.
+        let check_span = |blkid: u32, blkcnt: u32| -> Result<(), ServeError> {
+            if blkcnt == 0 {
+                return Err(ServeError::Invalid("zero-length request".into()));
+            }
+            if blkcnt > MAX_REQUEST_BLOCKS {
+                return Err(ServeError::Invalid(format!(
+                    "request of {blkcnt} blocks exceeds the {MAX_REQUEST_BLOCKS}-block limit"
+                )));
+            }
+            if blkid.checked_add(blkcnt).is_none() {
+                return Err(ServeError::Invalid(format!(
+                    "request extent {blkid}+{blkcnt} exceeds the block address space"
+                )));
+            }
+            Ok(())
+        };
+        match req {
+            Request::Read { blkid, blkcnt, .. } => check_span(*blkid, *blkcnt)?,
+            Request::Write { blkid, data, .. } => {
+                if data.is_empty() || data.len() % BLOCK != 0 {
+                    return Err(ServeError::Invalid(
+                        "write payload must be a whole number of blocks".into(),
+                    ));
+                }
+                check_span(*blkid, (data.len() / BLOCK) as u32)?;
+            }
+            Request::Capture { frames, .. } => {
+                if *frames == 0 {
+                    return Err(ServeError::Invalid("zero-frame capture".into()));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Submit a request into a session (one SMC). Fails fast with
+    /// [`ServeError::QueueFull`] when the device lane is saturated.
+    pub fn submit(&mut self, session: SessionId, req: Request) -> Result<RequestId, ServeError> {
+        if !self.sessions.contains_key(&session) {
+            return Err(ServeError::InvalidSession(session));
+        }
+        self.validate(&req)?;
+        let device = req.device();
+        // The command invocation crossing into the TEE: validated and
+        // charged by the session framework.
+        self.tee
+            .invoke(session, 0, &[0; 4], &mut [])
+            .map_err(|_| ServeError::InvalidSession(session))?;
+        let lane = self
+            .lanes
+            .iter_mut()
+            .find(|l| l.device == device)
+            .ok_or(ServeError::DeviceNotServed(device))?;
+        let id = self.next_request;
+        let submitted_ns = self.platform.now_ns();
+        match lane.lane.push(Pending { id, session, req, submitted_ns }, device) {
+            Ok(()) => {
+                self.next_request += 1;
+                self.stats.submitted += 1;
+                Ok(id)
+            }
+            Err(e) => {
+                self.stats.rejected += 1;
+                Err(e)
+            }
+        }
+    }
+
+    /// Run the scheduler until every lane is empty; return the completions
+    /// produced by this drain (they are also retrievable per session via
+    /// [`DriverletService::take_completions`]).
+    pub fn drain(&mut self) -> Vec<Completion> {
+        let mut all = Vec::new();
+        loop {
+            let mut any_work = false;
+            for i in 0..self.lanes.len() {
+                if self.lanes[i].lane.is_empty() {
+                    continue;
+                }
+                any_work = true;
+                let batch =
+                    self.lanes[i].lane.next_batch(self.config.policy, self.config.coalesce_window);
+                if batch.is_empty() {
+                    // DRR with deficits still accumulating: revisit the
+                    // lane next round (deficits grow monotonically, so
+                    // this terminates).
+                    continue;
+                }
+                let completions = self.execute_batch(i, &batch);
+                for c in &completions {
+                    if let Some(inbox) = self.sessions.get_mut(&c.session) {
+                        inbox.push(c.clone());
+                    }
+                }
+                all.extend(completions);
+            }
+            if !any_work {
+                break;
+            }
+        }
+        all
+    }
+
+    /// Take the completions accumulated for one session.
+    pub fn take_completions(&mut self, session: SessionId) -> Vec<Completion> {
+        self.sessions.get_mut(&session).map(std::mem::take).unwrap_or_default()
+    }
+
+    /// The ids of every executed request in device-dispatch order — the
+    /// witness serial order for the scheduler's equivalence property.
+    pub fn take_exec_log(&mut self) -> Vec<RequestId> {
+        std::mem::take(&mut self.exec_log)
+    }
+
+    fn execute_batch(&mut self, lane_idx: usize, batch: &[Pending]) -> Vec<Completion> {
+        let reqs: Vec<Request> = batch.iter().map(|p| p.req.clone()).collect();
+        let coalesce = self.config.coalesce && self.lanes[lane_idx].device != Device::Vchiq;
+        let plans = coalesce::plan(&reqs, coalesce);
+        let mut out = Vec::new();
+        for plan in &plans {
+            match plan {
+                ExecPlan::Single(i) => {
+                    let result = self.execute_single(lane_idx, &batch[*i].req);
+                    out.push(self.complete(lane_idx, &batch[*i], result, false));
+                }
+                ExecPlan::MergedRead { blkid, blkcnt, members } => {
+                    let coalesced = plan.is_coalesced();
+                    match self.execute_read(lane_idx, *blkid, *blkcnt) {
+                        Ok(bytes) => {
+                            for &m in members {
+                                let p = &batch[m];
+                                let Request::Read { blkid: rb, blkcnt: rc, .. } = p.req else {
+                                    unreachable!("merged read members are reads");
+                                };
+                                let off = (rb - blkid) as usize * BLOCK;
+                                let payload =
+                                    Payload::Read(bytes[off..off + rc as usize * BLOCK].to_vec());
+                                if coalesced {
+                                    self.stats.coalesced_requests += 1;
+                                }
+                                out.push(self.complete(lane_idx, p, Ok(payload), coalesced));
+                            }
+                        }
+                        Err(_) if coalesced => {
+                            // The merged span failed (e.g. one member is out
+                            // of recorded coverage). Fall back to member-
+                            // by-member execution so every request gets
+                            // exactly the outcome the serial order would
+                            // have produced.
+                            for &m in members {
+                                let result = self.execute_single(lane_idx, &batch[m].req);
+                                out.push(self.complete(lane_idx, &batch[m], result, false));
+                            }
+                        }
+                        Err(e) => {
+                            out.push(self.complete(lane_idx, &batch[members[0]], Err(e), false));
+                        }
+                    }
+                }
+                ExecPlan::BatchedWrite { blkid, members } => {
+                    let coalesced = plan.is_coalesced();
+                    let mut data = Vec::new();
+                    for &m in members {
+                        let Request::Write { data: d, .. } = &batch[m].req else {
+                            unreachable!("batched write members are writes");
+                        };
+                        data.extend_from_slice(d);
+                    }
+                    match self.execute_write(lane_idx, *blkid, &mut data) {
+                        Ok(()) => {
+                            for &m in members {
+                                let p = &batch[m];
+                                let Request::Write { data: d, .. } = &p.req else {
+                                    unreachable!("batched write members are writes");
+                                };
+                                let blocks = (d.len() / BLOCK) as u32;
+                                if coalesced {
+                                    self.stats.coalesced_requests += 1;
+                                }
+                                out.push(self.complete(
+                                    lane_idx,
+                                    p,
+                                    Ok(Payload::Written { blocks }),
+                                    coalesced,
+                                ));
+                            }
+                        }
+                        Err(_) if coalesced => {
+                            // Same serial-equivalence fallback as merged
+                            // reads. A partially-executed batched write is
+                            // re-issued per member in order, which matches
+                            // the serial outcome because writes are
+                            // idempotent per extent.
+                            for &m in members {
+                                let result = self.execute_single(lane_idx, &batch[m].req);
+                                out.push(self.complete(lane_idx, &batch[m], result, false));
+                            }
+                        }
+                        Err(e) => {
+                            out.push(self.complete(lane_idx, &batch[members[0]], Err(e), false));
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    fn complete(
+        &mut self,
+        lane_idx: usize,
+        p: &Pending,
+        result: Result<Payload, ServeError>,
+        coalesced: bool,
+    ) -> Completion {
+        self.stats.completed += 1;
+        self.exec_log.push(p.id);
+        Completion {
+            id: p.id,
+            session: p.session,
+            device: self.lanes[lane_idx].device,
+            result,
+            submitted_ns: p.submitted_ns,
+            completed_ns: self.platform.now_ns(),
+            coalesced,
+        }
+    }
+
+    fn execute_single(&mut self, lane_idx: usize, req: &Request) -> Result<Payload, ServeError> {
+        match req {
+            Request::Read { blkid, blkcnt, .. } => {
+                self.execute_read(lane_idx, *blkid, *blkcnt).map(Payload::Read)
+            }
+            Request::Write { blkid, data, .. } => {
+                let mut scratch = data.clone();
+                self.execute_write(lane_idx, *blkid, &mut scratch)
+                    .map(|()| Payload::Written { blocks: (data.len() / BLOCK) as u32 })
+            }
+            Request::Capture { frames, resolution } => {
+                let lane = &mut self.lanes[lane_idx];
+                let mut buf = vec![0u8; 2 << 20];
+                let size = replay_cam(&mut lane.replayer, *frames, *resolution, &mut buf)?;
+                self.stats.replays += 1;
+                buf.truncate(size as usize);
+                Ok(Payload::Image { data: buf })
+            }
+        }
+    }
+
+    /// One (possibly merged) read span, decomposed over the recorded
+    /// granularities.
+    fn execute_read(
+        &mut self,
+        lane_idx: usize,
+        blkid: u32,
+        blkcnt: u32,
+    ) -> Result<Vec<u8>, ServeError> {
+        let mut buf = vec![0u8; blkcnt as usize * BLOCK];
+        let mut done = 0u32;
+        for part in coalesce::decompose(blkcnt, &self.config.block_granularities) {
+            let lane = &mut self.lanes[lane_idx];
+            let start = done as usize * BLOCK;
+            let end = (done + part) as usize * BLOCK;
+            lane.replayer.invoke_args(
+                lane.entry,
+                &block_args(0x1, part, blkid + done),
+                &mut buf[start..end],
+            )?;
+            self.stats.replays += 1;
+            self.stats.blocks_moved += u64::from(part);
+            done += part;
+        }
+        Ok(buf)
+    }
+
+    /// One (possibly batched) write span.
+    fn execute_write(
+        &mut self,
+        lane_idx: usize,
+        blkid: u32,
+        data: &mut [u8],
+    ) -> Result<(), ServeError> {
+        let blkcnt = (data.len() / BLOCK) as u32;
+        let mut done = 0u32;
+        for part in coalesce::decompose(blkcnt, &self.config.block_granularities) {
+            let lane = &mut self.lanes[lane_idx];
+            let start = done as usize * BLOCK;
+            let end = (done + part) as usize * BLOCK;
+            lane.replayer.invoke_args(
+                lane.entry,
+                &block_args(0x10, part, blkid + done),
+                &mut data[start..end],
+            )?;
+            self.stats.replays += 1;
+            self.stats.blocks_moved += u64::from(part);
+            done += part;
+        }
+        Ok(())
+    }
+
+    /// A [`SecureBlockIo`] view of one session bound to one block device:
+    /// the handle trustlets hold instead of a replayer.
+    pub fn session_io(&mut self, session: SessionId, device: Device) -> SessionBlockIo<'_> {
+        SessionBlockIo { service: self, session, device }
+    }
+}
+
+fn block_args(rw: u64, blkcnt: u32, blkid: u32) -> [(&'static str, u64); 4] {
+    [("rw", rw), ("blkcnt", u64::from(blkcnt)), ("blkid", u64::from(blkid)), ("flag", 0)]
+}
+
+/// A session-scoped block-IO handle (implements [`SecureBlockIo`], so the
+/// trustlets in `dlt-trustlets` run over the shared service unchanged).
+pub struct SessionBlockIo<'a> {
+    service: &'a mut DriverletService,
+    session: SessionId,
+    device: Device,
+}
+
+impl SessionBlockIo<'_> {
+    fn roundtrip(&mut self, req: Request) -> Result<Payload, dlt_core::ReplayError> {
+        let invalid = |e: ServeError| dlt_core::ReplayError::Invalid(e.to_string());
+        let id = self.service.submit(self.session, req).map_err(invalid)?;
+        self.service.drain();
+        let completions = self.service.take_completions(self.session);
+        let completion = completions
+            .into_iter()
+            .find(|c| c.id == id)
+            .ok_or_else(|| dlt_core::ReplayError::Invalid("completion lost".into()))?;
+        completion.result.map_err(|e| match e {
+            ServeError::Replay(r) => r,
+            other => dlt_core::ReplayError::Invalid(other.to_string()),
+        })
+    }
+}
+
+impl SecureBlockIo for SessionBlockIo<'_> {
+    fn read_blocks(
+        &mut self,
+        blkid: u32,
+        blkcnt: u32,
+        buf: &mut [u8],
+    ) -> Result<(), dlt_core::ReplayError> {
+        // Same contract as the bare-replayer implementation of this trait:
+        // an undersized buffer is the caller's error, never a panic.
+        if buf.len() < blkcnt as usize * BLOCK {
+            return Err(dlt_core::ReplayError::Invalid(
+                "buffer smaller than the requested blocks".into(),
+            ));
+        }
+        let payload = self.roundtrip(Request::Read { device: self.device, blkid, blkcnt })?;
+        match payload {
+            Payload::Read(bytes) => {
+                buf[..bytes.len()].copy_from_slice(&bytes);
+                Ok(())
+            }
+            _ => Err(dlt_core::ReplayError::Invalid("unexpected payload".into())),
+        }
+    }
+
+    fn write_blocks(&mut self, blkid: u32, data: &[u8]) -> Result<(), dlt_core::ReplayError> {
+        self.roundtrip(Request::Write { device: self.device, blkid, data: data.to_vec() })
+            .map(|_| ())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mmc_service(config: ServeConfig) -> DriverletService {
+        DriverletService::new(&[Device::Mmc], config).expect("build service")
+    }
+
+    #[test]
+    fn sessions_are_admitted_and_bounded() {
+        let mut s = mmc_service(ServeConfig {
+            max_sessions: 2,
+            block_granularities: vec![1],
+            ..ServeConfig::default()
+        });
+        let a = s.open_session().unwrap();
+        let b = s.open_session().unwrap();
+        assert_ne!(a, b);
+        assert!(matches!(s.open_session(), Err(ServeError::SessionLimit { max: 2 })));
+        s.close_session(a);
+        assert_eq!(s.session_count(), 1);
+        let _c = s.open_session().unwrap();
+        // Submitting into a closed session fails.
+        assert!(matches!(
+            s.submit(a, Request::Read { device: Device::Mmc, blkid: 0, blkcnt: 1 }),
+            Err(ServeError::InvalidSession(_))
+        ));
+        assert!(s.smc_calls() >= 3, "admission must cross the world boundary");
+    }
+
+    #[test]
+    fn queue_full_is_backpressure_not_growth() {
+        let mut s = mmc_service(ServeConfig {
+            queue_capacity: 2,
+            block_granularities: vec![1],
+            ..ServeConfig::default()
+        });
+        let sess = s.open_session().unwrap();
+        let rd = |i: u32| Request::Read { device: Device::Mmc, blkid: i, blkcnt: 1 };
+        s.submit(sess, rd(0)).unwrap();
+        s.submit(sess, rd(1)).unwrap();
+        assert!(matches!(s.submit(sess, rd(2)), Err(ServeError::QueueFull { .. })));
+        assert_eq!(s.stats().rejected, 1);
+        // After a drain the queue has room again.
+        let done = s.drain();
+        assert_eq!(done.len(), 2);
+        s.submit(sess, rd(2)).unwrap();
+        assert_eq!(s.drain().len(), 1);
+    }
+
+    #[test]
+    fn write_then_read_round_trips_through_two_sessions() {
+        let mut s =
+            mmc_service(ServeConfig { block_granularities: vec![1, 8], ..ServeConfig::default() });
+        let writer = s.open_session().unwrap();
+        let reader = s.open_session().unwrap();
+        let data: Vec<u8> = (0..8 * BLOCK).map(|i| (i % 251) as u8).collect();
+        s.submit(writer, Request::Write { device: Device::Mmc, blkid: 64, data: data.clone() })
+            .unwrap();
+        s.submit(reader, Request::Read { device: Device::Mmc, blkid: 64, blkcnt: 8 }).unwrap();
+        let done = s.drain();
+        assert_eq!(done.len(), 2);
+        let read = s.take_completions(reader).pop().expect("reader completion");
+        match read.result.expect("read ok") {
+            Payload::Read(bytes) => assert_eq!(bytes, data),
+            other => panic!("unexpected payload {other:?}"),
+        }
+        assert!(read.completed_ns >= read.submitted_ns);
+    }
+
+    #[test]
+    fn adjacent_single_block_reads_coalesce_into_one_replay() {
+        let mut s =
+            mmc_service(ServeConfig { block_granularities: vec![1, 8], ..ServeConfig::default() });
+        let sessions: Vec<SessionId> = (0..8).map(|_| s.open_session().unwrap()).collect();
+        for (i, sess) in sessions.iter().enumerate() {
+            s.submit(
+                *sess,
+                Request::Read { device: Device::Mmc, blkid: 100 + i as u32, blkcnt: 1 },
+            )
+            .unwrap();
+        }
+        let r0 = s.stats().replays;
+        let done = s.drain();
+        assert_eq!(done.len(), 8);
+        assert!(done.iter().all(|c| c.coalesced), "all eight reads rode one merged span");
+        assert_eq!(s.stats().replays - r0, 1, "one rd_8 replay served all eight requests");
+        assert!(s.stats().coalescing_ratio() > 1.0);
+    }
+
+    #[test]
+    fn merged_reads_return_byte_identical_buffers_to_unmerged_ones() {
+        // The same overlapping read mix, coalescing on vs off: every
+        // completion payload must match byte for byte.
+        let run = |coalesce: bool| -> Vec<(RequestId, Vec<u8>)> {
+            let mut s = mmc_service(ServeConfig {
+                coalesce,
+                block_granularities: vec![1, 8],
+                ..ServeConfig::default()
+            });
+            let writer = s.open_session().unwrap();
+            let data: Vec<u8> = (0..32 * BLOCK).map(|i| (i % 253) as u8).collect();
+            s.submit(writer, Request::Write { device: Device::Mmc, blkid: 96, data }).unwrap();
+            s.drain();
+            let readers: Vec<SessionId> = (0..4).map(|_| s.open_session().unwrap()).collect();
+            // Overlapping and adjacent extents across four sessions.
+            for (i, (blkid, blkcnt)) in
+                [(96u32, 8u32), (100, 8), (104, 8), (112, 16)].iter().enumerate()
+            {
+                s.submit(
+                    readers[i],
+                    Request::Read { device: Device::Mmc, blkid: *blkid, blkcnt: *blkcnt },
+                )
+                .unwrap();
+            }
+            let mut out: Vec<(RequestId, Vec<u8>)> = s
+                .drain()
+                .into_iter()
+                .map(|c| match c.result.expect("read ok") {
+                    Payload::Read(bytes) => (c.id, bytes),
+                    other => panic!("unexpected payload {other:?}"),
+                })
+                .collect();
+            out.sort_by_key(|(id, _)| *id);
+            out
+        };
+        let merged = run(true);
+        let unmerged = run(false);
+        assert_eq!(merged.len(), unmerged.len());
+        for ((id_m, bytes_m), (id_u, bytes_u)) in merged.iter().zip(&unmerged) {
+            assert_eq!(id_m, id_u);
+            assert_eq!(bytes_m, bytes_u, "request {id_m}: merged read diverged from unmerged");
+        }
+    }
+
+    #[test]
+    fn uncoalesced_baseline_issues_one_replay_per_request() {
+        let mut s = mmc_service(ServeConfig {
+            coalesce: false,
+            block_granularities: vec![1, 8],
+            ..ServeConfig::default()
+        });
+        let sess = s.open_session().unwrap();
+        for i in 0..4u32 {
+            s.submit(sess, Request::Read { device: Device::Mmc, blkid: 200 + i, blkcnt: 1 })
+                .unwrap();
+        }
+        let done = s.drain();
+        assert_eq!(done.len(), 4);
+        assert!(done.iter().all(|c| !c.coalesced));
+        assert_eq!(s.stats().replays, 4);
+    }
+
+    #[test]
+    fn unserved_devices_and_bad_requests_fail_fast() {
+        let mut s =
+            mmc_service(ServeConfig { block_granularities: vec![1], ..ServeConfig::default() });
+        let sess = s.open_session().unwrap();
+        assert!(matches!(
+            s.submit(sess, Request::Capture { frames: 1, resolution: 720 }),
+            Err(ServeError::DeviceNotServed(Device::Vchiq))
+        ));
+        assert!(matches!(
+            s.submit(sess, Request::Read { device: Device::Mmc, blkid: 0, blkcnt: 0 }),
+            Err(ServeError::Invalid(_))
+        ));
+        assert!(matches!(
+            s.submit(sess, Request::Write { device: Device::Mmc, blkid: 0, data: vec![1, 2, 3] }),
+            Err(ServeError::Invalid(_))
+        ));
+    }
+
+    #[test]
+    fn merged_span_failure_falls_back_to_member_outcomes() {
+        // An in-coverage read merged with an out-of-coverage neighbour must
+        // still succeed — exactly what serial execution would produce.
+        let mut s =
+            mmc_service(ServeConfig { block_granularities: vec![1], ..ServeConfig::default() });
+        let a = s.open_session().unwrap();
+        let b = s.open_session().unwrap();
+        let last = (dlt_dev_mmc::CARD_BLOCKS - 1) as u32;
+        let good =
+            s.submit(a, Request::Read { device: Device::Mmc, blkid: last, blkcnt: 1 }).unwrap();
+        let bad =
+            s.submit(b, Request::Read { device: Device::Mmc, blkid: last + 1, blkcnt: 1 }).unwrap();
+        let done = s.drain();
+        assert_eq!(done.len(), 2);
+        let by_id = |id| done.iter().find(|c| c.id == id).unwrap();
+        assert!(by_id(good).result.is_ok(), "the in-coverage member must not inherit the error");
+        assert!(matches!(by_id(bad).result, Err(ServeError::Replay(_))));
+    }
+
+    #[test]
+    fn oversized_and_overflowing_requests_are_rejected_at_submit() {
+        let mut s =
+            mmc_service(ServeConfig { block_granularities: vec![1], ..ServeConfig::default() });
+        let sess = s.open_session().unwrap();
+        assert!(matches!(
+            s.submit(sess, Request::Read { device: Device::Mmc, blkid: u32::MAX, blkcnt: 2 }),
+            Err(ServeError::Invalid(_))
+        ));
+        assert!(matches!(
+            s.submit(
+                sess,
+                Request::Read {
+                    device: Device::Mmc,
+                    blkid: 0,
+                    blkcnt: crate::MAX_REQUEST_BLOCKS + 1
+                }
+            ),
+            Err(ServeError::Invalid(_))
+        ));
+    }
+
+    #[test]
+    fn out_of_coverage_requests_fan_error_completions() {
+        let mut s =
+            mmc_service(ServeConfig { block_granularities: vec![1], ..ServeConfig::default() });
+        let sess = s.open_session().unwrap();
+        // Far beyond the recorded blkid coverage.
+        s.submit(sess, Request::Read { device: Device::Mmc, blkid: u32::MAX - 8, blkcnt: 1 })
+            .unwrap();
+        let done = s.drain();
+        assert_eq!(done.len(), 1);
+        match &done[0].result {
+            Err(ServeError::Replay(e)) => {
+                assert!(e.to_string().contains("coverage"), "got: {e}");
+            }
+            other => panic!("expected a replay error, got {other:?}"),
+        }
+    }
+}

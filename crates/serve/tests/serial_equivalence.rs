@@ -1,0 +1,302 @@
+//! Scheduler equivalence property: any interleaving of concurrent
+//! sessions — any policy, coalescing on — produces the same device state
+//! and the same read payloads as *some* serial order of the submitted
+//! requests. The witness order is the service's own dispatch log, and the
+//! serial reference executes it on a fresh rig running the tree-walking
+//! interpreter ([`ReplayMode::Interpreted`]) — so the property is also a
+//! differential test across the two replay engines.
+
+use std::collections::HashMap;
+use std::sync::OnceLock;
+
+use dlt_core::{replay_cam, ReplayConfig, Replayer};
+use dlt_dev_mmc::MmcSubsystem;
+use dlt_dev_usb::UsbSubsystem;
+use dlt_dev_vchiq::VchiqSubsystem;
+use dlt_hw::Platform;
+use dlt_recorder::campaign::{
+    record_camera_driverlet_subset, record_mmc_driverlet_subset, record_usb_driverlet_subset,
+    DEV_KEY,
+};
+use dlt_serve::{Device, DriverletService, Payload, Policy, Request, RequestId, ServeConfig};
+use dlt_tee::{SecureIo, TeeKernel};
+use dlt_template::Driverlet;
+use proptest::prelude::*;
+
+const BLOCK: usize = 512;
+/// Recorded granularities for the property rigs (kept small for speed).
+const GRANULARITIES: [u32; 2] = [1, 8];
+
+fn mmc_bundle() -> &'static Driverlet {
+    static BUNDLE: OnceLock<Driverlet> = OnceLock::new();
+    BUNDLE.get_or_init(|| record_mmc_driverlet_subset(&GRANULARITIES).expect("record mmc"))
+}
+
+fn usb_bundle() -> &'static Driverlet {
+    static BUNDLE: OnceLock<Driverlet> = OnceLock::new();
+    BUNDLE.get_or_init(|| record_usb_driverlet_subset(&GRANULARITIES).expect("record usb"))
+}
+
+fn cam_bundle() -> &'static Driverlet {
+    static BUNDLE: OnceLock<Driverlet> = OnceLock::new();
+    BUNDLE.get_or_init(|| record_camera_driverlet_subset(&[1]).expect("record camera"))
+}
+
+fn bundle_for(device: Device) -> &'static Driverlet {
+    match device {
+        Device::Mmc => mmc_bundle(),
+        Device::Usb => usb_bundle(),
+        Device::Vchiq => cam_bundle(),
+    }
+}
+
+/// A serial reference rig: one interpreted replayer over a fresh platform.
+fn serial_rig(device: Device) -> Replayer {
+    let platform = Platform::new();
+    let secure: &[&str] = match device {
+        Device::Mmc => {
+            MmcSubsystem::attach(&platform).expect("attach mmc");
+            &["sdhost", "dma"]
+        }
+        Device::Usb => {
+            UsbSubsystem::attach(&platform).expect("attach usb");
+            &["dwc2"]
+        }
+        Device::Vchiq => {
+            VchiqSubsystem::attach(&platform).expect("attach vchiq");
+            &["vchiq"]
+        }
+    };
+    TeeKernel::install(&platform, secure).expect("install tee");
+    let mut replayer =
+        Replayer::with_config(SecureIo::new(platform.bus.clone()), ReplayConfig::interpreted());
+    replayer.load_driverlet(bundle_for(device).clone(), DEV_KEY).expect("load driverlet");
+    replayer
+}
+
+fn entry_for(device: Device) -> &'static str {
+    match device {
+        Device::Mmc => "replay_mmc",
+        Device::Usb => "replay_usb",
+        Device::Vchiq => "replay_cam",
+    }
+}
+
+/// Execute one block request serially on the reference rig, returning read
+/// payloads.
+fn serial_execute(replayer: &mut Replayer, device: Device, req: &Request) -> Option<Vec<u8>> {
+    let entry = entry_for(device);
+    match req {
+        Request::Read { blkid, blkcnt, .. } => {
+            let mut buf = vec![0u8; *blkcnt as usize * BLOCK];
+            let mut done = 0u32;
+            for part in decompose(*blkcnt) {
+                let args = [
+                    ("rw", 0x1u64),
+                    ("blkcnt", u64::from(part)),
+                    ("blkid", u64::from(blkid + done)),
+                    ("flag", 0),
+                ];
+                let start = done as usize * BLOCK;
+                let end = (done + part) as usize * BLOCK;
+                replayer.invoke_args(entry, &args, &mut buf[start..end]).expect("serial read");
+                done += part;
+            }
+            Some(buf)
+        }
+        Request::Write { blkid, data, .. } => {
+            let mut scratch = data.clone();
+            let blkcnt = (data.len() / BLOCK) as u32;
+            let mut done = 0u32;
+            for part in decompose(blkcnt) {
+                let args = [
+                    ("rw", 0x10u64),
+                    ("blkcnt", u64::from(part)),
+                    ("blkid", u64::from(blkid + done)),
+                    ("flag", 0),
+                ];
+                let start = done as usize * BLOCK;
+                let end = (done + part) as usize * BLOCK;
+                replayer.invoke_args(entry, &args, &mut scratch[start..end]).expect("serial write");
+                done += part;
+            }
+            None
+        }
+        Request::Capture { frames, resolution } => {
+            let mut buf = vec![0u8; 2 << 20];
+            let size =
+                replay_cam(replayer, *frames, *resolution, &mut buf).expect("serial capture");
+            buf.truncate(size as usize);
+            Some(buf)
+        }
+    }
+}
+
+fn decompose(mut blkcnt: u32) -> Vec<u32> {
+    let mut parts = Vec::new();
+    while blkcnt > 0 {
+        let g = if blkcnt >= 8 { 8 } else { 1 };
+        parts.push(g);
+        blkcnt -= g;
+    }
+    parts
+}
+
+/// Pattern data unique per (request, block) so stale writes are detectable.
+fn pattern(tag: u64, blocks: u32) -> Vec<u8> {
+    let mut data = vec![0u8; blocks as usize * BLOCK];
+    for (i, b) in data.iter_mut().enumerate() {
+        *b = ((tag as usize).wrapping_mul(131) ^ i.wrapping_mul(7)) as u8;
+    }
+    data
+}
+
+/// Drive the service with generated per-session traffic and check the
+/// serial-equivalence property for one block device.
+fn check_block_device(device: Device, policy: Policy, choices: &[u8]) {
+    let config = ServeConfig {
+        policy,
+        coalesce: true,
+        block_granularities: GRANULARITIES.to_vec(),
+        ..ServeConfig::default()
+    };
+    let mut service =
+        DriverletService::with_driverlets(&[(device, bundle_for(device).clone())], config)
+            .expect("build service");
+    let sessions: Vec<u32> = (0..3).map(|_| service.open_session().unwrap()).collect();
+
+    // Interpret the generated bytes as an interleaved request program over
+    // a small hot range of the disk, so reads, writes, overlaps and
+    // adjacency all occur.
+    let mut requests: HashMap<RequestId, Request> = HashMap::new();
+    for (i, &choice) in choices.iter().enumerate() {
+        let session = sessions[i % sessions.len()];
+        let blkid = 64 + u32::from(choice % 48);
+        let blkcnt = 1 + u32::from(choice % 8);
+        let req = if choice % 3 == 0 {
+            Request::Write { device, blkid, data: pattern(i as u64, blkcnt) }
+        } else {
+            Request::Read { device, blkid, blkcnt }
+        };
+        let id = service.submit(session, req.clone()).expect("submit");
+        requests.insert(id, req);
+    }
+
+    let completions = service.drain();
+    let witness = service.take_exec_log();
+    assert_eq!(completions.len(), choices.len());
+    assert_eq!(witness.len(), choices.len());
+
+    // Serial reference: execute the witness order on the interpreted rig.
+    let mut rig = serial_rig(device);
+    let mut serial_reads: HashMap<RequestId, Vec<u8>> = HashMap::new();
+    for id in &witness {
+        let req = &requests[id];
+        if let Some(bytes) = serial_execute(&mut rig, device, req) {
+            serial_reads.insert(*id, bytes);
+        }
+    }
+
+    // Every read the service answered must be byte-identical to the serial
+    // execution — merged spans included.
+    for c in &completions {
+        if let Ok(Payload::Read(bytes)) = &c.result {
+            prop_assert_eq_bytes(&serial_reads[&c.id], bytes, c.id);
+        } else {
+            c.result.as_ref().expect("writes succeed");
+        }
+    }
+
+    // Final device state: both rigs read back the whole hot range.
+    let readback = Request::Read { device, blkid: 64, blkcnt: 56 };
+    let session = sessions[0];
+    let id = service.submit(session, readback.clone()).expect("submit readback");
+    let final_completion =
+        service.drain().into_iter().find(|c| c.id == id).expect("readback completion");
+    let Ok(Payload::Read(service_state)) = final_completion.result else {
+        panic!("readback failed");
+    };
+    let serial_state = serial_execute(&mut rig, device, &readback).expect("serial readback");
+    prop_assert_eq_bytes(&serial_state, &service_state, id);
+}
+
+fn prop_assert_eq_bytes(expected: &[u8], got: &[u8], id: RequestId) {
+    assert_eq!(expected.len(), got.len(), "length mismatch for request {id}");
+    if expected != got {
+        let first = expected.iter().zip(got).position(|(a, b)| a != b).unwrap();
+        panic!("request {id}: payload diverges from the serial order at byte {first}");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    #[test]
+    fn mmc_interleavings_match_a_serial_order_fifo(
+        choices in proptest::collection::vec(any::<u8>(), 6..18)
+    ) {
+        check_block_device(Device::Mmc, Policy::Fifo, &choices);
+    }
+
+    #[test]
+    fn mmc_interleavings_match_a_serial_order_drr(
+        choices in proptest::collection::vec(any::<u8>(), 6..18)
+    ) {
+        check_block_device(
+            Device::Mmc,
+            Policy::DeficitRoundRobin { quantum_blocks: 16 },
+            &choices,
+        );
+    }
+
+    #[test]
+    fn usb_interleavings_match_a_serial_order(
+        choices in proptest::collection::vec(any::<u8>(), 6..14)
+    ) {
+        check_block_device(
+            Device::Usb,
+            Policy::DeficitRoundRobin { quantum_blocks: 8 },
+            &choices,
+        );
+    }
+}
+
+/// The camera lane: concurrent capture sessions produce exactly the frames
+/// the serial interpreted replay produces, in dispatch order.
+#[test]
+fn vchiq_captures_match_the_serial_order() {
+    let config =
+        ServeConfig { policy: Policy::Fifo, camera_bursts: vec![1], ..ServeConfig::default() };
+    let mut service =
+        DriverletService::with_driverlets(&[(Device::Vchiq, cam_bundle().clone())], config)
+            .expect("build service");
+    let a = service.open_session().unwrap();
+    let b = service.open_session().unwrap();
+    let mut requests = HashMap::new();
+    for (i, resolution) in [720u32, 1080, 720, 1440].iter().enumerate() {
+        let session = if i % 2 == 0 { a } else { b };
+        let req = Request::Capture { frames: 1, resolution: *resolution };
+        let id = service.submit(session, req.clone()).unwrap();
+        requests.insert(id, req);
+    }
+    let completions = service.drain();
+    let witness = service.take_exec_log();
+    assert_eq!(completions.len(), 4);
+
+    let mut rig = serial_rig(Device::Vchiq);
+    let mut serial_frames = HashMap::new();
+    for id in &witness {
+        serial_frames.insert(*id, serial_execute(&mut rig, Device::Vchiq, &requests[id]).unwrap());
+    }
+    for c in &completions {
+        let Ok(Payload::Image { data }) = &c.result else {
+            panic!("capture failed: {:?}", c.result);
+        };
+        assert!(dlt_dev_vchiq::msg::is_valid_jpeg(data));
+        assert_eq!(
+            &serial_frames[&c.id], data,
+            "frame for request {} must match the serial interpreted replay",
+            c.id
+        );
+    }
+}

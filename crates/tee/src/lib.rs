@@ -35,8 +35,9 @@ pub const RNG_MAX_REQUEST: usize = 4096;
 /// Errors raised by the TEE layer.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum TeeError {
-    /// A hardware access failed (fault, timeout).
-    Hw(String),
+    /// A hardware access failed (fault, timeout); the wrapped [`HwError`]
+    /// is preserved as the [`std::error::Error::source`].
+    Hw(HwError),
     /// The requested device is not assigned to the secure world.
     NotSecured(String),
     /// The secure DMA pool is exhausted.
@@ -48,7 +49,7 @@ pub enum TeeError {
 impl std::fmt::Display for TeeError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            TeeError::Hw(s) => write!(f, "hardware: {s}"),
+            TeeError::Hw(e) => write!(f, "hardware: {e}"),
             TeeError::NotSecured(d) => write!(f, "device {d} is not assigned to the TEE"),
             TeeError::OutOfSecureMemory => write!(f, "secure DMA pool exhausted"),
             TeeError::Trustlet(s) => write!(f, "trustlet: {s}"),
@@ -56,11 +57,18 @@ impl std::fmt::Display for TeeError {
     }
 }
 
-impl std::error::Error for TeeError {}
+impl std::error::Error for TeeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TeeError::Hw(e) => Some(e),
+            _ => None,
+        }
+    }
+}
 
 impl From<HwError> for TeeError {
     fn from(e: HwError) -> Self {
-        TeeError::Hw(e.to_string())
+        TeeError::Hw(e)
     }
 }
 
@@ -192,10 +200,13 @@ impl SecureIo {
     /// this instead of discarding it.
     pub fn fill_rand_bytes(&mut self, out: &mut [u8]) -> Result<(), TeeError> {
         if out.len() > RNG_MAX_REQUEST {
-            return Err(TeeError::Hw(format!(
-                "rng request of {} bytes exceeds the {RNG_MAX_REQUEST}-byte FIFO",
-                out.len()
-            )));
+            return Err(TeeError::Hw(HwError::DeviceError {
+                device: "rng".into(),
+                reason: format!(
+                    "request of {} bytes exceeds the {RNG_MAX_REQUEST}-byte FIFO",
+                    out.len()
+                ),
+            }));
         }
         for chunk in out.chunks_mut(8) {
             self.rng_state ^= self.rng_state >> 12;

@@ -60,6 +60,9 @@ impl SymExpr {
     }
 
     /// Convenience constructor: `expr << n`.
+    // Not the `std::ops::Shl` trait: this is a tree-building constructor
+    // taking a literal shift count, not an operator overload.
+    #[allow(clippy::should_implement_trait)]
     pub fn shl(self, n: u32) -> SymExpr {
         SymExpr::Shl(Box::new(self), n)
     }

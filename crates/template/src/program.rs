@@ -850,10 +850,10 @@ fn collect_captures<'a>(events: impl Iterator<Item = &'a Event>, out: &mut Vec<S
         match e {
             Event::Read { sink: ReadSink::Capture(name), .. }
             | Event::GetRandBytes { sink: ReadSink::Capture(name), .. }
-            | Event::GetTs { sink: ReadSink::Capture(name), .. } => {
-                if !out.contains(name) {
-                    out.push(name.clone());
-                }
+            | Event::GetTs { sink: ReadSink::Capture(name), .. }
+                if !out.contains(name) =>
+            {
+                out.push(name.clone());
             }
             Event::Poll { body, .. } => collect_captures(body.iter(), out),
             _ => {}

@@ -178,11 +178,12 @@ impl Template {
             Ok(())
         };
 
-        fn walk_events<'a>(
-            events: &'a [Event],
+        type ExprCheck<'c> = dyn FnMut(&SymExpr, &Vec<String>) -> Result<(), String> + 'c;
+        fn walk_events(
+            events: &[Event],
             num_allocs: usize,
             captures: &mut Vec<String>,
-            check_expr: &mut dyn FnMut(&SymExpr, &Vec<String>) -> Result<(), String>,
+            check_expr: &mut ExprCheck<'_>,
         ) -> Result<(), String> {
             for e in events {
                 match e {
@@ -247,10 +248,8 @@ impl Template {
         fn exprs_of(e: &Event, out: &mut Vec<SymExpr>) {
             match e {
                 Event::Write { value, .. } => out.push(value.clone()),
-                Event::Read { constraint, .. } => {
-                    if let Constraint::Eq(x) | Constraint::Ne(x) = constraint {
-                        out.push(x.clone());
-                    }
+                Event::Read { constraint: Constraint::Eq(x) | Constraint::Ne(x), .. } => {
+                    out.push(x.clone());
                 }
                 Event::DmaAlloc { len, .. }
                 | Event::CopyUserToDma { len, .. }
@@ -274,17 +273,13 @@ impl Template {
             let mut stack = vec![expr.clone()];
             while let Some(x) = stack.pop() {
                 match x {
-                    SymExpr::Captured(name) => {
-                        if !captures.contains(&name) {
-                            return Err(format!("expression references unknown capture `{name}`"));
-                        }
+                    SymExpr::Captured(name) if !captures.contains(&name) => {
+                        return Err(format!("expression references unknown capture `{name}`"));
                     }
-                    SymExpr::DmaBase(i) => {
-                        if i >= num_allocs {
-                            return Err(format!(
+                    SymExpr::DmaBase(i) if i >= num_allocs => {
+                        return Err(format!(
                                 "expression references dma[{i}] but template only allocates {num_allocs}"
                             ));
-                        }
                     }
                     SymExpr::And(a, b)
                     | SymExpr::Or(a, b)

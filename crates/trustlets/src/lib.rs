@@ -11,7 +11,7 @@
 
 use std::collections::HashMap;
 
-use dlt_core::{replay_cam, replay_mmc, Replayer};
+use dlt_core::{replay_cam, replay_mmc, Replayer, SecureBlockIo};
 use dlt_dev_vchiq::msg::is_valid_jpeg;
 
 /// Errors surfaced by the example trustlets.
@@ -42,6 +42,10 @@ impl std::error::Error for TrustletError {}
 /// Each credential occupies one 512-byte block: a 16-byte header (magic,
 /// length, checksum) followed by the secret. The OS never sees the data —
 /// it cannot even reach the controller (TZASC).
+///
+/// The store is written against [`SecureBlockIo`], so it runs identically
+/// over an exclusively-owned [`Replayer`] (the paper's deployment) or a
+/// `dlt-serve` session handle sharing the device with other trustlets.
 pub struct CredentialStore {
     /// First block of the store's on-card region.
     pub base_block: u32,
@@ -61,10 +65,10 @@ impl CredentialStore {
         CredentialStore { base_block, slots }
     }
 
-    /// Store a credential in `slot`.
-    pub fn store(
+    /// Store a credential in `slot` through any secure block handle.
+    pub fn store<B: SecureBlockIo>(
         &self,
-        replayer: &mut Replayer,
+        io: &mut B,
         slot: u32,
         secret: &[u8],
     ) -> Result<(), TrustletError> {
@@ -75,16 +79,16 @@ impl CredentialStore {
         block[4..8].copy_from_slice(&(len as u32).to_le_bytes());
         block[8..12].copy_from_slice(&checksum(&secret[..len]).to_le_bytes());
         block[16..16 + len].copy_from_slice(&secret[..len]);
-        replay_mmc(replayer, 0x10, 1, self.base_block + slot, 0, &mut block)
+        io.write_blocks(self.base_block + slot, &block)
             .map_err(|e| TrustletError::Replay(e.to_string()))?;
         Ok(())
     }
 
-    /// Load the credential from `slot`.
-    pub fn load(&self, replayer: &mut Replayer, slot: u32) -> Result<Vec<u8>, TrustletError> {
+    /// Load the credential from `slot` through any secure block handle.
+    pub fn load<B: SecureBlockIo>(&self, io: &mut B, slot: u32) -> Result<Vec<u8>, TrustletError> {
         assert!(slot < self.slots, "slot out of range");
         let mut block = vec![0u8; 512];
-        replay_mmc(replayer, 0x1, 1, self.base_block + slot, 0, &mut block)
+        io.read_blocks(self.base_block + slot, 1, &mut block)
             .map_err(|e| TrustletError::Replay(e.to_string()))?;
         if u32::from_le_bytes([block[0], block[1], block[2], block[3]]) != CRED_MAGIC {
             return Err(TrustletError::NotFound);

@@ -214,6 +214,25 @@ impl<D: BlockDev> MicroDb<D> {
     }
 }
 
+// Allow `&mut MemDev`-style borrowed devices in tests and harnesses.
+impl<D: BlockDev + ?Sized> BlockDev for &mut D {
+    fn read_blocks(&mut self, blkid: u32, blkcnt: u32, buf: &mut [u8]) -> Result<(), String> {
+        (**self).read_blocks(blkid, blkcnt, buf)
+    }
+    fn write_blocks(&mut self, blkid: u32, data: &[u8]) -> Result<(), String> {
+        (**self).write_blocks(blkid, data)
+    }
+    fn flush(&mut self) -> Result<(), String> {
+        (**self).flush()
+    }
+    fn now_ns(&self) -> u64 {
+        (**self).now_ns()
+    }
+    fn invocation_breakdown(&self) -> std::collections::HashMap<u32, u64> {
+        (**self).invocation_breakdown()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -264,7 +283,7 @@ mod tests {
         assert!(db.delete(42).unwrap());
         assert!(db.get(42).unwrap().is_none());
         assert!(!db.delete(42).unwrap());
-        assert_eq!(db.get(41).unwrap().is_some(), true);
+        assert!(db.get(41).unwrap().is_some());
     }
 
     #[test]
@@ -331,24 +350,5 @@ mod tests {
         let (r, w) = db.io_counts();
         assert_eq!(r, 2, "one page read for put, one for get");
         assert_eq!(w, 1);
-    }
-}
-
-// Allow `&mut MemDev`-style borrowed devices in tests and harnesses.
-impl<D: BlockDev + ?Sized> BlockDev for &mut D {
-    fn read_blocks(&mut self, blkid: u32, blkcnt: u32, buf: &mut [u8]) -> Result<(), String> {
-        (**self).read_blocks(blkid, blkcnt, buf)
-    }
-    fn write_blocks(&mut self, blkid: u32, data: &[u8]) -> Result<(), String> {
-        (**self).write_blocks(blkid, data)
-    }
-    fn flush(&mut self) -> Result<(), String> {
-        (**self).flush()
-    }
-    fn now_ns(&self) -> u64 {
-        (**self).now_ns()
-    }
-    fn invocation_breakdown(&self) -> std::collections::HashMap<u32, u64> {
-        (**self).invocation_breakdown()
     }
 }

@@ -15,6 +15,7 @@ pub use dlt_dev_vchiq as dev_vchiq;
 pub use dlt_gold_drivers as gold_drivers;
 pub use dlt_hw as hw;
 pub use dlt_recorder as recorder;
+pub use dlt_serve as serve;
 pub use dlt_tee as tee;
 pub use dlt_template as template;
 pub use dlt_trustlets as trustlets;

@@ -13,6 +13,7 @@
 #![warn(missing_docs)]
 
 use std::cell::UnsafeCell;
+use std::marker::PhantomData;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{RwLockReadGuard, RwLockWriteGuard};
 
@@ -31,7 +32,17 @@ unsafe impl<T: ?Sized + Send> Sync for Mutex<T> {}
 /// Guard returned by [`Mutex::lock`]; unlocks on drop.
 pub struct MutexGuard<'a, T: ?Sized> {
     lock: &'a Mutex<T>,
+    /// The guard must not change threads (the unlocking thread must be the
+    /// locking one), so it is `!Send` like std's and parking_lot's guards;
+    /// the raw-pointer marker opts out of the auto impls.
+    _not_send: PhantomData<*const ()>,
 }
+
+// Safety: sharing `&MutexGuard<T>` only hands out `&T` (via Deref), which
+// is sound exactly when `T: Sync` — the bound std and parking_lot use. The
+// auto impl would have required only `T: Send`, which is unsound (e.g. it
+// would let two threads share a `&Cell` through the guard).
+unsafe impl<T: ?Sized + Sync> Sync for MutexGuard<'_, T> {}
 
 impl<T> Mutex<T> {
     /// Wrap a value.
@@ -54,7 +65,7 @@ impl<T: ?Sized> Mutex<T> {
             .compare_exchange_weak(false, true, Ordering::Acquire, Ordering::Relaxed)
             .is_ok()
         {
-            return MutexGuard { lock: self };
+            return MutexGuard { lock: self, _not_send: PhantomData };
         }
         self.lock_slow()
     }
@@ -70,7 +81,7 @@ impl<T: ?Sized> Mutex<T> {
                 .compare_exchange_weak(false, true, Ordering::Acquire, Ordering::Relaxed)
                 .is_ok()
             {
-                return MutexGuard { lock: self };
+                return MutexGuard { lock: self, _not_send: PhantomData };
             }
         }
     }
@@ -78,7 +89,7 @@ impl<T: ?Sized> Mutex<T> {
     /// Try to acquire the lock without blocking.
     pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
         if self.locked.compare_exchange(false, true, Ordering::Acquire, Ordering::Relaxed).is_ok() {
-            Some(MutexGuard { lock: self })
+            Some(MutexGuard { lock: self, _not_send: PhantomData })
         } else {
             None
         }
