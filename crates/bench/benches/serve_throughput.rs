@@ -1,6 +1,8 @@
 //! Service-layer throughput: coalesced scheduler vs serial uncoalesced
-//! issue, plus a mixed MMC+USB+VCHIQ traffic run; persisted to
-//! `BENCH_serve.json`.
+//! issue, mixed MMC+USB+VCHIQ traffic racing a LongBurst capture,
+//! 1→3-device weak scaling, and the anticipatory-hold sweep; persisted to
+//! `BENCH_serve.json`. CI runs this with `--quick` and fails on any of
+//! the acceptance assertions below.
 //!
 //! Run with:
 //!
@@ -28,6 +30,37 @@ fn main() {
     assert!(
         report.coalescing.speedup >= 2.0,
         "acceptance: 8 coalesced sessions must reach >= 2x the serial request rate"
+    );
+    assert!(
+        report.scaling.ratio_3v1 >= 1.8,
+        "acceptance: 3 device lanes must scale mixed throughput >= 1.8x over 1 lane, got {:.2}x",
+        report.scaling.ratio_3v1
+    );
+    // The third lane's evidence is makespan invariance: its ~2.3 s capture
+    // must ride *inside* the block lanes' makespan. A regression that
+    // re-serialised the camera lane against the block lanes would add the
+    // capture to the elapsed time and trip this even though ratio_3v1
+    // (dominated by the block lanes) would not move.
+    let (two, three) = (&report.scaling.points[1], &report.scaling.points[2]);
+    assert!(
+        three.elapsed_ms <= two.elapsed_ms * 1.05,
+        "acceptance: the camera capture must overlap the block lanes ({:.1} ms at 3 devices vs \
+         {:.1} ms at 2)",
+        three.elapsed_ms,
+        two.elapsed_ms
+    );
+    assert!(
+        report.mixed.block_p99_us < 1_000_000,
+        "acceptance: block-read p99 must stay under 1 s beside a LongBurst capture, got {} us",
+        report.mixed.block_p99_us
+    );
+    let baseline = report.hold_sweep.iter().find(|h| h.hold_budget_us == 0).expect("no-hold point");
+    let default = report.hold_sweep.iter().find(|h| h.is_default).expect("default-budget point");
+    assert!(
+        default.latency.p50_us as f64 <= baseline.latency.p50_us as f64 * 1.10,
+        "acceptance: default hold budget must keep p50 within 10% of no-hold ({} vs {} us)",
+        default.latency.p50_us,
+        baseline.latency.p50_us
     );
 
     let out = std::env::var("BENCH_SERVE_OUT").unwrap_or_else(|_| "BENCH_serve.json".into());

@@ -1,25 +1,41 @@
 //! Service-layer throughput measurement and the `BENCH_serve.json` emitter.
 //!
-//! Two experiments over `dlt-serve` (all numbers are **virtual time**, so
+//! Four experiments over `dlt-serve` (all numbers are **virtual time**, so
 //! reruns reproduce them exactly):
 //!
 //! 1. **Coalescing speedup** — 8 concurrent sessions issue striped
 //!    single-block reads over one MMC device. The coalesced arm drains
-//!    them through the scheduler (adjacent reads merge into 8-block
-//!    replays); the serial arm issues the same requests one at a time with
-//!    coalescing disabled. The acceptance bar is coalesced ≥ 2x the serial
-//!    requests/s.
-//! 2. **Mixed traffic** — many sessions drive MMC + USB + VCHIQ
-//!    concurrently with a deterministic read/write/capture mix; reports
-//!    requests/s, p50/p99 completion latency and the coalescing ratio.
+//!    them through the scheduler (the anticipatory hold captures each
+//!    stripe, which merges into one 8-block replay); the serial arm issues
+//!    the same requests one at a time with coalescing disabled. The
+//!    acceptance bar is coalesced ≥ 2x the serial requests/s.
+//! 2. **Mixed traffic under LongBurst camera load** — block sessions
+//!    drive MMC + USB while a camera session runs a LongBurst capture on
+//!    the VCHIQ lane. Per-lane clocks keep the block lanes' completion
+//!    latency on their own timelines: the report carries per-device
+//!    p50/p99 and the block-read p99, which must stay **under 1 s** even
+//!    though the capture takes tens of virtual seconds (the single-clock
+//!    service inflated it to 4.7 s).
+//! 3. **Device scaling** — weak scaling from 1 lane (MMC) over 2
+//!    (MMC+USB) to 3 (MMC+USB+VCHIQ): every block lane is filled with
+//!    coalescible stripes up to the same per-lane busy-time budget, the
+//!    camera lane captures within that budget, and the metric is total
+//!    requests per second of *makespan* (the service-time merge rule).
+//!    Acceptance: 3-device throughput ≥ 1.8x the 1-device run.
+//! 4. **Anticipatory-hold sweep** — one session issues 8-block bursts
+//!    separated by client think time, swept over hold budgets. The merge
+//!    ratio rises with the budget while p50 must stay within 10% of the
+//!    no-hold baseline at the default budget (the knob's whole point).
 
-use std::collections::HashMap;
-
-use dlt_serve::{Completion, Device, DriverletService, Policy, Request, ServeConfig, BLOCK};
-use serde::Serialize;
+use dlt_recorder::campaign::record_mmc_driverlet_subset;
+use dlt_serve::{
+    Completion, Device, DriverletService, Policy, Request, ServeConfig, ServeError, SessionId,
+    BLOCK,
+};
+use serde::{Deserialize, Serialize};
 
 /// Result of the 8-session coalescing experiment (the acceptance metric).
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct CoalescingSample {
     /// Concurrent sessions.
     pub sessions: usize,
@@ -35,8 +51,8 @@ pub struct CoalescingSample {
     pub coalescing_ratio: f64,
 }
 
-/// Latency percentiles of one mixed-traffic run (virtual microseconds).
-#[derive(Debug, Clone, Serialize)]
+/// Latency percentiles of one completion population (virtual microseconds).
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct LatencySample {
     /// Median completion latency.
     pub p50_us: u64,
@@ -46,8 +62,19 @@ pub struct LatencySample {
     pub max_us: u64,
 }
 
+/// Per-device completion-latency percentiles.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DeviceLatency {
+    /// Device name (`mmc`, `usb`, `vchiq`).
+    pub device: String,
+    /// Completions on this device.
+    pub completions: u64,
+    /// Latency percentiles for this device.
+    pub latency: LatencySample,
+}
+
 /// Result of the mixed-traffic experiment.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct MixedTrafficSample {
     /// Concurrent sessions.
     pub sessions: usize,
@@ -55,25 +82,75 @@ pub struct MixedTrafficSample {
     pub requests: u64,
     /// Requests per second of virtual time.
     pub rps: f64,
+    /// Completion-latency percentiles over every request.
+    pub latency: LatencySample,
+    /// Per-device completion-latency percentiles (the multi-core payoff:
+    /// block lanes no longer inherit camera time).
+    pub per_device: Vec<DeviceLatency>,
+    /// p99 of block (MMC+USB) completions while the LongBurst capture ran
+    /// — the acceptance metric: must be < 1 s (was 4.7 s on one clock).
+    pub block_p99_us: u64,
+    /// Frames in the concurrent LongBurst capture.
+    pub long_burst_frames: u32,
+    /// Mean requests folded into one replay.
+    pub coalescing_ratio: f64,
+    /// Submits rejected by queue-full backpressure (each retried after a
+    /// per-device drain).
+    pub backpressure_rejections: u64,
+}
+
+/// One point of the device-scaling experiment.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ScalingPoint {
+    /// Number of served devices (lanes / TEE cores).
+    pub devices: usize,
+    /// Requests completed.
+    pub requests: u64,
+    /// Virtual makespan of the run (service-time delta).
+    pub elapsed_ms: f64,
+    /// Requests per second of virtual makespan.
+    pub rps: f64,
+}
+
+/// Result of the 1→3-device scaling experiment.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ScalingSample {
+    /// Per-lane busy-time fill budget (milliseconds).
+    pub lane_budget_ms: f64,
+    /// Throughput at 1, 2 and 3 devices.
+    pub points: Vec<ScalingPoint>,
+    /// `rps(3 devices) / rps(1 device)` — must be ≥ 1.8.
+    pub ratio_3v1: f64,
+}
+
+/// One point of the anticipatory-hold sweep.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct HoldSweepPoint {
+    /// Hold budget in microseconds (0 = holding disabled).
+    pub hold_budget_us: u64,
+    /// Whether this is the service default budget.
+    pub is_default: bool,
     /// Completion-latency percentiles.
     pub latency: LatencySample,
     /// Mean requests folded into one replay.
     pub coalescing_ratio: f64,
-    /// Completions per device.
-    pub per_device: HashMap<String, u64>,
-    /// Submits rejected by queue-full backpressure (retried).
-    pub backpressure_rejections: u64,
+    /// Dispatches that anticipated (plug engaged).
+    pub holds: u64,
 }
 
 /// The persisted `BENCH_serve.json` document.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct ServeBenchReport {
     /// Workload description.
     pub workload: String,
     /// The 8-session coalescing acceptance experiment.
     pub coalescing: CoalescingSample,
-    /// The mixed-traffic experiment.
+    /// The mixed-traffic experiment (per-device latency under camera load).
     pub mixed: MixedTrafficSample,
+    /// The 1→3-device scaling experiment.
+    pub scaling: ScalingSample,
+    /// The anticipatory-hold budget sweep.
+    pub hold_sweep: Vec<HoldSweepPoint>,
 }
 
 fn mmc_config(coalesce: bool) -> ServeConfig {
@@ -89,8 +166,9 @@ fn mmc_config(coalesce: bool) -> ServeConfig {
 /// range (session i reads block `base + round*sessions + i`), `rounds`
 /// times.
 pub fn run_coalescing_bench(sessions: usize, rounds: u32) -> CoalescingSample {
-    // Coalesced arm: all sessions submit, then one drain per round merges
-    // the stripe into a single multi-block replay.
+    // Coalesced arm: all sessions submit, then one drain per round; the
+    // anticipatory hold captures the whole stripe, which merges into a
+    // single multi-block replay.
     let mut service =
         DriverletService::new(&[Device::Mmc], mmc_config(true)).expect("build coalesced service");
     let ids: Vec<u32> = (0..sessions).map(|_| service.open_session().unwrap()).collect();
@@ -103,7 +181,7 @@ pub fn run_coalescing_bench(sessions: usize, rounds: u32) -> CoalescingSample {
                 .submit(*session, Request::Read { device: Device::Mmc, blkid, blkcnt: 1 })
                 .expect("submit");
         }
-        completed += service.drain().len() as u64;
+        completed += service.drain_all().len() as u64;
     }
     let coalesced_elapsed = service.now_ns() - t0;
     let coalescing_ratio = service.stats().coalescing_ratio();
@@ -121,7 +199,7 @@ pub fn run_coalescing_bench(sessions: usize, rounds: u32) -> CoalescingSample {
             service
                 .submit(*session, Request::Read { device: Device::Mmc, blkid, blkcnt: 1 })
                 .expect("submit");
-            serial_completed += service.drain().len() as u64;
+            serial_completed += service.drain_all().len() as u64;
         }
     }
     let serial_elapsed = service.now_ns() - t0;
@@ -148,14 +226,24 @@ fn percentile(sorted_us: &[u64], p: f64) -> u64 {
     sorted_us[idx]
 }
 
-/// The mixed-traffic experiment: block sessions on MMC and USB plus camera
-/// sessions on VCHIQ, all multiplexed through one service under deficit
-/// round-robin.
-pub fn run_mixed_bench(rounds: u32, captures: u32) -> MixedTrafficSample {
+fn latency_sample(latencies_us: &mut [u64]) -> LatencySample {
+    latencies_us.sort_unstable();
+    LatencySample {
+        p50_us: percentile(latencies_us, 0.50),
+        p99_us: percentile(latencies_us, 0.99),
+        max_us: latencies_us.last().copied().unwrap_or(0),
+    }
+}
+
+/// The mixed-traffic experiment: block sessions on MMC and USB race a
+/// LongBurst camera capture on VCHIQ, all multiplexed through one service
+/// under deficit round-robin. Per-lane clocks keep block latency on the
+/// block lanes' own timelines.
+pub fn run_mixed_bench(rounds: u32, long_burst_frames: u32) -> MixedTrafficSample {
     let config = ServeConfig {
         policy: Policy::DeficitRoundRobin { quantum_blocks: 64 },
         block_granularities: vec![1, 8, 32],
-        camera_bursts: vec![1],
+        camera_bursts: vec![1, long_burst_frames],
         queue_capacity: 64,
         ..ServeConfig::default()
     };
@@ -167,20 +255,38 @@ pub fn run_mixed_bench(rounds: u32, captures: u32) -> MixedTrafficSample {
     let usb: Vec<u32> = (0..4).map(|_| service.open_session().unwrap()).collect();
     let cam: Vec<u32> = (0..2).map(|_| service.open_session().unwrap()).collect();
 
-    let mut latencies_us: Vec<u64> = Vec::new();
-    let mut per_device: HashMap<String, u64> = HashMap::new();
+    let mut all_us: Vec<u64> = Vec::new();
+    let mut block_us: Vec<u64> = Vec::new();
+    let mut per_device: Vec<(String, Vec<u64>)> = Vec::new();
     let mut completed = 0u64;
-    let record = |completions: &[Completion],
-                  latencies_us: &mut Vec<u64>,
-                  per_device: &mut HashMap<String, u64>| {
-        for c in completions {
-            c.result.as_ref().expect("mixed traffic stays in coverage");
-            latencies_us.push(c.latency_ns() / 1_000);
-            *per_device.entry(c.device.to_string()).or_insert(0) += 1;
-        }
-    };
+    let mut record =
+        |completions: &[Completion], all_us: &mut Vec<u64>, block_us: &mut Vec<u64>| {
+            for c in completions {
+                c.result.as_ref().expect("mixed traffic stays in coverage");
+                let us = c.latency_ns() / 1_000;
+                all_us.push(us);
+                if c.device != Device::Vchiq {
+                    block_us.push(us);
+                }
+                let name = c.device.to_string();
+                match per_device.iter_mut().find(|(d, _)| *d == name) {
+                    Some((_, v)) => v.push(us),
+                    None => per_device.push((name, vec![us])),
+                }
+            }
+        };
+    // Closed-loop block clients: each round they *observe* (take) their
+    // own completions — which syncs their normal-world timeline to the
+    // block lanes — while never waiting on the camera session's burst.
+    let block_sessions: Vec<u32> = mmc.iter().chain(usb.iter()).copied().collect();
 
     let t0 = service.now_ns();
+    // The LongBurst capture starts first: every block completion below
+    // races it on the camera lane's timeline.
+    service
+        .submit(cam[0], Request::Capture { frames: long_burst_frames, resolution: 720 })
+        .expect("submit long burst");
+
     // A deterministic xorshift stream decides each session's next request.
     let mut state = 0x243f_6a88_85a3_08d3u64;
     let mut next = move || {
@@ -205,64 +311,222 @@ pub fn run_mixed_bench(rounds: u32, captures: u32) -> MixedTrafficSample {
                 } else {
                     Request::Read { device: lane, blkid, blkcnt }
                 };
-                // Backpressure: drain and retry once if the lane is full.
-                if let Err(dlt_serve::ServeError::QueueFull { .. }) =
+                // Backpressure: the error names the saturated device, so
+                // back off by draining only that lane, then retry.
+                if let Err(ServeError::QueueFull { device, .. }) =
                     service.submit(*session, req.clone())
                 {
-                    let done = service.drain();
-                    record(&done, &mut latencies_us, &mut per_device);
-                    completed += done.len() as u64;
-                    service.submit(*session, req).expect("submit after drain");
+                    service.drain_device(device);
+                    service.submit(*session, req).expect("submit after device drain");
                 }
             }
         }
-        if round < captures {
-            for session in &cam {
-                service
-                    .submit(*session, Request::Capture { frames: 1, resolution: 720 })
-                    .expect("submit capture");
-            }
+        if round == rounds / 2 {
+            // A OneShot capture midway keeps the second camera session live.
+            service
+                .submit(cam[1], Request::Capture { frames: 1, resolution: 720 })
+                .expect("submit capture");
         }
-        let done = service.drain();
-        record(&done, &mut latencies_us, &mut per_device);
+        // Drain the block lanes this round; the camera lane keeps its
+        // burst in flight on its own core.
+        service.drain_device(Device::Mmc);
+        service.drain_device(Device::Usb);
+        for session in &block_sessions {
+            let done = service.take_completions(*session);
+            record(&done, &mut all_us, &mut block_us);
+            completed += done.len() as u64;
+        }
+    }
+    // Finally join on the camera lane and observe its captures.
+    service.drain_all();
+    for session in &cam {
+        let done = service.take_completions(*session);
+        record(&done, &mut all_us, &mut block_us);
         completed += done.len() as u64;
     }
     let elapsed = service.now_ns() - t0;
 
-    latencies_us.sort_unstable();
+    let per_device = per_device
+        .into_iter()
+        .map(|(device, mut us)| DeviceLatency {
+            device,
+            completions: us.len() as u64,
+            latency: latency_sample(&mut us),
+        })
+        .collect();
     MixedTrafficSample {
         sessions: mmc.len() + usb.len() + cam.len(),
         requests: completed,
         rps: completed as f64 / (elapsed as f64 / 1e9).max(1e-12),
-        latency: LatencySample {
-            p50_us: percentile(&latencies_us, 0.50),
-            p99_us: percentile(&latencies_us, 0.99),
-            max_us: latencies_us.last().copied().unwrap_or(0),
-        },
-        coalescing_ratio: service.stats().coalescing_ratio(),
+        latency: latency_sample(&mut all_us),
         per_device,
+        block_p99_us: percentile(
+            &{
+                block_us.sort_unstable();
+                block_us
+            },
+            0.99,
+        ),
+        long_burst_frames,
+        coalescing_ratio: service.stats().coalescing_ratio(),
         backpressure_rejections: service.stats().rejected,
     }
 }
 
-/// Run both experiments.
+/// The scaling experiment: fill every block lane with coalescible stripes
+/// up to `lane_budget_ns` of lane busy time (weak scaling), let the camera
+/// lane capture within the same budget, and measure total requests per
+/// second of makespan at 1, 2 and 3 devices.
+pub fn run_scaling_bench(lane_budget_ns: u64) -> ScalingSample {
+    let device_sets: [&[Device]; 3] =
+        [&[Device::Mmc], &[Device::Mmc, Device::Usb], &[Device::Mmc, Device::Usb, Device::Vchiq]];
+    let mut points = Vec::new();
+    for devices in device_sets {
+        let config = ServeConfig {
+            policy: Policy::Fifo,
+            block_granularities: vec![1, 8, 32],
+            camera_bursts: vec![1],
+            ..ServeConfig::default()
+        };
+        let mut service = DriverletService::new(devices, config).expect("build scaling service");
+        let sessions: Vec<SessionId> = (0..8).map(|_| service.open_session().unwrap()).collect();
+        let block_devices: Vec<Device> =
+            devices.iter().copied().filter(|d| *d != Device::Vchiq).collect();
+        let has_camera = devices.contains(&Device::Vchiq);
+
+        let t0 = service.now_ns();
+        let mut completed = 0u64;
+        // The camera lane contributes a capture only when it fits inside
+        // the same busy budget as the block lanes (OneShot ≈ 2.3 s of
+        // virtual time — sensor init dominates); a capture larger than the
+        // budget would turn weak scaling into a camera-latency benchmark.
+        if has_camera && lane_budget_ns >= 2_400_000_000 {
+            service
+                .submit(sessions[0], Request::Capture { frames: 1, resolution: 720 })
+                .expect("submit capture");
+        }
+        let busy = |service: &DriverletService, d: Device| {
+            service.lane_status().iter().find(|l| l.device == d).map(|l| l.busy_ns).unwrap_or(0)
+        };
+        let mut round = 0u32;
+        loop {
+            let open: Vec<Device> = block_devices
+                .iter()
+                .copied()
+                .filter(|d| busy(&service, *d) < lane_budget_ns)
+                .collect();
+            if open.is_empty() {
+                break;
+            }
+            for device in open {
+                for (i, session) in sessions.iter().enumerate() {
+                    let blkid = 1024 + round * 8 + i as u32;
+                    service
+                        .submit(*session, Request::Read { device, blkid, blkcnt: 1 })
+                        .expect("submit stripe read");
+                }
+            }
+            completed += service.drain_all().len() as u64;
+            round += 1;
+        }
+        completed += service.drain_all().len() as u64;
+        let elapsed = service.now_ns() - t0;
+        points.push(ScalingPoint {
+            devices: devices.len(),
+            requests: completed,
+            elapsed_ms: elapsed as f64 / 1e6,
+            rps: completed as f64 / (elapsed as f64 / 1e9).max(1e-12),
+        });
+    }
+    let ratio_3v1 = points[2].rps / points[0].rps.max(1e-12);
+    ScalingSample { lane_budget_ms: lane_budget_ns as f64 / 1e6, points, ratio_3v1 }
+}
+
+/// The anticipatory-hold sweep: one session issues `bursts` bursts of 8
+/// adjacent single-block reads (back-to-back submits) separated by 2 ms of
+/// client think time, at each hold budget. Holding captures a whole burst
+/// in one plug window and serves it as a single 8-block replay; without
+/// holding the first read of each burst dispatches alone and the rest
+/// fragment into single-block replays.
+pub fn run_hold_sweep(bursts: u32, budgets_us: &[u64]) -> Vec<HoldSweepPoint> {
+    let bundle = record_mmc_driverlet_subset(&[1, 8]).expect("record mmc");
+    let default_us = ServeConfig::default().hold_budget_ns / 1_000;
+    let mut out = Vec::new();
+    for &budget_us in budgets_us {
+        let config = ServeConfig {
+            policy: Policy::Fifo,
+            hold_budget_ns: budget_us * 1_000,
+            block_granularities: vec![1, 8],
+            queue_capacity: (bursts as usize + 1) * 8,
+            ..ServeConfig::default()
+        };
+        let mut service =
+            DriverletService::with_driverlets(&[(Device::Mmc, bundle.clone())], config)
+                .expect("build sweep service");
+        let session = service.open_session().unwrap();
+        for burst in 0..bursts {
+            for i in 0..8u32 {
+                service
+                    .submit(
+                        session,
+                        Request::Read {
+                            device: Device::Mmc,
+                            blkid: 512 + burst * 8 + i,
+                            blkcnt: 1,
+                        },
+                    )
+                    .expect("submit burst read");
+            }
+            service.client_think_ns(2_000_000);
+        }
+        let done = service.drain_all();
+        assert_eq!(done.len(), bursts as usize * 8);
+        let mut us: Vec<u64> = done.iter().map(|c| c.latency_ns() / 1_000).collect();
+        out.push(HoldSweepPoint {
+            hold_budget_us: budget_us,
+            is_default: budget_us == default_us,
+            latency: latency_sample(&mut us),
+            coalescing_ratio: service.stats().coalescing_ratio(),
+            holds: service.stats().holds,
+        });
+    }
+    out
+}
+
+/// Run all four experiments.
 pub fn run_serve_bench(quick: bool) -> ServeBenchReport {
-    let (rounds, mixed_rounds, captures) = if quick { (6, 4, 1) } else { (24, 12, 3) };
+    // The scaling lane budget stays at 2.4 s even in quick mode: a OneShot
+    // capture costs ~2.3 s of camera-lane time (sensor init dominates), so
+    // a smaller budget would leave the third lane idle and the CI
+    // acceptance gate on ratio_3v1 would only measure 1→2-device scaling.
+    let (rounds, mixed_rounds, frames, budget_ns, bursts) =
+        if quick { (6, 4, 10, 2_400_000_000, 30) } else { (24, 12, 100, 2_400_000_000, 200) };
     let coalescing = run_coalescing_bench(8, rounds);
-    let mixed = run_mixed_bench(mixed_rounds, captures);
+    let mixed = run_mixed_bench(mixed_rounds, frames);
+    let scaling = run_scaling_bench(budget_ns);
+    let hold_sweep = run_hold_sweep(bursts, &[0, 25, 100, 400, 3200]);
     ServeBenchReport {
         workload: format!(
-            "serve layer: 8-session striped reads x {rounds} rounds (MMC); \
-             10-session mixed MMC+USB+VCHIQ x {mixed_rounds} rounds"
+            "serve layer: 8-session striped reads x {rounds} rounds (MMC); 10-session mixed \
+             MMC+USB+VCHIQ x {mixed_rounds} rounds vs a {frames}-frame LongBurst; 1->3 device \
+             weak scaling at {:.0} ms/lane; hold sweep over {bursts} bursts",
+            budget_ns as f64 / 1e6
         ),
         coalescing,
         mixed,
+        scaling,
+        hold_sweep,
     }
 }
 
 /// Serialise the report as pretty JSON.
 pub fn report_json(report: &ServeBenchReport) -> String {
     serde_json::to_string_pretty(report).expect("report serialisation cannot fail")
+}
+
+/// Parse a previously persisted report.
+pub fn parse_report(json: &str) -> Result<ServeBenchReport, String> {
+    serde_json::from_str(json).map_err(|e| e.to_string())
 }
 
 /// Write the report to `path` (default artifact name: `BENCH_serve.json`).
@@ -274,6 +538,7 @@ pub fn emit_report(report: &ServeBenchReport, path: &str) -> std::io::Result<()>
 pub fn describe(report: &ServeBenchReport) -> String {
     let c = &report.coalescing;
     let m = &report.mixed;
+    let s = &report.scaling;
     let mut out = String::new();
     out.push_str(&format!("workload: {}\n", report.workload));
     out.push_str(&format!(
@@ -282,29 +547,53 @@ pub fn describe(report: &ServeBenchReport) -> String {
         c.sessions, c.requests, c.serial_rps, c.coalesced_rps, c.speedup, c.coalescing_ratio
     ));
     out.push_str(&format!(
-        "mixed: {} sessions, {} requests, {:.0} req/s, p50 {} us, p99 {} us (max {} us), \
-         {:.2} requests/replay, {} backpressure rejections\n",
+        "mixed ({}-frame LongBurst racing): {} sessions, {} requests, {:.0} req/s, \
+         block p99 {} us, {:.2} requests/replay, {} backpressure rejections\n",
+        m.long_burst_frames,
         m.sessions,
         m.requests,
         m.rps,
-        m.latency.p50_us,
-        m.latency.p99_us,
-        m.latency.max_us,
+        m.block_p99_us,
         m.coalescing_ratio,
         m.backpressure_rejections
     ));
+    for d in &m.per_device {
+        out.push_str(&format!(
+            "  {:<6} {} completions: p50 {} us, p99 {} us, max {} us\n",
+            d.device, d.completions, d.latency.p50_us, d.latency.p99_us, d.latency.max_us
+        ));
+    }
+    for p in &s.points {
+        out.push_str(&format!(
+            "scaling: {} device(s): {} requests in {:.1} ms -> {:.0} req/s\n",
+            p.devices, p.requests, p.elapsed_ms, p.rps
+        ));
+    }
+    out.push_str(&format!("scaling ratio 3 vs 1 devices: {:.2}x\n", s.ratio_3v1));
+    for h in &report.hold_sweep {
+        out.push_str(&format!(
+            "hold {:>5} us{}: p50 {} us, p99 {} us, {:.2} requests/replay, {} holds\n",
+            h.hold_budget_us,
+            if h.is_default { " (default)" } else { "" },
+            h.latency.p50_us,
+            h.latency.p99_us,
+            h.coalescing_ratio,
+            h.holds
+        ));
+    }
     out
 }
 
 /// One-line record for log scraping.
 pub fn summary_line(report: &ServeBenchReport) -> String {
     format!(
-        "serve_throughput coalesced={:.0} serial={:.0} speedup={:.2} mixed_rps={:.0} p99_us={}",
+        "serve_throughput coalesced={:.0} serial={:.0} speedup={:.2} scaling_3v1={:.2} \
+         block_p99_us={}",
         report.coalescing.coalesced_rps,
         report.coalescing.serial_rps,
         report.coalescing.speedup,
-        report.mixed.rps,
-        report.mixed.latency.p99_us
+        report.scaling.ratio_3v1,
+        report.mixed.block_p99_us
     )
 }
 
@@ -314,9 +603,10 @@ mod tests {
 
     #[test]
     fn eight_coalesced_sessions_double_the_serial_request_rate() {
-        // The tentpole acceptance bar: 8 concurrent sessions over one MMC
-        // device reach ≥ 2x the requests/s of the same sessions issuing
-        // serially without coalescing.
+        // The PR 3 acceptance bar, preserved across the multi-core
+        // refactor: 8 concurrent sessions over one MMC device reach ≥ 2x
+        // the requests/s of the same sessions issuing serially without
+        // coalescing (the anticipatory hold captures each stripe).
         let sample = run_coalescing_bench(8, 4);
         assert_eq!(sample.requests, 32);
         assert!(
@@ -330,15 +620,69 @@ mod tests {
     }
 
     #[test]
-    fn mixed_traffic_reports_latency_and_ratio() {
-        let m = run_mixed_bench(2, 1);
+    fn block_p99_stays_in_lane_under_camera_load() {
+        let m = run_mixed_bench(2, 10);
         assert!(m.requests > 0);
         assert!(m.latency.p99_us >= m.latency.p50_us);
-        assert!(m.per_device.contains_key("mmc"));
-        assert!(m.per_device.contains_key("usb"));
-        assert!(m.per_device.contains_key("vchiq"));
-        let json = report_json(&run_serve_bench(true));
+        for d in ["mmc", "usb", "vchiq"] {
+            assert!(m.per_device.iter().any(|l| l.device == d), "missing device {d}");
+        }
+        // The multi-core acceptance metric: block completions never
+        // inherit the camera lane's burst time.
+        assert!(
+            m.block_p99_us < 1_000_000,
+            "block p99 {} us must stay under 1 s despite the LongBurst",
+            m.block_p99_us
+        );
+    }
+
+    #[test]
+    fn three_lanes_scale_mixed_throughput() {
+        let s = run_scaling_bench(300_000_000);
+        assert_eq!(s.points.len(), 3);
+        assert!(
+            s.ratio_3v1 >= 1.8,
+            "3-device throughput must scale >= 1.8x over 1 device, got {:.2}x",
+            s.ratio_3v1
+        );
+    }
+
+    #[test]
+    fn hold_budget_trades_latency_for_merge_ratio() {
+        let sweep = run_hold_sweep(12, &[0, 100, 3200]);
+        let baseline = &sweep[0];
+        let default = &sweep[1];
+        let greedy = &sweep[2];
+        assert!(default.is_default);
+        assert!(
+            default.coalescing_ratio > baseline.coalescing_ratio * 2.0,
+            "the default hold must merge far more than no-hold ({:.2} vs {:.2})",
+            default.coalescing_ratio,
+            baseline.coalescing_ratio
+        );
+        let p50_limit = baseline.latency.p50_us as f64 * 1.10;
+        assert!(
+            (default.latency.p50_us as f64) <= p50_limit,
+            "default-budget p50 {} us must stay within 10% of the no-hold baseline {} us",
+            default.latency.p50_us,
+            baseline.latency.p50_us
+        );
+        assert!(greedy.holds > 0 && default.holds > 0);
+        assert!(
+            greedy.latency.p50_us > default.latency.p50_us,
+            "an oversized budget should visibly trade p50 for ratio"
+        );
+    }
+
+    #[test]
+    fn report_round_trips_through_json() {
+        let report = run_serve_bench(true);
+        let json = report_json(&report);
         assert!(json.contains("coalescing"));
-        assert!(json.contains("p99_us"));
+        assert!(json.contains("block_p99_us"));
+        assert!(json.contains("ratio_3v1"));
+        let parsed = parse_report(&json).expect("parse persisted report");
+        assert_eq!(parsed.scaling.points.len(), report.scaling.points.len());
+        assert!((parsed.scaling.ratio_3v1 - report.scaling.ratio_3v1).abs() < 1e-9);
     }
 }

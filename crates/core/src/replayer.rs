@@ -290,6 +290,14 @@ impl Replayer {
         &mut self.io
     }
 
+    /// Current virtual time of the core this replayer executes on. Every
+    /// replayer charges all of its work to its own platform's clock, so in
+    /// a multi-core deployment this is the *lane-local* timeline (the
+    /// serve layer reads lane time through this).
+    pub fn now_ns(&self) -> u64 {
+        self.io.now_ns()
+    }
+
     /// Entries currently served.
     pub fn entries(&self) -> Vec<String> {
         self.driverlets.keys().cloned().collect()

@@ -261,6 +261,21 @@ impl SystemBus {
         self.tick_all();
     }
 
+    /// The earliest scheduled event on this bus — an IRQ assertion deadline
+    /// or a device-internal completion deadline — if any. `wait_for_irq`
+    /// jumps straight to it instead of polling. (The serve layer's
+    /// event loop does *not* read this: its next-event times come from
+    /// queued arrival stamps and hold deadlines, because a lane's devices
+    /// only make progress while a replay drives them.)
+    pub fn next_event_ns(&self) -> Option<u64> {
+        let next_irq = self.irqs.lock().earliest_deadline();
+        let next_dev = self.devices.iter().filter_map(|s| s.dev.next_deadline_ns()).min();
+        match (next_irq, next_dev) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        }
+    }
+
     /// Wait for interrupt `line` to become pending, advancing virtual time.
     ///
     /// Returns the number of virtual microseconds waited. Fails with
@@ -284,15 +299,9 @@ impl SystemBus {
                     waited_us: (now - start) / 1_000,
                 });
             }
-            // Jump straight to the next scheduled event — an IRQ assertion
-            // or a device-internal completion deadline — when one exists,
+            // Jump straight to the next scheduled event when one exists,
             // otherwise advance by the polling quantum.
-            let next_irq = self.irqs.lock().earliest_deadline();
-            let next_dev = self.devices.iter().filter_map(|s| s.dev.next_deadline_ns()).min();
-            let next = match (next_irq, next_dev) {
-                (Some(a), Some(b)) => Some(a.min(b)),
-                (a, b) => a.or(b),
-            };
+            let next = self.next_event_ns();
             let mut clock = self.clock.lock();
             match next {
                 Some(d) if d > now && d <= deadline => clock.advance_to(d),
@@ -348,6 +357,12 @@ impl SystemBus {
 
 /// Convenience bundle that wires a clock, RAM, the interrupt controller and a
 /// bus together with the standard memory map of the simulated SoC.
+///
+/// One `Platform` models **one TEE core**: everything attached to it shares
+/// its clock, and its timeline advances independently of every other
+/// platform. Single-core experiments build one; the `dlt-serve` multi-core
+/// service builds one per device lane (all starting from epoch zero) and
+/// merges their timelines with a pointwise-max rule.
 pub struct Platform {
     /// Shared virtual clock.
     pub clock: Shared<VirtualClock>,

@@ -1,10 +1,18 @@
 //! Deterministic virtual clock.
 //!
-//! All devices, drivers, the TEE and the replayer share one
-//! [`VirtualClock`]. Time only advances when someone spends it: an MMIO
-//! access, a DMA transfer, a flash program, a polling delay, a world switch.
-//! This makes every experiment bit-for-bit reproducible while still producing
+//! Every platform (one simulated TEE core) owns one [`VirtualClock`]; all
+//! devices, drivers, the TEE and the replayer attached to that platform
+//! share it. Time only advances when someone spends it: an MMIO access, a
+//! DMA transfer, a flash program, a polling delay, a world switch. This
+//! makes every experiment bit-for-bit reproducible while still producing
 //! meaningful throughput/latency numbers for the Figure 5-7 reproductions.
+//!
+//! Multi-core setups (the `dlt-serve` lane-per-device model) run one
+//! platform — and therefore one clock — per core, all starting from the
+//! same epoch zero. A core that sits idle between batches of work is
+//! fast-forwarded to the next event with [`VirtualClock::advance_idle_to`],
+//! which books the skipped span as *idle* rather than busy time, so lane
+//! utilisation can be reported as `busy_ns / now_ns`.
 
 use crate::cost::CostModel;
 
@@ -16,6 +24,9 @@ pub struct VirtualClock {
     /// Number of `advance` calls, useful to sanity-check that a workload
     /// actually exercised the clock.
     advances: u64,
+    /// Nanoseconds skipped via [`VirtualClock::advance_idle_to`] — time the
+    /// owning core spent waiting for work rather than doing it.
+    idle_ns: u64,
 }
 
 impl Default for VirtualClock {
@@ -27,7 +38,7 @@ impl Default for VirtualClock {
 impl VirtualClock {
     /// Create a clock starting at time zero with the given cost model.
     pub fn new(cost: CostModel) -> Self {
-        VirtualClock { now_ns: 0, cost, advances: 0 }
+        VirtualClock { now_ns: 0, cost, advances: 0, idle_ns: 0 }
     }
 
     /// Current virtual time in nanoseconds.
@@ -73,6 +84,29 @@ impl VirtualClock {
             self.now_ns = deadline_ns;
             self.advances += 1;
         }
+    }
+
+    /// Fast-forward to `deadline_ns`, booking the skipped span as idle
+    /// time. This is the multi-core scheduler's "the core had nothing to do
+    /// until the next request arrived" transition: the clock jumps, but the
+    /// span does not count as busy time in [`VirtualClock::busy_ns`].
+    pub fn advance_idle_to(&mut self, deadline_ns: u64) {
+        if deadline_ns > self.now_ns {
+            self.idle_ns += deadline_ns - self.now_ns;
+            self.now_ns = deadline_ns;
+            self.advances += 1;
+        }
+    }
+
+    /// Total nanoseconds skipped as idle via
+    /// [`VirtualClock::advance_idle_to`].
+    pub fn idle_ns(&self) -> u64 {
+        self.idle_ns
+    }
+
+    /// Nanoseconds actually spent doing work: `now_ns - idle_ns`.
+    pub fn busy_ns(&self) -> u64 {
+        self.now_ns.saturating_sub(self.idle_ns)
     }
 
     /// A deadline `us` microseconds from now.
@@ -193,6 +227,20 @@ mod tests {
         c.advance_us(7);
         assert_eq!(sw.elapsed_us(&c), 7);
         assert_eq!(sw.elapsed_ns(&c), 7_000);
+    }
+
+    #[test]
+    fn idle_skips_are_booked_separately_from_busy_time() {
+        let mut c = VirtualClock::default();
+        c.advance_ns(1_000); // busy
+        c.advance_idle_to(5_000); // core waits for the next arrival
+        c.advance_ns(2_000); // busy again
+        assert_eq!(c.now_ns(), 7_000);
+        assert_eq!(c.idle_ns(), 4_000);
+        assert_eq!(c.busy_ns(), 3_000);
+        // Idle skips into the past are no-ops.
+        c.advance_idle_to(6_000);
+        assert_eq!(c.idle_ns(), 4_000);
     }
 
     #[test]

@@ -35,7 +35,7 @@ impl ServedBlockDev {
 
     fn roundtrip(&mut self, req: Request) -> Result<Payload, String> {
         let id = self.service.submit(self.session, req).map_err(|e| e.to_string())?;
-        self.service.drain();
+        self.service.drain_all();
         self.service
             .take_completions(self.session)
             .into_iter()

@@ -16,7 +16,7 @@
 //! executing the batch serially in queue order — the invariant the
 //! differential property test in `tests/serial_equivalence.rs` checks.
 
-use crate::{Request, BLOCK};
+use crate::{Request, SessionId, BLOCK};
 
 /// One executable unit of a planned batch. Member indices point into the
 /// batch the plan was computed from.
@@ -171,6 +171,146 @@ pub fn decompose(mut blkcnt: u32, granularities: &[u32]) -> Vec<u32> {
     parts
 }
 
+/// Transfer direction of a pending request, as the plug state machine and
+/// the run planner see it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// A block read.
+    Read,
+    /// A block write.
+    Write,
+    /// Anything that never merges (camera captures).
+    Other,
+}
+
+/// The direction of a request.
+pub fn direction(req: &Request) -> Direction {
+    match req {
+        Request::Read { .. } => Direction::Read,
+        Request::Write { .. } => Direction::Write,
+        Request::Capture { .. } => Direction::Other,
+    }
+}
+
+/// One pending request as the plug planner sees it: who submitted it, when
+/// it arrived (virtual service time), and which way it moves data.
+#[derive(Debug, Clone, Copy)]
+pub struct Arrival {
+    /// Owning session.
+    pub session: SessionId,
+    /// Virtual arrival (submission) time.
+    pub arrival_ns: u64,
+    /// Transfer direction.
+    pub direction: Direction,
+}
+
+/// Why a planned dispatch fires when it does.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DispatchReason {
+    /// No hold: the lane had a backlog (requests — possibly from several
+    /// competing sessions — were already waiting when the lane became
+    /// free), holds are disabled, or the request never merges (captures).
+    Immediate,
+    /// The plug held the full latency budget and no unplug trigger fired.
+    HoldExpired,
+    /// Unplugged early: the plugging session changed transfer direction.
+    UnplugDirection,
+    /// Unplugged early: the fill cap was reached — the queue is full (no
+    /// further request can arrive) or a whole dispatch window's worth has
+    /// arrived (nothing more can join this batch), so holding buys
+    /// nothing.
+    UnplugQueueFull,
+    /// Unplugged early: a competing session's request that cannot join the
+    /// held run (opposite direction) arrived — the plug never makes
+    /// another tenant wait for work it cannot merge.
+    UnplugCompetitor,
+}
+
+/// A planned dispatch instant for one lane.
+#[derive(Debug, Clone, Copy)]
+pub struct Dispatch {
+    /// Virtual time at which the lane unplugs and executes a batch.
+    pub at_ns: u64,
+    /// What ended (or prevented) the hold.
+    pub reason: DispatchReason,
+}
+
+impl Dispatch {
+    /// Whether this dispatch actually held the queue open past the ready
+    /// instant (anticipatory behaviour, as opposed to immediate issue).
+    pub fn held(&self) -> bool {
+        self.reason != DispatchReason::Immediate
+    }
+}
+
+/// The anticipatory plug/unplug state machine (kernel block-layer style),
+/// evaluated over a lane's pending queue in virtual time.
+///
+/// `pending` yields the lane's queue in arrival order (per-lane queues
+/// are FIFO in submission time, so this is also sorted by `arrival_ns`);
+/// it is an iterator — the planner sits on the event loop's hot path and
+/// only ever inspects the prefix up to the hold deadline, so the lane
+/// hands it a lazy view rather than materialising its queue. `lane_now`
+/// is the lane clock; `hold_budget_ns` the anticipation budget (0
+/// disables holding); `capacity` the fill cap — the queue bound or the
+/// dispatch window, whichever is smaller, since holding past either
+/// cannot merge anything more into this dispatch.
+///
+/// Rules, replayed deterministically against the stamped arrivals:
+///
+/// * **No hold on a backlog.** If the first pending request arrived while
+///   the lane was still busy (`arrival <= lane_now`), requests are already
+///   waiting — possibly from competing sessions — and the batch dispatches
+///   immediately. A plug only ever opens on an *idle* lane the moment a
+///   request arrives.
+/// * **Hold.** Otherwise the lane plugs at the first arrival and holds its
+///   queue open until `arrival + hold_budget_ns`, merging every
+///   same-direction request (any session — cross-tenant adjacent reads are
+///   cooperating, not competing) that arrives inside the window.
+/// * **Early unplug.** The plug releases before the budget expires when a
+///   request of the opposite direction arrives ([`DispatchReason::UnplugDirection`]
+///   from the plugging session, [`DispatchReason::UnplugCompetitor`] from
+///   any other — the plug never holds while a competing session waits with
+///   unmergeable work), or when the queue fills to capacity
+///   ([`DispatchReason::UnplugQueueFull`]).
+pub fn plan_dispatch(
+    pending: impl IntoIterator<Item = Arrival>,
+    lane_now: u64,
+    hold_budget_ns: u64,
+    capacity: usize,
+) -> Dispatch {
+    let mut pending = pending.into_iter();
+    let first = pending.next().expect("plan_dispatch needs a non-empty queue");
+    let ready = lane_now.max(first.arrival_ns);
+    let immediate = Dispatch { at_ns: ready, reason: DispatchReason::Immediate };
+    if hold_budget_ns == 0 || first.direction == Direction::Other {
+        return immediate;
+    }
+    if first.arrival_ns <= lane_now {
+        // Backlog: the request (and anything behind it) was already
+        // waiting when the lane became free.
+        return immediate;
+    }
+    let deadline = first.arrival_ns.saturating_add(hold_budget_ns);
+    for (held, p) in std::iter::once(first).chain(pending).enumerate() {
+        if p.arrival_ns > deadline {
+            break;
+        }
+        if p.direction != first.direction {
+            let reason = if p.session == first.session {
+                DispatchReason::UnplugDirection
+            } else {
+                DispatchReason::UnplugCompetitor
+            };
+            return Dispatch { at_ns: p.arrival_ns, reason };
+        }
+        if held + 1 >= capacity {
+            return Dispatch { at_ns: p.arrival_ns, reason: DispatchReason::UnplugQueueFull };
+        }
+    }
+    Dispatch { at_ns: deadline, reason: DispatchReason::HoldExpired }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -239,6 +379,94 @@ mod tests {
         let batch: Vec<Request> = (0..4).map(|i| rd(i, 1)).collect();
         let plans = plan(&batch, false);
         assert_eq!(plans, (0..4).map(ExecPlan::Single).collect::<Vec<_>>());
+    }
+
+    fn arr(session: SessionId, arrival_ns: u64, direction: Direction) -> Arrival {
+        Arrival { session, arrival_ns, direction }
+    }
+
+    #[test]
+    fn hold_expires_on_the_latency_budget() {
+        // One session streams same-direction reads into an idle lane: the
+        // plug holds the full budget, capturing every arrival inside it.
+        let pending = [
+            arr(1, 1_000, Direction::Read),
+            arr(1, 5_000, Direction::Read),
+            arr(1, 40_000, Direction::Read), // outside the window
+        ];
+        let d = plan_dispatch(pending, 0, 20_000, 64);
+        assert_eq!(d.at_ns, 21_000, "dispatch at first arrival + budget");
+        assert_eq!(d.reason, DispatchReason::HoldExpired);
+        assert!(d.held());
+    }
+
+    #[test]
+    fn hold_unplugs_early_on_direction_change() {
+        let pending = [
+            arr(1, 1_000, Direction::Read),
+            arr(1, 4_000, Direction::Write), // same session turns around
+        ];
+        let d = plan_dispatch(pending, 0, 20_000, 64);
+        assert_eq!(d.at_ns, 4_000, "unplug the moment the direction changes");
+        assert_eq!(d.reason, DispatchReason::UnplugDirection);
+    }
+
+    #[test]
+    fn hold_unplugs_early_when_the_queue_fills() {
+        // Capacity 3: the third arrival fills the queue; waiting longer
+        // cannot merge anything more, so the plug releases right there.
+        let pending = [
+            arr(1, 1_000, Direction::Read),
+            arr(1, 2_000, Direction::Read),
+            arr(1, 3_000, Direction::Read),
+        ];
+        let d = plan_dispatch(pending, 0, 50_000, 3);
+        assert_eq!(d.at_ns, 3_000);
+        assert_eq!(d.reason, DispatchReason::UnplugQueueFull);
+    }
+
+    #[test]
+    fn never_holds_when_a_competing_session_is_waiting() {
+        // Backlog case: both sessions' requests were already waiting when
+        // the lane became free (lane_now past their arrivals) — no hold at
+        // all, the batch issues immediately.
+        let pending = [arr(1, 1_000, Direction::Read), arr(2, 2_000, Direction::Read)];
+        let d = plan_dispatch(pending, 10_000, 50_000, 64);
+        assert_eq!(d.at_ns, 10_000);
+        assert_eq!(d.reason, DispatchReason::Immediate);
+        assert!(!d.held());
+
+        // Mid-hold case: a competing session arrives with unmergeable
+        // (opposite-direction) work — the plug releases at that arrival
+        // instead of making the competitor wait out the budget.
+        let pending = [arr(1, 1_000, Direction::Read), arr(2, 6_000, Direction::Write)];
+        let d = plan_dispatch(pending, 0, 50_000, 64);
+        assert_eq!(d.at_ns, 6_000);
+        assert_eq!(d.reason, DispatchReason::UnplugCompetitor);
+    }
+
+    #[test]
+    fn cooperating_sessions_join_a_hold_and_captures_never_plug() {
+        // Same-direction arrivals from *other* sessions ride the plug —
+        // cross-tenant adjacent reads are the coalescer's bread and butter.
+        let pending = [
+            arr(1, 1_000, Direction::Read),
+            arr(2, 2_000, Direction::Read),
+            arr(3, 3_000, Direction::Read),
+        ];
+        let d = plan_dispatch(pending, 0, 20_000, 64);
+        assert_eq!(d.reason, DispatchReason::HoldExpired);
+
+        // Camera captures never anticipate.
+        let pending = [arr(1, 1_000, Direction::Other)];
+        let d = plan_dispatch(pending, 0, 20_000, 64);
+        assert_eq!(d.at_ns, 1_000);
+        assert_eq!(d.reason, DispatchReason::Immediate);
+
+        // Budget 0 disables holding outright.
+        let pending = [arr(1, 1_000, Direction::Read)];
+        let d = plan_dispatch(pending, 0, 0, 64);
+        assert_eq!(d.reason, DispatchReason::Immediate);
     }
 
     #[test]

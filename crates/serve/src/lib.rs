@@ -11,22 +11,41 @@
 //!   Each client holds a session id — a *handle* — rather than a replayer;
 //!   every submit crosses the world boundary once (one SMC), exactly like
 //!   an OP-TEE command invocation.
-//! * **Per-device scheduling** ([`sched`]): one compiled-program replayer
-//!   per secure device (MMC, USB, VCHIQ) drains a bounded submission queue
-//!   under a configurable policy — FIFO or deficit round-robin across
-//!   sessions. A full queue rejects the submit with
-//!   [`ServeError::QueueFull`] instead of growing without bound.
+//! * **One TEE core per device lane** ([`service`]): every served device
+//!   owns a full simulated platform — devices, interrupt controller and,
+//!   crucially, its **own virtual clock** — so device time overlaps across
+//!   lanes the way it does across real TrustZone cores. A camera burst on
+//!   the VCHIQ lane no longer stalls MMC/USB progress. The service merges
+//!   lane timelines with a pointwise-max rule (see
+//!   [`DriverletService::now_ns`]); completions carry lane-local times.
+//! * **Event-driven scheduling** ([`sched`]): [`DriverletService::drain`]
+//!   executes **one batch per call** on the lane with the smallest
+//!   next-event time; each lane drains a bounded submission queue under a
+//!   configurable policy — FIFO or deficit round-robin across sessions. A
+//!   full queue rejects the submit with [`ServeError::QueueFull`] (which
+//!   names the device and lane depth, so backpressure is per-device)
+//!   instead of growing without bound.
 //! * **Request coalescing** ([`coalesce`]): adjacent or overlapping block
 //!   reads merge into one multi-block replay, and runs of strictly
 //!   adjacent same-direction writes batch into a single larger replay —
 //!   both decomposed over the *recorded* granularities, because the
 //!   replayer can only execute recorded paths (§3.3). Completions fan back
 //!   out per request with byte-identical payloads.
+//! * **Anticipatory coalescing** ([`coalesce::plan_dispatch`]): under
+//!   light load a lane *plugs* — holds its queue open for a configurable
+//!   [`ServeConfig::hold_budget_ns`] latency budget after the first
+//!   request arrives — so requests that used to straddle batch boundaries
+//!   merge into one replay. The plug unplugs early on a direction change,
+//!   on queue-full, or the moment a competing session's unmergeable
+//!   request is waiting (kernel block-layer plug/unplug, bounded by the
+//!   budget so p50 stays close to the no-hold baseline).
 //!
-//! The scheduler executes batches in queue order (reads within one merge
-//! group commute), so any concurrent interleaving is equivalent to *some*
-//! serial order of the submitted requests — property-tested differentially
-//! against the tree-walking interpreter in `tests/serial_equivalence.rs`.
+//! The scheduler executes each lane's batches in queue order (reads within
+//! one merge group commute), so any concurrent interleaving is equivalent
+//! to *some* serial order of the submitted requests — property-tested
+//! differentially against the tree-walking interpreter in
+//! `tests/serial_equivalence.rs`, with per-lane clocks and anticipatory
+//! hold enabled.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -176,11 +195,19 @@ impl Completion {
 /// Errors raised by the service layer.
 #[derive(Debug, Clone)]
 pub enum ServeError {
-    /// The device's submission queue is full — backpressure; retry after a
-    /// drain instead of growing the queue without bound.
+    /// The device's submission queue is full — backpressure. The error
+    /// carries the rejecting device and its lane depth so callers can back
+    /// off **per device** (e.g. [`DriverletService::drain_device`] on just
+    /// the saturated lane) instead of stalling every lane globally.
     QueueFull {
         /// Device whose queue rejected the submit.
         device: Device,
+        /// The lane's backlog at rejection time. Under the current
+        /// bound-only admission rule this always equals `capacity`; it is
+        /// carried separately so admission policies that reject earlier
+        /// (per-session quotas, load shedding) can report the true depth
+        /// without an API break.
+        depth: usize,
         /// The configured queue capacity.
         capacity: usize,
     },
@@ -206,8 +233,8 @@ pub enum ServeError {
 impl std::fmt::Display for ServeError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            ServeError::QueueFull { device, capacity } => {
-                write!(f, "submission queue for {device} is full ({capacity} entries)")
+            ServeError::QueueFull { device, depth, capacity } => {
+                write!(f, "submission queue for {device} is full ({depth} of {capacity} entries)")
             }
             ServeError::SessionLimit { max } => {
                 write!(f, "session limit reached ({max} concurrent sessions)")
@@ -263,8 +290,9 @@ mod tests {
         let e = ServeError::Replay(ReplayError::UnknownEntry("replay_mmc".into()));
         assert!(e.source().is_some(), "ServeError must expose the ReplayError source");
         assert!(e.to_string().contains("replay_mmc"));
-        let q = ServeError::QueueFull { device: Device::Usb, capacity: 4 };
-        assert!(q.source().is_none());
-        assert!(q.to_string().contains("usb"));
+        let q = ServeError::QueueFull { device: Device::Usb, depth: 4, capacity: 4 };
+        assert!(q.source().is_none(), "backpressure is a leaf error: nothing to chain");
+        assert!(q.to_string().contains("usb"), "callers back off per device");
+        assert!(q.to_string().contains('4'), "the lane depth is visible to callers");
     }
 }

@@ -4,9 +4,17 @@
 //! requests plus the per-session bookkeeping the deficit-round-robin
 //! policy needs. The lane never executes anything itself — the service
 //! drains batches out of it and hands them to the coalescer.
+//!
+//! Since the multi-core refactor, batches are **arrival-gated**: a lane
+//! executes on its own clock, and a batch dispatched at lane time `t` may
+//! only contain requests whose (virtual) submission time is `<= t` — a
+//! core cannot serve a request that has not arrived yet. Queues are FIFO
+//! in submission time, so gating is a prefix under FIFO and a per-session
+//! prefix under deficit round-robin.
 
 use std::collections::{HashMap, VecDeque};
 
+use crate::coalesce::{direction, Arrival};
 use crate::{Request, RequestId, ServeError, SessionId};
 
 /// Scheduling policy for draining a device's submission queue.
@@ -79,6 +87,29 @@ impl Lane {
         self.high_water
     }
 
+    /// The queue bound.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Earliest (virtual) submission time among queued requests. The queue
+    /// is FIFO in submission time, so this is the front request.
+    pub fn earliest_arrival_ns(&self) -> Option<u64> {
+        self.queue.front().map(|p| p.submitted_ns)
+    }
+
+    /// The queue as the plug planner sees it: (session, arrival,
+    /// direction) in arrival order. Lazy — the planner runs on the event
+    /// loop's hot path and only inspects the prefix up to its hold
+    /// deadline, so nothing is materialised.
+    pub fn arrivals(&self) -> impl Iterator<Item = Arrival> + '_ {
+        self.queue.iter().map(|p| Arrival {
+            session: p.session,
+            arrival_ns: p.submitted_ns,
+            direction: direction(&p.req),
+        })
+    }
+
     /// Drop a closed session's scheduling state (its already-queued
     /// requests still execute; only the DRR bookkeeping is purged, so a
     /// long-lived service does not accumulate dead sessions).
@@ -99,7 +130,11 @@ impl Lane {
     /// Enqueue, or reject with [`ServeError::QueueFull`] (backpressure).
     pub fn push(&mut self, p: Pending, device: crate::Device) -> Result<(), ServeError> {
         if self.queue.len() >= self.capacity {
-            return Err(ServeError::QueueFull { device, capacity: self.capacity });
+            return Err(ServeError::QueueFull {
+                device,
+                depth: self.queue.len(),
+                capacity: self.capacity,
+            });
         }
         if !self.rr_order.contains(&p.session) {
             self.rr_order.push(p.session);
@@ -109,14 +144,23 @@ impl Lane {
         Ok(())
     }
 
-    /// Drain the next batch (at most `window` requests) under `policy`.
-    pub fn next_batch(&mut self, policy: Policy, window: usize) -> Vec<Pending> {
+    /// Drain the next batch (at most `window` requests) under `policy`,
+    /// taking only requests that have arrived by lane time `arrived_by`.
+    pub fn next_batch(&mut self, policy: Policy, window: usize, arrived_by: u64) -> Vec<Pending> {
         match policy {
             Policy::Fifo => {
-                let n = window.min(self.queue.len());
+                // FIFO in submission time: the arrived set is a prefix.
+                let n = self
+                    .queue
+                    .iter()
+                    .take(window)
+                    .take_while(|p| p.submitted_ns <= arrived_by)
+                    .count();
                 self.queue.drain(..n).collect()
             }
-            Policy::DeficitRoundRobin { quantum_blocks } => self.drr_batch(quantum_blocks, window),
+            Policy::DeficitRoundRobin { quantum_blocks } => {
+                self.drr_batch(quantum_blocks.max(1), window, arrived_by)
+            }
         }
     }
 
@@ -129,14 +173,28 @@ impl Lane {
         self.queue.iter().any(|p| p.session == session)
     }
 
-    fn drr_batch(&mut self, quantum: u64, window: usize) -> Vec<Pending> {
+    /// The cost of the session's *next* request, provided it has arrived.
+    /// Per-session order is submission order, so an unarrived front
+    /// request blocks the session's later requests too.
+    fn arrived_front_cost(&self, session: SessionId, arrived_by: u64) -> Option<u64> {
+        self.queue
+            .iter()
+            .find(|p| p.session == session)
+            .filter(|p| p.submitted_ns <= arrived_by)
+            .map(|p| p.req.cost_blocks())
+    }
+
+    fn drr_batch(&mut self, quantum: u64, window: usize, arrived_by: u64) -> Vec<Pending> {
         let mut batch = Vec::new();
         // Iterate sessions round-robin from the saved cursor; stop after a
         // full rotation that contributed nothing (deficits keep
         // accumulating across calls, so large requests are served
         // eventually) or when the batch window fills.
         let mut barren_rotations = 0usize;
-        while batch.len() < window && !self.queue.is_empty() && !self.rr_order.is_empty() {
+        while batch.len() < window
+            && self.queue.iter().any(|p| p.submitted_ns <= arrived_by)
+            && !self.rr_order.is_empty()
+        {
             self.rr_cursor %= self.rr_order.len();
             let session = self.rr_order[self.rr_cursor];
             if !self.session_has_work(session) {
@@ -147,24 +205,26 @@ impl Lane {
                 self.rr_order.remove(self.rr_cursor);
                 continue;
             }
-            let deficit = self.deficits.entry(session).or_insert(0);
-            *deficit += quantum;
             let mut took_any = false;
-            while batch.len() < window {
-                let Some(front_cost) =
-                    self.queue.iter().find(|p| p.session == session).map(|p| p.req.cost_blocks())
-                else {
-                    break;
-                };
+            if self.arrived_front_cost(session, arrived_by).is_some() {
                 let deficit = self.deficits.entry(session).or_insert(0);
-                if *deficit < front_cost {
-                    break;
+                *deficit += quantum;
+                while batch.len() < window {
+                    let Some(front_cost) = self.arrived_front_cost(session, arrived_by) else {
+                        break;
+                    };
+                    let deficit = self.deficits.entry(session).or_insert(0);
+                    if *deficit < front_cost {
+                        break;
+                    }
+                    *deficit -= front_cost;
+                    let p = self.pop_for_session(session).expect("front cost implies presence");
+                    batch.push(p);
+                    took_any = true;
                 }
-                *deficit -= front_cost;
-                let p = self.pop_for_session(session).expect("front cost implies presence");
-                batch.push(p);
-                took_any = true;
             }
+            // A session whose work has not arrived yet keeps its rotation
+            // slot (and deficit) but earns no quantum this round.
             self.rr_cursor += 1;
             barren_rotations = if took_any { 0 } else { barren_rotations + 1 };
             if barren_rotations >= self.rr_order.len() {
@@ -197,12 +257,41 @@ mod tests {
         }
         assert!(matches!(
             lane.push(rd(1, 9, 9, 1), Device::Mmc),
-            Err(ServeError::QueueFull { capacity: 3, .. })
+            Err(ServeError::QueueFull { depth: 3, capacity: 3, .. })
         ));
-        let batch = lane.next_batch(Policy::Fifo, 10);
+        let batch = lane.next_batch(Policy::Fifo, 10, u64::MAX);
         assert_eq!(batch.iter().map(|p| p.id).collect::<Vec<_>>(), vec![0, 1, 2]);
         assert!(lane.is_empty());
         assert_eq!(lane.high_water(), 3);
+        assert_eq!(lane.capacity(), 3);
+    }
+
+    #[test]
+    fn batches_are_arrival_gated_under_both_policies() {
+        let mk = |session: SessionId, id: RequestId, submitted_ns: u64| Pending {
+            id,
+            session,
+            req: Request::Read { device: Device::Mmc, blkid: id as u32, blkcnt: 1 },
+            submitted_ns,
+        };
+        // FIFO: only the prefix that has arrived by lane time 150 drains.
+        let mut lane = Lane::new(8);
+        lane.push(mk(1, 0, 100), Device::Mmc).unwrap();
+        lane.push(mk(1, 1, 150), Device::Mmc).unwrap();
+        lane.push(mk(2, 2, 900), Device::Mmc).unwrap();
+        let batch = lane.next_batch(Policy::Fifo, 8, 150);
+        assert_eq!(batch.iter().map(|p| p.id).collect::<Vec<_>>(), vec![0, 1]);
+        assert_eq!(lane.earliest_arrival_ns(), Some(900), "the future request stays queued");
+
+        // DRR: a session whose work has not arrived earns no quantum and
+        // blocks nothing; the arrived session's requests drain in order.
+        let mut lane = Lane::new(8);
+        lane.push(mk(1, 0, 100), Device::Mmc).unwrap();
+        lane.push(mk(2, 1, 500), Device::Mmc).unwrap();
+        lane.push(mk(1, 2, 120), Device::Mmc).unwrap();
+        let batch = lane.next_batch(Policy::DeficitRoundRobin { quantum_blocks: 8 }, 8, 200);
+        assert_eq!(batch.iter().map(|p| p.id).collect::<Vec<_>>(), vec![0, 2]);
+        assert_eq!(lane.len(), 1);
     }
 
     #[test]
@@ -220,7 +309,7 @@ mod tests {
         }
         // A 256-block quantum lets each session take one large request (or
         // many small ones) per rotation.
-        let batch = lane.next_batch(Policy::DeficitRoundRobin { quantum_blocks: 256 }, 4);
+        let batch = lane.next_batch(Policy::DeficitRoundRobin { quantum_blocks: 256 }, 4, u64::MAX);
         let sessions: Vec<SessionId> = batch.iter().map(|p| p.session).collect();
         assert!(
             sessions.contains(&1) && sessions.contains(&2),
@@ -241,7 +330,7 @@ mod tests {
         // across rounds rather than deadlock.
         let mut batches = Vec::new();
         for _ in 0..40 {
-            let b = lane.next_batch(Policy::DeficitRoundRobin { quantum_blocks: 8 }, 4);
+            let b = lane.next_batch(Policy::DeficitRoundRobin { quantum_blocks: 8 }, 4, u64::MAX);
             if !b.is_empty() {
                 batches.push(b);
                 break;

@@ -1,10 +1,17 @@
 //! Scheduler equivalence property: any interleaving of concurrent
-//! sessions — any policy, coalescing on — produces the same device state
-//! and the same read payloads as *some* serial order of the submitted
-//! requests. The witness order is the service's own dispatch log, and the
-//! serial reference executes it on a fresh rig running the tree-walking
+//! sessions — any policy, coalescing on, **per-lane clocks and
+//! anticipatory hold enabled** — produces the same device state and the
+//! same read payloads as *some* serial order of the submitted requests,
+//! and that serial order respects every session's submission order. The
+//! witness order is the service's own dispatch log, and the serial
+//! reference executes it on a fresh rig running the tree-walking
 //! interpreter ([`ReplayMode::Interpreted`]) — so the property is also a
 //! differential test across the two replay engines.
+//!
+//! Each generated program runs twice: once with the anticipatory-hold
+//! default budget and once with holding disabled, because the plug changes
+//! *when* batches dispatch (and therefore how requests merge) but must
+//! never change any payload or violate per-session ordering.
 
 use std::collections::HashMap;
 use std::sync::OnceLock;
@@ -152,11 +159,18 @@ fn pattern(tag: u64, blocks: u32) -> Vec<u8> {
 }
 
 /// Drive the service with generated per-session traffic and check the
-/// serial-equivalence property for one block device.
-fn check_block_device(device: Device, policy: Policy, choices: &[u8]) {
+/// serial-equivalence property for one block device, at one
+/// anticipatory-hold budget.
+fn check_block_device_with_hold(
+    device: Device,
+    policy: Policy,
+    choices: &[u8],
+    hold_budget_ns: u64,
+) {
     let config = ServeConfig {
         policy,
         coalesce: true,
+        hold_budget_ns,
         block_granularities: GRANULARITIES.to_vec(),
         ..ServeConfig::default()
     };
@@ -167,10 +181,15 @@ fn check_block_device(device: Device, policy: Policy, choices: &[u8]) {
 
     // Interpret the generated bytes as an interleaved request program over
     // a small hot range of the disk, so reads, writes, overlaps and
-    // adjacency all occur.
+    // adjacency all occur. Every fourth request is preceded by client
+    // think time so arrivals land both inside and outside hold windows.
     let mut requests: HashMap<RequestId, Request> = HashMap::new();
+    let mut session_of: HashMap<RequestId, u32> = HashMap::new();
     for (i, &choice) in choices.iter().enumerate() {
         let session = sessions[i % sessions.len()];
+        if i % 4 == 3 {
+            service.client_think_ns(u64::from(choice) * 2_000);
+        }
         let blkid = 64 + u32::from(choice % 48);
         let blkcnt = 1 + u32::from(choice % 8);
         let req = if choice % 3 == 0 {
@@ -180,12 +199,51 @@ fn check_block_device(device: Device, policy: Policy, choices: &[u8]) {
         };
         let id = service.submit(session, req.clone()).expect("submit");
         requests.insert(id, req);
+        session_of.insert(id, session);
     }
 
-    let completions = service.drain();
+    let completions = service.drain_all();
     let witness = service.take_exec_log();
     assert_eq!(completions.len(), choices.len());
     assert_eq!(witness.len(), choices.len());
+
+    // Per-session ordering: within a session, the witness serial order may
+    // reorder *reads among reads* (they commute inside a merged span), but
+    // any pair involving a write must dispatch in submission order — ids
+    // are handed out in submission order, so an inversion involving a
+    // write would let a session observe its own operations out of order.
+    let mut per_session: HashMap<u32, Vec<RequestId>> = HashMap::new();
+    for id in &witness {
+        per_session.entry(session_of[id]).or_default().push(*id);
+    }
+    for (session, order) in &per_session {
+        for (i, &a) in order.iter().enumerate() {
+            for &b in &order[i + 1..] {
+                if a > b {
+                    let both_reads = matches!(requests[&a], Request::Read { .. })
+                        && matches!(requests[&b], Request::Read { .. });
+                    assert!(
+                        both_reads,
+                        "session {session}: request {a} dispatched before earlier request {b} \
+                         and at least one is a write (per-lane clocks or hold broke per-session \
+                         ordering)"
+                    );
+                }
+            }
+        }
+    }
+
+    // Completions must carry a coherent lane timeline: never completed
+    // before submitted.
+    for c in &completions {
+        assert!(
+            c.completed_ns >= c.submitted_ns,
+            "request {} completed at {} before its arrival {}",
+            c.id,
+            c.completed_ns,
+            c.submitted_ns
+        );
+    }
 
     // Serial reference: execute the witness order on the interpreted rig.
     let mut rig = serial_rig(device);
@@ -212,12 +270,19 @@ fn check_block_device(device: Device, policy: Policy, choices: &[u8]) {
     let session = sessions[0];
     let id = service.submit(session, readback.clone()).expect("submit readback");
     let final_completion =
-        service.drain().into_iter().find(|c| c.id == id).expect("readback completion");
+        service.drain_all().into_iter().find(|c| c.id == id).expect("readback completion");
     let Ok(Payload::Read(service_state)) = final_completion.result else {
         panic!("readback failed");
     };
     let serial_state = serial_execute(&mut rig, device, &readback).expect("serial readback");
     prop_assert_eq_bytes(&serial_state, &service_state, id);
+}
+
+/// The property at both hold settings: anticipatory hold changes batch
+/// boundaries, never payloads or ordering.
+fn check_block_device(device: Device, policy: Policy, choices: &[u8]) {
+    check_block_device_with_hold(device, policy, choices, ServeConfig::default().hold_budget_ns);
+    check_block_device_with_hold(device, policy, choices, 0);
 }
 
 fn prop_assert_eq_bytes(expected: &[u8], got: &[u8], id: RequestId) {
@@ -250,7 +315,14 @@ proptest! {
     }
 
     #[test]
-    fn usb_interleavings_match_a_serial_order(
+    fn usb_interleavings_match_a_serial_order_fifo(
+        choices in proptest::collection::vec(any::<u8>(), 6..12)
+    ) {
+        check_block_device(Device::Usb, Policy::Fifo, &choices);
+    }
+
+    #[test]
+    fn usb_interleavings_match_a_serial_order_drr(
         choices in proptest::collection::vec(any::<u8>(), 6..14)
     ) {
         check_block_device(
@@ -279,7 +351,7 @@ fn vchiq_captures_match_the_serial_order() {
         let id = service.submit(session, req.clone()).unwrap();
         requests.insert(id, req);
     }
-    let completions = service.drain();
+    let completions = service.drain_all();
     let witness = service.take_exec_log();
     assert_eq!(completions.len(), 4);
 

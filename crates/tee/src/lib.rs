@@ -294,6 +294,27 @@ impl SecureIo {
     }
 }
 
+/// Program one platform's TZASC for the TEE — assign `secure_devices` to
+/// the secure world, protect the TEE's DMA pool window — and return the
+/// core's [`SecureIo`] services.
+///
+/// This is the per-core half of [`TeeKernel::install`]: a multi-core
+/// deployment (the `dlt-serve` lane-per-device model) calls it once per
+/// lane platform so each replayer core gets its own secure services and
+/// its own clock, while a single control-plane [`TeeKernel`] keeps owning
+/// sessions and SMC accounting.
+pub fn secure_core(platform: &Platform, secure_devices: &[&str]) -> Result<SecureIo, TeeError> {
+    let io = SecureIo::new(platform.bus.clone());
+    {
+        let mut bus = platform.bus.lock();
+        for dev in secure_devices {
+            bus.set_device_secure(dev, true)?;
+        }
+        bus.protect_ram(io.pool_region());
+    }
+    Ok(io)
+}
+
 /// A trusted application.
 pub trait Trustlet {
     /// Stable UUID-like name.
@@ -324,14 +345,7 @@ impl TeeKernel {
     /// the TEE (TZASC programming via Arm trusted firmware in the paper) and
     /// protecting the TEE's DMA pool from the normal world.
     pub fn install(platform: &Platform, secure_devices: &[&str]) -> Result<Self, TeeError> {
-        let io = SecureIo::new(platform.bus.clone());
-        {
-            let mut bus = platform.bus.lock();
-            for dev in secure_devices {
-                bus.set_device_secure(dev, true)?;
-            }
-            bus.protect_ram(io.pool_region());
-        }
+        let io = secure_core(platform, secure_devices)?;
         Ok(TeeKernel {
             io,
             trustlets: Vec::new(),
