@@ -1,8 +1,9 @@
 //! Service-layer throughput: coalesced scheduler vs serial uncoalesced
 //! issue, mixed MMC+USB+VCHIQ traffic racing a LongBurst capture,
-//! 1→3-device weak scaling, and the anticipatory-hold sweep; persisted to
-//! `BENCH_serve.json`. CI runs this with `--quick` and fails on any of
-//! the acceptance assertions below.
+//! 1→3-device weak scaling, the anticipatory-hold sweep, and the
+//! ring-vs-legacy submission comparison; persisted to `BENCH_serve.json`.
+//! CI runs this with `--quick` and fails on any of the acceptance
+//! assertions below.
 //!
 //! Run with:
 //!
@@ -61,6 +62,30 @@ fn main() {
         "acceptance: default hold budget must keep p50 within 10% of no-hold ({} vs {} us)",
         default.latency.p50_us,
         baseline.latency.p50_us
+    );
+    // The ring-submission gates: one doorbell amortised over 16 staged
+    // entries must cut world switches below 0.25 per request and lift the
+    // mixed-workload request rate at least 1.5x over one-SMC-per-call,
+    // without taxing the batch-1 closed-loop client.
+    assert!(
+        report.ring.ring.smcs_per_request <= 0.25,
+        "acceptance: ring mode must spend <= 0.25 SMCs/request at doorbell batch {}, got {:.3}",
+        report.ring.doorbell_batch,
+        report.ring.ring.smcs_per_request
+    );
+    assert!(
+        report.ring.speedup >= 1.5,
+        "acceptance: ring mode must reach >= 1.5x the legacy request rate on the mixed \
+         workload, got {:.2}x ({:.0} vs {:.0} req/s)",
+        report.ring.speedup,
+        report.ring.ring.rps,
+        report.ring.legacy.rps
+    );
+    assert!(
+        report.ring.batch1.ring_p50_us <= report.ring.batch1.legacy_p50_us,
+        "acceptance: batch-1 ring p50 ({} us) must be no worse than per-call p50 ({} us)",
+        report.ring.batch1.ring_p50_us,
+        report.ring.batch1.legacy_p50_us
     );
 
     let out = std::env::var("BENCH_SERVE_OUT").unwrap_or_else(|_| "BENCH_serve.json".into());

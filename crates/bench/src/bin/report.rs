@@ -257,9 +257,20 @@ fn main() {
                 dlt_bench::serve_bench::run_serve_bench(quick)
             });
         print!("{}", dlt_bench::serve_bench::describe(&report));
+        let ring = &report.ring;
         println!(
-            "per-device p50/p99 and the 1->3 device scaling ratio ({:.2}x) come from \
-             BENCH_serve.json; refresh it with the serve_throughput bench",
+            "ring submission: {:.3} SMCs/request (vs {:.3} per-call), mean doorbell batch \
+             {:.1}, SQ occupancy {:.2} -> {:.2}x request rate at batch {}",
+            ring.ring.smcs_per_request,
+            ring.legacy.smcs_per_request,
+            ring.ring.mean_doorbell_batch,
+            ring.ring.sq_occupancy,
+            ring.speedup,
+            ring.doorbell_batch
+        );
+        println!(
+            "per-device p50/p99, the 1->3 device scaling ratio ({:.2}x) and the ring-vs-legacy \
+             table come from BENCH_serve.json; refresh it with the serve_throughput bench",
             report.scaling.ratio_3v1
         );
     }

@@ -8,9 +8,20 @@
 //!
 //! * **Sessions** ([`DriverletService::open_session`]): N concurrent
 //!   clients admitted through the `dlt-tee` trustlet/session framework.
-//!   Each client holds a session id — a *handle* — rather than a replayer;
-//!   every submit crosses the world boundary once (one SMC), exactly like
-//!   an OP-TEE command invocation.
+//!   Each client holds a session id — a *handle* — rather than a replayer.
+//! * **Two submission paths** ([`SubmitMode`]): per-call — every submit
+//!   crosses the world boundary once (one SMC plus the GP invoke
+//!   marshalling), exactly like an OP-TEE command invocation, and every
+//!   completion reap is another SMC — or **shared-memory rings**
+//!   ([`ring`]): submits stage entries in a per-lane submission ring
+//!   without entering the TEE, one [`DriverletService::ring_doorbell`]
+//!   SMC admits the whole staged batch under the same admission checks,
+//!   and completions are reaped from per-session completion rings
+//!   SMC-free. World switches are the dominant fixed cost of TEE I/O
+//!   (Amacher & Schiavoni), so amortising one doorbell over N requests is
+//!   the serve layer's biggest hot-path win; the legacy path stays
+//!   available so the serial-equivalence differential can prove the ring
+//!   path behaviour-identical.
 //! * **One TEE core per device lane** ([`service`]): every served device
 //!   owns a full simulated platform — devices, interrupt controller and,
 //!   crucially, its **own virtual clock** — so device time overlaps across
@@ -52,12 +63,13 @@
 
 pub mod adapter;
 pub mod coalesce;
+pub mod ring;
 pub mod sched;
 pub mod service;
 
 pub use adapter::ServedBlockDev;
 pub use sched::Policy;
-pub use service::{DriverletService, ServeConfig, ServeStats, SessionBlockIo};
+pub use service::{DriverletService, ServeConfig, ServeStats, SessionBlockIo, SubmitMode};
 
 use dlt_core::ReplayError;
 use dlt_tee::TeeError;
@@ -195,20 +207,24 @@ impl Completion {
 /// Errors raised by the service layer.
 #[derive(Debug, Clone)]
 pub enum ServeError {
-    /// The device's submission queue is full — backpressure. The error
-    /// carries the rejecting device and its lane depth so callers can back
-    /// off **per device** (e.g. [`DriverletService::drain_device`] on just
-    /// the saturated lane) instead of stalling every lane globally.
+    /// The device's submission queue — or, in [`SubmitMode::Ring`], its
+    /// submission *ring* — is full: backpressure, never a silent drop.
+    /// The error carries the rejecting device and the saturated queue's
+    /// depth/capacity (the lane queue on the per-call path, the SQ ring
+    /// on the ring path) so callers can back off **per device** (e.g.
+    /// [`DriverletService::drain_device`] on just the saturated lane,
+    /// preceded by a [`DriverletService::ring_doorbell`] in ring mode)
+    /// instead of stalling every lane globally.
     QueueFull {
         /// Device whose queue rejected the submit.
         device: Device,
-        /// The lane's backlog at rejection time. Under the current
-        /// bound-only admission rule this always equals `capacity`; it is
-        /// carried separately so admission policies that reject earlier
+        /// The backlog at rejection time. Under the current bound-only
+        /// admission rule this always equals `capacity`; it is carried
+        /// separately so admission policies that reject earlier
         /// (per-session quotas, load shedding) can report the true depth
         /// without an API break.
         depth: usize,
-        /// The configured queue capacity.
+        /// The configured bound (queue capacity or SQ ring depth).
         capacity: usize,
     },
     /// The session-admission limit was reached.

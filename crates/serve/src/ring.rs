@@ -1,0 +1,233 @@
+//! io_uring-style submission/completion rings in normal-world shared
+//! memory.
+//!
+//! The ring submit path replaces "one SMC per operation" with two bounded
+//! single-producer/single-consumer rings that both worlds can see:
+//!
+//! * a per-lane **submission ring** ([`SubmissionRing`]) the client fills
+//!   without entering the TEE — only the **doorbell** SMC that follows a
+//!   batch of enqueues crosses the world boundary, and it admits every
+//!   staged entry at once;
+//! * a per-session **completion ring** ([`CompletionRing`]) the service
+//!   posts into and the client reaps without any SMC at all. When the ring
+//!   is full the service never drops a completion: it spills to a
+//!   kernel-side overflow list (io_uring's `CQ_OVERFLOW` behaviour), and
+//!   flushing that list back costs the reader one world switch.
+//!
+//! Slots are tracked io_uring-style with monotonically increasing
+//! head/tail indices (occupancy is `tail - head`); the simulation stores
+//! the slot contents in a `VecDeque` rather than a mapped array, but the
+//! protocol — bounded ring, producer bumps tail, consumer bumps head,
+//! doorbell publishes the tail — is the one the normal world and the gate
+//! trustlet would share.
+
+use std::collections::VecDeque;
+
+use crate::{Completion, Request, RequestId, SessionId};
+
+/// One staged submission-ring slot: everything the gate trustlet needs to
+/// admit the request at doorbell time.
+#[derive(Debug, Clone)]
+pub struct SqEntry {
+    /// Request id assigned at enqueue (ids are handed out in enqueue
+    /// order, exactly like the per-call path hands them out per SMC).
+    pub id: RequestId,
+    /// Session that staged the entry.
+    pub session: SessionId,
+    /// The request itself.
+    pub req: Request,
+    /// Normal-world (control-clock) time at which the client staged the
+    /// entry — the stamp client-observed latency is measured from.
+    pub enqueued_ns: u64,
+}
+
+/// A bounded submission ring (one per device lane).
+#[derive(Debug)]
+pub struct SubmissionRing {
+    slots: VecDeque<SqEntry>,
+    depth: usize,
+    head: u64,
+    tail: u64,
+    high_water: usize,
+}
+
+impl SubmissionRing {
+    /// An empty ring with `depth` slots.
+    pub fn new(depth: usize) -> Self {
+        SubmissionRing {
+            slots: VecDeque::new(),
+            depth: depth.max(1),
+            head: 0,
+            tail: 0,
+            high_water: 0,
+        }
+    }
+
+    /// Entries currently staged (tail - head).
+    pub fn len(&self) -> usize {
+        (self.tail - self.head) as usize
+    }
+
+    /// Whether nothing is staged.
+    pub fn is_empty(&self) -> bool {
+        self.head == self.tail
+    }
+
+    /// Whether every slot is in use (the producer must ring the doorbell
+    /// — or back off — before staging more).
+    pub fn is_full(&self) -> bool {
+        self.len() >= self.depth
+    }
+
+    /// The ring bound.
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    /// Deepest the ring has been (occupancy high-water mark).
+    pub fn high_water(&self) -> usize {
+        self.high_water
+    }
+
+    /// Stage one entry. Returns the entry back when the ring is full, so
+    /// the caller can surface typed backpressure instead of dropping it.
+    pub fn try_push(&mut self, entry: SqEntry) -> Result<(), SqEntry> {
+        if self.is_full() {
+            return Err(entry);
+        }
+        self.slots.push_back(entry);
+        self.tail += 1;
+        self.high_water = self.high_water.max(self.len());
+        Ok(())
+    }
+
+    /// Consume every staged entry in enqueue order (the gate's drain at
+    /// doorbell time): bumps the head past the published tail.
+    pub fn drain_staged(&mut self) -> Vec<SqEntry> {
+        self.head = self.tail;
+        self.slots.drain(..).collect()
+    }
+}
+
+/// A bounded completion ring (one per session) with a never-drop overflow
+/// list.
+#[derive(Debug)]
+pub struct CompletionRing {
+    slots: VecDeque<Completion>,
+    depth: usize,
+    head: u64,
+    tail: u64,
+    overflow: VecDeque<Completion>,
+}
+
+impl CompletionRing {
+    /// An empty ring with `depth` reapable slots.
+    pub fn new(depth: usize) -> Self {
+        CompletionRing {
+            slots: VecDeque::new(),
+            depth: depth.max(1),
+            head: 0,
+            tail: 0,
+            overflow: VecDeque::new(),
+        }
+    }
+
+    /// Completions waiting to be reaped (ring plus overflow list).
+    pub fn len(&self) -> usize {
+        (self.tail - self.head) as usize + self.overflow.len()
+    }
+
+    /// Whether nothing is waiting.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Post one completion. Returns `true` when the ring was full and the
+    /// completion went to the overflow list instead (the reader's next
+    /// reap must enter the kernel to flush it) — the service aggregates
+    /// these into `ServeStats::cq_overflows`.
+    pub fn post(&mut self, completion: Completion) -> bool {
+        if (self.tail - self.head) as usize >= self.depth {
+            self.overflow.push_back(completion);
+            return true;
+        }
+        self.slots.push_back(completion);
+        self.tail += 1;
+        false
+    }
+
+    /// Reap everything in post order. The boolean is `true` when the
+    /// overflow list had to be flushed (which costs the ring-mode reader a
+    /// world switch; in-ring entries are free to read).
+    pub fn take_all(&mut self) -> (Vec<Completion>, bool) {
+        self.head = self.tail;
+        let mut taken: Vec<Completion> = self.slots.drain(..).collect();
+        let flushed = !self.overflow.is_empty();
+        taken.extend(self.overflow.drain(..));
+        (taken, flushed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Device, ServeError};
+
+    fn entry(id: RequestId) -> SqEntry {
+        SqEntry {
+            id,
+            session: 1,
+            req: Request::Read { device: Device::Mmc, blkid: id as u32, blkcnt: 1 },
+            enqueued_ns: id,
+        }
+    }
+
+    fn completion(id: RequestId) -> Completion {
+        Completion {
+            id,
+            session: 1,
+            device: Device::Mmc,
+            result: Err(ServeError::Invalid("test".into())),
+            submitted_ns: 0,
+            completed_ns: id,
+            coalesced: false,
+        }
+    }
+
+    #[test]
+    fn sq_bounds_and_preserves_enqueue_order() {
+        let mut sq = SubmissionRing::new(2);
+        sq.try_push(entry(1)).unwrap();
+        sq.try_push(entry(2)).unwrap();
+        let rejected = sq.try_push(entry(3)).unwrap_err();
+        assert_eq!(rejected.id, 3, "a full ring hands the entry back, never drops it");
+        assert!(sq.is_full());
+        assert_eq!(sq.high_water(), 2);
+        let drained = sq.drain_staged();
+        assert_eq!(drained.iter().map(|e| e.id).collect::<Vec<_>>(), vec![1, 2]);
+        assert!(sq.is_empty());
+        // Indices keep rising across drain cycles (io_uring-style
+        // monotone head/tail, never reset).
+        sq.try_push(entry(4)).unwrap();
+        assert_eq!(sq.len(), 1);
+        assert_eq!(sq.drain_staged().len(), 1);
+    }
+
+    #[test]
+    fn cq_overflow_spills_without_dropping_and_flags_the_flush() {
+        let mut cq = CompletionRing::new(2);
+        assert!(!cq.post(completion(1)));
+        assert!(!cq.post(completion(2)));
+        assert!(cq.post(completion(3)), "the third post overflows a depth-2 ring");
+        assert_eq!(cq.len(), 3);
+        let (taken, flushed) = cq.take_all();
+        assert!(flushed, "reaping past an overflow costs the reader a kernel entry");
+        assert_eq!(taken.iter().map(|c| c.id).collect::<Vec<_>>(), vec![1, 2, 3]);
+        assert!(cq.is_empty());
+        // In-ring reaps after the flush are free again.
+        assert!(!cq.post(completion(4)));
+        let (taken, flushed) = cq.take_all();
+        assert_eq!(taken.len(), 1);
+        assert!(!flushed);
+    }
+}

@@ -7,10 +7,12 @@
 //!
 //! Since the multi-core refactor, batches are **arrival-gated**: a lane
 //! executes on its own clock, and a batch dispatched at lane time `t` may
-//! only contain requests whose (virtual) submission time is `<= t` — a
-//! core cannot serve a request that has not arrived yet. Queues are FIFO
-//! in submission time, so gating is a prefix under FIFO and a per-session
-//! prefix under deficit round-robin.
+//! only contain requests whose (virtual) *admission* time
+//! ([`Pending::arrived_ns`] — the per-call SMC's return, or the doorbell
+//! that drained the submission ring) is `<= t` — a core cannot serve a
+//! request the TEE has not seen yet. Queues are FIFO in admission time,
+//! so gating is a prefix under FIFO and a per-session prefix under
+//! deficit round-robin.
 
 use std::collections::{HashMap, VecDeque};
 
@@ -42,8 +44,15 @@ pub struct Pending {
     pub session: SessionId,
     /// The request itself.
     pub req: Request,
-    /// Virtual time at submission.
+    /// Virtual (control-clock) time the client *initiated* the request —
+    /// latency is measured from here, so it includes whatever the submit
+    /// path itself cost (the per-call SMC, or the wait for a doorbell).
     pub submitted_ns: u64,
+    /// Virtual (control-clock) time the TEE *admitted* the request — the
+    /// per-call SMC's return, or the doorbell that drained it out of the
+    /// submission ring. A lane may not serve the request before this
+    /// instant (`arrived_ns >= submitted_ns` by construction).
+    pub arrived_ns: u64,
 }
 
 /// A device's bounded submission queue.
@@ -92,10 +101,10 @@ impl Lane {
         self.capacity
     }
 
-    /// Earliest (virtual) submission time among queued requests. The queue
-    /// is FIFO in submission time, so this is the front request.
+    /// Earliest (virtual) admission time among queued requests. The queue
+    /// is FIFO in admission time, so this is the front request.
     pub fn earliest_arrival_ns(&self) -> Option<u64> {
-        self.queue.front().map(|p| p.submitted_ns)
+        self.queue.front().map(|p| p.arrived_ns)
     }
 
     /// The queue as the plug planner sees it: (session, arrival,
@@ -105,7 +114,7 @@ impl Lane {
     pub fn arrivals(&self) -> impl Iterator<Item = Arrival> + '_ {
         self.queue.iter().map(|p| Arrival {
             session: p.session,
-            arrival_ns: p.submitted_ns,
+            arrival_ns: p.arrived_ns,
             direction: direction(&p.req),
         })
     }
@@ -149,12 +158,12 @@ impl Lane {
     pub fn next_batch(&mut self, policy: Policy, window: usize, arrived_by: u64) -> Vec<Pending> {
         match policy {
             Policy::Fifo => {
-                // FIFO in submission time: the arrived set is a prefix.
+                // FIFO in admission time: the arrived set is a prefix.
                 let n = self
                     .queue
                     .iter()
                     .take(window)
-                    .take_while(|p| p.submitted_ns <= arrived_by)
+                    .take_while(|p| p.arrived_ns <= arrived_by)
                     .count();
                 self.queue.drain(..n).collect()
             }
@@ -180,7 +189,7 @@ impl Lane {
         self.queue
             .iter()
             .find(|p| p.session == session)
-            .filter(|p| p.submitted_ns <= arrived_by)
+            .filter(|p| p.arrived_ns <= arrived_by)
             .map(|p| p.req.cost_blocks())
     }
 
@@ -192,7 +201,7 @@ impl Lane {
         // eventually) or when the batch window fills.
         let mut barren_rotations = 0usize;
         while batch.len() < window
-            && self.queue.iter().any(|p| p.submitted_ns <= arrived_by)
+            && self.queue.iter().any(|p| p.arrived_ns <= arrived_by)
             && !self.rr_order.is_empty()
         {
             self.rr_cursor %= self.rr_order.len();
@@ -246,6 +255,7 @@ mod tests {
             session,
             req: Request::Read { device: Device::Mmc, blkid, blkcnt },
             submitted_ns: 0,
+            arrived_ns: 0,
         }
     }
 
@@ -273,6 +283,7 @@ mod tests {
             session,
             req: Request::Read { device: Device::Mmc, blkid: id as u32, blkcnt: 1 },
             submitted_ns,
+            arrived_ns: submitted_ns,
         };
         // FIFO: only the prefix that has arrived by lane time 150 drains.
         let mut lane = Lane::new(8);

@@ -12,6 +12,12 @@
 //! default budget and once with holding disabled, because the plug changes
 //! *when* batches dispatch (and therefore how requests merge) but must
 //! never change any payload or violate per-session ordering.
+//!
+//! The `*_ring_batches_*` properties run the same generated programs down
+//! the shared-memory ring path ([`SubmitMode::Ring`]) with random doorbell
+//! batch sizes, interleaved with per-call submits from a legacy session —
+//! proving the batched submission spine behaviour-identical to the
+//! one-SMC-per-operation baseline.
 
 use std::collections::HashMap;
 use std::sync::OnceLock;
@@ -25,7 +31,9 @@ use dlt_recorder::campaign::{
     record_camera_driverlet_subset, record_mmc_driverlet_subset, record_usb_driverlet_subset,
     DEV_KEY,
 };
-use dlt_serve::{Device, DriverletService, Payload, Policy, Request, RequestId, ServeConfig};
+use dlt_serve::{
+    Device, DriverletService, Payload, Policy, Request, RequestId, ServeConfig, SubmitMode,
+};
 use dlt_tee::{SecureIo, TeeKernel};
 use dlt_template::Driverlet;
 use proptest::prelude::*;
@@ -285,6 +293,138 @@ fn check_block_device(device: Device, policy: Policy, choices: &[u8]) {
     check_block_device_with_hold(device, policy, choices, 0);
 }
 
+/// The ring-batched flavour of the property: the same generated program
+/// driven through [`SubmitMode::Ring`], with doorbell batch sizes drawn
+/// from the generated bytes and one session submitting through the legacy
+/// per-call SMC path *interleaved* with the ring sessions (the syscall
+/// beside io_uring). Ring batching changes **when** requests become
+/// visible to the TEE — whole doorbell batches share one admission stamp —
+/// but must never change any payload, violate per-session ordering, or
+/// complete a request before it was submitted.
+fn check_ring_batches(device: Device, policy: Policy, choices: &[u8]) {
+    let config = ServeConfig {
+        policy,
+        coalesce: true,
+        submit_mode: SubmitMode::Ring,
+        block_granularities: GRANULARITIES.to_vec(),
+        ..ServeConfig::default()
+    };
+    let mut service =
+        DriverletService::with_driverlets(&[(device, bundle_for(device).clone())], config)
+            .expect("build service");
+    let sessions: Vec<u32> = (0..3).map(|_| service.open_session().unwrap()).collect();
+    // Sessions 0 and 1 stage into the submission ring; session 2 pays one
+    // SMC per call. Each path preserves its sessions' submission order on
+    // its own (ring entries are admitted in enqueue order, per-call
+    // submits are admitted immediately), so the per-session ordering
+    // assertion below must survive any interleaving of the two.
+    let legacy_session = sessions[2];
+
+    let mut requests: HashMap<RequestId, Request> = HashMap::new();
+    let mut session_of: HashMap<RequestId, u32> = HashMap::new();
+    let mut staged_since_doorbell = 0usize;
+    for (i, &choice) in choices.iter().enumerate() {
+        let session = sessions[i % sessions.len()];
+        if i % 4 == 3 {
+            service.client_think_ns(u64::from(choice) * 2_000);
+        }
+        let blkid = 64 + u32::from(choice % 48);
+        let blkcnt = 1 + u32::from(choice % 8);
+        let req = if choice % 3 == 0 {
+            Request::Write { device, blkid, data: pattern(i as u64, blkcnt) }
+        } else {
+            Request::Read { device, blkid, blkcnt }
+        };
+        let id = if session == legacy_session {
+            service.submit_per_call(session, req.clone()).expect("legacy submit")
+        } else {
+            let id = service.submit(session, req.clone()).expect("ring enqueue");
+            staged_since_doorbell += 1;
+            // Random doorbell batch sizes: ring after 1..=5 staged entries.
+            if staged_since_doorbell > usize::from(choice % 5) {
+                service.ring_doorbell().expect("doorbell");
+                staged_since_doorbell = 0;
+            }
+            id
+        };
+        requests.insert(id, req);
+        session_of.insert(id, session);
+    }
+
+    // drain_all flushes the final (partial) doorbell batch itself.
+    let completions = service.drain_all();
+    let witness = service.take_exec_log();
+    assert_eq!(completions.len(), choices.len());
+    assert_eq!(witness.len(), choices.len());
+    assert!(
+        service.stats().completed >= service.stats().submitted,
+        "every admitted request must complete ({} completed < {} submitted)",
+        service.stats().completed,
+        service.stats().submitted
+    );
+
+    // Per-session ordering: same invariant as the per-call property —
+    // reads may commute within a session, anything involving a write must
+    // dispatch in submission (id) order.
+    let mut per_session: HashMap<u32, Vec<RequestId>> = HashMap::new();
+    for id in &witness {
+        per_session.entry(session_of[id]).or_default().push(*id);
+    }
+    for (session, order) in &per_session {
+        for (i, &a) in order.iter().enumerate() {
+            for &b in &order[i + 1..] {
+                if a > b {
+                    let both_reads = matches!(requests[&a], Request::Read { .. })
+                        && matches!(requests[&b], Request::Read { .. });
+                    assert!(
+                        both_reads,
+                        "session {session}: request {a} dispatched before earlier request {b} \
+                         and at least one is a write (doorbell batching broke per-session \
+                         ordering)"
+                    );
+                }
+            }
+        }
+    }
+    for c in &completions {
+        assert!(
+            c.completed_ns >= c.submitted_ns,
+            "request {} completed at {} before its submission {}",
+            c.id,
+            c.completed_ns,
+            c.submitted_ns
+        );
+    }
+
+    // Byte identity against the interpreted serial reference, exactly as
+    // on the per-call path.
+    let mut rig = serial_rig(device);
+    let mut serial_reads: HashMap<RequestId, Vec<u8>> = HashMap::new();
+    for id in &witness {
+        if let Some(bytes) = serial_execute(&mut rig, device, &requests[id]) {
+            serial_reads.insert(*id, bytes);
+        }
+    }
+    for c in &completions {
+        if let Ok(Payload::Read(bytes)) = &c.result {
+            prop_assert_eq_bytes(&serial_reads[&c.id], bytes, c.id);
+        } else {
+            c.result.as_ref().expect("writes succeed");
+        }
+    }
+
+    // Final device state matches the serial reference too.
+    let readback = Request::Read { device, blkid: 64, blkcnt: 56 };
+    let id = service.submit(sessions[0], readback.clone()).expect("submit readback");
+    let final_completion =
+        service.drain_all().into_iter().find(|c| c.id == id).expect("readback completion");
+    let Ok(Payload::Read(service_state)) = final_completion.result else {
+        panic!("readback failed");
+    };
+    let serial_state = serial_execute(&mut rig, device, &readback).expect("serial readback");
+    prop_assert_eq_bytes(&serial_state, &service_state, id);
+}
+
 fn prop_assert_eq_bytes(expected: &[u8], got: &[u8], id: RequestId) {
     assert_eq!(expected.len(), got.len(), "length mismatch for request {id}");
     if expected != got {
@@ -312,6 +452,31 @@ proptest! {
             Policy::DeficitRoundRobin { quantum_blocks: 16 },
             &choices,
         );
+    }
+
+    #[test]
+    fn mmc_ring_batches_match_a_serial_order_fifo(
+        choices in proptest::collection::vec(any::<u8>(), 6..18)
+    ) {
+        check_ring_batches(Device::Mmc, Policy::Fifo, &choices);
+    }
+
+    #[test]
+    fn mmc_ring_batches_match_a_serial_order_drr(
+        choices in proptest::collection::vec(any::<u8>(), 6..18)
+    ) {
+        check_ring_batches(
+            Device::Mmc,
+            Policy::DeficitRoundRobin { quantum_blocks: 16 },
+            &choices,
+        );
+    }
+
+    #[test]
+    fn usb_ring_batches_match_a_serial_order_fifo(
+        choices in proptest::collection::vec(any::<u8>(), 6..12)
+    ) {
+        check_ring_batches(Device::Usb, Policy::Fifo, &choices);
     }
 
     #[test]

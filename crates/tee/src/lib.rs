@@ -252,6 +252,19 @@ impl SecureIo {
         self.clock.lock().cost().irq_wait_overhead_ns
     }
 
+    /// The software overhead of one full GP command invocation beyond the
+    /// raw world switch (marshalling, session lookup, TA scheduling) —
+    /// charged by gate-style trustlets on the per-call submit path.
+    pub fn smc_invoke_overhead_ns(&self) -> u64 {
+        self.clock.lock().cost().smc_invoke_ns
+    }
+
+    /// The gate's per-entry cost for validating one shared-memory
+    /// submission-ring slot while draining a rung ring.
+    pub fn ring_entry_validate_ns(&self) -> u64 {
+        self.clock.lock().cost().ring_entry_validate_ns
+    }
+
     /// A copy of the platform cost model (for replayer accounting).
     pub fn cost_model(&self) -> dlt_hw::CostModel {
         self.clock.lock().cost().clone()
@@ -338,6 +351,7 @@ pub struct TeeKernel {
     sessions: HashMap<u32, usize>,
     next_session: u32,
     smc_calls: u64,
+    doorbell_calls: u64,
 }
 
 impl TeeKernel {
@@ -352,6 +366,7 @@ impl TeeKernel {
             sessions: HashMap::new(),
             next_session: 1,
             smc_calls: 0,
+            doorbell_calls: 0,
         })
     }
 
@@ -390,6 +405,45 @@ impl TeeKernel {
         self.trustlets[idx].invoke(command, params, buf, &mut self.io)
     }
 
+    /// Invoke a trustlet **by name, once for a whole batch** — the
+    /// doorbell entry of the shared-memory submission-ring protocol. The
+    /// normal world stages any number of requests in pre-registered shared
+    /// memory (Göttel et al.'s OP-TEE pattern), then rings the doorbell:
+    /// exactly **one** world switch (charged at the cheaper
+    /// [`dlt_hw::CostModel::ring_doorbell_ns`], since no per-call message
+    /// marshalling happens) admits them all. The trustlet is addressed by
+    /// name rather than session because one doorbell admits entries from
+    /// many sessions. Accounted separately from per-call SMCs — see
+    /// [`TeeKernel::smc_doorbells`].
+    pub fn invoke_batch(
+        &mut self,
+        name: &str,
+        command: u32,
+        params: &[u64; 4],
+        buf: &mut [u8],
+    ) -> Result<u64, TeeError> {
+        self.smc_calls += 1;
+        self.doorbell_calls += 1;
+        {
+            let mut clock = self.io.clock.lock();
+            let ns = clock.cost().ring_doorbell_ns;
+            clock.advance_ns(ns);
+        }
+        let idx = self
+            .trustlets
+            .iter()
+            .position(|t| t.name() == name)
+            .ok_or_else(|| TeeError::Trustlet(format!("no trustlet named {name}")))?;
+        self.trustlets[idx].invoke(command, params, buf, &mut self.io)
+    }
+
+    /// One world switch that invokes nothing: the normal world blocking in
+    /// the TEE for an event (an empty completion ring, an overflow flush).
+    /// Counted in [`TeeKernel::smc_calls`] as a legacy (non-doorbell) SMC.
+    pub fn smc_yield(&mut self) {
+        self.smc();
+    }
+
     /// Close a session.
     pub fn close_session(&mut self, session: u32) {
         self.smc();
@@ -402,9 +456,20 @@ impl TeeKernel {
         &mut self.io
     }
 
-    /// Number of SMCs (world switches into the TEE) performed.
+    /// Number of SMCs (world switches into the TEE) performed, doorbells
+    /// included.
     pub fn smc_calls(&self) -> u64 {
         self.smc_calls
+    }
+
+    /// World switches that were ring doorbells ([`TeeKernel::invoke_batch`]).
+    pub fn smc_doorbells(&self) -> u64 {
+        self.doorbell_calls
+    }
+
+    /// World switches on the legacy per-call path (open/invoke/close/yield).
+    pub fn smc_legacy(&self) -> u64 {
+        self.smc_calls - self.doorbell_calls
     }
 
     fn smc(&mut self) {
@@ -535,6 +600,43 @@ mod tests {
         assert!(tee.invoke(s, 9, &[0; 4], &mut buf).is_err());
         assert!(tee.open_session("missing").is_err());
         assert!(tee.smc_calls() >= 3);
+    }
+
+    #[test]
+    fn doorbell_smcs_are_split_from_legacy_smcs_and_cost_one_switch() {
+        struct Counter(u64);
+        impl Trustlet for Counter {
+            fn name(&self) -> &'static str {
+                "counter"
+            }
+            fn invoke(
+                &mut self,
+                _command: u32,
+                params: &[u64; 4],
+                _buf: &mut [u8],
+                _tee: &mut SecureIo,
+            ) -> Result<u64, TeeError> {
+                self.0 += params[0];
+                Ok(self.0)
+            }
+        }
+        let (_p, mut tee) = rig();
+        tee.load_trustlet(Box::new(Counter(0)));
+        let s = tee.open_session("counter").unwrap();
+        tee.invoke(s, 0, &[1, 0, 0, 0], &mut []).unwrap();
+        let t0 = tee.io_mut().now_ns();
+        // A 16-entry doorbell: one batch invoke, one (doorbell-priced)
+        // world switch, accounted in its own bucket.
+        let r = tee.invoke_batch("counter", 1, &[16, 0, 0, 0], &mut []).unwrap();
+        assert_eq!(r, 17);
+        let doorbell_ns = tee.io_mut().now_ns() - t0;
+        assert_eq!(doorbell_ns, dlt_hw::CostModel::default().ring_doorbell_ns);
+        assert_eq!(tee.smc_doorbells(), 1);
+        assert_eq!(tee.smc_legacy(), 2, "open + invoke stay in the legacy bucket");
+        assert_eq!(tee.smc_calls(), 3);
+        tee.smc_yield();
+        assert_eq!(tee.smc_legacy(), 3, "a blocking yield is a legacy world switch");
+        assert!(tee.invoke_batch("missing", 1, &[0; 4], &mut []).is_err());
     }
 
     #[test]
