@@ -8,7 +8,7 @@
 //! ```
 //!
 //! Artifacts: table3 table4 table5 table6 table7 table8 table9 fig5 fig6 fig7
-//! memory replay serve. Numbers are virtual-time measurements of the simulated
+//! memory replay serve explore. Numbers are virtual-time measurements of the simulated
 //! platform (`replay` additionally reports wall-clock engine throughput);
 //! EXPERIMENTS.md records a reference run next to the paper's numbers.
 
@@ -275,11 +275,41 @@ fn main() {
         );
     }
 
+    if want(&selected, "explore") {
+        println!("\n--- Divergence-robustness coverage (concolic constraint flipping) ---");
+        // Prefer the persisted ledger (the dlt-explore binary writes it,
+        // honouring BENCH_EXPLORE_OUT); regenerate with the quick campaign
+        // when it is missing or from an older schema.
+        let candidates = [
+            std::env::var("BENCH_EXPLORE_OUT").unwrap_or_else(|_| "BENCH_explore.json".into()),
+            "crates/bench/BENCH_explore.json".into(),
+        ];
+        let report = candidates
+            .iter()
+            .find_map(|path| {
+                let json = std::fs::read_to_string(path).ok()?;
+                let r = dlt_explore::parse_report(&json).ok()?;
+                println!("(loaded from {path})");
+                Some(r)
+            })
+            .unwrap_or_else(|| {
+                println!("(BENCH_explore.json missing or stale: rerunning the quick campaign)");
+                dlt_explore::run_explore(true)
+            });
+        print!("{}", dlt_explore::describe(&report));
+        match report.gate() {
+            Ok(()) => println!(
+                "gate: every falsifiable constraint flipped and rejected with a typed error"
+            ),
+            Err(problems) => println!("gate FAILED:\n{problems}"),
+        }
+    }
+
     // Always print a tiny summary of what was requested so log scrapers know
     // the run completed.
     let known = [
         "table3", "table4", "table5", "table6", "table7", "table8", "table9", "fig5", "fig6",
-        "fig7", "memory", "replay", "serve", "all",
+        "fig7", "memory", "replay", "serve", "explore", "all",
     ];
     if !known.contains(&selected.as_str()) {
         eprintln!("unknown artifact `{selected}`; known: {known:?}");

@@ -31,10 +31,12 @@
 #![warn(missing_docs)]
 
 pub mod api;
+pub mod inject;
 mod interp;
 pub mod replayer;
 
 pub use api::{replay_cam, replay_mmc, replay_usb, SecureBlockIo, MMC_BLOCK_SIZE};
+pub use inject::{ConstraintFlipper, FaultPlan, FlipOutcome, MutationCtx, ResponseMutator};
 pub use replayer::{
     DivergenceEvent, DivergenceReport, ReplayConfig, ReplayError, ReplayMode, ReplayOutcome,
     ReplayStats, Replayer,

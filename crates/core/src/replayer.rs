@@ -22,6 +22,8 @@ use dlt_tee::{SecureIo, TeeError};
 use dlt_template::program::{CIface, CSink, EvalScratch, Op, ReplayProgram, NO_SLOT};
 use dlt_template::{compile, Driverlet, SignError, SourceSite};
 
+use crate::inject::{MutationCtx, ResponseMutator};
+
 /// Replay errors surfaced to the trustlet.
 #[derive(Debug, Clone)]
 pub enum ReplayError {
@@ -238,6 +240,9 @@ pub struct Replayer {
     config: ReplayConfig,
     stats: ReplayStats,
     scratch: Scratch,
+    /// Optional device-response fault injector (test harnesses only); the
+    /// compiled engine consults it on every constrained observation.
+    mutator: Option<Box<dyn ResponseMutator>>,
 }
 
 pub(crate) enum ExecFailure {
@@ -277,7 +282,21 @@ impl Replayer {
             config,
             stats: ReplayStats::default(),
             scratch: Scratch::default(),
+            mutator: None,
         }
+    }
+
+    /// Install a device-response mutator. Every subsequent compiled
+    /// invocation offers the mutator its constrained observations (`Read`
+    /// ops and poll iterations); the interpreted baseline never consults
+    /// it. Used by the divergence-robustness harnesses (`dlt-explore`).
+    pub fn set_response_mutator(&mut self, mutator: Box<dyn ResponseMutator>) {
+        self.mutator = Some(mutator);
+    }
+
+    /// Remove any installed response mutator, restoring faithful replay.
+    pub fn clear_response_mutator(&mut self) {
+        self.mutator = None;
     }
 
     /// Cumulative statistics.
@@ -414,6 +433,14 @@ impl Replayer {
         let prog =
             selected.ok_or_else(|| ReplayError::OutOfCoverage { entry: entry.to_string() })?;
 
+        // A mutator engages once per invocation and is then consulted on
+        // every attempt — a persisting fault exhausts the retry budget and
+        // surfaces as a typed `Diverged`, exactly like a broken device.
+        let engaged = match this.mutator.as_mut() {
+            Some(m) => m.begin_invocation(prog),
+            None => false,
+        };
+
         let mut last_failure: Option<(DivergenceEvent, usize)> = None;
         let mut attempts = 0u32;
         while attempts < this.config.max_attempts {
@@ -426,7 +453,13 @@ impl Replayer {
             // Re-bind: clears capture and DMA slots from the prior attempt.
             args.bind(prog, &mut this.scratch.regs, &mut this.scratch.bound);
             this.scratch.dma.clear();
-            match exec_program(&mut this.io, &mut this.stats, &mut this.scratch, prog, buf) {
+            let mutator = if engaged {
+                this.mutator.as_mut().map(|m| &mut **m as &mut dyn ResponseMutator)
+            } else {
+                None
+            };
+            match exec_program(&mut this.io, &mut this.stats, &mut this.scratch, prog, buf, mutator)
+            {
                 Ok(payload_bytes) => {
                     let mut captured = HashMap::new();
                     for (i, name) in prog.capture_names.iter().enumerate() {
@@ -560,6 +593,7 @@ fn exec_program(
     scratch: &mut Scratch,
     prog: &ReplayProgram,
     buf: &mut [u8],
+    mut mutator: Option<&mut dyn ResponseMutator>,
 ) -> Result<u64, ExecFailure> {
     let dispatch_ns = io.replay_dispatch_cost_ns();
     let mut payload_bytes = 0u64;
@@ -572,7 +606,21 @@ fn exec_program(
         }
         match *op {
             Op::Read { iface, cons, sink } => {
-                let value = read_ciface(io, iface, &scratch.dma)? as u64;
+                let mut value = read_ciface(io, iface, &scratch.dma)? as u64;
+                if let Some(m) = mutator.as_deref_mut() {
+                    let ctx = MutationCtx {
+                        program: prog,
+                        op_index: op_idx,
+                        cons,
+                        observed: value,
+                        regs: &scratch.regs,
+                        bound: &scratch.bound,
+                        poll_iteration: None,
+                    };
+                    if let Some(v) = m.mutate(&ctx) {
+                        value = v;
+                    }
+                }
                 if !prog.check_cons(cons, value, &scratch.regs, &scratch.bound, &mut scratch.eval) {
                     return Err(diverge(
                         prog,
@@ -667,7 +715,21 @@ fn exec_program(
                 let mut iters = 0u64;
                 loop {
                     reads += 1;
-                    let value = read_ciface(io, iface, &scratch.dma)? as u64;
+                    let mut value = read_ciface(io, iface, &scratch.dma)? as u64;
+                    if let Some(m) = mutator.as_deref_mut() {
+                        let ctx = MutationCtx {
+                            program: prog,
+                            op_index: op_idx,
+                            cons,
+                            observed: value,
+                            regs: &scratch.regs,
+                            bound: &scratch.bound,
+                            poll_iteration: Some(iters),
+                        };
+                        if let Some(v) = m.mutate(&ctx) {
+                            value = v;
+                        }
+                    }
                     if prog.check_cons(
                         cons,
                         value,
@@ -1189,5 +1251,137 @@ mod tests {
             other => panic!("expected divergence, got {other:?}"),
         }
         assert_eq!(r.stats().divergences, 3);
+    }
+
+    // -----------------------------------------------------------------------
+    // Response-mutator fault injection (crate::inject).
+    // -----------------------------------------------------------------------
+
+    use crate::inject::{ConstraintFlipper, FaultPlan, MutationCtx, ResponseMutator};
+
+    fn rig_replayer() -> (Platform, Replayer) {
+        let platform = rig_platform();
+        let io = SecureIo::new(platform.bus.clone());
+        let mut r = Replayer::new(io);
+        r.load_driverlet(rig_driverlet(8), b"rigkey").unwrap();
+        (platform, r)
+    }
+
+    #[test]
+    fn free_roaming_flipper_forces_a_typed_divergence() {
+        let (_p, mut r) = rig_replayer();
+        let (flipper, outcome) =
+            ConstraintFlipper::new(FaultPlan { sticky: true, ..FaultPlan::default() });
+        r.set_response_mutator(Box::new(flipper));
+        let mut buf = [0u8; 8];
+        let err = r.invoke("replay_rig", &rig_args(3), &mut buf).unwrap_err();
+        match err {
+            ReplayError::Diverged(report) => {
+                // The first falsifiable observation is the BUSY poll
+                // (event 3, cond eq_const(0)): the flip keeps it nonzero
+                // until max_iters overruns.
+                assert_eq!(report.failure.event_index, 3);
+                assert!(
+                    report.failure.reason.contains("poll condition"),
+                    "unexpected reason: {}",
+                    report.failure.reason
+                );
+                assert_eq!(report.attempts, 3, "the fault must persist across resets");
+            }
+            other => panic!("expected divergence, got {other:?}"),
+        }
+        assert_eq!(r.stats().divergences, 3);
+        let o = outcome.lock().unwrap();
+        assert_eq!(o.engaged_invocations, 1);
+        assert!(o.mutated_reads > 0);
+
+        // Clearing the mutator restores faithful replay on the same lane.
+        r.clear_response_mutator();
+        let ok = r.invoke("replay_rig", &rig_args(3), &mut buf).unwrap();
+        assert!(!ok.recovered_divergence);
+        assert_eq!(ok.captured.get("id"), Some(&0x2a));
+    }
+
+    #[test]
+    fn targeted_leaf_flip_diverges_at_exactly_that_site() {
+        // Target the constrained ID read (event 5, Eq(0x2a)) by its op and
+        // cons indices, derived from the program's own introspection API.
+        let prog = compile(&rig_template(8)).unwrap();
+        let site = prog
+            .constraint_sites()
+            .into_iter()
+            .find(|s| s.desc.contains("0x2a"))
+            .expect("ID read site");
+        let dlt_template::SiteKind::Read { op, .. } = site.kind else {
+            panic!("expected a read site")
+        };
+        let (_p, mut r) = rig_replayer();
+        let (flipper, outcome) = ConstraintFlipper::new(FaultPlan {
+            op_index: Some(op),
+            cons_index: Some((site.cons.start + site.cons.len - 1) as usize),
+            sticky: true,
+            ..FaultPlan::default()
+        });
+        r.set_response_mutator(Box::new(flipper));
+        let mut buf = [0u8; 8];
+        let err = r.invoke("replay_rig", &rig_args(3), &mut buf).unwrap_err();
+        match err {
+            ReplayError::Diverged(report) => {
+                assert_eq!(report.failure.event_index, 5, "must fail at the ID read");
+                assert!(report.failure.reason.contains("constraint"));
+                let injected = outcome.lock().unwrap().last_value;
+                assert_eq!(report.failure.observed, injected, "report shows the mutated value");
+                assert_ne!(injected, Some(0x2a));
+            }
+            other => panic!("expected divergence, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn one_shot_mutation_is_recovered_by_reset_and_retry() {
+        /// Mutates exactly one observation ever: the first constrained read
+        /// of the first engaged invocation. Attempt 1 diverges; attempt 2
+        /// replays cleanly, so the invocation *succeeds* with
+        /// `recovered_divergence` set.
+        struct OneShot {
+            fired: bool,
+        }
+        impl ResponseMutator for OneShot {
+            fn begin_invocation(&mut self, _program: &dlt_template::ReplayProgram) -> bool {
+                true
+            }
+            fn mutate(&mut self, ctx: &MutationCtx<'_>) -> Option<u64> {
+                if self.fired || ctx.poll_iteration.is_some() {
+                    return None;
+                }
+                self.fired = true;
+                Some(!ctx.observed)
+            }
+        }
+        let (_p, mut r) = rig_replayer();
+        r.set_response_mutator(Box::new(OneShot { fired: false }));
+        let mut buf = [0u8; 8];
+        let out = r.invoke("replay_rig", &rig_args(3), &mut buf).unwrap();
+        assert!(out.recovered_divergence, "the transient fault must be recovered");
+        assert_eq!(r.stats().divergences, 1);
+        assert_eq!(out.captured.get("id"), Some(&0x2a));
+    }
+
+    #[test]
+    fn non_sticky_plans_engage_exactly_one_invocation() {
+        let (_p, mut r) = rig_replayer();
+        let (flipper, outcome) =
+            ConstraintFlipper::new(FaultPlan { skip_invocations: 1, ..FaultPlan::default() });
+        r.set_response_mutator(Box::new(flipper));
+        let mut buf = [0u8; 8];
+        // Invocation 1 is skipped, invocation 2 diverges, invocation 3 is
+        // clean again without any clearing.
+        r.invoke("replay_rig", &rig_args(3), &mut buf).unwrap();
+        assert!(matches!(
+            r.invoke("replay_rig", &rig_args(3), &mut buf),
+            Err(ReplayError::Diverged(_))
+        ));
+        r.invoke("replay_rig", &rig_args(3), &mut buf).unwrap();
+        assert_eq!(outcome.lock().unwrap().engaged_invocations, 1);
     }
 }

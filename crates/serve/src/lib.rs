@@ -69,7 +69,9 @@ pub mod service;
 
 pub use adapter::ServedBlockDev;
 pub use sched::Policy;
-pub use service::{DriverletService, ServeConfig, ServeStats, SessionBlockIo, SubmitMode};
+pub use service::{
+    DriverletService, ServeConfig, ServeStats, SessionBlockIo, SubmitMode, HEALTH_PROBE_BLKID,
+};
 
 use dlt_core::ReplayError;
 use dlt_tee::TeeError;

@@ -36,8 +36,12 @@
 //! executes **one batch** there, and returns that batch's completions.
 
 use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
 
-use dlt_core::{replay_cam, ReplayConfig, ReplayMode, Replayer, SecureBlockIo};
+use dlt_core::{
+    replay_cam, ConstraintFlipper, FaultPlan, FlipOutcome, ReplayConfig, ReplayMode, Replayer,
+    SecureBlockIo,
+};
 use dlt_dev_mmc::MmcSubsystem;
 use dlt_dev_usb::UsbSubsystem;
 use dlt_dev_vchiq::VchiqSubsystem;
@@ -1081,7 +1085,93 @@ impl DriverletService {
     pub fn session_io(&mut self, session: SessionId, device: Device) -> SessionBlockIo<'_> {
         SessionBlockIo { service: self, session, device }
     }
+
+    fn lane_mut(&mut self, device: Device) -> Result<&mut DeviceLane, ServeError> {
+        self.lanes
+            .iter_mut()
+            .find(|l| l.device == device)
+            .ok_or(ServeError::DeviceNotServed(device))
+    }
+
+    /// Install a solver-driven device fault on `device`'s lane: every
+    /// replay the lane runs from now on passes through a
+    /// [`ConstraintFlipper`] following `plan` — it falsifies the targeted
+    /// constraint with concolically solved register/DMA observations, so
+    /// the lane behaves exactly like a misbehaving device at that point of
+    /// the recorded trace. Returns the shared [`FlipOutcome`] handle the
+    /// caller observes the campaign through. Replaces any previously
+    /// installed fault.
+    pub fn inject_fault(
+        &mut self,
+        device: Device,
+        plan: FaultPlan,
+    ) -> Result<Arc<Mutex<FlipOutcome>>, ServeError> {
+        let lane = self.lane_mut(device)?;
+        let (flipper, outcome) = ConstraintFlipper::new(plan);
+        lane.replayer.set_response_mutator(Box::new(flipper));
+        Ok(outcome)
+    }
+
+    /// Remove any fault installed on `device`'s lane; subsequent replays
+    /// see the real device again.
+    pub fn clear_fault(&mut self, device: Device) -> Result<(), ServeError> {
+        let lane = self.lane_mut(device)?;
+        lane.replayer.clear_response_mutator();
+        Ok(())
+    }
+
+    /// Verify `device`'s lane is still serviceable — the post-divergence
+    /// invariant the explore harness gates on. Block lanes write a pattern
+    /// over the scratch probe extent at [`HEALTH_PROBE_BLKID`] and must
+    /// read it back byte-identically; the camera lane must complete a
+    /// one-frame capture. The probe goes straight at the lane replayer —
+    /// no session, no queue — so a sick replayer cannot hide behind
+    /// scheduling, and it **clobbers** the probe extent.
+    pub fn lane_health_check(&mut self, device: Device) -> Result<(), ServeError> {
+        let gran = self.config.block_granularities.iter().copied().min().unwrap_or(1);
+        let frames = self.config.camera_bursts.first().copied().unwrap_or(1);
+        let lane = self.lane_mut(device)?;
+        match device {
+            Device::Mmc | Device::Usb => {
+                let pattern: Vec<u8> =
+                    (0..gran as usize * BLOCK).map(|i| (i as u8) ^ 0xA5).collect();
+                let mut buf = pattern.clone();
+                lane.replayer.invoke_args(
+                    lane.entry,
+                    &block_args(0x10, gran, HEALTH_PROBE_BLKID),
+                    &mut buf,
+                )?;
+                let mut readback = vec![0u8; gran as usize * BLOCK];
+                lane.replayer.invoke_args(
+                    lane.entry,
+                    &block_args(0x1, gran, HEALTH_PROBE_BLKID),
+                    &mut readback,
+                )?;
+                if readback != pattern {
+                    return Err(ServeError::Invalid(format!(
+                        "lane {device} failed its health probe: read-back differs from the \
+                         written pattern"
+                    )));
+                }
+            }
+            Device::Vchiq => {
+                let mut buf = vec![0u8; 2 << 20];
+                let size = replay_cam(&mut lane.replayer, frames, 720, &mut buf)?;
+                if size == 0 {
+                    return Err(ServeError::Invalid(
+                        "lane vchiq failed its health probe: empty capture".into(),
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
 }
+
+/// First block of the scratch extent [`DriverletService::lane_health_check`]
+/// overwrites on block lanes (it stays clear of the low extents the tests
+/// and workloads address).
+pub const HEALTH_PROBE_BLKID: u32 = 1024;
 
 fn block_args(rw: u64, blkcnt: u32, blkid: u32) -> [(&'static str, u64); 4] {
     [("rw", rw), ("blkcnt", u64::from(blkcnt)), ("blkid", u64::from(blkid)), ("flag", 0)]
@@ -1605,6 +1695,83 @@ mod tests {
             done[0].completed_ns >= staged_at + 2_000_000,
             "the lane cannot serve an entry the TEE has not seen"
         );
+    }
+
+    #[test]
+    fn mid_coalesce_divergence_fails_only_the_merged_sessions_and_lane_recovers() {
+        use dlt_core::ReplayError;
+        let config = || ServeConfig { block_granularities: vec![1, 8], ..ServeConfig::default() };
+        let seed: Vec<u8> = (0..16 * BLOCK).map(|i| (i % 241) as u8).collect();
+        // A never-faulted reference service running the same seed write
+        // and the same final read.
+        let mut fresh = mmc_service(config());
+        let fw = fresh.open_session().unwrap();
+        fresh
+            .submit(fw, Request::Write { device: Device::Mmc, blkid: 100, data: seed.clone() })
+            .unwrap();
+        fresh.drain_all();
+
+        let mut s = mmc_service(config());
+        let writer = s.open_session().unwrap();
+        s.submit(writer, Request::Write { device: Device::Mmc, blkid: 100, data: seed.clone() })
+            .unwrap();
+        s.drain_all();
+
+        // Sticky read-template fault: the merged span diverges, and so
+        // does every member fallback — the whole coalesced run must fail
+        // with typed divergences, never a panic or a wedged lane.
+        let outcome = s
+            .inject_fault(
+                Device::Mmc,
+                FaultPlan { template: Some("_rd_".into()), sticky: true, ..FaultPlan::default() },
+            )
+            .unwrap();
+        let victims: Vec<SessionId> = (0..4).map(|_| s.open_session().unwrap()).collect();
+        for (i, v) in victims.iter().enumerate() {
+            s.submit(
+                *v,
+                Request::Read { device: Device::Mmc, blkid: 100 + 2 * i as u32, blkcnt: 2 },
+            )
+            .unwrap();
+        }
+        let failed = s.drain_all();
+        assert_eq!(failed.len(), 4);
+        for c in &failed {
+            assert!(
+                matches!(&c.result, Err(ServeError::Replay(ReplayError::Diverged(_)))),
+                "expected a typed divergence, got {:?}",
+                c.result
+            );
+            assert!(
+                c.completed_ns >= c.submitted_ns,
+                "the lane clock stayed monotone through the divergence"
+            );
+        }
+        assert!(outcome.lock().unwrap().engaged_invocations >= 1, "the fault actually fired");
+
+        // Clear the fault: the lane must verify healthy and then serve an
+        // untouched session byte-identically to the never-faulted lane.
+        s.clear_fault(Device::Mmc).unwrap();
+        s.lane_health_check(Device::Mmc).unwrap();
+        let untouched = s.open_session().unwrap();
+        s.submit(untouched, Request::Read { device: Device::Mmc, blkid: 100, blkcnt: 16 }).unwrap();
+        let healthy = s.drain_all();
+        assert_eq!(healthy.len(), 1);
+
+        let fr = fresh.open_session().unwrap();
+        fresh.submit(fr, Request::Read { device: Device::Mmc, blkid: 100, blkcnt: 16 }).unwrap();
+        let reference = fresh.drain_all();
+        let bytes = |c: &Completion| match c.result.clone().expect("read ok") {
+            Payload::Read(b) => b,
+            other => panic!("unexpected payload {other:?}"),
+        };
+        assert_eq!(
+            bytes(&healthy[0]),
+            bytes(&reference[0]),
+            "post-divergence lane reads diverged from a fresh lane"
+        );
+        assert_eq!(bytes(&healthy[0]), seed);
+        assert_eq!(s.lane_status()[0].queued, 0, "the lane queue drained");
     }
 
     #[test]

@@ -22,7 +22,7 @@
 use std::collections::HashMap;
 use std::sync::OnceLock;
 
-use dlt_core::{replay_cam, ReplayConfig, Replayer};
+use dlt_core::{replay_cam, FaultPlan, ReplayConfig, ReplayError, Replayer};
 use dlt_dev_mmc::MmcSubsystem;
 use dlt_dev_usb::UsbSubsystem;
 use dlt_dev_vchiq::VchiqSubsystem;
@@ -32,7 +32,8 @@ use dlt_recorder::campaign::{
     DEV_KEY,
 };
 use dlt_serve::{
-    Device, DriverletService, Payload, Policy, Request, RequestId, ServeConfig, SubmitMode,
+    Device, DriverletService, Payload, Policy, Request, RequestId, ServeConfig, ServeError,
+    SubmitMode,
 };
 use dlt_tee::{SecureIo, TeeKernel};
 use dlt_template::Driverlet;
@@ -425,6 +426,157 @@ fn check_ring_batches(device: Device, policy: Policy, choices: &[u8]) {
     prop_assert_eq_bytes(&serial_state, &service_state, id);
 }
 
+/// The divergence-robustness flavour of the property: a **sticky
+/// read-template fault** ([`FaultPlan`] over `"_rd_"`) engages after a
+/// proptest-chosen number of read replays. From then on every read request
+/// must surface as a typed [`ReplayError::Diverged`] completion — never a
+/// panic, a hang, or a lost completion — while writes keep succeeding.
+/// `completed + diverged == submitted` holds exactly, per-session ordering
+/// survives, and after clearing the fault the lane passes its health check
+/// and the written device state reads back byte-identical to the
+/// interpreted serial reference.
+fn check_block_device_with_divergences(
+    device: Device,
+    policy: Policy,
+    choices: &[u8],
+    skip: u64,
+    submit_mode: SubmitMode,
+) {
+    let config = ServeConfig {
+        policy,
+        coalesce: true,
+        submit_mode,
+        block_granularities: GRANULARITIES.to_vec(),
+        ..ServeConfig::default()
+    };
+    let mut service =
+        DriverletService::with_driverlets(&[(device, bundle_for(device).clone())], config)
+            .expect("build service");
+    let sessions: Vec<u32> = (0..3).map(|_| service.open_session().unwrap()).collect();
+    let outcome = service
+        .inject_fault(
+            device,
+            FaultPlan {
+                template: Some("_rd_".into()),
+                skip_invocations: skip,
+                sticky: true,
+                ..FaultPlan::default()
+            },
+        )
+        .expect("inject fault");
+
+    let mut requests: HashMap<RequestId, Request> = HashMap::new();
+    let mut session_of: HashMap<RequestId, u32> = HashMap::new();
+    for (i, &choice) in choices.iter().enumerate() {
+        let session = sessions[i % sessions.len()];
+        if i % 4 == 3 {
+            service.client_think_ns(u64::from(choice) * 2_000);
+        }
+        let blkid = 64 + u32::from(choice % 48);
+        let blkcnt = 1 + u32::from(choice % 8);
+        let req = if choice % 3 == 0 {
+            Request::Write { device, blkid, data: pattern(i as u64, blkcnt) }
+        } else {
+            Request::Read { device, blkid, blkcnt }
+        };
+        let id = service.submit(session, req.clone()).expect("submit");
+        requests.insert(id, req);
+        session_of.insert(id, session);
+    }
+
+    let completions = service.drain_all();
+    let witness = service.take_exec_log();
+    assert_eq!(
+        completions.len(),
+        choices.len(),
+        "every submitted request must surface exactly once, diverged or not"
+    );
+
+    let mut ok = 0usize;
+    let mut diverged = 0usize;
+    for c in &completions {
+        match &c.result {
+            Ok(_) => ok += 1,
+            Err(ServeError::Replay(ReplayError::Diverged(_))) => {
+                diverged += 1;
+                assert!(
+                    matches!(requests[&c.id], Request::Read { .. }),
+                    "request {}: only reads can diverge under a read-template fault",
+                    c.id
+                );
+            }
+            other => panic!("request {} must complete or diverge typed, got {other:?}", c.id),
+        }
+        assert!(
+            c.completed_ns >= c.submitted_ns,
+            "request {} completed at {} before its submission {}",
+            c.id,
+            c.completed_ns,
+            c.submitted_ns
+        );
+    }
+    assert_eq!(ok + diverged, choices.len(), "completed + diverged == submitted");
+    if diverged > 0 {
+        assert!(
+            outcome.lock().unwrap().engaged_invocations > 0,
+            "divergences can only come from the injected fault"
+        );
+    }
+
+    // Per-session ordering survives the fault: reads commute among reads,
+    // any pair involving a write dispatches in submission order.
+    let mut per_session: HashMap<u32, Vec<RequestId>> = HashMap::new();
+    for id in &witness {
+        per_session.entry(session_of[id]).or_default().push(*id);
+    }
+    for (session, order) in &per_session {
+        for (i, &a) in order.iter().enumerate() {
+            for &b in &order[i + 1..] {
+                if a > b {
+                    let both_reads = matches!(requests[&a], Request::Read { .. })
+                        && matches!(requests[&b], Request::Read { .. });
+                    assert!(
+                        both_reads,
+                        "session {session}: request {a} dispatched before earlier request {b} \
+                         and at least one is a write (fault injection broke per-session ordering)"
+                    );
+                }
+            }
+        }
+    }
+
+    // Surviving reads keep byte identity with the interpreted serial
+    // reference (diverged reads left no trace on device state, so the
+    // reference executes the full witness order).
+    let mut rig = serial_rig(device);
+    let mut serial_reads: HashMap<RequestId, Vec<u8>> = HashMap::new();
+    for id in &witness {
+        if let Some(bytes) = serial_execute(&mut rig, device, &requests[id]) {
+            serial_reads.insert(*id, bytes);
+        }
+    }
+    for c in &completions {
+        if let Ok(Payload::Read(bytes)) = &c.result {
+            prop_assert_eq_bytes(&serial_reads[&c.id], bytes, c.id);
+        }
+    }
+
+    // The lane recovers: fault cleared, health probe passes, and the whole
+    // hot range — every surviving write included — reads back identical to
+    // the serial reference.
+    service.clear_fault(device).expect("clear fault");
+    service.lane_health_check(device).expect("post-divergence lane health");
+    let readback = Request::Read { device, blkid: 64, blkcnt: 56 };
+    let id = service.submit(sessions[0], readback.clone()).expect("submit readback");
+    let final_completion =
+        service.drain_all().into_iter().find(|c| c.id == id).expect("readback completion");
+    let Ok(Payload::Read(service_state)) = final_completion.result else {
+        panic!("readback failed");
+    };
+    let serial_state = serial_execute(&mut rig, device, &readback).expect("serial readback");
+    prop_assert_eq_bytes(&serial_state, &service_state, id);
+}
+
 fn prop_assert_eq_bytes(expected: &[u8], got: &[u8], id: RequestId) {
     assert_eq!(expected.len(), got.len(), "length mismatch for request {id}");
     if expected != got {
@@ -484,6 +636,48 @@ proptest! {
         choices in proptest::collection::vec(any::<u8>(), 6..12)
     ) {
         check_block_device(Device::Usb, Policy::Fifo, &choices);
+    }
+
+    #[test]
+    fn mmc_interleavings_with_divergences_keep_surviving_sessions_identical(
+        choices in proptest::collection::vec(any::<u8>(), 6..18),
+        skip in 0u64..6,
+    ) {
+        check_block_device_with_divergences(
+            Device::Mmc,
+            Policy::Fifo,
+            &choices,
+            skip,
+            SubmitMode::PerCall,
+        );
+    }
+
+    #[test]
+    fn mmc_ring_batches_with_divergences_keep_surviving_sessions_identical(
+        choices in proptest::collection::vec(any::<u8>(), 6..18),
+        skip in 0u64..6,
+    ) {
+        check_block_device_with_divergences(
+            Device::Mmc,
+            Policy::Fifo,
+            &choices,
+            skip,
+            SubmitMode::Ring,
+        );
+    }
+
+    #[test]
+    fn usb_interleavings_with_divergences_keep_surviving_sessions_identical(
+        choices in proptest::collection::vec(any::<u8>(), 6..12),
+        skip in 0u64..4,
+    ) {
+        check_block_device_with_divergences(
+            Device::Usb,
+            Policy::DeficitRoundRobin { quantum_blocks: 8 },
+            &choices,
+            skip,
+            SubmitMode::PerCall,
+        );
     }
 
     #[test]

@@ -1,0 +1,493 @@
+//! Constraint introspection and violating-value synthesis over compiled
+//! replay programs.
+//!
+//! A compiled [`ReplayProgram`] *is* a constraint trace: every parameter
+//! check, every constrained register read and every poll termination
+//! condition is a postfix [`ConsOp`] subtree over the observed value and the
+//! bound register file. This module walks that trace the way a concolic
+//! executor walks a path condition (cf. Leaf-style concolic exploration):
+//! [`ReplayProgram::constraint_sites`] enumerates every site with its
+//! register/slot provenance, and [`ReplayProgram::solve_violation`]
+//! synthesises, for any `ConsOp` in a site, a concrete observed value that
+//! falsifies exactly that op's subtree — Eq/Ne/range/mask leaves are solved
+//! directly, compound `All`/`AnyOf` trees via per-leaf flips.
+//!
+//! The solver is deliberately concrete, not symbolic: it runs against a
+//! *live* register file (parameters bound, captures bound up to the site),
+//! so `Eq(expr)` leaves are solved by evaluating `expr` exactly as the
+//! replayer would and perturbing the result. That makes the synthesised
+//! values valid at the precise execution point where the fault injector
+//! (`dlt-core`'s `ResponseMutator`) applies them.
+
+use crate::program::{CIface, ConsOp, EvalScratch, Op, OpRange, ReplayProgram, Slot};
+
+/// Provenance of one constraint site inside a compiled program.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SiteKind {
+    /// A parameter-selection check: violating values are *invoke arguments*
+    /// and surface as `OutOfCoverage` (no template matches).
+    Param {
+        /// Index into [`ReplayProgram::param_checks`].
+        check: usize,
+        /// Register-file slot of the checked parameter.
+        slot: Slot,
+    },
+    /// The constraint on an [`Op::Read`]: violating values are *device
+    /// responses* (register or DMA words) and surface as a divergence.
+    Read {
+        /// Index into [`ReplayProgram::ops`].
+        op: usize,
+        /// The read interface (register address or DMA allocation word).
+        iface: CIface,
+    },
+    /// The termination condition of an [`Op::Poll`]: a persistently
+    /// violating device response overruns `max_iters` and surfaces as a
+    /// poll-timeout divergence.
+    Poll {
+        /// Index into [`ReplayProgram::ops`].
+        op: usize,
+        /// The polled interface.
+        iface: CIface,
+        /// Iteration bound before the replayer gives up.
+        max_iters: u64,
+    },
+}
+
+impl SiteKind {
+    /// Short kind tag for ledgers and reports.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            SiteKind::Param { .. } => "param",
+            SiteKind::Read { .. } => "read",
+            SiteKind::Poll { .. } => "poll",
+        }
+    }
+}
+
+/// One enumerable constraint site: the root constraint range plus where it
+/// sits in the program.
+#[derive(Debug, Clone)]
+pub struct ConstraintSite {
+    /// Where the constraint is checked.
+    pub kind: SiteKind,
+    /// The site's root constraint (a subrange of
+    /// [`ReplayProgram::cons_ops`]). Every `ConsOp` index in this range
+    /// belongs to exactly this site — compiled sites never overlap.
+    pub cons: OpRange,
+    /// Human-readable rendering (the precompiled divergence string for
+    /// read/poll sites, the parameter name for param checks).
+    pub desc: String,
+}
+
+/// Outcome of solving one `ConsOp` for a violating observed value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Violation {
+    /// `value` falsifies the target op's subtree *and* the site's root
+    /// constraint: observing it must make the replayer reject the run.
+    Violates {
+        /// The violating observed value.
+        value: u64,
+    },
+    /// `value` falsifies the target op's subtree but every such value keeps
+    /// the site root satisfied (the leaf is shadowed, e.g. under an `AnyOf`
+    /// whose sibling still holds): observing it must *not* diverge.
+    Shadowed {
+        /// A value falsifying only the subtree.
+        value: u64,
+    },
+    /// No observed value can falsify the subtree (`Any`, a full-range
+    /// `InRange`, a zero-mask `MaskClear`, ...).
+    Unfalsifiable,
+}
+
+impl ReplayProgram {
+    /// Enumerate every constraint site in the program, in program order:
+    /// parameter checks first, then `Read`/`Poll` ops.
+    pub fn constraint_sites(&self) -> Vec<ConstraintSite> {
+        let mut sites = Vec::new();
+        for (i, pc) in self.param_checks.iter().enumerate() {
+            sites.push(ConstraintSite {
+                kind: SiteKind::Param { check: i, slot: pc.slot },
+                cons: pc.cons,
+                desc: format!("param `{}`", self.param_names[pc.slot as usize]),
+            });
+        }
+        for (i, op) in self.ops.iter().enumerate() {
+            match *op {
+                Op::Read { iface, cons, .. } => sites.push(ConstraintSite {
+                    kind: SiteKind::Read { op: i, iface },
+                    cons,
+                    desc: self.meta[i].cons_desc.clone(),
+                }),
+                Op::Poll { iface, cons, max_iters, .. } => sites.push(ConstraintSite {
+                    kind: SiteKind::Poll { op: i, iface, max_iters },
+                    cons,
+                    desc: self.meta[i].cons_desc.clone(),
+                }),
+                _ => {}
+            }
+        }
+        sites
+    }
+
+    /// The subtree rooted at `cons_ops[index]`, found by a reverse arity
+    /// walk over the postfix pool (compound ops consume their children,
+    /// leaves consume nothing).
+    pub fn cons_subtree(&self, index: usize) -> OpRange {
+        let mut need = 1usize;
+        let mut j = index + 1;
+        while need > 0 && j > 0 {
+            j -= 1;
+            need -= 1;
+            need += match self.cons_ops[j] {
+                ConsOp::All(n) | ConsOp::AnyOf(n) => n as usize,
+                _ => 0,
+            };
+        }
+        OpRange { start: j as u32, len: (index + 1 - j) as u32 }
+    }
+
+    /// Synthesise an observed value that falsifies the subtree rooted at
+    /// `cons_ops[index]` (which must lie inside `site`, the site's root
+    /// range), preferring values that also falsify the site root.
+    ///
+    /// Candidates are gathered from every leaf in the *site* — a leaf under
+    /// a disjunction often needs a sibling's violating value to flip the
+    /// root too — then filtered concretely through [`Self::check_cons`]
+    /// against the live register file, so the answer is exact for the
+    /// execution point `regs`/`bound` describe.
+    pub fn solve_violation(
+        &self,
+        site: OpRange,
+        index: usize,
+        regs: &[u64],
+        bound: &[bool],
+        scratch: &mut EvalScratch,
+    ) -> Violation {
+        let sub = self.cons_subtree(index);
+        let mut candidates = Vec::new();
+        for j in site.bounds() {
+            self.leaf_candidates(j, regs, bound, scratch, &mut candidates);
+        }
+        candidates.sort_unstable();
+        candidates.dedup();
+        let mut shadowed = None;
+        for v in candidates {
+            if !self.check_cons(sub, v, regs, bound, scratch) {
+                if !self.check_cons(site, v, regs, bound, scratch) {
+                    return Violation::Violates { value: v };
+                }
+                shadowed.get_or_insert(v);
+            }
+        }
+        match shadowed {
+            Some(value) => Violation::Shadowed { value },
+            None => Violation::Unfalsifiable,
+        }
+    }
+
+    /// Push concrete candidate values that could falsify the single leaf op
+    /// at `cons_ops[index]`. Compound ops contribute nothing themselves —
+    /// their flips come from their descendants' candidates.
+    fn leaf_candidates(
+        &self,
+        index: usize,
+        regs: &[u64],
+        bound: &[bool],
+        scratch: &mut EvalScratch,
+        out: &mut Vec<u64>,
+    ) {
+        match self.cons_ops[index] {
+            ConsOp::True | ConsOp::All(_) | ConsOp::AnyOf(_) => {}
+            ConsOp::Eq(e) => match self.eval_expr(e, regs, bound, scratch) {
+                // Perturb the expected value three ways: bit flips survive
+                // sibling mask constraints better than plain increments.
+                Some(v) => out.extend([!v, v ^ 1, v.wrapping_add(1)]),
+                // An unbound expression makes Eq false for *every* value.
+                None => out.extend([0, !0u64]),
+            },
+            ConsOp::Ne(e) => {
+                if let Some(v) = self.eval_expr(e, regs, bound, scratch) {
+                    out.push(v);
+                } else {
+                    // Unbound Ne is already false for every observation.
+                    out.push(0);
+                }
+            }
+            ConsOp::InRange { min, max } => {
+                if min > 0 {
+                    out.push(min - 1);
+                }
+                if max < u64::MAX {
+                    out.push(max + 1);
+                }
+            }
+            ConsOp::OneOf(p) => {
+                let pool = &self.pool[p.bounds()];
+                // Among 0..=len at least one value is absent from the pool.
+                if let Some(v) = (0..=pool.len() as u64).find(|v| !pool.contains(v)) {
+                    out.push(v);
+                }
+                if !pool.contains(&u64::MAX) {
+                    out.push(u64::MAX);
+                }
+            }
+            ConsOp::MaskEq { mask, expected } => {
+                if mask == 0 {
+                    if expected != 0 {
+                        // `v & 0 == expected` is false for every value.
+                        out.push(0);
+                    }
+                } else {
+                    // Flip every tested bit: (expected ^ mask) & mask is
+                    // guaranteed to differ from expected & mask.
+                    out.push(expected ^ mask);
+                    out.push(!expected);
+                }
+            }
+            ConsOp::MaskClear { mask } => {
+                if mask != 0 {
+                    out.push(mask);
+                    out.push(!0u64);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::constraint::Constraint;
+    use crate::event::{DataDirection, Event, Iface, ReadSink, RecordedEvent};
+    use crate::expr::SymExpr;
+    use crate::program::compile;
+    use crate::template::{ParamSpec, Template, TemplateMeta};
+
+    fn reg(name: &str, addr: u64) -> Iface {
+        Iface::Reg { addr, name: name.to_string() }
+    }
+
+    /// A template covering every constraint shape the solver handles.
+    fn probe_template() -> Template {
+        Template {
+            name: "probe".into(),
+            entry: "replay_probe".into(),
+            device: "dev".into(),
+            params: vec![
+                ParamSpec { name: "rw".into(), constraint: Constraint::eq_const(1) },
+                ParamSpec {
+                    name: "blkcnt".into(),
+                    constraint: Constraint::InRange { min: 1, max: 8 },
+                },
+                ParamSpec {
+                    name: "res".into(),
+                    constraint: Constraint::OneOf(vec![720, 1080, 1440]),
+                },
+                ParamSpec { name: "flag".into(), constraint: Constraint::Any },
+            ],
+            direction: DataDirection::None,
+            data_len: SymExpr::Const(0),
+            irq_line: None,
+            events: vec![
+                RecordedEvent::bare(Event::Read {
+                    iface: reg("STS", 0x100),
+                    constraint: Constraint::All(vec![
+                        Constraint::MaskClear { mask: 0x1 },
+                        Constraint::InRange { min: 0, max: 0xffff },
+                    ]),
+                    len: 4,
+                    sink: ReadSink::Discard,
+                }),
+                RecordedEvent::bare(Event::Read {
+                    iface: reg("MODE", 0x104),
+                    constraint: Constraint::AnyOf(vec![
+                        Constraint::eq_const(3),
+                        Constraint::MaskClear { mask: 0x1 },
+                    ]),
+                    len: 4,
+                    sink: ReadSink::Discard,
+                }),
+                RecordedEvent::bare(Event::Poll {
+                    iface: reg("BUSY", 0x108),
+                    body: vec![],
+                    cond: Constraint::MaskClear { mask: 0x8000 },
+                    delay_us: 5,
+                    max_iters: 50,
+                }),
+                RecordedEvent::bare(Event::Read {
+                    iface: reg("ECHO", 0x10c),
+                    constraint: Constraint::Eq(SymExpr::Param("blkcnt".into()).shl(9)),
+                    len: 4,
+                    sink: ReadSink::Discard,
+                }),
+            ],
+            meta: TemplateMeta::default(),
+        }
+    }
+
+    fn bound_file(prog: &ReplayProgram) -> (Vec<u64>, Vec<bool>) {
+        let mut regs = vec![0u64; prog.num_slots()];
+        let mut bound = vec![false; prog.num_slots()];
+        let args: std::collections::HashMap<String, u64> = [
+            ("rw".to_string(), 1u64),
+            ("blkcnt".to_string(), 4),
+            ("res".to_string(), 1080),
+            ("flag".to_string(), 0),
+        ]
+        .into_iter()
+        .collect();
+        prog.bind_args(&args, &mut regs, &mut bound);
+        (regs, bound)
+    }
+
+    #[test]
+    fn sites_cover_params_reads_and_polls() {
+        let prog = compile(&probe_template()).unwrap();
+        let sites = prog.constraint_sites();
+        assert_eq!(sites.len(), 4 + 4, "4 param checks + 3 reads + 1 poll");
+        assert_eq!(sites.iter().filter(|s| s.kind.tag() == "param").count(), 4);
+        assert_eq!(sites.iter().filter(|s| s.kind.tag() == "read").count(), 3);
+        assert_eq!(sites.iter().filter(|s| s.kind.tag() == "poll").count(), 1);
+        // Sites never overlap: every cons op belongs to at most one site.
+        let mut seen = vec![false; prog.cons_ops.len()];
+        for s in &sites {
+            for i in s.cons.bounds() {
+                assert!(!seen[i], "cons op {i} claimed by two sites");
+                seen[i] = true;
+            }
+        }
+    }
+
+    #[test]
+    fn subtree_walk_matches_postfix_structure() {
+        let prog = compile(&probe_template()).unwrap();
+        let sites = prog.constraint_sites();
+        // The STS read site is All([MaskClear, InRange]): 3 ops, root last.
+        let sts = sites.iter().find(|s| s.desc.contains("0xffff")).unwrap();
+        assert_eq!(sts.cons.len, 3);
+        let root = (sts.cons.start + sts.cons.len - 1) as usize;
+        assert_eq!(prog.cons_subtree(root), sts.cons);
+        // Each leaf is its own single-op subtree.
+        for leaf in sts.cons.start as usize..root {
+            assert_eq!(prog.cons_subtree(leaf).len, 1);
+        }
+    }
+
+    #[test]
+    fn every_falsifiable_op_gets_a_violating_value() {
+        let prog = compile(&probe_template()).unwrap();
+        let (regs, bound) = bound_file(&prog);
+        let mut scratch = EvalScratch::default();
+        for site in prog.constraint_sites() {
+            for i in site.cons.bounds() {
+                let sol = prog.solve_violation(site.cons, i, &regs, &bound, &mut scratch);
+                match sol {
+                    Violation::Violates { value } => {
+                        let sub = prog.cons_subtree(i);
+                        assert!(!prog.check_cons(sub, value, &regs, &bound, &mut scratch));
+                        assert!(!prog.check_cons(site.cons, value, &regs, &bound, &mut scratch));
+                    }
+                    Violation::Shadowed { value } => {
+                        let sub = prog.cons_subtree(i);
+                        assert!(!prog.check_cons(sub, value, &regs, &bound, &mut scratch));
+                        assert!(prog.check_cons(site.cons, value, &regs, &bound, &mut scratch));
+                    }
+                    Violation::Unfalsifiable => {
+                        assert!(
+                            matches!(prog.cons_ops[i], ConsOp::True),
+                            "only `Any` is unfalsifiable in this template (op {i}: {:?})",
+                            prog.cons_ops[i]
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn symbolic_eq_solves_against_the_live_register_file() {
+        // The ECHO read expects blkcnt << 9 = 2048 with blkcnt = 4; the
+        // solver must perturb that concrete value, not a stale constant.
+        let prog = compile(&probe_template()).unwrap();
+        let (regs, bound) = bound_file(&prog);
+        let mut scratch = EvalScratch::default();
+        let sites = prog.constraint_sites();
+        let echo = sites
+            .iter()
+            .find(|s| matches!(s.kind, SiteKind::Read { .. }) && s.desc.contains("blkcnt"))
+            .unwrap();
+        let root = (echo.cons.start + echo.cons.len - 1) as usize;
+        match prog.solve_violation(echo.cons, root, &regs, &bound, &mut scratch) {
+            Violation::Violates { value } => assert_ne!(value, 4 << 9),
+            other => panic!("expected a violating value, got {other:?}"),
+        }
+        // The satisfying value passes, proving the solve was tight.
+        assert!(prog.check_cons(echo.cons, 4 << 9, &regs, &bound, &mut scratch));
+    }
+
+    #[test]
+    fn anyof_leaves_borrow_sibling_candidates_to_flip_the_root() {
+        // AnyOf([Eq(3), MaskClear(1)]): flipping Eq(3) alone would leave the
+        // even candidates satisfying the sibling; the solver must find an
+        // odd value != 3 by combining both leaves' candidate sets.
+        let prog = compile(&probe_template()).unwrap();
+        let (regs, bound) = bound_file(&prog);
+        let mut scratch = EvalScratch::default();
+        let sites = prog.constraint_sites();
+        let mode = sites
+            .iter()
+            .find(|s| matches!(s.kind, SiteKind::Read { .. }) && s.desc.contains("any of"))
+            .unwrap_or_else(|| {
+                sites
+                    .iter()
+                    .filter(|s| matches!(s.kind, SiteKind::Read { .. }))
+                    .nth(1)
+                    .expect("MODE read site")
+            });
+        for i in mode.cons.bounds() {
+            let sol = prog.solve_violation(mode.cons, i, &regs, &bound, &mut scratch);
+            if let Violation::Violates { value } = sol {
+                assert!(
+                    !prog.check_cons(mode.cons, value, &regs, &bound, &mut scratch),
+                    "op {i}: {value:#x} must falsify the whole AnyOf"
+                );
+            }
+        }
+        // The root itself must be falsifiable (value 1: odd and != 3... 1 is
+        // odd so MaskClear(1) fails, and 1 != 3 so Eq fails).
+        let root = (mode.cons.start + mode.cons.len - 1) as usize;
+        assert!(matches!(
+            prog.solve_violation(mode.cons, root, &regs, &bound, &mut scratch),
+            Violation::Violates { .. }
+        ));
+    }
+
+    #[test]
+    fn unfalsifiable_shapes_are_recognised() {
+        let mut t = probe_template();
+        t.events.push(RecordedEvent::bare(Event::Read {
+            iface: reg("WIDE", 0x110),
+            constraint: Constraint::All(vec![
+                Constraint::InRange { min: 0, max: u64::MAX },
+                Constraint::MaskClear { mask: 0 },
+                Constraint::MaskEq { mask: 0, expected: 0 },
+            ]),
+            len: 4,
+            sink: ReadSink::Discard,
+        }));
+        let prog = compile(&t).unwrap();
+        let (regs, bound) = bound_file(&prog);
+        let mut scratch = EvalScratch::default();
+        let sites = prog.constraint_sites();
+        let wide = sites.iter().find(|s| matches!(s.kind, SiteKind::Read { op, .. } if op == 4));
+        let wide = wide.expect("WIDE read site");
+        for i in wide.cons.bounds() {
+            assert_eq!(
+                prog.solve_violation(wide.cons, i, &regs, &bound, &mut scratch),
+                Violation::Unfalsifiable,
+                "op {i} admits every observation"
+            );
+        }
+    }
+}

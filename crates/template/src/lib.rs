@@ -32,6 +32,7 @@ pub mod codec;
 pub mod constraint;
 pub mod event;
 pub mod expr;
+pub mod introspect;
 pub mod package;
 pub mod program;
 pub mod template;
@@ -41,6 +42,7 @@ pub use event::{
     DataDirection, DmaRole, EnvApi, Event, Iface, ReadSink, RecordedEvent, SourceSite,
 };
 pub use expr::{EvalEnv, SymExpr};
+pub use introspect::{ConstraintSite, SiteKind, Violation};
 pub use package::{CoverageReport, Driverlet, SignError, Signature};
 pub use program::{compile, CompileError, EvalScratch, Op, OpMeta, ReplayProgram};
 pub use template::{DmaSpec, EventBreakdown, ParamSpec, Template, TemplateMeta};

@@ -12,6 +12,7 @@ pub use dlt_core as core;
 pub use dlt_dev_mmc as dev_mmc;
 pub use dlt_dev_usb as dev_usb;
 pub use dlt_dev_vchiq as dev_vchiq;
+pub use dlt_explore as explore;
 pub use dlt_gold_drivers as gold_drivers;
 pub use dlt_hw as hw;
 pub use dlt_recorder as recorder;

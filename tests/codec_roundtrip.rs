@@ -233,3 +233,136 @@ proptest! {
         let _ = Driverlet::from_binary(&data);
     }
 }
+
+// ---------------------------------------------------------------------------
+// Explore-style near-miss bundles: deterministic mutations that land one
+// step outside the valid encoding — a string length claiming one byte more
+// than the input holds, a string count that overruns the input, a string
+// index one past the interned table (the codec's register references ride
+// the same index machinery), op pools truncated mid-template, and
+// magic/version bumps. Every case must yield a typed
+// `SignError::Malformed`, never a panic or a silently partial bundle.
+// ---------------------------------------------------------------------------
+
+/// A minimal LEB128 reader mirroring the codec's (private) varint, so the
+/// tests can walk `DLTB ‖ version ‖ n_strings ‖ strings… ‖ body ‖ sig`.
+fn read_varint(bytes: &[u8], pos: &mut usize) -> u64 {
+    let mut v = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let b = bytes[*pos];
+        *pos += 1;
+        v |= u64::from(b & 0x7f) << shift;
+        if b & 0x80 == 0 {
+            return v;
+        }
+        shift += 7;
+    }
+}
+
+fn write_varint(mut v: u64) -> Vec<u8> {
+    let mut out = Vec::new();
+    loop {
+        let b = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(b);
+            return out;
+        }
+        out.push(b | 0x80);
+    }
+}
+
+/// Walk the string table and return
+/// `(n_strings, count_offset, first_length_offset, body_offset)`.
+fn table_layout(bytes: &[u8]) -> (u64, usize, usize, usize) {
+    assert_eq!(&bytes[..4], b"DLTB");
+    let mut pos = 5; // magic + version byte
+    let count_offset = pos;
+    let n = read_varint(bytes, &mut pos);
+    let first_length_offset = pos;
+    for _ in 0..n {
+        let len = read_varint(bytes, &mut pos) as usize;
+        pos += len;
+    }
+    (n, count_offset, first_length_offset, pos)
+}
+
+/// Replace the varint starting at `at` with the encoding of `value`.
+fn splice_varint(bytes: &[u8], at: usize, value: u64) -> Vec<u8> {
+    let mut end = at;
+    read_varint(bytes, &mut end);
+    let mut out = bytes[..at].to_vec();
+    out.extend_from_slice(&write_varint(value));
+    out.extend_from_slice(&bytes[end..]);
+    out
+}
+
+fn near_miss_bundle() -> Vec<u8> {
+    let mut d = gen_driverlet(0xD17);
+    d.sign(b"fuzz-key");
+    d.to_binary()
+}
+
+fn assert_malformed(bytes: &[u8], what: &str) {
+    match Driverlet::from_binary(bytes) {
+        Err(SignError::Malformed(_)) => {}
+        other => panic!("{what}: expected a typed Malformed error, got {other:?}"),
+    }
+}
+
+#[test]
+fn near_miss_bad_magic_is_a_typed_error() {
+    let mut bytes = near_miss_bundle();
+    bytes[3] ^= 0x01; // "DLTB" -> "DLTC"
+    assert_malformed(&bytes, "bad magic");
+}
+
+#[test]
+fn near_miss_future_version_is_a_typed_error() {
+    let mut bytes = near_miss_bundle();
+    bytes[4] += 1;
+    assert_malformed(&bytes, "version bump");
+}
+
+#[test]
+fn near_miss_string_count_overrunning_the_input_is_a_typed_error() {
+    let bytes = near_miss_bundle();
+    let (_, count_offset, _, _) = table_layout(&bytes);
+    let inflated = splice_varint(&bytes, count_offset, bytes.len() as u64 + 1);
+    assert_malformed(&inflated, "inflated string count");
+}
+
+#[test]
+fn near_miss_string_length_one_past_the_end_is_a_typed_error() {
+    let bytes = near_miss_bundle();
+    let (_, _, first_length_offset, _) = table_layout(&bytes);
+    let mut end = first_length_offset;
+    read_varint(&bytes, &mut end);
+    // The tightest off-by-one: claim exactly one byte more than follows
+    // the length varint.
+    let remaining = (bytes.len() - end) as u64;
+    let off_by_one = splice_varint(&bytes, first_length_offset, remaining + 1);
+    assert_malformed(&off_by_one, "string length one past the end");
+}
+
+#[test]
+fn near_miss_string_index_past_the_table_is_a_typed_error() {
+    let bytes = near_miss_bundle();
+    let (n, _, _, body_offset) = table_layout(&bytes);
+    // The first body varint is the device-name string index; point it one
+    // past the interned table (indices 0..n are valid, n is not).
+    let out_of_table = splice_varint(&bytes, body_offset, n);
+    assert_malformed(&out_of_table, "string index out of table");
+}
+
+#[test]
+fn near_miss_truncated_op_pool_is_a_typed_error() {
+    let bytes = near_miss_bundle();
+    let (_, _, _, body_offset) = table_layout(&bytes);
+    // Cut just inside the body, mid op pool, and inside the trailing
+    // signature record: each must be a typed end-of-input.
+    for cut in [body_offset + 1, body_offset + (bytes.len() - body_offset) / 2, bytes.len() - 9] {
+        assert_malformed(&bytes[..cut], "truncated body");
+    }
+}
