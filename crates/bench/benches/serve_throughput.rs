@@ -1,7 +1,8 @@
 //! Service-layer throughput: coalesced scheduler vs serial uncoalesced
 //! issue, mixed MMC+USB+VCHIQ traffic racing a LongBurst capture,
-//! 1→3-device weak scaling, the anticipatory-hold sweep, and the
-//! ring-vs-legacy submission comparison; persisted to `BENCH_serve.json`.
+//! 1→3-device weak scaling, the anticipatory-hold sweep, the
+//! ring-vs-legacy submission comparison, and the sequential-vs-threaded
+//! wall-clock lane-parallelism curve; persisted to `BENCH_serve.json`.
 //! CI runs this with `--quick` and fails on any of the acceptance
 //! assertions below.
 //!
@@ -87,6 +88,37 @@ fn main() {
         report.ring.batch1.ring_p50_us,
         report.ring.batch1.legacy_p50_us
     );
+    // The wall-clock lane-parallelism gate. Structure holds anywhere:
+    // both arms finish every request at every lane count. The ≥ 2x
+    // speedup bar is host time and needs real hardware parallelism, so it
+    // only applies when the measuring host has at least 4 cores (CI
+    // does; a 1-core dev container records the curve without gating it).
+    let wc = &report.wall_clock;
+    for p in &wc.points {
+        assert!(
+            p.requests > 0 && p.sequential_ms > 0.0 && p.threaded_ms > 0.0,
+            "acceptance: wall-clock point at {} lane(s) must complete work on both arms",
+            p.lanes
+        );
+    }
+    let four = wc.points.iter().find(|p| p.lanes == 4).expect("4-lane wall-clock point");
+    if wc.host_cores >= 4 {
+        assert!(
+            four.speedup >= 2.0,
+            "acceptance: threaded lanes must cut 4-lane wall clock >= 2x over sequential on a \
+             {}-core host, got {:.2}x ({:.1} ms vs {:.1} ms)",
+            wc.host_cores,
+            four.speedup,
+            four.sequential_ms,
+            four.threaded_ms
+        );
+    } else {
+        println!(
+            "(skipping the 4-lane >= 2x wall-clock gate: host exposes only {} core(s); \
+             measured {:.2}x)",
+            wc.host_cores, four.speedup
+        );
+    }
 
     let out = std::env::var("BENCH_SERVE_OUT").unwrap_or_else(|_| "BENCH_serve.json".into());
     emit_report(&report, &out).expect("write BENCH_serve.json");

@@ -268,9 +268,24 @@ fn main() {
             ring.speedup,
             ring.doorbell_batch
         );
+        let wc = &report.wall_clock;
         println!(
-            "per-device p50/p99, the 1->3 device scaling ratio ({:.2}x) and the ring-vs-legacy \
-             table come from BENCH_serve.json; refresh it with the serve_throughput bench",
+            "wall-clock lane scaling (host time, recorded on a {}-core host, {} reads/lane):",
+            wc.host_cores, wc.requests_per_lane
+        );
+        for p in &wc.points {
+            // One bar character per 0.25x threaded-over-sequential speedup
+            // so the curve's shape is visible at a glance.
+            let bar = "#".repeat(((p.speedup * 4.0).round() as usize).clamp(1, 64));
+            println!(
+                "  {:>2} lane(s) {bar:<32} {:.2}x (seq {:.1} ms, thr {:.1} ms)",
+                p.lanes, p.speedup, p.sequential_ms, p.threaded_ms
+            );
+        }
+        println!(
+            "per-device p50/p99, the 1->3 device scaling ratio ({:.2}x), the ring-vs-legacy \
+             table and the wall-clock curve come from BENCH_serve.json; refresh it with the \
+             serve_throughput bench",
             report.scaling.ratio_3v1
         );
     }

@@ -32,13 +32,18 @@
 //!    driven down both submit modes. Acceptance: ring-mode block request
 //!    rate ≥ 1.5x legacy at doorbell batch 16, SMCs-per-request ≤ 0.25,
 //!    and closed-loop batch-1 p50 no worse than the per-call path.
+//! 6. **Wall-clock lane parallelism** — the one experiment measured in
+//!    *host* time, not virtual time: N replica MMC lanes each replay the
+//!    same uncoalesced read workload, sequential vs per-lane OS threads
+//!    ([`ExecMode::Threaded`]), at 1/2/4/8 lanes. Acceptance (CI, when
+//!    the host has ≥ 4 cores): threaded ≥ 2x sequential at 4 lanes.
 
 use dlt_recorder::campaign::{
     record_camera_driverlet_subset, record_mmc_driverlet_subset, record_usb_driverlet_subset,
 };
 use dlt_serve::{
-    Completion, Device, DriverletService, Policy, Request, ServeConfig, ServeError, SessionId,
-    SubmitMode, BLOCK,
+    Completion, Device, DriverletService, ExecMode, Policy, Request, ServeConfig, ServeError,
+    SessionId, SubmitMode, BLOCK,
 };
 use serde::{Deserialize, Serialize};
 
@@ -212,6 +217,38 @@ pub struct RingComparisonSample {
     pub batch1: SubmitLatencySample,
 }
 
+/// One lane count of the wall-clock lane-parallelism experiment.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct WallClockPoint {
+    /// Replica MMC lanes (each its own TEE core; on the threaded arm,
+    /// each its own OS thread).
+    pub lanes: usize,
+    /// Total requests completed per arm (`lanes * requests_per_lane`).
+    pub requests: u64,
+    /// Host wall-clock makespan of the sequential arm (milliseconds).
+    pub sequential_ms: f64,
+    /// Host wall-clock makespan of the threaded arm (milliseconds).
+    pub threaded_ms: f64,
+    /// `sequential_ms / threaded_ms` — the CI gate demands ≥ 2.0 at 4
+    /// lanes when the host has ≥ 4 cores.
+    pub speedup: f64,
+}
+
+/// The wall-clock lane-parallelism experiment. Unlike every other section
+/// of this report these numbers are **host time** (`std::time::Instant`),
+/// so they vary run to run and machine to machine; `host_cores` records
+/// how much hardware parallelism the measurement had, and the ≥ 2x gate
+/// at 4 lanes only applies when `host_cores >= 4`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct WallClockSample {
+    /// `std::thread::available_parallelism()` on the measuring host.
+    pub host_cores: usize,
+    /// Uncoalesced 8-block reads issued per lane, per arm.
+    pub requests_per_lane: u64,
+    /// One point per lane count (1, 2, 4, 8).
+    pub points: Vec<WallClockPoint>,
+}
+
 /// The persisted `BENCH_serve.json` document.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct ServeBenchReport {
@@ -228,6 +265,8 @@ pub struct ServeBenchReport {
     /// The ring-vs-legacy submission comparison (world-switch
     /// amortisation).
     pub ring: RingComparisonSample,
+    /// The sequential-vs-threaded wall-clock comparison (host time).
+    pub wall_clock: WallClockSample,
 }
 
 fn mmc_config(coalesce: bool) -> ServeConfig {
@@ -710,28 +749,103 @@ pub fn run_ring_bench(requests_per_session: u32, doorbell_batch: usize) -> RingC
     RingComparisonSample { doorbell_batch, legacy, ring, speedup, batch1 }
 }
 
-/// Run all five experiments.
+/// One arm of the wall-clock experiment: `lanes` replica MMC lanes, each
+/// fed `requests_per_lane` uncoalesced 8-block reads, measured in host
+/// time from first submit to quiescence (`drain_all`).
+fn wall_clock_arm(
+    exec_mode: ExecMode,
+    bundle: &dlt_template::Driverlet,
+    lanes: usize,
+    requests_per_lane: u64,
+) -> f64 {
+    let devices: Vec<_> = (0..lanes).map(|_| (Device::Mmc, bundle.clone())).collect();
+    let config = ServeConfig {
+        exec_mode,
+        // Coalescing and anticipation off: every request pays its own
+        // replay, so the workload is pure per-lane compute and the only
+        // variable between the arms is where that compute runs.
+        coalesce: false,
+        hold_budget_ns: 0,
+        queue_capacity: requests_per_lane as usize,
+        block_granularities: vec![1, 8],
+        ..ServeConfig::default()
+    };
+    let mut service = DriverletService::with_driverlets(&devices, config).expect("build service");
+    let session = service.open_session().unwrap();
+    let expected = requests_per_lane * lanes as u64;
+    let start = std::time::Instant::now();
+    // Round-robin across the lanes so threaded workers start chewing on
+    // their backlog while the front-end is still submitting.
+    for i in 0..requests_per_lane {
+        for lane in 0..lanes {
+            let blkid = 1024 + (i % 48) as u32 * 8;
+            service
+                .submit_to_lane(
+                    lane,
+                    session,
+                    Request::Read { device: Device::Mmc, blkid, blkcnt: 8 },
+                )
+                .expect("wall-clock submit");
+        }
+    }
+    let completed = service.drain_all().len() as u64;
+    let elapsed_ms = start.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(completed, expected, "every wall-clock request must complete");
+    elapsed_ms
+}
+
+/// The wall-clock lane-parallelism experiment: sequential vs threaded
+/// execution of identical replica-lane workloads at each lane count.
+pub fn run_wall_clock_bench(lane_counts: &[usize], requests_per_lane: u64) -> WallClockSample {
+    let bundle = record_mmc_driverlet_subset(&[1, 8]).expect("record mmc");
+    let host_cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let points = lane_counts
+        .iter()
+        .map(|&lanes| {
+            let sequential_ms =
+                wall_clock_arm(ExecMode::Sequential, &bundle, lanes, requests_per_lane);
+            let threaded_ms = wall_clock_arm(ExecMode::Threaded, &bundle, lanes, requests_per_lane);
+            WallClockPoint {
+                lanes,
+                requests: requests_per_lane * lanes as u64,
+                sequential_ms,
+                threaded_ms,
+                speedup: sequential_ms / threaded_ms.max(1e-9),
+            }
+        })
+        .collect();
+    WallClockSample { host_cores, requests_per_lane, points }
+}
+
+/// Run all six experiments.
 pub fn run_serve_bench(quick: bool) -> ServeBenchReport {
     // The scaling lane budget stays at 2.4 s even in quick mode: a OneShot
     // capture costs ~2.3 s of camera-lane time (sensor init dominates), so
     // a smaller budget would leave the third lane idle and the CI
     // acceptance gate on ratio_3v1 would only measure 1→2-device scaling.
-    let (rounds, mixed_rounds, frames, budget_ns, bursts, ring_requests) = if quick {
-        (6, 4, 10, 2_400_000_000, 30, 64)
+    // wall_requests stays modest even in full mode: the wall-clock arms
+    // retain every 8-block read payload until the final reap, and past
+    // ~16k in-flight requests the footprint (>64 MB of payloads) starts
+    // measuring the allocator rather than lane parallelism.
+    let (rounds, mixed_rounds, frames, budget_ns, bursts, ring_requests, wall_requests) = if quick {
+        (6, 4, 10, 2_400_000_000, 30, 64, 512)
     } else {
-        (24, 12, 100, 2_400_000_000, 200, 192)
+        (24, 12, 100, 2_400_000_000, 200, 192, 1024)
     };
     let coalescing = run_coalescing_bench(8, rounds);
     let mixed = run_mixed_bench(mixed_rounds, frames);
     let scaling = run_scaling_bench(budget_ns);
     let hold_sweep = run_hold_sweep(bursts, &[0, 25, 100, 400, 3200]);
     let ring = run_ring_bench(ring_requests, 16);
+    let wall_clock = run_wall_clock_bench(&[1, 2, 4, 8], wall_requests);
     ServeBenchReport {
         workload: format!(
             "serve layer: 8-session striped reads x {rounds} rounds (MMC); 10-session mixed \
              MMC+USB+VCHIQ x {mixed_rounds} rounds vs a {frames}-frame LongBurst; 1->3 device \
              weak scaling at {:.0} ms/lane; hold sweep over {bursts} bursts; ring-vs-legacy \
-             open-loop Poisson mix at {ring_requests} requests/session, doorbell batch 16",
+             open-loop Poisson mix at {ring_requests} requests/session, doorbell batch 16; \
+             wall-clock sequential-vs-threaded at 1/2/4/8 replica MMC lanes x {wall_requests} \
+             8-block reads/lane",
             budget_ns as f64 / 1e6
         ),
         coalescing,
@@ -739,6 +853,7 @@ pub fn run_serve_bench(quick: bool) -> ServeBenchReport {
         scaling,
         hold_sweep,
         ring,
+        wall_clock,
     }
 }
 
@@ -829,21 +944,36 @@ pub fn describe(report: &ServeBenchReport) -> String {
             h.holds
         ));
     }
+    let w = &report.wall_clock;
+    out.push_str(&format!(
+        "wall-clock (host time, {} core(s), {} reads/lane):\n",
+        w.host_cores, w.requests_per_lane
+    ));
+    for p in &w.points {
+        out.push_str(&format!(
+            "  {} lane(s): {} requests, sequential {:.1} ms vs threaded {:.1} ms -> {:.2}x\n",
+            p.lanes, p.requests, p.sequential_ms, p.threaded_ms, p.speedup
+        ));
+    }
     out
 }
 
 /// One-line record for log scraping.
 pub fn summary_line(report: &ServeBenchReport) -> String {
+    let wall_4 =
+        report.wall_clock.points.iter().find(|p| p.lanes == 4).map(|p| p.speedup).unwrap_or(0.0);
     format!(
         "serve_throughput coalesced={:.0} serial={:.0} speedup={:.2} scaling_3v1={:.2} \
-         block_p99_us={} ring_speedup={:.2} ring_smcs_per_req={:.3}",
+         block_p99_us={} ring_speedup={:.2} ring_smcs_per_req={:.3} wall_4lane={:.2} cores={}",
         report.coalescing.coalesced_rps,
         report.coalescing.serial_rps,
         report.coalescing.speedup,
         report.scaling.ratio_3v1,
         report.mixed.block_p99_us,
         report.ring.speedup,
-        report.ring.ring.smcs_per_request
+        report.ring.ring.smcs_per_request,
+        wall_4,
+        report.wall_clock.host_cores
     )
 }
 
@@ -961,14 +1091,34 @@ mod tests {
     }
 
     #[test]
+    fn wall_clock_points_complete_every_request_on_both_arms() {
+        // The wall-clock experiment measures host time, so no speedup
+        // assertion here (the dev container may have one core — the
+        // conditional ≥ 2x gate lives in the serve_throughput bench).
+        // What must hold anywhere: both arms finish the full workload at
+        // every lane count and report positive makespans.
+        let sample = run_wall_clock_bench(&[1, 2], 48);
+        assert!(sample.host_cores >= 1);
+        assert_eq!(sample.points.len(), 2);
+        for p in &sample.points {
+            assert_eq!(p.requests, 48 * p.lanes as u64);
+            assert!(p.sequential_ms > 0.0 && p.threaded_ms > 0.0);
+            assert!(p.speedup > 0.0);
+        }
+    }
+
+    #[test]
     fn report_round_trips_through_json() {
         let report = run_serve_bench(true);
         let json = report_json(&report);
         assert!(json.contains("coalescing"));
         assert!(json.contains("block_p99_us"));
         assert!(json.contains("ratio_3v1"));
+        assert!(json.contains("wall_clock"));
         let parsed = parse_report(&json).expect("parse persisted report");
         assert_eq!(parsed.scaling.points.len(), report.scaling.points.len());
         assert!((parsed.scaling.ratio_3v1 - report.scaling.ratio_3v1).abs() < 1e-9);
+        assert_eq!(parsed.wall_clock.points.len(), report.wall_clock.points.len());
+        assert_eq!(parsed.wall_clock.host_cores, report.wall_clock.host_cores);
     }
 }

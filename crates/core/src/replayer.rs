@@ -816,6 +816,15 @@ pub fn describe_divergence(report: &DivergenceReport) -> String {
     )
 }
 
+// The serve layer moves whole lane replayers onto per-lane OS threads
+// (`dlt-serve`'s `ExecMode::Threaded`); losing `Send` here — e.g. by
+// adding an `Rc` or a raw pointer to the replayer state — would silently
+// break that, so pin it at compile time.
+const _: fn() = || {
+    fn assert_send<T: Send>() {}
+    assert_send::<Replayer>();
+};
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -14,10 +14,50 @@
 //! which books the skipped span as *idle* rather than busy time, so lane
 //! utilisation can be reported as `busy_ns / now_ns`.
 
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
 use crate::cost::CostModel;
 
+/// Lock-free published view of one [`VirtualClock`].
+///
+/// The clock itself lives behind its platform's mutex and is mutated only
+/// by the thread driving that platform; every advance also stores the new
+/// `now`/`idle` values here with `Release` ordering, so *other* threads
+/// (the `dlt-serve` front-end computing the pointwise-max clock join, lane
+/// status snapshots) can read a consistent recent value with an `Acquire`
+/// load and **no lock**. Readers may observe a value that is a few
+/// advances stale — never torn, never retreating — which is exactly the
+/// monotone-lower-bound semantics a max-join needs.
+#[derive(Debug, Default)]
+pub struct ClockCell {
+    now_ns: AtomicU64,
+    idle_ns: AtomicU64,
+}
+
+impl ClockCell {
+    /// Last published virtual time in nanoseconds.
+    pub fn now_ns(&self) -> u64 {
+        self.now_ns.load(Ordering::Acquire)
+    }
+
+    /// Last published idle span in nanoseconds.
+    pub fn idle_ns(&self) -> u64 {
+        self.idle_ns.load(Ordering::Acquire)
+    }
+
+    /// Last published busy span: `now_ns - idle_ns`.
+    pub fn busy_ns(&self) -> u64 {
+        // Load idle first: if the writer advances between the two loads the
+        // subtraction can only *under*-report busy time, never go negative
+        // past the saturation guard.
+        let idle = self.idle_ns();
+        self.now_ns().saturating_sub(idle)
+    }
+}
+
 /// A monotonically increasing virtual clock measured in nanoseconds.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct VirtualClock {
     now_ns: u64,
     cost: CostModel,
@@ -27,6 +67,25 @@ pub struct VirtualClock {
     /// Nanoseconds skipped via [`VirtualClock::advance_idle_to`] — time the
     /// owning core spent waiting for work rather than doing it.
     idle_ns: u64,
+    /// Lock-free mirror of `now_ns`/`idle_ns` for cross-thread readers.
+    cell: Arc<ClockCell>,
+}
+
+impl Clone for VirtualClock {
+    fn clone(&self) -> Self {
+        // A cloned clock is an independent timeline: it publishes into its
+        // own cell, never the original's.
+        let cell = Arc::new(ClockCell::default());
+        cell.now_ns.store(self.now_ns, Ordering::Release);
+        cell.idle_ns.store(self.idle_ns, Ordering::Release);
+        VirtualClock {
+            now_ns: self.now_ns,
+            cost: self.cost.clone(),
+            advances: self.advances,
+            idle_ns: self.idle_ns,
+            cell,
+        }
+    }
 }
 
 impl Default for VirtualClock {
@@ -38,12 +97,31 @@ impl Default for VirtualClock {
 impl VirtualClock {
     /// Create a clock starting at time zero with the given cost model.
     pub fn new(cost: CostModel) -> Self {
-        VirtualClock { now_ns: 0, cost, advances: 0, idle_ns: 0 }
+        VirtualClock {
+            now_ns: 0,
+            cost,
+            advances: 0,
+            idle_ns: 0,
+            cell: Arc::new(ClockCell::default()),
+        }
     }
 
     /// Current virtual time in nanoseconds.
     pub fn now_ns(&self) -> u64 {
         self.now_ns
+    }
+
+    /// The lock-free published view of this clock. Cross-thread readers
+    /// (the serve front-end's max-scan clock join) hold this handle and
+    /// never touch the platform mutex the clock itself lives behind.
+    pub fn cell(&self) -> Arc<ClockCell> {
+        Arc::clone(&self.cell)
+    }
+
+    /// Publish the current `now`/`idle` values into the lock-free cell.
+    fn publish(&self) {
+        self.cell.now_ns.store(self.now_ns, Ordering::Release);
+        self.cell.idle_ns.store(self.idle_ns, Ordering::Release);
     }
 
     /// Current virtual time in microseconds (truncated).
@@ -70,6 +148,7 @@ impl VirtualClock {
     pub fn advance_ns(&mut self, ns: u64) {
         self.now_ns = self.now_ns.saturating_add(ns);
         self.advances += 1;
+        self.publish();
     }
 
     /// Advance time by `us` microseconds.
@@ -83,6 +162,7 @@ impl VirtualClock {
         if deadline_ns > self.now_ns {
             self.now_ns = deadline_ns;
             self.advances += 1;
+            self.publish();
         }
     }
 
@@ -95,6 +175,7 @@ impl VirtualClock {
             self.idle_ns += deadline_ns - self.now_ns;
             self.now_ns = deadline_ns;
             self.advances += 1;
+            self.publish();
         }
     }
 
@@ -241,6 +322,26 @@ mod tests {
         // Idle skips into the past are no-ops.
         c.advance_idle_to(6_000);
         assert_eq!(c.idle_ns(), 4_000);
+    }
+
+    #[test]
+    fn published_cell_tracks_every_advance_kind() {
+        let mut c = VirtualClock::default();
+        let cell = c.cell();
+        assert_eq!(cell.now_ns(), 0);
+        c.advance_ns(1_000);
+        assert_eq!(cell.now_ns(), 1_000);
+        c.advance_idle_to(5_000);
+        assert_eq!((cell.now_ns(), cell.idle_ns(), cell.busy_ns()), (5_000, 4_000, 1_000));
+        c.advance_to(9_000);
+        assert_eq!(cell.now_ns(), 9_000);
+        // A clone publishes into its own cell, not the original's.
+        let mut fork = c.clone();
+        let fork_cell = fork.cell();
+        assert_eq!(fork_cell.now_ns(), 9_000);
+        fork.advance_ns(1);
+        assert_eq!(fork_cell.now_ns(), 9_001);
+        assert_eq!(cell.now_ns(), 9_000);
     }
 
     #[test]

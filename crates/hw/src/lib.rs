@@ -47,7 +47,7 @@ pub fn shared<T>(value: T) -> Shared<T> {
 }
 
 pub use bus::{Platform, SystemBus, World};
-pub use clock::VirtualClock;
+pub use clock::{ClockCell, VirtualClock};
 pub use cost::CostModel;
 pub use device::MmioDevice;
 pub use error::HwError;

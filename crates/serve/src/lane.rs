@@ -1,0 +1,670 @@
+//! Per-lane execution engine: the worker that owns one device lane's TEE
+//! core (platform, virtual clock, replayer) and queue, plus the shared
+//! state that connects it to the service front-end.
+//!
+//! The same [`LaneWorker`] runs in **both** execution modes
+//! ([`crate::service::ExecMode`]):
+//!
+//! * **Sequential** — the front-end keeps the worker inline and steps it
+//!   from the single-threaded event loop, preserving the exact virtual-time
+//!   behaviour of the pre-threading service (every PR 3–6 gate replays
+//!   bit-identically).
+//! * **Threaded** — the worker is moved onto its own OS thread (one host
+//!   thread per TEE core, the paper's one-core-per-lane model made
+//!   physical). The front-end talks to it only through lock-free SPSC
+//!   rings ([`crate::spsc`]) and a control mailbox; the worker parks when
+//!   idle and is unparked by doorbells, per-call admissions, control
+//!   messages and shutdown.
+//!
+//! # Channels and counters
+//!
+//! Per lane there are three queues and a handful of atomics:
+//!
+//! * `admit` (front-end → worker, SPSC): requests the TEE admitted
+//!   (per-call SMC or doorbell), already stamped with `arrived_ns`.
+//!   Capacity reservation happens **front-end side** on
+//!   [`LaneShared::reserve`] before the push, so the push itself can never
+//!   exceed the lane bound and `QueueFull` always carries one coherent
+//!   depth snapshot.
+//! * `cq` (worker → front-end, SPSC): completions in execution order. The
+//!   worker never blocks on a full ring: it spills worker-side
+//!   ([`LaneWorker::cq_spill`]) and flushes opportunistically, with
+//!   [`LaneShared::cq_backlog`] telling the front-end there is more to
+//!   reap than the ring shows.
+//! * `ctrl` (front-end → worker, mpsc): fault injection, health checks,
+//!   stop. Handled strictly **between batches**, never mid-replay — that
+//!   is the mid-flight safety contract `dlt-explore` relies on.
+//!
+//! [`LaneShared::inflight`] counts admitted-but-not-yet-posted requests;
+//! the quiescence protocol (`drain_all`) is "every lane's `inflight` and
+//! `cq_backlog` are zero, then reap the rings". The worker publishes its
+//! clock through the lock-free [`ClockCell`], so the front-end's
+//! pointwise-max `now_ns()` join never takes a lane lock.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex, OnceLock, PoisonError};
+use std::time::Duration;
+
+use dlt_core::{replay_cam, Replayer, ResponseMutator};
+use dlt_hw::{ClockCell, Platform};
+
+use crate::coalesce::{self, plan_dispatch, Dispatch, DispatchReason, ExecPlan};
+use crate::sched::{Lane, Pending, Policy};
+use crate::spsc::{SpscConsumer, SpscProducer};
+use crate::{Completion, Device, Payload, Request, ServeError, SessionId, BLOCK};
+
+/// First block of the scratch extent `lane_health_check` overwrites on
+/// block lanes (it stays clear of the low extents the tests and workloads
+/// address).
+pub(crate) const HEALTH_PROBE_BLKID: u32 = 1024;
+
+pub(crate) fn block_args(rw: u64, blkcnt: u32, blkid: u32) -> [(&'static str, u64); 4] {
+    [("rw", rw), ("blkcnt", u64::from(blkcnt)), ("blkid", u64::from(blkid)), ("flag", 0)]
+}
+
+/// Cumulative service counters as atomics, shared by the front-end, every
+/// lane worker and every detached [`crate::service::LaneSubmitter`]. All
+/// updates are `Relaxed` — they are metrics, and the quiescence protocol's
+/// acquire/release edges make post-drain snapshots exact.
+#[derive(Debug, Default)]
+pub(crate) struct SharedStats {
+    pub submitted: AtomicU64,
+    pub completed: AtomicU64,
+    pub rejected: AtomicU64,
+    pub replays: AtomicU64,
+    pub coalesced_requests: AtomicU64,
+    pub blocks_moved: AtomicU64,
+    pub holds: AtomicU64,
+    pub early_unplugs: AtomicU64,
+    pub doorbells: AtomicU64,
+    pub doorbell_entries: AtomicU64,
+    pub cq_overflows: AtomicU64,
+}
+
+impl SharedStats {
+    pub fn add(counter: &AtomicU64, n: u64) {
+        counter.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub fn bump(counter: &AtomicU64) {
+        Self::add(counter, 1);
+    }
+}
+
+/// The epoch/condvar pair `drain_all` sleeps on while lane threads chew:
+/// workers bump it whenever they make progress (a batch executed, spill
+/// flushed, control handled), so the front-end wakes promptly instead of
+/// spinning — important on single-core hosts, where a spinning front-end
+/// would starve the very lane threads it waits for.
+#[derive(Debug, Default)]
+pub(crate) struct Quiesce {
+    epoch: Mutex<u64>,
+    cv: Condvar,
+}
+
+impl Quiesce {
+    pub fn bump(&self) {
+        let mut epoch = self.epoch.lock().unwrap_or_else(PoisonError::into_inner);
+        *epoch += 1;
+        drop(epoch);
+        self.cv.notify_all();
+    }
+
+    /// Wait until a worker signals progress or `timeout` passes (the
+    /// timeout makes the wait robust to missed wakeups: the caller
+    /// re-checks its quiescence predicate either way).
+    pub fn wait_for_progress(&self, timeout: Duration) {
+        let epoch = self.epoch.lock().unwrap_or_else(PoisonError::into_inner);
+        match self.cv.wait_timeout(epoch, timeout) {
+            Ok((guard, _timed_out)) => drop(guard),
+            Err(poisoned) => drop(poisoned.into_inner()),
+        }
+    }
+}
+
+/// Lane state both sides read: admission bound, quiescence counters, the
+/// lane clock's lock-free cell, and the worker thread's unpark handle.
+#[derive(Debug)]
+pub(crate) struct LaneShared {
+    pub device: Device,
+    /// The lane queue bound ([`crate::service::ServeConfig::queue_capacity`]).
+    pub capacity: usize,
+    /// Requests admitted by the TEE whose completion has not yet been
+    /// posted. Incremented front-end side (single admitter) on
+    /// [`LaneShared::reserve`]; decremented by the worker with `Release`
+    /// as each completion is posted, so a front-end `Acquire` load of 0
+    /// proves every completion is visible in the cq ring/spill.
+    pub inflight: AtomicU64,
+    /// Mirror of the worker's local queue depth (observability only).
+    pub queued: AtomicUsize,
+    /// Mirror of the worker queue's high-water mark.
+    pub queue_high_water: AtomicUsize,
+    /// Completions spilled worker-side because the cq ring was full; the
+    /// front-end treats `> 0` as "keep reaping".
+    pub cq_backlog: AtomicUsize,
+    /// The lane virtual clock's lock-free published view.
+    pub clock: Arc<ClockCell>,
+    /// The worker thread's handle, set once after spawn (threaded mode
+    /// only); [`LaneShared::unpark`] is a no-op before it is set and in
+    /// sequential mode.
+    pub thread: OnceLock<std::thread::Thread>,
+    /// Service-wide progress signal.
+    pub quiesce: Arc<Quiesce>,
+}
+
+impl LaneShared {
+    pub fn new(
+        device: Device,
+        capacity: usize,
+        clock: Arc<ClockCell>,
+        quiesce: Arc<Quiesce>,
+    ) -> Self {
+        LaneShared {
+            device,
+            capacity,
+            inflight: AtomicU64::new(0),
+            queued: AtomicUsize::new(0),
+            queue_high_water: AtomicUsize::new(0),
+            cq_backlog: AtomicUsize::new(0),
+            clock,
+            thread: OnceLock::new(),
+            quiesce,
+        }
+    }
+
+    /// Wake the lane thread (no-op inline/sequential).
+    pub fn unpark(&self) {
+        if let Some(t) = self.thread.get() {
+            t.unpark();
+        }
+    }
+
+    /// Reserve one admission slot, or reject with a **single-snapshot**
+    /// [`ServeError::QueueFull`]: the reported depth is the one atomic
+    /// load the rejection decision was made on — never a second racy
+    /// re-read — so a rejection raced against a draining worker still
+    /// reports `depth <= capacity` consistently.
+    pub fn reserve(&self) -> Result<(), ServeError> {
+        let depth = self.inflight.load(Ordering::Acquire);
+        if depth >= self.capacity as u64 {
+            return Err(ServeError::QueueFull {
+                device: self.device,
+                depth: depth as usize,
+                capacity: self.capacity,
+            });
+        }
+        // Only the front-end thread reserves, so load-then-add cannot
+        // overshoot: concurrent worker decrements only free slots.
+        self.inflight.fetch_add(1, Ordering::AcqRel);
+        Ok(())
+    }
+
+    /// Whether every admitted request's completion has been posted and the
+    /// worker has nothing spilled outside the cq ring.
+    pub fn quiescent(&self) -> bool {
+        self.inflight.load(Ordering::Acquire) == 0 && self.cq_backlog.load(Ordering::Acquire) == 0
+    }
+}
+
+/// The worker-relevant slice of the service configuration.
+#[derive(Debug, Clone)]
+pub(crate) struct LaneConfig {
+    pub policy: Policy,
+    pub coalesce: bool,
+    pub coalesce_window: usize,
+    pub hold_budget_ns: u64,
+    pub block_granularities: Vec<u32>,
+    pub camera_bursts: Vec<u32>,
+}
+
+/// Control-plane requests delivered to the worker between batches.
+pub(crate) enum CtrlReq {
+    /// Install (`Some`) or clear (`None`) a response mutator on the lane
+    /// replayer — fault injection's entry point.
+    SetMutator(Option<Box<dyn ResponseMutator>>),
+    /// Run the lane health probe.
+    HealthCheck,
+    /// Drop a closed session's scheduler bookkeeping (DRR rotation slot).
+    /// Queued requests still execute; their completions are dropped at
+    /// post time by the front-end.
+    ForgetSession(SessionId),
+    /// Exit the worker loop (threaded mode shutdown).
+    Stop,
+}
+
+pub(crate) struct CtrlMsg {
+    pub req: CtrlReq,
+    pub reply: mpsc::Sender<Result<(), ServeError>>,
+}
+
+/// One device lane's execution engine (see the module docs).
+pub(crate) struct LaneWorker {
+    pub device: Device,
+    pub lane: Lane,
+    /// The lane's own TEE core: a full platform whose clock is the lane
+    /// timeline every replay charges into.
+    pub platform: Platform,
+    pub replayer: Replayer,
+    pub entry: &'static str,
+    pub admit_rx: SpscConsumer<Pending>,
+    pub cq_tx: SpscProducer<Completion>,
+    /// Worker-side never-drop spill for when the cq ring is full.
+    pub cq_spill: VecDeque<Completion>,
+    pub ctrl_rx: mpsc::Receiver<CtrlMsg>,
+    pub shared: Arc<LaneShared>,
+    pub stats: Arc<SharedStats>,
+    pub config: LaneConfig,
+}
+
+impl LaneWorker {
+    /// Lane-local time, read through the replayer: the replayer executes
+    /// against its own core's clock, so both views are the same timeline.
+    pub fn now_ns(&self) -> u64 {
+        self.replayer.now_ns()
+    }
+
+    /// The anticipatory-hold budget effective for this lane (holding is an
+    /// optimisation of coalescing, so it follows the coalesce gates).
+    fn hold_budget(&self) -> u64 {
+        if self.config.coalesce && self.device != Device::Vchiq {
+            self.config.hold_budget_ns
+        } else {
+            0
+        }
+    }
+
+    fn publish_queue_depth(&self) {
+        self.shared.queued.store(self.lane.len(), Ordering::Release);
+        self.shared.queue_high_water.store(self.lane.high_water(), Ordering::Release);
+    }
+
+    /// Move every admitted request from the SPSC ring into the local
+    /// queue. Returns how many were moved. The front-end's reservation
+    /// bounds in-flight work at the lane capacity, so the local push
+    /// cannot overflow; a failure here would be an accounting bug, and the
+    /// request still completes — with the typed error — rather than
+    /// disappearing.
+    pub fn pump_admissions(&mut self) -> usize {
+        let mut moved = 0;
+        while let Some(p) = self.admit_rx.try_pop() {
+            moved += 1;
+            if let Err(err) = self.lane.push(p.clone(), self.device) {
+                debug_assert!(false, "reservation should bound the lane queue: {err}");
+                let completion = Completion {
+                    id: p.id,
+                    session: p.session,
+                    device: self.device,
+                    result: Err(err),
+                    submitted_ns: p.submitted_ns,
+                    completed_ns: self.now_ns(),
+                    coalesced: false,
+                };
+                self.post(completion);
+            }
+        }
+        if moved > 0 {
+            self.publish_queue_depth();
+        }
+        moved
+    }
+
+    /// When this lane would next dispatch a batch, and why then.
+    pub fn next_dispatch(&self) -> Option<Dispatch> {
+        if self.lane.is_empty() {
+            return None;
+        }
+        // The plug's fill cap is the smaller of the queue bound and the
+        // dispatch window: once a batch's worth of requests has arrived,
+        // holding longer cannot merge anything more into *this* dispatch.
+        let fill_cap = self.lane.capacity().min(self.config.coalesce_window);
+        Some(plan_dispatch(self.lane.arrivals(), self.now_ns(), self.hold_budget(), fill_cap))
+    }
+
+    /// Fast-forward to the dispatch instant, drain one arrival-gated batch
+    /// and execute it. Returns the number of completions posted (0 when
+    /// DRR deficits are still accumulating — the caller retries, exactly
+    /// like the sequential event loop always has).
+    pub fn run_one_batch(&mut self, dispatch: Dispatch) -> usize {
+        // The core fast-forwards over its idle gap to the dispatch instant
+        // (arrival or plug deadline)...
+        self.platform.clock.lock().advance_idle_to(dispatch.at_ns);
+        // ...then unplugs and batches everything that arrived by then.
+        let batch =
+            self.lane.next_batch(self.config.policy, self.config.coalesce_window, dispatch.at_ns);
+        self.publish_queue_depth();
+        if batch.is_empty() {
+            return 0;
+        }
+        if dispatch.held() {
+            SharedStats::bump(&self.stats.holds);
+            if dispatch.reason != DispatchReason::HoldExpired {
+                SharedStats::bump(&self.stats.early_unplugs);
+            }
+        }
+        let completions = self.execute_batch(&batch);
+        let n = completions.len();
+        for c in completions {
+            self.post(c);
+        }
+        n
+    }
+
+    /// Post one completion towards the front-end: cq ring first, spill on
+    /// a full ring (never dropped, never blocking), then release the
+    /// in-flight reservation with `Release` so quiescence observers see
+    /// the completion before the count.
+    fn post(&mut self, completion: Completion) {
+        match self.cq_tx.try_push(completion) {
+            Ok(_) => {}
+            Err((completion, _)) => {
+                self.cq_spill.push_back(completion);
+                self.shared.cq_backlog.store(self.cq_spill.len(), Ordering::Release);
+            }
+        }
+        self.shared.inflight.fetch_sub(1, Ordering::Release);
+    }
+
+    /// Move spilled completions into the cq ring as space frees up.
+    /// Returns how many moved.
+    pub fn flush_cq_spill(&mut self) -> usize {
+        let mut moved = 0;
+        while let Some(c) = self.cq_spill.pop_front() {
+            match self.cq_tx.try_push(c) {
+                Ok(_) => moved += 1,
+                Err((c, _)) => {
+                    self.cq_spill.push_front(c);
+                    break;
+                }
+            }
+        }
+        if moved > 0 {
+            self.shared.cq_backlog.store(self.cq_spill.len(), Ordering::Release);
+        }
+        moved
+    }
+
+    /// Handle one control request. Returns `false` on [`CtrlReq::Stop`].
+    pub fn handle_ctrl(&mut self, msg: CtrlMsg) -> bool {
+        let (result, keep_running) = match msg.req {
+            CtrlReq::SetMutator(Some(mutator)) => {
+                self.replayer.set_response_mutator(mutator);
+                (Ok(()), true)
+            }
+            CtrlReq::SetMutator(None) => {
+                self.replayer.clear_response_mutator();
+                (Ok(()), true)
+            }
+            CtrlReq::HealthCheck => (self.health_check(), true),
+            CtrlReq::ForgetSession(session) => {
+                self.lane.forget_session(session);
+                (Ok(()), true)
+            }
+            CtrlReq::Stop => (Ok(()), false),
+        };
+        // A dropped reply receiver is fine (e.g. the service gave up).
+        let _ = msg.reply.send(result);
+        keep_running
+    }
+
+    /// The lane thread's event loop (threaded mode). Parks when there is
+    /// no admitted work, no spill to flush and no control traffic; every
+    /// producer unparks it after making new work visible.
+    pub fn run(mut self) {
+        loop {
+            let mut progress = 0usize;
+            while let Ok(msg) = self.ctrl_rx.try_recv() {
+                let keep_running = self.handle_ctrl(msg);
+                self.shared.quiesce.bump();
+                if !keep_running {
+                    return;
+                }
+                progress += 1;
+            }
+            progress += self.flush_cq_spill();
+            progress += self.pump_admissions();
+            match self.next_dispatch() {
+                Some(dispatch) => {
+                    // An empty batch still advanced DRR deficits; loop and
+                    // re-plan (terminates exactly as in sequential mode).
+                    self.run_one_batch(dispatch);
+                    self.shared.quiesce.bump();
+                }
+                None => {
+                    if progress > 0 {
+                        self.shared.quiesce.bump();
+                        continue;
+                    }
+                    if !self.cq_spill.is_empty() {
+                        // The cq ring is full and the front-end has not
+                        // reaped yet: retry shortly rather than spin.
+                        std::thread::park_timeout(Duration::from_micros(50));
+                    } else if self.admit_rx.is_empty() {
+                        // Idle. The unpark token protocol makes this
+                        // race-free: any producer that pushed after the
+                        // checks above also unparks us, which either wakes
+                        // the park below or pre-pays its token. The
+                        // timeout is a belt-and-braces liveness floor.
+                        std::thread::park_timeout(Duration::from_millis(1));
+                    }
+                }
+            }
+        }
+    }
+
+    fn execute_batch(&mut self, batch: &[Pending]) -> Vec<Completion> {
+        let reqs: Vec<Request> = batch.iter().map(|p| p.req.clone()).collect();
+        let coalesce = self.config.coalesce && self.device != Device::Vchiq;
+        let plans = coalesce::plan(&reqs, coalesce);
+        let mut out = Vec::new();
+        for plan in &plans {
+            match plan {
+                ExecPlan::Single(i) => {
+                    let result = self.execute_single(&batch[*i].req);
+                    out.push(self.complete(&batch[*i], result, false));
+                }
+                ExecPlan::MergedRead { blkid, blkcnt, members } => {
+                    let coalesced = plan.is_coalesced();
+                    match self.execute_read(*blkid, *blkcnt) {
+                        Ok(bytes) => {
+                            for &m in members {
+                                let p = &batch[m];
+                                let Request::Read { blkid: rb, blkcnt: rc, .. } = p.req else {
+                                    unreachable!("merged read members are reads");
+                                };
+                                let off = (rb - blkid) as usize * BLOCK;
+                                let payload =
+                                    Payload::Read(bytes[off..off + rc as usize * BLOCK].to_vec());
+                                if coalesced {
+                                    SharedStats::bump(&self.stats.coalesced_requests);
+                                }
+                                out.push(self.complete(p, Ok(payload), coalesced));
+                            }
+                        }
+                        Err(_) if coalesced => {
+                            // The merged span failed (e.g. one member is out
+                            // of recorded coverage). Fall back to member-
+                            // by-member execution so every request gets
+                            // exactly the outcome the serial order would
+                            // have produced.
+                            for &m in members {
+                                let result = self.execute_single(&batch[m].req);
+                                out.push(self.complete(&batch[m], result, false));
+                            }
+                        }
+                        Err(e) => {
+                            out.push(self.complete(&batch[members[0]], Err(e), false));
+                        }
+                    }
+                }
+                ExecPlan::BatchedWrite { blkid, members } => {
+                    let coalesced = plan.is_coalesced();
+                    let mut data = Vec::new();
+                    for &m in members {
+                        let Request::Write { data: d, .. } = &batch[m].req else {
+                            unreachable!("batched write members are writes");
+                        };
+                        data.extend_from_slice(d);
+                    }
+                    match self.execute_write(*blkid, &mut data) {
+                        Ok(()) => {
+                            for &m in members {
+                                let p = &batch[m];
+                                let Request::Write { data: d, .. } = &p.req else {
+                                    unreachable!("batched write members are writes");
+                                };
+                                let blocks = (d.len() / BLOCK) as u32;
+                                if coalesced {
+                                    SharedStats::bump(&self.stats.coalesced_requests);
+                                }
+                                out.push(self.complete(
+                                    p,
+                                    Ok(Payload::Written { blocks }),
+                                    coalesced,
+                                ));
+                            }
+                        }
+                        Err(_) if coalesced => {
+                            // Same serial-equivalence fallback as merged
+                            // reads. A partially-executed batched write is
+                            // re-issued per member in order, which matches
+                            // the serial outcome because writes are
+                            // idempotent per extent.
+                            for &m in members {
+                                let result = self.execute_single(&batch[m].req);
+                                out.push(self.complete(&batch[m], result, false));
+                            }
+                        }
+                        Err(e) => {
+                            out.push(self.complete(&batch[members[0]], Err(e), false));
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    fn complete(
+        &mut self,
+        p: &Pending,
+        result: Result<Payload, ServeError>,
+        coalesced: bool,
+    ) -> Completion {
+        SharedStats::bump(&self.stats.completed);
+        Completion {
+            id: p.id,
+            session: p.session,
+            device: self.device,
+            result,
+            submitted_ns: p.submitted_ns,
+            // Lane-local completion time: the request finished on its own
+            // core's timeline (>= submitted_ns, because the lane never
+            // dispatches a request before it arrived).
+            completed_ns: self.now_ns(),
+            coalesced,
+        }
+    }
+
+    fn execute_single(&mut self, req: &Request) -> Result<Payload, ServeError> {
+        match req {
+            Request::Read { blkid, blkcnt, .. } => {
+                self.execute_read(*blkid, *blkcnt).map(Payload::Read)
+            }
+            Request::Write { blkid, data, .. } => {
+                let mut scratch = data.clone();
+                self.execute_write(*blkid, &mut scratch)
+                    .map(|()| Payload::Written { blocks: (data.len() / BLOCK) as u32 })
+            }
+            Request::Capture { frames, resolution } => {
+                let mut buf = vec![0u8; 2 << 20];
+                let size = replay_cam(&mut self.replayer, *frames, *resolution, &mut buf)?;
+                SharedStats::bump(&self.stats.replays);
+                buf.truncate(size as usize);
+                Ok(Payload::Image { data: buf })
+            }
+        }
+    }
+
+    /// One (possibly merged) read span, decomposed over the recorded
+    /// granularities.
+    fn execute_read(&mut self, blkid: u32, blkcnt: u32) -> Result<Vec<u8>, ServeError> {
+        let mut buf = vec![0u8; blkcnt as usize * BLOCK];
+        let mut done = 0u32;
+        for part in coalesce::decompose(blkcnt, &self.config.block_granularities) {
+            let start = done as usize * BLOCK;
+            let end = (done + part) as usize * BLOCK;
+            self.replayer.invoke_args(
+                self.entry,
+                &block_args(0x1, part, blkid + done),
+                &mut buf[start..end],
+            )?;
+            SharedStats::bump(&self.stats.replays);
+            SharedStats::add(&self.stats.blocks_moved, u64::from(part));
+            done += part;
+        }
+        Ok(buf)
+    }
+
+    /// One (possibly batched) write span.
+    fn execute_write(&mut self, blkid: u32, data: &mut [u8]) -> Result<(), ServeError> {
+        let blkcnt = (data.len() / BLOCK) as u32;
+        let mut done = 0u32;
+        for part in coalesce::decompose(blkcnt, &self.config.block_granularities) {
+            let start = done as usize * BLOCK;
+            let end = (done + part) as usize * BLOCK;
+            self.replayer.invoke_args(
+                self.entry,
+                &block_args(0x10, part, blkid + done),
+                &mut data[start..end],
+            )?;
+            SharedStats::bump(&self.stats.replays);
+            SharedStats::add(&self.stats.blocks_moved, u64::from(part));
+            done += part;
+        }
+        Ok(())
+    }
+
+    /// The lane health probe (see
+    /// [`crate::service::DriverletService::lane_health_check`]).
+    pub fn health_check(&mut self) -> Result<(), ServeError> {
+        let gran = self.config.block_granularities.iter().copied().min().unwrap_or(1);
+        let frames = self.config.camera_bursts.first().copied().unwrap_or(1);
+        match self.device {
+            Device::Mmc | Device::Usb => {
+                let pattern: Vec<u8> =
+                    (0..gran as usize * BLOCK).map(|i| (i as u8) ^ 0xA5).collect();
+                let mut buf = pattern.clone();
+                self.replayer.invoke_args(
+                    self.entry,
+                    &block_args(0x10, gran, HEALTH_PROBE_BLKID),
+                    &mut buf,
+                )?;
+                let mut readback = vec![0u8; gran as usize * BLOCK];
+                self.replayer.invoke_args(
+                    self.entry,
+                    &block_args(0x1, gran, HEALTH_PROBE_BLKID),
+                    &mut readback,
+                )?;
+                if readback != pattern {
+                    return Err(ServeError::Invalid(format!(
+                        "lane {} failed its health probe: read-back differs from the \
+                         written pattern",
+                        self.device
+                    )));
+                }
+            }
+            Device::Vchiq => {
+                let mut buf = vec![0u8; 2 << 20];
+                let size = replay_cam(&mut self.replayer, frames, 720, &mut buf)?;
+                if size == 0 {
+                    return Err(ServeError::Invalid(
+                        "lane vchiq failed its health probe: empty capture".into(),
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+}

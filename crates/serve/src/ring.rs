@@ -14,15 +14,22 @@
 //!   kernel-side overflow list (io_uring's `CQ_OVERFLOW` behaviour), and
 //!   flushing that list back costs the reader one world switch.
 //!
-//! Slots are tracked io_uring-style with monotonically increasing
-//! head/tail indices (occupancy is `tail - head`); the simulation stores
-//! the slot contents in a `VecDeque` rather than a mapped array, but the
-//! protocol — bounded ring, producer bumps tail, consumer bumps head,
-//! doorbell publishes the tail — is the one the normal world and the gate
-//! trustlet would share.
+//! Since the lane-threading refactor both rings sit on the genuinely
+//! concurrent lock-free SPSC core in [`crate::spsc`]: monotone `AtomicU64`
+//! head/tail indices with acquire/release publication and cache-line
+//! padding, exactly the protocol a mapped io_uring SQ/CQ pair uses. A
+//! [`SubmissionRing`]'s producing endpoint can be **detached**
+//! ([`SubmissionRing::take_producer`]) and moved to another thread — that
+//! is how [`crate::service::LaneSubmitter`] stages entries concurrently
+//! with the front-end draining doorbells — while the consuming endpoint
+//! stays with the service front-end. The per-session [`CompletionRing`]
+//! keeps both endpoints (the front-end demultiplexes lane completions into
+//! it and the same thread reaps it), plus the unbounded never-drop
+//! overflow list that cannot live inside a fixed ring.
 
 use std::collections::VecDeque;
 
+use crate::spsc::{self, SpscConsumer, SpscProducer};
 use crate::{Completion, Request, RequestId, SessionId};
 
 /// One staged submission-ring slot: everything the gate trustlet needs to
@@ -44,68 +51,90 @@ pub struct SqEntry {
 /// A bounded submission ring (one per device lane).
 #[derive(Debug)]
 pub struct SubmissionRing {
-    slots: VecDeque<SqEntry>,
-    depth: usize,
-    head: u64,
-    tail: u64,
-    high_water: usize,
+    /// `None` once detached to a [`crate::service::LaneSubmitter`] living
+    /// on another thread.
+    producer: Option<SpscProducer<SqEntry>>,
+    consumer: SpscConsumer<SqEntry>,
 }
 
 impl SubmissionRing {
     /// An empty ring with `depth` slots.
     pub fn new(depth: usize) -> Self {
-        SubmissionRing {
-            slots: VecDeque::new(),
-            depth: depth.max(1),
-            head: 0,
-            tail: 0,
-            high_water: 0,
-        }
+        let (producer, consumer) = spsc::channel(depth.max(1));
+        SubmissionRing { producer: Some(producer), consumer }
     }
 
     /// Entries currently staged (tail - head).
     pub fn len(&self) -> usize {
-        (self.tail - self.head) as usize
+        self.consumer.len()
     }
 
     /// Whether nothing is staged.
     pub fn is_empty(&self) -> bool {
-        self.head == self.tail
+        self.consumer.is_empty()
     }
 
     /// Whether every slot is in use (the producer must ring the doorbell
     /// — or back off — before staging more).
     pub fn is_full(&self) -> bool {
-        self.len() >= self.depth
+        self.len() >= self.depth()
     }
 
     /// The ring bound.
     pub fn depth(&self) -> usize {
-        self.depth
+        self.consumer.capacity()
     }
 
     /// Deepest the ring has been (occupancy high-water mark).
     pub fn high_water(&self) -> usize {
-        self.high_water
+        self.consumer.high_water()
     }
 
-    /// Stage one entry. Returns the entry back when the ring is full, so
-    /// the caller can surface typed backpressure instead of dropping it.
-    pub fn try_push(&mut self, entry: SqEntry) -> Result<(), SqEntry> {
-        if self.is_full() {
-            return Err(entry);
+    /// Whether the producing endpoint is still attached (it moves out via
+    /// [`SubmissionRing::take_producer`]).
+    pub fn producer_attached(&self) -> bool {
+        self.producer.is_some()
+    }
+
+    /// Detach the producing endpoint so another thread can stage entries
+    /// concurrently with the front-end's doorbell drain. Returns `None` if
+    /// it was already taken.
+    pub fn take_producer(&mut self) -> Option<SpscProducer<SqEntry>> {
+        self.producer.take()
+    }
+
+    /// Stage one entry. When the ring is full the entry is handed back —
+    /// never dropped — together with the occupancy observed at rejection
+    /// time (one coherent snapshot for the typed `QueueFull` error).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the producing endpoint was detached; callers staging
+    /// through the service check [`SubmissionRing::producer_attached`].
+    pub fn try_push(&mut self, entry: SqEntry) -> Result<(), (SqEntry, usize)> {
+        let producer = self.producer.as_mut().expect("submission-ring producer detached");
+        producer.try_push(entry).map(|_| ())
+    }
+
+    /// Consume up to `n` staged entries in enqueue order (the gate's drain
+    /// at doorbell time). The bound matters under a concurrent producer:
+    /// the doorbell charges for the staged count it snapshotted, so it
+    /// must admit exactly that many even if more entries land mid-drain.
+    pub fn take_staged(&mut self, n: usize) -> Vec<SqEntry> {
+        let mut out = Vec::with_capacity(n.min(self.len()));
+        for _ in 0..n {
+            match self.consumer.try_pop() {
+                Some(e) => out.push(e),
+                None => break,
+            }
         }
-        self.slots.push_back(entry);
-        self.tail += 1;
-        self.high_water = self.high_water.max(self.len());
-        Ok(())
+        out
     }
 
-    /// Consume every staged entry in enqueue order (the gate's drain at
-    /// doorbell time): bumps the head past the published tail.
+    /// Consume every currently staged entry in enqueue order.
     pub fn drain_staged(&mut self) -> Vec<SqEntry> {
-        self.head = self.tail;
-        self.slots.drain(..).collect()
+        let visible = self.len();
+        self.take_staged(visible)
     }
 }
 
@@ -113,28 +142,21 @@ impl SubmissionRing {
 /// list.
 #[derive(Debug)]
 pub struct CompletionRing {
-    slots: VecDeque<Completion>,
-    depth: usize,
-    head: u64,
-    tail: u64,
+    producer: SpscProducer<Completion>,
+    consumer: SpscConsumer<Completion>,
     overflow: VecDeque<Completion>,
 }
 
 impl CompletionRing {
     /// An empty ring with `depth` reapable slots.
     pub fn new(depth: usize) -> Self {
-        CompletionRing {
-            slots: VecDeque::new(),
-            depth: depth.max(1),
-            head: 0,
-            tail: 0,
-            overflow: VecDeque::new(),
-        }
+        let (producer, consumer) = spsc::channel(depth.max(1));
+        CompletionRing { producer, consumer, overflow: VecDeque::new() }
     }
 
     /// Completions waiting to be reaped (ring plus overflow list).
     pub fn len(&self) -> usize {
-        (self.tail - self.head) as usize + self.overflow.len()
+        self.consumer.len() + self.overflow.len()
     }
 
     /// Whether nothing is waiting.
@@ -147,21 +169,20 @@ impl CompletionRing {
     /// reap must enter the kernel to flush it) — the service aggregates
     /// these into `ServeStats::cq_overflows`.
     pub fn post(&mut self, completion: Completion) -> bool {
-        if (self.tail - self.head) as usize >= self.depth {
-            self.overflow.push_back(completion);
-            return true;
+        match self.producer.try_push(completion) {
+            Ok(_) => false,
+            Err((completion, _)) => {
+                self.overflow.push_back(completion);
+                true
+            }
         }
-        self.slots.push_back(completion);
-        self.tail += 1;
-        false
     }
 
     /// Reap everything in post order. The boolean is `true` when the
     /// overflow list had to be flushed (which costs the ring-mode reader a
     /// world switch; in-ring entries are free to read).
     pub fn take_all(&mut self) -> (Vec<Completion>, bool) {
-        self.head = self.tail;
-        let mut taken: Vec<Completion> = self.slots.drain(..).collect();
+        let mut taken = self.consumer.drain();
         let flushed = !self.overflow.is_empty();
         taken.extend(self.overflow.drain(..));
         (taken, flushed)
@@ -199,8 +220,9 @@ mod tests {
         let mut sq = SubmissionRing::new(2);
         sq.try_push(entry(1)).unwrap();
         sq.try_push(entry(2)).unwrap();
-        let rejected = sq.try_push(entry(3)).unwrap_err();
+        let (rejected, observed) = sq.try_push(entry(3)).unwrap_err();
         assert_eq!(rejected.id, 3, "a full ring hands the entry back, never drops it");
+        assert_eq!(observed, 2, "rejection snapshots the occupancy it saw");
         assert!(sq.is_full());
         assert_eq!(sq.high_water(), 2);
         let drained = sq.drain_staged();
@@ -211,6 +233,33 @@ mod tests {
         sq.try_push(entry(4)).unwrap();
         assert_eq!(sq.len(), 1);
         assert_eq!(sq.drain_staged().len(), 1);
+    }
+
+    #[test]
+    fn sq_take_staged_respects_the_doorbell_snapshot_bound() {
+        let mut sq = SubmissionRing::new(8);
+        for id in 1..=5 {
+            sq.try_push(entry(id)).unwrap();
+        }
+        let first = sq.take_staged(3);
+        assert_eq!(first.iter().map(|e| e.id).collect::<Vec<_>>(), vec![1, 2, 3]);
+        assert_eq!(sq.len(), 2, "entries beyond the snapshot wait for the next doorbell");
+        assert_eq!(sq.drain_staged().len(), 2);
+    }
+
+    #[test]
+    fn sq_producer_detaches_for_cross_thread_staging() {
+        let mut sq = SubmissionRing::new(4);
+        let mut producer = sq.take_producer().expect("first take succeeds");
+        assert!(!sq.producer_attached());
+        assert!(sq.take_producer().is_none());
+        let worker = std::thread::spawn(move || {
+            for id in 1..=4 {
+                producer.try_push(entry(id)).unwrap();
+            }
+        });
+        worker.join().unwrap();
+        assert_eq!(sq.drain_staged().iter().map(|e| e.id).collect::<Vec<_>>(), vec![1, 2, 3, 4]);
     }
 
     #[test]

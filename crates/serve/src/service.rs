@@ -30,31 +30,59 @@
 //! overlaps across lanes: a multi-second camera burst on the VCHIQ core no
 //! longer inflates MMC completion latency.
 //!
-//! [`DriverletService::drain`] is the event loop's step function: it picks
-//! the lane with the smallest next-event time (its anticipatory-hold
-//! deadline, or the instant it can start its earliest arrived request),
-//! executes **one batch** there, and returns that batch's completions.
+//! # Lane execution modes
+//!
+//! The per-lane TEE core is driven by a `LaneWorker` (`lane.rs`), and
+//! [`ExecMode`] selects who runs it:
+//!
+//! * [`ExecMode::Sequential`] (default) keeps every worker inline and
+//!   steps it from a single-threaded event-loop:
+//!   [`DriverletService::drain`] picks the lane with the smallest
+//!   next-event time (its anticipatory-hold deadline, or the instant it
+//!   can start its earliest arrived request), executes **one batch**
+//!   there, and returns that batch's completions. Fully deterministic —
+//!   the differential and property tests pin this mode's behaviour.
+//! * [`ExecMode::Threaded`] moves each worker onto its own OS thread (the
+//!   paper's one-TEE-core-per-device model made physical), connected to
+//!   the front-end only by lock-free SPSC rings ([`crate::spsc`]) and a
+//!   control mailbox. Admission is bounded by a per-lane atomic
+//!   reservation taken front-end side, so `QueueFull` keeps one coherent
+//!   depth snapshot even against a concurrently draining lane thread.
+//!   Virtual-time semantics are unchanged (each lane still executes its
+//!   own timeline and the causal merge rule still joins them); what
+//!   threading adds is **wall-clock** overlap of the real replay work —
+//!   and what it costs is batch determinism: a lane thread may dispatch
+//!   the moment a request is admitted rather than waiting for traffic the
+//!   sequential loop would have seen first, so batching (not payloads,
+//!   not per-session order) can differ. `drain`, `drain_all` and
+//!   `drain_device` all run to quiescence in this mode: unpark the lane
+//!   threads, then sleep on a progress condvar until every selected
+//!   lane's in-flight count and completion backlog are zero.
 
-use std::collections::HashMap;
-use std::sync::{Arc, Mutex};
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
 
 use dlt_core::{
-    replay_cam, ConstraintFlipper, FaultPlan, FlipOutcome, ReplayConfig, ReplayMode, Replayer,
-    SecureBlockIo,
+    ConstraintFlipper, FaultPlan, FlipOutcome, ReplayConfig, ReplayMode, Replayer, SecureBlockIo,
 };
 use dlt_dev_mmc::MmcSubsystem;
 use dlt_dev_usb::UsbSubsystem;
 use dlt_dev_vchiq::VchiqSubsystem;
-use dlt_hw::Platform;
+use dlt_hw::{ClockCell, Platform};
 use dlt_recorder::campaign::{
     record_camera_driverlet_subset, record_mmc_driverlet_subset, record_usb_driverlet_subset,
     DEV_KEY,
 };
 use dlt_tee::{secure_core, SecureIo, TeeError, TeeKernel, Trustlet};
 
-use crate::coalesce::{self, plan_dispatch, Dispatch, ExecPlan};
+use crate::coalesce::Dispatch;
+use crate::lane::{CtrlMsg, CtrlReq, LaneConfig, LaneShared, LaneWorker, Quiesce, SharedStats};
 use crate::ring::{CompletionRing, SqEntry, SubmissionRing};
 use crate::sched::{Lane, Pending, Policy};
+use crate::spsc::{self, SpscConsumer, SpscProducer};
 use crate::{
     Completion, Device, Payload, Request, RequestId, ServeError, SessionId, BLOCK,
     MAX_REQUEST_BLOCKS,
@@ -78,6 +106,18 @@ pub enum SubmitMode {
     Ring,
 }
 
+/// Who drives each lane's TEE core (see the module docs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExecMode {
+    /// Deterministic single-threaded event loop: lane workers stay inline
+    /// and execute only inside `drain*` calls on the caller's thread.
+    #[default]
+    Sequential,
+    /// One OS thread per device lane, running concurrently with the
+    /// caller; the front-end communicates through lock-free SPSC rings.
+    Threaded,
+}
+
 /// Service configuration.
 #[derive(Debug, Clone)]
 pub struct ServeConfig {
@@ -87,6 +127,9 @@ pub struct ServeConfig {
     pub queue_capacity: usize,
     /// Submission path: per-operation SMCs or shared-memory rings.
     pub submit_mode: SubmitMode,
+    /// Lane execution: inline deterministic event loop, or one OS thread
+    /// per lane.
+    pub exec_mode: ExecMode,
     /// Slots in each per-lane submission ring ([`SubmitMode::Ring`]): how
     /// many requests a client can stage between doorbells before the ring
     /// pushes back with [`ServeError::QueueFull`].
@@ -124,6 +167,7 @@ impl Default for ServeConfig {
             max_sessions: 64,
             queue_capacity: 128,
             submit_mode: SubmitMode::PerCall,
+            exec_mode: ExecMode::Sequential,
             sq_depth: 64,
             cq_depth: 256,
             policy: Policy::Fifo,
@@ -241,26 +285,29 @@ impl Trustlet for ServeGate {
     }
 }
 
-struct DeviceLane {
+/// The front-end's handle on one device lane. The execution state (queue,
+/// platform, replayer) lives in the [`LaneWorker`] — held inline in
+/// sequential mode, moved onto its own OS thread in threaded mode — and
+/// the front-end keeps only the communication endpoints plus the shared
+/// atomics.
+struct LaneFrontEnd {
     device: Device,
-    lane: Lane,
     /// The lane's normal-world submission ring ([`SubmitMode::Ring`]):
     /// entries staged here are invisible to the TEE until a doorbell
-    /// drains them into `lane`.
+    /// drains them into the lane queue.
     sq: SubmissionRing,
-    /// The lane's own TEE core: a full platform whose clock is the lane
-    /// timeline every replay charges into.
-    platform: Platform,
-    replayer: Replayer,
-    entry: &'static str,
-}
-
-impl DeviceLane {
-    /// Lane-local time, read through the replayer: the replayer executes
-    /// against its own core's clock, so both views are the same timeline.
-    fn now_ns(&self) -> u64 {
-        self.replayer.now_ns()
-    }
+    /// Admission channel: TEE-admitted requests travel to the worker here.
+    admit_tx: SpscProducer<Pending>,
+    /// Completion channel: the worker posts executed completions here.
+    cq_rx: SpscConsumer<Completion>,
+    /// Control mailbox (fault injection, health checks, shutdown).
+    ctrl_tx: mpsc::Sender<CtrlMsg>,
+    shared: Arc<LaneShared>,
+    /// `Some` in sequential mode (the event loop steps it inline), `None`
+    /// once the worker moved onto its own thread.
+    worker: Option<Box<LaneWorker>>,
+    /// The lane thread (threaded mode), joined on drop.
+    join: Option<JoinHandle<()>>,
 }
 
 /// A snapshot of one lane's timeline and queue state (multi-core
@@ -275,7 +322,8 @@ pub struct LaneStatus {
     pub busy_ns: u64,
     /// Nanoseconds the lane core skipped as idle between batches.
     pub idle_ns: u64,
-    /// Requests currently queued.
+    /// Requests currently queued (admitted but not yet completed into the
+    /// completion path).
     pub queued: usize,
     /// Deepest the queue has been.
     pub high_water: usize,
@@ -298,6 +346,48 @@ impl LaneStatus {
         }
         self.busy_ns as f64 / self.now_ns as f64
     }
+}
+
+/// Shape checks only — one bad request must never take down the service
+/// (the bound keeps a single tenant from demanding an unbounded span
+/// buffer, and the end check keeps block arithmetic in range). Whether the
+/// extent is *recorded* is the replayer's coverage check at execution
+/// time. Free function so a detached [`LaneSubmitter`] applies the same
+/// rules off-thread.
+fn validate_request(req: &Request) -> Result<(), ServeError> {
+    let check_span = |blkid: u32, blkcnt: u32| -> Result<(), ServeError> {
+        if blkcnt == 0 {
+            return Err(ServeError::Invalid("zero-length request".into()));
+        }
+        if blkcnt > MAX_REQUEST_BLOCKS {
+            return Err(ServeError::Invalid(format!(
+                "request of {blkcnt} blocks exceeds the {MAX_REQUEST_BLOCKS}-block limit"
+            )));
+        }
+        if blkid.checked_add(blkcnt).is_none() {
+            return Err(ServeError::Invalid(format!(
+                "request extent {blkid}+{blkcnt} exceeds the block address space"
+            )));
+        }
+        Ok(())
+    };
+    match req {
+        Request::Read { blkid, blkcnt, .. } => check_span(*blkid, *blkcnt)?,
+        Request::Write { blkid, data, .. } => {
+            if data.is_empty() || data.len() % BLOCK != 0 {
+                return Err(ServeError::Invalid(
+                    "write payload must be a whole number of blocks".into(),
+                ));
+            }
+            check_span(*blkid, (data.len() / BLOCK) as u32)?;
+        }
+        Request::Capture { frames, .. } => {
+            if *frames == 0 {
+                return Err(ServeError::Invalid("zero-frame capture".into()));
+            }
+        }
+    }
+    Ok(())
 }
 
 /// The multi-tenant driverlet service (see the crate docs).
@@ -330,15 +420,36 @@ pub struct DriverletService {
     /// Its clock advances on SMCs and client think time, never on device
     /// work — device work belongs to the lane cores.
     control: Platform,
+    /// The control clock's lock-free published view (detached submitters
+    /// stamp `enqueued_ns` from it without locking the front-end).
+    control_cell: Arc<ClockCell>,
     tee: TeeKernel,
-    lanes: Vec<DeviceLane>,
+    lanes: Vec<LaneFrontEnd>,
     config: ServeConfig,
     sessions: HashMap<SessionId, CompletionRing>,
-    next_request: RequestId,
-    stats: ServeStats,
+    /// Request-id allocator, shared with detached [`LaneSubmitter`]s
+    /// (atomic fetch-add: globally unique, monotone per allocator call).
+    next_request: Arc<AtomicU64>,
+    stats: Arc<SharedStats>,
     /// Ids in the order their replays executed (the serial-order witness
-    /// for the differential property test).
+    /// for the differential property test). Appended as completions are
+    /// reaped from each lane's cq ring — which is per-lane execution
+    /// order; cross-lane interleaving in threaded mode follows reap order.
     exec_log: Vec<RequestId>,
+    quiesce: Arc<Quiesce>,
+}
+
+impl Drop for DriverletService {
+    fn drop(&mut self) {
+        for lane in &mut self.lanes {
+            if let Some(join) = lane.join.take() {
+                let (reply, _keep) = mpsc::channel();
+                let _ = lane.ctrl_tx.send(CtrlMsg { req: CtrlReq::Stop, reply });
+                lane.shared.unpark();
+                let _ = join.join();
+            }
+        }
+    }
 }
 
 impl DriverletService {
@@ -361,19 +472,37 @@ impl DriverletService {
     }
 
     /// Stand up the control-plane platform plus **one TEE core (platform +
-    /// clock + replayer) per device** in `bundles`, each loaded with its
+    /// clock + replayer) per entry** in `bundles`, each loaded with its
     /// (already recorded, signed) bundle. A production deployment records
     /// once and serves many service restarts from the same signed bundles.
+    ///
+    /// A device may appear more than once: each occurrence becomes its own
+    /// **replica lane** with an independent core and queue (address them
+    /// with [`DriverletService::submit_to_lane`]; the device-routed
+    /// [`DriverletService::submit`] always picks the first matching lane).
+    /// In [`ExecMode::Threaded`] each lane's worker is spawned onto its
+    /// own OS thread here and joined on drop.
     pub fn with_driverlets(
         bundles: &[(Device, dlt_template::Driverlet)],
         config: ServeConfig,
     ) -> Result<Self, ServeError> {
         let control = Platform::new();
+        let control_cell = control.clock.lock().cell();
         let mut tee = TeeKernel::install(&control, &[])?;
         tee.load_trustlet(Box::new(ServeGate));
+        let stats = Arc::new(SharedStats::default());
+        let quiesce = Arc::new(Quiesce::default());
+        let lane_config = LaneConfig {
+            policy: config.policy,
+            coalesce: config.coalesce,
+            coalesce_window: config.coalesce_window,
+            hold_budget_ns: config.hold_budget_ns,
+            block_granularities: config.block_granularities.clone(),
+            camera_bursts: config.camera_bursts.clone(),
+        };
 
         let mut lanes = Vec::new();
-        for (device, bundle) in bundles {
+        for (index, (device, bundle)) in bundles.iter().enumerate() {
             let platform = Platform::new();
             let (entry, secure): (_, &[&str]) = match device {
                 Device::Mmc => {
@@ -395,24 +524,71 @@ impl DriverletService {
                 ReplayConfig { mode: config.mode, ..ReplayConfig::default() },
             );
             replayer.load_driverlet(bundle.clone(), DEV_KEY)?;
-            lanes.push(DeviceLane {
+            let shared = Arc::new(LaneShared::new(
+                *device,
+                config.queue_capacity,
+                platform.clock.lock().cell(),
+                Arc::clone(&quiesce),
+            ));
+            // Channel bounds: in-flight work is capped at the queue
+            // capacity by the front-end reservation, so rings of that
+            // capacity can never reject (the worker's spill is a pure
+            // belt-and-braces path).
+            let (admit_tx, admit_rx) = spsc::channel(config.queue_capacity);
+            let (cq_tx, cq_rx) = spsc::channel(config.queue_capacity);
+            let (ctrl_tx, ctrl_rx) = mpsc::channel();
+            let worker = Box::new(LaneWorker {
                 device: *device,
                 lane: Lane::new(config.queue_capacity),
-                sq: SubmissionRing::new(config.sq_depth),
                 platform,
                 replayer,
                 entry,
+                admit_rx,
+                cq_tx,
+                cq_spill: VecDeque::new(),
+                ctrl_rx,
+                shared: Arc::clone(&shared),
+                stats: Arc::clone(&stats),
+                config: lane_config.clone(),
+            });
+            let (worker, join) = match config.exec_mode {
+                ExecMode::Sequential => (Some(worker), None),
+                ExecMode::Threaded => {
+                    let handle = std::thread::Builder::new()
+                        .name(format!("dlt-lane-{index}-{device}"))
+                        .spawn(move || worker.run())
+                        .map_err(|e| {
+                            ServeError::Invalid(format!("failed to spawn lane thread: {e}"))
+                        })?;
+                    shared
+                        .thread
+                        .set(handle.thread().clone())
+                        .expect("lane thread handle is set exactly once");
+                    (None, Some(handle))
+                }
+            };
+            lanes.push(LaneFrontEnd {
+                device: *device,
+                sq: SubmissionRing::new(config.sq_depth),
+                admit_tx,
+                cq_rx,
+                ctrl_tx,
+                shared,
+                worker,
+                join,
             });
         }
         Ok(DriverletService {
             control,
+            control_cell,
             tee,
             lanes,
             config,
             sessions: HashMap::new(),
-            next_request: 1,
-            stats: ServeStats::default(),
+            next_request: Arc::new(AtomicU64::new(1)),
+            stats,
             exec_log: Vec::new(),
+            quiesce,
         })
     }
 
@@ -421,8 +597,18 @@ impl DriverletService {
     /// timelines into one monotonic service timeline. Elapsed-time
     /// (makespan) measurements read this; submission stamps instead read
     /// the control clock (see the module docs for the causal rules).
+    ///
+    /// Lock-free: every clock publishes each advance into its
+    /// [`ClockCell`] with release ordering, and this max-scan only takes
+    /// acquire loads — it is safe (and non-blocking) to call while lane
+    /// threads execute. Each cell is a monotone lower bound of its lane's
+    /// live clock, so the join is itself a monotone lower bound of the
+    /// true service time, exact at quiescence.
     pub fn now_ns(&self) -> u64 {
-        self.lanes.iter().map(DeviceLane::now_ns).fold(self.control.now_ns(), u64::max)
+        self.lanes
+            .iter()
+            .map(|l| l.shared.clock.now_ns())
+            .fold(self.control_cell.now_ns(), u64::max)
     }
 
     /// Model normal-world client think time: advance the control-plane
@@ -434,30 +620,44 @@ impl DriverletService {
     }
 
     /// Per-lane timeline and queue snapshots (device, lane-local time,
-    /// busy/idle split, backlog).
+    /// busy/idle split, backlog). Reads only published atomics, so it is
+    /// safe against running lane threads.
     pub fn lane_status(&self) -> Vec<LaneStatus> {
         self.lanes
             .iter()
-            .map(|l| {
-                let clock = l.platform.clock.lock();
-                LaneStatus {
-                    device: l.device,
-                    now_ns: clock.now_ns(),
-                    busy_ns: clock.busy_ns(),
-                    idle_ns: clock.idle_ns(),
-                    queued: l.lane.len(),
-                    high_water: l.lane.high_water(),
-                    sq_staged: l.sq.len(),
-                    sq_high_water: l.sq.high_water(),
-                    sq_depth: l.sq.depth(),
-                }
+            .map(|l| LaneStatus {
+                device: l.device,
+                now_ns: l.shared.clock.now_ns(),
+                busy_ns: l.shared.clock.busy_ns(),
+                idle_ns: l.shared.clock.idle_ns(),
+                // Admitted entries still travelling the admit ring plus
+                // the worker's local queue.
+                queued: l.admit_tx.len() + l.shared.queued.load(Ordering::Acquire),
+                high_water: l.shared.queue_high_water.load(Ordering::Acquire),
+                sq_staged: l.sq.len(),
+                sq_high_water: l.sq.high_water(),
+                sq_depth: l.sq.depth(),
             })
             .collect()
     }
 
-    /// Cumulative statistics.
+    /// Cumulative statistics (a relaxed snapshot of the shared atomic
+    /// counters; exact once the service is quiescent).
     pub fn stats(&self) -> ServeStats {
-        self.stats
+        let ld = |a: &AtomicU64| a.load(Ordering::Relaxed);
+        ServeStats {
+            submitted: ld(&self.stats.submitted),
+            completed: ld(&self.stats.completed),
+            rejected: ld(&self.stats.rejected),
+            replays: ld(&self.stats.replays),
+            coalesced_requests: ld(&self.stats.coalesced_requests),
+            blocks_moved: ld(&self.stats.blocks_moved),
+            holds: ld(&self.stats.holds),
+            early_unplugs: ld(&self.stats.early_unplugs),
+            doorbells: ld(&self.stats.doorbells),
+            doorbell_entries: ld(&self.stats.doorbell_entries),
+            cq_overflows: ld(&self.stats.cq_overflows),
+        }
     }
 
     /// Number of open sessions.
@@ -490,6 +690,16 @@ impl DriverletService {
         self.control.now_ns()
     }
 
+    /// How many device lanes the service runs (replica lanes included).
+    pub fn lane_count(&self) -> usize {
+        self.lanes.len()
+    }
+
+    /// The device served by lane `lane`, if it exists.
+    pub fn lane_device(&self, lane: usize) -> Option<Device> {
+        self.lanes.get(lane).map(|l| l.device)
+    }
+
     /// Admit a new client (one SMC through the TEE session layer).
     pub fn open_session(&mut self) -> Result<SessionId, ServeError> {
         if self.sessions.len() >= self.config.max_sessions {
@@ -505,50 +715,18 @@ impl DriverletService {
     pub fn close_session(&mut self, session: SessionId) {
         self.tee.close_session(session);
         self.sessions.remove(&session);
-        for lane in &mut self.lanes {
-            lane.lane.forget_session(session);
+        for idx in 0..self.lanes.len() {
+            // Scheduler bookkeeping only (DRR rotation slot); safe to
+            // apply between batches on a live lane thread.
+            let _ = self.lane_ctrl(idx, CtrlReq::ForgetSession(session));
         }
     }
 
-    fn validate(&self, req: &Request) -> Result<(), ServeError> {
-        // Shape checks only — one bad request must never take down the
-        // service (the bound keeps a single tenant from demanding an
-        // unbounded span buffer, and the end check keeps block arithmetic
-        // in range). Whether the extent is *recorded* is the replayer's
-        // coverage check at execution time.
-        let check_span = |blkid: u32, blkcnt: u32| -> Result<(), ServeError> {
-            if blkcnt == 0 {
-                return Err(ServeError::Invalid("zero-length request".into()));
-            }
-            if blkcnt > MAX_REQUEST_BLOCKS {
-                return Err(ServeError::Invalid(format!(
-                    "request of {blkcnt} blocks exceeds the {MAX_REQUEST_BLOCKS}-block limit"
-                )));
-            }
-            if blkid.checked_add(blkcnt).is_none() {
-                return Err(ServeError::Invalid(format!(
-                    "request extent {blkid}+{blkcnt} exceeds the block address space"
-                )));
-            }
-            Ok(())
-        };
-        match req {
-            Request::Read { blkid, blkcnt, .. } => check_span(*blkid, *blkcnt)?,
-            Request::Write { blkid, data, .. } => {
-                if data.is_empty() || data.len() % BLOCK != 0 {
-                    return Err(ServeError::Invalid(
-                        "write payload must be a whole number of blocks".into(),
-                    ));
-                }
-                check_span(*blkid, (data.len() / BLOCK) as u32)?;
-            }
-            Request::Capture { frames, .. } => {
-                if *frames == 0 {
-                    return Err(ServeError::Invalid("zero-frame capture".into()));
-                }
-            }
-        }
-        Ok(())
+    fn lane_index(&self, device: Device) -> Result<usize, ServeError> {
+        self.lanes
+            .iter()
+            .position(|l| l.device == device)
+            .ok_or(ServeError::DeviceNotServed(device))
     }
 
     /// Submit a request into a session, along the configured
@@ -556,11 +734,31 @@ impl DriverletService {
     /// lane's submission ring (admitted by the next
     /// [`DriverletService::ring_doorbell`]). Fails fast with
     /// [`ServeError::QueueFull`] when the device lane (per-call) or its
-    /// submission ring (ring mode) is saturated.
+    /// submission ring (ring mode) is saturated. Routes to the **first**
+    /// lane serving the request's device; replica lanes are addressed via
+    /// [`DriverletService::submit_to_lane`].
     pub fn submit(&mut self, session: SessionId, req: Request) -> Result<RequestId, ServeError> {
+        let idx = self.lane_index(req.device())?;
+        self.submit_to_lane(idx, session, req)
+    }
+
+    /// Submit into an explicit lane (replica-lane addressing). The
+    /// request's device must match the lane's device.
+    pub fn submit_to_lane(
+        &mut self,
+        lane: usize,
+        session: SessionId,
+        req: Request,
+    ) -> Result<RequestId, ServeError> {
+        if lane >= self.lanes.len() {
+            return Err(ServeError::Invalid(format!(
+                "lane {lane} out of range ({} lanes)",
+                self.lanes.len()
+            )));
+        }
         match self.config.submit_mode {
-            SubmitMode::PerCall => self.submit_per_call(session, req),
-            SubmitMode::Ring => self.ring_enqueue(session, req),
+            SubmitMode::PerCall => self.submit_per_call_at(lane, session, req),
+            SubmitMode::Ring => self.ring_enqueue_at(lane, session, req),
         }
     }
 
@@ -573,11 +771,27 @@ impl DriverletService {
         session: SessionId,
         req: Request,
     ) -> Result<RequestId, ServeError> {
+        let idx = self.lane_index(req.device())?;
+        self.submit_per_call_at(idx, session, req)
+    }
+
+    fn submit_per_call_at(
+        &mut self,
+        idx: usize,
+        session: SessionId,
+        req: Request,
+    ) -> Result<RequestId, ServeError> {
         if !self.sessions.contains_key(&session) {
             return Err(ServeError::InvalidSession(session));
         }
-        self.validate(&req)?;
-        let device = req.device();
+        validate_request(&req)?;
+        let device = self.lanes[idx].device;
+        if req.device() != device {
+            return Err(ServeError::Invalid(format!(
+                "request for {} submitted to a {device} lane",
+                req.device()
+            )));
+        }
         // Submission stamp: the instant the client *initiated* the call,
         // so client-observed latency includes the world switch it is about
         // to pay. The control clock advances on SMCs, client think time
@@ -595,23 +809,33 @@ impl DriverletService {
         // Admission stamp: the SMC's return. The target lane serves this
         // request no earlier than this.
         let arrived_ns = self.control.now_ns();
-        let lane = self
-            .lanes
-            .iter_mut()
-            .find(|l| l.device == device)
-            .ok_or(ServeError::DeviceNotServed(device))?;
-        let id = self.next_request;
-        match lane.lane.push(Pending { id, session, req, submitted_ns, arrived_ns }, device) {
-            Ok(()) => {
-                self.next_request += 1;
-                self.stats.submitted += 1;
-                Ok(id)
-            }
-            Err(e) => {
-                self.stats.rejected += 1;
-                Err(e)
-            }
+        // Capacity reservation (single atomic snapshot): the lane bound is
+        // enforced here, front-end side, so the admit push below can never
+        // fail and a rejection reports one coherent depth even while the
+        // lane thread drains concurrently.
+        if let Err(e) = self.lanes[idx].shared.reserve() {
+            SharedStats::bump(&self.stats.rejected);
+            return Err(e);
         }
+        let id = self.next_request.fetch_add(1, Ordering::Relaxed);
+        let lane = &mut self.lanes[idx];
+        let pending = Pending { id, session, req, submitted_ns, arrived_ns };
+        if lane.admit_tx.try_push(pending).is_err() {
+            // Unreachable by the reservation invariant (admit ring
+            // capacity == lane capacity >= in-flight); never lose the
+            // reservation silently if it ever fires.
+            debug_assert!(false, "reservation bounds the admit ring");
+            lane.shared.inflight.fetch_sub(1, Ordering::Release);
+            SharedStats::bump(&self.stats.rejected);
+            return Err(ServeError::QueueFull {
+                device,
+                depth: lane.shared.capacity,
+                capacity: lane.shared.capacity,
+            });
+        }
+        SharedStats::bump(&self.stats.submitted);
+        lane.shared.unpark();
+        Ok(id)
     }
 
     /// Stage a request in the target lane's submission ring **without
@@ -622,34 +846,45 @@ impl DriverletService {
     /// cost inside the one world switch). A full ring is typed
     /// backpressure — [`ServeError::QueueFull`] carrying the device, the
     /// ring depth and its capacity — never a silent drop.
-    fn ring_enqueue(&mut self, session: SessionId, req: Request) -> Result<RequestId, ServeError> {
+    fn ring_enqueue_at(
+        &mut self,
+        idx: usize,
+        session: SessionId,
+        req: Request,
+    ) -> Result<RequestId, ServeError> {
         if !self.sessions.contains_key(&session) {
             return Err(ServeError::InvalidSession(session));
         }
-        self.validate(&req)?;
-        let device = req.device();
-        let enqueued_ns = self.control.now_ns();
-        let lane = self
-            .lanes
-            .iter_mut()
-            .find(|l| l.device == device)
-            .ok_or(ServeError::DeviceNotServed(device))?;
-        let id = self.next_request;
-        match lane.sq.try_push(SqEntry { id, session, req, enqueued_ns }) {
-            Ok(()) => {
-                self.next_request += 1;
-                self.stats.submitted += 1;
-                Ok(id)
-            }
-            Err(_) => {
-                self.stats.rejected += 1;
-                Err(ServeError::QueueFull {
-                    device,
-                    depth: lane.sq.len(),
-                    capacity: lane.sq.depth(),
-                })
-            }
+        validate_request(&req)?;
+        let device = self.lanes[idx].device;
+        if req.device() != device {
+            return Err(ServeError::Invalid(format!(
+                "request for {} staged on a {device} lane",
+                req.device()
+            )));
         }
+        let enqueued_ns = self.control.now_ns();
+        let lane = &mut self.lanes[idx];
+        if !lane.sq.producer_attached() {
+            return Err(ServeError::Invalid(format!(
+                "lane {idx} ({device}) submission ring is detached to a LaneSubmitter; \
+                 stage through the submitter"
+            )));
+        }
+        if lane.sq.is_full() {
+            SharedStats::bump(&self.stats.rejected);
+            return Err(ServeError::QueueFull {
+                device,
+                depth: lane.sq.len(),
+                capacity: lane.sq.depth(),
+            });
+        }
+        let id = self.next_request.fetch_add(1, Ordering::Relaxed);
+        lane.sq
+            .try_push(SqEntry { id, session, req, enqueued_ns })
+            .expect("ring checked non-full and this thread is the only attached producer");
+        SharedStats::bump(&self.stats.submitted);
+        Ok(id)
     }
 
     /// Ring the doorbell: **one** SMC (a batch invoke of the gate
@@ -663,39 +898,75 @@ impl DriverletService {
     /// [`ServeError::QueueFull`] in its session's completion ring.
     /// Returns the number of entries admitted (0 when nothing was staged:
     /// no switch is paid for an empty doorbell).
+    ///
+    /// Under detached [`LaneSubmitter`]s staging concurrently, the
+    /// doorbell snapshots each lane's staged count *first*, charges the
+    /// gate for that total, then drains **exactly that many** entries per
+    /// lane — entries that land mid-drain wait for the next doorbell, so
+    /// the charge always matches the admissions.
     pub fn ring_doorbell(&mut self) -> Result<usize, ServeError> {
-        let staged: usize = self.lanes.iter().map(|l| l.sq.len()).sum();
+        let staged_by_lane: Vec<usize> = self.lanes.iter().map(|l| l.sq.len()).collect();
+        let staged: usize = staged_by_lane.iter().sum();
         if staged == 0 {
             return Ok(0);
         }
         self.tee.invoke_batch("dlt-serve", GATE_DOORBELL, &[staged as u64, 0, 0, 0], &mut [])?;
         let arrived_ns = self.control.now_ns();
-        self.stats.doorbells += 1;
-        self.stats.doorbell_entries += staged as u64;
+        SharedStats::bump(&self.stats.doorbells);
+        SharedStats::add(&self.stats.doorbell_entries, staged as u64);
         let mut rejected = Vec::new();
-        for lane in &mut self.lanes {
+        for (idx, n) in staged_by_lane.iter().enumerate() {
+            if *n == 0 {
+                continue;
+            }
+            let lane = &mut self.lanes[idx];
             let device = lane.device;
-            for e in lane.sq.drain_staged() {
-                let pending = Pending {
-                    id: e.id,
-                    session: e.session,
-                    req: e.req,
-                    submitted_ns: e.enqueued_ns,
-                    arrived_ns,
-                };
-                if let Err(err) = lane.lane.push(pending, device) {
-                    self.stats.rejected += 1;
-                    rejected.push(Completion {
-                        id: e.id,
-                        session: e.session,
-                        device,
-                        result: Err(err),
-                        submitted_ns: e.enqueued_ns,
-                        completed_ns: arrived_ns,
-                        coalesced: false,
-                    });
+            for e in lane.sq.take_staged(*n) {
+                match lane.shared.reserve() {
+                    Ok(()) => {
+                        let pending = Pending {
+                            id: e.id,
+                            session: e.session,
+                            req: e.req,
+                            submitted_ns: e.enqueued_ns,
+                            arrived_ns,
+                        };
+                        if let Err((p, _)) = lane.admit_tx.try_push(pending) {
+                            // Unreachable by the reservation invariant;
+                            // surface as typed backpressure, never a loss.
+                            debug_assert!(false, "reservation bounds the admit ring");
+                            lane.shared.inflight.fetch_sub(1, Ordering::Release);
+                            SharedStats::bump(&self.stats.rejected);
+                            rejected.push(Completion {
+                                id: p.id,
+                                session: p.session,
+                                device,
+                                result: Err(ServeError::QueueFull {
+                                    device,
+                                    depth: lane.shared.capacity,
+                                    capacity: lane.shared.capacity,
+                                }),
+                                submitted_ns: p.submitted_ns,
+                                completed_ns: arrived_ns,
+                                coalesced: false,
+                            });
+                        }
+                    }
+                    Err(err) => {
+                        SharedStats::bump(&self.stats.rejected);
+                        rejected.push(Completion {
+                            id: e.id,
+                            session: e.session,
+                            device,
+                            result: Err(err),
+                            submitted_ns: e.enqueued_ns,
+                            completed_ns: arrived_ns,
+                            coalesced: false,
+                        });
+                    }
                 }
             }
+            lane.shared.unpark();
         }
         for c in rejected {
             self.post_completion(c);
@@ -718,67 +989,117 @@ impl DriverletService {
     fn post_completion(&mut self, c: Completion) {
         if let Some(cq) = self.sessions.get_mut(&c.session) {
             if cq.post(c) {
-                self.stats.cq_overflows += 1;
+                SharedStats::bump(&self.stats.cq_overflows);
             }
         }
     }
 
-    /// The anticipatory-hold budget effective for one lane (holding is an
-    /// optimisation of coalescing, so it follows the coalesce gates).
-    fn lane_hold_budget(&self, lane: &DeviceLane) -> u64 {
-        if self.config.coalesce && lane.device != Device::Vchiq {
-            self.config.hold_budget_ns
-        } else {
-            0
+    /// Reap lane `idx`'s completion ring into the session rings and the
+    /// exec log; collects clones when `collect` is set (drain return
+    /// value). When the worker is inline, its spill is flushed as the ring
+    /// empties so nothing is stranded worker-side.
+    fn reap_lane(&mut self, idx: usize, collect: bool, out: &mut Vec<Completion>) {
+        loop {
+            let lane = &mut self.lanes[idx];
+            if let Some(w) = lane.worker.as_mut() {
+                w.flush_cq_spill();
+            }
+            let Some(c) = lane.cq_rx.try_pop() else { break };
+            self.exec_log.push(c.id);
+            if collect {
+                out.push(c.clone());
+            }
+            self.post_completion(c);
         }
     }
 
-    /// When lane `idx` would next dispatch a batch, and why then.
-    fn lane_dispatch(&self, idx: usize) -> Option<Dispatch> {
-        let lane = &self.lanes[idx];
-        if lane.lane.is_empty() {
-            return None;
+    /// Reap every lane `filter` selects.
+    fn reap_lanes(&mut self, filter: Option<Device>, collect: bool, out: &mut Vec<Completion>) {
+        for idx in 0..self.lanes.len() {
+            if filter.is_some_and(|d| self.lanes[idx].device != d) {
+                continue;
+            }
+            self.reap_lane(idx, collect, out);
         }
-        let budget = self.lane_hold_budget(lane);
-        // The plug's fill cap is the smaller of the queue bound and the
-        // dispatch window: once a batch's worth of requests has arrived,
-        // holding longer cannot merge anything more into *this* dispatch.
-        let fill_cap = lane.lane.capacity().min(self.config.coalesce_window);
-        Some(plan_dispatch(lane.lane.arrivals(), lane.now_ns(), budget, fill_cap))
     }
 
-    /// Run **one step** of the multi-core event loop: pick the lane with
+    /// Whether every selected lane has posted every admitted request's
+    /// completion and nothing is left in its cq ring or spill.
+    fn lanes_quiescent(&self, filter: Option<Device>) -> bool {
+        self.lanes.iter().all(|l| {
+            filter.is_some_and(|d| l.device != d) || (l.shared.quiescent() && l.cq_rx.is_empty())
+        })
+    }
+
+    /// Threaded-mode drain: unpark the selected lane threads, then
+    /// alternate reaping with sleeping on the progress condvar until they
+    /// are quiescent. The timeout on each wait makes the loop robust to
+    /// missed wakeups; the condvar keeps the front-end off-CPU while lanes
+    /// execute (essential on single-core hosts).
+    fn drain_threaded(&mut self, filter: Option<Device>) -> Vec<Completion> {
+        let mut all = Vec::new();
+        for lane in &self.lanes {
+            if filter.is_some_and(|d| lane.device != d) {
+                continue;
+            }
+            lane.shared.unpark();
+        }
+        loop {
+            self.reap_lanes(filter, true, &mut all);
+            if self.lanes_quiescent(filter) {
+                break;
+            }
+            self.quiesce.wait_for_progress(Duration::from_micros(200));
+        }
+        // Completions may have landed between the last reap and the
+        // quiescence check; the counters' release/acquire ordering
+        // guarantees this final pass sees all of them.
+        self.reap_lanes(filter, true, &mut all);
+        all
+    }
+
+    /// Run the event loop's step function.
+    ///
+    /// # Contract
+    ///
+    /// **Sequential mode** (the default): one step — pick the lane with
     /// the smallest next-event time (its plug deadline, or the instant it
     /// can start its earliest arrived request), execute one batch there,
-    /// and return that batch's completions.
-    ///
-    /// # Contract (changed by the multi-core refactor)
-    ///
-    /// `drain` **yields per batch**: it no longer loops until every lane is
-    /// empty. An empty return means every lane is idle. Completions are
-    /// also retrievable per session via
+    /// and return that batch's completions; `drain` **yields per batch**,
+    /// and an empty return means every lane is idle. **Threaded mode**:
+    /// per-batch stepping has no meaning against free-running lane
+    /// threads, so `drain` runs to quiescence — it is `drain_all`.
+    /// Completions are also retrievable per session via
     /// [`DriverletService::take_completions`]. Call
     /// [`DriverletService::drain_all`] to run the loop to quiescence, or
     /// [`DriverletService::drain_device`] to flush a single saturated lane
     /// (per-device backpressure relief).
     pub fn drain(&mut self) -> Vec<Completion> {
         self.flush_doorbell();
-        self.step(None)
+        match self.config.exec_mode {
+            ExecMode::Sequential => self.step(None),
+            ExecMode::Threaded => self.drain_threaded(None),
+        }
     }
 
     /// Run the event loop until every lane is empty and return all
     /// completions produced (the old `drain` contract).
     pub fn drain_all(&mut self) -> Vec<Completion> {
         self.flush_doorbell();
-        let mut all = Vec::new();
-        loop {
-            let step = self.step(None);
-            if step.is_empty() {
-                break;
+        match self.config.exec_mode {
+            ExecMode::Sequential => {
+                let mut all = Vec::new();
+                loop {
+                    let step = self.step(None);
+                    if step.is_empty() {
+                        break;
+                    }
+                    all.extend(step);
+                }
+                all
             }
-            all.extend(step);
+            ExecMode::Threaded => self.drain_threaded(None),
         }
-        all
     }
 
     /// Run the event loop restricted to `device` until that lane is empty
@@ -787,26 +1108,35 @@ impl DriverletService {
     /// other lane's queue (and hold) untouched.
     pub fn drain_device(&mut self, device: Device) -> Vec<Completion> {
         self.flush_doorbell();
-        let mut all = Vec::new();
-        loop {
-            let step = self.step(Some(device));
-            if step.is_empty() {
-                break;
+        match self.config.exec_mode {
+            ExecMode::Sequential => {
+                let mut all = Vec::new();
+                loop {
+                    let step = self.step(Some(device));
+                    if step.is_empty() {
+                        break;
+                    }
+                    all.extend(step);
+                }
+                all
             }
-            all.extend(step);
+            ExecMode::Threaded => self.drain_threaded(Some(device)),
         }
-        all
     }
 
-    /// One event-loop step over the lanes `filter` selects.
+    /// One sequential event-loop step over the lanes `filter` selects.
     fn step(&mut self, filter: Option<Device>) -> Vec<Completion> {
         loop {
+            // Admissions first, so planning sees every arrival (the
+            // pre-threading submit pushed straight into the lane queue).
             let mut next: Option<(usize, Dispatch)> = None;
-            for idx in 0..self.lanes.len() {
-                if filter.is_some_and(|d| self.lanes[idx].device != d) {
+            for (idx, lane) in self.lanes.iter_mut().enumerate() {
+                if filter.is_some_and(|d| lane.device != d) {
                     continue;
                 }
-                if let Some(d) = self.lane_dispatch(idx) {
+                let w = lane.worker.as_mut().expect("sequential lanes keep their worker inline");
+                w.pump_admissions();
+                if let Some(d) = w.next_dispatch() {
                     if next.is_none_or(|(_, best)| d.at_ns < best.at_ns) {
                         next = Some((idx, d));
                     }
@@ -815,32 +1145,22 @@ impl DriverletService {
             let Some((idx, dispatch)) = next else {
                 return Vec::new();
             };
-            // The core fast-forwards over its idle gap to the dispatch
-            // instant (arrival or plug deadline)...
-            self.lanes[idx].platform.clock.lock().advance_idle_to(dispatch.at_ns);
-            // ...then unplugs and batches everything that arrived by then.
-            let batch = self.lanes[idx].lane.next_batch(
-                self.config.policy,
-                self.config.coalesce_window,
-                dispatch.at_ns,
-            );
-            if batch.is_empty() {
+            let posted = {
+                let w = self.lanes[idx]
+                    .worker
+                    .as_mut()
+                    .expect("sequential lanes keep their worker inline");
+                w.run_one_batch(dispatch)
+            };
+            if posted == 0 {
                 // DRR with deficits still accumulating: retry — each call
                 // grows the eligible sessions' deficits, so this
                 // terminates.
                 continue;
             }
-            if dispatch.held() {
-                self.stats.holds += 1;
-                if dispatch.reason != coalesce::DispatchReason::HoldExpired {
-                    self.stats.early_unplugs += 1;
-                }
-            }
-            let completions = self.execute_batch(idx, &batch);
-            for c in &completions {
-                self.post_completion(c.clone());
-            }
-            return completions;
+            let mut out = Vec::new();
+            self.reap_lane(idx, true, &mut out);
+            return out;
         }
     }
 
@@ -861,7 +1181,14 @@ impl DriverletService {
     /// running beside a camera burst they did not submit) keep their own,
     /// earlier timeline — this is what lets independent tenants overlap
     /// device time across lanes.
+    ///
+    /// In threaded mode this first reaps whatever the lane threads have
+    /// posted so far (non-blocking — it does **not** wait for in-flight
+    /// requests; drain first for that).
     pub fn take_completions(&mut self, session: SessionId) -> Vec<Completion> {
+        if self.config.exec_mode == ExecMode::Threaded {
+            self.reap_lanes(None, false, &mut Vec::new());
+        }
         let Some(cq) = self.sessions.get_mut(&session) else {
             return Vec::new();
         };
@@ -886,198 +1213,14 @@ impl DriverletService {
     }
 
     /// The ids of every executed request in device-dispatch order — the
-    /// witness serial order for the scheduler's equivalence property.
+    /// witness serial order for the scheduler's equivalence property
+    /// (per-lane execution order exactly; threaded cross-lane interleave
+    /// follows reap order).
     pub fn take_exec_log(&mut self) -> Vec<RequestId> {
+        if self.config.exec_mode == ExecMode::Threaded {
+            self.reap_lanes(None, false, &mut Vec::new());
+        }
         std::mem::take(&mut self.exec_log)
-    }
-
-    fn execute_batch(&mut self, lane_idx: usize, batch: &[Pending]) -> Vec<Completion> {
-        let reqs: Vec<Request> = batch.iter().map(|p| p.req.clone()).collect();
-        let coalesce = self.config.coalesce && self.lanes[lane_idx].device != Device::Vchiq;
-        let plans = coalesce::plan(&reqs, coalesce);
-        let mut out = Vec::new();
-        for plan in &plans {
-            match plan {
-                ExecPlan::Single(i) => {
-                    let result = self.execute_single(lane_idx, &batch[*i].req);
-                    out.push(self.complete(lane_idx, &batch[*i], result, false));
-                }
-                ExecPlan::MergedRead { blkid, blkcnt, members } => {
-                    let coalesced = plan.is_coalesced();
-                    match self.execute_read(lane_idx, *blkid, *blkcnt) {
-                        Ok(bytes) => {
-                            for &m in members {
-                                let p = &batch[m];
-                                let Request::Read { blkid: rb, blkcnt: rc, .. } = p.req else {
-                                    unreachable!("merged read members are reads");
-                                };
-                                let off = (rb - blkid) as usize * BLOCK;
-                                let payload =
-                                    Payload::Read(bytes[off..off + rc as usize * BLOCK].to_vec());
-                                if coalesced {
-                                    self.stats.coalesced_requests += 1;
-                                }
-                                out.push(self.complete(lane_idx, p, Ok(payload), coalesced));
-                            }
-                        }
-                        Err(_) if coalesced => {
-                            // The merged span failed (e.g. one member is out
-                            // of recorded coverage). Fall back to member-
-                            // by-member execution so every request gets
-                            // exactly the outcome the serial order would
-                            // have produced.
-                            for &m in members {
-                                let result = self.execute_single(lane_idx, &batch[m].req);
-                                out.push(self.complete(lane_idx, &batch[m], result, false));
-                            }
-                        }
-                        Err(e) => {
-                            out.push(self.complete(lane_idx, &batch[members[0]], Err(e), false));
-                        }
-                    }
-                }
-                ExecPlan::BatchedWrite { blkid, members } => {
-                    let coalesced = plan.is_coalesced();
-                    let mut data = Vec::new();
-                    for &m in members {
-                        let Request::Write { data: d, .. } = &batch[m].req else {
-                            unreachable!("batched write members are writes");
-                        };
-                        data.extend_from_slice(d);
-                    }
-                    match self.execute_write(lane_idx, *blkid, &mut data) {
-                        Ok(()) => {
-                            for &m in members {
-                                let p = &batch[m];
-                                let Request::Write { data: d, .. } = &p.req else {
-                                    unreachable!("batched write members are writes");
-                                };
-                                let blocks = (d.len() / BLOCK) as u32;
-                                if coalesced {
-                                    self.stats.coalesced_requests += 1;
-                                }
-                                out.push(self.complete(
-                                    lane_idx,
-                                    p,
-                                    Ok(Payload::Written { blocks }),
-                                    coalesced,
-                                ));
-                            }
-                        }
-                        Err(_) if coalesced => {
-                            // Same serial-equivalence fallback as merged
-                            // reads. A partially-executed batched write is
-                            // re-issued per member in order, which matches
-                            // the serial outcome because writes are
-                            // idempotent per extent.
-                            for &m in members {
-                                let result = self.execute_single(lane_idx, &batch[m].req);
-                                out.push(self.complete(lane_idx, &batch[m], result, false));
-                            }
-                        }
-                        Err(e) => {
-                            out.push(self.complete(lane_idx, &batch[members[0]], Err(e), false));
-                        }
-                    }
-                }
-            }
-        }
-        out
-    }
-
-    fn complete(
-        &mut self,
-        lane_idx: usize,
-        p: &Pending,
-        result: Result<Payload, ServeError>,
-        coalesced: bool,
-    ) -> Completion {
-        self.stats.completed += 1;
-        self.exec_log.push(p.id);
-        Completion {
-            id: p.id,
-            session: p.session,
-            device: self.lanes[lane_idx].device,
-            result,
-            submitted_ns: p.submitted_ns,
-            // Lane-local completion time: the request finished on its own
-            // core's timeline (>= submitted_ns, because the lane never
-            // dispatches a request before it arrived).
-            completed_ns: self.lanes[lane_idx].now_ns(),
-            coalesced,
-        }
-    }
-
-    fn execute_single(&mut self, lane_idx: usize, req: &Request) -> Result<Payload, ServeError> {
-        match req {
-            Request::Read { blkid, blkcnt, .. } => {
-                self.execute_read(lane_idx, *blkid, *blkcnt).map(Payload::Read)
-            }
-            Request::Write { blkid, data, .. } => {
-                let mut scratch = data.clone();
-                self.execute_write(lane_idx, *blkid, &mut scratch)
-                    .map(|()| Payload::Written { blocks: (data.len() / BLOCK) as u32 })
-            }
-            Request::Capture { frames, resolution } => {
-                let lane = &mut self.lanes[lane_idx];
-                let mut buf = vec![0u8; 2 << 20];
-                let size = replay_cam(&mut lane.replayer, *frames, *resolution, &mut buf)?;
-                self.stats.replays += 1;
-                buf.truncate(size as usize);
-                Ok(Payload::Image { data: buf })
-            }
-        }
-    }
-
-    /// One (possibly merged) read span, decomposed over the recorded
-    /// granularities.
-    fn execute_read(
-        &mut self,
-        lane_idx: usize,
-        blkid: u32,
-        blkcnt: u32,
-    ) -> Result<Vec<u8>, ServeError> {
-        let mut buf = vec![0u8; blkcnt as usize * BLOCK];
-        let mut done = 0u32;
-        for part in coalesce::decompose(blkcnt, &self.config.block_granularities) {
-            let lane = &mut self.lanes[lane_idx];
-            let start = done as usize * BLOCK;
-            let end = (done + part) as usize * BLOCK;
-            lane.replayer.invoke_args(
-                lane.entry,
-                &block_args(0x1, part, blkid + done),
-                &mut buf[start..end],
-            )?;
-            self.stats.replays += 1;
-            self.stats.blocks_moved += u64::from(part);
-            done += part;
-        }
-        Ok(buf)
-    }
-
-    /// One (possibly batched) write span.
-    fn execute_write(
-        &mut self,
-        lane_idx: usize,
-        blkid: u32,
-        data: &mut [u8],
-    ) -> Result<(), ServeError> {
-        let blkcnt = (data.len() / BLOCK) as u32;
-        let mut done = 0u32;
-        for part in coalesce::decompose(blkcnt, &self.config.block_granularities) {
-            let lane = &mut self.lanes[lane_idx];
-            let start = done as usize * BLOCK;
-            let end = (done + part) as usize * BLOCK;
-            lane.replayer.invoke_args(
-                lane.entry,
-                &block_args(0x10, part, blkid + done),
-                &mut data[start..end],
-            )?;
-            self.stats.replays += 1;
-            self.stats.blocks_moved += u64::from(part);
-            done += part;
-        }
-        Ok(())
     }
 
     /// A [`SecureBlockIo`] view of one session bound to one block device:
@@ -1086,11 +1229,26 @@ impl DriverletService {
         SessionBlockIo { service: self, session, device }
     }
 
-    fn lane_mut(&mut self, device: Device) -> Result<&mut DeviceLane, ServeError> {
-        self.lanes
-            .iter_mut()
-            .find(|l| l.device == device)
-            .ok_or(ServeError::DeviceNotServed(device))
+    /// Apply one control request to lane `idx`: directly on the inline
+    /// worker (sequential), or via the control mailbox (threaded) — the
+    /// worker handles mailbox messages strictly **between batches**, never
+    /// mid-replay, so these operations are safe against a lane thread
+    /// actively draining its queue. The call blocks until the worker
+    /// replies.
+    fn lane_ctrl(&mut self, idx: usize, req: CtrlReq) -> Result<(), ServeError> {
+        let (reply, result) = mpsc::channel();
+        if let Some(w) = self.lanes[idx].worker.as_mut() {
+            w.handle_ctrl(CtrlMsg { req, reply });
+        } else {
+            self.lanes[idx]
+                .ctrl_tx
+                .send(CtrlMsg { req, reply })
+                .map_err(|_| ServeError::Invalid(format!("lane {idx} thread exited")))?;
+            self.lanes[idx].shared.unpark();
+        }
+        result
+            .recv()
+            .map_err(|_| ServeError::Invalid(format!("lane {idx} dropped the control reply")))?
     }
 
     /// Install a solver-driven device fault on `device`'s lane: every
@@ -1100,24 +1258,26 @@ impl DriverletService {
     /// the lane behaves exactly like a misbehaving device at that point of
     /// the recorded trace. Returns the shared [`FlipOutcome`] handle the
     /// caller observes the campaign through. Replaces any previously
-    /// installed fault.
+    /// installed fault. Safe mid-flight: a threaded lane installs the
+    /// fault at its next batch boundary (never mid-replay), and this call
+    /// waits for that hand-off.
     pub fn inject_fault(
         &mut self,
         device: Device,
         plan: FaultPlan,
     ) -> Result<Arc<Mutex<FlipOutcome>>, ServeError> {
-        let lane = self.lane_mut(device)?;
+        let idx = self.lane_index(device)?;
         let (flipper, outcome) = ConstraintFlipper::new(plan);
-        lane.replayer.set_response_mutator(Box::new(flipper));
+        self.lane_ctrl(idx, CtrlReq::SetMutator(Some(Box::new(flipper))))?;
         Ok(outcome)
     }
 
     /// Remove any fault installed on `device`'s lane; subsequent replays
-    /// see the real device again.
+    /// see the real device again. Same batch-boundary hand-off as
+    /// [`DriverletService::inject_fault`].
     pub fn clear_fault(&mut self, device: Device) -> Result<(), ServeError> {
-        let lane = self.lane_mut(device)?;
-        lane.replayer.clear_response_mutator();
-        Ok(())
+        let idx = self.lane_index(device)?;
+        self.lane_ctrl(idx, CtrlReq::SetMutator(None))
     }
 
     /// Verify `device`'s lane is still serviceable — the post-divergence
@@ -1126,55 +1286,114 @@ impl DriverletService {
     /// read it back byte-identically; the camera lane must complete a
     /// one-frame capture. The probe goes straight at the lane replayer —
     /// no session, no queue — so a sick replayer cannot hide behind
-    /// scheduling, and it **clobbers** the probe extent.
+    /// scheduling, and it **clobbers** the probe extent. On a threaded
+    /// lane the probe runs on the lane thread between batches, so it never
+    /// interleaves with a request's replay.
     pub fn lane_health_check(&mut self, device: Device) -> Result<(), ServeError> {
-        let gran = self.config.block_granularities.iter().copied().min().unwrap_or(1);
-        let frames = self.config.camera_bursts.first().copied().unwrap_or(1);
-        let lane = self.lane_mut(device)?;
-        match device {
-            Device::Mmc | Device::Usb => {
-                let pattern: Vec<u8> =
-                    (0..gran as usize * BLOCK).map(|i| (i as u8) ^ 0xA5).collect();
-                let mut buf = pattern.clone();
-                lane.replayer.invoke_args(
-                    lane.entry,
-                    &block_args(0x10, gran, HEALTH_PROBE_BLKID),
-                    &mut buf,
-                )?;
-                let mut readback = vec![0u8; gran as usize * BLOCK];
-                lane.replayer.invoke_args(
-                    lane.entry,
-                    &block_args(0x1, gran, HEALTH_PROBE_BLKID),
-                    &mut readback,
-                )?;
-                if readback != pattern {
-                    return Err(ServeError::Invalid(format!(
-                        "lane {device} failed its health probe: read-back differs from the \
-                         written pattern"
-                    )));
-                }
-            }
-            Device::Vchiq => {
-                let mut buf = vec![0u8; 2 << 20];
-                let size = replay_cam(&mut lane.replayer, frames, 720, &mut buf)?;
-                if size == 0 {
-                    return Err(ServeError::Invalid(
-                        "lane vchiq failed its health probe: empty capture".into(),
-                    ));
-                }
-            }
-        }
-        Ok(())
+        let idx = self.lane_index(device)?;
+        self.lane_ctrl(idx, CtrlReq::HealthCheck)
+    }
+
+    /// Detach lane `lane`'s submission-ring producer as a [`LaneSubmitter`]
+    /// that can stage entries from another thread, concurrently with this
+    /// front-end draining doorbells — the sharded submission path. Each
+    /// lane's producer can be detached once; afterwards the service's own
+    /// [`DriverletService::submit`] on that lane reports the detachment as
+    /// a typed error (single-producer discipline is kept statically).
+    pub fn lane_submitter(&mut self, lane: usize) -> Result<LaneSubmitter, ServeError> {
+        let next_request = Arc::clone(&self.next_request);
+        let stats = Arc::clone(&self.stats);
+        let control_clock = Arc::clone(&self.control_cell);
+        let l = self
+            .lanes
+            .get_mut(lane)
+            .ok_or_else(|| ServeError::Invalid(format!("lane {lane} out of range")))?;
+        let producer = l.sq.take_producer().ok_or_else(|| {
+            ServeError::Invalid(format!("lane {lane} submission ring already detached"))
+        })?;
+        Ok(LaneSubmitter {
+            device: l.device,
+            producer,
+            sq_depth: l.sq.depth(),
+            next_request,
+            stats,
+            control_clock,
+        })
     }
 }
 
 /// First block of the scratch extent [`DriverletService::lane_health_check`]
 /// overwrites on block lanes (it stays clear of the low extents the tests
 /// and workloads address).
-pub const HEALTH_PROBE_BLKID: u32 = 1024;
+pub const HEALTH_PROBE_BLKID: u32 = crate::lane::HEALTH_PROBE_BLKID;
 
-fn block_args(rw: u64, blkcnt: u32, blkid: u32) -> [(&'static str, u64); 4] {
-    [("rw", rw), ("blkcnt", u64::from(blkcnt)), ("blkid", u64::from(blkid)), ("flag", 0)]
+/// A detached, `Send` handle staging submissions into one lane's
+/// submission ring from another thread — the sharded front-end: each
+/// producer thread owns its lane's SQ producer endpoint, and only the
+/// doorbell/reap side stays with the service.
+///
+/// Semantics mirror [`DriverletService::submit`] in ring mode, with two
+/// documented differences inherent to being off-thread:
+///
+/// * The session is **not** validated at stage time (the service would
+///   have to be locked for that). A stale session's entries are admitted,
+///   execute, and their completions are dropped at post time — exactly
+///   the behaviour of closing a session with requests in flight.
+/// * A rejected stage burns its request id (ids stay globally unique and
+///   per-submitter monotone; they are no longer dense across the
+///   service).
+#[derive(Debug)]
+pub struct LaneSubmitter {
+    device: Device,
+    producer: SpscProducer<SqEntry>,
+    sq_depth: usize,
+    next_request: Arc<AtomicU64>,
+    stats: Arc<SharedStats>,
+    control_clock: Arc<ClockCell>,
+}
+
+impl LaneSubmitter {
+    /// The device served by the lane this submitter feeds.
+    pub fn device(&self) -> Device {
+        self.device
+    }
+
+    /// Entries currently staged and not yet drained by a doorbell.
+    pub fn staged(&self) -> usize {
+        self.producer.len()
+    }
+
+    /// The ring bound.
+    pub fn sq_depth(&self) -> usize {
+        self.sq_depth
+    }
+
+    /// Stage one request (shape-validated, stamped with the control
+    /// clock's published time). Full rings reject with the same typed
+    /// [`ServeError::QueueFull`] as the inline path, carrying the
+    /// occupancy snapshot the rejection was decided on.
+    pub fn stage(&mut self, session: SessionId, req: Request) -> Result<RequestId, ServeError> {
+        validate_request(&req)?;
+        if req.device() != self.device {
+            return Err(ServeError::Invalid(format!(
+                "request for {} staged on a {} lane submitter",
+                req.device(),
+                self.device
+            )));
+        }
+        let enqueued_ns = self.control_clock.now_ns();
+        let id = self.next_request.fetch_add(1, Ordering::Relaxed);
+        match self.producer.try_push(SqEntry { id, session, req, enqueued_ns }) {
+            Ok(_) => {
+                SharedStats::bump(&self.stats.submitted);
+                Ok(id)
+            }
+            Err((_, depth)) => {
+                SharedStats::bump(&self.stats.rejected);
+                Err(ServeError::QueueFull { device: self.device, depth, capacity: self.sq_depth })
+            }
+        }
+    }
 }
 
 /// A session-scoped block-IO handle (implements [`SecureBlockIo`], so the

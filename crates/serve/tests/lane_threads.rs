@@ -1,0 +1,265 @@
+//! Targeted tests for [`dlt_serve::ExecMode::Threaded`]: lane threads
+//! executing concurrently with the front-end.
+//!
+//! * control-plane operations (`inject_fault`, `clear_fault`,
+//!   `lane_health_check`) applied **mid-flight** against a lane thread
+//!   actively draining its queue — the worker handles control messages
+//!   strictly between batches, so these must never tear a replay;
+//! * threaded execution is byte-identical to sequential execution of the
+//!   same program (batching may differ; payloads and device state may not);
+//! * replica lanes: the same device standing up twice, each replica with
+//!   its own TEE core and thread.
+
+use std::collections::HashMap;
+
+use dlt_core::{FaultPlan, ReplayError};
+use dlt_recorder::campaign::record_mmc_driverlet_subset;
+use dlt_serve::{
+    Completion, Device, DriverletService, ExecMode, Payload, Request, ServeConfig, ServeError,
+    SubmitMode,
+};
+use dlt_template::Driverlet;
+
+const GRANULARITIES: [u32; 2] = [1, 8];
+
+fn mmc_bundle() -> Driverlet {
+    record_mmc_driverlet_subset(&GRANULARITIES).expect("record mmc")
+}
+
+fn config(exec_mode: ExecMode) -> ServeConfig {
+    ServeConfig { exec_mode, block_granularities: GRANULARITIES.to_vec(), ..ServeConfig::default() }
+}
+
+/// Satellite 6: inject a sticky read fault while the lane thread is actively
+/// draining a deep backlog, then clear it and health-check — all mid-flight.
+/// Every submitted request surfaces exactly once (Ok or typed Diverged,
+/// never a panic, a hang, or a loss), and the lane stays serviceable.
+#[test]
+fn fault_injection_is_safe_against_a_running_lane_thread() {
+    let bundle = mmc_bundle();
+    let cfg = ServeConfig {
+        submit_mode: SubmitMode::Ring,
+        sq_depth: 256,
+        queue_capacity: 256,
+        // Disable anticipation so the lane starts chewing immediately.
+        hold_budget_ns: 0,
+        ..config(ExecMode::Threaded)
+    };
+    let mut service =
+        DriverletService::with_driverlets(&[(Device::Mmc, bundle)], cfg).expect("build service");
+    let session = service.open_session().unwrap();
+
+    // Stage a deep backlog and ring one doorbell so the lane thread starts
+    // draining ~200 reads while this thread races control operations at it.
+    const N: usize = 200;
+    for i in 0..N {
+        service
+            .submit(
+                session,
+                Request::Read { device: Device::Mmc, blkid: (i % 48) as u32, blkcnt: 1 },
+            )
+            .expect("stage");
+    }
+    service.ring_doorbell().expect("doorbell");
+
+    // Mid-flight: install a sticky read fault. The worker applies it at its
+    // next batch boundary; the call blocks until the hand-off happened.
+    let outcome = service
+        .inject_fault(
+            Device::Mmc,
+            FaultPlan { template: Some("_rd_".into()), sticky: true, ..FaultPlan::default() },
+        )
+        .expect("inject mid-flight");
+
+    let completions = service.drain_all();
+    assert_eq!(completions.len(), N, "every request surfaces exactly once");
+    let mut ok = 0usize;
+    let mut diverged = 0usize;
+    for c in &completions {
+        match &c.result {
+            Ok(_) => ok += 1,
+            Err(ServeError::Replay(ReplayError::Diverged(_))) => diverged += 1,
+            other => panic!("request {} must complete or diverge typed, got {other:?}", c.id),
+        }
+    }
+    assert_eq!(ok + diverged, N, "completed + diverged == submitted");
+    // How much of the backlog the injection caught is a scheduling race
+    // (the lane thread may drain arbitrarily far before the control
+    // message lands) — mid-flight *safety* is what the assertions above
+    // pin. Engagement is asserted deterministically here instead: the
+    // sticky fault is still installed, so a fresh batch must diverge.
+    let mut engaged = 0usize;
+    for i in 0..8 {
+        service
+            .submit(session, Request::Read { device: Device::Mmc, blkid: i % 16, blkcnt: 1 })
+            .expect("stage under sticky fault");
+    }
+    service.ring_doorbell().expect("doorbell");
+    for c in service.drain_all() {
+        match c.result {
+            Err(ServeError::Replay(ReplayError::Diverged(_))) => engaged += 1,
+            other => panic!("request {} must diverge under the sticky fault, got {other:?}", c.id),
+        }
+    }
+    assert_eq!(engaged, 8, "a sticky read fault engages every post-injection read");
+    assert!(outcome.lock().unwrap().engaged_invocations > 0);
+
+    // Mid-flight recovery: clear the fault and health-check while new work
+    // is in flight behind the control messages.
+    for i in 0..20 {
+        service
+            .submit(session, Request::Read { device: Device::Mmc, blkid: i % 16, blkcnt: 1 })
+            .expect("stage post-fault");
+    }
+    service.ring_doorbell().expect("doorbell");
+    service.clear_fault(Device::Mmc).expect("clear mid-flight");
+    service.lane_health_check(Device::Mmc).expect("lane healthy after clear");
+    let tail = service.drain_all();
+    assert_eq!(tail.len(), 20);
+    // Requests admitted before the clear may still have met the sticky
+    // fault; each must surface typed either way, and after quiescence the
+    // lane serves cleanly.
+    for c in &tail {
+        assert!(
+            matches!(c.result, Ok(_) | Err(ServeError::Replay(ReplayError::Diverged(_)))),
+            "request {} must complete or diverge typed",
+            c.id
+        );
+    }
+    let probe = service
+        .submit(session, Request::Read { device: Device::Mmc, blkid: 0, blkcnt: 1 })
+        .expect("probe");
+    let done = service.drain_all();
+    assert!(
+        done.iter().any(|c| c.id == probe && c.result.is_ok()),
+        "a fresh read after clear_fault must succeed"
+    );
+}
+
+/// Run one mixed read/write program and return the payload of every
+/// completion keyed by a stable per-request tag, plus a full readback of the
+/// hot range.
+fn run_program(exec_mode: ExecMode, bundle: Driverlet) -> (HashMap<u64, Vec<u8>>, Vec<u8>) {
+    let mut service =
+        DriverletService::with_driverlets(&[(Device::Mmc, bundle)], config(exec_mode))
+            .expect("build service");
+    let session = service.open_session().unwrap();
+    let mut tag_of = HashMap::new();
+    for i in 0..40u64 {
+        let blkid = 64 + (i * 7 % 48) as u32;
+        let req = if i % 3 == 0 {
+            let data: Vec<u8> = (0..512).map(|b| (i as u8).wrapping_mul(31) ^ b as u8).collect();
+            Request::Write { device: Device::Mmc, blkid, data }
+        } else {
+            Request::Read { device: Device::Mmc, blkid, blkcnt: 1 + (i % 4) as u32 }
+        };
+        let id = service.submit(session, req).expect("submit");
+        tag_of.insert(id, i);
+    }
+    let completions = service.drain_all();
+    assert_eq!(completions.len(), 40);
+    let mut payloads = HashMap::new();
+    for c in &completions {
+        let bytes = match c.result.as_ref().expect("request succeeds") {
+            Payload::Read(b) => b.clone(),
+            Payload::Written { blocks } => vec![*blocks as u8],
+            Payload::Image { data } => data.clone(),
+        };
+        payloads.insert(tag_of[&c.id], bytes);
+    }
+    let id = service
+        .submit(session, Request::Read { device: Device::Mmc, blkid: 64, blkcnt: 56 })
+        .expect("readback");
+    let state = service
+        .drain_all()
+        .into_iter()
+        .find(|c| c.id == id)
+        .and_then(|c| match c.result {
+            Ok(Payload::Read(b)) => Some(b),
+            _ => None,
+        })
+        .expect("readback payload");
+    (payloads, state)
+}
+
+/// Threaded execution must be byte-identical to sequential execution of the
+/// same single-session program: batching may differ across modes, payloads
+/// and final device state may not. (Single session ⇒ per-session ordering
+/// pins the write order, so even the read payloads are fully determined.)
+#[test]
+fn threaded_execution_is_byte_identical_to_sequential() {
+    let bundle = mmc_bundle();
+    let (seq_payloads, seq_state) = run_program(ExecMode::Sequential, bundle.clone());
+    let (thr_payloads, thr_state) = run_program(ExecMode::Threaded, bundle);
+    assert_eq!(seq_payloads.len(), thr_payloads.len());
+    for (tag, seq_bytes) in &seq_payloads {
+        assert_eq!(
+            seq_bytes, &thr_payloads[tag],
+            "request tag {tag}: threaded payload differs from sequential"
+        );
+    }
+    assert_eq!(seq_state, thr_state, "final device state differs across exec modes");
+}
+
+/// Replica lanes: the same device stood up twice, each replica its own TEE
+/// core on its own thread. Requests route per lane; both replicas serve
+/// their own (independent) device simulation.
+#[test]
+fn replica_lanes_serve_the_same_device_independently() {
+    let bundle = mmc_bundle();
+    let cfg = config(ExecMode::Threaded);
+    let mut service = DriverletService::with_driverlets(
+        &[(Device::Mmc, bundle.clone()), (Device::Mmc, bundle)],
+        cfg,
+    )
+    .expect("build replica service");
+    assert_eq!(service.lane_count(), 2);
+    assert_eq!(service.lane_device(0), Some(Device::Mmc));
+    assert_eq!(service.lane_device(1), Some(Device::Mmc));
+    let session = service.open_session().unwrap();
+
+    // Write a distinct pattern through each replica lane, then read both
+    // back: each replica's device state reflects only its own writes.
+    let mut ids: Vec<(usize, u64)> = Vec::new();
+    for lane in 0..2usize {
+        let data = vec![0xA0u8 | lane as u8; 512];
+        let id = service
+            .submit_to_lane(lane, session, Request::Write { device: Device::Mmc, blkid: 64, data })
+            .expect("replica write");
+        ids.push((lane, id));
+    }
+    service.drain_all();
+    let mut readbacks: Vec<(usize, u64)> = Vec::new();
+    for lane in 0..2usize {
+        let id = service
+            .submit_to_lane(
+                lane,
+                session,
+                Request::Read { device: Device::Mmc, blkid: 64, blkcnt: 1 },
+            )
+            .expect("replica read");
+        readbacks.push((lane, id));
+    }
+    let completions: Vec<Completion> = service.drain_all();
+    for (lane, id) in readbacks {
+        let c = completions.iter().find(|c| c.id == id).expect("replica readback");
+        let Ok(Payload::Read(bytes)) = &c.result else {
+            panic!("replica {lane} readback failed: {:?}", c.result);
+        };
+        assert!(
+            bytes.iter().all(|&b| b == 0xA0 | lane as u8),
+            "replica {lane} must see exactly its own write"
+        );
+    }
+
+    // Device-addressed submits route to the first matching lane only.
+    let before = service.lane_status()[0].busy_ns;
+    service
+        .submit(session, Request::Read { device: Device::Mmc, blkid: 64, blkcnt: 1 })
+        .expect("device-routed submit");
+    service.drain_all();
+    assert!(
+        service.lane_status()[0].busy_ns > before,
+        "device-addressed requests run on the first matching lane"
+    );
+}

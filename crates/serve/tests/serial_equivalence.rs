@@ -32,8 +32,8 @@ use dlt_recorder::campaign::{
     DEV_KEY,
 };
 use dlt_serve::{
-    Device, DriverletService, Payload, Policy, Request, RequestId, ServeConfig, ServeError,
-    SubmitMode,
+    Device, DriverletService, ExecMode, Payload, Policy, Request, RequestId, ServeConfig,
+    ServeError, SubmitMode,
 };
 use dlt_tee::{SecureIo, TeeKernel};
 use dlt_template::Driverlet;
@@ -577,6 +577,160 @@ fn check_block_device_with_divergences(
     prop_assert_eq_bytes(&serial_state, &service_state, id);
 }
 
+/// The **parallel-lanes** flavour of the property: the same kind of random
+/// traffic driven through [`ExecMode::Threaded`] — MMC and USB lanes each on
+/// a real OS thread, executing concurrently with the submitting thread.
+/// Sessions are pinned to one device each, so per-session ordering and byte
+/// identity stay decidable: within a lane the scheduler is unchanged, and
+/// the witness log filtered per device is that lane's execution order.
+/// Threading may change batching (a lane may dispatch the moment work is
+/// admitted) but must never change payloads, violate per-session ordering,
+/// lose a completion, or complete before submission. With a fault injected
+/// (`with_fault`), `completed + diverged == submitted` must hold exactly.
+fn check_parallel_lanes(policy: Policy, choices: &[u8], fault_skip: Option<u64>) {
+    let config = ServeConfig {
+        policy,
+        coalesce: true,
+        exec_mode: ExecMode::Threaded,
+        block_granularities: GRANULARITIES.to_vec(),
+        ..ServeConfig::default()
+    };
+    let mut service = DriverletService::with_driverlets(
+        &[(Device::Mmc, mmc_bundle().clone()), (Device::Usb, usb_bundle().clone())],
+        config,
+    )
+    .expect("build service");
+    // Two sessions per device, pinned: a session only ever talks to one
+    // lane, so its ordering invariant is confined to that lane's timeline.
+    let sessions: Vec<(u32, Device)> = vec![
+        (service.open_session().unwrap(), Device::Mmc),
+        (service.open_session().unwrap(), Device::Usb),
+        (service.open_session().unwrap(), Device::Mmc),
+        (service.open_session().unwrap(), Device::Usb),
+    ];
+    let outcome = fault_skip.map(|skip| {
+        service
+            .inject_fault(
+                Device::Mmc,
+                FaultPlan {
+                    template: Some("_rd_".into()),
+                    skip_invocations: skip,
+                    sticky: true,
+                    ..FaultPlan::default()
+                },
+            )
+            .expect("inject fault")
+    });
+
+    let mut requests: HashMap<RequestId, Request> = HashMap::new();
+    let mut session_of: HashMap<RequestId, u32> = HashMap::new();
+    for (i, &choice) in choices.iter().enumerate() {
+        let (session, device) = sessions[i % sessions.len()];
+        if i % 4 == 3 {
+            service.client_think_ns(u64::from(choice) * 2_000);
+        }
+        let blkid = 64 + u32::from(choice % 48);
+        let blkcnt = 1 + u32::from(choice % 8);
+        let req = if choice % 3 == 0 {
+            Request::Write { device, blkid, data: pattern(i as u64, blkcnt) }
+        } else {
+            Request::Read { device, blkid, blkcnt }
+        };
+        let id = service.submit(session, req.clone()).expect("submit");
+        requests.insert(id, req);
+        session_of.insert(id, session);
+    }
+
+    let completions = service.drain_all();
+    let witness = service.take_exec_log();
+    assert_eq!(completions.len(), choices.len(), "no completion lost across lane threads");
+    assert_eq!(witness.len(), choices.len());
+
+    let mut ok = 0usize;
+    let mut diverged = 0usize;
+    for c in &completions {
+        match &c.result {
+            Ok(_) => ok += 1,
+            Err(ServeError::Replay(ReplayError::Diverged(_))) if fault_skip.is_some() => {
+                diverged += 1;
+                assert!(
+                    matches!(requests[&c.id], Request::Read { device: Device::Mmc, .. }),
+                    "request {}: only MMC reads can diverge under this fault",
+                    c.id
+                );
+            }
+            other => panic!("request {} must complete (or diverge typed), got {other:?}", c.id),
+        }
+        assert!(
+            c.completed_ns >= c.submitted_ns,
+            "request {} completed at {} before its submission {}",
+            c.id,
+            c.completed_ns,
+            c.submitted_ns
+        );
+    }
+    assert_eq!(ok + diverged, choices.len(), "completed + diverged == submitted");
+    if diverged > 0 {
+        assert!(outcome.as_ref().unwrap().lock().unwrap().engaged_invocations > 0);
+    }
+
+    // Per-session ordering under real interleaving: a session is pinned to
+    // one lane, so its dispatches appear in the witness in that lane's
+    // execution order. Reads commute among reads; any pair involving a
+    // write must dispatch in submission (id) order.
+    let mut per_session: HashMap<u32, Vec<RequestId>> = HashMap::new();
+    for id in &witness {
+        per_session.entry(session_of[id]).or_default().push(*id);
+    }
+    for (session, order) in &per_session {
+        for (i, &a) in order.iter().enumerate() {
+            for &b in &order[i + 1..] {
+                if a > b {
+                    let both_reads = matches!(requests[&a], Request::Read { .. })
+                        && matches!(requests[&b], Request::Read { .. });
+                    assert!(
+                        both_reads,
+                        "session {session}: request {a} dispatched before earlier request {b} \
+                         and at least one is a write (lane threading broke per-session ordering)"
+                    );
+                }
+            }
+        }
+    }
+
+    // Byte identity per lane: the witness filtered by device is that lane's
+    // serial execution order; replay it on a fresh interpreted rig.
+    for device in [Device::Mmc, Device::Usb] {
+        let mut rig = serial_rig(device);
+        let mut serial_reads: HashMap<RequestId, Vec<u8>> = HashMap::new();
+        for id in witness.iter().filter(|id| requests[id].device() == device) {
+            if let Some(bytes) = serial_execute(&mut rig, device, &requests[id]) {
+                serial_reads.insert(*id, bytes);
+            }
+        }
+        for c in completions.iter().filter(|c| c.device == device) {
+            if let Ok(Payload::Read(bytes)) = &c.result {
+                prop_assert_eq_bytes(&serial_reads[&c.id], bytes, c.id);
+            }
+        }
+        // Final device state matches the per-lane serial reference.
+        if fault_skip.is_some() {
+            service.clear_fault(device).expect("clear fault");
+            service.lane_health_check(device).expect("post-divergence lane health");
+        }
+        let readback = Request::Read { device, blkid: 64, blkcnt: 56 };
+        let session = sessions.iter().find(|(_, d)| *d == device).unwrap().0;
+        let id = service.submit(session, readback.clone()).expect("submit readback");
+        let final_completion =
+            service.drain_all().into_iter().find(|c| c.id == id).expect("readback completion");
+        let Ok(Payload::Read(service_state)) = final_completion.result else {
+            panic!("readback failed");
+        };
+        let serial_state = serial_execute(&mut rig, device, &readback).expect("serial readback");
+        prop_assert_eq_bytes(&serial_state, &service_state, id);
+    }
+}
+
 fn prop_assert_eq_bytes(expected: &[u8], got: &[u8], id: RequestId) {
     assert_eq!(expected.len(), got.len(), "length mismatch for request {id}");
     if expected != got {
@@ -678,6 +832,32 @@ proptest! {
             skip,
             SubmitMode::PerCall,
         );
+    }
+
+    #[test]
+    fn mmc_usb_parallel_lanes_match_a_serial_order_fifo(
+        choices in proptest::collection::vec(any::<u8>(), 8..20)
+    ) {
+        check_parallel_lanes(Policy::Fifo, &choices, None);
+    }
+
+    #[test]
+    fn mmc_usb_parallel_lanes_match_a_serial_order_drr(
+        choices in proptest::collection::vec(any::<u8>(), 8..20)
+    ) {
+        check_parallel_lanes(
+            Policy::DeficitRoundRobin { quantum_blocks: 16 },
+            &choices,
+            None,
+        );
+    }
+
+    #[test]
+    fn mmc_usb_parallel_lanes_with_divergences_balance_exactly(
+        choices in proptest::collection::vec(any::<u8>(), 8..20),
+        skip in 0u64..6,
+    ) {
+        check_parallel_lanes(Policy::Fifo, &choices, Some(skip));
     }
 
     #[test]
