@@ -320,11 +320,40 @@ fn main() {
         }
     }
 
+    if want(&selected, "obs") {
+        println!("\n--- Observability overhead (flight recorder + metrics plane, host time) ---");
+        // Prefer the persisted artifact (the obs_overhead bench writes it,
+        // honouring BENCH_OBS_OUT); regenerate a quick run when it is
+        // missing or from an older schema.
+        let candidates = [
+            std::env::var("BENCH_OBS_OUT").unwrap_or_else(|_| "BENCH_obs.json".into()),
+            "crates/bench/BENCH_obs.json".into(),
+        ];
+        let report = candidates
+            .iter()
+            .find_map(|path| {
+                let json = std::fs::read_to_string(path).ok()?;
+                let r = dlt_bench::obs_bench::parse_report(&json).ok()?;
+                println!("(loaded from {path})");
+                Some(r)
+            })
+            .unwrap_or_else(|| {
+                println!("(BENCH_obs.json missing or stale: rerunning the quick obs bench)");
+                dlt_bench::obs_bench::run_obs_bench(true).report
+            });
+        print!("{}", dlt_bench::obs_bench::describe(&report));
+        println!(
+            "per-lane latency histograms, SMC-by-kind and the overhead ratios come from \
+             BENCH_obs.json; refresh it (and trace.json, the Perfetto timeline) with the \
+             obs_overhead bench"
+        );
+    }
+
     // Always print a tiny summary of what was requested so log scrapers know
     // the run completed.
     let known = [
         "table3", "table4", "table5", "table6", "table7", "table8", "table9", "fig5", "fig6",
-        "fig7", "memory", "replay", "serve", "explore", "all",
+        "fig7", "memory", "replay", "serve", "explore", "obs", "all",
     ];
     if !known.contains(&selected.as_str()) {
         eprintln!("unknown artifact `{selected}`; known: {known:?}");

@@ -10,6 +10,7 @@
 #![warn(missing_docs)]
 
 pub mod arrivals;
+pub mod obs_bench;
 pub mod replay_bench;
 pub mod serve_bench;
 

@@ -18,6 +18,7 @@
 use std::collections::HashMap;
 
 use dlt_hw::DmaRegion;
+use dlt_obs::trace::{EventKind, TraceHandle};
 use dlt_tee::{SecureIo, TeeError};
 use dlt_template::program::{CIface, CSink, EvalScratch, Op, ReplayProgram, NO_SLOT};
 use dlt_template::{compile, Driverlet, SignError, SourceSite};
@@ -243,6 +244,10 @@ pub struct Replayer {
     /// Optional device-response fault injector (test harnesses only); the
     /// compiled engine consults it on every constrained observation.
     mutator: Option<Box<dyn ResponseMutator>>,
+    /// Optional flight-recorder handle; emits `ReplayStart`/`ReplayEnd`
+    /// around every compiled invocation when the serving layer runs with
+    /// tracing enabled.
+    tracer: Option<TraceHandle>,
 }
 
 pub(crate) enum ExecFailure {
@@ -283,6 +288,7 @@ impl Replayer {
             stats: ReplayStats::default(),
             scratch: Scratch::default(),
             mutator: None,
+            tracer: None,
         }
     }
 
@@ -297,6 +303,18 @@ impl Replayer {
     /// Remove any installed response mutator, restoring faithful replay.
     pub fn clear_response_mutator(&mut self) {
         self.mutator = None;
+    }
+
+    /// Install a flight-recorder handle. Every subsequent compiled
+    /// invocation brackets its replay with `ReplayStart`/`ReplayEnd`
+    /// events stamped in this replayer's virtual time.
+    pub fn set_tracer(&mut self, tracer: TraceHandle) {
+        self.tracer = Some(tracer);
+    }
+
+    /// Remove any installed flight-recorder handle.
+    pub fn clear_tracer(&mut self) {
+        self.tracer = None;
     }
 
     /// Cumulative statistics.
@@ -432,6 +450,9 @@ impl Replayer {
         }
         let prog =
             selected.ok_or_else(|| ReplayError::OutOfCoverage { entry: entry.to_string() })?;
+        if let Some(t) = this.tracer.as_mut() {
+            t.emit(EventKind::ReplayStart, this.io.now_ns(), 0, 0, prog.ops.len() as u64);
+        }
 
         // A mutator engages once per invocation and is then consulted on
         // every attempt — a persisting fault exhausts the retry budget and
@@ -469,6 +490,9 @@ impl Replayer {
                         }
                     }
                     this.stats.payload_bytes += payload_bytes;
+                    if let Some(t) = this.tracer.as_mut() {
+                        t.emit(EventKind::ReplayEnd, this.io.now_ns(), 0, 0, u64::from(attempts));
+                    }
                     return Ok(ReplayOutcome {
                         payload_bytes,
                         captured,
@@ -484,6 +508,9 @@ impl Replayer {
             }
         }
         let (failure, executed) = last_failure.expect("at least one attempt must have run");
+        if let Some(t) = this.tracer.as_mut() {
+            t.emit(EventKind::ReplayEnd, this.io.now_ns(), 0, 0, u64::from(attempts));
+        }
         Err(ReplayError::Diverged(Box::new(DivergenceReport {
             template: prog.name.clone(),
             attempts,

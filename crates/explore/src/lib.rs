@@ -711,11 +711,36 @@ fn run_serve_case(
         return Err(format!("fault engaged only {engaged} invocations"));
     }
 
-    // Recovery: fault cleared, lane healthy, untouched bytes intact.
+    // Recovery: fault cleared, lane healthy, untouched bytes intact. The
+    // structured report must corroborate what this harness observed from
+    // the completions: a drained queue, the seed write plus the lone
+    // surviving read completed, both divergences counted, and a
+    // last-activity stamp proving the probe itself registered.
     service.clear_fault(device).map_err(|e| format!("clear fault: {e}"))?;
-    service
+    let health = service
         .lane_health_check(device)
         .map_err(|e| format!("lane unhealthy after divergence: {e}"))?;
+    if health.device != device {
+        return Err(format!("health report for {} from a {device} probe", health.device));
+    }
+    if health.queued != 0 || health.inflight != 0 {
+        return Err(format!(
+            "lane not quiescent after drain: {} queued, {} in flight",
+            health.queued, health.inflight
+        ));
+    }
+    if health.completed < 2 {
+        return Err(format!("health reports {} completions, expected >= 2", health.completed));
+    }
+    if health.diverged != cq as u64 {
+        return Err(format!(
+            "health reports {} divergences, the CQ surfaced {cq}",
+            health.diverged
+        ));
+    }
+    if health.last_event_host_ns == 0 {
+        return Err("health probe left no last-activity stamp".to_string());
+    }
     let id = service
         .submit(untouched, Request::Read { device, blkid: 300, blkcnt: 16 })
         .map_err(|e| format!("readback submit: {e}"))?;

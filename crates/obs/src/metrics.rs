@@ -1,0 +1,704 @@
+//! Plane 2: the metrics registry.
+//!
+//! Allocation-free on the hot path: every series is a plain atomic — a
+//! counter, a gauge, or one of 64 fixed log₂ [`Histogram`] buckets — and
+//! recording is a single `fetch_add`/`fetch_max` with relaxed ordering.
+//! Series are keyed structurally (one [`LaneMetrics`] per lane, one
+//! [`SmcMetrics`] array slot per [`SmcKind`], one [`SessionMetrics`] per
+//! open session); the only lock in the plane guards the session map, which
+//! is touched on open/close and snapshot, never per-request by the lanes.
+//!
+//! [`MetricsRegistry::snapshot`] freezes everything into a
+//! [`MetricsSnapshot`] — a serde-serialisable value the bench artifacts
+//! (`BENCH_obs.json`), the `report -- obs` pretty-printer and the
+//! Prometheus-style [`prometheus_text`] encoder all consume.
+//!
+//! The **reconciliation invariant** (property-tested in the serve suite):
+//! for every lane, `admitted == completed + diverged + failed + in_queue`.
+//! The four counters are bumped at *independent* instrumentation sites
+//! (admission in the front-end's reserve, terminal classification in the
+//! lane worker's completion post), so the invariant genuinely checks that
+//! the instrumentation is consistent — it cannot hold by construction.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use serde::{Deserialize, Serialize};
+
+use crate::trace::SmcKind;
+
+/// Number of log₂ buckets: bucket `i` counts values whose bit length is
+/// `i` (bucket 0 holds the value 0), so the upper bound of bucket `i > 0`
+/// is `2^i − 1` and 64 buckets cover the whole `u64` range.
+pub const HISTOGRAM_BUCKETS: usize = 64;
+
+/// A fixed-bucket log₂ histogram: 64 atomic counters, no allocation and no
+/// locking to record.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Histogram {
+        Histogram { buckets: std::array::from_fn(|_| AtomicU64::new(0)) }
+    }
+
+    /// Index of the bucket covering `value`: its bit length, clamped into
+    /// the table.
+    pub fn bucket_index(value: u64) -> usize {
+        ((u64::BITS - value.leading_zeros()) as usize).min(HISTOGRAM_BUCKETS - 1)
+    }
+
+    /// Count one observation.
+    pub fn record(&self, value: u64) {
+        self.buckets[Histogram::bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Freeze the bucket counts.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            counts: self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect(),
+        }
+    }
+}
+
+/// A frozen [`Histogram`]: the per-bucket counts, serialisable.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HistogramSnapshot {
+    /// One count per log₂ bucket (see [`HISTOGRAM_BUCKETS`]).
+    pub counts: Vec<u64>,
+}
+
+impl HistogramSnapshot {
+    /// Total observations.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Upper bound (inclusive) of bucket `i`: the largest value the bucket
+    /// can hold.
+    pub fn bucket_upper_bound(i: usize) -> u64 {
+        if i == 0 {
+            0
+        } else if i >= HISTOGRAM_BUCKETS - 1 {
+            u64::MAX
+        } else {
+            (1u64 << i) - 1
+        }
+    }
+
+    /// The upper bound of the bucket containing the `q`-quantile
+    /// observation (`q` in `[0, 1]`), or `None` when empty. Log₂ buckets
+    /// make this an upper estimate within 2x — the resolution the p50/p99
+    /// acceptance summaries need without per-sample storage.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        let total = self.total();
+        if total == 0 {
+            return None;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, count) in self.counts.iter().enumerate() {
+            seen += count;
+            if seen >= rank {
+                return Some(HistogramSnapshot::bucket_upper_bound(i));
+            }
+        }
+        Some(u64::MAX)
+    }
+}
+
+/// Per-lane counters and gauges. The core lifecycle counters are cheap
+/// enough to run unconditionally (they also back [`LaneMetrics`] consumers
+/// like `LaneHealth` and the `QueueFull` high-water report); the latency
+/// histogram is only recorded when the registry is enabled.
+#[derive(Debug)]
+pub struct LaneMetrics {
+    device: String,
+    admitted: AtomicU64,
+    completed: AtomicU64,
+    diverged: AtomicU64,
+    failed: AtomicU64,
+    in_queue: AtomicU64,
+    occupancy_high_water: AtomicU64,
+    replays: AtomicU64,
+    coalesced_requests: AtomicU64,
+    doorbell_batches: AtomicU64,
+    last_event_host_ns: AtomicU64,
+    latency_ns: Histogram,
+}
+
+impl LaneMetrics {
+    /// A zeroed series set for one lane over `device`.
+    pub fn new(device: impl Into<String>) -> LaneMetrics {
+        LaneMetrics {
+            device: device.into(),
+            admitted: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            diverged: AtomicU64::new(0),
+            failed: AtomicU64::new(0),
+            in_queue: AtomicU64::new(0),
+            occupancy_high_water: AtomicU64::new(0),
+            replays: AtomicU64::new(0),
+            coalesced_requests: AtomicU64::new(0),
+            doorbell_batches: AtomicU64::new(0),
+            last_event_host_ns: AtomicU64::new(0),
+            latency_ns: Histogram::new(),
+        }
+    }
+
+    /// The device this lane serves.
+    pub fn device(&self) -> &str {
+        &self.device
+    }
+
+    /// Admission: the front-end accepted a request at queue `depth`.
+    pub fn on_admit(&self, depth: u64, host_ns: u64) {
+        self.admitted.fetch_add(1, Ordering::Relaxed);
+        self.in_queue.fetch_add(1, Ordering::Relaxed);
+        self.occupancy_high_water.fetch_max(depth, Ordering::Relaxed);
+        self.touch(host_ns);
+    }
+
+    /// Terminal classification: success. `latency_ns` is the request's
+    /// virtual submit→complete latency; pass `record_latency = false` when
+    /// the registry is off to skip the histogram.
+    pub fn on_complete(&self, latency_ns: u64, host_ns: u64, record_latency: bool) {
+        self.completed.fetch_add(1, Ordering::Relaxed);
+        self.in_queue.fetch_sub(1, Ordering::Relaxed);
+        if record_latency {
+            self.latency_ns.record(latency_ns);
+        }
+        self.touch(host_ns);
+    }
+
+    /// Terminal classification: replay divergence.
+    pub fn on_diverge(&self, host_ns: u64) {
+        self.diverged.fetch_add(1, Ordering::Relaxed);
+        self.in_queue.fetch_sub(1, Ordering::Relaxed);
+        self.touch(host_ns);
+    }
+
+    /// Terminal classification: any other error.
+    pub fn on_fail(&self, host_ns: u64) {
+        self.failed.fetch_add(1, Ordering::Relaxed);
+        self.in_queue.fetch_sub(1, Ordering::Relaxed);
+        self.touch(host_ns);
+    }
+
+    /// One replay batch executed, folding `merged` requests into it.
+    pub fn on_replay(&self, merged: u64) {
+        self.replays.fetch_add(1, Ordering::Relaxed);
+        self.coalesced_requests.fetch_add(merged, Ordering::Relaxed);
+    }
+
+    /// One doorbell batch flushed on this lane.
+    pub fn on_doorbell(&self) {
+        self.doorbell_batches.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Refresh the last-activity stamp without counting anything.
+    pub fn touch(&self, host_ns: u64) {
+        self.last_event_host_ns.fetch_max(host_ns, Ordering::Relaxed);
+    }
+
+    /// Requests admitted so far.
+    pub fn admitted(&self) -> u64 {
+        self.admitted.load(Ordering::Relaxed)
+    }
+
+    /// Requests completed successfully.
+    pub fn completed(&self) -> u64 {
+        self.completed.load(Ordering::Relaxed)
+    }
+
+    /// Requests that ended in a replay divergence.
+    pub fn diverged(&self) -> u64 {
+        self.diverged.load(Ordering::Relaxed)
+    }
+
+    /// Requests that ended in a non-divergence error.
+    pub fn failed(&self) -> u64 {
+        self.failed.load(Ordering::Relaxed)
+    }
+
+    /// Requests admitted but not yet terminally classified.
+    pub fn in_queue(&self) -> u64 {
+        self.in_queue.load(Ordering::Relaxed)
+    }
+
+    /// Deepest admission-time queue occupancy ever observed.
+    pub fn occupancy_high_water(&self) -> u64 {
+        self.occupancy_high_water.load(Ordering::Relaxed)
+    }
+
+    /// Host-monotonic stamp of the lane's most recent recorded event.
+    pub fn last_event_host_ns(&self) -> u64 {
+        self.last_event_host_ns.load(Ordering::Relaxed)
+    }
+
+    /// Freeze this lane's series, labelling it `lane`.
+    pub fn snapshot(&self, lane: usize) -> LaneSnapshot {
+        let replays = self.replays.load(Ordering::Relaxed);
+        let coalesced = self.coalesced_requests.load(Ordering::Relaxed);
+        LaneSnapshot {
+            lane,
+            device: self.device.clone(),
+            admitted: self.admitted(),
+            completed: self.completed(),
+            diverged: self.diverged(),
+            failed: self.failed(),
+            in_queue: self.in_queue(),
+            occupancy_high_water: self.occupancy_high_water(),
+            replays,
+            coalesced_requests: coalesced,
+            coalesce_ratio: if replays == 0 { 0.0 } else { coalesced as f64 / replays as f64 },
+            doorbell_batches: self.doorbell_batches.load(Ordering::Relaxed),
+            last_event_host_ns: self.last_event_host_ns(),
+            latency_ns: self.latency_ns.snapshot(),
+        }
+    }
+}
+
+/// A frozen [`LaneMetrics`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LaneSnapshot {
+    /// Lane index within the service.
+    pub lane: usize,
+    /// Device the lane serves.
+    pub device: String,
+    /// Requests admitted.
+    pub admitted: u64,
+    /// Requests completed successfully.
+    pub completed: u64,
+    /// Requests ending in replay divergence.
+    pub diverged: u64,
+    /// Requests ending in a non-divergence error.
+    pub failed: u64,
+    /// Requests still queued or in flight at snapshot time.
+    pub in_queue: u64,
+    /// Deepest admission-time queue occupancy observed.
+    pub occupancy_high_water: u64,
+    /// Replay batches executed.
+    pub replays: u64,
+    /// Requests folded into those batches.
+    pub coalesced_requests: u64,
+    /// Mean requests merged per replay (`coalesced_requests / replays`).
+    pub coalesce_ratio: f64,
+    /// Doorbell batches flushed on this lane.
+    pub doorbell_batches: u64,
+    /// Host stamp of the lane's most recent event.
+    pub last_event_host_ns: u64,
+    /// Virtual submit→complete latency histogram.
+    pub latency_ns: HistogramSnapshot,
+}
+
+impl LaneSnapshot {
+    /// Median virtual completion latency (log₂ bucket upper bound), µs.
+    pub fn p50_us(&self) -> Option<u64> {
+        self.latency_ns.quantile(0.50).map(|ns| ns / 1_000)
+    }
+
+    /// 99th-percentile virtual completion latency, µs.
+    pub fn p99_us(&self) -> Option<u64> {
+        self.latency_ns.quantile(0.99).map(|ns| ns / 1_000)
+    }
+}
+
+/// SMC accounting by [`SmcKind`], plus the doorbell batch-size histogram.
+#[derive(Debug, Default)]
+pub struct SmcMetrics {
+    by_kind: [AtomicU64; SmcKind::COUNT],
+    doorbell_batch: Histogram,
+}
+
+impl SmcMetrics {
+    /// A zeroed series set.
+    pub fn new() -> SmcMetrics {
+        SmcMetrics { by_kind: Default::default(), doorbell_batch: Histogram::new() }
+    }
+
+    /// Count one world switch of `kind`.
+    pub fn record(&self, kind: SmcKind) {
+        self.by_kind[kind as usize].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Count one doorbell flushing `batch` staged entries.
+    pub fn record_doorbell_batch(&self, batch: u64) {
+        self.doorbell_batch.record(batch);
+    }
+
+    /// Calls of `kind` so far.
+    pub fn calls(&self, kind: SmcKind) -> u64 {
+        self.by_kind[kind as usize].load(Ordering::Relaxed)
+    }
+
+    /// Total world switches across all kinds.
+    pub fn total(&self) -> u64 {
+        self.by_kind.iter().map(|c| c.load(Ordering::Relaxed)).sum()
+    }
+}
+
+/// Per-session lifecycle counters (written by the front-end only).
+#[derive(Debug, Default)]
+pub struct SessionMetrics {
+    submitted: AtomicU64,
+    completed: AtomicU64,
+    diverged: AtomicU64,
+}
+
+impl SessionMetrics {
+    /// Count one submission.
+    pub fn on_submit(&self) {
+        self.submitted.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Count one successful completion reaped by this session.
+    pub fn on_complete(&self) {
+        self.completed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Count one divergence reaped by this session.
+    pub fn on_diverge(&self) {
+        self.diverged.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// A frozen [`SessionMetrics`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SessionSnapshot {
+    /// The session id.
+    pub session: u32,
+    /// Requests submitted by the session.
+    pub submitted: u64,
+    /// Successful completions reaped.
+    pub completed: u64,
+    /// Divergences reaped.
+    pub diverged: u64,
+}
+
+/// One SMC kind's call count, labelled for the JSON/Prometheus exports.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SmcKindCount {
+    /// [`SmcKind::name`] label.
+    pub kind: String,
+    /// World switches of this kind.
+    pub calls: u64,
+}
+
+/// The whole metrics plane, frozen and serialisable.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MetricsSnapshot {
+    /// Per-lane series.
+    pub lanes: Vec<LaneSnapshot>,
+    /// World switches by kind.
+    pub smc_by_kind: Vec<SmcKindCount>,
+    /// Doorbell batch-size histogram.
+    pub doorbell_batch: HistogramSnapshot,
+    /// Per-session series, sorted by session id.
+    pub sessions: Vec<SessionSnapshot>,
+}
+
+impl MetricsSnapshot {
+    /// Total world switches across all kinds.
+    pub fn smc_total(&self) -> u64 {
+        self.smc_by_kind.iter().map(|k| k.calls).sum()
+    }
+}
+
+/// The registry: owns the per-lane, SMC and per-session series and freezes
+/// them into [`MetricsSnapshot`]s.
+#[derive(Debug)]
+pub struct MetricsRegistry {
+    enabled: bool,
+    epoch: Instant,
+    lanes: Mutex<Vec<Arc<LaneMetrics>>>,
+    smc: Arc<SmcMetrics>,
+    sessions: Mutex<HashMap<u32, Arc<SessionMetrics>>>,
+}
+
+impl MetricsRegistry {
+    /// A registry. When `enabled` is false the structure still exists (the
+    /// lane series double as `LaneHealth`/`QueueFull` inputs) but
+    /// histogram and session recording is skipped by the callers.
+    pub fn new(enabled: bool) -> MetricsRegistry {
+        MetricsRegistry::with_epoch(enabled, Instant::now())
+    }
+
+    /// [`MetricsRegistry::new`] with an explicit host epoch, shared with
+    /// the flight recorder so `last_event_host_ns` and trace stamps live
+    /// in one domain.
+    pub fn with_epoch(enabled: bool, epoch: Instant) -> MetricsRegistry {
+        MetricsRegistry {
+            enabled,
+            epoch,
+            lanes: Mutex::new(Vec::new()),
+            smc: Arc::new(SmcMetrics::new()),
+            sessions: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Whether full recording (histograms, sessions, SMC kinds) is on.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Host-monotonic nanoseconds since the registry was built (the stamp
+    /// domain of `last_event_host_ns`).
+    pub fn host_now_ns(&self) -> u64 {
+        self.epoch.elapsed().as_nanos() as u64
+    }
+
+    /// The registry's host-monotonic epoch, shared with callers that stamp
+    /// into the same domain off-registry (e.g. the serve layer's lanes).
+    pub fn epoch(&self) -> Instant {
+        self.epoch
+    }
+
+    /// Add a lane series and return its shared handle. Lane indices are
+    /// assigned in registration order.
+    pub fn register_lane(&self, device: impl Into<String>) -> Arc<LaneMetrics> {
+        let lane = Arc::new(LaneMetrics::new(device));
+        self.lanes.lock().expect("metrics lane registry poisoned").push(Arc::clone(&lane));
+        lane
+    }
+
+    /// The shared SMC series.
+    pub fn smc(&self) -> Arc<SmcMetrics> {
+        Arc::clone(&self.smc)
+    }
+
+    /// The series for `session`, created on first use.
+    pub fn session(&self, session: u32) -> Arc<SessionMetrics> {
+        Arc::clone(
+            self.sessions
+                .lock()
+                .expect("metrics session registry poisoned")
+                .entry(session)
+                .or_default(),
+        )
+    }
+
+    /// Freeze every series.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let lanes = self
+            .lanes
+            .lock()
+            .expect("metrics lane registry poisoned")
+            .iter()
+            .enumerate()
+            .map(|(i, lane)| lane.snapshot(i))
+            .collect();
+        let smc_by_kind = SmcKind::ALL
+            .iter()
+            .map(|&kind| SmcKindCount {
+                kind: kind.name().to_string(),
+                calls: self.smc.calls(kind),
+            })
+            .collect();
+        let mut sessions: Vec<SessionSnapshot> = self
+            .sessions
+            .lock()
+            .expect("metrics session registry poisoned")
+            .iter()
+            .map(|(&session, m)| SessionSnapshot {
+                session,
+                submitted: m.submitted.load(Ordering::Relaxed),
+                completed: m.completed.load(Ordering::Relaxed),
+                diverged: m.diverged.load(Ordering::Relaxed),
+            })
+            .collect();
+        sessions.sort_by_key(|s| s.session);
+        MetricsSnapshot {
+            lanes,
+            smc_by_kind,
+            doorbell_batch: self.smc.doorbell_batch.snapshot(),
+            sessions,
+        }
+    }
+}
+
+/// A Prometheus metric family: name, help text, and the per-lane
+/// field it exposes.
+type LaneFamily = (&'static str, &'static str, fn(&LaneSnapshot) -> u64);
+
+/// Encode a snapshot in the Prometheus text exposition format (one
+/// `# TYPE` header per family, structural keys as labels).
+pub fn prometheus_text(snapshot: &MetricsSnapshot) -> String {
+    let mut out = String::new();
+    let counter_families: [LaneFamily; 6] = [
+        ("dlt_lane_admitted_total", "Requests admitted to the lane queue", |l| l.admitted),
+        ("dlt_lane_completed_total", "Requests completed successfully", |l| l.completed),
+        ("dlt_lane_diverged_total", "Requests ending in replay divergence", |l| l.diverged),
+        ("dlt_lane_failed_total", "Requests ending in a non-divergence error", |l| l.failed),
+        ("dlt_lane_replays_total", "Replay batches executed", |l| l.replays),
+        ("dlt_lane_coalesced_requests_total", "Requests folded into replay batches", |l| {
+            l.coalesced_requests
+        }),
+    ];
+    for (name, help, get) in counter_families {
+        out.push_str(&format!("# HELP {name} {help}\n# TYPE {name} counter\n"));
+        for lane in &snapshot.lanes {
+            out.push_str(&format!(
+                "{name}{{lane=\"{}\",device=\"{}\"}} {}\n",
+                lane.lane,
+                lane.device,
+                get(lane)
+            ));
+        }
+    }
+    let gauge_families: [LaneFamily; 2] = [
+        ("dlt_lane_in_queue", "Requests admitted but not yet terminal", |l| l.in_queue),
+        ("dlt_lane_occupancy_high_water", "Deepest queue occupancy observed", |l| {
+            l.occupancy_high_water
+        }),
+    ];
+    for (name, help, get) in gauge_families {
+        out.push_str(&format!("# HELP {name} {help}\n# TYPE {name} gauge\n"));
+        for lane in &snapshot.lanes {
+            out.push_str(&format!(
+                "{name}{{lane=\"{}\",device=\"{}\"}} {}\n",
+                lane.lane,
+                lane.device,
+                get(lane)
+            ));
+        }
+    }
+    out.push_str(
+        "# HELP dlt_smc_calls_total Secure-world switches by kind\n# TYPE dlt_smc_calls_total counter\n",
+    );
+    for kind in &snapshot.smc_by_kind {
+        out.push_str(&format!("dlt_smc_calls_total{{kind=\"{}\"}} {}\n", kind.kind, kind.calls));
+    }
+    out.push_str(
+        "# HELP dlt_lane_latency_ns Virtual submit-to-complete latency (log2 buckets)\n# TYPE dlt_lane_latency_ns histogram\n",
+    );
+    for lane in &snapshot.lanes {
+        let mut cumulative = 0u64;
+        for (i, count) in lane.latency_ns.counts.iter().enumerate() {
+            if *count == 0 {
+                continue;
+            }
+            cumulative += count;
+            out.push_str(&format!(
+                "dlt_lane_latency_ns_bucket{{lane=\"{}\",device=\"{}\",le=\"{}\"}} {cumulative}\n",
+                lane.lane,
+                lane.device,
+                HistogramSnapshot::bucket_upper_bound(i)
+            ));
+        }
+        out.push_str(&format!(
+            "dlt_lane_latency_ns_bucket{{lane=\"{}\",device=\"{}\",le=\"+Inf\"}} {}\n",
+            lane.lane,
+            lane.device,
+            lane.latency_ns.total()
+        ));
+        out.push_str(&format!(
+            "dlt_lane_latency_ns_count{{lane=\"{}\",device=\"{}\"}} {}\n",
+            lane.lane,
+            lane.device,
+            lane.latency_ns.total()
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_and_quantiles() {
+        assert_eq!(Histogram::bucket_index(0), 0);
+        assert_eq!(Histogram::bucket_index(1), 1);
+        assert_eq!(Histogram::bucket_index(2), 2);
+        assert_eq!(Histogram::bucket_index(3), 2);
+        assert_eq!(Histogram::bucket_index(1024), 11);
+        assert_eq!(Histogram::bucket_index(u64::MAX), HISTOGRAM_BUCKETS - 1);
+
+        let h = Histogram::new();
+        for v in [0, 3, 3, 900, 900, 900, 70_000] {
+            h.record(v);
+        }
+        let snap = h.snapshot();
+        assert_eq!(snap.total(), 7);
+        // Rank 4 of 7 lands in the 900 bucket: upper bound 2^10 - 1.
+        assert_eq!(snap.quantile(0.5), Some(1023));
+        assert_eq!(snap.quantile(0.99), Some(131_071));
+        assert_eq!(snap.quantile(0.0), Some(0));
+        assert_eq!(HistogramSnapshot { counts: vec![0; HISTOGRAM_BUCKETS] }.quantile(0.5), None);
+    }
+
+    #[test]
+    fn lane_metrics_reconcile_and_snapshot() {
+        let lane = LaneMetrics::new("mmc");
+        lane.on_admit(1, 10);
+        lane.on_admit(2, 20);
+        lane.on_admit(2, 30);
+        lane.on_complete(1_500, 40, true);
+        lane.on_diverge(50);
+        assert_eq!(lane.admitted(), 3);
+        assert_eq!(lane.completed() + lane.diverged() + lane.failed() + lane.in_queue(), 3);
+        assert_eq!(lane.occupancy_high_water(), 2);
+        assert_eq!(lane.last_event_host_ns(), 50);
+        lane.on_replay(4);
+        let snap = lane.snapshot(0);
+        assert_eq!(snap.device, "mmc");
+        assert_eq!(snap.in_queue, 1);
+        assert_eq!(snap.coalesce_ratio, 4.0);
+        assert_eq!(snap.latency_ns.total(), 1);
+        assert_eq!(snap.p50_us(), Some(2047 / 1_000));
+    }
+
+    #[test]
+    fn registry_snapshot_serialises_and_round_trips() {
+        let registry = MetricsRegistry::new(true);
+        let lane = registry.register_lane("usb");
+        lane.on_admit(1, 5);
+        lane.on_complete(2_000, 9, registry.is_enabled());
+        registry.smc().record(SmcKind::Invoke);
+        registry.smc().record(SmcKind::Doorbell);
+        registry.smc().record_doorbell_batch(16);
+        registry.session(3).on_submit();
+        registry.session(3).on_complete();
+
+        let snap = registry.snapshot();
+        assert_eq!(snap.lanes.len(), 1);
+        assert_eq!(snap.smc_total(), 2);
+        assert_eq!(
+            snap.sessions,
+            vec![SessionSnapshot { session: 3, submitted: 1, completed: 1, diverged: 0 }]
+        );
+
+        let json = serde_json::to_string(&snap).expect("snapshot serialises");
+        let back: MetricsSnapshot = serde_json::from_str(&json).expect("snapshot parses");
+        assert_eq!(back.lanes[0].admitted, 1);
+        assert_eq!(back.smc_total(), 2);
+        assert_eq!(back.doorbell_batch.total(), 1);
+    }
+
+    #[test]
+    fn prometheus_text_carries_every_family() {
+        let registry = MetricsRegistry::new(true);
+        let lane = registry.register_lane("mmc");
+        lane.on_admit(1, 1);
+        lane.on_complete(900, 2, true);
+        registry.smc().record(SmcKind::Yield);
+        let text = prometheus_text(&registry.snapshot());
+        assert!(text.contains("dlt_lane_admitted_total{lane=\"0\",device=\"mmc\"} 1"));
+        assert!(text.contains("dlt_smc_calls_total{kind=\"yield\"} 1"));
+        assert!(text.contains("dlt_lane_latency_ns_bucket"));
+        assert!(text.contains("le=\"+Inf\"} 1"));
+        assert!(text.lines().filter(|l| l.starts_with("# TYPE")).count() >= 10);
+    }
+}

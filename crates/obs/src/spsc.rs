@@ -1,9 +1,12 @@
 //! A lock-free single-producer/single-consumer bounded ring.
 //!
 //! This is the concurrency primitive under the serve layer's shared-memory
-//! rings ([`crate::ring`]) and the per-lane channels that connect the
-//! service front-end to its lane threads. The protocol is the classic
-//! Lamport SPSC queue with io_uring-flavoured monotone indices:
+//! rings (`dlt_serve::ring`), the per-lane channels that connect the
+//! service front-end to its lane threads, and this crate's per-thread
+//! trace rings ([`crate::trace`]) — it lives here, at the bottom of the
+//! dependency graph, so every layer above (tee, core, serve) can ride the
+//! same core. The protocol is the classic Lamport SPSC queue with
+//! io_uring-flavoured monotone indices:
 //!
 //! * `head` and `tail` are monotonically increasing [`AtomicU64`]s; the
 //!   occupied span is `tail - head`, and slot `i` lives at `i % capacity`.
@@ -96,12 +99,25 @@ pub fn channel<T>(capacity: usize) -> (SpscProducer<T>, SpscConsumer<T>) {
         tail: CachePadded(AtomicU64::new(0)),
         high_water: AtomicUsize::new(0),
     });
-    (SpscProducer { inner: Arc::clone(&inner) }, SpscConsumer { inner })
+    (
+        SpscProducer { inner: Arc::clone(&inner), cached_head: 0, local_high: 0 },
+        SpscConsumer { inner },
+    )
 }
 
 /// The producing endpoint of an SPSC ring (not `Clone`: single producer).
 pub struct SpscProducer<T> {
     inner: Arc<Inner<T>>,
+    /// The consumer's `head` as last observed. The push fast path checks
+    /// capacity against this cache and only re-reads the shared `head`
+    /// (an `Acquire` load of a line the consumer writes — a cross-core
+    /// miss under load) when the ring *appears* full; a drained ring is
+    /// then re-checked exactly. This is Lamport's classic SPSC
+    /// optimisation: one shared-index read per wraparound, not per push.
+    cached_head: u64,
+    /// Producer-local mirror of the shared high-water mark, so the fast
+    /// path skips the atomic read-before-max.
+    local_high: usize,
 }
 
 impl<T> std::fmt::Debug for SpscProducer<T> {
@@ -139,27 +155,36 @@ impl<T> SpscProducer<T> {
         self.inner.high_water.load(Ordering::Relaxed)
     }
 
-    /// Push one value. On success returns the occupancy *after* the push;
-    /// when the ring is full, hands the value back together with the
-    /// occupancy observed at rejection time — one coherent snapshot, so a
-    /// `QueueFull` error raced against a draining consumer still reports a
-    /// `depth <= capacity` that was true at the rejection instant.
+    /// Push one value. On success returns the occupancy *after* the push
+    /// as the producer sees it (computed against the cached consumer
+    /// index, so it is an upper bound — the consumer may have drained
+    /// since — but never exceeds `capacity`); when the ring is full, the
+    /// shared `head` is re-read and the value handed back together with
+    /// the *exact* occupancy observed at rejection time — one coherent
+    /// snapshot, so a `QueueFull` error raced against a draining consumer
+    /// still reports a `depth <= capacity` that was true at the rejection
+    /// instant.
     pub fn try_push(&mut self, value: T) -> Result<usize, (T, usize)> {
         let tail = self.inner.tail.0.load(Ordering::Relaxed);
-        let head = self.inner.head.0.load(Ordering::Acquire);
-        let occupied = self.inner.len_from(head, tail);
-        if occupied >= self.capacity() {
-            return Err((value, occupied));
+        if self.inner.len_from(self.cached_head, tail) >= self.capacity() {
+            self.cached_head = self.inner.head.0.load(Ordering::Acquire);
+            let occupied = self.inner.len_from(self.cached_head, tail);
+            if occupied >= self.capacity() {
+                return Err((value, occupied));
+            }
         }
         let slot = &self.inner.slots[(tail % self.inner.capacity) as usize];
-        // SAFETY: `occupied < capacity` means slot `tail % capacity` is
-        // vacant: the consumer's `head` publication (Acquire-read above)
-        // proves it finished with this slot, and no other producer exists
-        // (`&mut self`, non-Clone handle).
+        // SAFETY: `tail - cached_head < capacity` means slot
+        // `tail % capacity` is vacant: `cached_head` was Acquire-read from
+        // the consumer's `head` publication (here or on an earlier push),
+        // `head` only grows, and the producer owns `tail` exclusively
+        // (`&mut self`, non-Clone handle) — so the consumer finished with
+        // this slot and nobody else can write it.
         unsafe { (*slot.get()).write(value) };
         self.inner.tail.0.store(tail + 1, Ordering::Release);
-        let depth = occupied + 1;
-        if depth > self.inner.high_water.load(Ordering::Relaxed) {
+        let depth = self.inner.len_from(self.cached_head, tail + 1);
+        if depth > self.local_high {
+            self.local_high = depth;
             self.inner.high_water.store(depth, Ordering::Relaxed);
         }
         Ok(depth)
@@ -221,11 +246,29 @@ impl<T> SpscConsumer<T> {
 
     /// Pop everything currently visible, in push order.
     pub fn drain(&mut self) -> Vec<T> {
-        let mut out = Vec::with_capacity(self.len());
-        while let Some(v) = self.try_pop() {
-            out.push(v);
-        }
+        let mut out = Vec::new();
+        self.drain_into(&mut out);
         out
+    }
+
+    /// Pop everything currently visible into `out`, in push order, with
+    /// one index publication for the whole batch (a per-event `try_pop`
+    /// loop would pay an `Acquire`/`Release` pair per element; a bulk
+    /// drain of an N-event ring pays one).
+    pub fn drain_into(&mut self, out: &mut Vec<T>) {
+        let head = self.inner.head.0.load(Ordering::Relaxed);
+        let tail = self.inner.tail.0.load(Ordering::Acquire);
+        out.reserve((tail - head) as usize);
+        for i in head..tail {
+            let slot = &self.inner.slots[(i % self.inner.capacity) as usize];
+            // SAFETY: `i < tail` and the Acquire load of `tail` make the
+            // producer's writes of every slot in `[head, tail)` visible;
+            // the producer will not reuse any of them until it observes
+            // the single `head` store below, and no other consumer exists
+            // (`&mut self`, non-Clone handle).
+            out.push(unsafe { (*slot.get()).assume_init_read() });
+        }
+        self.inner.head.0.store(tail, Ordering::Release);
     }
 }
 

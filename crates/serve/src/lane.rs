@@ -45,15 +45,18 @@ use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc;
 use std::sync::{Arc, Condvar, Mutex, OnceLock, PoisonError};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
-use dlt_core::{replay_cam, Replayer, ResponseMutator};
+use dlt_core::{replay_cam, ReplayError, Replayer, ResponseMutator};
 use dlt_hw::{ClockCell, Platform};
+use dlt_obs::metrics::LaneMetrics;
+use dlt_obs::trace::{EventKind, TraceHandle};
+use dlt_obs::{obs_event, obs_event_at};
 
 use crate::coalesce::{self, plan_dispatch, Dispatch, DispatchReason, ExecPlan};
 use crate::sched::{Lane, Pending, Policy};
 use crate::spsc::{SpscConsumer, SpscProducer};
-use crate::{Completion, Device, Payload, Request, ServeError, SessionId, BLOCK};
+use crate::{Completion, Device, LaneHealth, Payload, Request, ServeError, SessionId, BLOCK};
 
 /// First block of the scratch extent `lane_health_check` overwrites on
 /// block lanes (it stays clear of the low extents the tests and workloads
@@ -152,6 +155,15 @@ pub(crate) struct LaneShared {
     pub thread: OnceLock<std::thread::Thread>,
     /// Service-wide progress signal.
     pub quiesce: Arc<Quiesce>,
+    /// The metrics plane's per-lane series. The lifecycle counters run
+    /// unconditionally (they back [`LaneHealth`] and the `QueueFull`
+    /// high-water report); histogram recording follows `metrics_enabled`.
+    pub metrics: Arc<LaneMetrics>,
+    /// Whether full metrics recording (latency histograms) is on.
+    pub metrics_enabled: bool,
+    /// The host-monotonic epoch `last_event_host_ns` stamps count from
+    /// (shared with the recorder/registry so all host stamps align).
+    pub obs_epoch: Instant,
 }
 
 impl LaneShared {
@@ -160,6 +172,9 @@ impl LaneShared {
         capacity: usize,
         clock: Arc<ClockCell>,
         quiesce: Arc<Quiesce>,
+        metrics: Arc<LaneMetrics>,
+        metrics_enabled: bool,
+        obs_epoch: Instant,
     ) -> Self {
         LaneShared {
             device,
@@ -171,7 +186,15 @@ impl LaneShared {
             clock,
             thread: OnceLock::new(),
             quiesce,
+            metrics,
+            metrics_enabled,
+            obs_epoch,
         }
+    }
+
+    /// Host-monotonic nanoseconds since the observability epoch.
+    pub fn host_now_ns(&self) -> u64 {
+        self.obs_epoch.elapsed().as_nanos() as u64
     }
 
     /// Wake the lane thread (no-op inline/sequential).
@@ -193,11 +216,13 @@ impl LaneShared {
                 device: self.device,
                 depth: depth as usize,
                 capacity: self.capacity,
+                high_water: self.metrics.occupancy_high_water() as usize,
             });
         }
         // Only the front-end thread reserves, so load-then-add cannot
         // overshoot: concurrent worker decrements only free slots.
         self.inflight.fetch_add(1, Ordering::AcqRel);
+        self.metrics.on_admit(depth + 1, self.host_now_ns());
         Ok(())
     }
 
@@ -234,9 +259,17 @@ pub(crate) enum CtrlReq {
     Stop,
 }
 
+/// What a successful control request returns.
+pub(crate) enum CtrlReply {
+    /// The request had no payload to report.
+    Done,
+    /// [`CtrlReq::HealthCheck`]'s structured report.
+    Health(LaneHealth),
+}
+
 pub(crate) struct CtrlMsg {
     pub req: CtrlReq,
-    pub reply: mpsc::Sender<Result<(), ServeError>>,
+    pub reply: mpsc::Sender<Result<CtrlReply, ServeError>>,
 }
 
 /// One device lane's execution engine (see the module docs).
@@ -256,6 +289,9 @@ pub(crate) struct LaneWorker {
     pub shared: Arc<LaneShared>,
     pub stats: Arc<SharedStats>,
     pub config: LaneConfig,
+    /// Flight-recorder channel for this lane thread (`None` unless
+    /// [`dlt_obs::ObsConfig::Full`]).
+    pub tracer: Option<TraceHandle>,
 }
 
 impl LaneWorker {
@@ -337,10 +373,48 @@ impl LaneWorker {
         if batch.is_empty() {
             return 0;
         }
+        // One host stamp covers the whole dispatch cluster (plug marks plus
+        // one `Dispatched` per request): the events are back-to-back and the
+        // clock read is the dominant emit cost.
+        let host_ns = self.tracer.is_some().then(|| self.shared.host_now_ns());
         if dispatch.held() {
             SharedStats::bump(&self.stats.holds);
-            if dispatch.reason != DispatchReason::HoldExpired {
+            let expired = dispatch.reason == DispatchReason::HoldExpired;
+            if !expired {
                 SharedStats::bump(&self.stats.early_unplugs);
+            }
+            if let Some(host_ns) = host_ns {
+                obs_event_at!(
+                    self.tracer,
+                    host_ns,
+                    EventKind::Plug,
+                    dispatch.at_ns,
+                    0,
+                    0,
+                    batch.len() as u64
+                );
+                obs_event_at!(
+                    self.tracer,
+                    host_ns,
+                    EventKind::Unplug,
+                    dispatch.at_ns,
+                    0,
+                    0,
+                    u64::from(expired)
+                );
+            }
+        }
+        if let Some(host_ns) = host_ns {
+            for p in &batch {
+                obs_event_at!(
+                    self.tracer,
+                    host_ns,
+                    EventKind::Dispatched,
+                    dispatch.at_ns,
+                    p.session,
+                    p.id,
+                    batch.len() as u64
+                );
             }
         }
         let completions = self.execute_batch(&batch);
@@ -356,6 +430,58 @@ impl LaneWorker {
     /// in-flight reservation with `Release` so quiescence observers see
     /// the completion before the count.
     fn post(&mut self, completion: Completion) {
+        // Terminal metrics classification — deliberately at a different
+        // site than admission (the front-end's reserve), so the snapshot
+        // reconciliation invariant checks real instrumentation consistency.
+        // The metrics stamp and the recorder share one epoch (see
+        // `DriverletService::with_driverlets`), so the same read serves
+        // both planes — the terminal trace event rides the metrics stamp
+        // instead of paying a second clock read.
+        let host_ns = self.shared.host_now_ns();
+        match &completion.result {
+            Ok(_) => {
+                obs_event_at!(
+                    self.tracer,
+                    host_ns,
+                    EventKind::Completed,
+                    completion.completed_ns,
+                    completion.session,
+                    completion.id,
+                    u64::from(completion.coalesced)
+                );
+                self.shared.metrics.on_complete(
+                    completion.latency_ns(),
+                    host_ns,
+                    self.shared.metrics_enabled,
+                );
+            }
+            Err(ServeError::Replay(ReplayError::Diverged(_))) => {
+                obs_event_at!(
+                    self.tracer,
+                    host_ns,
+                    EventKind::Diverged,
+                    completion.completed_ns,
+                    completion.session,
+                    completion.id,
+                    0
+                );
+                self.shared.metrics.on_diverge(host_ns);
+            }
+            Err(_) => {
+                // Terminal but neither success nor divergence: still a
+                // `Completed` span endpoint, tagged failed via the arg.
+                obs_event_at!(
+                    self.tracer,
+                    host_ns,
+                    EventKind::Completed,
+                    completion.completed_ns,
+                    completion.session,
+                    completion.id,
+                    2
+                );
+                self.shared.metrics.on_fail(host_ns);
+            }
+        }
         match self.cq_tx.try_push(completion) {
             Ok(_) => {}
             Err((completion, _)) => {
@@ -389,19 +515,23 @@ impl LaneWorker {
     pub fn handle_ctrl(&mut self, msg: CtrlMsg) -> bool {
         let (result, keep_running) = match msg.req {
             CtrlReq::SetMutator(Some(mutator)) => {
+                let now = self.now_ns();
+                obs_event!(self.tracer, EventKind::FaultInject, now, 0, 0, 0);
                 self.replayer.set_response_mutator(mutator);
-                (Ok(()), true)
+                (Ok(CtrlReply::Done), true)
             }
             CtrlReq::SetMutator(None) => {
+                let now = self.now_ns();
+                obs_event!(self.tracer, EventKind::FaultClear, now, 0, 0, 0);
                 self.replayer.clear_response_mutator();
-                (Ok(()), true)
+                (Ok(CtrlReply::Done), true)
             }
-            CtrlReq::HealthCheck => (self.health_check(), true),
+            CtrlReq::HealthCheck => (self.health_check().map(CtrlReply::Health), true),
             CtrlReq::ForgetSession(session) => {
                 self.lane.forget_session(session);
-                (Ok(()), true)
+                (Ok(CtrlReply::Done), true)
             }
-            CtrlReq::Stop => (Ok(()), false),
+            CtrlReq::Stop => (Ok(CtrlReply::Done), false),
         };
         // A dropped reply receiver is fine (e.g. the service gave up).
         let _ = msg.reply.send(result);
@@ -412,6 +542,9 @@ impl LaneWorker {
     /// no admitted work, no spill to flush and no control traffic; every
     /// producer unparks it after making new work visible.
     pub fn run(mut self) {
+        // Park/unpark are traced per idle *episode*, not per timed-out
+        // park, so an idle lane does not fill its trace ring.
+        let mut parked = false;
         loop {
             let mut progress = 0usize;
             while let Ok(msg) = self.ctrl_rx.try_recv() {
@@ -424,8 +557,18 @@ impl LaneWorker {
             }
             progress += self.flush_cq_spill();
             progress += self.pump_admissions();
+            if parked && progress > 0 {
+                parked = false;
+                let now = self.now_ns();
+                obs_event!(self.tracer, EventKind::Unpark, now, 0, 0, 0);
+            }
             match self.next_dispatch() {
                 Some(dispatch) => {
+                    if parked {
+                        parked = false;
+                        let now = self.now_ns();
+                        obs_event!(self.tracer, EventKind::Unpark, now, 0, 0, 0);
+                    }
                     // An empty batch still advanced DRR deficits; loop and
                     // re-plan (terminates exactly as in sequential mode).
                     self.run_one_batch(dispatch);
@@ -435,6 +578,11 @@ impl LaneWorker {
                     if progress > 0 {
                         self.shared.quiesce.bump();
                         continue;
+                    }
+                    if !parked {
+                        parked = true;
+                        let now = self.now_ns();
+                        obs_event!(self.tracer, EventKind::Park, now, 0, 0, 0);
                     }
                     if !self.cq_spill.is_empty() {
                         // The cq ring is full and the front-end has not
@@ -461,11 +609,13 @@ impl LaneWorker {
         for plan in &plans {
             match plan {
                 ExecPlan::Single(i) => {
+                    self.shared.metrics.on_replay(1);
                     let result = self.execute_single(&batch[*i].req);
                     out.push(self.complete(&batch[*i], result, false));
                 }
                 ExecPlan::MergedRead { blkid, blkcnt, members } => {
                     let coalesced = plan.is_coalesced();
+                    self.shared.metrics.on_replay(members.len() as u64);
                     match self.execute_read(*blkid, *blkcnt) {
                         Ok(bytes) => {
                             for &m in members {
@@ -500,6 +650,7 @@ impl LaneWorker {
                 }
                 ExecPlan::BatchedWrite { blkid, members } => {
                     let coalesced = plan.is_coalesced();
+                    self.shared.metrics.on_replay(members.len() as u64);
                     let mut data = Vec::new();
                     for &m in members {
                         let Request::Write { data: d, .. } = &batch[m].req else {
@@ -627,8 +778,10 @@ impl LaneWorker {
     }
 
     /// The lane health probe (see
-    /// [`crate::service::DriverletService::lane_health_check`]).
-    pub fn health_check(&mut self) -> Result<(), ServeError> {
+    /// [`crate::service::DriverletService::lane_health_check`]): the
+    /// active write/read-back (or capture) probe, then a structured
+    /// [`LaneHealth`] report built from the metrics plane.
+    pub fn health_check(&mut self) -> Result<LaneHealth, ServeError> {
         let gran = self.config.block_granularities.iter().copied().min().unwrap_or(1);
         let frames = self.config.camera_bursts.first().copied().unwrap_or(1);
         match self.device {
@@ -665,6 +818,15 @@ impl LaneWorker {
                 }
             }
         }
-        Ok(())
+        let metrics = &self.shared.metrics;
+        metrics.touch(self.shared.host_now_ns());
+        Ok(LaneHealth {
+            device: self.device,
+            queued: self.lane.len() as u64,
+            inflight: self.shared.inflight.load(Ordering::Acquire),
+            completed: metrics.completed(),
+            diverged: metrics.diverged(),
+            last_event_host_ns: metrics.last_event_host_ns(),
+        })
     }
 }

@@ -58,8 +58,6 @@
 //! `tests/serial_equivalence.rs`, with per-lane clocks and anticipatory
 //! hold enabled.
 
-// `deny`, not `forbid`: the lock-free SPSC core in [`spsc`] is the one
-// carefully argued exception and scopes its own `#![allow(unsafe_code)]`.
 #![deny(unsafe_code)]
 #![warn(missing_docs)]
 
@@ -69,7 +67,15 @@ pub(crate) mod lane;
 pub mod ring;
 pub mod sched;
 pub mod service;
-pub mod spsc;
+
+/// The lock-free SPSC ring under the shared-memory rings and the per-lane
+/// channels — now owned by `dlt-obs` (the flight recorder shares the same
+/// core), re-exported here so `dlt_serve::spsc` paths keep working.
+pub use dlt_obs::spsc;
+
+/// Re-exported so service users can set [`ServeConfig::obs`] without
+/// depending on `dlt-obs` directly.
+pub use dlt_obs::ObsConfig;
 
 pub use adapter::ServedBlockDev;
 pub use sched::Policy;
@@ -211,6 +217,28 @@ impl Completion {
     }
 }
 
+/// A structured lane health report, returned by
+/// [`DriverletService::lane_health_check`] alongside the active probe
+/// (write/read-back on block lanes, a one-frame capture on the camera
+/// lane). The counters come from the metrics plane's per-lane series, so
+/// the report is exact even while other sessions keep the lane busy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LaneHealth {
+    /// The probed device.
+    pub device: Device,
+    /// Requests sitting in the lane's local queue at probe time.
+    pub queued: u64,
+    /// Requests admitted but not yet posted (reservation count).
+    pub inflight: u64,
+    /// Requests completed successfully over the lane's lifetime.
+    pub completed: u64,
+    /// Requests that ended in replay divergence.
+    pub diverged: u64,
+    /// Host-monotonic stamp (ns since service start) of the lane's most
+    /// recent recorded event — a stalled lane stops advancing this.
+    pub last_event_host_ns: u64,
+}
+
 /// Errors raised by the service layer.
 #[derive(Debug, Clone)]
 pub enum ServeError {
@@ -233,6 +261,11 @@ pub enum ServeError {
         depth: usize,
         /// The configured bound (queue capacity or SQ ring depth).
         capacity: usize,
+        /// The deepest occupancy the queue has ever reached (the metrics
+        /// plane's admission-time high-water mark) — tells a backed-off
+        /// caller whether saturation is chronic (`high_water` pinned at
+        /// `capacity` for the run) or a one-off burst.
+        high_water: usize,
     },
     /// The session-admission limit was reached.
     SessionLimit {
@@ -256,8 +289,12 @@ pub enum ServeError {
 impl std::fmt::Display for ServeError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            ServeError::QueueFull { device, depth, capacity } => {
-                write!(f, "submission queue for {device} is full ({depth} of {capacity} entries)")
+            ServeError::QueueFull { device, depth, capacity, high_water } => {
+                write!(
+                    f,
+                    "submission queue for {device} is full ({depth} of {capacity} entries, \
+                     high water {high_water})"
+                )
             }
             ServeError::SessionLimit { max } => {
                 write!(f, "session limit reached ({max} concurrent sessions)")
@@ -313,9 +350,10 @@ mod tests {
         let e = ServeError::Replay(ReplayError::UnknownEntry("replay_mmc".into()));
         assert!(e.source().is_some(), "ServeError must expose the ReplayError source");
         assert!(e.to_string().contains("replay_mmc"));
-        let q = ServeError::QueueFull { device: Device::Usb, depth: 4, capacity: 4 };
+        let q = ServeError::QueueFull { device: Device::Usb, depth: 4, capacity: 4, high_water: 4 };
         assert!(q.source().is_none(), "backpressure is a leaf error: nothing to chain");
         assert!(q.to_string().contains("usb"), "callers back off per device");
         assert!(q.to_string().contains('4'), "the lane depth is visible to callers");
+        assert!(q.to_string().contains("high water 4"), "chronic saturation is distinguishable");
     }
 }

@@ -143,6 +143,7 @@ impl Lane {
                 device,
                 depth: self.queue.len(),
                 capacity: self.capacity,
+                high_water: self.high_water.max(self.queue.len()),
             });
         }
         if !self.rr_order.contains(&p.session) {

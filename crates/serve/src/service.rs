@@ -66,12 +66,16 @@ use std::thread::JoinHandle;
 use std::time::Duration;
 
 use dlt_core::{
-    ConstraintFlipper, FaultPlan, FlipOutcome, ReplayConfig, ReplayMode, Replayer, SecureBlockIo,
+    ConstraintFlipper, FaultPlan, FlipOutcome, ReplayConfig, ReplayError, ReplayMode, Replayer,
+    SecureBlockIo,
 };
 use dlt_dev_mmc::MmcSubsystem;
 use dlt_dev_usb::UsbSubsystem;
 use dlt_dev_vchiq::VchiqSubsystem;
 use dlt_hw::{ClockCell, Platform};
+use dlt_obs::metrics::{MetricsRegistry, MetricsSnapshot, SessionMetrics};
+use dlt_obs::trace::{EventKind, Recorder, TraceEvent, TraceHandle};
+use dlt_obs::{obs_event, obs_event_at, ObsConfig};
 use dlt_recorder::campaign::{
     record_camera_driverlet_subset, record_mmc_driverlet_subset, record_usb_driverlet_subset,
     DEV_KEY,
@@ -79,12 +83,14 @@ use dlt_recorder::campaign::{
 use dlt_tee::{secure_core, SecureIo, TeeError, TeeKernel, Trustlet};
 
 use crate::coalesce::Dispatch;
-use crate::lane::{CtrlMsg, CtrlReq, LaneConfig, LaneShared, LaneWorker, Quiesce, SharedStats};
+use crate::lane::{
+    CtrlMsg, CtrlReply, CtrlReq, LaneConfig, LaneShared, LaneWorker, Quiesce, SharedStats,
+};
 use crate::ring::{CompletionRing, SqEntry, SubmissionRing};
 use crate::sched::{Lane, Pending, Policy};
 use crate::spsc::{self, SpscConsumer, SpscProducer};
 use crate::{
-    Completion, Device, Payload, Request, RequestId, ServeError, SessionId, BLOCK,
+    Completion, Device, LaneHealth, Payload, Request, RequestId, ServeError, SessionId, BLOCK,
     MAX_REQUEST_BLOCKS,
 };
 
@@ -159,6 +165,12 @@ pub struct ServeConfig {
     pub camera_bursts: Vec<u32>,
     /// Replay engine the per-device replayers run.
     pub mode: ReplayMode,
+    /// Observability plane: `Off` (production fast path), `MetricsOnly`
+    /// (atomic counters and histograms), or `Full` (metrics plus the
+    /// per-thread flight recorder). Defaults from the `DLT_OBS`
+    /// environment variable (`off` / `metrics` / `full`) so CI can rerun
+    /// an unmodified suite under full observability.
+    pub obs: ObsConfig,
 }
 
 impl Default for ServeConfig {
@@ -177,6 +189,10 @@ impl Default for ServeConfig {
             block_granularities: vec![1, 8, 32, 128, 256],
             camera_bursts: vec![1],
             mode: ReplayMode::Compiled,
+            obs: std::env::var("DLT_OBS")
+                .ok()
+                .and_then(|s| ObsConfig::from_env_str(&s))
+                .unwrap_or_default(),
         }
     }
 }
@@ -390,6 +406,16 @@ fn validate_request(req: &Request) -> Result<(), ServeError> {
     Ok(())
 }
 
+/// Front-end state for one open session: its completion ring plus the
+/// cached per-session metrics series. The series is resolved from the
+/// registry's locked map **once**, at `open_session`, so the per-request
+/// submit/reap paths bump plain relaxed atomics instead of paying a
+/// mutex + hash lookup + `Arc` clone each time.
+struct SessionEntry {
+    cq: CompletionRing,
+    obs: Option<Arc<SessionMetrics>>,
+}
+
 /// The multi-tenant driverlet service (see the crate docs).
 ///
 /// # Example
@@ -426,7 +452,7 @@ pub struct DriverletService {
     tee: TeeKernel,
     lanes: Vec<LaneFrontEnd>,
     config: ServeConfig,
-    sessions: HashMap<SessionId, CompletionRing>,
+    sessions: HashMap<SessionId, SessionEntry>,
     /// Request-id allocator, shared with detached [`LaneSubmitter`]s
     /// (atomic fetch-add: globally unique, monotone per allocator call).
     next_request: Arc<AtomicU64>,
@@ -437,6 +463,17 @@ pub struct DriverletService {
     /// order; cross-lane interleaving in threaded mode follows reap order.
     exec_log: Vec<RequestId>,
     quiesce: Arc<Quiesce>,
+    /// The flight recorder (disabled unless [`ObsConfig::Full`]); lane
+    /// workers, replayers, the TEE kernel and the front-end all emit into
+    /// their own lock-free rings registered here.
+    recorder: Arc<Recorder>,
+    /// The metrics registry. Always present — the per-lane core counters
+    /// back [`LaneHealth`] and `QueueFull` high-water even when the
+    /// configured plane is `Off`; histograms and session/SMC accounting
+    /// engage only when [`ObsConfig::metrics_enabled`].
+    metrics: Arc<MetricsRegistry>,
+    /// The front-end thread's own trace ring (submit/doorbell events).
+    tracer: Option<TraceHandle>,
 }
 
 impl Drop for DriverletService {
@@ -492,6 +529,29 @@ impl DriverletService {
         tee.load_trustlet(Box::new(ServeGate));
         let stats = Arc::new(SharedStats::default());
         let quiesce = Arc::new(Quiesce::default());
+        // One host epoch for both observability planes: trace stamps and
+        // `last_event_host_ns` live in the same domain, so hot paths that
+        // already computed a metrics stamp can hand it to `emit_at`.
+        let obs_epoch = std::time::Instant::now();
+        let metrics =
+            Arc::new(MetricsRegistry::with_epoch(config.obs.metrics_enabled(), obs_epoch));
+        let recorder = Arc::new(if config.obs.tracing_enabled() {
+            Recorder::with_epoch(
+                dlt_obs::trace::DEFAULT_RING_CAPACITY,
+                dlt_obs::trace::DEFAULT_FLIGHT_CAPACITY,
+                obs_epoch,
+            )
+        } else {
+            Recorder::disabled()
+        });
+        // Track 0 carries every normal-world emitter (front-end, TEE
+        // kernel, detached submitters); each lane's worker and replayer
+        // share track `index + 1` — one Perfetto track per lane thread.
+        let tracer = recorder.register("front-end", 0);
+        tee.set_tracer(recorder.register("tee", 0));
+        if config.obs.metrics_enabled() {
+            tee.set_smc_metrics(metrics.smc());
+        }
         let lane_config = LaneConfig {
             policy: config.policy,
             coalesce: config.coalesce,
@@ -524,11 +584,22 @@ impl DriverletService {
                 ReplayConfig { mode: config.mode, ..ReplayConfig::default() },
             );
             replayer.load_driverlet(bundle.clone(), DEV_KEY)?;
+            // Register the worker's ring first: the first name on a track
+            // labels its Perfetto track, and `lane-N-dev` is the thread
+            // name the spans belong to. The replayer shares the track.
+            let track = (index + 1) as u16;
+            let lane_tracer = recorder.register(&format!("lane-{index}-{device}"), track);
+            if let Some(t) = recorder.register(&format!("replayer-{index}-{device}"), track) {
+                replayer.set_tracer(t);
+            }
             let shared = Arc::new(LaneShared::new(
                 *device,
                 config.queue_capacity,
                 platform.clock.lock().cell(),
                 Arc::clone(&quiesce),
+                metrics.register_lane(device.to_string()),
+                metrics.is_enabled(),
+                metrics.epoch(),
             ));
             // Channel bounds: in-flight work is capped at the queue
             // capacity by the front-end reservation, so rings of that
@@ -550,6 +621,7 @@ impl DriverletService {
                 shared: Arc::clone(&shared),
                 stats: Arc::clone(&stats),
                 config: lane_config.clone(),
+                tracer: lane_tracer,
             });
             let (worker, join) = match config.exec_mode {
                 ExecMode::Sequential => (Some(worker), None),
@@ -589,6 +661,9 @@ impl DriverletService {
             stats,
             exec_log: Vec::new(),
             quiesce,
+            recorder,
+            metrics,
+            tracer,
         })
     }
 
@@ -706,7 +781,9 @@ impl DriverletService {
             return Err(ServeError::SessionLimit { max: self.config.max_sessions });
         }
         let id = self.tee.open_session("dlt-serve")?;
-        self.sessions.insert(id, CompletionRing::new(self.config.cq_depth));
+        let obs = self.metrics.is_enabled().then(|| self.metrics.session(id));
+        self.sessions
+            .insert(id, SessionEntry { cq: CompletionRing::new(self.config.cq_depth), obs });
         Ok(id)
     }
 
@@ -819,6 +896,18 @@ impl DriverletService {
         }
         let id = self.next_request.fetch_add(1, Ordering::Relaxed);
         let lane = &mut self.lanes[idx];
+        obs_event!(self.tracer, EventKind::Submitted, submitted_ns, session, id, 0);
+        obs_event!(
+            self.tracer,
+            EventKind::Admitted,
+            arrived_ns,
+            session,
+            id,
+            lane.shared.inflight.load(Ordering::Acquire)
+        );
+        if let Some(obs) = self.sessions.get(&session).and_then(|e| e.obs.as_ref()) {
+            obs.on_submit();
+        }
         let pending = Pending { id, session, req, submitted_ns, arrived_ns };
         if lane.admit_tx.try_push(pending).is_err() {
             // Unreachable by the reservation invariant (admit ring
@@ -826,11 +915,13 @@ impl DriverletService {
             // reservation silently if it ever fires.
             debug_assert!(false, "reservation bounds the admit ring");
             lane.shared.inflight.fetch_sub(1, Ordering::Release);
+            lane.shared.metrics.on_fail(self.metrics.host_now_ns());
             SharedStats::bump(&self.stats.rejected);
             return Err(ServeError::QueueFull {
                 device,
                 depth: lane.shared.capacity,
                 capacity: lane.shared.capacity,
+                high_water: lane.shared.metrics.occupancy_high_water() as usize,
             });
         }
         SharedStats::bump(&self.stats.submitted);
@@ -877,12 +968,17 @@ impl DriverletService {
                 device,
                 depth: lane.sq.len(),
                 capacity: lane.sq.depth(),
+                high_water: lane.sq.high_water(),
             });
         }
         let id = self.next_request.fetch_add(1, Ordering::Relaxed);
         lane.sq
             .try_push(SqEntry { id, session, req, enqueued_ns })
             .expect("ring checked non-full and this thread is the only attached producer");
+        obs_event!(self.tracer, EventKind::Submitted, enqueued_ns, session, id, 0);
+        if let Some(obs) = self.sessions.get(&session).and_then(|e| e.obs.as_ref()) {
+            obs.on_submit();
+        }
         SharedStats::bump(&self.stats.submitted);
         Ok(id)
     }
@@ -912,6 +1008,14 @@ impl DriverletService {
         }
         self.tee.invoke_batch("dlt-serve", GATE_DOORBELL, &[staged as u64, 0, 0, 0], &mut [])?;
         let arrived_ns = self.control.now_ns();
+        // One host stamp covers the doorbell and every `Admitted` it
+        // unlocks: the emits are back-to-back and the clock read dominates
+        // the emit cost (0 when tracing is off — the macro no-ops).
+        let host_ns = self.tracer.as_ref().map(|t| t.host_now_ns()).unwrap_or(0);
+        obs_event_at!(self.tracer, host_ns, EventKind::Doorbell, arrived_ns, 0, 0, staged as u64);
+        if self.metrics.is_enabled() {
+            self.metrics.smc().record_doorbell_batch(staged as u64);
+        }
         SharedStats::bump(&self.stats.doorbells);
         SharedStats::add(&self.stats.doorbell_entries, staged as u64);
         let mut rejected = Vec::new();
@@ -921,9 +1025,19 @@ impl DriverletService {
             }
             let lane = &mut self.lanes[idx];
             let device = lane.device;
+            lane.shared.metrics.on_doorbell();
             for e in lane.sq.take_staged(*n) {
                 match lane.shared.reserve() {
                     Ok(()) => {
+                        obs_event_at!(
+                            self.tracer,
+                            host_ns,
+                            EventKind::Admitted,
+                            arrived_ns,
+                            e.session,
+                            e.id,
+                            lane.shared.inflight.load(Ordering::Acquire)
+                        );
                         let pending = Pending {
                             id: e.id,
                             session: e.session,
@@ -936,6 +1050,7 @@ impl DriverletService {
                             // surface as typed backpressure, never a loss.
                             debug_assert!(false, "reservation bounds the admit ring");
                             lane.shared.inflight.fetch_sub(1, Ordering::Release);
+                            lane.shared.metrics.on_fail(self.metrics.host_now_ns());
                             SharedStats::bump(&self.stats.rejected);
                             rejected.push(Completion {
                                 id: p.id,
@@ -945,6 +1060,7 @@ impl DriverletService {
                                     device,
                                     depth: lane.shared.capacity,
                                     capacity: lane.shared.capacity,
+                                    high_water: lane.shared.metrics.occupancy_high_water() as usize,
                                 }),
                                 submitted_ns: p.submitted_ns,
                                 completed_ns: arrived_ns,
@@ -985,12 +1101,30 @@ impl DriverletService {
     }
 
     /// Post one completion into its session's completion ring (dropped
-    /// when the session is gone, exactly like the per-call path).
+    /// when the session is gone, exactly like the per-call path). Every
+    /// terminal completion passes through here exactly once, so this is
+    /// also where the per-session metrics classify outcomes.
     fn post_completion(&mut self, c: Completion) {
-        if let Some(cq) = self.sessions.get_mut(&c.session) {
-            if cq.post(c) {
+        fn classify(obs: &SessionMetrics, result: &Result<Payload, ServeError>) {
+            match result {
+                Err(ServeError::Replay(ReplayError::Diverged(_))) => obs.on_diverge(),
+                // Success and typed failures are both terminal
+                // completions from the session's point of view.
+                _ => obs.on_complete(),
+            }
+        }
+        if let Some(entry) = self.sessions.get_mut(&c.session) {
+            if let Some(obs) = &entry.obs {
+                classify(obs, &c.result);
+            }
+            if entry.cq.post(c) {
                 SharedStats::bump(&self.stats.cq_overflows);
             }
+        } else if self.metrics.is_enabled() {
+            // The session is gone but its registry series outlives it:
+            // completions reaped after close still classify (only the cold
+            // path pays the registry's session-map lock).
+            classify(&self.metrics.session(c.session), &c.result);
         }
     }
 
@@ -1189,10 +1323,10 @@ impl DriverletService {
         if self.config.exec_mode == ExecMode::Threaded {
             self.reap_lanes(None, false, &mut Vec::new());
         }
-        let Some(cq) = self.sessions.get_mut(&session) else {
+        let Some(entry) = self.sessions.get_mut(&session) else {
             return Vec::new();
         };
-        let (taken, flushed_overflow) = cq.take_all();
+        let (taken, flushed_overflow) = entry.cq.take_all();
         match self.config.submit_mode {
             // The per-call reap is a full GP command invocation of the
             // gate, priced exactly like a per-call submit (world switch +
@@ -1235,7 +1369,7 @@ impl DriverletService {
     /// mid-replay, so these operations are safe against a lane thread
     /// actively draining its queue. The call blocks until the worker
     /// replies.
-    fn lane_ctrl(&mut self, idx: usize, req: CtrlReq) -> Result<(), ServeError> {
+    fn lane_ctrl(&mut self, idx: usize, req: CtrlReq) -> Result<CtrlReply, ServeError> {
         let (reply, result) = mpsc::channel();
         if let Some(w) = self.lanes[idx].worker.as_mut() {
             w.handle_ctrl(CtrlMsg { req, reply });
@@ -1277,7 +1411,7 @@ impl DriverletService {
     /// [`DriverletService::inject_fault`].
     pub fn clear_fault(&mut self, device: Device) -> Result<(), ServeError> {
         let idx = self.lane_index(device)?;
-        self.lane_ctrl(idx, CtrlReq::SetMutator(None))
+        self.lane_ctrl(idx, CtrlReq::SetMutator(None)).map(|_| ())
     }
 
     /// Verify `device`'s lane is still serviceable — the post-divergence
@@ -1288,10 +1422,18 @@ impl DriverletService {
     /// no session, no queue — so a sick replayer cannot hide behind
     /// scheduling, and it **clobbers** the probe extent. On a threaded
     /// lane the probe runs on the lane thread between batches, so it never
-    /// interleaves with a request's replay.
-    pub fn lane_health_check(&mut self, device: Device) -> Result<(), ServeError> {
+    /// interleaves with a request's replay. Returns the lane's structured
+    /// [`LaneHealth`] snapshot (queue depth, in-flight count, lifetime
+    /// completion/divergence counters, last-activity host stamp) taken at
+    /// the probe's batch boundary.
+    pub fn lane_health_check(&mut self, device: Device) -> Result<LaneHealth, ServeError> {
         let idx = self.lane_index(device)?;
-        self.lane_ctrl(idx, CtrlReq::HealthCheck)
+        match self.lane_ctrl(idx, CtrlReq::HealthCheck)? {
+            CtrlReply::Health(health) => Ok(health),
+            CtrlReply::Done => {
+                Err(ServeError::Invalid("health check returned no health snapshot".into()))
+            }
+        }
     }
 
     /// Detach lane `lane`'s submission-ring producer as a [`LaneSubmitter`]
@@ -1304,6 +1446,8 @@ impl DriverletService {
         let next_request = Arc::clone(&self.next_request);
         let stats = Arc::clone(&self.stats);
         let control_clock = Arc::clone(&self.control_cell);
+        let metrics = Arc::clone(&self.metrics);
+        let tracer = self.recorder.register(&format!("submitter-{lane}"), 0);
         let l = self
             .lanes
             .get_mut(lane)
@@ -1318,7 +1462,48 @@ impl DriverletService {
             next_request,
             stats,
             control_clock,
+            metrics,
+            tracer,
         })
+    }
+
+    /// The active observability configuration.
+    pub fn obs_config(&self) -> ObsConfig {
+        self.config.obs
+    }
+
+    /// The flight recorder — live when [`ObsConfig::Full`], a disabled
+    /// stub otherwise. Collectors call [`Recorder::drain`] /
+    /// [`Recorder::dropped_events`] on it directly.
+    pub fn recorder(&self) -> &Recorder {
+        &self.recorder
+    }
+
+    /// Drain every emitter's trace ring and return the merged,
+    /// host-time-ordered event log (empty unless [`ObsConfig::Full`]).
+    pub fn trace_events(&self) -> Vec<TraceEvent> {
+        self.recorder.drain()
+    }
+
+    /// Drain the flight recorder and render it as Chrome `trace_event`
+    /// JSON — one Perfetto track per registered lane thread. `None` unless
+    /// the service runs [`ObsConfig::Full`].
+    pub fn chrome_trace(&self) -> Option<String> {
+        if !self.recorder.is_enabled() {
+            return None;
+        }
+        let events = self.recorder.drain();
+        Some(dlt_obs::trace::chrome_trace_json(&events, &self.recorder.track_names()))
+    }
+
+    /// A point-in-time snapshot of the metrics plane (per-lane counters
+    /// and latency histograms, SMC-by-kind, per-session reconciliation
+    /// counters). `None` when the configured plane is [`ObsConfig::Off`].
+    pub fn metrics_snapshot(&self) -> Option<MetricsSnapshot> {
+        if !self.metrics.is_enabled() {
+            return None;
+        }
+        Some(self.metrics.snapshot())
     }
 }
 
@@ -1350,6 +1535,10 @@ pub struct LaneSubmitter {
     next_request: Arc<AtomicU64>,
     stats: Arc<SharedStats>,
     control_clock: Arc<ClockCell>,
+    metrics: Arc<MetricsRegistry>,
+    /// This submitter thread's own trace ring on track 0 (`None` unless
+    /// the service runs the full plane).
+    tracer: Option<TraceHandle>,
 }
 
 impl LaneSubmitter {
@@ -1385,12 +1574,21 @@ impl LaneSubmitter {
         let id = self.next_request.fetch_add(1, Ordering::Relaxed);
         match self.producer.try_push(SqEntry { id, session, req, enqueued_ns }) {
             Ok(_) => {
+                obs_event!(self.tracer, EventKind::Submitted, enqueued_ns, session, id, 0);
+                if self.metrics.is_enabled() {
+                    self.metrics.session(session).on_submit();
+                }
                 SharedStats::bump(&self.stats.submitted);
                 Ok(id)
             }
             Err((_, depth)) => {
                 SharedStats::bump(&self.stats.rejected);
-                Err(ServeError::QueueFull { device: self.device, depth, capacity: self.sq_depth })
+                Err(ServeError::QueueFull {
+                    device: self.device,
+                    depth,
+                    capacity: self.sq_depth,
+                    high_water: self.producer.high_water(),
+                })
             }
         }
     }
@@ -1837,10 +2035,11 @@ mod tests {
         s.submit(sess, rd(0)).unwrap();
         s.submit(sess, rd(1)).unwrap();
         match s.submit(sess, rd(2)) {
-            Err(ServeError::QueueFull { device, depth, capacity }) => {
+            Err(ServeError::QueueFull { device, depth, capacity, high_water }) => {
                 assert_eq!(device, Device::Mmc);
                 assert_eq!(depth, 2);
                 assert_eq!(capacity, 2);
+                assert_eq!(high_water, 2, "the ring saturated at its full depth");
             }
             other => panic!("expected ring-full backpressure, got {other:?}"),
         }

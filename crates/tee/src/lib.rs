@@ -19,10 +19,13 @@
 #![warn(missing_docs)]
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use dlt_hw::bus::MmioAttr;
 use dlt_hw::mem::BumpDmaAllocator;
 use dlt_hw::{DmaRegion, HwError, Platform, Shared, SystemBus, World};
+use dlt_obs::metrics::SmcMetrics;
+use dlt_obs::trace::{EventKind, SmcKind, TraceHandle};
 
 /// Size of the TEE's reserved DMA pool (the paper reserves 3 MB, §8.3.1).
 pub const TEE_DMA_POOL_BYTES: usize = 3 * 1024 * 1024;
@@ -352,6 +355,12 @@ pub struct TeeKernel {
     next_session: u32,
     smc_calls: u64,
     doorbell_calls: u64,
+    /// Optional flight-recorder handle: every world switch is bracketed by
+    /// `SmcEnter`/`SmcExit` events carrying the SMC kind in `arg`.
+    tracer: Option<TraceHandle>,
+    /// Optional SMC-kind counters shared with the serving layer's metrics
+    /// registry.
+    smc_metrics: Option<Arc<SmcMetrics>>,
 }
 
 impl TeeKernel {
@@ -367,7 +376,41 @@ impl TeeKernel {
             next_session: 1,
             smc_calls: 0,
             doorbell_calls: 0,
+            tracer: None,
+            smc_metrics: None,
         })
+    }
+
+    /// Install (or remove) a flight-recorder handle for SMC entry/exit
+    /// events. `None` restores the untraced fast path.
+    pub fn set_tracer(&mut self, tracer: Option<TraceHandle>) {
+        self.tracer = tracer;
+    }
+
+    /// Share an SMC-kind counter set with this kernel; every subsequent
+    /// world switch bumps the counter for its kind.
+    pub fn set_smc_metrics(&mut self, metrics: Arc<SmcMetrics>) {
+        self.smc_metrics = Some(metrics);
+    }
+
+    /// Record one world switch of `kind` against the metrics plane and, when
+    /// tracing, emit the `SmcEnter` instant. Pairs with [`Self::smc_exit`].
+    fn smc_enter(&mut self, kind: SmcKind, session: u32) {
+        if let Some(m) = &self.smc_metrics {
+            m.record(kind);
+        }
+        if let Some(t) = self.tracer.as_mut() {
+            let now = self.io.now_ns();
+            t.emit(EventKind::SmcEnter, now, session, 0, kind as u64);
+        }
+    }
+
+    /// Emit the `SmcExit` instant closing an [`Self::smc_enter`] bracket.
+    fn smc_exit(&mut self, kind: SmcKind, session: u32) {
+        if let Some(t) = self.tracer.as_mut() {
+            let now = self.io.now_ns();
+            t.emit(EventKind::SmcExit, now, session, 0, kind as u64);
+        }
     }
 
     /// Install a trustlet.
@@ -377,15 +420,19 @@ impl TeeKernel {
 
     /// Open a session to a trustlet by name (one SMC).
     pub fn open_session(&mut self, name: &str) -> Result<u32, TeeError> {
+        self.smc_enter(SmcKind::OpenSession, 0);
         self.smc();
-        let idx = self
-            .trustlets
-            .iter()
-            .position(|t| t.name() == name)
-            .ok_or_else(|| TeeError::Trustlet(format!("no trustlet named {name}")))?;
+        let idx = match self.trustlets.iter().position(|t| t.name() == name) {
+            Some(idx) => idx,
+            None => {
+                self.smc_exit(SmcKind::OpenSession, 0);
+                return Err(TeeError::Trustlet(format!("no trustlet named {name}")));
+            }
+        };
         let id = self.next_session;
         self.next_session += 1;
         self.sessions.insert(id, idx);
+        self.smc_exit(SmcKind::OpenSession, id);
         Ok(id)
     }
 
@@ -397,12 +444,18 @@ impl TeeKernel {
         params: &[u64; 4],
         buf: &mut [u8],
     ) -> Result<u64, TeeError> {
+        self.smc_enter(SmcKind::Invoke, session);
         self.smc();
-        let idx = *self
-            .sessions
-            .get(&session)
-            .ok_or_else(|| TeeError::Trustlet("invalid session".into()))?;
-        self.trustlets[idx].invoke(command, params, buf, &mut self.io)
+        let idx = match self.sessions.get(&session) {
+            Some(idx) => *idx,
+            None => {
+                self.smc_exit(SmcKind::Invoke, session);
+                return Err(TeeError::Trustlet("invalid session".into()));
+            }
+        };
+        let out = self.trustlets[idx].invoke(command, params, buf, &mut self.io);
+        self.smc_exit(SmcKind::Invoke, session);
+        out
     }
 
     /// Invoke a trustlet **by name, once for a whole batch** — the
@@ -422,6 +475,7 @@ impl TeeKernel {
         params: &[u64; 4],
         buf: &mut [u8],
     ) -> Result<u64, TeeError> {
+        self.smc_enter(SmcKind::Doorbell, 0);
         self.smc_calls += 1;
         self.doorbell_calls += 1;
         {
@@ -429,25 +483,33 @@ impl TeeKernel {
             let ns = clock.cost().ring_doorbell_ns;
             clock.advance_ns(ns);
         }
-        let idx = self
-            .trustlets
-            .iter()
-            .position(|t| t.name() == name)
-            .ok_or_else(|| TeeError::Trustlet(format!("no trustlet named {name}")))?;
-        self.trustlets[idx].invoke(command, params, buf, &mut self.io)
+        let idx = match self.trustlets.iter().position(|t| t.name() == name) {
+            Some(idx) => idx,
+            None => {
+                self.smc_exit(SmcKind::Doorbell, 0);
+                return Err(TeeError::Trustlet(format!("no trustlet named {name}")));
+            }
+        };
+        let out = self.trustlets[idx].invoke(command, params, buf, &mut self.io);
+        self.smc_exit(SmcKind::Doorbell, 0);
+        out
     }
 
     /// One world switch that invokes nothing: the normal world blocking in
     /// the TEE for an event (an empty completion ring, an overflow flush).
     /// Counted in [`TeeKernel::smc_calls`] as a legacy (non-doorbell) SMC.
     pub fn smc_yield(&mut self) {
+        self.smc_enter(SmcKind::Yield, 0);
         self.smc();
+        self.smc_exit(SmcKind::Yield, 0);
     }
 
     /// Close a session.
     pub fn close_session(&mut self, session: u32) {
+        self.smc_enter(SmcKind::CloseSession, session);
         self.smc();
         self.sessions.remove(&session);
+        self.smc_exit(SmcKind::CloseSession, session);
     }
 
     /// Direct access to the secure services (used by the replayer, which
