@@ -1,8 +1,9 @@
 //! Service-layer throughput: coalesced scheduler vs serial uncoalesced
 //! issue, mixed MMC+USB+VCHIQ traffic racing a LongBurst capture,
 //! 1→3-device weak scaling, the anticipatory-hold sweep, the
-//! ring-vs-legacy submission comparison, and the sequential-vs-threaded
-//! wall-clock lane-parallelism curve; persisted to `BENCH_serve.json`.
+//! ring-vs-legacy submission comparison, the sequential-vs-threaded
+//! wall-clock lane-parallelism curve, and the routed replica-fleet
+//! weak-scaling + spill experiments; persisted to `BENCH_serve.json`.
 //! CI runs this with `--quick` and fails on any of the acceptance
 //! assertions below.
 //!
@@ -117,6 +118,53 @@ fn main() {
             "(skipping the 4-lane >= 2x wall-clock gate: host exposes only {} core(s); \
              measured {:.2}x)",
             wc.host_cores, four.speedup
+        );
+    }
+
+    // The routed replica-fleet gates. Determinism and structure hold
+    // anywhere: every point completes its whole schedule through the
+    // router, the skewed spill arm sheds load without rejections, and
+    // spill keeps the hot shard's virtual-time p99 within 2x the balanced
+    // baseline. The ≥ 1.7x weak-scaling bar at 8 vs 4 lanes is host time
+    // and needs 8 hardware threads; smaller hosts record the curve
+    // without gating it.
+    let rt = &report.routed;
+    for p in &rt.points {
+        assert!(
+            p.requests == 3 * u64::from(rt.requests_per_session) * p.lanes as u64,
+            "acceptance: the {}-lane routed point must complete its whole schedule",
+            p.lanes
+        );
+    }
+    assert!(
+        rt.spill.spills > 0,
+        "acceptance: the skewed spill arm must shed clean reads to sibling replicas"
+    );
+    assert_eq!(
+        rt.spill.rejections, 0,
+        "acceptance: spill admission must absorb the skewed load without fleet-wide rejections"
+    );
+    assert!(
+        rt.spill.p99_ratio <= 2.0,
+        "acceptance: replica-aware spill must keep the saturated shard's p99 within 2x the \
+         balanced baseline, got {:.2}x ({} us vs {} us)",
+        rt.spill.p99_ratio,
+        rt.spill.skewed_p99_us,
+        rt.spill.balanced_p99_us
+    );
+    if wc.host_cores >= 8 {
+        assert!(
+            rt.ratio_8v4 >= 1.7,
+            "acceptance: routed weak scaling must reach >= 1.7x rps at 8 vs 4 lanes on a \
+             {}-core host, got {:.2}x",
+            wc.host_cores,
+            rt.ratio_8v4
+        );
+    } else {
+        println!(
+            "(skipping the 8-vs-4-lane >= 1.7x routed scaling gate: host exposes only {} \
+             core(s); measured {:.2}x)",
+            wc.host_cores, rt.ratio_8v4
         );
     }
 

@@ -219,6 +219,52 @@ pub fn mixed_tenant_specs(requests_per_session: u32, mean_gap_ns: u64) -> Vec<Se
     specs
 }
 
+/// The replica-fleet weak-scaling tenant population: `groups` independent
+/// tenant groups of read-only MMC traffic, one group's worth of load per
+/// replica lane, so the offered load scales with the fleet while the
+/// per-lane load stays fixed. Each group is one hot-range reader over its
+/// own 256-block route chunk (consecutive chunks, so `Stripe` placement
+/// round-robins the groups exactly one per replica) plus two sequential
+/// 8-block streamers walking private multi-chunk ranges (the streams
+/// stripe across the fleet and occasionally straddle a chunk boundary,
+/// exercising fan-out). Read-only by design: never-written chunks are
+/// byte-identical on every replica, so the router is free to place *and*
+/// spill — the regime the scaling curve wants to measure.
+pub fn replica_fleet_specs(groups: usize, requests_per_session: u32) -> Vec<SessionSpec> {
+    let mean_gap_ns = 30_000;
+    let mut specs = Vec::new();
+    for g in 0..groups as u32 {
+        // Hot chunk `4 + g`: consecutive chunks starting clear of the
+        // benches' scratch extents.
+        specs.push(SessionSpec {
+            kind: TrafficKind::HotReader {
+                device: Device::Mmc,
+                hot_base: (4 + g) * 256,
+                hot_len: 8,
+                write_every: 0,
+            },
+            mean_gap_ns,
+            requests: requests_per_session,
+        });
+        // Two streamers per group: an 8-block stream (aligned — never
+        // straddles a 256-block chunk) and a 12-block stream whose walk
+        // periodically crosses a chunk boundary, so the routed run
+        // exercises stripe fan-out and reassembly, not just placement.
+        for (lane_stream, blkcnt) in [(0u32, 8u32), (1, 12)] {
+            specs.push(SessionSpec {
+                kind: TrafficKind::Streamer {
+                    device: Device::Mmc,
+                    base: 65_536 + (g * 2 + lane_stream) * 4_096,
+                    blkcnt,
+                },
+                mean_gap_ns,
+                requests: requests_per_session,
+            });
+        }
+    }
+    specs
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -258,6 +304,23 @@ mod tests {
         // Heterogeneity: an exponential stream is not a fixed stripe.
         let distinct: std::collections::HashSet<u64> = schedule.iter().map(|e| e.gap_ns).collect();
         assert!(distinct.len() > schedule.len() / 4, "gaps must actually vary");
+    }
+
+    #[test]
+    fn replica_fleet_specs_scale_read_only_load_with_the_group_count() {
+        let specs = replica_fleet_specs(4, 16);
+        assert_eq!(specs.len(), 12, "three sessions per group");
+        assert!(
+            specs.iter().all(|s| matches!(
+                s.kind,
+                TrafficKind::HotReader { device: Device::Mmc, write_every: 0, .. }
+                    | TrafficKind::Streamer { device: Device::Mmc, .. }
+            )),
+            "fleet traffic is read-only MMC so the router may place and spill freely"
+        );
+        let schedule = heterogeneous_schedule(&specs, 1);
+        assert_eq!(schedule.len(), 12 * 16);
+        assert!(schedule.iter().all(|e| matches!(e.req, Request::Read { .. })));
     }
 
     #[test]

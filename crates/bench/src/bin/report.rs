@@ -282,10 +282,36 @@ fn main() {
                 p.lanes, p.speedup, p.sequential_ms, p.threaded_ms
             );
         }
+        let rt = &report.routed;
+        println!(
+            "routed replica-fleet scaling ({} placement, host time, {} requests/session):",
+            rt.policy, rt.requests_per_session
+        );
+        let base_rps = rt.points.first().map(|p| p.rps).unwrap_or(0.0).max(1e-9);
+        for p in &rt.points {
+            // One bar character per 0.25x rps-over-one-lane so the weak
+            // scaling curve's shape is visible at a glance.
+            let ratio = p.rps / base_rps;
+            let bar = "#".repeat(((ratio * 4.0).round() as usize).clamp(1, 64));
+            println!(
+                "  {:>2} lane(s) {bar:<64} {ratio:.2}x ({:.0} req/s, {} spills, {} fan-outs)",
+                p.lanes, p.rps, p.spills, p.stripe_fanouts
+            );
+        }
+        println!(
+            "routed 8-vs-4-lane ratio {:.2}x; spill experiment: skewed p99 {:.2}x balanced \
+             ({} spills, {} rejections over {} reads/arm on {} replicas)",
+            rt.ratio_8v4,
+            rt.spill.p99_ratio,
+            rt.spill.spills,
+            rt.spill.rejections,
+            rt.spill.requests,
+            rt.spill.replicas
+        );
         println!(
             "per-device p50/p99, the 1->3 device scaling ratio ({:.2}x), the ring-vs-legacy \
-             table and the wall-clock curve come from BENCH_serve.json; refresh it with the \
-             serve_throughput bench",
+             table, the wall-clock curve and the routed fleet section come from \
+             BENCH_serve.json; refresh it with the serve_throughput bench",
             report.scaling.ratio_3v1
         );
     }

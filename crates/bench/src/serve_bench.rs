@@ -42,12 +42,14 @@ use dlt_recorder::campaign::{
     record_camera_driverlet_subset, record_mmc_driverlet_subset, record_usb_driverlet_subset,
 };
 use dlt_serve::{
-    Completion, Device, DriverletService, ExecMode, Policy, Request, ServeConfig, ServeError,
-    SessionId, SubmitMode, BLOCK,
+    Completion, Device, DriverletService, ExecMode, Policy, Request, RouteConfig, RoutePolicy,
+    ServeConfig, ServeError, SessionId, SubmitMode, BLOCK,
 };
 use serde::{Deserialize, Serialize};
 
-use crate::arrivals::{heterogeneous_schedule, mixed_tenant_specs, ArrivalEvent};
+use crate::arrivals::{
+    heterogeneous_schedule, mixed_tenant_specs, replica_fleet_specs, ArrivalEvent,
+};
 
 /// Result of the 8-session coalescing experiment (the acceptance metric).
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -249,6 +251,71 @@ pub struct WallClockSample {
     pub points: Vec<WallClockPoint>,
 }
 
+/// One lane count of the routed weak-scaling experiment.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RoutedScalingPoint {
+    /// Replica MMC lanes behind the shard router.
+    pub lanes: usize,
+    /// Open-loop tenant sessions offered (three per lane).
+    pub sessions: usize,
+    /// Requests completed (scales with the lane count: weak scaling).
+    pub requests: u64,
+    /// Host wall-clock makespan in milliseconds.
+    pub elapsed_ms: f64,
+    /// Requests per second of host time.
+    pub rps: f64,
+    /// Clean reads shed from a saturated home shard to a sibling.
+    pub spills: u64,
+    /// Spans split across more than one replica.
+    pub stripe_fanouts: u64,
+}
+
+/// The deterministic spill experiment: four replicas behind tiny queues,
+/// a balanced arm (each tenant on its own home shard) vs a skewed arm
+/// (every tenant hammering one shard's extent), all numbers virtual time.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RoutedSpillSample {
+    /// Replica lanes in the fleet.
+    pub replicas: usize,
+    /// Per-lane queue capacity (kept tiny so the hot shard saturates).
+    pub queue_capacity: usize,
+    /// Reads completed per arm.
+    pub requests: u64,
+    /// p99 completion latency of the balanced arm (virtual microseconds).
+    pub balanced_p99_us: u64,
+    /// p99 of the skewed arm, spill enabled.
+    pub skewed_p99_us: u64,
+    /// `skewed_p99_us / balanced_p99_us` — the acceptance gate demands
+    /// ≤ 2.0: shedding must keep the victim's tail near the balanced
+    /// baseline instead of serialising on the hot shard.
+    pub p99_ratio: f64,
+    /// Clean reads shed to siblings on the skewed arm (must be > 0).
+    pub spills: u64,
+    /// Fleet-wide rejections on the skewed arm.
+    pub rejections: u64,
+}
+
+/// The routed replica-fleet section: host-time weak scaling out to 8–16
+/// lanes plus the spill experiment. Scaling numbers are **host time**
+/// (like [`WallClockSample`]); `host_cores` in the wall-clock section
+/// records how much hardware parallelism they had, and the ≥ 1.7x gate at
+/// 8 vs 4 lanes only applies when it is ≥ 8.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RoutedSample {
+    /// Placement policy of the scaling curve (`stripe` — consecutive hot
+    /// chunks round-robin exactly one tenant group per replica).
+    pub policy: String,
+    /// Requests each open-loop session submits.
+    pub requests_per_session: u32,
+    /// One point per lane count (1/2/4/8, plus 16 on full runs).
+    pub points: Vec<RoutedScalingPoint>,
+    /// `rps(8 lanes) / rps(4 lanes)` — near-linear weak scaling wants
+    /// 2.0; the gate (on ≥ 8-core hosts) demands ≥ 1.7.
+    pub ratio_8v4: f64,
+    /// The deterministic spill experiment.
+    pub spill: RoutedSpillSample,
+}
+
 /// The persisted `BENCH_serve.json` document.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct ServeBenchReport {
@@ -267,6 +334,11 @@ pub struct ServeBenchReport {
     pub ring: RingComparisonSample,
     /// The sequential-vs-threaded wall-clock comparison (host time).
     pub wall_clock: WallClockSample,
+    /// The routed replica-fleet weak-scaling and spill experiments.
+    /// Reports persisted before the shard router existed fail to parse
+    /// (this field is required); consumers treat that as a stale artifact
+    /// and regenerate.
+    pub routed: RoutedSample,
 }
 
 fn mmc_config(coalesce: bool) -> ServeConfig {
@@ -817,6 +889,148 @@ pub fn run_wall_clock_bench(lane_counts: &[usize], requests_per_lane: u64) -> Wa
     WallClockSample { host_cores, requests_per_lane, points }
 }
 
+/// The deterministic spill experiment: four MMC replicas behind
+/// `queue_capacity`-deep lanes under hash placement. Each round submits
+/// exactly one fleet's worth of single-block reads (replicas x capacity).
+/// The balanced arm gives every tenant its own home shard (extents found
+/// with the public placement probe); the skewed arm points every tenant
+/// at shard 0's extent, so after the home fills, every further clean read
+/// must spill to the least-loaded sibling. All numbers are virtual time,
+/// so the sample reproduces exactly.
+fn run_spill_experiment() -> RoutedSpillSample {
+    const REPLICAS: usize = 4;
+    const CAPACITY: usize = 8;
+    const ROUNDS: u32 = 6;
+    let bundle = record_mmc_driverlet_subset(&[1, 8]).expect("record mmc");
+    let policy = RoutePolicy::HashShard { chunk_blocks: 256 };
+    // One never-written extent homed on each replica, by probing
+    // consecutive chunks until every shard owns one.
+    let mut extents: Vec<Option<u32>> = vec![None; REPLICAS];
+    let mut chunk = 4u32;
+    while extents.iter().any(Option::is_none) {
+        let blkid = chunk * 256;
+        let home = policy.replica_for(blkid, REPLICAS);
+        extents[home].get_or_insert(blkid);
+        chunk += 1;
+    }
+    let extents: Vec<u32> = extents.into_iter().map(|e| e.expect("probed")).collect();
+
+    let arm = |skewed: bool| -> (Vec<u64>, u64, u64) {
+        let devices: Vec<_> = (0..REPLICAS).map(|_| (Device::Mmc, bundle.clone())).collect();
+        let config = ServeConfig {
+            policy: Policy::Fifo,
+            coalesce: false,
+            hold_budget_ns: 0,
+            queue_capacity: CAPACITY,
+            route: RouteConfig { policy, spill: true },
+            block_granularities: vec![1, 8],
+            ..ServeConfig::default()
+        };
+        let mut service =
+            DriverletService::with_driverlets(&devices, config).expect("build spill service");
+        let sessions: Vec<SessionId> =
+            (0..REPLICAS).map(|_| service.open_session().unwrap()).collect();
+        let mut us: Vec<u64> = Vec::new();
+        for round in 0..ROUNDS {
+            for burst in 0..CAPACITY as u32 {
+                for (s, session) in sessions.iter().enumerate() {
+                    let extent = if skewed { extents[0] } else { extents[s] };
+                    let blkid = extent + (round * CAPACITY as u32 + burst) % 64;
+                    service
+                        .submit(*session, Request::Read { device: Device::Mmc, blkid, blkcnt: 1 })
+                        .expect("spill-arm submit (one fleet's worth per round fits exactly)");
+                }
+            }
+            us.extend(service.drain_all().iter().map(|c| c.latency_ns() / 1_000));
+        }
+        let stats = service.stats();
+        (us, stats.route_spills, stats.rejected)
+    };
+
+    let (mut balanced_us, _, _) = arm(false);
+    let (mut skewed_us, spills, rejections) = arm(true);
+    assert_eq!(balanced_us.len(), skewed_us.len(), "both arms complete every read");
+    let balanced_p99_us = latency_sample(&mut balanced_us).p99_us;
+    let skewed_p99_us = latency_sample(&mut skewed_us).p99_us;
+    RoutedSpillSample {
+        replicas: REPLICAS,
+        queue_capacity: CAPACITY,
+        requests: skewed_us.len() as u64,
+        balanced_p99_us,
+        skewed_p99_us,
+        p99_ratio: skewed_p99_us as f64 / (balanced_p99_us as f64).max(1e-9),
+        spills,
+        rejections,
+    }
+}
+
+/// The routed weak-scaling experiment: at each lane count, a fleet of
+/// replica MMC lanes (per-lane OS threads) serves `replica_fleet_specs`'
+/// open-loop schedule through the default routed `submit()` under stripe
+/// placement, measured in **host** time from first submit to quiescence.
+/// The tenant population scales with the fleet (three read-only sessions
+/// per lane), so near-linear scaling holds rps growing with the lane
+/// count.
+pub fn run_routed_bench(lane_counts: &[usize], requests_per_session: u32) -> RoutedSample {
+    let bundle = record_mmc_driverlet_subset(&[1, 8]).expect("record mmc");
+    let mut points = Vec::new();
+    for &lanes in lane_counts {
+        let specs = replica_fleet_specs(lanes, requests_per_session);
+        let schedule = heterogeneous_schedule(&specs, 0x10c4_7e50 ^ lanes as u64);
+        let devices: Vec<_> = (0..lanes).map(|_| (Device::Mmc, bundle.clone())).collect();
+        let config = ServeConfig {
+            policy: Policy::Fifo,
+            exec_mode: ExecMode::Threaded,
+            // Uncoalesced, so the workload is pure per-lane replay compute
+            // and the curve measures where that compute runs.
+            coalesce: false,
+            hold_budget_ns: 0,
+            queue_capacity: schedule.len().max(128),
+            max_sessions: specs.len().max(64),
+            route: RouteConfig { policy: RoutePolicy::Stripe { stripe_blocks: 256 }, spill: true },
+            block_granularities: vec![1, 8],
+            ..ServeConfig::default()
+        };
+        let mut service =
+            DriverletService::with_driverlets(&devices, config).expect("build routed service");
+        let ids: Vec<SessionId> =
+            (0..specs.len()).map(|_| service.open_session().unwrap()).collect();
+        let start = std::time::Instant::now();
+        for ev in &schedule {
+            service.client_think_ns(ev.gap_ns);
+            service.submit(ids[ev.session_idx], ev.req.clone()).expect("routed open-loop submit");
+        }
+        let completed = service.drain_all().len() as u64;
+        let elapsed_ms = start.elapsed().as_secs_f64() * 1e3;
+        assert_eq!(completed, schedule.len() as u64, "every routed request must complete");
+        let stats = service.stats();
+        assert_eq!(stats.routed, completed, "every default submit rides the router");
+        points.push(RoutedScalingPoint {
+            lanes,
+            sessions: specs.len(),
+            requests: completed,
+            elapsed_ms,
+            rps: completed as f64 / (elapsed_ms / 1e3).max(1e-9),
+            spills: stats.route_spills,
+            stripe_fanouts: stats.stripe_fanouts,
+        });
+    }
+    let rps_at = |lanes: usize| {
+        points.iter().find(|p: &&RoutedScalingPoint| p.lanes == lanes).map(|p| p.rps)
+    };
+    let ratio_8v4 = match (rps_at(8), rps_at(4)) {
+        (Some(eight), Some(four)) => eight / four.max(1e-12),
+        _ => 0.0,
+    };
+    RoutedSample {
+        policy: "stripe".into(),
+        requests_per_session,
+        points,
+        ratio_8v4,
+        spill: run_spill_experiment(),
+    }
+}
+
 /// Run all six experiments.
 pub fn run_serve_bench(quick: bool) -> ServeBenchReport {
     // The scaling lane budget stays at 2.4 s even in quick mode: a OneShot
@@ -832,12 +1046,15 @@ pub fn run_serve_bench(quick: bool) -> ServeBenchReport {
     } else {
         (24, 12, 100, 2_400_000_000, 200, 192, 1024)
     };
+    let (routed_lanes, routed_requests): (&[usize], u32) =
+        if quick { (&[1, 2, 4, 8], 48) } else { (&[1, 2, 4, 8, 16], 128) };
     let coalescing = run_coalescing_bench(8, rounds);
     let mixed = run_mixed_bench(mixed_rounds, frames);
     let scaling = run_scaling_bench(budget_ns);
     let hold_sweep = run_hold_sweep(bursts, &[0, 25, 100, 400, 3200]);
     let ring = run_ring_bench(ring_requests, 16);
     let wall_clock = run_wall_clock_bench(&[1, 2, 4, 8], wall_requests);
+    let routed = run_routed_bench(routed_lanes, routed_requests);
     ServeBenchReport {
         workload: format!(
             "serve layer: 8-session striped reads x {rounds} rounds (MMC); 10-session mixed \
@@ -845,7 +1062,8 @@ pub fn run_serve_bench(quick: bool) -> ServeBenchReport {
              weak scaling at {:.0} ms/lane; hold sweep over {bursts} bursts; ring-vs-legacy \
              open-loop Poisson mix at {ring_requests} requests/session, doorbell batch 16; \
              wall-clock sequential-vs-threaded at 1/2/4/8 replica MMC lanes x {wall_requests} \
-             8-block reads/lane",
+             8-block reads/lane; routed replica-fleet weak scaling at {routed_requests} \
+             requests/session plus the 4-replica spill experiment",
             budget_ns as f64 / 1e6
         ),
         coalescing,
@@ -854,6 +1072,7 @@ pub fn run_serve_bench(quick: bool) -> ServeBenchReport {
         hold_sweep,
         ring,
         wall_clock,
+        routed,
     }
 }
 
@@ -955,6 +1174,32 @@ pub fn describe(report: &ServeBenchReport) -> String {
             p.lanes, p.requests, p.sequential_ms, p.threaded_ms, p.speedup
         ));
     }
+    let rt = &report.routed;
+    out.push_str(&format!(
+        "routed weak scaling ({} placement, host time, {} requests/session):\n",
+        rt.policy, rt.requests_per_session
+    ));
+    for p in &rt.points {
+        out.push_str(&format!(
+            "  {} lane(s): {} sessions, {} requests in {:.1} ms -> {:.0} req/s \
+             ({} spills, {} fan-outs)\n",
+            p.lanes, p.sessions, p.requests, p.elapsed_ms, p.rps, p.spills, p.stripe_fanouts
+        ));
+    }
+    out.push_str(&format!("routed scaling ratio 8 vs 4 lanes: {:.2}x\n", rt.ratio_8v4));
+    let sp = &rt.spill;
+    out.push_str(&format!(
+        "spill ({} replicas, capacity {}): balanced p99 {} us vs skewed p99 {} us \
+         ({:.2}x, {} spills, {} rejections over {} reads/arm)\n",
+        sp.replicas,
+        sp.queue_capacity,
+        sp.balanced_p99_us,
+        sp.skewed_p99_us,
+        sp.p99_ratio,
+        sp.spills,
+        sp.rejections,
+        sp.requests
+    ));
     out
 }
 
@@ -964,7 +1209,8 @@ pub fn summary_line(report: &ServeBenchReport) -> String {
         report.wall_clock.points.iter().find(|p| p.lanes == 4).map(|p| p.speedup).unwrap_or(0.0);
     format!(
         "serve_throughput coalesced={:.0} serial={:.0} speedup={:.2} scaling_3v1={:.2} \
-         block_p99_us={} ring_speedup={:.2} ring_smcs_per_req={:.3} wall_4lane={:.2} cores={}",
+         block_p99_us={} ring_speedup={:.2} ring_smcs_per_req={:.3} wall_4lane={:.2} cores={} \
+         routed_8v4={:.2} spill_p99_ratio={:.2} spills={}",
         report.coalescing.coalesced_rps,
         report.coalescing.serial_rps,
         report.coalescing.speedup,
@@ -973,7 +1219,10 @@ pub fn summary_line(report: &ServeBenchReport) -> String {
         report.ring.speedup,
         report.ring.ring.smcs_per_request,
         wall_4,
-        report.wall_clock.host_cores
+        report.wall_clock.host_cores,
+        report.routed.ratio_8v4,
+        report.routed.spill.p99_ratio,
+        report.routed.spill.spills
     )
 }
 
@@ -1108,6 +1357,34 @@ mod tests {
     }
 
     #[test]
+    fn routed_fleet_completes_and_spill_stays_bounded() {
+        // Small lane counts keep this unit-sized; the 4/8/16-lane curve
+        // (and its conditional ≥ 1.7x gate) lives in the serve_throughput
+        // bench. What must hold anywhere: every request completes through
+        // the router, the skewed arm actually sheds load, nothing is
+        // rejected (one fleet's worth per round fits exactly), and the
+        // victim's virtual-time p99 stays within 2x the balanced baseline.
+        let sample = run_routed_bench(&[1, 2], 12);
+        assert_eq!(sample.points.len(), 2);
+        for p in &sample.points {
+            assert_eq!(p.sessions, 3 * p.lanes, "three read-only sessions per lane");
+            assert_eq!(p.requests, 3 * 12 * p.lanes as u64, "weak scaling: load grows with lanes");
+            assert!(p.elapsed_ms > 0.0 && p.rps > 0.0);
+        }
+        let sp = &sample.spill;
+        assert!(sp.spills > 0, "the skewed arm must shed clean reads to siblings");
+        assert_eq!(sp.rejections, 0, "one fleet's worth per round never overflows the fleet");
+        assert!(
+            sp.p99_ratio <= 2.0,
+            "spill must keep the hot shard's p99 within 2x balanced, got {:.2}x \
+             ({} us vs {} us)",
+            sp.p99_ratio,
+            sp.skewed_p99_us,
+            sp.balanced_p99_us
+        );
+    }
+
+    #[test]
     fn report_round_trips_through_json() {
         let report = run_serve_bench(true);
         let json = report_json(&report);
@@ -1115,10 +1392,18 @@ mod tests {
         assert!(json.contains("block_p99_us"));
         assert!(json.contains("ratio_3v1"));
         assert!(json.contains("wall_clock"));
+        assert!(json.contains("routed"));
+        assert!(json.contains("p99_ratio"));
         let parsed = parse_report(&json).expect("parse persisted report");
         assert_eq!(parsed.scaling.points.len(), report.scaling.points.len());
         assert!((parsed.scaling.ratio_3v1 - report.scaling.ratio_3v1).abs() < 1e-9);
         assert_eq!(parsed.wall_clock.points.len(), report.wall_clock.points.len());
         assert_eq!(parsed.wall_clock.host_cores, report.wall_clock.host_cores);
+        assert_eq!(parsed.routed.points.len(), report.routed.points.len());
+        assert_eq!(parsed.routed.spill.spills, report.routed.spill.spills);
+        // A pre-router artifact (no `routed` section) must fail to parse,
+        // so the report binary regenerates instead of printing stale data.
+        let stale = json.replace("\"routed\"", "\"routed_gone\"");
+        assert!(parse_report(&stale).is_err(), "stale schema must be rejected");
     }
 }

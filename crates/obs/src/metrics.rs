@@ -374,6 +374,43 @@ impl SessionMetrics {
     }
 }
 
+/// Fleet-routing counters (written by the serve layer's front-end
+/// router only): placement decisions, saturated-home spills and stripe
+/// fan-outs across replica lanes.
+#[derive(Debug, Default)]
+pub struct RouteMetrics {
+    decisions: AtomicU64,
+    spills: AtomicU64,
+    stripe_fanouts: AtomicU64,
+    stripe_parts: AtomicU64,
+}
+
+impl RouteMetrics {
+    /// Count one routed submit planned into `parts` parts, `spilled` of
+    /// which were shed off their saturated home lane.
+    pub fn on_plan(&self, parts: u64, spilled: u64) {
+        self.decisions.fetch_add(1, Ordering::Relaxed);
+        self.spills.fetch_add(spilled, Ordering::Relaxed);
+        if parts > 1 {
+            self.stripe_fanouts.fetch_add(1, Ordering::Relaxed);
+            self.stripe_parts.fetch_add(parts, Ordering::Relaxed);
+        }
+    }
+}
+
+/// A frozen [`RouteMetrics`].
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RouteSnapshot {
+    /// Routed submits planned (route decisions).
+    pub decisions: u64,
+    /// Route parts shed off a saturated home lane to a sibling replica.
+    pub spills: u64,
+    /// Routed submits split across two or more replicas.
+    pub stripe_fanouts: u64,
+    /// Total parts those fan-outs produced.
+    pub stripe_parts: u64,
+}
+
 /// A frozen [`SessionMetrics`].
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct SessionSnapshot {
@@ -407,6 +444,11 @@ pub struct MetricsSnapshot {
     pub doorbell_batch: HistogramSnapshot,
     /// Per-session series, sorted by session id.
     pub sessions: Vec<SessionSnapshot>,
+    /// Fleet-routing counters. Snapshots persisted before the shard
+    /// router existed fail to parse (the workspace serde stand-in has no
+    /// field defaulting); consumers treat that as a stale artifact and
+    /// regenerate, like every other schema extension here.
+    pub route: RouteSnapshot,
 }
 
 impl MetricsSnapshot {
@@ -424,6 +466,7 @@ pub struct MetricsRegistry {
     epoch: Instant,
     lanes: Mutex<Vec<Arc<LaneMetrics>>>,
     smc: Arc<SmcMetrics>,
+    route: Arc<RouteMetrics>,
     sessions: Mutex<HashMap<u32, Arc<SessionMetrics>>>,
 }
 
@@ -444,6 +487,7 @@ impl MetricsRegistry {
             epoch,
             lanes: Mutex::new(Vec::new()),
             smc: Arc::new(SmcMetrics::new()),
+            route: Arc::new(RouteMetrics::default()),
             sessions: Mutex::new(HashMap::new()),
         }
     }
@@ -476,6 +520,11 @@ impl MetricsRegistry {
     /// The shared SMC series.
     pub fn smc(&self) -> Arc<SmcMetrics> {
         Arc::clone(&self.smc)
+    }
+
+    /// The shared fleet-routing series.
+    pub fn route(&self) -> Arc<RouteMetrics> {
+        Arc::clone(&self.route)
     }
 
     /// The series for `session`, created on first use.
@@ -524,6 +573,12 @@ impl MetricsRegistry {
             smc_by_kind,
             doorbell_batch: self.smc.doorbell_batch.snapshot(),
             sessions,
+            route: RouteSnapshot {
+                decisions: self.route.decisions.load(Ordering::Relaxed),
+                spills: self.route.spills.load(Ordering::Relaxed),
+                stripe_fanouts: self.route.stripe_fanouts.load(Ordering::Relaxed),
+                stripe_parts: self.route.stripe_parts.load(Ordering::Relaxed),
+            },
         }
     }
 }
@@ -579,6 +634,23 @@ pub fn prometheus_text(snapshot: &MetricsSnapshot) -> String {
     );
     for kind in &snapshot.smc_by_kind {
         out.push_str(&format!("dlt_smc_calls_total{{kind=\"{}\"}} {}\n", kind.kind, kind.calls));
+    }
+    let route_families: [(&str, &str, u64); 4] = [
+        ("dlt_route_decisions_total", "Routed submits planned", snapshot.route.decisions),
+        ("dlt_route_spills_total", "Route parts shed to a sibling replica", snapshot.route.spills),
+        (
+            "dlt_route_stripe_fanouts_total",
+            "Routed submits split across replicas",
+            snapshot.route.stripe_fanouts,
+        ),
+        (
+            "dlt_route_stripe_parts_total",
+            "Parts produced by stripe fan-outs",
+            snapshot.route.stripe_parts,
+        ),
+    ];
+    for (name, help, value) in route_families {
+        out.push_str(&format!("# HELP {name} {help}\n# TYPE {name} counter\n{name} {value}\n"));
     }
     out.push_str(
         "# HELP dlt_lane_latency_ns Virtual submit-to-complete latency (log2 buckets)\n# TYPE dlt_lane_latency_ns histogram\n",

@@ -84,6 +84,14 @@ pub(crate) struct SharedStats {
     pub doorbells: AtomicU64,
     pub doorbell_entries: AtomicU64,
     pub cq_overflows: AtomicU64,
+    /// Requests that went through the shard router's placement.
+    pub routed: AtomicU64,
+    /// Route parts shed off a saturated home lane to a sibling.
+    pub route_spills: AtomicU64,
+    /// Routed requests split across two or more replicas.
+    pub stripe_fanouts: AtomicU64,
+    /// Total parts those fan-outs produced.
+    pub stripe_parts: AtomicU64,
 }
 
 impl SharedStats {
@@ -217,6 +225,7 @@ impl LaneShared {
                 depth: depth as usize,
                 capacity: self.capacity,
                 high_water: self.metrics.occupancy_high_water() as usize,
+                fleet: Vec::new(),
             });
         }
         // Only the front-end thread reserves, so load-then-add cannot

@@ -65,6 +65,7 @@ pub mod adapter;
 pub mod coalesce;
 pub(crate) mod lane;
 pub mod ring;
+pub mod route;
 pub mod sched;
 pub mod service;
 
@@ -78,6 +79,7 @@ pub use dlt_obs::spsc;
 pub use dlt_obs::ObsConfig;
 
 pub use adapter::ServedBlockDev;
+pub use route::{LaneId, ReplicaDepth, RouteConfig, RoutePolicy};
 pub use sched::Policy;
 pub use service::{
     DriverletService, ExecMode, LaneSubmitter, ServeConfig, ServeStats, SessionBlockIo, SubmitMode,
@@ -266,6 +268,13 @@ pub enum ServeError {
         /// caller whether saturation is chronic (`high_water` pinned at
         /// `capacity` for the run) or a one-off burst.
         high_water: usize,
+        /// Per-replica depth snapshot of the device's whole lane fleet at
+        /// rejection time, so a routed caller can tell "one hot shard"
+        /// (back off briefly — spill is already shedding clean reads)
+        /// from "fleet saturated" (drain the device). Empty when the
+        /// rejection came from a directly addressed lane rather than the
+        /// router.
+        fleet: Vec<ReplicaDepth>,
     },
     /// The session-admission limit was reached.
     SessionLimit {
@@ -289,12 +298,19 @@ pub enum ServeError {
 impl std::fmt::Display for ServeError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            ServeError::QueueFull { device, depth, capacity, high_water } => {
+            ServeError::QueueFull { device, depth, capacity, high_water, fleet } => {
                 write!(
                     f,
                     "submission queue for {device} is full ({depth} of {capacity} entries, \
                      high water {high_water})"
-                )
+                )?;
+                if !fleet.is_empty() {
+                    write!(f, "; fleet")?;
+                    for r in fleet {
+                        write!(f, " {}:{}/{}", r.replica, r.depth, r.capacity)?;
+                    }
+                }
+                Ok(())
             }
             ServeError::SessionLimit { max } => {
                 write!(f, "session limit reached ({max} concurrent sessions)")
@@ -350,10 +366,32 @@ mod tests {
         let e = ServeError::Replay(ReplayError::UnknownEntry("replay_mmc".into()));
         assert!(e.source().is_some(), "ServeError must expose the ReplayError source");
         assert!(e.to_string().contains("replay_mmc"));
-        let q = ServeError::QueueFull { device: Device::Usb, depth: 4, capacity: 4, high_water: 4 };
+        let q = ServeError::QueueFull {
+            device: Device::Usb,
+            depth: 4,
+            capacity: 4,
+            high_water: 4,
+            fleet: Vec::new(),
+        };
         assert!(q.source().is_none(), "backpressure is a leaf error: nothing to chain");
         assert!(q.to_string().contains("usb"), "callers back off per device");
         assert!(q.to_string().contains('4'), "the lane depth is visible to callers");
         assert!(q.to_string().contains("high water 4"), "chronic saturation is distinguishable");
+        assert!(!q.to_string().contains("fleet"), "a direct lane rejection has no fleet view");
+        let routed = ServeError::QueueFull {
+            device: Device::Mmc,
+            depth: 8,
+            capacity: 8,
+            high_water: 8,
+            fleet: vec![
+                ReplicaDepth { replica: 0, depth: 8, capacity: 8 },
+                ReplicaDepth { replica: 1, depth: 1, capacity: 8 },
+            ],
+        };
+        let text = routed.to_string();
+        assert!(
+            text.contains("fleet 0:8/8 1:1/8"),
+            "a routed rejection shows every replica's depth, got: {text}"
+        );
     }
 }

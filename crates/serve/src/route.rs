@@ -1,0 +1,504 @@
+//! Shard routing across replica lanes.
+//!
+//! The threaded-lane refactor made replica fleets real — N independent
+//! simulated devices of the same class, each on its own TEE core — but
+//! the front-end still sent every [`DriverletService::submit`] to the
+//! *first* lane of a device class, so an N-replica fleet served traffic
+//! at 1-replica throughput. This module is the routing layer in front of
+//! the fleet:
+//!
+//! * [`LaneId`] — fleet addressing beyond the closed [`Device`] enum: a
+//!   `(device class, replica ordinal)` pair.
+//! * [`RoutePolicy`] — pluggable placement over fixed-size block
+//!   *chunks*: hash sharding (the default — deterministic, same block →
+//!   same replica), RAID0-style striping (round-robin chunks, so one hot
+//!   tenant's large span fans out across the whole fleet), or pinning to
+//!   the first replica (the pre-router behaviour).
+//! * Replica-aware **spill** admission: when a home lane is saturated, a
+//!   *clean* read sheds to its least-loaded sibling instead of failing
+//!   with `QueueFull` — the power-of-two-choices idea, generalised to
+//!   d-choices because scanning a ≤16-replica fleet is cheaper than
+//!   sampling it.
+//!
+//! ## Why placement must be deterministic
+//!
+//! Replicas are not views of one datastore: each lane owns an
+//! independent simulated device initialised from the same recorded
+//! bundle. Blocks that were never written read byte-identically on every
+//! replica, but a write exists only on the lane that executed it. Serial
+//! equivalence therefore requires every request touching a block to land
+//! on that block's *home* lane, where per-lane FIFO admission preserves
+//! the block's write/read order. Both shipping policies are pure
+//! functions of the block's chunk id, so the home is identical across
+//! runs, submit modes and execution modes.
+//!
+//! ## Why spilling is restricted to clean reads
+//!
+//! A read may legally execute on *any* replica iff every chunk it
+//! touches is **clean** — no write was ever routed into it — because
+//! clean chunks are byte-identical fleet-wide (same bundle, fresh
+//! platform) and a read of them commutes with every legal serial order.
+//! The router tracks dirtied chunks at routing time, which is submission
+//! order (the front-end is single-threaded), so the check is exact, and
+//! marking is conservative: a staged write that is later rejected at the
+//! doorbell leaves its chunks marked dirty, which only forfeits future
+//! spill opportunities, never correctness. Writes never spill.
+//!
+//! [`DriverletService::submit`]: crate::DriverletService::submit
+
+use std::collections::HashSet;
+
+use crate::{Device, Request, SessionId, BLOCK};
+
+/// One replica lane of a device class — fleet addressing beyond the
+/// closed [`Device`] enum.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct LaneId {
+    /// Device class the lane serves.
+    pub device: Device,
+    /// Replica ordinal within the class (0-based, in construction
+    /// order).
+    pub replica: usize,
+}
+
+impl std::fmt::Display for LaneId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}/{}", self.device, self.replica)
+    }
+}
+
+/// Placement policy: which replica owns each fixed-size chunk of the
+/// block address space. All variants are pure functions of the chunk id,
+/// so placement is deterministic across runs and submit modes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RoutePolicy {
+    /// Everything to replica 0 — the pre-router behaviour, kept for
+    /// callers that micromanage lanes themselves.
+    Pinned,
+    /// Hash sharding: chunk `k` lives on replica `hash(k) % n`. Large
+    /// chunks keep a tenant's working set on one lane (coalescing still
+    /// merges inside a chunk) while distinct extents spread fleet-wide.
+    HashShard {
+        /// Chunk size in blocks (placement granularity).
+        chunk_blocks: u32,
+    },
+    /// RAID0-style striping: chunk `k` lives on replica `k % n`, so one
+    /// hot tenant's large span fans out across every replica and its
+    /// completions are reassembled in offset order.
+    Stripe {
+        /// Stripe unit in blocks.
+        stripe_blocks: u32,
+    },
+}
+
+impl RoutePolicy {
+    /// Placement granularity in blocks (`None` = never split: the whole
+    /// address space is one chunk).
+    fn chunk_blocks(&self) -> Option<u32> {
+        match self {
+            RoutePolicy::Pinned => None,
+            RoutePolicy::HashShard { chunk_blocks } => Some((*chunk_blocks).max(1)),
+            RoutePolicy::Stripe { stripe_blocks } => Some((*stripe_blocks).max(1)),
+        }
+    }
+
+    /// Home replica of chunk `chunk` in an `replicas`-wide fleet.
+    fn replica_for_chunk(&self, chunk: u64, replicas: usize) -> usize {
+        let n = replicas.max(1) as u64;
+        match self {
+            RoutePolicy::Pinned => 0,
+            RoutePolicy::HashShard { .. } => (splitmix64(chunk) % n) as usize,
+            RoutePolicy::Stripe { .. } => (chunk % n) as usize,
+        }
+    }
+
+    /// Home replica of block `blkid` in an `replicas`-wide fleet — the
+    /// pure placement function (what "same block → same replica" means).
+    pub fn replica_for(&self, blkid: u32, replicas: usize) -> usize {
+        let chunk = match self.chunk_blocks() {
+            Some(cb) => u64::from(blkid) / u64::from(cb),
+            None => 0,
+        };
+        self.replica_for_chunk(chunk, replicas)
+    }
+}
+
+/// Router configuration ([`ServeConfig::route`]).
+///
+/// [`ServeConfig::route`]: crate::ServeConfig::route
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RouteConfig {
+    /// Placement policy.
+    pub policy: RoutePolicy,
+    /// Shed clean reads from a saturated home lane to its least-loaded
+    /// sibling instead of returning `QueueFull`.
+    pub spill: bool,
+}
+
+impl Default for RouteConfig {
+    fn default() -> Self {
+        // 256-block (128 KiB) chunks: big enough that the coalescer's
+        // merge window stays on one lane, small enough that distinct
+        // tenant extents spread across the fleet. With one replica every
+        // chunk maps to lane 0 and the router is an identity.
+        RouteConfig { policy: RoutePolicy::HashShard { chunk_blocks: 256 }, spill: true }
+    }
+}
+
+/// One replica lane's queue depth in a fleet backpressure snapshot
+/// (carried by `ServeError::QueueFull` from routed submits, so callers
+/// can tell "one hot shard" from "fleet saturated").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReplicaDepth {
+    /// Replica ordinal within the device class.
+    pub replica: usize,
+    /// Queue occupancy at rejection time (lane queue per-call, SQ ring
+    /// in ring mode).
+    pub depth: usize,
+    /// The replica's configured bound.
+    pub capacity: usize,
+}
+
+/// One replica's occupancy as the planner sees it.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct LaneLoad {
+    /// Current queue depth (admitted in-flight per-call; staged SQ
+    /// entries in ring mode).
+    pub depth: usize,
+    /// The bound the depth is admitted against.
+    pub capacity: usize,
+}
+
+/// One contiguous piece of a routed request. A plan with a single part
+/// spanning the whole request routes unsplit; two or more parts fan out
+/// and reassemble.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct RoutePart {
+    /// Replica ordinal (index into the device's lane table).
+    pub replica: usize,
+    /// First block of the part (equals the request's `blkid` for
+    /// captures, which carry no span).
+    pub blkid: u32,
+    /// Blocks in the part (0 for captures).
+    pub blkcnt: u32,
+    /// Whether the part was shed off its saturated home lane.
+    pub spilled: bool,
+}
+
+/// Rejection: some part could not be admitted on its home lane nor
+/// legally spilled. Carries the fleet-wide depth snapshot.
+#[derive(Debug, Clone)]
+pub(crate) struct RouteReject {
+    /// The saturated home replica of the unroutable part.
+    pub home: usize,
+    /// Per-replica depth snapshot at rejection time.
+    pub fleet: Vec<ReplicaDepth>,
+}
+
+/// The front-end's routing state: the placement policy plus the dirtied
+/// chunk set that gates spilling. Lives behind `&mut DriverletService`,
+/// so updates happen in submission order.
+pub(crate) struct Router {
+    policy: RoutePolicy,
+    spill: bool,
+    /// Chunks a write was ever routed into, per device class.
+    dirty: HashSet<(Device, u64)>,
+}
+
+impl Router {
+    pub(crate) fn new(config: RouteConfig) -> Self {
+        Router { policy: config.policy, spill: config.spill, dirty: HashSet::new() }
+    }
+
+    /// Plan `req` across a fleet of `loads.len()` replicas. Returns the
+    /// parts to submit (all-or-nothing: on `Err` nothing was planned and
+    /// no chunk was dirtied), accounting for the parts' own occupancy so
+    /// a fan-out cannot overcommit one lane.
+    pub(crate) fn plan(
+        &mut self,
+        session: SessionId,
+        req: &Request,
+        loads: &[LaneLoad],
+    ) -> Result<Vec<RoutePart>, RouteReject> {
+        let n = loads.len().max(1);
+        let device = req.device();
+        let (blkid, blkcnt, is_write) = match req {
+            Request::Read { blkid, blkcnt, .. } => (*blkid, *blkcnt, false),
+            Request::Write { blkid, data, .. } => (*blkid, (data.len() / BLOCK) as u32, true),
+            Request::Capture { .. } => {
+                // Captures carry no block span: place by session hash
+                // (deterministic, keeps one tenant's frames — and their
+                // lane-local capture history — on one camera). Never
+                // spilled: frame content may depend on that history.
+                let replica = (splitmix64(u64::from(session)) % n as u64) as usize;
+                if loads[replica].depth >= loads[replica].capacity {
+                    return Err(self.reject(replica, loads, &[]));
+                }
+                return Ok(vec![RoutePart { replica, blkid: 0, blkcnt: 0, spilled: false }]);
+            }
+        };
+
+        // Split the span at chunk boundaries, merging adjacent chunks
+        // that share a home into one part.
+        let mut parts: Vec<RoutePart> = Vec::with_capacity(1);
+        let end = u64::from(blkid) + u64::from(blkcnt.max(1)) - 1;
+        match self.policy.chunk_blocks() {
+            None => {
+                parts.push(RoutePart { replica: 0, blkid, blkcnt, spilled: false });
+            }
+            Some(cb) => {
+                let cb = u64::from(cb);
+                let (first, last) = (u64::from(blkid) / cb, end / cb);
+                for chunk in first..=last {
+                    let home = self.policy.replica_for_chunk(chunk, n);
+                    let lo = (chunk * cb).max(u64::from(blkid));
+                    let hi = ((chunk + 1) * cb - 1).min(end);
+                    match parts.last_mut() {
+                        Some(prev) if prev.replica == home => {
+                            prev.blkcnt += (hi - lo + 1) as u32;
+                        }
+                        _ => parts.push(RoutePart {
+                            replica: home,
+                            blkid: lo as u32,
+                            blkcnt: (hi - lo + 1) as u32,
+                            spilled: false,
+                        }),
+                    }
+                }
+            }
+        }
+
+        // Admission with spill: each part goes home unless home is
+        // saturated, in which case a clean read sheds to the
+        // least-loaded sibling with room (d-choices over the whole
+        // fleet — at ≤16 replicas the scan is cheaper than sampling).
+        let mut planned = vec![0usize; n];
+        for part in &mut parts {
+            let fits =
+                |r: usize, planned: &[usize]| loads[r].depth + planned[r] < loads[r].capacity;
+            if fits(part.replica, &planned) {
+                planned[part.replica] += 1;
+                continue;
+            }
+            let spillable = self.spill && !is_write && n > 1 && self.part_is_clean(device, part);
+            let sibling = if spillable {
+                (0..n)
+                    .filter(|&r| r != part.replica && fits(r, &planned))
+                    .min_by_key(|&r| loads[r].depth + planned[r])
+            } else {
+                None
+            };
+            match sibling {
+                Some(alt) => {
+                    planned[alt] += 1;
+                    part.spilled = true;
+                    part.replica = alt;
+                }
+                None => return Err(self.reject(part.replica, loads, &planned)),
+            }
+        }
+
+        if is_write {
+            if let Some(cb) = self.policy.chunk_blocks() {
+                let cb = u64::from(cb);
+                for chunk in (u64::from(blkid) / cb)..=(end / cb) {
+                    self.dirty.insert((device, chunk));
+                }
+            }
+        }
+        Ok(parts)
+    }
+
+    /// Whether every chunk the part touches is clean (never dirtied by a
+    /// routed write) — the condition under which the part's bytes are
+    /// identical on every replica.
+    fn part_is_clean(&self, device: Device, part: &RoutePart) -> bool {
+        let Some(cb) = self.policy.chunk_blocks() else {
+            return self.dirty.is_empty();
+        };
+        let cb = u64::from(cb);
+        let end = u64::from(part.blkid) + u64::from(part.blkcnt.max(1)) - 1;
+        ((u64::from(part.blkid) / cb)..=(end / cb))
+            .all(|chunk| !self.dirty.contains(&(device, chunk)))
+    }
+
+    fn reject(&self, home: usize, loads: &[LaneLoad], planned: &[usize]) -> RouteReject {
+        let fleet = loads
+            .iter()
+            .enumerate()
+            .map(|(replica, l)| ReplicaDepth {
+                replica,
+                depth: l.depth + planned.get(replica).copied().unwrap_or(0),
+                capacity: l.capacity,
+            })
+            .collect();
+        RouteReject { home, fleet }
+    }
+}
+
+/// SplitMix64 — the avalanche permutation behind the hash shard. Chosen
+/// over a modulo of the raw chunk id so sequential extents spread
+/// instead of landing on consecutive replicas in lockstep with stripe
+/// placement.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn loads(depths: &[usize], capacity: usize) -> Vec<LaneLoad> {
+        depths.iter().map(|&depth| LaneLoad { depth, capacity }).collect()
+    }
+
+    fn rd(blkid: u32, blkcnt: u32) -> Request {
+        Request::Read { device: Device::Mmc, blkid, blkcnt }
+    }
+
+    fn wr(blkid: u32, blocks: usize) -> Request {
+        Request::Write { device: Device::Mmc, blkid, data: vec![0xa5; blocks * BLOCK] }
+    }
+
+    #[test]
+    fn placement_is_deterministic_and_chunk_granular() {
+        for policy in
+            [RoutePolicy::HashShard { chunk_blocks: 64 }, RoutePolicy::Stripe { stripe_blocks: 64 }]
+        {
+            for blkid in 0..512u32 {
+                let a = policy.replica_for(blkid, 4);
+                let b = policy.replica_for(blkid, 4);
+                assert_eq!(a, b, "same block must always land on the same replica");
+                assert!(a < 4);
+                // Every block of a chunk shares the chunk's home.
+                assert_eq!(a, policy.replica_for(blkid / 64 * 64, 4));
+            }
+        }
+        // Stripe is round-robin by construction.
+        let stripe = RoutePolicy::Stripe { stripe_blocks: 8 };
+        for chunk in 0..16u32 {
+            assert_eq!(stripe.replica_for(chunk * 8, 4), (chunk % 4) as usize);
+        }
+        assert_eq!(RoutePolicy::Pinned.replica_for(12345, 4), 0);
+    }
+
+    #[test]
+    fn hash_shard_spreads_distinct_extents() {
+        let policy = RoutePolicy::HashShard { chunk_blocks: 64 };
+        let homes: std::collections::HashSet<usize> =
+            (0..32u32).map(|extent| policy.replica_for(extent * 64, 4)).collect();
+        assert!(homes.len() >= 3, "32 extents over 4 replicas must hit most of the fleet");
+    }
+
+    #[test]
+    fn spans_split_at_chunk_boundaries_and_reassemble_contiguously() {
+        let mut router = Router::new(RouteConfig {
+            policy: RoutePolicy::Stripe { stripe_blocks: 4 },
+            spill: false,
+        });
+        let parts = router.plan(1, &rd(6, 10), &loads(&[0, 0, 0], 8)).unwrap();
+        // Blocks 6..=15 over 4-block stripes: [6,7] -> chunk 1, [8..=11]
+        // -> chunk 2, [12..=15] -> chunk 3; chunk k -> replica k % 3.
+        assert_eq!(parts.len(), 3);
+        assert_eq!(
+            parts,
+            vec![
+                RoutePart { replica: 1, blkid: 6, blkcnt: 2, spilled: false },
+                RoutePart { replica: 2, blkid: 8, blkcnt: 4, spilled: false },
+                RoutePart { replica: 0, blkid: 12, blkcnt: 4, spilled: false },
+            ]
+        );
+        // The parts partition the span in offset order.
+        let total: u32 = parts.iter().map(|p| p.blkcnt).sum();
+        assert_eq!(total, 10);
+        assert_eq!(parts[0].blkid, 6);
+        for w in parts.windows(2) {
+            assert_eq!(w[0].blkid + w[0].blkcnt, w[1].blkid);
+        }
+    }
+
+    #[test]
+    fn adjacent_chunks_with_one_home_stay_one_part() {
+        let mut router = Router::new(RouteConfig {
+            policy: RoutePolicy::Stripe { stripe_blocks: 4 },
+            spill: false,
+        });
+        // One replica: every chunk homes on 0, so nothing ever splits.
+        let parts = router.plan(1, &rd(0, 64), &loads(&[0], 128)).unwrap();
+        assert_eq!(parts.len(), 1);
+        assert_eq!((parts[0].blkid, parts[0].blkcnt), (0, 64));
+    }
+
+    #[test]
+    fn clean_reads_spill_to_the_least_loaded_sibling() {
+        let mut router = Router::new(RouteConfig {
+            policy: RoutePolicy::Stripe { stripe_blocks: 64 },
+            spill: true,
+        });
+        // Chunk 0 homes on replica 0, which is saturated; replica 2 is
+        // the least loaded sibling.
+        let parts = router.plan(1, &rd(0, 8), &loads(&[4, 2, 1, 3], 4)).unwrap();
+        assert_eq!(parts.len(), 1);
+        assert!(parts[0].spilled);
+        assert_eq!(parts[0].replica, 2);
+
+        // A write to the same saturated home never spills: fleet view.
+        let err = router.plan(1, &wr(0, 1), &loads(&[4, 2, 1, 3], 4)).unwrap_err();
+        assert_eq!(err.home, 0);
+        assert_eq!(err.fleet.len(), 4);
+        assert_eq!(err.fleet[0], ReplicaDepth { replica: 0, depth: 4, capacity: 4 });
+        assert_eq!(err.fleet[2].depth, 1);
+    }
+
+    #[test]
+    fn dirty_chunks_pin_reads_to_their_home() {
+        let mut router = Router::new(RouteConfig {
+            policy: RoutePolicy::Stripe { stripe_blocks: 64 },
+            spill: true,
+        });
+        // Route a write through chunk 0 (home replica 0) while there is
+        // room, dirtying it.
+        router.plan(1, &wr(8, 2), &loads(&[0, 0], 4)).unwrap();
+        // Now saturate the home: the read of the dirtied chunk must NOT
+        // spill (the sibling never saw the write) — fleet-view reject.
+        let err = router.plan(1, &rd(8, 2), &loads(&[4, 0], 4)).unwrap_err();
+        assert_eq!(err.home, 0);
+        // A read of a *different, clean* chunk still spills fine.
+        let parts = router.plan(1, &rd(64, 2), &loads(&[4, 0], 4)).unwrap();
+        assert!(parts[0].spilled || parts[0].replica == 1);
+    }
+
+    #[test]
+    fn fanout_accounts_for_its_own_occupancy() {
+        let mut router = Router::new(RouteConfig {
+            policy: RoutePolicy::Stripe { stripe_blocks: 1 },
+            spill: false,
+        });
+        // 4 single-block chunks round-robin over 2 replicas: 2 parts per
+        // replica... but each lane has room for only 1 more entry, and
+        // the merged parts (2 chunks each... stripe_blocks 1 alternates,
+        // so 4 chunks -> 4 parts) overcommit: the plan must reject
+        // rather than plan two parts into one slot.
+        let err = router.plan(1, &rd(0, 4), &loads(&[3, 3], 4)).unwrap_err();
+        assert_eq!(err.fleet.iter().map(|f| f.depth).max(), Some(4));
+    }
+
+    #[test]
+    fn captures_place_by_session_and_never_split() {
+        let mut router = Router::new(RouteConfig::default());
+        let cap = Request::Capture { frames: 1, resolution: 720 };
+        let a = router.plan(7, &cap, &loads(&[0, 0, 0], 4)).unwrap();
+        let b = router.plan(7, &cap, &loads(&[1, 1, 1], 4)).unwrap();
+        assert_eq!(a.len(), 1);
+        assert_eq!(a[0].replica, b[0].replica, "a session's captures stay on one camera");
+    }
+
+    #[test]
+    fn lane_ids_render_class_and_ordinal() {
+        let id = LaneId { device: Device::Mmc, replica: 2 };
+        assert_eq!(id.to_string(), "mmc/2");
+    }
+}

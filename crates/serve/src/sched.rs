@@ -144,6 +144,7 @@ impl Lane {
                 depth: self.queue.len(),
                 capacity: self.capacity,
                 high_water: self.high_water.max(self.queue.len()),
+                fleet: Vec::new(),
             });
         }
         if !self.rr_order.contains(&p.session) {

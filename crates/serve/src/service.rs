@@ -87,6 +87,7 @@ use crate::lane::{
     CtrlMsg, CtrlReply, CtrlReq, LaneConfig, LaneShared, LaneWorker, Quiesce, SharedStats,
 };
 use crate::ring::{CompletionRing, SqEntry, SubmissionRing};
+use crate::route::{LaneId, LaneLoad, RouteConfig, RoutePart, RouteReject, Router};
 use crate::sched::{Lane, Pending, Policy};
 use crate::spsc::{self, SpscConsumer, SpscProducer};
 use crate::{
@@ -165,6 +166,10 @@ pub struct ServeConfig {
     pub camera_bursts: Vec<u32>,
     /// Replay engine the per-device replayers run.
     pub mode: ReplayMode,
+    /// Shard routing across replica lanes: placement policy plus the
+    /// spill switch (see [`crate::route`]). With a single lane per device
+    /// the router is an identity and this knob is inert.
+    pub route: RouteConfig,
     /// Observability plane: `Off` (production fast path), `MetricsOnly`
     /// (atomic counters and histograms), or `Full` (metrics plus the
     /// per-thread flight recorder). Defaults from the `DLT_OBS`
@@ -189,6 +194,7 @@ impl Default for ServeConfig {
             block_granularities: vec![1, 8, 32, 128, 256],
             camera_bursts: vec![1],
             mode: ReplayMode::Compiled,
+            route: RouteConfig::default(),
             obs: std::env::var("DLT_OBS")
                 .ok()
                 .and_then(|s| ObsConfig::from_env_str(&s))
@@ -232,6 +238,17 @@ pub struct ServeStats {
     pub doorbell_entries: u64,
     /// Completions that spilled to a session's CQ overflow list.
     pub cq_overflows: u64,
+    /// Submits that went through the replica router (every
+    /// [`DriverletService::submit`] on a routed fleet; explicit-lane
+    /// submits bypass the router and are not counted).
+    pub routed: u64,
+    /// Routed parts shed off a saturated home lane to a sibling replica.
+    pub route_spills: u64,
+    /// Routed submits that fanned out to two or more replica lanes.
+    pub stripe_fanouts: u64,
+    /// Member parts those fan-outs produced (`stripe_parts /
+    /// stripe_fanouts` is the mean fan-out width).
+    pub stripe_parts: u64,
 }
 
 impl ServeStats {
@@ -416,6 +433,44 @@ struct SessionEntry {
     obs: Option<Arc<SessionMetrics>>,
 }
 
+/// Reassembly state for one routed submit that fanned out across replica
+/// lanes. The client holds the *parent* [`RequestId`]; each member part
+/// executes on its lane like any other request, and the front-end folds
+/// member completions in here as it reaps them. When the last member
+/// lands, one synthesized parent [`Completion`] — offset-ordered read
+/// bytes, the latest member `completed_ns` — is posted to the session.
+struct StripeParent {
+    session: SessionId,
+    device: Device,
+    /// Members not yet folded in.
+    outstanding: usize,
+    /// Read reassembly buffer (member payloads land at their byte
+    /// offsets); `None` for writes.
+    buf: Option<Vec<u8>>,
+    /// Total blocks the parent wrote (the `Payload::Written` count).
+    blocks: u32,
+    submitted_ns: u64,
+    /// Running max over member completion stamps: a striped request is
+    /// done when its *slowest* part is.
+    completed_ns: u64,
+    /// Whether any member rode a merged/batched replay.
+    coalesced: bool,
+    /// Lowest-offset member error, if any — the error serial execution
+    /// would have hit first.
+    error: Option<(usize, ServeError)>,
+}
+
+/// What [`DriverletService::absorb_member`] made of one reaped
+/// completion.
+enum Absorbed {
+    /// Not a stripe member — deliver it unchanged.
+    Direct(Completion),
+    /// A member folded into a parent that is still waiting on siblings.
+    Pending,
+    /// The last member landed: deliver the synthesized parent.
+    Parent(Completion),
+}
+
 /// The multi-tenant driverlet service (see the crate docs).
 ///
 /// # Example
@@ -451,6 +506,18 @@ pub struct DriverletService {
     control_cell: Arc<ClockCell>,
     tee: TeeKernel,
     lanes: Vec<LaneFrontEnd>,
+    /// Lane indices per device class, in construction (replica) order —
+    /// the O(1) routing table behind [`DriverletService::submit`] and the
+    /// [`LaneId`] address space (`lane_table[&device][replica]`).
+    lane_table: HashMap<Device, Vec<usize>>,
+    /// The shard router: placement policy plus the dirtied-chunk set that
+    /// gates spilling (see [`crate::route`]).
+    router: Router,
+    /// Member request id → (parent id, byte offset into the parent span)
+    /// for in-flight routed fan-outs.
+    stripe_members: HashMap<RequestId, (RequestId, usize)>,
+    /// Parent id → reassembly state for in-flight routed fan-outs.
+    stripe_parents: HashMap<RequestId, StripeParent>,
     config: ServeConfig,
     sessions: HashMap<SessionId, SessionEntry>,
     /// Request-id allocator, shared with detached [`LaneSubmitter`]s
@@ -514,11 +581,13 @@ impl DriverletService {
     /// once and serves many service restarts from the same signed bundles.
     ///
     /// A device may appear more than once: each occurrence becomes its own
-    /// **replica lane** with an independent core and queue (address them
-    /// with [`DriverletService::submit_to_lane`]; the device-routed
-    /// [`DriverletService::submit`] always picks the first matching lane).
-    /// In [`ExecMode::Threaded`] each lane's worker is spawned onto its
-    /// own OS thread here and joined on drop.
+    /// **replica lane** with an independent core and queue. The
+    /// device-routed [`DriverletService::submit`] shards block addresses
+    /// across the replicas under [`ServeConfig::route`]; explicit lanes
+    /// are addressed with [`DriverletService::submit_to`] (by [`LaneId`])
+    /// or [`DriverletService::submit_to_lane`] (by raw index). In
+    /// [`ExecMode::Threaded`] each lane's worker is spawned onto its own
+    /// OS thread here and joined on drop.
     pub fn with_driverlets(
         bundles: &[(Device, dlt_template::Driverlet)],
         config: ServeConfig,
@@ -650,11 +719,23 @@ impl DriverletService {
                 join,
             });
         }
+        // Satellite of the router: the per-device lane table is built
+        // once here, so the submit path's device → lanes resolution is a
+        // hash lookup instead of an O(lanes) scan per request.
+        let mut lane_table: HashMap<Device, Vec<usize>> = HashMap::new();
+        for (index, lane) in lanes.iter().enumerate() {
+            lane_table.entry(lane.device).or_default().push(index);
+        }
+        let router = Router::new(config.route);
         Ok(DriverletService {
             control,
             control_cell,
             tee,
             lanes,
+            lane_table,
+            router,
+            stripe_members: HashMap::new(),
+            stripe_parents: HashMap::new(),
             config,
             sessions: HashMap::new(),
             next_request: Arc::new(AtomicU64::new(1)),
@@ -732,6 +813,10 @@ impl DriverletService {
             doorbells: ld(&self.stats.doorbells),
             doorbell_entries: ld(&self.stats.doorbell_entries),
             cq_overflows: ld(&self.stats.cq_overflows),
+            routed: ld(&self.stats.routed),
+            route_spills: ld(&self.stats.route_spills),
+            stripe_fanouts: ld(&self.stats.stripe_fanouts),
+            stripe_parts: ld(&self.stats.stripe_parts),
         }
     }
 
@@ -799,24 +884,363 @@ impl DriverletService {
         }
     }
 
+    /// The first lane serving `device` — the single-replica fast path and
+    /// the lane the control-plane operations (fault injection, health
+    /// checks) address. O(1): a precomputed table lookup, not a lane scan.
     fn lane_index(&self, device: Device) -> Result<usize, ServeError> {
-        self.lanes
-            .iter()
-            .position(|l| l.device == device)
+        self.lane_table
+            .get(&device)
+            .and_then(|t| t.first())
+            .copied()
             .ok_or(ServeError::DeviceNotServed(device))
+    }
+
+    /// How many replica lanes serve `device` (0 when it is not served).
+    pub fn replica_count(&self, device: Device) -> usize {
+        self.lane_table.get(&device).map_or(0, Vec::len)
+    }
+
+    /// The fleet address of lane `lane`, if it exists.
+    pub fn lane_id(&self, lane: usize) -> Option<LaneId> {
+        let device = self.lanes.get(lane)?.device;
+        let replica = self.lane_table.get(&device)?.iter().position(|&i| i == lane)?;
+        Some(LaneId { device, replica })
+    }
+
+    /// The raw lane index behind a fleet address, if it exists.
+    pub fn lane_of(&self, id: LaneId) -> Option<usize> {
+        self.lane_table.get(&id.device)?.get(id.replica).copied()
+    }
+
+    /// Submit into an explicit replica lane by fleet address, bypassing
+    /// the router (the [`LaneId`] flavour of
+    /// [`DriverletService::submit_to_lane`]).
+    pub fn submit_to(
+        &mut self,
+        id: LaneId,
+        session: SessionId,
+        req: Request,
+    ) -> Result<RequestId, ServeError> {
+        let lane = self
+            .lane_of(id)
+            .ok_or_else(|| ServeError::Invalid(format!("no replica lane {id} is served")))?;
+        self.submit_to_lane(lane, session, req)
     }
 
     /// Submit a request into a session, along the configured
     /// [`SubmitMode`]: one SMC per call, or an SMC-free stage into the
     /// lane's submission ring (admitted by the next
-    /// [`DriverletService::ring_doorbell`]). Fails fast with
-    /// [`ServeError::QueueFull`] when the device lane (per-call) or its
-    /// submission ring (ring mode) is saturated. Routes to the **first**
-    /// lane serving the request's device; replica lanes are addressed via
-    /// [`DriverletService::submit_to_lane`].
+    /// [`DriverletService::ring_doorbell`]).
+    ///
+    /// On a replica fleet this is the **routed** path: the request's
+    /// block span is placed across the device's replica lanes under
+    /// [`ServeConfig::route`] — deterministically (same block → same
+    /// replica), splitting a span that crosses chunk homes into member
+    /// parts whose completions reassemble, in offset order, into the one
+    /// completion this call's [`RequestId`] names. When a home lane is
+    /// saturated, a clean read spills to the least-loaded sibling instead
+    /// of failing. [`ServeError::QueueFull`] from this path carries the
+    /// **fleet** depth snapshot, so callers can tell one hot shard from a
+    /// saturated fleet. Explicit replica addressing (router bypass) is
+    /// [`DriverletService::submit_to`] / [`DriverletService::submit_to_lane`].
     pub fn submit(&mut self, session: SessionId, req: Request) -> Result<RequestId, ServeError> {
-        let idx = self.lane_index(req.device())?;
-        self.submit_to_lane(idx, session, req)
+        if !self.sessions.contains_key(&session) {
+            return Err(ServeError::InvalidSession(session));
+        }
+        validate_request(&req)?;
+        let device = req.device();
+        let table = match self.lane_table.get(&device) {
+            Some(t) if !t.is_empty() => t.clone(),
+            _ => return Err(ServeError::DeviceNotServed(device)),
+        };
+        // Occupancy as the planner admits against: admitted in-flight
+        // per-call, staged SQ entries in ring mode. The front-end is the
+        // sole incrementer of both, so check-then-reserve cannot race.
+        let loads: Vec<LaneLoad> = table
+            .iter()
+            .map(|&idx| {
+                let l = &self.lanes[idx];
+                match self.config.submit_mode {
+                    SubmitMode::PerCall => LaneLoad {
+                        depth: l.shared.inflight.load(Ordering::Acquire) as usize,
+                        capacity: l.shared.capacity,
+                    },
+                    SubmitMode::Ring => LaneLoad { depth: l.sq.len(), capacity: l.sq.depth() },
+                }
+            })
+            .collect();
+        let parts = match self.router.plan(session, &req, &loads) {
+            Ok(parts) => parts,
+            Err(reject) => {
+                SharedStats::bump(&self.stats.rejected);
+                return Err(self.routed_reject(device, &table, reject));
+            }
+        };
+        let spilled = parts.iter().filter(|p| p.spilled).count() as u64;
+        let id = if parts.len() == 1 {
+            // Unsplit (possibly spilled): the planned lane takes the
+            // request whole down the ordinary single-lane path. The plan
+            // checked its occupancy, so this cannot reject.
+            let idx = table[parts[0].replica];
+            match self.config.submit_mode {
+                SubmitMode::PerCall => self.submit_per_call_at(idx, session, req)?,
+                SubmitMode::Ring => self.ring_enqueue_at(idx, session, req)?,
+            }
+        } else {
+            self.submit_fanout(session, req, &table, &parts)?
+        };
+        SharedStats::bump(&self.stats.routed);
+        SharedStats::add(&self.stats.route_spills, spilled);
+        if parts.len() > 1 {
+            SharedStats::bump(&self.stats.stripe_fanouts);
+            SharedStats::add(&self.stats.stripe_parts, parts.len() as u64);
+        }
+        self.metrics.route().on_plan(parts.len() as u64, spilled);
+        Ok(id)
+    }
+
+    /// Map a router rejection into the typed fleet-view backpressure
+    /// error: the saturated home lane's depth/capacity plus the
+    /// per-replica snapshot the plan was rejected against.
+    fn routed_reject(&self, device: Device, table: &[usize], reject: RouteReject) -> ServeError {
+        let home = &reject.fleet[reject.home];
+        let lane = &self.lanes[table[reject.home]];
+        let high_water = match self.config.submit_mode {
+            SubmitMode::PerCall => lane.shared.metrics.occupancy_high_water() as usize,
+            SubmitMode::Ring => lane.sq.high_water(),
+        };
+        ServeError::QueueFull {
+            device,
+            depth: home.depth,
+            capacity: home.capacity,
+            high_water,
+            fleet: reject.fleet,
+        }
+    }
+
+    /// Fan one routed request out as member parts across replica lanes.
+    /// The returned id is the **parent**: members execute like ordinary
+    /// requests, and [`DriverletService::absorb_member`] reassembles
+    /// their completions into the one the session observes. Per-call mode
+    /// charges **one** `GATE_SUBMIT` SMC for the whole fan-out (one
+    /// client call = one world switch); ring mode stages every member
+    /// SMC-free as usual.
+    fn submit_fanout(
+        &mut self,
+        session: SessionId,
+        req: Request,
+        table: &[usize],
+        parts: &[RoutePart],
+    ) -> Result<RequestId, ServeError> {
+        let device = req.device();
+        let (blkid, buf, data) = match &req {
+            Request::Read { blkid, blkcnt, .. } => {
+                (*blkid, Some(vec![0u8; *blkcnt as usize * BLOCK]), None)
+            }
+            Request::Write { blkid, data, .. } => (*blkid, None, Some(data.clone())),
+            // The planner never splits a capture.
+            Request::Capture { .. } => unreachable!("captures route as a single part"),
+        };
+        let blocks: u32 = parts.iter().map(|p| p.blkcnt).sum();
+        if self.config.submit_mode == SubmitMode::Ring {
+            for part in parts {
+                if !self.lanes[table[part.replica]].sq.producer_attached() {
+                    return Err(ServeError::Invalid(format!(
+                        "lane {} ({device}) submission ring is detached to a LaneSubmitter; \
+                         stage through the submitter",
+                        table[part.replica]
+                    )));
+                }
+            }
+        }
+        let submitted_ns = self.control.now_ns();
+        let arrived_ns = match self.config.submit_mode {
+            SubmitMode::PerCall => {
+                // One command invocation admits the whole fan-out: the
+                // client made one call, so it pays one world switch.
+                self.tee
+                    .invoke(session, GATE_SUBMIT, &[0; 4], &mut [])
+                    .map_err(|_| ServeError::InvalidSession(session))?;
+                self.control.now_ns()
+            }
+            // Ring members become servable at the next doorbell.
+            SubmitMode::Ring => submitted_ns,
+        };
+        let parent = self.next_request.fetch_add(1, Ordering::Relaxed);
+        obs_event!(self.tracer, EventKind::Submitted, submitted_ns, session, parent, 0);
+        if let Some(obs) = self.sessions.get(&session).and_then(|e| e.obs.as_ref()) {
+            // Session accounting is parent-granular: the client sees one
+            // submit and will see one completion.
+            obs.on_submit();
+        }
+        self.stripe_parents.insert(
+            parent,
+            StripeParent {
+                session,
+                device,
+                outstanding: parts.len(),
+                buf,
+                blocks,
+                submitted_ns,
+                completed_ns: 0,
+                coalesced: false,
+                error: None,
+            },
+        );
+        for part in parts {
+            let idx = table[part.replica];
+            let offset = (part.blkid - blkid) as usize * BLOCK;
+            let member_req = match &data {
+                Some(bytes) => Request::Write {
+                    device,
+                    blkid: part.blkid,
+                    data: bytes[offset..offset + part.blkcnt as usize * BLOCK].to_vec(),
+                },
+                None => Request::Read { device, blkid: part.blkid, blkcnt: part.blkcnt },
+            };
+            let member = self.next_request.fetch_add(1, Ordering::Relaxed);
+            self.stripe_members.insert(member, (parent, offset));
+            match self.config.submit_mode {
+                SubmitMode::PerCall => {
+                    let lane = &mut self.lanes[idx];
+                    // Cannot fail: the plan admitted this part against a
+                    // depth only the (single-threaded) front-end grows.
+                    if let Err(e) = lane.shared.reserve() {
+                        debug_assert!(false, "the plan checked every part's occupancy");
+                        let c = self.member_completion(member, session, device, Err(e), arrived_ns);
+                        self.finish_member(c);
+                        continue;
+                    }
+                    obs_event!(
+                        self.tracer,
+                        EventKind::Admitted,
+                        arrived_ns,
+                        session,
+                        member,
+                        lane.shared.inflight.load(Ordering::Acquire)
+                    );
+                    let pending =
+                        Pending { id: member, session, req: member_req, submitted_ns, arrived_ns };
+                    if lane.admit_tx.try_push(pending).is_err() {
+                        // Unreachable by the reservation invariant; keep
+                        // the member accounted, never lost.
+                        debug_assert!(false, "reservation bounds the admit ring");
+                        lane.shared.inflight.fetch_sub(1, Ordering::Release);
+                        let err = ServeError::QueueFull {
+                            device,
+                            depth: lane.shared.capacity,
+                            capacity: lane.shared.capacity,
+                            high_water: lane.shared.metrics.occupancy_high_water() as usize,
+                            fleet: Vec::new(),
+                        };
+                        SharedStats::bump(&self.stats.rejected);
+                        let c =
+                            self.member_completion(member, session, device, Err(err), arrived_ns);
+                        self.finish_member(c);
+                        continue;
+                    }
+                    SharedStats::bump(&self.stats.submitted);
+                    lane.shared.unpark();
+                }
+                SubmitMode::Ring => {
+                    let lane = &mut self.lanes[idx];
+                    lane.sq
+                        .try_push(SqEntry {
+                            id: member,
+                            session,
+                            req: member_req,
+                            enqueued_ns: submitted_ns,
+                        })
+                        .expect("the plan checked the ring's staged depth");
+                    SharedStats::bump(&self.stats.submitted);
+                }
+            }
+            obs_event!(self.tracer, EventKind::Submitted, submitted_ns, session, member, 0);
+        }
+        Ok(parent)
+    }
+
+    /// A synthesized member completion for the unreachable
+    /// cannot-actually-admit paths of [`DriverletService::submit_fanout`].
+    fn member_completion(
+        &self,
+        id: RequestId,
+        session: SessionId,
+        device: Device,
+        result: Result<Payload, ServeError>,
+        at_ns: u64,
+    ) -> Completion {
+        Completion {
+            id,
+            session,
+            device,
+            result,
+            submitted_ns: at_ns,
+            completed_ns: at_ns,
+            coalesced: false,
+        }
+    }
+
+    /// Feed one member completion through reassembly and post the parent
+    /// if it was the last.
+    fn finish_member(&mut self, c: Completion) {
+        match self.absorb_member(c) {
+            Absorbed::Direct(c) | Absorbed::Parent(c) => self.post_completion(c),
+            Absorbed::Pending => {}
+        }
+    }
+
+    /// Fold one reaped completion into its stripe parent, if it is a
+    /// member of a routed fan-out; pass it through otherwise. Member
+    /// read bytes land at their byte offset in the parent buffer, the
+    /// parent's completion stamp is the max over members (a striped
+    /// request is done when its slowest part is), and the surviving
+    /// error — if any member failed — is the lowest-offset one, the
+    /// error serial execution would have hit first.
+    fn absorb_member(&mut self, c: Completion) -> Absorbed {
+        let Some((parent_id, offset)) = self.stripe_members.remove(&c.id) else {
+            return Absorbed::Direct(c);
+        };
+        let p = self
+            .stripe_parents
+            .get_mut(&parent_id)
+            .expect("a stripe member always has a live parent");
+        p.outstanding -= 1;
+        p.completed_ns = p.completed_ns.max(c.completed_ns);
+        p.coalesced |= c.coalesced;
+        match c.result {
+            Ok(Payload::Read(bytes)) => {
+                if let Some(buf) = &mut p.buf {
+                    buf[offset..offset + bytes.len()].copy_from_slice(&bytes);
+                }
+            }
+            Ok(_) => {}
+            Err(e) => {
+                if p.error.as_ref().is_none_or(|(at, _)| offset < *at) {
+                    p.error = Some((offset, e));
+                }
+            }
+        }
+        if p.outstanding > 0 {
+            return Absorbed::Pending;
+        }
+        let p = self.stripe_parents.remove(&parent_id).expect("checked present above");
+        let result = match p.error {
+            Some((_, e)) => Err(e),
+            None => Ok(match p.buf {
+                Some(buf) => Payload::Read(buf),
+                None => Payload::Written { blocks: p.blocks },
+            }),
+        };
+        Absorbed::Parent(Completion {
+            id: parent_id,
+            session: p.session,
+            device: p.device,
+            result,
+            submitted_ns: p.submitted_ns,
+            completed_ns: p.completed_ns,
+            coalesced: p.coalesced,
+        })
     }
 
     /// Submit into an explicit lane (replica-lane addressing). The
@@ -922,6 +1346,7 @@ impl DriverletService {
                 depth: lane.shared.capacity,
                 capacity: lane.shared.capacity,
                 high_water: lane.shared.metrics.occupancy_high_water() as usize,
+                fleet: Vec::new(),
             });
         }
         SharedStats::bump(&self.stats.submitted);
@@ -969,6 +1394,7 @@ impl DriverletService {
                 depth: lane.sq.len(),
                 capacity: lane.sq.depth(),
                 high_water: lane.sq.high_water(),
+                fleet: Vec::new(),
             });
         }
         let id = self.next_request.fetch_add(1, Ordering::Relaxed);
@@ -1061,6 +1487,7 @@ impl DriverletService {
                                     depth: lane.shared.capacity,
                                     capacity: lane.shared.capacity,
                                     high_water: lane.shared.metrics.occupancy_high_water() as usize,
+                                    fleet: Vec::new(),
                                 }),
                                 submitted_ns: p.submitted_ns,
                                 completed_ns: arrived_ns,
@@ -1085,7 +1512,10 @@ impl DriverletService {
             lane.shared.unpark();
         }
         for c in rejected {
-            self.post_completion(c);
+            // A rejected entry may be a routed stripe member: its typed
+            // failure must flow through reassembly so the parent still
+            // completes (with the member's error) once its siblings do.
+            self.finish_member(c);
         }
         Ok(staged)
     }
@@ -1139,11 +1569,19 @@ impl DriverletService {
                 w.flush_cq_spill();
             }
             let Some(c) = lane.cq_rx.try_pop() else { break };
+            // The exec log records what the lanes actually executed:
+            // member ids for routed fan-outs (the parent id never reaches
+            // a lane), everything else by its own id.
             self.exec_log.push(c.id);
-            if collect {
-                out.push(c.clone());
+            match self.absorb_member(c) {
+                Absorbed::Direct(c) | Absorbed::Parent(c) => {
+                    if collect {
+                        out.push(c.clone());
+                    }
+                    self.post_completion(c);
+                }
+                Absorbed::Pending => {}
             }
-            self.post_completion(c);
         }
     }
 
@@ -1294,6 +1732,13 @@ impl DriverletService {
             }
             let mut out = Vec::new();
             self.reap_lane(idx, true, &mut out);
+            if out.is_empty() {
+                // Every completion in the batch folded into a routed
+                // stripe parent still waiting on sibling lanes: keep
+                // stepping so those siblings execute — an empty return
+                // must keep meaning "every lane is idle".
+                continue;
+            }
             return out;
         }
     }
@@ -1588,6 +2033,7 @@ impl LaneSubmitter {
                     depth,
                     capacity: self.sq_depth,
                     high_water: self.producer.high_water(),
+                    fleet: Vec::new(),
                 })
             }
         }
@@ -1652,9 +2098,206 @@ impl SecureBlockIo for SessionBlockIo<'_> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::route::RoutePolicy;
 
     fn mmc_service(config: ServeConfig) -> DriverletService {
         DriverletService::new(&[Device::Mmc], config).expect("build service")
+    }
+
+    /// A replica fleet: `replicas` MMC lanes, every one loaded from the
+    /// **same** recorded bundle (the replica premise: clean blocks read
+    /// byte-identically fleet-wide).
+    fn mmc_fleet(replicas: usize, config: ServeConfig) -> DriverletService {
+        let bundle =
+            record_mmc_driverlet_subset(&config.block_granularities).expect("record bundle");
+        let bundles: Vec<(Device, dlt_template::Driverlet)> =
+            (0..replicas).map(|_| (Device::Mmc, bundle.clone())).collect();
+        DriverletService::with_driverlets(&bundles, config).expect("build fleet")
+    }
+
+    #[test]
+    fn routed_writes_read_back_on_every_submit_mode() {
+        // Deterministic placement is a data-consistency property here:
+        // if a read could land on a different replica than the write
+        // that produced its bytes, it would return the bundle's initial
+        // content instead. Round-tripping six extents through a 3-replica
+        // fleet on both submit paths is therefore the placement witness.
+        let policy = RoutePolicy::HashShard { chunk_blocks: 16 };
+        for mode in [SubmitMode::PerCall, SubmitMode::Ring] {
+            let mut s = mmc_fleet(
+                3,
+                ServeConfig {
+                    submit_mode: mode,
+                    route: RouteConfig { policy, spill: true },
+                    block_granularities: vec![1, 8],
+                    ..ServeConfig::default()
+                },
+            );
+            let sess = s.open_session().unwrap();
+            let data = |e: u32| -> Vec<u8> {
+                (0..8 * BLOCK).map(|i| ((i as u32 ^ (e * 37)) % 251) as u8).collect()
+            };
+            for extent in 0..6u32 {
+                s.submit(
+                    sess,
+                    Request::Write { device: Device::Mmc, blkid: extent * 16, data: data(extent) },
+                )
+                .unwrap();
+            }
+            s.drain_all();
+            s.take_completions(sess);
+            let ids: Vec<RequestId> = (0..6u32)
+                .map(|extent| {
+                    s.submit(
+                        sess,
+                        Request::Read { device: Device::Mmc, blkid: extent * 16, blkcnt: 8 },
+                    )
+                    .unwrap()
+                })
+                .collect();
+            s.drain_all();
+            let done = s.take_completions(sess);
+            assert_eq!(done.len(), 6);
+            for (extent, id) in ids.iter().enumerate() {
+                let c = done.iter().find(|c| c.id == *id).unwrap();
+                match c.result.clone().expect("read ok") {
+                    Payload::Read(bytes) => assert_eq!(
+                        bytes,
+                        data(extent as u32),
+                        "the read of extent {extent} must land on the replica holding its write"
+                    ),
+                    other => panic!("unexpected payload {other:?}"),
+                }
+            }
+            assert_eq!(s.stats().routed, 12, "every default submit went through the router");
+            // The placement function actually spreads these extents.
+            let homes: std::collections::HashSet<usize> =
+                (0..6u32).map(|e| policy.replica_for(e * 16, 3)).collect();
+            assert!(homes.len() >= 2, "six extents over three replicas must share the work");
+        }
+    }
+
+    #[test]
+    fn striped_span_fans_out_and_reassembles_byte_identically() {
+        for mode in [SubmitMode::PerCall, SubmitMode::Ring] {
+            let mut s = mmc_fleet(
+                3,
+                ServeConfig {
+                    submit_mode: mode,
+                    coalesce: false,
+                    hold_budget_ns: 0,
+                    route: RouteConfig {
+                        policy: RoutePolicy::Stripe { stripe_blocks: 8 },
+                        spill: true,
+                    },
+                    block_granularities: vec![1, 8],
+                    ..ServeConfig::default()
+                },
+            );
+            let sess = s.open_session().unwrap();
+            let data: Vec<u8> = (0..24 * BLOCK).map(|i| (i % 241) as u8).collect();
+            let w = s
+                .submit(sess, Request::Write { device: Device::Mmc, blkid: 0, data: data.clone() })
+                .unwrap();
+            let done = s.drain_all();
+            assert_eq!(done.len(), 1, "members reassemble: the session sees one completion");
+            assert_eq!(done[0].id, w);
+            match done[0].result.clone().expect("write ok") {
+                Payload::Written { blocks } => assert_eq!(blocks, 24),
+                other => panic!("unexpected payload {other:?}"),
+            }
+            let r = s
+                .submit(sess, Request::Read { device: Device::Mmc, blkid: 0, blkcnt: 24 })
+                .unwrap();
+            let done = s.drain_all();
+            assert_eq!(done.len(), 1);
+            assert_eq!(done[0].id, r);
+            assert!(done[0].completed_ns >= done[0].submitted_ns);
+            match done[0].result.clone().expect("read ok") {
+                Payload::Read(bytes) => {
+                    assert_eq!(bytes, data, "stripe reassembly must be offset-ordered")
+                }
+                other => panic!("unexpected payload {other:?}"),
+            }
+            let st = s.stats();
+            assert_eq!(st.stripe_fanouts, 2);
+            assert_eq!(st.stripe_parts, 6, "24 blocks over 8-block stripes hit all 3 replicas");
+            assert_eq!(st.routed, 2);
+            assert_eq!(s.take_exec_log().len(), 6, "the exec log records the member executions");
+        }
+    }
+
+    #[test]
+    fn saturated_home_spills_clean_reads_and_writes_see_the_fleet() {
+        // Blocks 0..=255 share chunk 0, hence one home replica.
+        let mut s = mmc_fleet(
+            2,
+            ServeConfig {
+                queue_capacity: 2,
+                coalesce: false,
+                hold_budget_ns: 0,
+                route: RouteConfig {
+                    policy: RoutePolicy::HashShard { chunk_blocks: 256 },
+                    spill: true,
+                },
+                block_granularities: vec![1, 8],
+                ..ServeConfig::default()
+            },
+        );
+        let sess = s.open_session().unwrap();
+        let rd = |i: u32| Request::Read { device: Device::Mmc, blkid: i, blkcnt: 1 };
+        s.submit(sess, rd(0)).unwrap();
+        s.submit(sess, rd(1)).unwrap();
+        // The home lane is saturated: the third (clean) read sheds to the
+        // sibling instead of failing.
+        s.submit(sess, rd(2)).unwrap();
+        assert_eq!(s.stats().route_spills, 1);
+        // A write may never spill (the sibling would silently diverge):
+        // typed backpressure carrying the whole fleet's depths, so the
+        // caller can tell one hot shard from a saturated fleet.
+        match s.submit(sess, Request::Write { device: Device::Mmc, blkid: 3, data: vec![9; BLOCK] })
+        {
+            Err(ServeError::QueueFull { fleet, .. }) => {
+                assert_eq!(fleet.len(), 2, "the reject reports every replica's depth");
+                assert_eq!(fleet.iter().map(|f| f.depth).sum::<usize>(), 3);
+                assert!(fleet.iter().all(|f| f.capacity == 2));
+            }
+            other => panic!("expected fleet-view backpressure, got {other:?}"),
+        }
+        assert_eq!(s.stats().rejected, 1);
+        let done = s.drain_all();
+        assert_eq!(done.len(), 3);
+        assert!(done.iter().all(|c| c.result.is_ok()), "the spilled read reads clean bytes");
+    }
+
+    #[test]
+    fn lane_ids_address_the_fleet() {
+        let mut s = mmc_fleet(2, ServeConfig::quick());
+        assert_eq!(s.replica_count(Device::Mmc), 2);
+        assert_eq!(s.replica_count(Device::Usb), 0);
+        assert_eq!(s.lane_id(1), Some(LaneId { device: Device::Mmc, replica: 1 }));
+        assert_eq!(s.lane_of(LaneId { device: Device::Mmc, replica: 1 }), Some(1));
+        assert_eq!(s.lane_of(LaneId { device: Device::Mmc, replica: 2 }), None);
+        let sess = s.open_session().unwrap();
+        let id = s
+            .submit_to(
+                LaneId { device: Device::Mmc, replica: 1 },
+                sess,
+                Request::Read { device: Device::Mmc, blkid: 5, blkcnt: 1 },
+            )
+            .unwrap();
+        let done = s.drain_all();
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].id, id);
+        assert_eq!(s.stats().routed, 0, "explicit lane addressing bypasses the router");
+        assert!(matches!(
+            s.submit_to(
+                LaneId { device: Device::Usb, replica: 0 },
+                sess,
+                Request::Read { device: Device::Usb, blkid: 5, blkcnt: 1 },
+            ),
+            Err(ServeError::Invalid(_))
+        ));
     }
 
     #[test]
@@ -2035,11 +2678,12 @@ mod tests {
         s.submit(sess, rd(0)).unwrap();
         s.submit(sess, rd(1)).unwrap();
         match s.submit(sess, rd(2)) {
-            Err(ServeError::QueueFull { device, depth, capacity, high_water }) => {
+            Err(ServeError::QueueFull { device, depth, capacity, high_water, fleet }) => {
                 assert_eq!(device, Device::Mmc);
                 assert_eq!(depth, 2);
                 assert_eq!(capacity, 2);
                 assert_eq!(high_water, 2, "the ring saturated at its full depth");
+                assert_eq!(fleet.len(), 1, "the routed reject reports the whole (1-lane) fleet");
             }
             other => panic!("expected ring-full backpressure, got {other:?}"),
         }

@@ -15,8 +15,8 @@ use std::collections::HashMap;
 use dlt_core::{FaultPlan, ReplayError};
 use dlt_recorder::campaign::record_mmc_driverlet_subset;
 use dlt_serve::{
-    Completion, Device, DriverletService, ExecMode, Payload, Request, ServeConfig, ServeError,
-    SubmitMode,
+    Completion, Device, DriverletService, ExecMode, Payload, Request, RouteConfig, ServeConfig,
+    ServeError, SubmitMode,
 };
 use dlt_template::Driverlet;
 
@@ -252,14 +252,16 @@ fn replica_lanes_serve_the_same_device_independently() {
         );
     }
 
-    // Device-addressed submits route to the first matching lane only.
-    let before = service.lane_status()[0].busy_ns;
+    // Device-addressed submits ride the shard router: the block's
+    // deterministic home replica (and only it, absent saturation) executes.
+    let home = RouteConfig::default().policy.replica_for(64, 2);
+    let before: Vec<u64> = service.lane_status().iter().map(|l| l.busy_ns).collect();
     service
         .submit(session, Request::Read { device: Device::Mmc, blkid: 64, blkcnt: 1 })
         .expect("device-routed submit");
     service.drain_all();
-    assert!(
-        service.lane_status()[0].busy_ns > before,
-        "device-addressed requests run on the first matching lane"
-    );
+    let after: Vec<u64> = service.lane_status().iter().map(|l| l.busy_ns).collect();
+    assert!(after[home] > before[home], "the home replica executes the routed read");
+    assert_eq!(after[1 - home], before[1 - home], "an unsaturated sibling is never involved");
+    assert_eq!(service.stats().routed, 1, "the default submit path rides the router");
 }

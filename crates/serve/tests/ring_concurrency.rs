@@ -152,9 +152,10 @@ fn queue_full_depth_is_a_consistent_snapshot_under_a_draining_lane_thread() {
         let req = Request::Read { device: Device::Mmc, blkid: accepted as u32 % 32, blkcnt: 1 };
         match service.submit(session, req) {
             Ok(_) => accepted += 1,
-            Err(ServeError::QueueFull { device, depth, capacity: cap, high_water }) => {
+            Err(ServeError::QueueFull { device, depth, capacity: cap, high_water, fleet }) => {
                 rejections += 1;
                 assert_eq!(device, Device::Mmc);
+                assert_eq!(fleet.len(), 1, "a routed reject reports the whole (1-lane) fleet");
                 assert_eq!(cap, capacity);
                 assert_eq!(high_water, capacity, "a full queue has saturated its high-water mark");
                 assert_eq!(

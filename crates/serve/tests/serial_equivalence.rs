@@ -32,8 +32,8 @@ use dlt_recorder::campaign::{
     DEV_KEY,
 };
 use dlt_serve::{
-    Device, DriverletService, ExecMode, Payload, Policy, Request, RequestId, ServeConfig,
-    ServeError, SubmitMode,
+    Completion, Device, DriverletService, ExecMode, Payload, Policy, Request, RequestId,
+    RouteConfig, RoutePolicy, ServeConfig, ServeError, SubmitMode,
 };
 use dlt_tee::{SecureIo, TeeKernel};
 use dlt_template::Driverlet;
@@ -731,6 +731,233 @@ fn check_parallel_lanes(policy: Policy, choices: &[u8], fault_skip: Option<u64>)
     }
 }
 
+fn block_device_of(req: &Request) -> Device {
+    match req {
+        Request::Read { device, .. } | Request::Write { device, .. } => *device,
+        Request::Capture { .. } => Device::Vchiq,
+    }
+}
+
+/// The **routed-replica** flavour of the property: 2–4 MMC replica lanes plus
+/// a 2-replica USB fleet, with the default `submit()` riding the shard
+/// router (hash or stripe placement, spill enabled). Each block address has
+/// one deterministic home shard, and FIFO lanes execute their queue in
+/// admission order, so per block address the executed order **is** the
+/// submission order; spilled reads only ever touch never-written chunks,
+/// whose bytes equal the recorded bundle's state on every replica. A single
+/// interpreted rig per device class executing the submissions in submission
+/// order is therefore a valid serial reference — every reassembled read
+/// payload must match it byte for byte, fan-outs and spills included.
+fn check_routed_replicas(
+    mmc_replicas: usize,
+    policy: RoutePolicy,
+    choices: &[u8],
+    submit_mode: SubmitMode,
+    exec_mode: ExecMode,
+    fault_skip: Option<u64>,
+) {
+    let config = ServeConfig {
+        policy: Policy::Fifo,
+        coalesce: true,
+        submit_mode,
+        exec_mode,
+        route: RouteConfig { policy, spill: true },
+        block_granularities: GRANULARITIES.to_vec(),
+        ..ServeConfig::default()
+    };
+    let mut fleet: Vec<(Device, Driverlet)> =
+        (0..mmc_replicas).map(|_| (Device::Mmc, mmc_bundle().clone())).collect();
+    fleet.push((Device::Usb, usb_bundle().clone()));
+    fleet.push((Device::Usb, usb_bundle().clone()));
+    let mut service = DriverletService::with_driverlets(&fleet, config).expect("build service");
+    let sessions: Vec<u32> = (0..3).map(|_| service.open_session().unwrap()).collect();
+    let outcome = fault_skip.map(|skip| {
+        service
+            .inject_fault(
+                Device::Mmc,
+                FaultPlan {
+                    template: Some("_rd_".into()),
+                    skip_invocations: skip,
+                    sticky: true,
+                    ..FaultPlan::default()
+                },
+            )
+            .expect("inject fault")
+    });
+
+    let mut program: Vec<(RequestId, Request)> = Vec::new();
+    for (i, &choice) in choices.iter().enumerate() {
+        let session = sessions[i % sessions.len()];
+        let device = if i % 3 == 2 { Device::Usb } else { Device::Mmc };
+        if i % 4 == 3 {
+            service.client_think_ns(u64::from(choice) * 2_000);
+        }
+        let blkid = 64 + u32::from(choice % 48);
+        let blkcnt = 1 + u32::from(choice % 8);
+        let req = if choice % 3 == 0 {
+            Request::Write { device, blkid, data: pattern(i as u64, blkcnt) }
+        } else {
+            Request::Read { device, blkid, blkcnt }
+        };
+        let id = service.submit(session, req.clone()).expect("routed submit");
+        program.push((id, req));
+    }
+
+    let completions = service.drain_all();
+    assert_eq!(
+        completions.len(),
+        program.len(),
+        "every routed submit surfaces exactly one reassembled completion"
+    );
+    assert_eq!(
+        service.stats().routed as usize,
+        program.len(),
+        "every default submit rode the router"
+    );
+
+    let requests: HashMap<RequestId, &Request> =
+        program.iter().map(|(id, req)| (*id, req)).collect();
+    let mut ok = 0usize;
+    let mut diverged = 0usize;
+    for c in &completions {
+        match &c.result {
+            Ok(_) => ok += 1,
+            Err(ServeError::Replay(ReplayError::Diverged(_))) if fault_skip.is_some() => {
+                diverged += 1;
+                let req = requests[&c.id];
+                assert!(
+                    matches!(req, Request::Read { .. }) && block_device_of(req) == Device::Mmc,
+                    "request {}: only MMC reads can diverge under the injected read fault",
+                    c.id
+                );
+            }
+            other => panic!("request {} must complete or diverge typed, got {other:?}", c.id),
+        }
+        assert!(
+            c.completed_ns >= c.submitted_ns,
+            "request {} completed at {} before its submission {}",
+            c.id,
+            c.completed_ns,
+            c.submitted_ns
+        );
+    }
+    assert_eq!(ok + diverged, program.len(), "completed + diverged == submitted");
+    if diverged > 0 {
+        assert!(
+            outcome.as_ref().unwrap().lock().unwrap().engaged_invocations > 0,
+            "divergences can only come from the injected fault"
+        );
+    }
+
+    if fault_skip.is_some() {
+        service.clear_fault(Device::Mmc).expect("clear fault");
+        service.lane_health_check(Device::Mmc).expect("post-divergence lane health");
+    }
+
+    // Serial reference per device class, in submission order (see above for
+    // why that order is the right one), then a full hot-range readback
+    // through the router — reassembled across however many shards the
+    // policy splits it over — against the same rig.
+    for device in [Device::Mmc, Device::Usb] {
+        let mut rig = serial_rig(device);
+        let mut serial_reads: HashMap<RequestId, Vec<u8>> = HashMap::new();
+        for (id, req) in program.iter().filter(|(_, req)| block_device_of(req) == device) {
+            if let Some(bytes) = serial_execute(&mut rig, device, req) {
+                serial_reads.insert(*id, bytes);
+            }
+        }
+        for c in completions.iter().filter(|c| c.device == device) {
+            if let Ok(Payload::Read(bytes)) = &c.result {
+                prop_assert_eq_bytes(&serial_reads[&c.id], bytes, c.id);
+            }
+        }
+        let readback = Request::Read { device, blkid: 64, blkcnt: 56 };
+        let id = service.submit(sessions[0], readback.clone()).expect("submit readback");
+        let final_completion =
+            service.drain_all().into_iter().find(|c| c.id == id).expect("readback completion");
+        let Ok(Payload::Read(service_state)) = final_completion.result else {
+            panic!("routed readback failed on {device:?}");
+        };
+        let serial_state = serial_execute(&mut rig, device, &readback).expect("serial readback");
+        prop_assert_eq_bytes(&serial_state, &service_state, id);
+    }
+}
+
+/// The **spill** flavour: three MMC replicas behind tiny per-lane queues and
+/// read-heavy traffic, so saturated home shards shed clean reads to their
+/// least-loaded siblings mid-run. Routed rejects must carry the whole
+/// fleet's depth snapshot, and — spills or not — every read stays
+/// byte-identical to the serial reference in submission order.
+fn check_routed_spill(choices: &[u8]) {
+    const REPLICAS: usize = 3;
+    let config = ServeConfig {
+        policy: Policy::Fifo,
+        coalesce: true,
+        queue_capacity: 4,
+        route: RouteConfig { policy: RoutePolicy::HashShard { chunk_blocks: 16 }, spill: true },
+        block_granularities: GRANULARITIES.to_vec(),
+        ..ServeConfig::default()
+    };
+    let fleet: Vec<(Device, Driverlet)> =
+        (0..REPLICAS).map(|_| (Device::Mmc, mmc_bundle().clone())).collect();
+    let mut service = DriverletService::with_driverlets(&fleet, config).expect("build service");
+    let sessions: Vec<u32> = (0..3).map(|_| service.open_session().unwrap()).collect();
+
+    let mut program: Vec<(RequestId, Request)> = Vec::new();
+    let mut completions: Vec<Completion> = Vec::new();
+    for (i, &choice) in choices.iter().enumerate() {
+        let session = sessions[i % sessions.len()];
+        let blkid = 64 + u32::from(choice % 48);
+        let blkcnt = 1 + u32::from(choice % 8);
+        let req = if choice % 7 == 0 {
+            Request::Write { device: Device::Mmc, blkid, data: pattern(i as u64, blkcnt) }
+        } else {
+            Request::Read { device: Device::Mmc, blkid, blkcnt }
+        };
+        let id = match service.submit(session, req.clone()) {
+            Ok(id) => id,
+            Err(ServeError::QueueFull { fleet, .. }) => {
+                assert_eq!(fleet.len(), REPLICAS, "a routed reject reports every replica's depth");
+                assert!(
+                    fleet.iter().any(|r| r.depth >= r.capacity),
+                    "a routed reject implies some saturated shard"
+                );
+                completions.extend(service.drain_all());
+                service.submit(session, req.clone()).expect("submit after drain")
+            }
+            Err(other) => panic!("unexpected submit error: {other}"),
+        };
+        program.push((id, req));
+    }
+    completions.extend(service.drain_all());
+    assert_eq!(completions.len(), program.len(), "drained mid-run or not, nothing is lost");
+    assert_eq!(service.stats().routed as usize, program.len());
+
+    let mut rig = serial_rig(Device::Mmc);
+    let mut serial_reads: HashMap<RequestId, Vec<u8>> = HashMap::new();
+    for (id, req) in &program {
+        if let Some(bytes) = serial_execute(&mut rig, Device::Mmc, req) {
+            serial_reads.insert(*id, bytes);
+        }
+    }
+    for c in &completions {
+        match &c.result {
+            Ok(Payload::Read(bytes)) => prop_assert_eq_bytes(&serial_reads[&c.id], bytes, c.id),
+            Ok(_) => {}
+            Err(other) => panic!("request {} failed under spill pressure: {other}", c.id),
+        }
+    }
+    let readback = Request::Read { device: Device::Mmc, blkid: 64, blkcnt: 56 };
+    let id = service.submit(sessions[0], readback.clone()).expect("submit readback");
+    let final_completion =
+        service.drain_all().into_iter().find(|c| c.id == id).expect("readback completion");
+    let Ok(Payload::Read(service_state)) = final_completion.result else {
+        panic!("readback failed");
+    };
+    let serial_state = serial_execute(&mut rig, Device::Mmc, &readback).expect("serial readback");
+    prop_assert_eq_bytes(&serial_state, &service_state, id);
+}
+
 fn prop_assert_eq_bytes(expected: &[u8], got: &[u8], id: RequestId) {
     assert_eq!(expected.len(), got.len(), "length mismatch for request {id}");
     if expected != got {
@@ -869,6 +1096,76 @@ proptest! {
             Policy::DeficitRoundRobin { quantum_blocks: 8 },
             &choices,
         );
+    }
+
+    #[test]
+    fn mmc_usb_routed_replicas_hash_match_a_serial_order(
+        choices in proptest::collection::vec(any::<u8>(), 8..20),
+        replicas in 2usize..5,
+    ) {
+        // Small chunks so spans regularly straddle a chunk boundary and
+        // fan out across shards.
+        check_routed_replicas(
+            replicas,
+            RoutePolicy::HashShard { chunk_blocks: 16 },
+            &choices,
+            SubmitMode::PerCall,
+            ExecMode::Sequential,
+            None,
+        );
+    }
+
+    #[test]
+    fn mmc_usb_routed_replicas_stripe_ring_match_a_serial_order(
+        choices in proptest::collection::vec(any::<u8>(), 8..20),
+        replicas in 2usize..5,
+    ) {
+        check_routed_replicas(
+            replicas,
+            RoutePolicy::Stripe { stripe_blocks: 8 },
+            &choices,
+            SubmitMode::Ring,
+            ExecMode::Sequential,
+            None,
+        );
+    }
+
+    #[test]
+    fn mmc_usb_routed_replicas_threaded_match_a_serial_order(
+        choices in proptest::collection::vec(any::<u8>(), 8..20),
+        replicas in 2usize..4,
+    ) {
+        check_routed_replicas(
+            replicas,
+            RoutePolicy::HashShard { chunk_blocks: 16 },
+            &choices,
+            SubmitMode::PerCall,
+            ExecMode::Threaded,
+            None,
+        );
+    }
+
+    #[test]
+    fn mmc_usb_routed_replicas_with_divergences_keep_survivors_identical(
+        choices in proptest::collection::vec(any::<u8>(), 8..20),
+        replicas in 2usize..4,
+        skip in 0u64..6,
+    ) {
+        check_routed_replicas(
+            replicas,
+            RoutePolicy::Stripe { stripe_blocks: 8 },
+            &choices,
+            SubmitMode::PerCall,
+            ExecMode::Sequential,
+            Some(skip),
+        );
+    }
+
+    #[test]
+    fn mmc_routed_spill_keeps_reads_byte_identical(
+        choices in proptest::collection::vec(any::<u8>(), 10..24)
+    ) {
+        check_routed_spill(&choices);
     }
 }
 
