@@ -2,8 +2,10 @@
 //! issue, mixed MMC+USB+VCHIQ traffic racing a LongBurst capture,
 //! 1→3-device weak scaling, the anticipatory-hold sweep, the
 //! ring-vs-legacy submission comparison, the sequential-vs-threaded
-//! wall-clock lane-parallelism curve, and the routed replica-fleet
-//! weak-scaling + spill experiments; persisted to `BENCH_serve.json`.
+//! wall-clock lane-parallelism curve, the routed replica-fleet
+//! weak-scaling + spill experiments, and the adversarial-isolation
+//! section (admission QoS, replica failover, lane quarantine, session
+//! churn); persisted to `BENCH_serve.json`.
 //! CI runs this with `--quick` and fails on any of the acceptance
 //! assertions below.
 //!
@@ -167,6 +169,55 @@ fn main() {
             wc.host_cores, rt.ratio_8v4
         );
     }
+
+    // The robustness-plane SLO gates. All four are deterministic virtual
+    // time, so they hold on any host: admission QoS must keep the
+    // flooder's blast radius off the victims' tail, failover must carry
+    // clean reads past a faulted replica, the watchdog must quarantine
+    // and restore the sick lane, and session churn must leak nothing.
+    let iso = &report.isolation;
+    assert_eq!(
+        iso.victim_rejections, 0,
+        "acceptance: admission QoS must never reject a victim while the flooder attacks"
+    );
+    assert!(
+        iso.flooder_throttled > 0,
+        "acceptance: the admission gate must visibly throttle the flooder"
+    );
+    assert!(
+        iso.p99_ratio <= 2.0,
+        "acceptance: victim p99 under attack must stay within 2x the flooder-free baseline, \
+         got {:.2}x ({} us vs {} us)",
+        iso.p99_ratio,
+        iso.attack_p99_us,
+        iso.baseline_p99_us
+    );
+    assert!(
+        iso.failover.completion_rate >= 0.99,
+        "acceptance: failover must complete >= 99% of clean reads past the sticky fault, \
+         got {:.3} ({} of {})",
+        iso.failover.completion_rate,
+        iso.failover.completed_ok,
+        iso.failover.clean_reads
+    );
+    assert_eq!(iso.failover.lost, 0, "acceptance: no read may be lost during the fault storm");
+    assert!(
+        iso.failover.failovers >= 1,
+        "acceptance: reads homed on the faulted shard must retry on a sibling"
+    );
+    assert!(
+        iso.failover.quarantines >= 1,
+        "acceptance: the watchdog must quarantine the diverging lane"
+    );
+    assert!(
+        iso.failover.lane_restored,
+        "acceptance: the quarantined lane must serve its probation back to Healthy"
+    );
+    assert_eq!(
+        iso.churn.leaked_series, 0,
+        "acceptance: {} churn cycles must leak zero metrics series",
+        iso.churn.cycles
+    );
 
     let out = std::env::var("BENCH_SERVE_OUT").unwrap_or_else(|_| "BENCH_serve.json".into());
     emit_report(&report, &out).expect("write BENCH_serve.json");

@@ -308,10 +308,36 @@ fn main() {
             rt.spill.requests,
             rt.spill.replicas
         );
+        let iso = &report.isolation;
+        println!(
+            "adversarial isolation (virtual time): victim p99 {} us baseline -> {} us under \
+             attack ({:.2}x, gate <= 2.0x), {} victim rejections (gate 0), flooder throttled \
+             {} / completed {}",
+            iso.baseline_p99_us,
+            iso.attack_p99_us,
+            iso.p99_ratio,
+            iso.victim_rejections,
+            iso.flooder_throttled,
+            iso.flooder_completed
+        );
+        println!(
+            "failover storm: {}/{} clean reads completed ({:.1}%, gate >= 99%), {} lost, \
+             {} failovers, {} quarantine(s), lane restored: {}; churn: {} cycles, {} leaked \
+             series (gate 0)",
+            iso.failover.completed_ok,
+            iso.failover.clean_reads,
+            iso.failover.completion_rate * 100.0,
+            iso.failover.lost,
+            iso.failover.failovers,
+            iso.failover.quarantines,
+            iso.failover.lane_restored,
+            iso.churn.cycles,
+            iso.churn.leaked_series
+        );
         println!(
             "per-device p50/p99, the 1->3 device scaling ratio ({:.2}x), the ring-vs-legacy \
-             table, the wall-clock curve and the routed fleet section come from \
-             BENCH_serve.json; refresh it with the serve_throughput bench",
+             table, the wall-clock curve, the routed fleet section and the isolation SLOs come \
+             from BENCH_serve.json; refresh it with the serve_throughput bench",
             report.scaling.ratio_3v1
         );
     }

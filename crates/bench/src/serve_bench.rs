@@ -37,13 +37,26 @@
 //!    same uncoalesced read workload, sequential vs per-lane OS threads
 //!    ([`ExecMode::Threaded`]), at 1/2/4/8 lanes. Acceptance (CI, when
 //!    the host has ≥ 4 cores): threaded ≥ 2x sequential at 4 lanes.
+//! 7. **Adversarial isolation** — the robustness plane's SLO section:
+//!    a flooder tenant hammers the shared MMC lane under admission QoS
+//!    while two victims run a fixed workload. Acceptance: victim p99
+//!    under attack ≤ 2x the flooder-free baseline, zero victim
+//!    rejections, flooder visibly throttled. Two sub-experiments ride
+//!    along: a **failover storm** (sticky read fault on one replica of a
+//!    3-lane fleet; ≥ 99% of clean reads must still complete via retries
+//!    on siblings, the sick lane must quarantine and return to Healthy)
+//!    and a **session-churn** sweep (open/close cycles must leak zero
+//!    metrics series). All numbers virtual time.
 
+use dlt_core::FaultPlan;
+use dlt_obs::ObsConfig;
 use dlt_recorder::campaign::{
     record_camera_driverlet_subset, record_mmc_driverlet_subset, record_usb_driverlet_subset,
 };
 use dlt_serve::{
-    Completion, Device, DriverletService, ExecMode, Policy, Request, RouteConfig, RoutePolicy,
-    ServeConfig, ServeError, SessionId, SubmitMode, BLOCK,
+    Completion, Device, DriverletService, ExecMode, FailoverConfig, LaneId, LaneState, Policy,
+    QosConfig, Request, RouteConfig, RoutePolicy, ServeConfig, ServeError, SessionId, SessionQos,
+    SubmitMode, SuperviseConfig, BLOCK,
 };
 use serde::{Deserialize, Serialize};
 
@@ -316,6 +329,77 @@ pub struct RoutedSample {
     pub spill: RoutedSpillSample,
 }
 
+/// The failover-storm sub-experiment: a sticky read fault on one replica
+/// of a 3-lane MMC fleet, failover + supervision enabled. Clean reads
+/// homed on the sick shard must retry on siblings, the watchdog must
+/// quarantine and then restore the lane, and nothing may be lost.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FailoverSample {
+    /// Replica lanes in the fleet.
+    pub replicas: usize,
+    /// Clean single-block reads submitted (storm + recovery phases).
+    pub clean_reads: u64,
+    /// Completions that carried a successful payload.
+    pub completed_ok: u64,
+    /// `completed_ok / clean_reads` — the gate demands ≥ 0.99.
+    pub completion_rate: f64,
+    /// Reads that never produced a completion at all — must be 0.
+    pub lost: u64,
+    /// Diverged executions retried on a healthy sibling (must be > 0).
+    pub failovers: u64,
+    /// Watchdog quarantine trips (must be ≥ 1; stale pre-reset
+    /// divergences reaped during probation may legitimately re-trip it).
+    pub quarantines: u64,
+    /// Whether the faulted lane finished the run back in
+    /// [`LaneState::Healthy`] after serving its probation.
+    pub lane_restored: bool,
+}
+
+/// The session-churn sub-experiment: open/submit/close cycles against a
+/// long-lived resident. The gate demands zero leaked per-session metrics
+/// series once the churn quiesces.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ChurnSample {
+    /// Ephemeral open/close cycles driven through the gate trustlet.
+    pub cycles: u64,
+    /// Metrics series still alive beyond the resident baseline — must
+    /// be 0.
+    pub leaked_series: u64,
+}
+
+/// The adversarial-isolation experiment: a flooder tenant vs two victims
+/// on one MMC lane under admission QoS, plus the failover-storm and
+/// session-churn sub-experiments. All numbers are virtual time, so the
+/// sample reproduces exactly.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct IsolationSample {
+    /// Victim sessions sharing the lane with the flooder.
+    pub victims: usize,
+    /// Victim reads completed per arm.
+    pub victim_requests: u64,
+    /// Victim p99 completion latency with no flooder (virtual
+    /// microseconds).
+    pub baseline_p99_us: u64,
+    /// Victim p99 with the flooder hammering the same lane under QoS.
+    pub attack_p99_us: u64,
+    /// `attack_p99_us / baseline_p99_us` — the gate demands ≤ 2.0: the
+    /// admission gate must keep the flood from reaching the victims'
+    /// tail.
+    pub p99_ratio: f64,
+    /// Victim submits rejected or throttled on the attack arm — must
+    /// be 0 (the whole point of per-tenant admission).
+    pub victim_rejections: u64,
+    /// Flooder submits turned away with [`ServeError::Throttled`]
+    /// (must be > 0: the flood is real and the gate visibly bites).
+    pub flooder_throttled: u64,
+    /// Flooder requests that were admitted and completed.
+    pub flooder_completed: u64,
+    /// The failover-storm sub-experiment.
+    pub failover: FailoverSample,
+    /// The session-churn sub-experiment.
+    pub churn: ChurnSample,
+}
+
 /// The persisted `BENCH_serve.json` document.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct ServeBenchReport {
@@ -339,6 +423,11 @@ pub struct ServeBenchReport {
     /// (this field is required); consumers treat that as a stale artifact
     /// and regenerate.
     pub routed: RoutedSample,
+    /// The adversarial-isolation experiment (admission QoS, failover
+    /// storm, session churn). Required for the same reason as `routed`:
+    /// artifacts persisted before the robustness plane fail to parse and
+    /// get regenerated.
+    pub isolation: IsolationSample,
 }
 
 fn mmc_config(coalesce: bool) -> ServeConfig {
@@ -1031,7 +1120,222 @@ pub fn run_routed_bench(lane_counts: &[usize], requests_per_session: u32) -> Rou
     }
 }
 
-/// Run all six experiments.
+/// The failover-storm sub-experiment: three replica MMC lanes behind the
+/// hash-shard router, failover and supervision on, a sticky read fault on
+/// replica 0. The storm submits clean single-block reads across the whole
+/// fleet; reads homed on the sick shard diverge, retry on a sibling under
+/// the retry budget, and the watchdog quarantines the lane (its soft
+/// reset clears the fault, so a recovery phase of homed reads then walks
+/// it through probation back to [`LaneState::Healthy`]). Sequential exec
+/// mode keeps the whole storm deterministic virtual time.
+fn run_failover_experiment() -> FailoverSample {
+    const REPLICAS: usize = 3;
+    const STORM_READS: u32 = 72;
+    const RECOVERY_READS: usize = 8;
+    let bundle = record_mmc_driverlet_subset(&[1, 8]).expect("record mmc");
+    let policy = RoutePolicy::HashShard { chunk_blocks: 16 };
+    let devices: Vec<_> = (0..REPLICAS).map(|_| (Device::Mmc, bundle.clone())).collect();
+    let config = ServeConfig {
+        policy: Policy::Fifo,
+        coalesce: false,
+        hold_budget_ns: 0,
+        queue_capacity: 128,
+        route: RouteConfig { policy, spill: true },
+        failover: FailoverConfig { enabled: true, retry_budget: 2, backoff_base_ns: 50_000 },
+        supervise: SuperviseConfig {
+            enabled: true,
+            divergence_threshold: 2,
+            window: 16,
+            probation_ok: 4,
+        },
+        block_granularities: vec![1, 8],
+        ..ServeConfig::default()
+    };
+    let mut service =
+        DriverletService::with_driverlets(&devices, config).expect("build failover service");
+    let session = service.open_session().expect("open session");
+    service
+        .inject_fault_at(
+            LaneId { device: Device::Mmc, replica: 0 },
+            FaultPlan { template: Some("_rd_".into()), sticky: true, ..FaultPlan::default() },
+        )
+        .expect("inject fault");
+
+    // Storm: never-written (clean) extents spread over every shard, so a
+    // fixed fraction homes on the faulted replica and must fail over.
+    let mut submitted = 0u64;
+    let mut completions: Vec<Completion> = Vec::new();
+    for blkid in 0..STORM_READS {
+        service
+            .submit(session, Request::Read { device: Device::Mmc, blkid, blkcnt: 1 })
+            .expect("storm read");
+        submitted += 1;
+    }
+    completions.extend(service.drain_all());
+
+    // Recovery: clean reads homed on the reset shard serve its probation.
+    let homed: Vec<u32> =
+        (0..4096).filter(|b| policy.replica_for(*b, REPLICAS) == 0).take(RECOVERY_READS).collect();
+    for blkid in homed {
+        service
+            .submit(session, Request::Read { device: Device::Mmc, blkid, blkcnt: 1 })
+            .expect("recovery read");
+        submitted += 1;
+    }
+    completions.extend(service.drain_all());
+
+    let completed_ok = completions.iter().filter(|c| c.result.is_ok()).count() as u64;
+    let lost = submitted - completions.len() as u64;
+    let stats = service.stats();
+    let health = service
+        .lane_health_check_at(LaneId { device: Device::Mmc, replica: 0 })
+        .expect("health check");
+    FailoverSample {
+        replicas: REPLICAS,
+        clean_reads: submitted,
+        completed_ok,
+        completion_rate: completed_ok as f64 / (submitted as f64).max(1.0),
+        lost,
+        failovers: stats.failovers,
+        quarantines: stats.quarantines,
+        lane_restored: stats.lane_restores >= 1 && health.state == LaneState::Healthy,
+    }
+}
+
+/// The session-churn sub-experiment: `cycles` ephemeral sessions open,
+/// touch the device and close against one long-lived resident; half close
+/// with the read still in flight (orphan path), half reap first. The
+/// sample records how many per-session metrics series outlived their
+/// session.
+fn run_churn_experiment(cycles: u64) -> ChurnSample {
+    let config = ServeConfig {
+        obs: ObsConfig::MetricsOnly,
+        block_granularities: vec![1],
+        ..ServeConfig::default()
+    };
+    let mut service = DriverletService::new(&[Device::Mmc], config).expect("build churn service");
+    let resident = service.open_session().expect("resident session");
+    let baseline = service.metrics_snapshot().expect("metrics plane is on").sessions.len() as u64;
+    for i in 0..cycles {
+        let s = service.open_session().expect("churn session");
+        service
+            .submit(s, Request::Read { device: Device::Mmc, blkid: (i % 32) as u32, blkcnt: 1 })
+            .expect("churn read");
+        if i % 2 == 0 {
+            service.close_session(s);
+            service.drain_all();
+        } else {
+            service.drain_all();
+            service.take_completions(s);
+            service.close_session(s);
+        }
+    }
+    service.drain_all();
+    service.take_completions(resident);
+    let series = service.metrics_snapshot().expect("metrics plane is on").sessions.len() as u64;
+    ChurnSample { cycles, leaked_series: series.saturating_sub(baseline) }
+}
+
+/// The adversarial-isolation experiment: two victim tenants run a fixed
+/// read workload on one MMC lane; the attack arm adds a flooder that
+/// bursts 12 submits per round against a per-tenant token bucket and a
+/// 1/9 max-min share. Victim latency is compared across the arms — with
+/// admission QoS doing its job, the flood lands on the flooder
+/// ([`ServeError::Throttled`]) instead of the victims' tail.
+pub fn run_isolation_bench(rounds: u32, churn_cycles: u64) -> IsolationSample {
+    const VICTIMS: usize = 2;
+    const VICTIM_READS_PER_ROUND: u32 = 4;
+    const FLOOD_PER_ROUND: u32 = 12;
+    let bundle = record_mmc_driverlet_subset(&[1, 8]).expect("record mmc");
+
+    // (victim latencies, victim rejections, flooder throttled, flooder
+    // completed) for one arm.
+    let arm = |with_flooder: bool| -> (Vec<u64>, u64, u64, u64) {
+        let config = ServeConfig {
+            policy: Policy::Fifo,
+            coalesce: false,
+            hold_budget_ns: 0,
+            queue_capacity: 16,
+            qos: QosConfig {
+                enabled: true,
+                default_qos: SessionQos { rate_rps: 0, burst: 16, weight: 4 },
+            },
+            block_granularities: vec![1, 8],
+            ..ServeConfig::default()
+        };
+        let mut service =
+            DriverletService::with_driverlets(&[(Device::Mmc, bundle.clone())], config)
+                .expect("build isolation service");
+        let victims: Vec<SessionId> =
+            (0..VICTIMS).map(|_| service.open_session().unwrap()).collect();
+        let flooder = service.open_session().unwrap();
+        service
+            .set_session_qos(flooder, SessionQos { rate_rps: 200, burst: 4, weight: 1 })
+            .expect("flooder qos");
+
+        let mut victim_us: Vec<u64> = Vec::new();
+        let mut victim_rejections = 0u64;
+        let mut throttled = 0u64;
+        let mut flooder_completed = 0u64;
+        for round in 0..rounds {
+            if with_flooder {
+                // The flood goes first each round: whatever the gate
+                // admits lands *ahead* of the victims in the FIFO queue,
+                // so any leak through admission shows up in victim p99.
+                for burst in 0..FLOOD_PER_ROUND {
+                    let blkid = 4096 + (round * FLOOD_PER_ROUND + burst) % 64;
+                    match service
+                        .submit(flooder, Request::Read { device: Device::Mmc, blkid, blkcnt: 1 })
+                    {
+                        Ok(_) => {}
+                        Err(ServeError::Throttled { .. }) => throttled += 1,
+                        Err(e) => panic!("unexpected flooder submit error: {e}"),
+                    }
+                }
+            }
+            for (v, session) in victims.iter().enumerate() {
+                for r in 0..VICTIM_READS_PER_ROUND {
+                    let blkid = (round * VICTIM_READS_PER_ROUND + r) % 64 + 64 * (v as u32 + 1);
+                    if service
+                        .submit(*session, Request::Read { device: Device::Mmc, blkid, blkcnt: 1 })
+                        .is_err()
+                    {
+                        victim_rejections += 1;
+                    }
+                }
+            }
+            for c in service.drain_all() {
+                if c.session == flooder {
+                    flooder_completed += 1;
+                } else {
+                    victim_us.push(c.latency_ns() / 1_000);
+                }
+            }
+        }
+        (victim_us, victim_rejections, throttled, flooder_completed)
+    };
+
+    let (mut baseline_us, baseline_rejections, _, _) = arm(false);
+    let (mut attack_us, victim_rejections, flooder_throttled, flooder_completed) = arm(true);
+    assert_eq!(baseline_rejections, 0, "the flooder-free arm must admit every victim read");
+    assert_eq!(baseline_us.len(), attack_us.len(), "both arms complete every victim read");
+    let baseline_p99_us = latency_sample(&mut baseline_us).p99_us;
+    let attack_p99_us = latency_sample(&mut attack_us).p99_us;
+    IsolationSample {
+        victims: VICTIMS,
+        victim_requests: attack_us.len() as u64,
+        baseline_p99_us,
+        attack_p99_us,
+        p99_ratio: attack_p99_us as f64 / (baseline_p99_us as f64).max(1e-9),
+        victim_rejections,
+        flooder_throttled,
+        flooder_completed,
+        failover: run_failover_experiment(),
+        churn: run_churn_experiment(churn_cycles),
+    }
+}
+
+/// Run all the experiments.
 pub fn run_serve_bench(quick: bool) -> ServeBenchReport {
     // The scaling lane budget stays at 2.4 s even in quick mode: a OneShot
     // capture costs ~2.3 s of camera-lane time (sensor init dominates), so
@@ -1048,6 +1352,7 @@ pub fn run_serve_bench(quick: bool) -> ServeBenchReport {
     };
     let (routed_lanes, routed_requests): (&[usize], u32) =
         if quick { (&[1, 2, 4, 8], 48) } else { (&[1, 2, 4, 8, 16], 128) };
+    let (isolation_rounds, churn_cycles) = if quick { (12, 60) } else { (40, 200) };
     let coalescing = run_coalescing_bench(8, rounds);
     let mixed = run_mixed_bench(mixed_rounds, frames);
     let scaling = run_scaling_bench(budget_ns);
@@ -1055,6 +1360,7 @@ pub fn run_serve_bench(quick: bool) -> ServeBenchReport {
     let ring = run_ring_bench(ring_requests, 16);
     let wall_clock = run_wall_clock_bench(&[1, 2, 4, 8], wall_requests);
     let routed = run_routed_bench(routed_lanes, routed_requests);
+    let isolation = run_isolation_bench(isolation_rounds, churn_cycles);
     ServeBenchReport {
         workload: format!(
             "serve layer: 8-session striped reads x {rounds} rounds (MMC); 10-session mixed \
@@ -1063,7 +1369,9 @@ pub fn run_serve_bench(quick: bool) -> ServeBenchReport {
              open-loop Poisson mix at {ring_requests} requests/session, doorbell batch 16; \
              wall-clock sequential-vs-threaded at 1/2/4/8 replica MMC lanes x {wall_requests} \
              8-block reads/lane; routed replica-fleet weak scaling at {routed_requests} \
-             requests/session plus the 4-replica spill experiment",
+             requests/session plus the 4-replica spill experiment; adversarial isolation \
+             (flooder vs 2 victims under QoS x {isolation_rounds} rounds, 3-replica failover \
+             storm, {churn_cycles}-cycle session churn)",
             budget_ns as f64 / 1e6
         ),
         coalescing,
@@ -1073,6 +1381,7 @@ pub fn run_serve_bench(quick: bool) -> ServeBenchReport {
         ring,
         wall_clock,
         routed,
+        isolation,
     }
 }
 
@@ -1200,6 +1509,36 @@ pub fn describe(report: &ServeBenchReport) -> String {
         sp.rejections,
         sp.requests
     ));
+    let iso = &report.isolation;
+    out.push_str(&format!(
+        "isolation ({} victims, {} victim reads/arm): baseline p99 {} us vs under-attack p99 \
+         {} us ({:.2}x); {} victim rejections, flooder throttled {} / completed {}\n",
+        iso.victims,
+        iso.victim_requests,
+        iso.baseline_p99_us,
+        iso.attack_p99_us,
+        iso.p99_ratio,
+        iso.victim_rejections,
+        iso.flooder_throttled,
+        iso.flooder_completed
+    ));
+    let fo = &iso.failover;
+    out.push_str(&format!(
+        "failover storm ({} replicas, sticky read fault on replica 0): {}/{} clean reads \
+         completed ({:.1}%), {} lost, {} failovers, {} quarantine(s), lane restored: {}\n",
+        fo.replicas,
+        fo.completed_ok,
+        fo.clean_reads,
+        fo.completion_rate * 100.0,
+        fo.lost,
+        fo.failovers,
+        fo.quarantines,
+        fo.lane_restored
+    ));
+    out.push_str(&format!(
+        "session churn: {} open/close cycles, {} leaked metrics series\n",
+        iso.churn.cycles, iso.churn.leaked_series
+    ));
     out
 }
 
@@ -1210,7 +1549,8 @@ pub fn summary_line(report: &ServeBenchReport) -> String {
     format!(
         "serve_throughput coalesced={:.0} serial={:.0} speedup={:.2} scaling_3v1={:.2} \
          block_p99_us={} ring_speedup={:.2} ring_smcs_per_req={:.3} wall_4lane={:.2} cores={} \
-         routed_8v4={:.2} spill_p99_ratio={:.2} spills={}",
+         routed_8v4={:.2} spill_p99_ratio={:.2} spills={} iso_p99_ratio={:.2} \
+         iso_victim_rejections={} failover_rate={:.3} quarantines={} churn_leaked={}",
         report.coalescing.coalesced_rps,
         report.coalescing.serial_rps,
         report.coalescing.speedup,
@@ -1222,7 +1562,12 @@ pub fn summary_line(report: &ServeBenchReport) -> String {
         report.wall_clock.host_cores,
         report.routed.ratio_8v4,
         report.routed.spill.p99_ratio,
-        report.routed.spill.spills
+        report.routed.spill.spills,
+        report.isolation.p99_ratio,
+        report.isolation.victim_rejections,
+        report.isolation.failover.completion_rate,
+        report.isolation.failover.quarantines,
+        report.isolation.churn.leaked_series
     )
 }
 
@@ -1385,6 +1730,38 @@ mod tests {
     }
 
     #[test]
+    fn isolation_gates_hold() {
+        // The robustness-plane SLOs at unit scale; the CI-sized run (and
+        // its gates) lives in the serve_throughput bench. All virtual
+        // time, so the sample reproduces exactly.
+        let iso = run_isolation_bench(8, 24);
+        assert_eq!(
+            iso.victim_rejections, 0,
+            "admission QoS must never turn the victims away while the flooder hammers the lane"
+        );
+        assert!(iso.flooder_throttled > 0, "the gate must visibly throttle the flooder");
+        assert!(
+            iso.p99_ratio <= 2.0,
+            "victim p99 under attack must stay within 2x the flooder-free baseline, got {:.2}x \
+             ({} us vs {} us)",
+            iso.p99_ratio,
+            iso.attack_p99_us,
+            iso.baseline_p99_us
+        );
+        let fo = &iso.failover;
+        assert!(
+            fo.completion_rate >= 0.99,
+            "failover must carry >= 99% of clean reads past the sticky fault, got {:.3}",
+            fo.completion_rate
+        );
+        assert_eq!(fo.lost, 0, "no read may vanish during the storm");
+        assert!(fo.failovers >= 1, "reads homed on the sick shard must retry on a sibling");
+        assert!(fo.quarantines >= 1, "the watchdog must trip the diverging lane");
+        assert!(fo.lane_restored, "the lane must serve its probation back to Healthy");
+        assert_eq!(iso.churn.leaked_series, 0, "session churn must leak no metrics series");
+    }
+
+    #[test]
     fn report_round_trips_through_json() {
         let report = run_serve_bench(true);
         let json = report_json(&report);
@@ -1394,6 +1771,9 @@ mod tests {
         assert!(json.contains("wall_clock"));
         assert!(json.contains("routed"));
         assert!(json.contains("p99_ratio"));
+        assert!(json.contains("isolation"));
+        assert!(json.contains("flooder_throttled"));
+        assert!(json.contains("leaked_series"));
         let parsed = parse_report(&json).expect("parse persisted report");
         assert_eq!(parsed.scaling.points.len(), report.scaling.points.len());
         assert!((parsed.scaling.ratio_3v1 - report.scaling.ratio_3v1).abs() < 1e-9);
@@ -1401,6 +1781,12 @@ mod tests {
         assert_eq!(parsed.wall_clock.host_cores, report.wall_clock.host_cores);
         assert_eq!(parsed.routed.points.len(), report.routed.points.len());
         assert_eq!(parsed.routed.spill.spills, report.routed.spill.spills);
+        assert_eq!(parsed.isolation.victim_rejections, report.isolation.victim_rejections);
+        assert_eq!(parsed.isolation.failover.quarantines, report.isolation.failover.quarantines);
+        // A pre-robustness artifact (no `isolation` section) must fail to
+        // parse the same way, so stale SLO numbers never get reprinted.
+        let stale_iso = json.replace("\"isolation\"", "\"isolation_gone\"");
+        assert!(parse_report(&stale_iso).is_err(), "pre-robustness schema must be rejected");
         // A pre-router artifact (no `routed` section) must fail to parse,
         // so the report binary regenerates instead of printing stale data.
         let stale = json.replace("\"routed\"", "\"routed_gone\"");

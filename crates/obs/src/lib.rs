@@ -39,7 +39,8 @@ pub mod trace;
 
 pub use metrics::{
     HistogramSnapshot, LaneMetrics, LaneSnapshot, MetricsRegistry, MetricsSnapshot,
-    SessionSnapshot, SmcMetrics,
+    RobustnessMetrics, RobustnessSnapshot, SessionSnapshot, SmcMetrics, LANE_STATE_HEALTHY,
+    LANE_STATE_PROBATION, LANE_STATE_QUARANTINED,
 };
 pub use trace::{
     chrome_trace_json, reconstruct_spans, EventKind, Recorder, RequestSpan, SmcKind, TraceEvent,

@@ -135,8 +135,18 @@ pub struct LaneMetrics {
     coalesced_requests: AtomicU64,
     doorbell_batches: AtomicU64,
     last_event_host_ns: AtomicU64,
+    /// Supervision state gauge (see [`LANE_STATE_HEALTHY`] and friends).
+    state: AtomicU64,
     latency_ns: Histogram,
 }
+
+/// [`LaneMetrics`] state gauge value: the lane is serving normally.
+pub const LANE_STATE_HEALTHY: u64 = 0;
+/// [`LaneMetrics`] state gauge value: the supervisor quarantined the lane.
+pub const LANE_STATE_QUARANTINED: u64 = 1;
+/// [`LaneMetrics`] state gauge value: the lane is on probation after a
+/// soft reset, serving again but still watched.
+pub const LANE_STATE_PROBATION: u64 = 2;
 
 impl LaneMetrics {
     /// A zeroed series set for one lane over `device`.
@@ -153,6 +163,7 @@ impl LaneMetrics {
             coalesced_requests: AtomicU64::new(0),
             doorbell_batches: AtomicU64::new(0),
             last_event_host_ns: AtomicU64::new(0),
+            state: AtomicU64::new(LANE_STATE_HEALTHY),
             latency_ns: Histogram::new(),
         }
     }
@@ -194,6 +205,30 @@ impl LaneMetrics {
         self.failed.fetch_add(1, Ordering::Relaxed);
         self.in_queue.fetch_sub(1, Ordering::Relaxed);
         self.touch(host_ns);
+    }
+
+    /// Un-admit: the request left this lane *without* a terminal outcome
+    /// here — a quarantine eviction or a failover retry moved it to a
+    /// sibling, whose own [`LaneMetrics::on_admit`] counts it next. Rolls
+    /// back both sides of the admission so the reconciliation invariant
+    /// (`admitted == completed + diverged + failed + in_queue`) holds
+    /// per lane, not just fleet-wide.
+    pub fn on_requeue(&self, host_ns: u64) {
+        self.admitted.fetch_sub(1, Ordering::Relaxed);
+        self.in_queue.fetch_sub(1, Ordering::Relaxed);
+        self.touch(host_ns);
+    }
+
+    /// Set the supervision state gauge (one of [`LANE_STATE_HEALTHY`],
+    /// [`LANE_STATE_QUARANTINED`], [`LANE_STATE_PROBATION`]).
+    pub fn set_state(&self, state: u64, host_ns: u64) {
+        self.state.store(state, Ordering::Relaxed);
+        self.touch(host_ns);
+    }
+
+    /// Current supervision state gauge value.
+    pub fn state(&self) -> u64 {
+        self.state.load(Ordering::Relaxed)
     }
 
     /// One replay batch executed, folding `merged` requests into it.
@@ -265,6 +300,7 @@ impl LaneMetrics {
             coalesce_ratio: if replays == 0 { 0.0 } else { coalesced as f64 / replays as f64 },
             doorbell_batches: self.doorbell_batches.load(Ordering::Relaxed),
             last_event_host_ns: self.last_event_host_ns(),
+            state: self.state(),
             latency_ns: self.latency_ns.snapshot(),
         }
     }
@@ -299,6 +335,9 @@ pub struct LaneSnapshot {
     pub doorbell_batches: u64,
     /// Host stamp of the lane's most recent event.
     pub last_event_host_ns: u64,
+    /// Supervision state gauge: [`LANE_STATE_HEALTHY`] (0),
+    /// [`LANE_STATE_QUARANTINED`] (1) or [`LANE_STATE_PROBATION`] (2).
+    pub state: u64,
     /// Virtual submit→complete latency histogram.
     pub latency_ns: HistogramSnapshot,
 }
@@ -355,6 +394,7 @@ pub struct SessionMetrics {
     submitted: AtomicU64,
     completed: AtomicU64,
     diverged: AtomicU64,
+    throttled: AtomicU64,
 }
 
 impl SessionMetrics {
@@ -372,6 +412,100 @@ impl SessionMetrics {
     pub fn on_diverge(&self) {
         self.diverged.fetch_add(1, Ordering::Relaxed);
     }
+
+    /// Count one submit rejected at admission by QoS throttling.
+    pub fn on_throttle(&self) {
+        self.throttled.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// Fleet-wide robustness counters: admission throttling, replica
+/// failover, lane quarantine and the orphan aggregate (terminal outcomes
+/// whose session closed before the completion was reaped — counted here
+/// instead of resurrecting a dead per-session series).
+#[derive(Debug, Default)]
+pub struct RobustnessMetrics {
+    throttled: AtomicU64,
+    failovers: AtomicU64,
+    failover_exhausted: AtomicU64,
+    quarantines: AtomicU64,
+    lane_restores: AtomicU64,
+    orphan_outcomes: AtomicU64,
+    retired_outcomes: AtomicU64,
+}
+
+impl RobustnessMetrics {
+    /// Count one submit rejected at admission by QoS throttling.
+    pub fn on_throttle(&self) {
+        self.throttled.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Count one failover retry dispatched to a sibling replica.
+    pub fn on_failover(&self) {
+        self.failovers.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Count one request whose retry budget ran out.
+    pub fn on_exhausted(&self) {
+        self.failover_exhausted.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Count one lane tripping into quarantine.
+    pub fn on_quarantine(&self) {
+        self.quarantines.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Count one quarantined lane passing probation back to healthy.
+    pub fn on_lane_restore(&self) {
+        self.lane_restores.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Count one terminal outcome delivered after its session closed.
+    pub fn on_orphan_outcome(&self) {
+        self.orphan_outcomes.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Fold `outcomes` terminal outcomes from a retired per-session
+    /// series into the aggregate, so dropping the series on session close
+    /// does not lose its history from fleet-wide conservation
+    /// (`Σ session terminal + orphans + retired == Σ lane terminal`).
+    pub fn on_session_retired(&self, outcomes: u64) {
+        self.retired_outcomes.fetch_add(outcomes, Ordering::Relaxed);
+    }
+
+    /// Freeze the counters.
+    pub fn snapshot(&self) -> RobustnessSnapshot {
+        RobustnessSnapshot {
+            throttled: self.throttled.load(Ordering::Relaxed),
+            failovers: self.failovers.load(Ordering::Relaxed),
+            failover_exhausted: self.failover_exhausted.load(Ordering::Relaxed),
+            quarantines: self.quarantines.load(Ordering::Relaxed),
+            lane_restores: self.lane_restores.load(Ordering::Relaxed),
+            orphan_outcomes: self.orphan_outcomes.load(Ordering::Relaxed),
+            retired_outcomes: self.retired_outcomes.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A frozen [`RobustnessMetrics`].
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RobustnessSnapshot {
+    /// Submits rejected at admission by QoS throttling.
+    pub throttled: u64,
+    /// Failover retries dispatched to sibling replicas.
+    pub failovers: u64,
+    /// Requests whose retry budget ran out.
+    pub failover_exhausted: u64,
+    /// Lane quarantine trips.
+    pub quarantines: u64,
+    /// Lanes restored to healthy after probation.
+    pub lane_restores: u64,
+    /// Terminal outcomes delivered after their session closed.
+    pub orphan_outcomes: u64,
+    /// Terminal outcomes folded in from per-session series retired on
+    /// session close (closed sessions drop their series; their counted
+    /// history moves here so fleet-wide conservation still holds).
+    pub retired_outcomes: u64,
 }
 
 /// Fleet-routing counters (written by the serve layer's front-end
@@ -422,6 +556,8 @@ pub struct SessionSnapshot {
     pub completed: u64,
     /// Divergences reaped.
     pub diverged: u64,
+    /// Submits rejected at admission by QoS throttling.
+    pub throttled: u64,
 }
 
 /// One SMC kind's call count, labelled for the JSON/Prometheus exports.
@@ -449,6 +585,9 @@ pub struct MetricsSnapshot {
     /// field defaulting); consumers treat that as a stale artifact and
     /// regenerate, like every other schema extension here.
     pub route: RouteSnapshot,
+    /// Robustness-plane counters (throttle/failover/quarantine), a schema
+    /// extension under the same stale-artifact rule as `route`.
+    pub robustness: RobustnessSnapshot,
 }
 
 impl MetricsSnapshot {
@@ -467,6 +606,7 @@ pub struct MetricsRegistry {
     lanes: Mutex<Vec<Arc<LaneMetrics>>>,
     smc: Arc<SmcMetrics>,
     route: Arc<RouteMetrics>,
+    robustness: Arc<RobustnessMetrics>,
     sessions: Mutex<HashMap<u32, Arc<SessionMetrics>>>,
 }
 
@@ -488,6 +628,7 @@ impl MetricsRegistry {
             lanes: Mutex::new(Vec::new()),
             smc: Arc::new(SmcMetrics::new()),
             route: Arc::new(RouteMetrics::default()),
+            robustness: Arc::new(RobustnessMetrics::default()),
             sessions: Mutex::new(HashMap::new()),
         }
     }
@@ -527,6 +668,11 @@ impl MetricsRegistry {
         Arc::clone(&self.route)
     }
 
+    /// The shared robustness-plane series.
+    pub fn robustness(&self) -> Arc<RobustnessMetrics> {
+        Arc::clone(&self.robustness)
+    }
+
     /// The series for `session`, created on first use.
     pub fn session(&self, session: u32) -> Arc<SessionMetrics> {
         Arc::clone(
@@ -536,6 +682,27 @@ impl MetricsRegistry {
                 .entry(session)
                 .or_default(),
         )
+    }
+
+    /// Drop `session`'s series. Called on session close so thousands of
+    /// open/close cycles do not grow the registry without bound; a
+    /// completion that lands after the drop is counted in the robustness
+    /// orphan aggregate instead of resurrecting the series.
+    pub fn forget_session(&self, session: u32) {
+        let removed =
+            self.sessions.lock().expect("metrics session registry poisoned").remove(&session);
+        if let Some(m) = removed {
+            let terminal = m.completed.load(Ordering::Relaxed) + m.diverged.load(Ordering::Relaxed);
+            if terminal > 0 {
+                self.robustness.on_session_retired(terminal);
+            }
+        }
+    }
+
+    /// Number of live per-session series (the churn suites assert this
+    /// returns to baseline after open/close storms).
+    pub fn session_series_count(&self) -> usize {
+        self.sessions.lock().expect("metrics session registry poisoned").len()
     }
 
     /// Freeze every series.
@@ -565,6 +732,7 @@ impl MetricsRegistry {
                 submitted: m.submitted.load(Ordering::Relaxed),
                 completed: m.completed.load(Ordering::Relaxed),
                 diverged: m.diverged.load(Ordering::Relaxed),
+                throttled: m.throttled.load(Ordering::Relaxed),
             })
             .collect();
         sessions.sort_by_key(|s| s.session);
@@ -579,6 +747,7 @@ impl MetricsRegistry {
                 stripe_fanouts: self.route.stripe_fanouts.load(Ordering::Relaxed),
                 stripe_parts: self.route.stripe_parts.load(Ordering::Relaxed),
             },
+            robustness: self.robustness.snapshot(),
         }
     }
 }
@@ -612,10 +781,13 @@ pub fn prometheus_text(snapshot: &MetricsSnapshot) -> String {
             ));
         }
     }
-    let gauge_families: [LaneFamily; 2] = [
+    let gauge_families: [LaneFamily; 3] = [
         ("dlt_lane_in_queue", "Requests admitted but not yet terminal", |l| l.in_queue),
         ("dlt_lane_occupancy_high_water", "Deepest queue occupancy observed", |l| {
             l.occupancy_high_water
+        }),
+        ("dlt_lane_state", "Supervision state (0 healthy, 1 quarantined, 2 probation)", |l| {
+            l.state
         }),
     ];
     for (name, help, get) in gauge_families {
@@ -650,6 +822,38 @@ pub fn prometheus_text(snapshot: &MetricsSnapshot) -> String {
         ),
     ];
     for (name, help, value) in route_families {
+        out.push_str(&format!("# HELP {name} {help}\n# TYPE {name} counter\n{name} {value}\n"));
+    }
+    let robustness_families: [(&str, &str, u64); 7] = [
+        ("dlt_throttled_total", "Submits rejected by admission QoS", snapshot.robustness.throttled),
+        (
+            "dlt_failovers_total",
+            "Failover retries dispatched to sibling replicas",
+            snapshot.robustness.failovers,
+        ),
+        (
+            "dlt_failover_exhausted_total",
+            "Requests whose retry budget ran out",
+            snapshot.robustness.failover_exhausted,
+        ),
+        ("dlt_quarantines_total", "Lane quarantine trips", snapshot.robustness.quarantines),
+        (
+            "dlt_lane_restores_total",
+            "Lanes restored to healthy after probation",
+            snapshot.robustness.lane_restores,
+        ),
+        (
+            "dlt_orphan_outcomes_total",
+            "Terminal outcomes delivered after their session closed",
+            snapshot.robustness.orphan_outcomes,
+        ),
+        (
+            "dlt_retired_outcomes_total",
+            "Terminal outcomes folded in from series retired on session close",
+            snapshot.robustness.retired_outcomes,
+        ),
+    ];
+    for (name, help, value) in robustness_families {
         out.push_str(&format!("# HELP {name} {help}\n# TYPE {name} counter\n{name} {value}\n"));
     }
     out.push_str(
@@ -749,7 +953,13 @@ mod tests {
         assert_eq!(snap.smc_total(), 2);
         assert_eq!(
             snap.sessions,
-            vec![SessionSnapshot { session: 3, submitted: 1, completed: 1, diverged: 0 }]
+            vec![SessionSnapshot {
+                session: 3,
+                submitted: 1,
+                completed: 1,
+                diverged: 0,
+                throttled: 0
+            }]
         );
 
         let json = serde_json::to_string(&snap).expect("snapshot serialises");
@@ -757,6 +967,42 @@ mod tests {
         assert_eq!(back.lanes[0].admitted, 1);
         assert_eq!(back.smc_total(), 2);
         assert_eq!(back.doorbell_batch.total(), 1);
+    }
+
+    #[test]
+    fn forget_session_bounds_the_registry_and_orphans_aggregate() {
+        let registry = MetricsRegistry::new(true);
+        for id in 1..=100u32 {
+            registry.session(id).on_submit();
+        }
+        assert_eq!(registry.session_series_count(), 100);
+        for id in 1..=100u32 {
+            registry.forget_session(id);
+        }
+        assert_eq!(registry.session_series_count(), 0);
+        // A straggler completion after close lands in the orphan aggregate,
+        // not a resurrected per-session series.
+        registry.robustness().on_orphan_outcome();
+        assert_eq!(registry.session_series_count(), 0);
+        assert_eq!(registry.snapshot().robustness.orphan_outcomes, 1);
+    }
+
+    #[test]
+    fn lane_state_and_requeue_keep_the_reconciliation_invariant() {
+        let lane = LaneMetrics::new("mmc");
+        lane.on_admit(1, 10);
+        lane.on_admit(2, 20);
+        // Quarantine evicts one queued request back to the router.
+        lane.set_state(LANE_STATE_QUARANTINED, 30);
+        lane.on_requeue(30);
+        assert_eq!(lane.admitted(), 1);
+        assert_eq!(lane.completed() + lane.diverged() + lane.failed() + lane.in_queue(), 1);
+        lane.set_state(LANE_STATE_PROBATION, 40);
+        lane.on_complete(500, 50, false);
+        lane.set_state(LANE_STATE_HEALTHY, 60);
+        let snap = lane.snapshot(0);
+        assert_eq!(snap.state, LANE_STATE_HEALTHY);
+        assert_eq!(snap.admitted, snap.completed + snap.diverged + snap.failed + snap.in_queue);
     }
 
     #[test]

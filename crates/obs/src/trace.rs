@@ -73,6 +73,17 @@ pub enum EventKind {
     FaultInject = 14,
     /// The injected fault was cleared.
     FaultClear = 15,
+    /// Admission QoS rejected a submit; `arg` is the advised
+    /// `retry_after_ns`.
+    Throttled = 16,
+    /// A clean-read completion was retried on a sibling replica; `arg` is
+    /// the attempt ordinal (1-based) charged against the retry budget.
+    Failover = 17,
+    /// The lane supervisor changed a lane's state; `arg` is 1 when the
+    /// lane entered quarantine, 2 when it entered probation.
+    Quarantine = 18,
+    /// A quarantined lane passed probation and returned to healthy.
+    LaneRestored = 19,
 }
 
 impl EventKind {
@@ -95,6 +106,10 @@ impl EventKind {
             EventKind::Unpark => "unpark",
             EventKind::FaultInject => "fault_inject",
             EventKind::FaultClear => "fault_clear",
+            EventKind::Throttled => "throttled",
+            EventKind::Failover => "failover",
+            EventKind::Quarantine => "quarantine",
+            EventKind::LaneRestored => "lane_restored",
         }
     }
 }

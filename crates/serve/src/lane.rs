@@ -92,6 +92,16 @@ pub(crate) struct SharedStats {
     pub stripe_fanouts: AtomicU64,
     /// Total parts those fan-outs produced.
     pub stripe_parts: AtomicU64,
+    /// Submits rejected at admission by per-tenant QoS.
+    pub throttled: AtomicU64,
+    /// Failover retries dispatched to sibling replicas.
+    pub failovers: AtomicU64,
+    /// Requests whose failover retry budget ran out.
+    pub failover_exhausted: AtomicU64,
+    /// Lane quarantine trips.
+    pub quarantines: AtomicU64,
+    /// Lanes restored to healthy after probation.
+    pub lane_restores: AtomicU64,
 }
 
 impl SharedStats {
@@ -264,6 +274,11 @@ pub(crate) enum CtrlReq {
     /// Queued requests still execute; their completions are dropped at
     /// post time by the front-end.
     ForgetSession(SessionId),
+    /// Quarantine drain: hand every queued (not yet dispatched) request
+    /// back to the front-end for re-routing. The evicted requests keep
+    /// their front-end reservations — the supervisor settles the
+    /// in-flight accounting as it re-places each one.
+    Evict,
     /// Exit the worker loop (threaded mode shutdown).
     Stop,
 }
@@ -274,6 +289,8 @@ pub(crate) enum CtrlReply {
     Done,
     /// [`CtrlReq::HealthCheck`]'s structured report.
     Health(LaneHealth),
+    /// [`CtrlReq::Evict`]'s drained queue, in queue order.
+    Evicted(Vec<Pending>),
 }
 
 pub(crate) struct CtrlMsg {
@@ -539,6 +556,15 @@ impl LaneWorker {
             CtrlReq::ForgetSession(session) => {
                 self.lane.forget_session(session);
                 (Ok(CtrlReply::Done), true)
+            }
+            CtrlReq::Evict => {
+                // Pull everything the TEE already admitted into the local
+                // queue first, so the eviction is complete — nothing stays
+                // hidden in the admit ring to execute after the drain.
+                self.pump_admissions();
+                let evicted = self.lane.evict_all();
+                self.publish_queue_depth();
+                (Ok(CtrlReply::Evicted(evicted)), true)
             }
             CtrlReq::Stop => (Ok(CtrlReply::Done), false),
         };
@@ -831,6 +857,7 @@ impl LaneWorker {
         metrics.touch(self.shared.host_now_ns());
         Ok(LaneHealth {
             device: self.device,
+            state: crate::LaneState::from_gauge(metrics.state()),
             queued: self.lane.len() as u64,
             inflight: self.shared.inflight.load(Ordering::Acquire),
             completed: metrics.completed(),

@@ -80,10 +80,10 @@ pub use dlt_obs::ObsConfig;
 
 pub use adapter::ServedBlockDev;
 pub use route::{LaneId, ReplicaDepth, RouteConfig, RoutePolicy};
-pub use sched::Policy;
+pub use sched::{Policy, QosConfig, SessionQos};
 pub use service::{
-    DriverletService, ExecMode, LaneSubmitter, ServeConfig, ServeStats, SessionBlockIo, SubmitMode,
-    HEALTH_PROBE_BLKID,
+    DriverletService, ExecMode, FailoverConfig, LaneSubmitter, ServeConfig, ServeStats,
+    SessionBlockIo, SubmitMode, SuperviseConfig, HEALTH_PROBE_BLKID,
 };
 
 use dlt_core::ReplayError;
@@ -219,6 +219,70 @@ impl Completion {
     }
 }
 
+/// A lane's supervision state, maintained by the front-end watchdog and
+/// exported as the `dlt_lane_state` gauge.
+///
+/// The state machine: `Healthy → Quarantined` when the divergence-rate or
+/// stall threshold trips; `Quarantined → Probation` when the soft reset's
+/// health probe passes; `Probation → Healthy` after a probation window of
+/// clean completions; `Probation → Quarantined` if the lane diverges again
+/// while on probation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum LaneState {
+    /// Serving normally.
+    #[default]
+    Healthy,
+    /// Tripped by the watchdog: clean queued work was drained back through
+    /// the router and routed admission avoids the lane until a soft reset
+    /// probe passes.
+    Quarantined,
+    /// Soft reset passed; serving again but still watched, restored to
+    /// [`LaneState::Healthy`] after a clean probation window.
+    Probation,
+}
+
+impl LaneState {
+    /// The `dlt_lane_state` gauge encoding of this state.
+    pub fn as_gauge(self) -> u64 {
+        match self {
+            LaneState::Healthy => dlt_obs::LANE_STATE_HEALTHY,
+            LaneState::Quarantined => dlt_obs::LANE_STATE_QUARANTINED,
+            LaneState::Probation => dlt_obs::LANE_STATE_PROBATION,
+        }
+    }
+
+    /// Recover a state from its gauge encoding (unknown values read as
+    /// [`LaneState::Healthy`], the zero state).
+    pub fn from_gauge(gauge: u64) -> LaneState {
+        match gauge {
+            dlt_obs::LANE_STATE_QUARANTINED => LaneState::Quarantined,
+            dlt_obs::LANE_STATE_PROBATION => LaneState::Probation,
+            _ => LaneState::Healthy,
+        }
+    }
+}
+
+impl std::fmt::Display for LaneState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LaneState::Healthy => write!(f, "healthy"),
+            LaneState::Quarantined => write!(f, "quarantined"),
+            LaneState::Probation => write!(f, "probation"),
+        }
+    }
+}
+
+/// One failover attempt in a [`ServeError::Exhausted`] trail: which
+/// replica was tried and the virtual time the retry was charged at.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FailoverAttempt {
+    /// Replica index within the device's lane fleet.
+    pub replica: usize,
+    /// Virtual-clock stamp the attempt was dispatched at (includes the
+    /// exponential backoff charged against the request's timeline).
+    pub at_ns: u64,
+}
+
 /// A structured lane health report, returned by
 /// [`DriverletService::lane_health_check`] alongside the active probe
 /// (write/read-back on block lanes, a one-frame capture on the camera
@@ -228,6 +292,8 @@ impl Completion {
 pub struct LaneHealth {
     /// The probed device.
     pub device: Device,
+    /// The lane's supervision state at probe time.
+    pub state: LaneState,
     /// Requests sitting in the lane's local queue at probe time.
     pub queued: u64,
     /// Requests admitted but not yet posted (reservation count).
@@ -276,6 +342,31 @@ pub enum ServeError {
         /// router.
         fleet: Vec<ReplicaDepth>,
     },
+    /// Admission QoS rejected the submit before it could reserve queue
+    /// depth: the session's token bucket is empty or its weighted share of
+    /// the lane fleet is already in flight. Like [`ServeError::QueueFull`]
+    /// this is backpressure, never a silent drop — but it is *per tenant*,
+    /// so a flooding session throttles while its victims keep admitting.
+    Throttled {
+        /// The throttled session.
+        session: SessionId,
+        /// Device the rejected request targeted.
+        device: Device,
+        /// Virtual nanoseconds until the token bucket refills enough to
+        /// admit a request of this cost — the caller's backoff hint.
+        retry_after_ns: u64,
+    },
+    /// A clean read's failover retry budget ran out: every attempt ended
+    /// in a divergence (or found no healthy sibling with queue room). The
+    /// trail names each replica tried and the virtual time the attempt was
+    /// charged at, so callers can see the backoff schedule that failed.
+    Exhausted {
+        /// Device whose lane fleet exhausted the budget.
+        device: Device,
+        /// Every attempt, in dispatch order (the first entry is the
+        /// original placement, later entries the failover retries).
+        attempts: Vec<FailoverAttempt>,
+    },
     /// The session-admission limit was reached.
     SessionLimit {
         /// The configured maximum number of sessions.
@@ -308,6 +399,28 @@ impl std::fmt::Display for ServeError {
                     write!(f, "; fleet")?;
                     for r in fleet {
                         write!(f, " {}:{}/{}", r.replica, r.depth, r.capacity)?;
+                    }
+                }
+                Ok(())
+            }
+            ServeError::Throttled { session, device, retry_after_ns } => {
+                write!(
+                    f,
+                    "session {session} throttled at admission for {device}: QoS budget \
+                     exhausted, retry after {retry_after_ns} ns"
+                )
+            }
+            ServeError::Exhausted { device, attempts } => {
+                write!(
+                    f,
+                    "failover retry budget for {device} exhausted after {} attempt{}",
+                    attempts.len(),
+                    if attempts.len() == 1 { "" } else { "s" }
+                )?;
+                if !attempts.is_empty() {
+                    write!(f, "; trail")?;
+                    for a in attempts {
+                        write!(f, " {}@{}", a.replica, a.at_ns)?;
                     }
                 }
                 Ok(())
@@ -393,5 +506,42 @@ mod tests {
             text.contains("fleet 0:8/8 1:1/8"),
             "a routed rejection shows every replica's depth, got: {text}"
         );
+    }
+
+    #[test]
+    fn throttled_and_exhausted_are_leaf_errors_in_queue_full_style() {
+        use std::error::Error;
+        let t = ServeError::Throttled { session: 7, device: Device::Mmc, retry_after_ns: 12_800 };
+        assert!(t.source().is_none(), "throttling is backpressure: a leaf error");
+        let text = t.to_string();
+        assert!(text.contains("session 7"), "the throttled tenant is named");
+        assert!(text.contains("mmc"), "callers back off per device");
+        assert!(text.contains("12800 ns"), "the retry hint is visible, got: {text}");
+
+        let e = ServeError::Exhausted {
+            device: Device::Usb,
+            attempts: vec![
+                FailoverAttempt { replica: 0, at_ns: 1_000 },
+                FailoverAttempt { replica: 2, at_ns: 3_000 },
+                FailoverAttempt { replica: 1, at_ns: 7_000 },
+            ],
+        };
+        assert!(e.source().is_none(), "budget exhaustion is a leaf error");
+        let text = e.to_string();
+        assert!(text.contains("usb"));
+        assert!(text.contains("3 attempts"));
+        assert!(
+            text.contains("trail 0@1000 2@3000 1@7000"),
+            "the whole attempt trail with backoff stamps is visible, got: {text}"
+        );
+    }
+
+    #[test]
+    fn lane_state_round_trips_through_the_gauge_encoding() {
+        for state in [LaneState::Healthy, LaneState::Quarantined, LaneState::Probation] {
+            assert_eq!(LaneState::from_gauge(state.as_gauge()), state);
+        }
+        assert_eq!(LaneState::from_gauge(99), LaneState::Healthy);
+        assert_eq!(LaneState::Quarantined.to_string(), "quarantined");
     }
 }

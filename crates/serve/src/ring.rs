@@ -131,7 +131,11 @@ impl SubmissionRing {
         out
     }
 
-    /// Consume every currently staged entry in enqueue order.
+    /// Consume every currently staged entry in enqueue order. Besides
+    /// full doorbell drains, this is the quarantine path's SQ rescue:
+    /// entries staged on a lane the watchdog just quarantined are pulled
+    /// off here and re-staged on available sibling rings, so they are
+    /// not admitted onto the sick lane by the next doorbell.
     pub fn drain_staged(&mut self) -> Vec<SqEntry> {
         let visible = self.len();
         self.take_staged(visible)

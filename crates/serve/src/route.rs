@@ -167,6 +167,12 @@ pub(crate) struct LaneLoad {
     pub depth: usize,
     /// The bound the depth is admitted against.
     pub capacity: usize,
+    /// Whether the supervisor considers the lane healthy. An unavailable
+    /// home sheds its *clean reads* to available siblings exactly like a
+    /// saturated one; writes and dirty reads still go home (placement
+    /// determinism outranks avoidance — the lane keeps executing through
+    /// quarantine, and failover catches what still diverges).
+    pub available: bool,
 }
 
 /// One contiguous piece of a routed request. A plan with a single part
@@ -269,21 +275,23 @@ impl Router {
         }
 
         // Admission with spill: each part goes home unless home is
-        // saturated, in which case a clean read sheds to the
-        // least-loaded sibling with room (d-choices over the whole
-        // fleet — at ≤16 replicas the scan is cheaper than sampling).
+        // saturated — or quarantined — in which case a clean read sheds
+        // to the least-loaded *available* sibling with room (d-choices
+        // over the whole fleet — at ≤16 replicas the scan is cheaper
+        // than sampling).
         let mut planned = vec![0usize; n];
         for part in &mut parts {
             let fits =
                 |r: usize, planned: &[usize]| loads[r].depth + planned[r] < loads[r].capacity;
-            if fits(part.replica, &planned) {
+            let spillable = self.spill && !is_write && n > 1 && self.part_is_clean(device, part);
+            let home_fits = fits(part.replica, &planned);
+            if home_fits && (loads[part.replica].available || !spillable) {
                 planned[part.replica] += 1;
                 continue;
             }
-            let spillable = self.spill && !is_write && n > 1 && self.part_is_clean(device, part);
             let sibling = if spillable {
                 (0..n)
-                    .filter(|&r| r != part.replica && fits(r, &planned))
+                    .filter(|&r| r != part.replica && loads[r].available && fits(r, &planned))
                     .min_by_key(|&r| loads[r].depth + planned[r])
             } else {
                 None
@@ -293,6 +301,13 @@ impl Router {
                     planned[alt] += 1;
                     part.spilled = true;
                     part.replica = alt;
+                }
+                // No available sibling has room: fall back to the home
+                // lane if only its availability (not its depth) was the
+                // problem — a quarantined lane still executes, and the
+                // failover path covers what diverges there.
+                None if home_fits => {
+                    planned[part.replica] += 1;
                 }
                 None => return Err(self.reject(part.replica, loads, &planned)),
             }
@@ -307,6 +322,14 @@ impl Router {
             }
         }
         Ok(parts)
+    }
+
+    /// Whether a read span's bytes are replica-independent: no chunk it
+    /// touches was ever dirtied by a routed write. This is the failover
+    /// and eviction precondition — only such reads may re-execute on a
+    /// sibling replica without silently changing their bytes.
+    pub fn span_is_clean(&self, device: Device, blkid: u32, blkcnt: u32) -> bool {
+        self.part_is_clean(device, &RoutePart { replica: 0, blkid, blkcnt, spilled: false })
     }
 
     /// Whether every chunk the part touches is clean (never dirtied by a
@@ -352,7 +375,7 @@ mod tests {
     use super::*;
 
     fn loads(depths: &[usize], capacity: usize) -> Vec<LaneLoad> {
-        depths.iter().map(|&depth| LaneLoad { depth, capacity }).collect()
+        depths.iter().map(|&depth| LaneLoad { depth, capacity, available: true }).collect()
     }
 
     fn rd(blkid: u32, blkcnt: u32) -> Request {
@@ -484,6 +507,39 @@ mod tests {
         // rather than plan two parts into one slot.
         let err = router.plan(1, &rd(0, 4), &loads(&[3, 3], 4)).unwrap_err();
         assert_eq!(err.fleet.iter().map(|f| f.depth).max(), Some(4));
+    }
+
+    #[test]
+    fn quarantined_homes_shed_clean_reads_but_keep_writes() {
+        let mut router = Router::new(RouteConfig {
+            policy: RoutePolicy::Stripe { stripe_blocks: 64 },
+            spill: true,
+        });
+        let mut fleet = loads(&[0, 2, 1], 4);
+        fleet[0].available = false;
+        // Chunk 0 homes on the (empty but quarantined) replica 0: a clean
+        // read sheds to the least-loaded available sibling.
+        let parts = router.plan(1, &rd(0, 8), &fleet).unwrap();
+        assert!(parts[0].spilled);
+        assert_eq!(parts[0].replica, 2);
+        // A write still goes home — placement determinism outranks
+        // avoidance, and the quarantined lane keeps executing.
+        let parts = router.plan(1, &wr(0, 1), &fleet).unwrap();
+        assert!(!parts[0].spilled);
+        assert_eq!(parts[0].replica, 0);
+        // Now the dirty chunk pins reads home too, quarantine or not.
+        let parts = router.plan(1, &rd(0, 8), &fleet).unwrap();
+        assert!(!parts[0].spilled);
+        assert_eq!(parts[0].replica, 0);
+        // With every sibling also unavailable, a clean read of another
+        // chunk falls back to its home rather than rejecting.
+        let mut all_down = loads(&[0, 0, 0], 4);
+        for l in &mut all_down {
+            l.available = false;
+        }
+        let parts = router.plan(1, &rd(64, 8), &all_down).unwrap();
+        assert!(!parts[0].spilled);
+        assert_eq!(parts[0].replica, RoutePolicy::Stripe { stripe_blocks: 64 }.replica_for(64, 3));
     }
 
     #[test]

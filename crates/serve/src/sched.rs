@@ -1,9 +1,16 @@
-//! Per-device submission queues and scheduling policies.
+//! Per-device submission queues, scheduling policies and admission QoS.
 //!
 //! Each served device owns one [`Lane`]: a bounded queue of pending
 //! requests plus the per-session bookkeeping the deficit-round-robin
 //! policy needs. The lane never executes anything itself — the service
 //! drains batches out of it and hands them to the coalescer.
+//!
+//! [`Admission`] sits *in front of* the lanes: per-tenant token buckets
+//! (sustained rate + burst, refilled on the virtual clock) and weighted
+//! max-min in-flight shares, both enforced before a request ever reserves
+//! queue depth. A flooding tenant is throttled at its own budget while its
+//! victims keep admitting into the capacity the flooder can no longer
+//! monopolise.
 //!
 //! Since the multi-core refactor, batches are **arrival-gated**: a lane
 //! executes on its own clock, and a batch dispatched at lane time `t` may
@@ -17,7 +24,185 @@
 use std::collections::{HashMap, VecDeque};
 
 use crate::coalesce::{direction, Arrival};
-use crate::{Request, RequestId, ServeError, SessionId};
+use crate::{Device, Request, RequestId, ServeError, SessionId};
+
+/// Virtual nanoseconds per second (token-bucket rate conversions).
+const NS_PER_SEC: u64 = 1_000_000_000;
+
+/// Backoff hint carried in a weighted-share rejection when the tenant has
+/// no token-bucket rate to derive one from: roughly one short replay's
+/// virtual service time, so the tenant retries after one of its own
+/// in-flight requests has had a chance to complete.
+const SHARE_RETRY_HINT_NS: u64 = 10_000;
+
+/// Per-tenant QoS parameters, set via
+/// [`crate::DriverletService::set_session_qos`] (sessions without one use
+/// [`QosConfig::default_qos`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SessionQos {
+    /// Sustained admission rate in requests per virtual second. `0` means
+    /// no rate limit (the token bucket is bypassed).
+    pub rate_rps: u64,
+    /// Token-bucket depth in requests: how far above the sustained rate a
+    /// burst may go before throttling starts.
+    pub burst: u64,
+    /// Weighted max-min share weight: the tenant's in-flight bound on a
+    /// device is `fleet_capacity * weight / Σ active weights` (idle
+    /// tenants' shares redistribute to backlogged ones).
+    pub weight: u64,
+}
+
+impl Default for SessionQos {
+    fn default() -> Self {
+        SessionQos { rate_rps: 0, burst: 16, weight: 1 }
+    }
+}
+
+/// Admission-QoS knobs ([`crate::ServeConfig::qos`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct QosConfig {
+    /// Master switch. Off (the default) preserves the pre-QoS admission
+    /// behaviour exactly: no token buckets, no share bounds.
+    pub enabled: bool,
+    /// QoS applied to sessions that never called
+    /// [`crate::DriverletService::set_session_qos`].
+    pub default_qos: SessionQos,
+}
+
+/// One tenant's token bucket, denominated in virtual nanoseconds of
+/// credit: a request costs `NS_PER_SEC / rate_rps` credit, the bucket
+/// caps at `burst` requests' worth, and credit accrues 1:1 with the
+/// virtual clock — so refill is a subtraction, not a background task.
+#[derive(Debug, Clone, Copy)]
+struct Bucket {
+    credit_ns: u64,
+    last_refill_ns: u64,
+}
+
+/// The admission-QoS gate the front-end consults before reserving queue
+/// depth. Single-owner state (the service front-end), so plain maps — the
+/// lanes never touch this.
+#[derive(Debug, Default)]
+pub struct Admission {
+    config: QosConfig,
+    qos: HashMap<SessionId, SessionQos>,
+    buckets: HashMap<SessionId, Bucket>,
+    inflight: HashMap<(SessionId, Device), u64>,
+}
+
+impl Admission {
+    /// A gate under `config`.
+    pub fn new(config: QosConfig) -> Admission {
+        Admission { config, ..Admission::default() }
+    }
+
+    /// Whether the gate enforces anything at all.
+    pub fn is_enabled(&self) -> bool {
+        self.config.enabled
+    }
+
+    /// Install `qos` for `session` (replacing the config default).
+    pub fn set_session(&mut self, session: SessionId, qos: SessionQos) {
+        self.qos.insert(session, qos);
+    }
+
+    /// Drop a closed session's QoS state.
+    pub fn forget_session(&mut self, session: SessionId) {
+        self.qos.remove(&session);
+        self.buckets.remove(&session);
+        self.inflight.retain(|(s, _), _| *s != session);
+    }
+
+    fn qos_of(&self, session: SessionId) -> SessionQos {
+        self.qos.get(&session).copied().unwrap_or(self.config.default_qos)
+    }
+
+    /// Credit cost of one request under `qos` (`None` when unlimited).
+    fn cost_ns(qos: SessionQos) -> Option<u64> {
+        (qos.rate_rps > 0).then(|| NS_PER_SEC / qos.rate_rps)
+    }
+
+    /// The tenant's weighted max-min in-flight bound on a device fleet of
+    /// `fleet_capacity` total queue slots: idle tenants drop out of the
+    /// denominator, so a lone backlogged tenant may use the whole fleet
+    /// and the bound only bites while competitors are actually in flight.
+    fn share_of(&self, session: SessionId, device: Device, fleet_capacity: usize) -> u64 {
+        let w = self.qos_of(session).weight.max(1);
+        let mut active_weight = w;
+        for (&(s, d), &inflight) in &self.inflight {
+            if d == device && s != session && inflight > 0 {
+                active_weight += self.qos_of(s).weight.max(1);
+            }
+        }
+        ((fleet_capacity as u64).saturating_mul(w) / active_weight).max(1)
+    }
+
+    /// Gate one request from `session` to `device` at virtual time
+    /// `now_ns`, against the device fleet's total queue capacity. `Ok`
+    /// charges the token bucket and provisionally counts the request in
+    /// flight — pair it with [`Admission::on_done`] when the request
+    /// leaves the service, or [`Admission::rollback`] if the submit fails
+    /// downstream (queue full, routing reject). `Err` carries the
+    /// `retry_after_ns` backoff hint for [`ServeError::Throttled`].
+    pub fn admit(
+        &mut self,
+        session: SessionId,
+        device: Device,
+        fleet_capacity: usize,
+        now_ns: u64,
+    ) -> Result<(), u64> {
+        if !self.config.enabled {
+            return Ok(());
+        }
+        let qos = self.qos_of(session);
+        let cost = Admission::cost_ns(qos);
+        if let Some(cost) = cost {
+            let cap = cost.saturating_mul(qos.burst.max(1));
+            let bucket = self
+                .buckets
+                .entry(session)
+                .or_insert(Bucket { credit_ns: cap, last_refill_ns: now_ns });
+            let elapsed = now_ns.saturating_sub(bucket.last_refill_ns);
+            bucket.credit_ns = cap.min(bucket.credit_ns.saturating_add(elapsed));
+            bucket.last_refill_ns = now_ns;
+            if bucket.credit_ns < cost {
+                return Err(cost - bucket.credit_ns);
+            }
+        }
+        let mine = self.inflight.get(&(session, device)).copied().unwrap_or(0);
+        if mine >= self.share_of(session, device, fleet_capacity) {
+            return Err(cost.unwrap_or(SHARE_RETRY_HINT_NS));
+        }
+        if let Some(cost) = cost {
+            let bucket = self.buckets.get_mut(&session).expect("bucket created above");
+            bucket.credit_ns -= cost;
+        }
+        *self.inflight.entry((session, device)).or_insert(0) += 1;
+        Ok(())
+    }
+
+    /// The admitted request left the service (its completion was posted).
+    pub fn on_done(&mut self, session: SessionId, device: Device) {
+        if let Some(n) = self.inflight.get_mut(&(session, device)) {
+            *n = n.saturating_sub(1);
+        }
+    }
+
+    /// The admitted request never made it into a queue (downstream
+    /// rejection): refund the token and the in-flight slot, so QoS
+    /// accounting stays exact and a `QueueFull` burst does not also eat
+    /// the tenant's rate budget.
+    pub fn rollback(&mut self, session: SessionId, device: Device) {
+        let qos = self.qos_of(session);
+        if let (Some(cost), Some(bucket)) =
+            (Admission::cost_ns(qos), self.buckets.get_mut(&session))
+        {
+            let cap = cost.saturating_mul(qos.burst.max(1));
+            bucket.credit_ns = cap.min(bucket.credit_ns.saturating_add(cost));
+        }
+        self.on_done(session, device);
+    }
+}
 
 /// Scheduling policy for draining a device's submission queue.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -153,6 +338,17 @@ impl Lane {
         self.queue.push_back(p);
         self.high_water = self.high_water.max(self.queue.len());
         Ok(())
+    }
+
+    /// Take *every* queued request out of the lane and reset the DRR
+    /// bookkeeping — the quarantine drain. The evicted requests keep
+    /// their stamps; the supervisor re-routes them (clean reads to
+    /// healthy siblings, the rest back here after the soft reset).
+    pub fn evict_all(&mut self) -> Vec<Pending> {
+        self.deficits.clear();
+        self.rr_order.clear();
+        self.rr_cursor = 0;
+        self.queue.drain(..).collect()
     }
 
     /// Drain the next batch (at most `window` requests) under `policy`,
@@ -333,6 +529,93 @@ mod tests {
         let mut sorted = s2.clone();
         sorted.sort_unstable();
         assert_eq!(s2, sorted);
+    }
+
+    #[test]
+    fn evict_all_empties_the_queue_and_resets_drr_state() {
+        let mut lane = Lane::new(8);
+        for i in 0..3u64 {
+            lane.push(rd(1, i, i as u32, 1), Device::Mmc).unwrap();
+        }
+        lane.push(rd(2, 9, 100, 1), Device::Mmc).unwrap();
+        // Prime some DRR state before the drain.
+        let _ = lane.next_batch(Policy::DeficitRoundRobin { quantum_blocks: 1 }, 1, u64::MAX);
+        let evicted = lane.evict_all();
+        assert_eq!(evicted.len(), 3, "everything still queued comes out");
+        assert!(lane.is_empty());
+        assert_eq!(lane.high_water(), 4, "high water survives the drain");
+        // The lane is immediately usable again.
+        lane.push(rd(3, 20, 0, 1), Device::Mmc).unwrap();
+        let batch = lane.next_batch(Policy::DeficitRoundRobin { quantum_blocks: 8 }, 4, u64::MAX);
+        assert_eq!(batch.len(), 1);
+    }
+
+    #[test]
+    fn disabled_admission_gates_nothing() {
+        let mut gate = Admission::new(QosConfig::default());
+        assert!(!gate.is_enabled());
+        for _ in 0..10_000 {
+            assert!(gate.admit(1, Device::Mmc, 1, 0).is_ok());
+        }
+    }
+
+    #[test]
+    fn token_bucket_caps_a_flooder_and_refills_on_the_virtual_clock() {
+        let mut gate = Admission::new(QosConfig {
+            enabled: true,
+            default_qos: SessionQos { rate_rps: 1_000, burst: 4, weight: 1 },
+        });
+        // Burst of 4 admits from a full bucket; the 5th throttles with the
+        // exact time-to-next-token hint (cost = 1e6 ns at 1000 rps).
+        for _ in 0..4 {
+            assert!(gate.admit(1, Device::Mmc, 1_000, 0).is_ok());
+        }
+        let retry = gate.admit(1, Device::Mmc, 1_000, 0).unwrap_err();
+        assert_eq!(retry, 1_000_000);
+        // Half a token's worth of virtual time later the hint shrinks …
+        assert_eq!(gate.admit(1, Device::Mmc, 1_000, 500_000).unwrap_err(), 500_000);
+        // … and one full token later the submit goes through.
+        assert!(gate.admit(1, Device::Mmc, 1_000, 1_000_000).is_ok());
+        // The bucket caps at `burst`: a long idle gap does not bank more.
+        for _ in 0..5 {
+            gate.on_done(1, Device::Mmc);
+        }
+        for _ in 0..4 {
+            assert!(gate.admit(1, Device::Mmc, 1_000, NS_PER_SEC * 60).is_ok());
+        }
+        assert!(gate.admit(1, Device::Mmc, 1_000, NS_PER_SEC * 60).is_err());
+    }
+
+    #[test]
+    fn weighted_shares_are_max_min_and_rollback_refunds() {
+        let mut gate = Admission::new(QosConfig {
+            enabled: true,
+            default_qos: SessionQos { rate_rps: 0, burst: 16, weight: 1 },
+        });
+        gate.set_session(1, SessionQos { rate_rps: 0, burst: 16, weight: 3 });
+        // Alone on the device, session 2 may fill the whole fleet
+        // (max-min: idle tenants' shares redistribute).
+        for _ in 0..8 {
+            assert!(gate.admit(2, Device::Mmc, 8, 0).is_ok());
+        }
+        assert!(gate.admit(2, Device::Mmc, 8, 0).is_err(), "fleet capacity still bounds");
+        // Session 1 (weight 3) now competes: its share is 8·3/4 = 6.
+        for _ in 0..6 {
+            assert!(gate.admit(1, Device::Mmc, 8, 0).is_ok());
+        }
+        let hint = gate.admit(1, Device::Mmc, 8, 0).unwrap_err();
+        assert!(hint > 0, "share rejection carries a backoff hint");
+        // Draining one of session 1's requests reopens its share;
+        // a rollback (downstream QueueFull) does the same.
+        gate.on_done(1, Device::Mmc);
+        assert!(gate.admit(1, Device::Mmc, 8, 0).is_ok());
+        gate.rollback(1, Device::Mmc);
+        assert!(gate.admit(1, Device::Mmc, 8, 0).is_ok());
+        // Shares are per device: the USB fleet is unaffected.
+        assert!(gate.admit(1, Device::Usb, 8, 0).is_ok());
+        // forget_session clears the tenant's footprint entirely.
+        gate.forget_session(2);
+        assert!(gate.admit(2, Device::Mmc, 8, 0).is_ok());
     }
 
     #[test]

@@ -88,11 +88,11 @@ use crate::lane::{
 };
 use crate::ring::{CompletionRing, SqEntry, SubmissionRing};
 use crate::route::{LaneId, LaneLoad, RouteConfig, RoutePart, RouteReject, Router};
-use crate::sched::{Lane, Pending, Policy};
+use crate::sched::{Admission, Lane, Pending, Policy, QosConfig, SessionQos};
 use crate::spsc::{self, SpscConsumer, SpscProducer};
 use crate::{
-    Completion, Device, LaneHealth, Payload, Request, RequestId, ServeError, SessionId, BLOCK,
-    MAX_REQUEST_BLOCKS,
+    Completion, Device, FailoverAttempt, LaneHealth, LaneState, Payload, Request, RequestId,
+    ServeError, SessionId, BLOCK, MAX_REQUEST_BLOCKS,
 };
 
 /// How requests cross from the normal world into the TEE.
@@ -123,6 +123,66 @@ pub enum ExecMode {
     /// One OS thread per device lane, running concurrently with the
     /// caller; the front-end communicates through lock-free SPSC rings.
     Threaded,
+}
+
+/// Replica-failover knobs ([`ServeConfig::failover`]): what the service
+/// does when a **clean** read (replica-independent bytes — no routed
+/// write ever dirtied its chunks) comes back from a lane as a replay
+/// divergence. Instead of delivering the divergence, the front-end
+/// re-admits the *same* [`RequestId`] on the least-loaded healthy
+/// sibling, charging an exponential backoff to the request's virtual
+/// arrival stamp, until the retry budget runs out — at which point the
+/// client gets the typed [`ServeError::Exhausted`] attempt trail.
+/// Writes and dirty reads never fail over (the sibling's bytes would
+/// silently diverge); they deliver their error as before.
+#[derive(Debug, Clone, Copy)]
+pub struct FailoverConfig {
+    /// Master switch. Off (the default) delivers every divergence to the
+    /// submitting session exactly as before.
+    pub enabled: bool,
+    /// Failed executions allowed beyond the first: a request diverges at
+    /// most `retry_budget + 1` times before [`ServeError::Exhausted`].
+    pub retry_budget: u32,
+    /// Backoff charged to the retry's virtual arrival stamp: attempt `n`
+    /// (1-based) arrives at the divergence's completion stamp plus
+    /// `backoff_base_ns << (n - 1)`.
+    pub backoff_base_ns: u64,
+}
+
+impl Default for FailoverConfig {
+    fn default() -> Self {
+        FailoverConfig { enabled: false, retry_budget: 2, backoff_base_ns: 50_000 }
+    }
+}
+
+/// Lane-supervision knobs ([`ServeConfig::supervise`]): the watchdog that
+/// trips a persistently diverging lane into [`LaneState::Quarantined`],
+/// drains its queued work back through the router, soft-resets the lane
+/// (clears any installed response mutator, re-probes health), and walks
+/// it back to [`LaneState::Healthy`] through a clean-completion
+/// probation window. Lane state is published as the `dlt_lane_state`
+/// gauge, and a quarantined lane sheds routed clean reads while still
+/// executing writes and dirty reads (placement correctness first).
+#[derive(Debug, Clone, Copy)]
+pub struct SuperviseConfig {
+    /// Master switch. Off (the default): no outcome windows are kept and
+    /// no lane ever leaves [`LaneState::Healthy`].
+    pub enabled: bool,
+    /// Divergences within [`SuperviseConfig::window`] recent completions
+    /// that trip quarantine.
+    pub divergence_threshold: u32,
+    /// Size of the sliding completion window the threshold is evaluated
+    /// over.
+    pub window: u32,
+    /// Clean completions a probation lane must serve (without a single
+    /// divergence) before it is restored to [`LaneState::Healthy`].
+    pub probation_ok: u32,
+}
+
+impl Default for SuperviseConfig {
+    fn default() -> Self {
+        SuperviseConfig { enabled: false, divergence_threshold: 3, window: 16, probation_ok: 8 }
+    }
 }
 
 /// Service configuration.
@@ -170,6 +230,19 @@ pub struct ServeConfig {
     /// spill switch (see [`crate::route`]). With a single lane per device
     /// the router is an identity and this knob is inert.
     pub route: RouteConfig,
+    /// Admission QoS: per-tenant token-bucket rate limits plus weighted
+    /// max-min in-flight shares, enforced **before** a request reserves
+    /// queue depth (see [`crate::sched::Admission`]). Disabled by
+    /// default; per-session overrides via
+    /// [`DriverletService::set_session_qos`].
+    pub qos: QosConfig,
+    /// Replica failover for diverging clean reads (see
+    /// [`FailoverConfig`]). Disabled by default; inert on single-replica
+    /// fleets.
+    pub failover: FailoverConfig,
+    /// Lane supervision: the divergence watchdog, quarantine and
+    /// probation cycle (see [`SuperviseConfig`]). Disabled by default.
+    pub supervise: SuperviseConfig,
     /// Observability plane: `Off` (production fast path), `MetricsOnly`
     /// (atomic counters and histograms), or `Full` (metrics plus the
     /// per-thread flight recorder). Defaults from the `DLT_OBS`
@@ -195,6 +268,9 @@ impl Default for ServeConfig {
             camera_bursts: vec![1],
             mode: ReplayMode::Compiled,
             route: RouteConfig::default(),
+            qos: QosConfig::default(),
+            failover: FailoverConfig::default(),
+            supervise: SuperviseConfig::default(),
             obs: std::env::var("DLT_OBS")
                 .ok()
                 .and_then(|s| ObsConfig::from_env_str(&s))
@@ -249,6 +325,20 @@ pub struct ServeStats {
     /// Member parts those fan-outs produced (`stripe_parts /
     /// stripe_fanouts` is the mean fan-out width).
     pub stripe_parts: u64,
+    /// Submits refused at the admission-QoS gate with
+    /// [`ServeError::Throttled`] (no queue depth was ever reserved).
+    pub throttled: u64,
+    /// Diverged clean reads swallowed and re-admitted on a sibling
+    /// replica.
+    pub failovers: u64,
+    /// Requests whose failover retry budget ran out
+    /// ([`ServeError::Exhausted`]).
+    pub failover_exhausted: u64,
+    /// Watchdog trips into [`LaneState::Quarantined`].
+    pub quarantines: u64,
+    /// Lanes restored to [`LaneState::Healthy`] after a clean probation
+    /// window.
+    pub lane_restores: u64,
 }
 
 impl ServeStats {
@@ -460,6 +550,35 @@ struct StripeParent {
     error: Option<(usize, ServeError)>,
 }
 
+/// Failover state for one in-flight retryable request: a routed,
+/// unsplit, **clean** read on a multi-replica fleet. Registered at
+/// submit time; consulted when its completion reaps as a divergence;
+/// dropped when any terminal completion posts.
+struct RetryCtx {
+    session: SessionId,
+    device: Device,
+    blkid: u32,
+    blkcnt: u32,
+    /// Executions that diverged so far, in order — the
+    /// [`ServeError::Exhausted`] trail.
+    attempts: Vec<FailoverAttempt>,
+}
+
+/// Front-end supervision bookkeeping for one lane. The lane's *state*
+/// lives in its shared [`dlt_obs::LaneMetrics`] gauge (the router and
+/// health checks read it there); these are the watchdog's private
+/// counters.
+#[derive(Default)]
+struct LaneSupervision {
+    /// Sliding outcome window over recent completions (`true` =
+    /// diverged).
+    window: VecDeque<bool>,
+    /// Divergences currently inside the window.
+    divergences: u32,
+    /// Clean completions served since the lane entered probation.
+    probation_clean: u32,
+}
+
 /// What [`DriverletService::absorb_member`] made of one reaped
 /// completion.
 enum Absorbed {
@@ -520,6 +639,21 @@ pub struct DriverletService {
     stripe_parents: HashMap<RequestId, StripeParent>,
     config: ServeConfig,
     sessions: HashMap<SessionId, SessionEntry>,
+    /// The admission-QoS gate (token buckets + weighted shares),
+    /// consulted by the routed [`DriverletService::submit`] before any
+    /// queue depth is reserved. Explicit-lane submits bypass it, exactly
+    /// as they bypass the router.
+    admission: Admission,
+    /// Request id → (session, device) for submits the gate charged:
+    /// removing the ticket at completion time releases the tenant's
+    /// in-flight share slot, on exactly the completion the client
+    /// observes (parent-granular for fan-outs, once per id under
+    /// failover).
+    qos_tickets: HashMap<RequestId, (SessionId, Device)>,
+    /// Request id → failover state for in-flight retryable clean reads.
+    retryable: HashMap<RequestId, RetryCtx>,
+    /// Per-lane watchdog counters, indexed like `lanes`.
+    supervision: Vec<LaneSupervision>,
     /// Request-id allocator, shared with detached [`LaneSubmitter`]s
     /// (atomic fetch-add: globally unique, monotone per allocator call).
     next_request: Arc<AtomicU64>,
@@ -727,6 +861,8 @@ impl DriverletService {
             lane_table.entry(lane.device).or_default().push(index);
         }
         let router = Router::new(config.route);
+        let supervision = (0..lanes.len()).map(|_| LaneSupervision::default()).collect();
+        let admission = Admission::new(config.qos);
         Ok(DriverletService {
             control,
             control_cell,
@@ -738,6 +874,10 @@ impl DriverletService {
             stripe_parents: HashMap::new(),
             config,
             sessions: HashMap::new(),
+            admission,
+            qos_tickets: HashMap::new(),
+            retryable: HashMap::new(),
+            supervision,
             next_request: Arc::new(AtomicU64::new(1)),
             stats,
             exec_log: Vec::new(),
@@ -817,6 +957,11 @@ impl DriverletService {
             route_spills: ld(&self.stats.route_spills),
             stripe_fanouts: ld(&self.stats.stripe_fanouts),
             stripe_parts: ld(&self.stats.stripe_parts),
+            throttled: ld(&self.stats.throttled),
+            failovers: ld(&self.stats.failovers),
+            failover_exhausted: ld(&self.stats.failover_exhausted),
+            quarantines: ld(&self.stats.quarantines),
+            lane_restores: ld(&self.stats.lane_restores),
         }
     }
 
@@ -874,14 +1019,40 @@ impl DriverletService {
 
     /// Close a session. Queued requests still execute, but their
     /// completions are dropped.
+    ///
+    /// Every per-session series is released here: the TEE session, the
+    /// completion ring, the scheduler's DRR slot, the QoS bucket, and
+    /// the metrics registry's session series — so churning sessions
+    /// (open → close, thousands of times) leaves the registry at its
+    /// live-session size instead of growing one series per session ever
+    /// opened. Outcomes of requests still in flight at close time count
+    /// into the aggregate `orphan_outcomes` robustness counter.
     pub fn close_session(&mut self, session: SessionId) {
         self.tee.close_session(session);
         self.sessions.remove(&session);
+        self.admission.forget_session(session);
+        self.metrics.forget_session(session);
         for idx in 0..self.lanes.len() {
             // Scheduler bookkeeping only (DRR rotation slot); safe to
             // apply between batches on a live lane thread.
             let _ = self.lane_ctrl(idx, CtrlReq::ForgetSession(session));
         }
+    }
+
+    /// Install a per-session QoS override (rate, burst, weight) on the
+    /// admission gate, replacing [`QosConfig::default_qos`] for
+    /// `session`. Takes effect on the next routed submit; inert while
+    /// [`QosConfig::enabled`] is off.
+    pub fn set_session_qos(
+        &mut self,
+        session: SessionId,
+        qos: SessionQos,
+    ) -> Result<(), ServeError> {
+        if !self.sessions.contains_key(&session) {
+            return Err(ServeError::InvalidSession(session));
+        }
+        self.admission.set_session(session, qos);
+        Ok(())
     }
 
     /// The first lane serving `device` — the single-replica fast path and
@@ -953,42 +1124,103 @@ impl DriverletService {
             Some(t) if !t.is_empty() => t.clone(),
             _ => return Err(ServeError::DeviceNotServed(device)),
         };
+        // Admission QoS first — before any queue depth is reserved, so a
+        // throttled flooder never occupies a slot a victim could have
+        // used. The charge is provisional: rolled back on any downstream
+        // rejection, released by the completion's QoS ticket otherwise.
+        let charged = self.admission.is_enabled();
+        if charged {
+            let per_lane = match self.config.submit_mode {
+                SubmitMode::PerCall => self.config.queue_capacity,
+                SubmitMode::Ring => self.config.sq_depth,
+            };
+            let now_ns = self.control.now_ns();
+            if let Err(retry_after_ns) =
+                self.admission.admit(session, device, table.len() * per_lane, now_ns)
+            {
+                SharedStats::bump(&self.stats.throttled);
+                self.metrics.robustness().on_throttle();
+                if let Some(obs) = self.sessions.get(&session).and_then(|e| e.obs.as_ref()) {
+                    obs.on_throttle();
+                }
+                obs_event!(self.tracer, EventKind::Throttled, now_ns, session, 0, retry_after_ns);
+                return Err(ServeError::Throttled { session, device, retry_after_ns });
+            }
+        }
         // Occupancy as the planner admits against: admitted in-flight
         // per-call, staged SQ entries in ring mode. The front-end is the
         // sole incrementer of both, so check-then-reserve cannot race.
+        // A quarantined lane is unavailable: clean reads shed off it.
         let loads: Vec<LaneLoad> = table
             .iter()
             .map(|&idx| {
                 let l = &self.lanes[idx];
+                let available =
+                    LaneState::from_gauge(l.shared.metrics.state()) != LaneState::Quarantined;
                 match self.config.submit_mode {
                     SubmitMode::PerCall => LaneLoad {
                         depth: l.shared.inflight.load(Ordering::Acquire) as usize,
                         capacity: l.shared.capacity,
+                        available,
                     },
-                    SubmitMode::Ring => LaneLoad { depth: l.sq.len(), capacity: l.sq.depth() },
+                    SubmitMode::Ring => {
+                        LaneLoad { depth: l.sq.len(), capacity: l.sq.depth(), available }
+                    }
                 }
             })
             .collect();
         let parts = match self.router.plan(session, &req, &loads) {
             Ok(parts) => parts,
             Err(reject) => {
+                if charged {
+                    self.admission.rollback(session, device);
+                }
                 SharedStats::bump(&self.stats.rejected);
                 return Err(self.routed_reject(device, &table, reject));
             }
         };
+        // Failover eligibility is decided at plan time: an unsplit clean
+        // read on a multi-replica fleet may retry on a sibling, because
+        // its bytes are replica-independent by the cleanliness invariant.
+        let retry_span = (self.config.failover.enabled && table.len() > 1 && parts.len() == 1)
+            .then(|| match &req {
+                Request::Read { blkid, blkcnt, .. }
+                    if self.router.span_is_clean(device, *blkid, *blkcnt) =>
+                {
+                    Some((*blkid, *blkcnt))
+                }
+                _ => None,
+            })
+            .flatten();
         let spilled = parts.iter().filter(|p| p.spilled).count() as u64;
-        let id = if parts.len() == 1 {
+        let submit_result = if parts.len() == 1 {
             // Unsplit (possibly spilled): the planned lane takes the
             // request whole down the ordinary single-lane path. The plan
             // checked its occupancy, so this cannot reject.
             let idx = table[parts[0].replica];
             match self.config.submit_mode {
-                SubmitMode::PerCall => self.submit_per_call_at(idx, session, req)?,
-                SubmitMode::Ring => self.ring_enqueue_at(idx, session, req)?,
+                SubmitMode::PerCall => self.submit_per_call_at(idx, session, req),
+                SubmitMode::Ring => self.ring_enqueue_at(idx, session, req),
             }
         } else {
-            self.submit_fanout(session, req, &table, &parts)?
+            self.submit_fanout(session, req, &table, &parts)
         };
+        let id = match submit_result {
+            Ok(id) => id,
+            Err(e) => {
+                if charged {
+                    self.admission.rollback(session, device);
+                }
+                return Err(e);
+            }
+        };
+        if charged {
+            self.qos_tickets.insert(id, (session, device));
+        }
+        if let Some((blkid, blkcnt)) = retry_span {
+            self.retryable
+                .insert(id, RetryCtx { session, device, blkid, blkcnt, attempts: Vec::new() });
+        }
         SharedStats::bump(&self.stats.routed);
         SharedStats::add(&self.stats.route_spills, spilled);
         if parts.len() > 1 {
@@ -1543,6 +1775,12 @@ impl DriverletService {
                 _ => obs.on_complete(),
             }
         }
+        // Terminal for this request id: release the tenant's QoS
+        // in-flight slot and drop any failover state.
+        if let Some((session, device)) = self.qos_tickets.remove(&c.id) {
+            self.admission.on_done(session, device);
+        }
+        self.retryable.remove(&c.id);
         if let Some(entry) = self.sessions.get_mut(&c.session) {
             if let Some(obs) = &entry.obs {
                 classify(obs, &c.result);
@@ -1551,10 +1789,11 @@ impl DriverletService {
                 SharedStats::bump(&self.stats.cq_overflows);
             }
         } else if self.metrics.is_enabled() {
-            // The session is gone but its registry series outlives it:
-            // completions reaped after close still classify (only the cold
-            // path pays the registry's session-map lock).
-            classify(&self.metrics.session(c.session), &c.result);
+            // The session is gone (closed with this request in flight):
+            // count the outcome into the bounded aggregate instead of
+            // re-creating a per-session series the registry would keep
+            // forever — session churn must not grow the registry.
+            self.metrics.robustness().on_orphan_outcome();
         }
     }
 
@@ -1569,9 +1808,19 @@ impl DriverletService {
                 w.flush_cq_spill();
             }
             let Some(c) = lane.cq_rx.try_pop() else { break };
-            // The exec log records what the lanes actually executed:
+            let diverged = matches!(c.result, Err(ServeError::Replay(ReplayError::Diverged(_))));
+            // The watchdog sees every outcome on its origin lane, even
+            // ones failover will swallow — a lane that keeps diverging
+            // must trip regardless of where its victims retry.
+            self.observe_outcome(idx, diverged);
+            // Replica failover: a diverged retryable clean read is
+            // swallowed here and re-admitted on a sibling — the session
+            // never sees the divergence unless the budget runs out.
+            let Some(c) = self.failover_or_deliver(idx, c) else { continue };
+            // The exec log records what the lanes actually *delivered*:
             // member ids for routed fan-outs (the parent id never reaches
-            // a lane), everything else by its own id.
+            // a lane), everything else by its own id. Swallowed diverged
+            // executions are retries in flight, not deliveries.
             self.exec_log.push(c.id);
             match self.absorb_member(c) {
                 Absorbed::Direct(c) | Absorbed::Parent(c) => {
@@ -1582,6 +1831,266 @@ impl DriverletService {
                 }
                 Absorbed::Pending => {}
             }
+        }
+    }
+
+    /// Attempt replica failover for one reaped completion. Returns the
+    /// completion to deliver — untouched when it is not a retryable
+    /// divergence, or rewritten into the typed [`ServeError::Exhausted`]
+    /// trail when the budget (or the fleet) ran out — or `None` when the
+    /// request was swallowed and re-admitted on a sibling lane under the
+    /// same [`RequestId`].
+    fn failover_or_deliver(&mut self, idx: usize, c: Completion) -> Option<Completion> {
+        let diverged = matches!(c.result, Err(ServeError::Replay(ReplayError::Diverged(_))));
+        if !self.config.failover.enabled || !diverged || !self.retryable.contains_key(&c.id) {
+            return Some(c);
+        }
+        let origin = self.lane_id(idx).expect("reaped lanes exist").replica;
+        let (attempt, device, session) = {
+            let ctx = self.retryable.get_mut(&c.id).expect("checked present above");
+            ctx.attempts.push(FailoverAttempt { replica: origin, at_ns: c.completed_ns });
+            (ctx.attempts.len() as u32, ctx.device, ctx.session)
+        };
+        let table = self.lane_table[&device].clone();
+        // Least-loaded available sibling with depth room. The front-end
+        // is the sole inflight incrementer, so room checked here cannot
+        // vanish before the reserve below.
+        let target = (attempt <= self.config.failover.retry_budget)
+            .then(|| {
+                (0..table.len())
+                    .filter(|&r| r != origin)
+                    .filter(|&r| {
+                        let s = &self.lanes[table[r]].shared;
+                        LaneState::from_gauge(s.metrics.state()) != LaneState::Quarantined
+                            && (s.inflight.load(Ordering::Acquire) as usize) < s.capacity
+                    })
+                    .min_by_key(|&r| self.lanes[table[r]].shared.inflight.load(Ordering::Acquire))
+            })
+            .flatten();
+        let Some(replica) = target else {
+            let ctx = self.retryable.remove(&c.id).expect("checked present above");
+            SharedStats::bump(&self.stats.failover_exhausted);
+            self.metrics.robustness().on_exhausted();
+            return Some(Completion {
+                result: Err(ServeError::Exhausted { device, attempts: ctx.attempts }),
+                ..c
+            });
+        };
+        // Exponential backoff charged to the virtual clock: the retry
+        // arrives on the sibling no earlier than the divergence's
+        // completion stamp plus base << (attempt - 1).
+        let backoff = self.config.failover.backoff_base_ns << (attempt - 1).min(20);
+        let arrived_ns = c.completed_ns.saturating_add(backoff);
+        let (blkid, blkcnt) = {
+            let ctx = &self.retryable[&c.id];
+            (ctx.blkid, ctx.blkcnt)
+        };
+        let lane = &mut self.lanes[table[replica]];
+        lane.shared.reserve().expect("the target was selected with depth room");
+        let pending = Pending {
+            id: c.id,
+            session,
+            req: Request::Read { device, blkid, blkcnt },
+            submitted_ns: c.submitted_ns,
+            arrived_ns,
+        };
+        if lane.admit_tx.try_push(pending).is_err() {
+            // Unreachable by the reservation invariant; deliver the
+            // original divergence rather than lose the request.
+            debug_assert!(false, "reservation bounds the admit ring");
+            lane.shared.inflight.fetch_sub(1, Ordering::Release);
+            self.retryable.remove(&c.id);
+            return Some(c);
+        }
+        lane.shared.unpark();
+        SharedStats::bump(&self.stats.failovers);
+        self.metrics.robustness().on_failover();
+        obs_event!(self.tracer, EventKind::Failover, arrived_ns, session, c.id, u64::from(attempt));
+        None
+    }
+
+    /// Feed one completion outcome on lane `idx` into the watchdog:
+    /// divergence-window accounting while healthy, probation progress
+    /// otherwise. No-op unless supervision is enabled.
+    fn observe_outcome(&mut self, idx: usize, diverged: bool) {
+        let cfg = self.config.supervise;
+        if !cfg.enabled {
+            return;
+        }
+        match self.lane_state(idx) {
+            LaneState::Healthy => {
+                let sup = &mut self.supervision[idx];
+                sup.window.push_back(diverged);
+                if diverged {
+                    sup.divergences += 1;
+                }
+                while sup.window.len() > cfg.window as usize {
+                    if sup.window.pop_front() == Some(true) {
+                        sup.divergences -= 1;
+                    }
+                }
+                if sup.divergences >= cfg.divergence_threshold.max(1) {
+                    self.quarantine_lane(idx);
+                }
+            }
+            LaneState::Probation => {
+                if diverged {
+                    // Re-diverging on probation is an immediate re-trip.
+                    self.quarantine_lane(idx);
+                } else {
+                    let sup = &mut self.supervision[idx];
+                    sup.probation_clean += 1;
+                    if sup.probation_clean >= cfg.probation_ok.max(1) {
+                        self.restore_lane(idx);
+                    }
+                }
+            }
+            LaneState::Quarantined => {}
+        }
+    }
+
+    /// The supervision state of lane `idx`, read from its shared gauge —
+    /// the single source of truth the router's availability check and
+    /// [`LaneHealth`] read too.
+    fn lane_state(&self, idx: usize) -> LaneState {
+        LaneState::from_gauge(self.lanes[idx].shared.metrics.state())
+    }
+
+    fn set_lane_state(&mut self, idx: usize, state: LaneState) {
+        let host_ns = self.metrics.host_now_ns();
+        self.lanes[idx].shared.metrics.set_state(state.as_gauge(), host_ns);
+    }
+
+    /// Trip lane `idx` into quarantine: publish the state (the router
+    /// stops sending it clean reads at once), drain its queued work back
+    /// through the router, soft-reset the replayer (clear any installed
+    /// response mutator), and probe — a passing probe moves the lane
+    /// straight to probation, a failing one leaves it quarantined.
+    fn quarantine_lane(&mut self, idx: usize) {
+        self.set_lane_state(idx, LaneState::Quarantined);
+        let sup = &mut self.supervision[idx];
+        sup.window.clear();
+        sup.divergences = 0;
+        sup.probation_clean = 0;
+        SharedStats::bump(&self.stats.quarantines);
+        self.metrics.robustness().on_quarantine();
+        let virt_ns = self.lanes[idx].shared.clock.now_ns();
+        obs_event!(self.tracer, EventKind::Quarantine, virt_ns, 0, idx as u64, 1);
+        // In ring mode, staged-but-undoorbelled entries would otherwise
+        // sit on the quarantined lane's SQ until the next doorbell admits
+        // them there; pull them off and re-stage clean reads on siblings.
+        if self.config.submit_mode == SubmitMode::Ring {
+            self.restage_quarantined_sq(idx);
+        }
+        if let Ok(CtrlReply::Evicted(evicted)) = self.lane_ctrl(idx, CtrlReq::Evict) {
+            self.replace_evicted(idx, evicted);
+        }
+        let _ = self.lane_ctrl(idx, CtrlReq::SetMutator(None));
+        self.probe_for_probation(idx);
+    }
+
+    /// Run the lane health probe on a quarantined lane; a pass enters
+    /// probation (watchdog arg 2 in the trace), a failure leaves the
+    /// lane quarantined for a later probe.
+    fn probe_for_probation(&mut self, idx: usize) {
+        if matches!(self.lane_ctrl(idx, CtrlReq::HealthCheck), Ok(CtrlReply::Health(_))) {
+            self.set_lane_state(idx, LaneState::Probation);
+            self.supervision[idx].probation_clean = 0;
+            let virt_ns = self.lanes[idx].shared.clock.now_ns();
+            obs_event!(self.tracer, EventKind::Quarantine, virt_ns, 0, idx as u64, 2);
+        }
+    }
+
+    /// A probation lane served its clean window: restore it.
+    fn restore_lane(&mut self, idx: usize) {
+        self.set_lane_state(idx, LaneState::Healthy);
+        let sup = &mut self.supervision[idx];
+        sup.window.clear();
+        sup.divergences = 0;
+        sup.probation_clean = 0;
+        SharedStats::bump(&self.stats.lane_restores);
+        self.metrics.robustness().on_lane_restore();
+        let virt_ns = self.lanes[idx].shared.clock.now_ns();
+        obs_event!(self.tracer, EventKind::LaneRestored, virt_ns, 0, idx as u64, 0);
+    }
+
+    /// Re-place the requests a quarantine eviction handed back: clean
+    /// reads go to the least-loaded available sibling, writes and dirty
+    /// reads return to the quarantined home (it still executes — only
+    /// replica-independent work may move). The evicted requests kept
+    /// their front-end reservations, so each re-placement first settles
+    /// the origin's accounting (un-admit) and then reserves its target.
+    fn replace_evicted(&mut self, origin: usize, evicted: Vec<Pending>) {
+        let device = self.lanes[origin].device;
+        let table = self.lane_table[&device].clone();
+        for p in evicted {
+            let host_ns = self.metrics.host_now_ns();
+            {
+                let sh = &self.lanes[origin].shared;
+                sh.inflight.fetch_sub(1, Ordering::Release);
+                sh.metrics.on_requeue(host_ns);
+            }
+            let movable = matches!(&p.req, Request::Read { blkid, blkcnt, .. }
+                    if self.router.span_is_clean(device, *blkid, *blkcnt));
+            let target = movable
+                .then(|| {
+                    table
+                        .iter()
+                        .copied()
+                        .filter(|&i| i != origin)
+                        .filter(|&i| {
+                            let s = &self.lanes[i].shared;
+                            LaneState::from_gauge(s.metrics.state()) != LaneState::Quarantined
+                                && (s.inflight.load(Ordering::Acquire) as usize) < s.capacity
+                        })
+                        .min_by_key(|&i| self.lanes[i].shared.inflight.load(Ordering::Acquire))
+                })
+                .flatten()
+                // The origin just drained, so it always has room again.
+                .unwrap_or(origin);
+            let lane = &mut self.lanes[target];
+            lane.shared.reserve().expect("the eviction or the room check freed a slot");
+            lane.admit_tx.try_push(p).expect("reservation bounds the admit ring");
+            lane.shared.unpark();
+        }
+    }
+
+    /// Pull staged-but-undoorbelled entries off a quarantined lane's
+    /// submission ring and re-stage clean reads on available siblings
+    /// (writes and dirty reads re-stage where they were). Skipped when
+    /// the ring's producer is detached to a [`LaneSubmitter`] — a
+    /// concurrent producer owns the staging side then.
+    fn restage_quarantined_sq(&mut self, origin: usize) {
+        if !self.lanes[origin].sq.producer_attached() {
+            return;
+        }
+        let device = self.lanes[origin].device;
+        let table = self.lane_table[&device].clone();
+        let staged = self.lanes[origin].sq.drain_staged();
+        for e in staged {
+            let movable = matches!(&e.req, Request::Read { blkid, blkcnt, .. }
+                    if self.router.span_is_clean(device, *blkid, *blkcnt));
+            let target = movable
+                .then(|| {
+                    table
+                        .iter()
+                        .copied()
+                        .filter(|&i| i != origin)
+                        .filter(|&i| {
+                            let l = &self.lanes[i];
+                            LaneState::from_gauge(l.shared.metrics.state())
+                                != LaneState::Quarantined
+                                && l.sq.producer_attached()
+                                && !l.sq.is_full()
+                        })
+                        .min_by_key(|&i| self.lanes[i].sq.len())
+                })
+                .flatten()
+                .unwrap_or(origin);
+            self.lanes[target]
+                .sq
+                .try_push(e)
+                .expect("the target ring was selected non-full or just drained");
         }
     }
 
@@ -1845,7 +2354,21 @@ impl DriverletService {
         device: Device,
         plan: FaultPlan,
     ) -> Result<Arc<Mutex<FlipOutcome>>, ServeError> {
-        let idx = self.lane_index(device)?;
+        self.inject_fault_at(LaneId { device, replica: 0 }, plan)
+    }
+
+    /// [`DriverletService::inject_fault`] with replica-lane addressing:
+    /// fault exactly one lane of a fleet (the adversarial fault-storm
+    /// experiments target one replica and watch the failover path carry
+    /// its traffic).
+    pub fn inject_fault_at(
+        &mut self,
+        id: LaneId,
+        plan: FaultPlan,
+    ) -> Result<Arc<Mutex<FlipOutcome>>, ServeError> {
+        let idx = self
+            .lane_of(id)
+            .ok_or_else(|| ServeError::Invalid(format!("no replica lane {id} is served")))?;
         let (flipper, outcome) = ConstraintFlipper::new(plan);
         self.lane_ctrl(idx, CtrlReq::SetMutator(Some(Box::new(flipper))))?;
         Ok(outcome)
@@ -1855,7 +2378,14 @@ impl DriverletService {
     /// see the real device again. Same batch-boundary hand-off as
     /// [`DriverletService::inject_fault`].
     pub fn clear_fault(&mut self, device: Device) -> Result<(), ServeError> {
-        let idx = self.lane_index(device)?;
+        self.clear_fault_at(LaneId { device, replica: 0 })
+    }
+
+    /// [`DriverletService::clear_fault`] with replica-lane addressing.
+    pub fn clear_fault_at(&mut self, id: LaneId) -> Result<(), ServeError> {
+        let idx = self
+            .lane_of(id)
+            .ok_or_else(|| ServeError::Invalid(format!("no replica lane {id} is served")))?;
         self.lane_ctrl(idx, CtrlReq::SetMutator(None)).map(|_| ())
     }
 
@@ -1872,12 +2402,31 @@ impl DriverletService {
     /// completion/divergence counters, last-activity host stamp) taken at
     /// the probe's batch boundary.
     pub fn lane_health_check(&mut self, device: Device) -> Result<LaneHealth, ServeError> {
-        let idx = self.lane_index(device)?;
+        self.lane_health_check_at(LaneId { device, replica: 0 })
+    }
+
+    /// [`DriverletService::lane_health_check`] with replica-lane
+    /// addressing. Under supervision, a **passing** probe on a
+    /// quarantined lane doubles as the operator-invoked recovery step:
+    /// the lane moves to [`LaneState::Probation`] exactly as if the
+    /// watchdog's own post-quarantine probe had passed, and the returned
+    /// snapshot reflects the new state.
+    pub fn lane_health_check_at(&mut self, id: LaneId) -> Result<LaneHealth, ServeError> {
+        let idx = self
+            .lane_of(id)
+            .ok_or_else(|| ServeError::Invalid(format!("no replica lane {id} is served")))?;
         match self.lane_ctrl(idx, CtrlReq::HealthCheck)? {
-            CtrlReply::Health(health) => Ok(health),
-            CtrlReply::Done => {
-                Err(ServeError::Invalid("health check returned no health snapshot".into()))
+            CtrlReply::Health(mut health) => {
+                if self.config.supervise.enabled && self.lane_state(idx) == LaneState::Quarantined {
+                    self.set_lane_state(idx, LaneState::Probation);
+                    self.supervision[idx].probation_clean = 0;
+                    let virt_ns = self.lanes[idx].shared.clock.now_ns();
+                    obs_event!(self.tracer, EventKind::Quarantine, virt_ns, 0, idx as u64, 2);
+                    health.state = LaneState::Probation;
+                }
+                Ok(health)
             }
+            _ => Err(ServeError::Invalid("health check returned no health snapshot".into())),
         }
     }
 
@@ -2834,6 +3383,227 @@ mod tests {
         );
         assert_eq!(bytes(&healthy[0]), seed);
         assert_eq!(s.lane_status()[0].queued, 0, "the lane queue drained");
+    }
+
+    #[test]
+    fn admission_qos_throttles_the_flooder_and_keeps_queue_full_coherent() {
+        let mut s = mmc_service(ServeConfig {
+            queue_capacity: 4,
+            coalesce: false,
+            hold_budget_ns: 0,
+            qos: QosConfig { enabled: true, default_qos: SessionQos::default() },
+            block_granularities: vec![1],
+            ..ServeConfig::default()
+        });
+        let flooder = s.open_session().unwrap();
+        let victim = s.open_session().unwrap();
+        s.set_session_qos(flooder, SessionQos { rate_rps: 1_000, burst: 2, weight: 1 }).unwrap();
+        s.set_session_qos(victim, SessionQos { rate_rps: 0, burst: 16, weight: 6 }).unwrap();
+        let rd = |i: u32| Request::Read { device: Device::Mmc, blkid: i, blkcnt: 1 };
+        s.submit(flooder, rd(0)).unwrap();
+        s.submit(flooder, rd(1)).unwrap();
+        match s.submit(flooder, rd(2)) {
+            Err(ServeError::Throttled { session, device, retry_after_ns }) => {
+                assert_eq!(session, flooder);
+                assert_eq!(device, Device::Mmc);
+                assert!(retry_after_ns > 0, "the bucket names its refill horizon");
+            }
+            other => panic!("expected Throttled, got {other:?}"),
+        }
+        assert_eq!(s.stats().throttled, 1);
+        assert_eq!(s.stats().rejected, 0, "throttling is not queue backpressure");
+        // The satellite regression: a throttled submit reserved nothing,
+        // so saturating the queue afterwards reports the same coherent
+        // fleet snapshot QueueFull always carried.
+        s.submit(victim, rd(3)).unwrap();
+        s.submit(victim, rd(4)).unwrap();
+        match s.submit(victim, rd(5)) {
+            Err(ServeError::QueueFull { depth, capacity, fleet, .. }) => {
+                assert_eq!((depth, capacity), (4, 4));
+                assert_eq!(fleet.len(), 1, "the routed reject reports the whole fleet");
+                assert_eq!(fleet[0].depth, 4, "throttled submits never occupied a slot");
+            }
+            other => panic!("expected QueueFull, got {other:?}"),
+        }
+        // The QueueFull rollback refunded the victim's QoS charge; after
+        // a drain both the depth and the share are free again.
+        let done = s.drain_all();
+        assert_eq!(done.len(), 4);
+        s.take_completions(victim);
+        s.submit(victim, rd(6)).unwrap();
+        assert_eq!(s.stats().throttled, 1, "only the flooder was ever throttled");
+    }
+
+    #[test]
+    fn diverged_clean_reads_fail_over_to_a_healthy_sibling() {
+        let policy = RoutePolicy::HashShard { chunk_blocks: 16 };
+        let mut s = mmc_fleet(
+            2,
+            ServeConfig {
+                coalesce: false,
+                hold_budget_ns: 0,
+                route: RouteConfig { policy, spill: true },
+                failover: FailoverConfig {
+                    enabled: true,
+                    retry_budget: 2,
+                    backoff_base_ns: 50_000,
+                },
+                block_granularities: vec![1],
+                ..ServeConfig::default()
+            },
+        );
+        let sess = s.open_session().unwrap();
+        let outcome = s
+            .inject_fault_at(
+                LaneId { device: Device::Mmc, replica: 0 },
+                FaultPlan { template: Some("_rd_".into()), sticky: true, ..FaultPlan::default() },
+            )
+            .unwrap();
+        let homed0: Vec<u32> =
+            (0..200u32).filter(|b| policy.replica_for(*b, 2) == 0).take(4).collect();
+        let ids: Vec<RequestId> = homed0
+            .iter()
+            .map(|&b| {
+                s.submit(sess, Request::Read { device: Device::Mmc, blkid: b, blkcnt: 1 }).unwrap()
+            })
+            .collect();
+        let done = s.drain_all();
+        assert_eq!(done.len(), 4, "every read completes exactly once — zero lost, zero doubled");
+        for id in &ids {
+            let c = done.iter().find(|c| c.id == *id).unwrap();
+            assert!(c.result.is_ok(), "the sibling retry served clean bytes: {:?}", c.result);
+            assert!(c.completed_ns >= c.submitted_ns, "the backoff kept virtual time monotone");
+        }
+        assert!(s.stats().failovers >= 4, "each faulted read was swallowed and re-admitted");
+        assert_eq!(s.stats().failover_exhausted, 0);
+        assert!(outcome.lock().unwrap().engaged_invocations >= 1, "the fault actually fired");
+    }
+
+    #[test]
+    fn failover_budget_exhausts_into_a_typed_attempt_trail() {
+        let mut s = mmc_fleet(
+            2,
+            ServeConfig {
+                coalesce: false,
+                hold_budget_ns: 0,
+                route: RouteConfig {
+                    policy: RoutePolicy::HashShard { chunk_blocks: 16 },
+                    spill: true,
+                },
+                failover: FailoverConfig {
+                    enabled: true,
+                    retry_budget: 1,
+                    backoff_base_ns: 50_000,
+                },
+                block_granularities: vec![1],
+                ..ServeConfig::default()
+            },
+        );
+        let sess = s.open_session().unwrap();
+        for replica in 0..2 {
+            s.inject_fault_at(
+                LaneId { device: Device::Mmc, replica },
+                FaultPlan { template: Some("_rd_".into()), sticky: true, ..FaultPlan::default() },
+            )
+            .unwrap();
+        }
+        let id =
+            s.submit(sess, Request::Read { device: Device::Mmc, blkid: 7, blkcnt: 1 }).unwrap();
+        let done = s.drain_all();
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].id, id);
+        match &done[0].result {
+            Err(ServeError::Exhausted { device, attempts }) => {
+                assert_eq!(*device, Device::Mmc);
+                assert_eq!(attempts.len(), 2, "budget 1 = the home execution plus one retry");
+                assert_ne!(attempts[0].replica, attempts[1].replica);
+                assert!(attempts[0].at_ns <= attempts[1].at_ns, "the trail is chronological");
+            }
+            other => panic!("expected the Exhausted trail, got {other:?}"),
+        }
+        assert_eq!(s.stats().failovers, 1);
+        assert_eq!(s.stats().failover_exhausted, 1);
+    }
+
+    #[test]
+    fn watchdog_quarantines_a_diverging_lane_and_restores_it_after_probation() {
+        let policy = RoutePolicy::HashShard { chunk_blocks: 16 };
+        let mut s = mmc_fleet(
+            2,
+            ServeConfig {
+                coalesce: false,
+                hold_budget_ns: 0,
+                route: RouteConfig { policy, spill: true },
+                failover: FailoverConfig {
+                    enabled: true,
+                    retry_budget: 2,
+                    backoff_base_ns: 50_000,
+                },
+                supervise: SuperviseConfig {
+                    enabled: true,
+                    divergence_threshold: 2,
+                    window: 8,
+                    probation_ok: 2,
+                },
+                block_granularities: vec![1],
+                ..ServeConfig::default()
+            },
+        );
+        let sess = s.open_session().unwrap();
+        s.inject_fault_at(
+            LaneId { device: Device::Mmc, replica: 0 },
+            FaultPlan { template: Some("_rd_".into()), sticky: true, ..FaultPlan::default() },
+        )
+        .unwrap();
+        let homed0: Vec<u32> =
+            (0..200u32).filter(|b| policy.replica_for(*b, 2) == 0).take(4).collect();
+        // Exactly threshold-many faulted reads: both diverge, the second
+        // trips the watchdog, and both are served by the sibling.
+        for &b in &homed0[..2] {
+            s.submit(sess, Request::Read { device: Device::Mmc, blkid: b, blkcnt: 1 }).unwrap();
+        }
+        let stormed = s.drain_all();
+        assert_eq!(stormed.len(), 2, "the storm's reads completed via failover — zero lost");
+        assert!(stormed.iter().all(|c| c.result.is_ok()));
+        assert_eq!(s.stats().quarantines, 1, "the threshold tripped exactly once");
+        // The quarantine's soft reset cleared the fault and the probe
+        // passed: the lane is on probation, serving traffic again.
+        let health = s.lane_health_check_at(LaneId { device: Device::Mmc, replica: 0 }).unwrap();
+        assert_eq!(health.state, crate::LaneState::Probation);
+        // probation_ok clean completions on the lane restore it.
+        s.take_completions(sess);
+        for &b in &homed0[..2] {
+            s.submit(sess, Request::Read { device: Device::Mmc, blkid: b, blkcnt: 1 }).unwrap();
+        }
+        let probation = s.drain_all();
+        assert_eq!(probation.len(), 2);
+        assert!(probation.iter().all(|c| c.result.is_ok()));
+        assert_eq!(s.stats().lane_restores, 1, "the clean window restored the lane");
+        let health = s.lane_health_check_at(LaneId { device: Device::Mmc, replica: 0 }).unwrap();
+        assert_eq!(health.state, crate::LaneState::Healthy);
+        assert_eq!(s.stats().failover_exhausted, 0);
+    }
+
+    #[test]
+    fn session_churn_releases_the_registry_series() {
+        let mut s = mmc_service(ServeConfig {
+            obs: ObsConfig::MetricsOnly,
+            block_granularities: vec![1],
+            ..ServeConfig::default()
+        });
+        let keeper = s.open_session().unwrap();
+        for i in 0..50u32 {
+            let sess = s.open_session().unwrap();
+            s.submit(sess, Request::Read { device: Device::Mmc, blkid: i % 8, blkcnt: 1 }).unwrap();
+            s.drain_all();
+            s.take_completions(sess);
+            s.close_session(sess);
+        }
+        // Only the live sessions keep a series; churned ones are gone.
+        assert_eq!(s.metrics.session_series_count(), 1, "closed sessions left no series behind");
+        let snap = s.metrics_snapshot().unwrap();
+        assert_eq!(snap.sessions.len(), 1);
+        let _ = keeper;
     }
 
     #[test]

@@ -32,8 +32,9 @@ use dlt_recorder::campaign::{
     DEV_KEY,
 };
 use dlt_serve::{
-    Completion, Device, DriverletService, ExecMode, Payload, Policy, Request, RequestId,
-    RouteConfig, RoutePolicy, ServeConfig, ServeError, SubmitMode,
+    Completion, Device, DriverletService, ExecMode, FailoverConfig, LaneId, LaneState, Payload,
+    Policy, QosConfig, Request, RequestId, RouteConfig, RoutePolicy, ServeConfig, ServeError,
+    SessionQos, SubmitMode, SuperviseConfig,
 };
 use dlt_tee::{SecureIo, TeeKernel};
 use dlt_template::Driverlet;
@@ -958,6 +959,193 @@ fn check_routed_spill(choices: &[u8]) {
     prop_assert_eq_bytes(&serial_state, &service_state, id);
 }
 
+/// The **adversarial multi-tenancy** flavour of the property: a flooding
+/// tenant capped by admission QoS, a mid-batch divergence storm on one
+/// replica, failover retries across a 2–4-replica fleet, and the watchdog
+/// quarantining and restoring the victimised lane — all in one run. The
+/// invariants:
+///
+/// * the flooder's burst overflows its token bucket into typed
+///   [`ServeError::Throttled`] rejects; victims are **never** rejected
+///   (their submits `expect`, so any throttle or queue-full fails here);
+/// * client-side conservation: every accepted request surfaces exactly one
+///   completion (`ok + diverged/exhausted == accepted`), throttled submits
+///   never got an id — `completed + diverged + throttled == submitted`;
+/// * the storm's clean single-chunk reads complete `Ok` via sibling
+///   failover, the sticky fault notwithstanding;
+/// * every successful read stays byte-identical to the interpreted serial
+///   reference executing the submissions in submission order (clean
+///   retried reads touch never-written chunks, so the replica premise
+///   keeps the single-rig reference valid);
+/// * the watchdog trips on the storm, and post-storm traffic passes the
+///   lane through probation back to `Healthy`.
+fn check_adversarial_fleet(mmc_replicas: usize, choices: &[u8], skip: u64, exec_mode: ExecMode) {
+    let route_policy = RoutePolicy::HashShard { chunk_blocks: 16 };
+    let config = ServeConfig {
+        policy: Policy::Fifo,
+        coalesce: true,
+        exec_mode,
+        route: RouteConfig { policy: route_policy, spill: true },
+        qos: QosConfig { enabled: true, default_qos: SessionQos::default() },
+        failover: FailoverConfig { enabled: true, retry_budget: 2, backoff_base_ns: 50_000 },
+        supervise: SuperviseConfig {
+            enabled: true,
+            divergence_threshold: 2,
+            window: 16,
+            probation_ok: 2,
+        },
+        block_granularities: GRANULARITIES.to_vec(),
+        ..ServeConfig::default()
+    };
+    let fleet: Vec<(Device, Driverlet)> =
+        (0..mmc_replicas).map(|_| (Device::Mmc, mmc_bundle().clone())).collect();
+    let mut service = DriverletService::with_driverlets(&fleet, config).expect("build service");
+    let flooder = service.open_session().unwrap();
+    let victims: Vec<u32> = (0..2).map(|_| service.open_session().unwrap()).collect();
+    // A tight bucket: 10 rps (one token per 100 virtual ms), burst 2.
+    service
+        .set_session_qos(flooder, SessionQos { rate_rps: 10, burst: 2, weight: 1 })
+        .expect("flooder qos");
+
+    let mut program: Vec<(RequestId, Request)> = Vec::new();
+    let mut throttled = 0usize;
+
+    // Phase 1 — the flood: back-to-back flooder reads, four times the
+    // bucket's burst, with no virtual time for refill in between.
+    for i in 0..8u32 {
+        let req = Request::Read { device: Device::Mmc, blkid: i % 16, blkcnt: 1 };
+        match service.submit(flooder, req.clone()) {
+            Ok(id) => program.push((id, req)),
+            Err(ServeError::Throttled { session, retry_after_ns, .. }) => {
+                assert_eq!(session, flooder, "the throttle names the offending tenant");
+                assert!(retry_after_ns > 0, "the throttle names its refill horizon");
+                throttled += 1;
+            }
+            Err(other) => panic!("the flooder can only be throttled, got {other}"),
+        }
+    }
+    assert!(throttled >= 1, "an 8-deep burst must overflow a burst-2 bucket");
+
+    // Phase 2 — victim traffic with a mid-batch fault storm: halfway
+    // through, replica 0 grows a sticky read fault and the storm reads
+    // (clean, single-chunk, homed there) must survive via failover.
+    let half = choices.len() / 2;
+    let homed0: Vec<u32> =
+        (0..64u32).filter(|b| route_policy.replica_for(*b, mmc_replicas) == 0).take(6).collect();
+    let mut storm_ids: Vec<RequestId> = Vec::new();
+    for (i, &choice) in choices.iter().enumerate() {
+        if i == half {
+            service
+                .inject_fault_at(
+                    LaneId { device: Device::Mmc, replica: 0 },
+                    FaultPlan {
+                        template: Some("_rd_".into()),
+                        skip_invocations: skip,
+                        sticky: true,
+                        ..FaultPlan::default()
+                    },
+                )
+                .expect("inject storm fault");
+            for &b in &homed0 {
+                let req = Request::Read { device: Device::Mmc, blkid: b, blkcnt: 1 };
+                let id = service.submit(victims[0], req.clone()).expect("storm read accepted");
+                storm_ids.push(id);
+                program.push((id, req));
+            }
+        }
+        let session = victims[i % victims.len()];
+        let blkid = 64 + u32::from(choice % 48);
+        let blkcnt = 1 + u32::from(choice % 8);
+        let req = if choice % 3 == 0 {
+            Request::Write { device: Device::Mmc, blkid, data: pattern(i as u64, blkcnt) }
+        } else {
+            Request::Read { device: Device::Mmc, blkid, blkcnt }
+        };
+        let id = service.submit(session, req.clone()).expect("victims are never rejected");
+        program.push((id, req));
+    }
+
+    let completions = service.drain_all();
+    let requests: HashMap<RequestId, &Request> =
+        program.iter().map(|(id, req)| (*id, req)).collect();
+    let mut seen_ids = std::collections::HashSet::new();
+    for c in &completions {
+        assert!(seen_ids.insert(c.id), "request {} delivered twice ({:?})", c.id, c.result);
+        assert!(requests.contains_key(&c.id), "unknown completion {} ({:?})", c.id, c.result);
+    }
+    assert_eq!(completions.len(), program.len(), "accepted == delivered: zero lost");
+    let mut ok = 0usize;
+    let mut failed = 0usize;
+    for c in &completions {
+        match &c.result {
+            Ok(_) => ok += 1,
+            Err(ServeError::Replay(ReplayError::Diverged(_)))
+            | Err(ServeError::Exhausted { .. }) => {
+                assert!(
+                    matches!(requests[&c.id], Request::Read { .. }),
+                    "request {}: only reads can fail under a read-template fault",
+                    c.id
+                );
+                failed += 1;
+            }
+            other => panic!("request {} must complete or fail typed, got {other:?}", c.id),
+        }
+        assert!(
+            c.completed_ns >= c.submitted_ns,
+            "request {} completed at {} before its submission {}",
+            c.id,
+            c.completed_ns,
+            c.submitted_ns
+        );
+    }
+    // Client-side conservation: completed + diverged + throttled ==
+    // submitted (throttled submits never received an id).
+    assert_eq!(ok + failed, program.len());
+    assert_eq!(service.stats().throttled as usize, throttled);
+    // The storm's retryable reads all completed Ok via the sibling.
+    for id in &storm_ids {
+        let c = completions.iter().find(|c| c.id == *id).unwrap();
+        assert!(c.result.is_ok(), "storm read {id} must survive via failover: {:?}", c.result);
+    }
+    assert!(service.stats().failovers >= 1, "the storm must have exercised failover");
+    assert!(service.stats().quarantines >= 1, "the storm must trip the watchdog");
+
+    // Byte identity for every successful read against the interpreted
+    // serial reference executing the submissions in submission order
+    // (valid for routed fleets — each block address has one FIFO home
+    // shard, and moved reads only touch never-written chunks; see
+    // `check_routed_replicas`).
+    let mut rig = serial_rig(Device::Mmc);
+    let mut serial_reads: HashMap<RequestId, Vec<u8>> = HashMap::new();
+    for (id, req) in &program {
+        if let Some(bytes) = serial_execute(&mut rig, Device::Mmc, req) {
+            serial_reads.insert(*id, bytes);
+        }
+    }
+    for c in &completions {
+        if let Ok(Payload::Read(bytes)) = &c.result {
+            prop_assert_eq_bytes(&serial_reads[&c.id], bytes, c.id);
+        }
+    }
+
+    // Phase 3 — recovery: the watchdog's soft reset cleared the sticky
+    // fault; post-storm traffic homed on the victimised replica passes it
+    // through probation back to healthy.
+    for &b in &homed0 {
+        service
+            .submit(victims[1], Request::Read { device: Device::Mmc, blkid: b, blkcnt: 1 })
+            .expect("post-storm read");
+    }
+    let tail = service.drain_all();
+    assert_eq!(tail.len(), homed0.len());
+    assert!(tail.iter().all(|c| c.result.is_ok()), "the fleet serves cleanly after the storm");
+    assert!(service.stats().lane_restores >= 1, "probation restored the quarantined lane");
+    let health = service
+        .lane_health_check_at(LaneId { device: Device::Mmc, replica: 0 })
+        .expect("post-probation health");
+    assert_eq!(health.state, LaneState::Healthy);
+}
+
 fn prop_assert_eq_bytes(expected: &[u8], got: &[u8], id: RequestId) {
     assert_eq!(expected.len(), got.len(), "length mismatch for request {id}");
     if expected != got {
@@ -1166,6 +1354,24 @@ proptest! {
         choices in proptest::collection::vec(any::<u8>(), 10..24)
     ) {
         check_routed_spill(&choices);
+    }
+
+    #[test]
+    fn mmc_adversarial_flood_storm_failover_matches_a_serial_order(
+        choices in proptest::collection::vec(any::<u8>(), 8..20),
+        replicas in 2usize..5,
+        skip in 0u64..2,
+    ) {
+        check_adversarial_fleet(replicas, &choices, skip, ExecMode::Sequential);
+    }
+
+    #[test]
+    fn mmc_adversarial_threaded_flood_storm_failover_matches_a_serial_order(
+        choices in proptest::collection::vec(any::<u8>(), 8..16),
+        replicas in 2usize..4,
+        skip in 0u64..2,
+    ) {
+        check_adversarial_fleet(replicas, &choices, skip, ExecMode::Threaded);
     }
 }
 
